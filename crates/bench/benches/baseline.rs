@@ -1,0 +1,38 @@
+//! Table IV context: HIRE-NER's two-pass document pipeline (memory build +
+//! decode) vs the framework's rescan, on the same stream slice.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use emd_baseline::{HireConfig, HireNer};
+use emd_bench::{bench_stream, sentences_of, trained_crf_variant, SEED};
+use emd_core::{Globalizer, GlobalizerConfig};
+use emd_synth::datasets::training_stream;
+use std::hint::black_box;
+
+fn bench_baseline(c: &mut Criterion) {
+    let (d2, _) = bench_stream();
+    let sents = sentences_of(&d2);
+    let slice: Vec<_> = sents.iter().take(100).cloned().collect();
+
+    let (_, d5) = training_stream(SEED, 0.01);
+    let hire = HireNer::train(&d5, &HireConfig { epochs: 1, ..Default::default() });
+
+    let mut group = c.benchmark_group("global_systems_100_sentences");
+    group.sample_size(20);
+
+    group.bench_function("hire_ner_two_pass", |b| {
+        b.iter(|| black_box(hire.run_dataset(&slice)))
+    });
+
+    group.bench_function("hire_ner_memory_build_only", |b| {
+        b.iter(|| black_box(hire.build_memory(&slice)))
+    });
+
+    let (crf, clf) = trained_crf_variant();
+    let g = Globalizer::new(&crf, None, &clf, GlobalizerConfig::default());
+    group.bench_function("emd_globalizer", |b| b.iter(|| black_box(g.run(&slice, 512))));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Table III "Local EMD execution time": per-sentence inference cost of
+//! each Local EMD instantiation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use emd_bench::{bench_stream, sentences_of, SEED};
+use emd_core::local::LocalEmd;
+use emd_local::aguilar::{Aguilar, AguilarConfig};
+use emd_local::mini_bert::{MiniBert, MiniBertConfig};
+use emd_local::np_chunker::NpChunker;
+use emd_local::twitter_nlp::{TwitterNlp, TwitterNlpConfig};
+use emd_synth::datasets::generic_training_corpus;
+use std::hint::black_box;
+
+fn bench_locals(c: &mut Criterion) {
+    let (d2, world) = bench_stream();
+    let sents = sentences_of(&d2);
+    let slice = &sents[..sents.len().min(50)];
+
+    let (gen_world, generic) = generic_training_corpus(SEED, 0.25);
+
+    let mut group = c.benchmark_group("local_emd_50_sentences");
+    group.sample_size(20);
+
+    let chunker = NpChunker::new();
+    group.bench_function("np_chunker", |b| {
+        b.iter(|| {
+            for s in slice {
+                black_box(chunker.process(s));
+            }
+        })
+    });
+
+    let mut crf = TwitterNlp::train(&generic, gen_world.gazetteer.clone(), &TwitterNlpConfig::default());
+    crf.set_gazetteer(world.gazetteer.clone());
+    group.bench_function("twitter_nlp", |b| {
+        b.iter(|| {
+            for s in slice {
+                black_box(crf.process(s));
+            }
+        })
+    });
+
+    let (mut aguilar, _) = Aguilar::train(&generic, gen_world.gazetteer.clone(), &AguilarConfig {
+        epochs: 1,
+        ..Default::default()
+    });
+    aguilar.set_gazetteer(world.gazetteer.clone());
+    group.bench_function("aguilar", |b| {
+        b.iter(|| {
+            for s in slice {
+                black_box(aguilar.process(s));
+            }
+        })
+    });
+
+    let (bert, _) = MiniBert::train(&generic, &MiniBertConfig { epochs: 1, ..Default::default() });
+    group.bench_function("mini_bert", |b| {
+        b.iter(|| {
+            for s in slice {
+                black_box(bert.process(s));
+            }
+        })
+    });
+    group.finish();
+
+    // Training-step cost (one sentence), the fine-tuning side.
+    let mut group = c.benchmark_group("local_emd_train_step");
+    group.sample_size(20);
+    group.bench_function("aguilar_epoch_estimate", |b| {
+        b.iter_batched(
+            || generic.clone(),
+            |d| {
+                let small = emd_text::token::Dataset {
+                    name: d.name.clone(),
+                    kind: d.kind,
+                    n_topics: d.n_topics,
+                    sentences: d.sentences.into_iter().take(8).collect(),
+                };
+                black_box(Aguilar::train(&small, gen_world.gazetteer.clone(), &AguilarConfig {
+                    epochs: 1,
+                    ..Default::default()
+                }))
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_locals);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! End-to-end pipeline timing — the claim behind Table III's "Execution
+//! Time" columns and Figure 6's component stack: running the full
+//! framework costs only slightly more than Local EMD alone.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use emd_bench::{bench_stream, chunker_variant, sentences_of, trained_crf_variant};
+use emd_core::config::Ablation;
+use emd_core::local::LocalEmd;
+use emd_core::{Globalizer, GlobalizerConfig};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let (d2, _) = bench_stream();
+    let sents = sentences_of(&d2);
+    let slice: Vec<_> = sents.iter().take(100).cloned().collect();
+
+    let (crf, crf_clf) = trained_crf_variant();
+    let (chunker, accept_all) = chunker_variant();
+
+    let mut group = c.benchmark_group("pipeline_100_sentences");
+    group.sample_size(20);
+
+    // Local EMD alone (the paper's baseline time).
+    group.bench_function("crf_local_only", |b| {
+        b.iter(|| {
+            for s in &slice {
+                black_box(crf.process(s));
+            }
+        })
+    });
+
+    // Figure-6 component stack.
+    for (label, ablation) in [
+        ("crf_ablation_local", Ablation::LocalOnly),
+        ("crf_ablation_mention_extraction", Ablation::MentionExtraction),
+        ("crf_full_framework", Ablation::Full),
+    ] {
+        let g = Globalizer::new(&crf, None, &crf_clf, GlobalizerConfig {
+            ablation,
+            ..Default::default()
+        });
+        group.bench_function(label, |b| b.iter(|| black_box(g.run(&slice, 512))));
+    }
+
+    // Chunker variant isolates framework overhead from model cost.
+    let g = Globalizer::new(&chunker, None, &accept_all, GlobalizerConfig::default());
+    group.bench_function("chunker_full_framework", |b| {
+        b.iter(|| black_box(g.run(&slice, 512)))
+    });
+
+    // Incremental batching: same work in batches of 10 (stream mode).
+    group.bench_function("crf_full_framework_batched_10", |b| {
+        let g = Globalizer::new(&crf, None, &crf_clf, GlobalizerConfig::default());
+        b.iter(|| black_box(g.run(&slice, 10)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Substrate kernels: the `emd-nn` and `emd-text` primitives every model
+//! is built from. These bound the model costs reported by the other
+//! benches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use emd_nn::attention::MultiHeadAttention;
+use emd_nn::crf::CrfLayer;
+use emd_nn::lstm::BiLstm;
+use emd_nn::matrix::Matrix;
+use emd_text::bpe::Bpe;
+use emd_text::token::SentenceId;
+use emd_text::tokenizer::tokenize;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn rand_matrix(r: usize, c: usize, rng: &mut StdRng) -> Matrix {
+    Matrix::from_vec(r, c, (0..r * c).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+}
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    let mut group = c.benchmark_group("nn_kernels");
+    let a = rand_matrix(64, 64, &mut rng);
+    let b = rand_matrix(64, 64, &mut rng);
+    group.bench_function("matmul_64x64", |bch| bch.iter(|| black_box(a.matmul(&b))));
+
+    let mut lstm = BiLstm::new(70, 50, &mut rng);
+    let x = rand_matrix(15, 70, &mut rng);
+    group.bench_function("bilstm_fwd_15x70_h50", |bch| bch.iter(|| black_box(lstm.infer(&x))));
+    group.bench_function("bilstm_fwd_bwd_15x70_h50", |bch| {
+        bch.iter(|| {
+            let y = lstm.forward(&x);
+            black_box(lstm.backward(&y))
+        })
+    });
+
+    let mut attn = MultiHeadAttention::new(48, 4, &mut rng);
+    let xa = rand_matrix(24, 48, &mut rng);
+    group.bench_function("attention_fwd_24x48_h4", |bch| bch.iter(|| black_box(attn.infer(&xa))));
+    group.bench_function("attention_fwd_bwd_24x48_h4", |bch| {
+        bch.iter(|| {
+            let y = attn.forward(&xa);
+            black_box(attn.backward(&y))
+        })
+    });
+
+    let mut crf = CrfLayer::new(3);
+    let e = rand_matrix(15, 3, &mut rng);
+    let gold = vec![0usize, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2];
+    group.bench_function("crf_viterbi_15x3", |bch| bch.iter(|| black_box(crf.decode(&e))));
+    group.bench_function("crf_nll_15x3", |bch| bch.iter(|| black_box(crf.nll(&e, &gold))));
+    group.finish();
+
+    let mut group = c.benchmark_group("text_kernels");
+    let tweet = "WE JUST BY-PASS Italy WITH CORONAVIRUS CASES. But @realDonaldTrump wants to relax #socialdistancing https://t.co/abc123 :(";
+    group.bench_function("tokenize_tweet", |bch| {
+        bch.iter(|| black_box(tokenize(SentenceId::new(0, 0), tweet)))
+    });
+
+    let words = ["coronavirus", "cases", "distancing", "italy", "lockdown", "variant"];
+    let bpe = Bpe::learn(words.iter().map(|w| (*w, 10u64)), 80);
+    group.bench_function("bpe_encode_word", |bch| {
+        bch.iter(|| black_box(bpe.encode_word("coronavirus")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

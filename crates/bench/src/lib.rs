@@ -1,0 +1,61 @@
+//! # emd-bench
+//!
+//! Criterion benchmarks backing the paper's timing claims:
+//!
+//! | Bench target      | Paper claim |
+//! |-------------------|-------------|
+//! | `local_emd`       | Table III "Local EMD execution time" — per-system per-sentence inference cost |
+//! | `global_emd`      | Table III "Time Overhead" — the Global EMD components are cheap: CTrie ops, mention rescans, phrase embedding, classifier scoring |
+//! | `pipeline`        | Table III / Figure 6 — end-to-end local-only vs full framework on a stream slice; the framework adds a small constant factor |
+//! | `baseline`        | Table IV context — HIRE-NER's two-pass document pipeline vs the framework |
+//! | `substrate`       | sanity: the `emd-nn`/`emd-text` kernels the models are built from |
+//!
+//! Shared setup helpers (trained models, datasets) live here so every bench
+//! binary pays the training cost once per process.
+
+use emd_core::classifier::ClassifierTrainConfig;
+use emd_core::training::harvest_training_data;
+use emd_core::{EntityClassifier, GlobalizerConfig};
+use emd_local::np_chunker::NpChunker;
+use emd_local::twitter_nlp::{TwitterNlp, TwitterNlpConfig};
+use emd_synth::datasets::{generic_training_corpus, standard_datasets, training_stream};
+use emd_text::token::{Dataset, Sentence};
+
+/// Seed shared by all benches.
+pub const SEED: u64 = 99;
+
+/// A small benchmark corpus: the D2-analog stream at 5% scale.
+pub fn bench_stream() -> (Dataset, emd_synth::entities::World) {
+    let suite = standard_datasets(SEED, 0.05);
+    let world = suite.world.clone();
+    (suite.datasets.into_iter().nth(1).unwrap(), world)
+}
+
+/// Sentences of a dataset.
+pub fn sentences_of(d: &Dataset) -> Vec<Sentence> {
+    d.sentences.iter().map(|a| a.sentence.clone()).collect()
+}
+
+/// A trained TwitterNLP local system + classifier (the cheapest trained
+/// variant — benches that need a real model use this).
+pub fn trained_crf_variant() -> (TwitterNlp, EntityClassifier) {
+    let (gen_world, generic) = generic_training_corpus(SEED, 0.25);
+    let mut local = TwitterNlp::train(&generic, gen_world.gazetteer.clone(), &TwitterNlpConfig::default());
+    let suite = standard_datasets(SEED, 0.02);
+    local.set_gazetteer(suite.world.gazetteer.clone());
+    let (_, d5) = training_stream(SEED, 0.01);
+    let cfg = GlobalizerConfig::default();
+    let data = harvest_training_data(&local, None, &cfg, &d5);
+    let mut clf = EntityClassifier::new(7, SEED);
+    clf.train(&data, &ClassifierTrainConfig { epochs: 100, ..Default::default() });
+    (local, clf)
+}
+
+/// An untrained NP chunker + accept-all classifier (for benches isolating
+/// the global phase from model quality).
+pub fn chunker_variant() -> (NpChunker, EntityClassifier) {
+    use emd_nn::param::Net;
+    let mut clf = EntityClassifier::new(7, SEED);
+    clf.params_mut().into_iter().last().unwrap().value.data[0] = 10.0;
+    (NpChunker::new(), clf)
+}

@@ -1,0 +1,253 @@
+//! CandidateBase: per-candidate records with incrementally pooled global
+//! embeddings.
+//!
+//! A candidate is keyed by its lower-cased space-joined token string. Every
+//! mention found in the stream contributes its *local candidate embedding*
+//! to a running sum; the **global candidate embedding** is the mean over
+//! all contributions — "a consensus representation over all contextual
+//! possibilities in which a candidate appears in the stream" (§V-C). The
+//! pooling is incremental, so new mentions arriving in later batches simply
+//! extend the pool.
+
+use crate::classifier::CandidateLabel;
+use emd_text::token::{SentenceId, Span};
+use std::collections::HashMap;
+
+/// A single located mention of a candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MentionRef {
+    /// Sentence the mention occurs in.
+    pub sid: SentenceId,
+    /// Token span inside that sentence.
+    pub span: Span,
+    /// Whether the Local EMD system itself found this mention (as opposed
+    /// to the global rescan recovering it).
+    pub locally_detected: bool,
+}
+
+/// Per-candidate record.
+#[derive(Debug, Clone)]
+pub struct CandidateRecord {
+    /// Lower-cased space-joined key.
+    pub key: String,
+    /// Lower-cased tokens of the candidate.
+    pub tokens: Vec<String>,
+    /// All located mentions, in discovery order.
+    pub mentions: Vec<MentionRef>,
+    /// Running sum of local candidate embeddings.
+    emb_sum: Vec<f32>,
+    /// Number of pooled embeddings.
+    emb_count: usize,
+    /// The individual per-mention local embeddings (kept so training can
+    /// expose the classifier to the single-mention regime, and for pooled
+    /// variants in ablations).
+    pub local_embeddings: Vec<Vec<f32>>,
+    /// Classifier outcome (updated as the stream progresses).
+    pub label: CandidateLabel,
+    /// Last classifier probability, if scored.
+    pub score: Option<f32>,
+}
+
+impl CandidateRecord {
+    fn new(key: String, dim: usize) -> CandidateRecord {
+        let tokens = key.split(' ').map(|s| s.to_string()).collect();
+        CandidateRecord {
+            key,
+            tokens,
+            mentions: Vec::new(),
+            emb_sum: vec![0.0; dim],
+            emb_count: 0,
+            local_embeddings: Vec::new(),
+            label: CandidateLabel::Pending,
+            score: None,
+        }
+    }
+
+    /// Pool one local embedding into the global embedding.
+    pub fn add_embedding(&mut self, local: &[f32]) {
+        assert_eq!(local.len(), self.emb_sum.len(), "embedding dim mismatch");
+        for (s, &v) in self.emb_sum.iter_mut().zip(local.iter()) {
+            *s += v;
+        }
+        self.emb_count += 1;
+        self.local_embeddings.push(local.to_vec());
+    }
+
+    /// The pooled global candidate embedding (mean), or zeros if no
+    /// embeddings were contributed yet.
+    pub fn global_embedding(&self) -> Vec<f32> {
+        if self.emb_count == 0 {
+            return self.emb_sum.clone();
+        }
+        let n = self.emb_count as f32;
+        self.emb_sum.iter().map(|&s| s / n).collect()
+    }
+
+    /// Global embedding under an explicit pooling mode (ablation support).
+    pub fn pooled_embedding(&self, pooling: crate::config::Pooling) -> Vec<f32> {
+        match pooling {
+            crate::config::Pooling::Mean => self.global_embedding(),
+            crate::config::Pooling::Max => {
+                if self.local_embeddings.is_empty() {
+                    return vec![0.0; self.emb_sum.len()];
+                }
+                let mut out = self.local_embeddings[0].clone();
+                for emb in &self.local_embeddings[1..] {
+                    for (o, &v) in out.iter_mut().zip(emb.iter()) {
+                        *o = o.max(v);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Number of pooled embeddings (= mentions with embeddings).
+    pub fn n_pooled(&self) -> usize {
+        self.emb_count
+    }
+
+    /// Mention frequency.
+    pub fn frequency(&self) -> usize {
+        self.mentions.len()
+    }
+
+    /// Number of tokens in the candidate (the paper's `+1` length feature).
+    pub fn token_len(&self) -> usize {
+        self.tokens.len()
+    }
+}
+
+/// The stream-wide candidate store.
+#[derive(Debug, Clone)]
+pub struct CandidateBase {
+    records: Vec<CandidateRecord>,
+    index: HashMap<String, usize>,
+    dim: usize,
+}
+
+impl CandidateBase {
+    /// New store for embeddings of dimension `dim`.
+    pub fn new(dim: usize) -> CandidateBase {
+        CandidateBase { records: Vec::new(), index: HashMap::new(), dim }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Get-or-create a record for the (already lower-cased) key.
+    pub fn entry(&mut self, key: &str) -> &mut CandidateRecord {
+        let i = match self.index.get(key) {
+            Some(&i) => i,
+            None => {
+                let i = self.records.len();
+                self.index.insert(key.to_string(), i);
+                self.records.push(CandidateRecord::new(key.to_string(), self.dim));
+                i
+            }
+        };
+        &mut self.records[i]
+    }
+
+    /// Lookup by key.
+    pub fn get(&self, key: &str) -> Option<&CandidateRecord> {
+        self.index.get(key).map(|&i| &self.records[i])
+    }
+
+    /// Mutable lookup by key.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut CandidateRecord> {
+        let i = *self.index.get(key)?;
+        Some(&mut self.records[i])
+    }
+
+    /// All records in discovery order.
+    pub fn iter(&self) -> impl Iterator<Item = &CandidateRecord> {
+        self.records.iter()
+    }
+
+    /// Mutable iteration.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut CandidateRecord> {
+        self.records.iter_mut()
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_creates_once() {
+        let mut cb = CandidateBase::new(3);
+        cb.entry("andy beshear");
+        cb.entry("andy beshear");
+        cb.entry("italy");
+        assert_eq!(cb.len(), 2);
+        assert_eq!(cb.get("andy beshear").unwrap().token_len(), 2);
+    }
+
+    #[test]
+    fn incremental_pooling_is_mean() {
+        let mut cb = CandidateBase::new(2);
+        let r = cb.entry("covid");
+        r.add_embedding(&[1.0, 0.0]);
+        r.add_embedding(&[0.0, 1.0]);
+        r.add_embedding(&[2.0, 2.0]);
+        assert_eq!(r.global_embedding(), vec![1.0, 1.0]);
+        assert_eq!(r.n_pooled(), 3);
+    }
+
+    #[test]
+    fn max_pooling() {
+        use crate::config::Pooling;
+        let mut cb = CandidateBase::new(2);
+        let r = cb.entry("covid");
+        r.add_embedding(&[1.0, 0.0]);
+        r.add_embedding(&[0.0, 2.0]);
+        assert_eq!(r.pooled_embedding(Pooling::Max), vec![1.0, 2.0]);
+        assert_eq!(r.pooled_embedding(Pooling::Mean), vec![0.5, 1.0]);
+    }
+
+    #[test]
+    fn empty_pool_is_zeros() {
+        let mut cb = CandidateBase::new(4);
+        let r = cb.entry("x");
+        assert_eq!(r.global_embedding(), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn mentions_tracked() {
+        let mut cb = CandidateBase::new(1);
+        let r = cb.entry("italy");
+        r.mentions.push(MentionRef {
+            sid: SentenceId::new(1, 0),
+            span: Span::new(0, 1),
+            locally_detected: true,
+        });
+        r.mentions.push(MentionRef {
+            sid: SentenceId::new(2, 0),
+            span: Span::new(3, 4),
+            locally_detected: false,
+        });
+        assert_eq!(r.frequency(), 2);
+        assert_eq!(r.mentions.iter().filter(|m| m.locally_detected).count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "embedding dim mismatch")]
+    fn wrong_dim_panics() {
+        let mut cb = CandidateBase::new(3);
+        cb.entry("x").add_embedding(&[1.0]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Framework configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Which portion of the pipeline to run — the ablation modes of Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Ablation {
+    /// Local EMD only (bottom curve).
+    LocalOnly,
+    /// Local EMD + candidate mention extraction, no classifier (middle
+    /// curve): all mentions of all seed candidates are emitted.
+    MentionExtraction,
+    /// The full framework (top curve).
+    Full,
+}
+
+/// How per-mention local embeddings pool into the global candidate
+/// embedding. The paper uses the mean ("average pooling"); max pooling is
+/// provided for the ablation study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Pooling {
+    /// Arithmetic mean over mentions (the paper's choice).
+    Mean,
+    /// Coordinate-wise maximum over mentions.
+    Max,
+}
+
+/// Globalizer hyperparameters (§V-C values as defaults).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GlobalizerConfig {
+    /// α: candidates scoring `≥ alpha` are confidently entities.
+    pub alpha: f32,
+    /// β: candidates scoring `≤ beta` are confidently non-entities.
+    pub beta: f32,
+    /// End-of-stream resolution threshold for candidates still in the
+    /// ambiguous γ band (see DESIGN.md).
+    pub final_threshold: f32,
+    /// Maximum candidate length in tokens (the `k` of §V-A).
+    pub max_candidate_len: usize,
+    /// Pipeline ablation mode.
+    pub ablation: Ablation,
+    /// Global-embedding pooling strategy.
+    pub pooling: Pooling,
+    /// End-of-stream γ resolution: when true (default), a still-ambiguous
+    /// candidate falls back to the local system's judgment (accepted iff
+    /// the local system detected at least half of its mentions); when
+    /// false, the bare `final_threshold` decides.
+    pub trust_local_fallback: bool,
+}
+
+impl Default for GlobalizerConfig {
+    fn default() -> Self {
+        GlobalizerConfig {
+            alpha: 0.55,
+            beta: 0.40,
+            final_threshold: 0.5,
+            max_candidate_len: 6,
+            ablation: Ablation::Full,
+            pooling: Pooling::Mean,
+            trust_local_fallback: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = GlobalizerConfig::default();
+        assert_eq!(c.alpha, 0.55);
+        assert_eq!(c.beta, 0.40);
+        assert_eq!(c.ablation, Ablation::Full);
+        assert_eq!(c.pooling, Pooling::Mean);
+        assert!(c.trust_local_fallback);
+        assert!(c.beta < c.final_threshold && c.final_threshold < c.alpha);
+    }
+}

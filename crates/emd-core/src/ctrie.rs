@@ -1,0 +1,205 @@
+//! The CandidatePrefixTrie (CTrie): a case-insensitive, token-level prefix
+//! trie forest indexing the seed entity candidates discovered by Local EMD.
+//!
+//! Nodes correspond to lower-cased tokens; candidates sharing a prefix live
+//! in the same subtree. The trie supports the incremental traversal the
+//! candidate-mention-extraction scan (§V-A) needs: `child(node, token)` and
+//! `is_terminal(node)`.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Node id inside the trie arena. The root is [`CTrie::ROOT`].
+pub type NodeId = u32;
+
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct Node {
+    children: HashMap<String, NodeId>,
+    /// True when the path from the root to this node spells a registered
+    /// candidate.
+    terminal: bool,
+}
+
+/// Case-insensitive token-level prefix trie forest.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CTrie {
+    nodes: Vec<Node>,
+    n_candidates: usize,
+}
+
+impl Default for CTrie {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CTrie {
+    /// Root node id.
+    pub const ROOT: NodeId = 0;
+
+    /// Empty trie.
+    pub fn new() -> CTrie {
+        CTrie { nodes: vec![Node::default()], n_candidates: 0 }
+    }
+
+    /// Insert a candidate given its tokens (any casing). Returns `true` if
+    /// the candidate was new.
+    pub fn insert<S: AsRef<str>>(&mut self, tokens: &[S]) -> bool {
+        if tokens.is_empty() {
+            return false;
+        }
+        let mut node = Self::ROOT;
+        for t in tokens {
+            let key = t.as_ref().to_lowercase();
+            let next = match self.nodes[node as usize].children.get(&key) {
+                Some(&id) => id,
+                None => {
+                    let id = self.nodes.len() as NodeId;
+                    self.nodes.push(Node::default());
+                    self.nodes[node as usize].children.insert(key, id);
+                    id
+                }
+            };
+            node = next;
+        }
+        let node = &mut self.nodes[node as usize];
+        if node.terminal {
+            false
+        } else {
+            node.terminal = true;
+            self.n_candidates += 1;
+            true
+        }
+    }
+
+    /// Follow the edge labelled with the lower-cased form of `token`.
+    pub fn child(&self, node: NodeId, token: &str) -> Option<NodeId> {
+        let key = token.to_lowercase();
+        self.nodes[node as usize].children.get(&key).copied()
+    }
+
+    /// Does the path ending at `node` spell a candidate?
+    pub fn is_terminal(&self, node: NodeId) -> bool {
+        self.nodes[node as usize].terminal
+    }
+
+    /// Is the full token sequence a registered candidate?
+    pub fn contains<S: AsRef<str>>(&self, tokens: &[S]) -> bool {
+        let mut node = Self::ROOT;
+        for t in tokens {
+            match self.child(node, t.as_ref()) {
+                Some(n) => node = n,
+                None => return false,
+            }
+        }
+        node != Self::ROOT && self.is_terminal(node)
+    }
+
+    /// Number of registered candidates.
+    pub fn len(&self) -> usize {
+        self.n_candidates
+    }
+
+    /// True when no candidates are registered.
+    pub fn is_empty(&self) -> bool {
+        self.n_candidates == 0
+    }
+
+    /// Number of trie nodes (diagnostics / memory accounting).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Enumerate all candidates as lower-cased token vectors (test &
+    /// diagnostics helper; not on the hot path).
+    pub fn candidates(&self) -> Vec<Vec<String>> {
+        let mut out = Vec::with_capacity(self.n_candidates);
+        let mut stack: Vec<(NodeId, Vec<String>)> = vec![(Self::ROOT, Vec::new())];
+        while let Some((node, path)) = stack.pop() {
+            let n = &self.nodes[node as usize];
+            if n.terminal {
+                out.push(path.clone());
+            }
+            for (tok, &child) in &n.children {
+                let mut p = path.clone();
+                p.push(tok.clone());
+                stack.push((child, p));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains_case_insensitive() {
+        let mut t = CTrie::new();
+        assert!(t.insert(&["Andy", "Beshear"]));
+        assert!(t.contains(&["andy", "beshear"]));
+        assert!(t.contains(&["ANDY", "BESHEAR"]));
+        assert!(!t.contains(&["andy"]));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_insert_returns_false() {
+        let mut t = CTrie::new();
+        assert!(t.insert(&["covid"]));
+        assert!(!t.insert(&["COVID"]));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn prefix_is_not_candidate_unless_inserted() {
+        let mut t = CTrie::new();
+        t.insert(&["world", "health", "organization"]);
+        assert!(!t.contains(&["world"]));
+        assert!(!t.contains(&["world", "health"]));
+        t.insert(&["world", "health"]);
+        assert!(t.contains(&["world", "health"]));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn shared_prefixes_share_nodes() {
+        let mut t = CTrie::new();
+        t.insert(&["andy", "beshear"]);
+        t.insert(&["andy", "murray"]);
+        // root + andy + beshear + murray = 4 nodes
+        assert_eq!(t.n_nodes(), 4);
+    }
+
+    #[test]
+    fn traversal_api() {
+        let mut t = CTrie::new();
+        t.insert(&["new", "york", "city"]);
+        let n1 = t.child(CTrie::ROOT, "New").unwrap();
+        assert!(!t.is_terminal(n1));
+        let n2 = t.child(n1, "YORK").unwrap();
+        let n3 = t.child(n2, "city").unwrap();
+        assert!(t.is_terminal(n3));
+        assert!(t.child(n1, "jersey").is_none());
+    }
+
+    #[test]
+    fn empty_insert_rejected() {
+        let mut t = CTrie::new();
+        assert!(!t.insert::<&str>(&[]));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn enumerate_candidates() {
+        let mut t = CTrie::new();
+        t.insert(&["Italy"]);
+        t.insert(&["Andy", "Beshear"]);
+        let mut cands = t.candidates();
+        cands.sort();
+        assert_eq!(cands, vec![vec!["andy".to_string(), "beshear".to_string()], vec![
+            "italy".to_string()
+        ]]);
+    }
+}

@@ -1,0 +1,611 @@
+//! The EMD Globalizer pipeline: Local EMD → Global EMD orchestration.
+//!
+//! Execution follows Figure 2/3 of the paper. The pipeline is incremental:
+//! a stream is consumed in batches via [`Globalizer::process_batch`]; seed
+//! candidates accumulate in the CTrie, candidate pools grow as mentions
+//! arrive, and [`Globalizer::finalize`] performs the closing rescan (old
+//! sentences may contain mentions of candidates discovered later), resolves
+//! the ambiguous γ band, and emits the final mention outputs.
+
+use crate::candidatebase::{CandidateBase, MentionRef};
+use crate::classifier::{CandidateLabel, EntityClassifier};
+use crate::config::{Ablation, GlobalizerConfig};
+use crate::ctrie::CTrie;
+use crate::local::LocalEmd;
+use crate::mention::extract_mentions;
+use crate::phrase_embedder::PhraseEmbedder;
+use crate::tweetbase::{TweetBase, TweetRecord};
+use emd_text::casing::{syntactic_class, SyntacticClass};
+use emd_text::token::{Sentence, SentenceId, Span};
+
+/// Accumulated pipeline state across batches.
+#[derive(Debug, Clone)]
+pub struct GlobalizerState {
+    /// Per-sentence records.
+    pub tweetbase: TweetBase,
+    /// Seed candidate index.
+    pub ctrie: CTrie,
+    /// Per-candidate records with pooled global embeddings.
+    pub candidates: CandidateBase,
+}
+
+/// Final (or interim) outputs of the framework.
+#[derive(Debug, Clone)]
+pub struct GlobalizerOutput {
+    /// Predicted mentions per sentence, in stream order.
+    pub per_sentence: Vec<(SentenceId, Vec<Span>)>,
+    /// Number of seed candidates discovered.
+    pub n_candidates: usize,
+    /// Number of candidates accepted as entities.
+    pub n_entities: usize,
+}
+
+impl GlobalizerOutput {
+    /// Flatten to a map for evaluation.
+    pub fn as_map(&self) -> std::collections::HashMap<SentenceId, Vec<Span>> {
+        self.per_sentence.iter().cloned().collect()
+    }
+}
+
+/// The framework: a Local EMD plug-in, the Global EMD components, and the
+/// configuration.
+pub struct Globalizer<'a> {
+    local: &'a dyn LocalEmd,
+    /// Required iff the local system is deep.
+    phrase: Option<&'a PhraseEmbedder>,
+    classifier: &'a EntityClassifier,
+    /// Pipeline configuration.
+    pub config: GlobalizerConfig,
+}
+
+impl<'a> Globalizer<'a> {
+    /// Assemble a framework instance. Panics if a deep local system is given
+    /// without a phrase embedder, or a non-deep one with an embedder of the
+    /// wrong input dimension.
+    pub fn new(
+        local: &'a dyn LocalEmd,
+        phrase: Option<&'a PhraseEmbedder>,
+        classifier: &'a EntityClassifier,
+        config: GlobalizerConfig,
+    ) -> Globalizer<'a> {
+        if let Some(d) = local.embedding_dim() {
+            let pe = phrase.expect("deep Local EMD requires a PhraseEmbedder");
+            assert_eq!(pe.in_dim(), d, "PhraseEmbedder input dim must match the local system");
+        }
+        Globalizer { local, phrase, classifier, config }
+    }
+
+    /// Dimensionality of candidate embeddings: the phrase-embedder output
+    /// for deep systems, the 6-dim syntactic space otherwise.
+    pub fn candidate_dim(&self) -> usize {
+        match self.phrase {
+            Some(pe) if self.local.is_deep() => pe.out_dim(),
+            _ => SyntacticClass::COUNT,
+        }
+    }
+
+    /// Fresh pipeline state.
+    pub fn new_state(&self) -> GlobalizerState {
+        GlobalizerState {
+            tweetbase: TweetBase::new(),
+            ctrie: CTrie::new(),
+            candidates: CandidateBase::new(self.candidate_dim()),
+        }
+    }
+
+    /// Compute the local candidate embedding for a mention.
+    fn local_embedding(&self, record: &TweetRecord, span: &Span) -> Vec<f32> {
+        match (&record.token_embeddings, self.phrase) {
+            (Some(te), Some(pe)) => pe.embed_span(te, span),
+            _ => syntactic_class(&record.sentence, span).one_hot().to_vec(),
+        }
+    }
+
+    /// **Local EMD phase** for one batch: run the plug-in per sentence,
+    /// register seed candidates in the CTrie, store TweetBase records.
+    fn local_phase(&self, state: &mut GlobalizerState, batch: &[Sentence]) {
+        let outputs: Vec<crate::local::LocalEmdOutput> =
+            batch.iter().map(|s| self.local.process(s)).collect();
+        self.ingest_local_outputs(state, batch, outputs);
+    }
+
+    /// Local EMD phase with sentence-level parallelism: the batch is split
+    /// across `n_threads` scoped threads (inference is `&self`), then the
+    /// outputs are ingested sequentially in stream order, so results are
+    /// bit-identical to the sequential path.
+    fn local_phase_parallel(&self, state: &mut GlobalizerState, batch: &[Sentence], n_threads: usize) {
+        let n_threads = n_threads.max(1).min(batch.len().max(1));
+        let chunk = batch.len().div_ceil(n_threads);
+        let mut outputs: Vec<crate::local::LocalEmdOutput> = Vec::with_capacity(batch.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = batch
+                .chunks(chunk.max(1))
+                .map(|part| {
+                    scope.spawn(move || {
+                        part.iter().map(|s| self.local.process(s)).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                outputs.extend(h.join().expect("local EMD worker panicked"));
+            }
+        });
+        self.ingest_local_outputs(state, batch, outputs);
+    }
+
+    /// Register local outputs: seed the CTrie, store TweetBase records.
+    fn ingest_local_outputs(
+        &self,
+        state: &mut GlobalizerState,
+        batch: &[Sentence],
+        outputs: Vec<crate::local::LocalEmdOutput>,
+    ) {
+        for (sentence, out) in batch.iter().zip(outputs) {
+            for sp in &out.spans {
+                if sp.len() <= self.config.max_candidate_len && sp.end <= sentence.len() {
+                    let toks: Vec<&str> = (sp.start..sp.end)
+                        .map(|i| sentence.tokens[i].text.as_str())
+                        .collect();
+                    state.ctrie.insert(&toks);
+                }
+            }
+            state.tweetbase.insert(TweetRecord {
+                sentence: sentence.clone(),
+                token_embeddings: out.token_embeddings,
+                local_spans: out.spans,
+                global_mentions: Vec::new(),
+            });
+        }
+    }
+
+    /// **Mention extraction + embedding pooling** over the given sentence
+    /// ids. New mentions (not yet in the CandidateBase) contribute their
+    /// local embeddings to the candidate pool.
+    fn scan_and_pool(&self, state: &mut GlobalizerState, ids: &[SentenceId]) {
+        for &sid in ids {
+            let Some(record) = state.tweetbase.get(sid) else { continue };
+            let mentions =
+                extract_mentions(&state.ctrie, &record.sentence, self.config.max_candidate_len);
+            let locally: Vec<Span> = record.local_spans.clone();
+            // Compute embeddings before touching candidate records (borrow
+            // discipline: record is borrowed from tweetbase).
+            let mut staged: Vec<(String, MentionRef, Vec<f32>)> = Vec::with_capacity(mentions.len());
+            for sp in &mentions {
+                let key = sp.surface_lower(&record.sentence);
+                let emb = self.local_embedding(record, sp);
+                let locally_detected = locally.iter().any(|l| l == sp);
+                staged.push((key, MentionRef { sid, span: *sp, locally_detected }, emb));
+            }
+            if let Some(rec) = state.tweetbase.get_mut(sid) {
+                rec.global_mentions = mentions;
+            }
+            for (key, mref, emb) in staged {
+                let rec = state.candidates.entry(&key);
+                if rec.mentions.iter().any(|m| m.sid == mref.sid && m.span == mref.span) {
+                    continue; // already pooled in an earlier pass
+                }
+                rec.mentions.push(mref);
+                rec.add_embedding(&emb);
+            }
+        }
+    }
+
+    /// Score candidates. Confident verdicts (α/β) freeze; ambiguous ones
+    /// are re-scored on later calls with their (sharper) updated pools.
+    ///
+    /// At end of stream (`resolve_ambiguous`), candidates still in the γ
+    /// band get their final verdict: accept when the score clears
+    /// `final_threshold`, otherwise fall back to the Local EMD system's own
+    /// judgment — if the local system itself detected at least half of the
+    /// candidate's mentions, the global evidence is too weak to overrule it
+    /// (the paper: "it is rare that an entity found by Local EMD is missed
+    /// at the global step").
+    fn classify_candidates(&self, state: &mut GlobalizerState, resolve_ambiguous: bool) {
+        for rec in state.candidates.iter_mut() {
+            if matches!(rec.label, CandidateLabel::Entity | CandidateLabel::NonEntity) {
+                continue;
+            }
+            let feats = EntityClassifier::features(
+                &rec.pooled_embedding(self.config.pooling),
+                rec.token_len(),
+            );
+            let p = self.classifier.predict(&feats);
+            rec.score = Some(p);
+            rec.label = EntityClassifier::classify(p, &self.config);
+            if resolve_ambiguous && rec.label == CandidateLabel::Ambiguous {
+                let locally = rec.mentions.iter().filter(|m| m.locally_detected).count();
+                let trust_local = self.config.trust_local_fallback
+                    && 2 * locally >= rec.mentions.len().max(1);
+                rec.label = if p >= self.config.final_threshold || trust_local {
+                    CandidateLabel::Entity
+                } else {
+                    CandidateLabel::NonEntity
+                };
+            }
+        }
+    }
+
+    /// Consume one batch of the stream: Local EMD, candidate registration,
+    /// mention extraction over the batch, pooling, and an interim
+    /// classification pass (γ candidates stay pending).
+    pub fn process_batch(&self, state: &mut GlobalizerState, batch: &[Sentence]) {
+        self.local_phase(state, batch);
+        self.global_stage(state, batch);
+    }
+
+    /// Like [`Globalizer::process_batch`] but runs Local EMD inference on
+    /// `n_threads` scoped threads. Outputs are identical to the sequential
+    /// path (ingestion stays in stream order).
+    pub fn process_batch_parallel(
+        &self,
+        state: &mut GlobalizerState,
+        batch: &[Sentence],
+        n_threads: usize,
+    ) {
+        self.local_phase_parallel(state, batch, n_threads);
+        self.global_stage(state, batch);
+    }
+
+    fn global_stage(&self, state: &mut GlobalizerState, batch: &[Sentence]) {
+        if self.config.ablation == Ablation::LocalOnly {
+            return;
+        }
+        let ids: Vec<SentenceId> = batch.iter().map(|s| s.id).collect();
+        self.scan_and_pool(state, &ids);
+        if self.config.ablation == Ablation::Full {
+            self.classify_candidates(state, false);
+        }
+    }
+
+    /// Close the stream: rescan *every* stored sentence against the final
+    /// CTrie (recovering mentions of late-discovered candidates in early
+    /// sentences), resolve the γ band, and emit final outputs.
+    pub fn finalize(&self, state: &mut GlobalizerState) -> GlobalizerOutput {
+        if self.config.ablation != Ablation::LocalOnly {
+            let ids: Vec<SentenceId> = state.tweetbase.iter().map(|r| r.sentence.id).collect();
+            self.scan_and_pool(state, &ids);
+            if self.config.ablation == Ablation::Full {
+                self.classify_candidates(state, true);
+            }
+        }
+        let mut per_sentence = Vec::with_capacity(state.tweetbase.len());
+        for rec in state.tweetbase.iter() {
+            let spans = match self.config.ablation {
+                Ablation::LocalOnly => rec.local_spans.clone(),
+                Ablation::MentionExtraction => rec.global_mentions.clone(),
+                Ablation::Full => rec
+                    .global_mentions
+                    .iter()
+                    .filter(|sp| {
+                        let key = sp.surface_lower(&rec.sentence);
+                        state
+                            .candidates
+                            .get(&key)
+                            .map(|c| c.label == CandidateLabel::Entity)
+                            .unwrap_or(false)
+                    })
+                    .copied()
+                    .collect(),
+            };
+            per_sentence.push((rec.sentence.id, spans));
+        }
+        let n_entities = state
+            .candidates
+            .iter()
+            .filter(|c| c.label == CandidateLabel::Entity)
+            .count();
+        GlobalizerOutput { per_sentence, n_candidates: state.candidates.len(), n_entities }
+    }
+
+    /// Convenience: run the whole pipeline over a fixed set of sentences in
+    /// `batch_size`-message batches and return the final outputs along with
+    /// the closing state (for error analysis).
+    pub fn run(
+        &self,
+        sentences: &[Sentence],
+        batch_size: usize,
+    ) -> (GlobalizerOutput, GlobalizerState) {
+        let mut state = self.new_state();
+        for chunk in sentences.chunks(batch_size.max(1)) {
+            self.process_batch(&mut state, chunk);
+        }
+        let out = self.finalize(&mut state);
+        (out, state)
+    }
+}
+
+/// Build pipeline state *without* classification — used to harvest
+/// classifier training data (the classifier does not exist yet at that
+/// point). Runs the local phase and the global rescan/pooling only.
+pub fn index_stream(
+    local: &dyn LocalEmd,
+    phrase: Option<&PhraseEmbedder>,
+    config: &GlobalizerConfig,
+    sentences: &[Sentence],
+) -> GlobalizerState {
+    // A throwaway classifier satisfies the constructor; it is never called
+    // because we stop before the classification stage.
+    let dim = match phrase {
+        Some(pe) if local.is_deep() => pe.out_dim(),
+        _ => SyntacticClass::COUNT,
+    };
+    let dummy = EntityClassifier::new(dim + 1, 0);
+    let g = Globalizer::new(local, phrase, &dummy, GlobalizerConfig {
+        ablation: Ablation::MentionExtraction,
+        ..config.clone()
+    });
+    let mut state = g.new_state();
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    g.process_batch_parallel(&mut state, sentences, threads);
+    // Closing rescan: candidates discovered late may have mentions in
+    // earlier sentences (dedup in the pool makes this idempotent).
+    let ids: Vec<SentenceId> = state.tweetbase.iter().map(|r| r.sentence.id).collect();
+    g.scan_and_pool(&mut state, &ids);
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local::LexiconEmd;
+    use emd_text::token::SentenceId;
+
+    fn sents(msgs: &[&[&str]]) -> Vec<Sentence> {
+        msgs.iter()
+            .enumerate()
+            .map(|(i, words)| {
+                Sentence::from_tokens(SentenceId::new(i as u64, 0), words.iter().copied())
+            })
+            .collect()
+    }
+
+    /// A classifier trained to accept everything (bias trick), so tests can
+    /// isolate the mention-extraction behaviour.
+    fn accept_all(dim: usize) -> EntityClassifier {
+        let mut c = EntityClassifier::new(dim, 0);
+        use emd_nn::param::Net;
+        let params = c.params_mut();
+        let last = params.into_iter().last().unwrap();
+        last.value.data[0] = 100.0;
+        c
+    }
+
+    fn reject_all(dim: usize) -> EntityClassifier {
+        let mut c = EntityClassifier::new(dim, 0);
+        use emd_nn::param::Net;
+        let params = c.params_mut();
+        let last = params.into_iter().last().unwrap();
+        last.value.data[0] = -100.0;
+        c
+    }
+
+    #[test]
+    fn recovers_missed_case_variants() {
+        // Local EMD knows "Coronavirus" only in proper case... simulate by a
+        // lexicon that misses nothing, but the point is the rescan: use a
+        // lexicon EMD that only fires on exact "Coronavirus" casing.
+        #[derive(Debug)]
+        struct CaseSensitiveEmd;
+        impl LocalEmd for CaseSensitiveEmd {
+            fn name(&self) -> &str {
+                "case-sensitive"
+            }
+            fn embedding_dim(&self) -> Option<usize> {
+                None
+            }
+            fn process(&self, s: &Sentence) -> crate::local::LocalEmdOutput {
+                let spans = s
+                    .texts()
+                    .enumerate()
+                    .filter(|(_, t)| *t == "Coronavirus")
+                    .map(|(i, _)| Span::new(i, i + 1))
+                    .collect();
+                crate::local::LocalEmdOutput { spans, token_embeddings: None }
+            }
+        }
+        let local = CaseSensitiveEmd;
+        let clf = accept_all(7);
+        let g = Globalizer::new(&local, None, &clf, GlobalizerConfig::default());
+        let stream = sents(&[
+            &["Coronavirus", "spreads", "fast"],
+            &["CORONAVIRUS", "cases", "rise"],
+            &["the", "coronavirus", "is", "here"],
+        ]);
+        let (out, _) = g.run(&stream, 10);
+        // Local found only tweet 0's mention; global recovers all three.
+        let total: usize = out.per_sentence.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(total, 3);
+        assert_eq!(out.n_candidates, 1);
+        assert_eq!(out.n_entities, 1);
+    }
+
+    #[test]
+    fn classifier_filters_false_positives() {
+        let local = LexiconEmd::new(["italy", "the"]); // "the" = false positive
+        let clf = reject_all(7);
+        let g = Globalizer::new(&local, None, &clf, GlobalizerConfig::default());
+        let stream = sents(&[&["the", "Italy", "report"]]);
+        let (out, state) = g.run(&stream, 10);
+        assert_eq!(out.n_candidates, 2);
+        assert_eq!(out.n_entities, 0, "reject-all classifier must drop every candidate");
+        let total: usize = out.per_sentence.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(total, 0);
+        // Candidates carry scores after finalize.
+        for c in state.candidates.iter() {
+            assert!(c.score.is_some());
+            assert_eq!(c.label, CandidateLabel::NonEntity);
+        }
+    }
+
+    #[test]
+    fn ablation_local_only_passes_through() {
+        let local = LexiconEmd::new(["italy"]);
+        let clf = accept_all(7);
+        let cfg = GlobalizerConfig { ablation: Ablation::LocalOnly, ..Default::default() };
+        let g = Globalizer::new(&local, None, &clf, cfg);
+        let stream = sents(&[&["Italy", "and", "ITALY"], &["nothing", "here"]]);
+        let (out, _) = g.run(&stream, 10);
+        // Lexicon matches case-insensitively, so 2 mentions from sentence 0.
+        assert_eq!(out.per_sentence[0].1.len(), 2);
+        assert_eq!(out.n_candidates, 0, "no global structures in LocalOnly mode");
+    }
+
+    #[test]
+    fn ablation_mention_extraction_skips_classifier() {
+        #[derive(Debug)]
+        struct FirstOnlyEmd;
+        impl LocalEmd for FirstOnlyEmd {
+            fn name(&self) -> &str {
+                "first-only"
+            }
+            fn embedding_dim(&self) -> Option<usize> {
+                None
+            }
+            fn process(&self, s: &Sentence) -> crate::local::LocalEmdOutput {
+                // Detects "Italy" only in the first sentence it appears in
+                // proper case.
+                let spans = s
+                    .texts()
+                    .enumerate()
+                    .filter(|(_, t)| *t == "Italy")
+                    .map(|(i, _)| Span::new(i, i + 1))
+                    .collect();
+                crate::local::LocalEmdOutput { spans, token_embeddings: None }
+            }
+        }
+        let local = FirstOnlyEmd;
+        let clf = reject_all(7); // would reject if consulted
+        let cfg = GlobalizerConfig { ablation: Ablation::MentionExtraction, ..Default::default() };
+        let g = Globalizer::new(&local, None, &clf, cfg);
+        let stream = sents(&[&["Italy", "rises"], &["italy", "again"]]);
+        let (out, _) = g.run(&stream, 10);
+        let total: usize = out.per_sentence.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(total, 2, "mention extraction emits all candidate mentions unfiltered");
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential() {
+        let local = LexiconEmd::new(["italy", "covid"]);
+        let clf = accept_all(7);
+        let g = Globalizer::new(&local, None, &clf, GlobalizerConfig::default());
+        let stream: Vec<Sentence> = (0..40)
+            .map(|i| {
+                Sentence::from_tokens(
+                    SentenceId::new(i, 0),
+                    ["Italy", "fights", "covid", "again"],
+                )
+            })
+            .collect();
+        let mut s1 = g.new_state();
+        g.process_batch(&mut s1, &stream);
+        let out1 = g.finalize(&mut s1);
+        let mut s2 = g.new_state();
+        g.process_batch_parallel(&mut s2, &stream, 4);
+        let out2 = g.finalize(&mut s2);
+        assert_eq!(out1.per_sentence, out2.per_sentence);
+    }
+
+    #[test]
+    fn incremental_batches_match_single_batch() {
+        let local = LexiconEmd::new(["italy", "beshear", "covid"]);
+        let clf = accept_all(7);
+        let stream = sents(&[
+            &["Italy", "reports", "cases"],
+            &["covid", "in", "italy"],
+            &["Beshear", "on", "Covid"],
+            &["beshear", "speaks"],
+        ]);
+        let g = Globalizer::new(&local, None, &clf, GlobalizerConfig::default());
+        let (out_single, _) = g.run(&stream, 100);
+        let (out_batched, _) = g.run(&stream, 1);
+        let a: Vec<_> = out_single.per_sentence.iter().map(|(_, v)| v.clone()).collect();
+        let b: Vec<_> = out_batched.per_sentence.iter().map(|(_, v)| v.clone()).collect();
+        assert_eq!(a, b, "batching must not change final outputs");
+    }
+
+    #[test]
+    fn late_candidate_found_in_early_sentence() {
+        // "Beshear" is only detected locally in the LAST sentence; the
+        // finalize rescan must recover its mention in the first sentence.
+        #[derive(Debug)]
+        struct LastOnly;
+        impl LocalEmd for LastOnly {
+            fn name(&self) -> &str {
+                "last-only"
+            }
+            fn embedding_dim(&self) -> Option<usize> {
+                None
+            }
+            fn process(&self, s: &Sentence) -> crate::local::LocalEmdOutput {
+                let spans = if s.id.tweet_id == 2 {
+                    s.texts()
+                        .enumerate()
+                        .filter(|(_, t)| t.eq_ignore_ascii_case("beshear"))
+                        .map(|(i, _)| Span::new(i, i + 1))
+                        .collect()
+                } else {
+                    vec![]
+                };
+                crate::local::LocalEmdOutput { spans, token_embeddings: None }
+            }
+        }
+        let local = LastOnly;
+        let clf = accept_all(7);
+        let g = Globalizer::new(&local, None, &clf, GlobalizerConfig::default());
+        let stream = sents(&[
+            &["beshear", "speaks", "today"],
+            &["no", "entities", "here"],
+            &["Beshear", "again"],
+        ]);
+        let mut state = g.new_state();
+        // One batch per sentence: candidate appears only at batch 3.
+        for s in &stream {
+            g.process_batch(&mut state, std::slice::from_ref(s));
+        }
+        let out = g.finalize(&mut state);
+        assert_eq!(out.per_sentence[0].1.len(), 1, "early mention recovered at finalize");
+        assert_eq!(out.per_sentence[2].1.len(), 1);
+    }
+
+    #[test]
+    fn index_stream_builds_candidates_without_classification() {
+        let local = LexiconEmd::new(["italy"]);
+        let stream = sents(&[&["Italy", "x"], &["italy", "y"]]);
+        let state = index_stream(&local, None, &GlobalizerConfig::default(), &stream);
+        assert_eq!(state.candidates.len(), 1);
+        let rec = state.candidates.get("italy").unwrap();
+        assert_eq!(rec.frequency(), 2);
+        assert_eq!(rec.label, CandidateLabel::Pending);
+        assert_eq!(rec.n_pooled(), 2);
+    }
+
+    #[test]
+    fn partial_extraction_corrected_end_to_end() {
+        // Local EMD finds the full "Andy Beshear" in tweet 0 but only
+        // "Andy" in tweet 1; global output must have the full span in both.
+        #[derive(Debug)]
+        struct PartialEmd;
+        impl LocalEmd for PartialEmd {
+            fn name(&self) -> &str {
+                "partial"
+            }
+            fn embedding_dim(&self) -> Option<usize> {
+                None
+            }
+            fn process(&self, s: &Sentence) -> crate::local::LocalEmdOutput {
+                let spans = if s.id.tweet_id == 0 {
+                    vec![Span::new(0, 2)]
+                } else {
+                    vec![Span::new(1, 2)] // just "Andy"
+                };
+                crate::local::LocalEmdOutput { spans, token_embeddings: None }
+            }
+        }
+        let local = PartialEmd;
+        let clf = accept_all(7);
+        let g = Globalizer::new(&local, None, &clf, GlobalizerConfig::default());
+        let stream = sents(&[&["Andy", "Beshear", "talks"], &["gov", "Andy", "Beshear", "walks"]]);
+        let (out, _) = g.run(&stream, 10);
+        assert!(out.per_sentence[1].1.contains(&Span::new(1, 3)), "full mention recovered");
+    }
+}

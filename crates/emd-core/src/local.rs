@@ -1,0 +1,95 @@
+//! The Local EMD plug-in interface.
+//!
+//! Any EMD system that processes sentences individually can be inserted into
+//! the framework by implementing [`LocalEmd`] — without algorithmic
+//! modification, exactly as the paper requires ("inserted as blackbox within
+//! the framework without any technical alteration").
+
+use emd_nn::matrix::Matrix;
+use emd_text::token::{Sentence, Span};
+
+/// The result of running a Local EMD system on one sentence.
+#[derive(Debug, Clone)]
+pub struct LocalEmdOutput {
+    /// Predicted entity-mention spans.
+    pub spans: Vec<Span>,
+    /// For deep systems: the `[T, d]` entity-aware token embeddings from the
+    /// final pre-classification layer (§IV). `None` for non-deep systems.
+    pub token_embeddings: Option<Matrix>,
+}
+
+/// A pluggable Local EMD system.
+///
+/// `Send + Sync` is required so the framework can fan sentence processing
+/// out across threads ([`crate::globalizer::Globalizer::process_batch_parallel`]);
+/// inference is `&self` and every provided implementation is plain data.
+pub trait LocalEmd: Send + Sync {
+    /// Human-readable system name (used in reports).
+    fn name(&self) -> &str;
+
+    /// Dimensionality of the entity-aware token embeddings, or `None` for
+    /// non-deep systems (which fall back to syntactic embeddings in the
+    /// global phase).
+    fn embedding_dim(&self) -> Option<usize>;
+
+    /// Run EMD on a single sentence in isolation.
+    fn process(&self, sentence: &Sentence) -> LocalEmdOutput;
+
+    /// Convenience: is this a deep system?
+    fn is_deep(&self) -> bool {
+        self.embedding_dim().is_some()
+    }
+}
+
+/// A trivial Local EMD used in tests and docs: tags tokens that appear in a
+/// fixed lexicon (case-insensitively), no embeddings.
+#[derive(Debug, Clone, Default)]
+pub struct LexiconEmd {
+    /// Lower-cased single-token entries.
+    pub lexicon: std::collections::HashSet<String>,
+}
+
+impl LexiconEmd {
+    /// Build from an iterator of entries.
+    pub fn new<I: IntoIterator<Item = S>, S: Into<String>>(entries: I) -> Self {
+        LexiconEmd {
+            lexicon: entries.into_iter().map(|s| s.into().to_lowercase()).collect(),
+        }
+    }
+}
+
+impl LocalEmd for LexiconEmd {
+    fn name(&self) -> &str {
+        "LexiconEmd"
+    }
+
+    fn embedding_dim(&self) -> Option<usize> {
+        None
+    }
+
+    fn process(&self, sentence: &Sentence) -> LocalEmdOutput {
+        let spans = sentence
+            .texts()
+            .enumerate()
+            .filter(|(_, t)| self.lexicon.contains(&t.to_lowercase()))
+            .map(|(i, _)| Span::new(i, i + 1))
+            .collect();
+        LocalEmdOutput { spans, token_embeddings: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emd_text::token::SentenceId;
+
+    #[test]
+    fn lexicon_emd_tags_case_insensitively() {
+        let emd = LexiconEmd::new(["Italy", "covid"]);
+        let s = Sentence::from_tokens(SentenceId::new(0, 0), ["COVID", "hits", "italy"]);
+        let out = emd.process(&s);
+        assert_eq!(out.spans, vec![Span::new(0, 1), Span::new(2, 3)]);
+        assert!(out.token_embeddings.is_none());
+        assert!(!emd.is_deep());
+    }
+}

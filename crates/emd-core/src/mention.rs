@@ -1,0 +1,161 @@
+//! Candidate Mention Extraction (§V-A).
+//!
+//! With the seed candidates registered in the CTrie, segmenting a sentence
+//! into candidate mention boundaries reduces to a greedy longest-match
+//! lookup: a window scans the token sequence; at each anchor position the
+//! scan follows the trie as far as tokens match (case-insensitively),
+//! remembering the last position where the path ended on a terminal node.
+//!
+//! * On a match, the longest matching subsequence is emitted and the next
+//!   window starts right after it (matched tokens are consumed).
+//! * On no match, the window advances by a single token.
+//!
+//! This verifies — and sometimes *corrects* — the Local EMD extractions:
+//! a partial extraction like `Andy` is replaced by the full registered
+//! candidate `Andy Beshear` when the full string is present.
+
+use crate::ctrie::CTrie;
+use emd_text::token::{Sentence, Span};
+
+/// Find all (non-overlapping, greedy-longest) candidate mentions in
+/// `sentence`, bounded by `max_len` tokens per mention.
+pub fn extract_mentions(trie: &CTrie, sentence: &Sentence, max_len: usize) -> Vec<Span> {
+    let n = sentence.len();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < n {
+        let mut node = CTrie::ROOT;
+        let mut last_terminal: Option<usize> = None; // exclusive end
+        let mut j = i;
+        while j < n && j - i < max_len {
+            match trie.child(node, &sentence.tokens[j].text) {
+                Some(next) => {
+                    node = next;
+                    j += 1;
+                    if trie.is_terminal(node) {
+                        last_terminal = Some(j);
+                    }
+                }
+                None => break,
+            }
+        }
+        match last_terminal {
+            Some(end) => {
+                out.push(Span::new(i, end));
+                i = end; // consume the matched subsequence
+            }
+            None => {
+                i += 1; // restart one token to the right
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emd_text::token::SentenceId;
+
+    fn sent(words: &[&str]) -> Sentence {
+        Sentence::from_tokens(SentenceId::new(0, 0), words.iter().copied())
+    }
+
+    fn trie(cands: &[&[&str]]) -> CTrie {
+        let mut t = CTrie::new();
+        for c in cands {
+            t.insert(c);
+        }
+        t
+    }
+
+    #[test]
+    fn finds_case_variants() {
+        let t = trie(&[&["coronavirus"]]);
+        let s = sent(&["CORONAVIRUS", "and", "Coronavirus", "and", "coronavirus"]);
+        let m = extract_mentions(&t, &s, 6);
+        assert_eq!(m, vec![Span::new(0, 1), Span::new(2, 3), Span::new(4, 5)]);
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        let t = trie(&[&["andy"], &["andy", "beshear"]]);
+        let s = sent(&["Andy", "Beshear", "speaks"]);
+        let m = extract_mentions(&t, &s, 6);
+        assert_eq!(m, vec![Span::new(0, 2)], "prefer the longer candidate");
+    }
+
+    #[test]
+    fn partial_extraction_corrected() {
+        // Local EMD only found "Andy" somewhere; the full candidate was
+        // registered from another tweet. The scan recovers the full form.
+        let t = trie(&[&["andy", "beshear"]]);
+        let s = sent(&["gov", "andy", "beshear", "said"]);
+        let m = extract_mentions(&t, &s, 6);
+        assert_eq!(m, vec![Span::new(1, 3)]);
+    }
+
+    #[test]
+    fn failed_long_path_backtracks_to_shorter_terminal() {
+        // "new york" is a candidate; "new york giants" is not. Scanning
+        // "new york giants" must emit "new york".
+        let t = trie(&[&["new", "york"]]);
+        let s = sent(&["new", "york", "giants", "win"]);
+        let m = extract_mentions(&t, &s, 6);
+        assert_eq!(m, vec![Span::new(0, 2)]);
+    }
+
+    #[test]
+    fn mid_path_failure_restarts_inside_prefix() {
+        // Candidate "york city" exists; sentence "new york city": anchor at
+        // "new" fails (no terminal), anchor advances to "york" and matches.
+        let t = trie(&[&["new", "york", "island"], &["york", "city"]]);
+        let s = sent(&["new", "york", "city"]);
+        let m = extract_mentions(&t, &s, 6);
+        assert_eq!(m, vec![Span::new(1, 3)]);
+    }
+
+    #[test]
+    fn adjacent_mentions() {
+        let t = trie(&[&["italy"], &["canada"]]);
+        let s = sent(&["Italy", "Canada", "rise"]);
+        let m = extract_mentions(&t, &s, 6);
+        assert_eq!(m, vec![Span::new(0, 1), Span::new(1, 2)]);
+    }
+
+    #[test]
+    fn max_len_bounds_window() {
+        let t = trie(&[&["a", "b", "c", "d"]]);
+        let s = sent(&["a", "b", "c", "d"]);
+        assert_eq!(extract_mentions(&t, &s, 3), vec![]);
+        assert_eq!(extract_mentions(&t, &s, 4), vec![Span::new(0, 4)]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let t = trie(&[&["x"]]);
+        assert!(extract_mentions(&t, &sent(&[]), 6).is_empty());
+        let empty = CTrie::new();
+        assert!(extract_mentions(&empty, &sent(&["a", "b"]), 6).is_empty());
+    }
+
+    #[test]
+    fn consumed_tokens_not_reused() {
+        // After matching "world health", the next window starts at
+        // "organization"; "health organization" must not also fire.
+        let t = trie(&[&["world", "health"], &["health", "organization"]]);
+        let s = sent(&["world", "health", "organization"]);
+        let m = extract_mentions(&t, &s, 6);
+        assert_eq!(m, vec![Span::new(0, 2)]);
+    }
+
+    #[test]
+    fn no_overlaps_ever() {
+        let t = trie(&[&["a", "b"], &["b", "c"], &["c"], &["a"]]);
+        let s = sent(&["a", "b", "c", "a", "b", "c"]);
+        let m = extract_mentions(&t, &s, 6);
+        for w in m.windows(2) {
+            assert!(w[0].end <= w[1].start, "overlap: {:?}", m);
+        }
+    }
+}

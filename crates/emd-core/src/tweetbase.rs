@@ -1,0 +1,137 @@
+//! TweetBase: per-sentence records maintained across the pipeline.
+//!
+//! Indexed by `(tweet id, sentence id)` pairs, a record stores the sentence
+//! itself, the token embeddings produced at Local EMD (deep systems only),
+//! the spans the local system detected, and the mention list that Global
+//! EMD updates as the sentences pass through the second phase.
+
+use emd_nn::matrix::Matrix;
+use emd_text::token::{Sentence, SentenceId, Span};
+use std::collections::HashMap;
+
+/// One sentence's record.
+#[derive(Debug, Clone)]
+pub struct TweetRecord {
+    /// The sentence.
+    pub sentence: Sentence,
+    /// Entity-aware token embeddings `[T, d]` from Local EMD (deep only).
+    pub token_embeddings: Option<Matrix>,
+    /// Spans the Local EMD system itself proposed.
+    pub local_spans: Vec<Span>,
+    /// All candidate mentions found by the global rescan (superset of the
+    /// verified `local_spans`, aligned to CTrie candidates).
+    pub global_mentions: Vec<Span>,
+}
+
+/// The stream-wide sentence store.
+#[derive(Debug, Clone, Default)]
+pub struct TweetBase {
+    records: Vec<TweetRecord>,
+    index: HashMap<SentenceId, usize>,
+}
+
+impl TweetBase {
+    /// Empty TweetBase.
+    pub fn new() -> TweetBase {
+        TweetBase::default()
+    }
+
+    /// Insert a record at the end of the stream order. Replaces any
+    /// previous record with the same id (streams should not repeat ids).
+    pub fn insert(&mut self, record: TweetRecord) -> usize {
+        let id = record.sentence.id;
+        if let Some(&i) = self.index.get(&id) {
+            self.records[i] = record;
+            i
+        } else {
+            let i = self.records.len();
+            self.index.insert(id, i);
+            self.records.push(record);
+            i
+        }
+    }
+
+    /// Lookup by sentence id.
+    pub fn get(&self, id: SentenceId) -> Option<&TweetRecord> {
+        self.index.get(&id).map(|&i| &self.records[i])
+    }
+
+    /// Mutable lookup by sentence id.
+    pub fn get_mut(&mut self, id: SentenceId) -> Option<&mut TweetRecord> {
+        let i = *self.index.get(&id)?;
+        Some(&mut self.records[i])
+    }
+
+    /// Records in stream order.
+    pub fn iter(&self) -> impl Iterator<Item = &TweetRecord> {
+        self.records.iter()
+    }
+
+    /// Mutable iteration in stream order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut TweetRecord> {
+        self.records.iter_mut()
+    }
+
+    /// Number of sentences stored.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no sentences are stored.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(tweet: u64) -> TweetRecord {
+        TweetRecord {
+            sentence: Sentence::from_tokens(SentenceId::new(tweet, 0), ["a", "b"]),
+            token_embeddings: None,
+            local_spans: vec![],
+            global_mentions: vec![],
+        }
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut tb = TweetBase::new();
+        tb.insert(rec(1));
+        tb.insert(rec(2));
+        assert_eq!(tb.len(), 2);
+        assert!(tb.get(SentenceId::new(1, 0)).is_some());
+        assert!(tb.get(SentenceId::new(3, 0)).is_none());
+    }
+
+    #[test]
+    fn duplicate_id_replaces() {
+        let mut tb = TweetBase::new();
+        tb.insert(rec(1));
+        let mut r = rec(1);
+        r.local_spans.push(Span::new(0, 1));
+        tb.insert(r);
+        assert_eq!(tb.len(), 1);
+        assert_eq!(tb.get(SentenceId::new(1, 0)).unwrap().local_spans.len(), 1);
+    }
+
+    #[test]
+    fn stream_order_preserved() {
+        let mut tb = TweetBase::new();
+        for t in [5u64, 2, 9] {
+            tb.insert(rec(t));
+        }
+        let ids: Vec<u64> = tb.iter().map(|r| r.sentence.id.tweet_id).collect();
+        assert_eq!(ids, vec![5, 2, 9]);
+    }
+
+    #[test]
+    fn mutable_update() {
+        let mut tb = TweetBase::new();
+        tb.insert(rec(1));
+        tb.get_mut(SentenceId::new(1, 0)).unwrap().global_mentions.push(Span::new(0, 2));
+        assert_eq!(tb.get(SentenceId::new(1, 0)).unwrap().global_mentions.len(), 1);
+    }
+}

@@ -1,0 +1,235 @@
+//! Feature extraction for the sparse CRF tagger.
+//!
+//! Feature templates follow TwitterNLP's T-SEG: lexical identity of the
+//! token and its neighbours, orthographic shape, prefixes/suffixes, POS
+//! tags (T-POS), gazetteer membership (dictionary features), Twitter
+//! specials (@/#/URL) and the sentence-level capitalization informativeness
+//! signal (T-CAP). Features are hashed into a fixed number of buckets
+//! (feature hashing), so the weight table is dense and collision handling
+//! is implicit.
+
+use emd_text::casing::CapShape;
+use emd_text::gazetteer::{GazCategory, Gazetteer};
+use emd_text::normalize;
+use emd_text::pos::PosTag;
+
+/// Configuration for feature extraction.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct FeatureConfig {
+    /// Number of hash buckets (must be a power of two).
+    pub n_buckets: usize,
+    /// Include gazetteer (dictionary) features.
+    pub use_gazetteer: bool,
+    /// Include POS features.
+    pub use_pos: bool,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        FeatureConfig { n_buckets: 1 << 16, use_gazetteer: true, use_pos: true }
+    }
+}
+
+/// FNV-1a over the feature string, masked into the bucket range.
+fn hash_feature(s: &str, n_buckets: usize) -> u32 {
+    debug_assert!(n_buckets.is_power_of_two());
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    (h & (n_buckets as u64 - 1)) as u32
+}
+
+fn word_at(tokens: &[String], i: isize) -> &str {
+    if i < 0 || i as usize >= tokens.len() {
+        "<s>"
+    } else {
+        &tokens[i as usize]
+    }
+}
+
+/// Extract hashed feature ids per position.
+///
+/// `pos` must have the same length as `tokens` when `use_pos` is set;
+/// `informative_casing` is the sentence-level T-CAP output: when false, the
+/// shape features are suppressed (the sentence's casing is noise).
+pub fn extract_features(
+    tokens: &[String],
+    pos: &[PosTag],
+    gaz: &Gazetteer,
+    informative_casing: bool,
+    cfg: &FeatureConfig,
+) -> Vec<Vec<u32>> {
+    let n = tokens.len();
+    let mut out = Vec::with_capacity(n);
+    let mut buf = String::with_capacity(64);
+    let push = |buf: &mut String, feats: &mut Vec<u32>| {
+        feats.push(hash_feature(buf, cfg.n_buckets));
+        buf.clear();
+    };
+    for t in 0..n {
+        let mut feats = Vec::with_capacity(24);
+        let ti = t as isize;
+        let w0 = normalize::normalize_token(&tokens[t]);
+        // Lexical identity, current and neighbours.
+        buf.push_str("w0=");
+        buf.push_str(&w0);
+        push(&mut buf, &mut feats);
+        buf.push_str("w-1=");
+        buf.push_str(&normalize::normalize_token(word_at(tokens, ti - 1)));
+        push(&mut buf, &mut feats);
+        buf.push_str("w+1=");
+        buf.push_str(&normalize::normalize_token(word_at(tokens, ti + 1)));
+        push(&mut buf, &mut feats);
+        // Bigram context.
+        buf.push_str("w-1w0=");
+        buf.push_str(&normalize::normalize_token(word_at(tokens, ti - 1)));
+        buf.push('_');
+        buf.push_str(&w0);
+        push(&mut buf, &mut feats);
+        // Orthographic shape (suppressed when T-CAP says casing is noise).
+        if informative_casing {
+            buf.push_str("sh0=");
+            buf.push_str(&format!("{:?}", CapShape::of(&tokens[t])));
+            push(&mut buf, &mut feats);
+            buf.push_str("sh-1=");
+            buf.push_str(&format!("{:?}", CapShape::of(word_at(tokens, ti - 1))));
+            push(&mut buf, &mut feats);
+            buf.push_str("sh+1=");
+            buf.push_str(&format!("{:?}", CapShape::of(word_at(tokens, ti + 1))));
+            push(&mut buf, &mut feats);
+        } else {
+            buf.push_str("capnoise");
+            push(&mut buf, &mut feats);
+        }
+        // Affixes.
+        let lower = tokens[t].to_lowercase();
+        let chars: Vec<char> = lower.chars().collect();
+        let pre: String = chars.iter().take(3).collect();
+        let suf: String = chars.iter().rev().take(3).collect();
+        buf.push_str("pre3=");
+        buf.push_str(&pre);
+        push(&mut buf, &mut feats);
+        buf.push_str("suf3=");
+        buf.push_str(&suf);
+        push(&mut buf, &mut feats);
+        // Position flags.
+        if t == 0 {
+            buf.push_str("bos");
+            push(&mut buf, &mut feats);
+        }
+        if t + 1 == n {
+            buf.push_str("eos");
+            push(&mut buf, &mut feats);
+        }
+        // Twitter specials.
+        if normalize::is_hashtag(&tokens[t]) {
+            buf.push_str("is#");
+            push(&mut buf, &mut feats);
+        }
+        if normalize::is_mention(&tokens[t]) {
+            buf.push_str("is@");
+            push(&mut buf, &mut feats);
+        }
+        if normalize::is_url(&tokens[t]) {
+            buf.push_str("isurl");
+            push(&mut buf, &mut feats);
+        }
+        // POS features.
+        if cfg.use_pos && !pos.is_empty() {
+            buf.push_str("p0=");
+            buf.push_str(&format!("{:?}", pos[t]));
+            push(&mut buf, &mut feats);
+            if t > 0 {
+                buf.push_str("p-1=");
+                buf.push_str(&format!("{:?}", pos[t - 1]));
+                push(&mut buf, &mut feats);
+            }
+            if t + 1 < n {
+                buf.push_str("p+1=");
+                buf.push_str(&format!("{:?}", pos[t + 1]));
+                push(&mut buf, &mut feats);
+            }
+        }
+        // Gazetteer (dictionary) features per category.
+        if cfg.use_gazetteer {
+            let v = gaz.lexical_vector(&tokens[t]);
+            for c in GazCategory::all() {
+                if v[c.index()] > 0.0 {
+                    buf.push_str("gaz=");
+                    buf.push_str(&format!("{c:?}"));
+                    push(&mut buf, &mut feats);
+                }
+            }
+        }
+        out.push(feats);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emd_text::pos::tag_sentence;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_bounded() {
+        let a = hash_feature("w0=covid", 1 << 10);
+        let b = hash_feature("w0=covid", 1 << 10);
+        assert_eq!(a, b);
+        assert!(a < (1 << 10));
+        assert_ne!(hash_feature("w0=covid", 1 << 16), hash_feature("w0=italy", 1 << 16));
+    }
+
+    #[test]
+    fn per_position_feature_counts() {
+        let toks = strs(&["Cases", "rise", "in", "Italy"]);
+        let pos = tag_sentence(&toks);
+        let gaz = Gazetteer::new();
+        let feats = extract_features(&toks, &pos, &gaz, true, &FeatureConfig::default());
+        assert_eq!(feats.len(), 4);
+        for f in &feats {
+            assert!(f.len() >= 10, "each position should have a rich feature set");
+        }
+    }
+
+    #[test]
+    fn casing_noise_suppresses_shape_features() {
+        let toks = strs(&["ITALY", "LOCKS", "DOWN"]);
+        let pos = tag_sentence(&toks);
+        let gaz = Gazetteer::new();
+        let informative = extract_features(&toks, &pos, &gaz, true, &FeatureConfig::default());
+        let noisy = extract_features(&toks, &pos, &gaz, false, &FeatureConfig::default());
+        assert!(noisy[0].len() < informative[0].len());
+    }
+
+    #[test]
+    fn gazetteer_feature_fires() {
+        let toks = strs(&["visit", "Italy"]);
+        let pos = tag_sentence(&toks);
+        let mut gaz = Gazetteer::new();
+        gaz.insert(GazCategory::Location, "Italy");
+        let with = extract_features(&toks, &pos, &gaz, true, &FeatureConfig::default());
+        let without =
+            extract_features(&toks, &pos, &Gazetteer::new(), true, &FeatureConfig::default());
+        assert_eq!(with[1].len(), without[1].len() + 1);
+    }
+
+    #[test]
+    fn identical_context_gives_identical_features() {
+        let t1 = strs(&["the", "virus", "spreads"]);
+        let t2 = strs(&["the", "virus", "spreads"]);
+        let pos = tag_sentence(&t1);
+        let gaz = Gazetteer::new();
+        let cfg = FeatureConfig::default();
+        assert_eq!(
+            extract_features(&t1, &pos, &gaz, true, &cfg),
+            extract_features(&t2, &pos, &gaz, true, &cfg)
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! # emd-crf
+//!
+//! A sparse, feature-hashed linear-chain CRF sequence tagger — the substrate
+//! for the TwitterNLP-style Local EMD system (Ritter et al.'s T-SEG is a
+//! CRF over orthographic, contextual, POS, chunk and dictionary features).
+//!
+//! Architecture:
+//!
+//! * [`features`] turns a sentence (plus POS tags, gazetteer hits and the
+//!   capitalization-informativeness signal) into per-position sets of
+//!   hashed feature ids,
+//! * [`tagger::CrfTagger`] scores `emissions[t][label] = Σ_f w[f][label]`
+//!   over the active features and delegates the chain computations
+//!   (forward–backward NLL, Viterbi) to `emd-nn`'s [`emd_nn::crf::CrfLayer`],
+//!   scattering the emission gradients back into the hashed weight table.
+//!
+//! Training is mini-batch Adam with L2 weight decay — small-scale but the
+//! same model family as the original.
+
+pub mod features;
+pub mod tagger;
+
+pub use features::{extract_features, FeatureConfig};
+pub use tagger::CrfTagger;

@@ -1,0 +1,254 @@
+//! The sparse CRF tagger: hashed emission weights + chain layer.
+
+use crate::features::FeatureConfig;
+use emd_nn::crf::CrfLayer;
+use emd_nn::matrix::Matrix;
+use emd_nn::optim::Adam;
+use emd_nn::param::{Net, Param};
+use emd_text::token::Bio;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A linear-chain CRF tagger over hashed sparse features.
+///
+/// Emission score of label `j` at position `t` is the sum of
+/// `w[f][j]` over the active features `f`. The chain structure
+/// (transitions, start/end, forward–backward, Viterbi) is delegated to
+/// [`CrfLayer`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CrfTagger {
+    /// Hashed emission weights `[n_buckets, n_labels]`.
+    pub weights: Param,
+    /// Chain potentials.
+    pub chain: CrfLayer,
+    n_labels: usize,
+}
+
+/// One training example: per-position feature ids and gold label indices.
+pub type Example = (Vec<Vec<u32>>, Vec<usize>);
+
+/// Training hyperparameters.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// L2 weight-decay coefficient.
+    pub l2: f32,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig { epochs: 8, lr: 0.05, l2: 1e-6, batch_size: 8, seed: 42 }
+    }
+}
+
+impl CrfTagger {
+    /// New tagger for the BIO label set over `cfg.n_buckets` hash buckets.
+    pub fn new(cfg: &FeatureConfig) -> CrfTagger {
+        let n_labels = Bio::COUNT;
+        CrfTagger {
+            weights: Param::zeros(cfg.n_buckets, n_labels),
+            chain: CrfLayer::new(n_labels),
+            n_labels,
+        }
+    }
+
+    /// Emission matrix `[T, L]` for a feature sequence.
+    pub fn emissions(&self, feats: &[Vec<u32>]) -> Matrix {
+        let mut e = Matrix::zeros(feats.len(), self.n_labels);
+        for (t, fs) in feats.iter().enumerate() {
+            let row = e.row_mut(t);
+            for &f in fs {
+                let wrow = self.weights.value.row(f as usize);
+                for (r, &w) in row.iter_mut().zip(wrow.iter()) {
+                    *r += w;
+                }
+            }
+        }
+        e
+    }
+
+    /// NLL of one example; accumulates gradients into `weights` and `chain`.
+    pub fn nll(&mut self, feats: &[Vec<u32>], gold: &[usize]) -> f32 {
+        let e = self.emissions(feats);
+        let (loss, de) = self.chain.nll(&e, gold);
+        // Scatter emission gradients back into the hashed weights.
+        for (t, fs) in feats.iter().enumerate() {
+            let drow = de.row(t);
+            for &f in fs {
+                let idx = f as usize * self.n_labels;
+                for (j, &d) in drow.iter().enumerate() {
+                    self.weights.grad.data[idx + j] += d;
+                }
+            }
+        }
+        loss
+    }
+
+    /// Mini-batch Adam training. Returns the mean NLL per epoch.
+    pub fn train(&mut self, data: &[Example], cfg: &TrainConfig) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut opt = Adam::new(cfg.lr);
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let mut history = Vec::with_capacity(cfg.epochs);
+        for _ in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            let mut total = 0.0;
+            let mut count = 0usize;
+            for chunk in order.chunks(cfg.batch_size) {
+                self.zero_grads();
+                for &i in chunk {
+                    let (feats, gold) = &data[i];
+                    if gold.is_empty() {
+                        continue;
+                    }
+                    total += self.nll(feats, gold);
+                    count += 1;
+                }
+                if cfg.l2 > 0.0 {
+                    // Weight decay on the emission weights only (chain
+                    // potentials are few and benefit from staying sharp).
+                    let l2 = cfg.l2;
+                    for (g, &w) in self
+                        .weights
+                        .grad
+                        .data
+                        .iter_mut()
+                        .zip(self.weights.value.data.iter())
+                    {
+                        *g += l2 * w;
+                    }
+                }
+                let mut params = self.params_mut();
+                opt.step(&mut params);
+            }
+            history.push(if count > 0 { total / count as f32 } else { 0.0 });
+        }
+        history
+    }
+
+    /// Viterbi decode to label indices.
+    pub fn decode(&self, feats: &[Vec<u32>]) -> Vec<usize> {
+        if feats.is_empty() {
+            return Vec::new();
+        }
+        self.chain.decode(&self.emissions(feats))
+    }
+
+    /// Decode straight to BIO tags.
+    pub fn decode_bio(&self, feats: &[Vec<u32>]) -> Vec<Bio> {
+        self.decode(feats).into_iter().map(Bio::from_index).collect()
+    }
+}
+
+impl Net for CrfTagger {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut ps = vec![&mut self.weights];
+        ps.extend(self.chain.params_mut());
+        ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{extract_features, FeatureConfig};
+    use emd_text::gazetteer::Gazetteer;
+    use emd_text::pos::tag_sentence;
+    use emd_text::token::{bio_to_spans, spans_to_bio, Span};
+
+    fn cfg() -> FeatureConfig {
+        FeatureConfig { n_buckets: 1 << 12, use_gazetteer: true, use_pos: true }
+    }
+
+    fn example(words: &[&str], spans: &[Span]) -> Example {
+        let toks: Vec<String> = words.iter().map(|s| s.to_string()).collect();
+        let pos = tag_sentence(&toks);
+        let gaz = Gazetteer::new();
+        let feats = extract_features(&toks, &pos, &gaz, true, &cfg());
+        let gold = spans_to_bio(spans, toks.len()).iter().map(|b| b.index()).collect();
+        (feats, gold)
+    }
+
+    fn toy_corpus() -> Vec<Example> {
+        vec![
+            example(&["Covid", "hits", "Italy", "hard"], &[Span::new(0, 1), Span::new(2, 3)]),
+            example(&["Italy", "locks", "down", "fast"], &[Span::new(0, 1)]),
+            example(&["cases", "rise", "in", "Italy"], &[Span::new(3, 4)]),
+            example(&["Trump", "visits", "Kentucky", "today"], &[
+                Span::new(0, 1),
+                Span::new(2, 3),
+            ]),
+            example(&["governor", "Andy", "Beshear", "speaks"], &[Span::new(1, 3)]),
+            example(&["the", "virus", "spreads", "fast"], &[]),
+            example(&["people", "stay", "at", "home"], &[]),
+            example(&["Beshear", "warns", "about", "Covid"], &[Span::new(0, 1), Span::new(3, 4)]),
+        ]
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let data = toy_corpus();
+        let mut tagger = CrfTagger::new(&cfg());
+        let hist = tagger.train(&data, &TrainConfig { epochs: 10, ..Default::default() });
+        assert!(hist.last().unwrap() < &(hist[0] * 0.5), "{hist:?}");
+    }
+
+    #[test]
+    fn learns_training_set() {
+        let data = toy_corpus();
+        let mut tagger = CrfTagger::new(&cfg());
+        tagger.train(&data, &TrainConfig { epochs: 30, lr: 0.08, ..Default::default() });
+        let mut correct = 0;
+        let mut total = 0;
+        for (feats, gold) in &data {
+            let pred = tagger.decode(feats);
+            correct += pred.iter().zip(gold.iter()).filter(|(a, b)| a == b).count();
+            total += gold.len();
+        }
+        assert!(
+            correct as f32 / total as f32 > 0.9,
+            "training-set accuracy too low: {correct}/{total}"
+        );
+    }
+
+    #[test]
+    fn generalizes_to_seen_entity_in_new_context() {
+        let data = toy_corpus();
+        let mut tagger = CrfTagger::new(&cfg());
+        tagger.train(&data, &TrainConfig { epochs: 30, lr: 0.08, ..Default::default() });
+        // "Italy" appeared in training in other contexts.
+        let (feats, _) = example(&["morning", "update", "from", "Italy"], &[]);
+        let bio = tagger.decode_bio(&feats);
+        let spans = bio_to_spans(&bio);
+        assert!(
+            spans.iter().any(|s| s.start == 3),
+            "expected Italy tagged as mention, got {spans:?}"
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        let tagger = CrfTagger::new(&cfg());
+        assert!(tagger.decode(&[]).is_empty());
+    }
+
+    #[test]
+    fn emission_linearity() {
+        // Emission of a position is the sum of its feature weights.
+        let mut tagger = CrfTagger::new(&cfg());
+        tagger.weights.value.data[5 * 3] = 1.0; // feature 5, label 0
+        tagger.weights.value.data[9 * 3] = 2.0; // feature 9, label 0
+        let e = tagger.emissions(&[vec![5, 9]]);
+        assert_eq!(e.get(0, 0), 3.0);
+        assert_eq!(e.get(0, 1), 0.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Error taxonomy of §VI-C.
+//!
+//! The paper decomposes the framework's misses into:
+//!
+//! 1. **Unrecoverable**: the Local EMD system missed *every* mention of an
+//!    entity, so the entity never became a candidate — all its mentions are
+//!    lost (the paper: 3008 of 11412 mentions, 26.35%, for BERTweet).
+//! 2. **Classifier false negatives**: the entity became a candidate, but
+//!    the Entity Classifier rejected it — losing even the mentions Local
+//!    EMD had found (469 mentions, 4.1%).
+
+use emd_core::candidatebase::CandidateBase;
+use emd_core::classifier::CandidateLabel;
+use emd_text::token::Dataset;
+use std::collections::{HashMap, HashSet};
+
+/// §VI-C error decomposition.
+#[derive(Debug, Clone, Default)]
+pub struct ErrorBreakdown {
+    /// Total gold mentions.
+    pub total_mentions: usize,
+    /// Total unique gold entities.
+    pub total_entities: usize,
+    /// Entities with no candidate in the CandidateBase (local EMD missed
+    /// every mention).
+    pub entities_never_candidate: usize,
+    /// Gold mentions belonging to those entities (unrecoverable).
+    pub mentions_unrecoverable: usize,
+    /// Gold entities that became candidates but were rejected by the
+    /// classifier.
+    pub entities_classifier_fn: usize,
+    /// Gold mentions lost to classifier false negatives.
+    pub mentions_classifier_fn: usize,
+}
+
+impl ErrorBreakdown {
+    /// Fraction of mentions unrecoverable because local EMD missed the
+    /// entity entirely.
+    pub fn unrecoverable_rate(&self) -> f64 {
+        if self.total_mentions == 0 {
+            0.0
+        } else {
+            self.mentions_unrecoverable as f64 / self.total_mentions as f64
+        }
+    }
+
+    /// Fraction of mentions lost to classifier false negatives.
+    pub fn classifier_fn_rate(&self) -> f64 {
+        if self.total_mentions == 0 {
+            0.0
+        } else {
+            self.mentions_classifier_fn as f64 / self.total_mentions as f64
+        }
+    }
+}
+
+/// Decompose the framework's errors on a dataset given the closing
+/// CandidateBase.
+pub fn analyze(dataset: &Dataset, candidates: &CandidateBase) -> ErrorBreakdown {
+    let mut gold_freq: HashMap<String, usize> = HashMap::new();
+    for ann in &dataset.sentences {
+        for sp in &ann.gold {
+            *gold_freq.entry(sp.surface_lower(&ann.sentence)).or_insert(0) += 1;
+        }
+    }
+    let candidate_keys: HashSet<&str> = candidates.iter().map(|c| c.key.as_str()).collect();
+    let mut out = ErrorBreakdown {
+        total_mentions: gold_freq.values().sum(),
+        total_entities: gold_freq.len(),
+        ..Default::default()
+    };
+    for (key, freq) in &gold_freq {
+        if !candidate_keys.contains(key.as_str()) {
+            out.entities_never_candidate += 1;
+            out.mentions_unrecoverable += freq;
+        } else if let Some(rec) = candidates.get(key) {
+            if rec.label == CandidateLabel::NonEntity {
+                out.entities_classifier_fn += 1;
+                out.mentions_classifier_fn += freq;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emd_core::candidatebase::CandidateBase;
+    use emd_text::token::{AnnotatedSentence, DatasetKind, Sentence, SentenceId, Span};
+
+    fn ds() -> Dataset {
+        let mk = |id: u64, w: &str| AnnotatedSentence {
+            sentence: Sentence::from_tokens(SentenceId::new(id, 0), [w, "x"]),
+            gold: vec![Span::new(0, 1)],
+        };
+        Dataset {
+            name: "t".into(),
+            kind: DatasetKind::Streaming,
+            n_topics: 1,
+            sentences: vec![mk(0, "alpha"), mk(1, "alpha"), mk(2, "beta"), mk(3, "gamma")],
+        }
+    }
+
+    #[test]
+    fn decomposition() {
+        let d = ds();
+        let mut cb = CandidateBase::new(2);
+        // alpha: accepted entity; beta: classifier FN; gamma: never a candidate.
+        cb.entry("alpha").label = CandidateLabel::Entity;
+        cb.entry("beta").label = CandidateLabel::NonEntity;
+        let e = analyze(&d, &cb);
+        assert_eq!(e.total_mentions, 4);
+        assert_eq!(e.total_entities, 3);
+        assert_eq!(e.entities_never_candidate, 1);
+        assert_eq!(e.mentions_unrecoverable, 1);
+        assert_eq!(e.entities_classifier_fn, 1);
+        assert_eq!(e.mentions_classifier_fn, 1);
+        assert!((e.unrecoverable_rate() - 0.25).abs() < 1e-9);
+        assert!((e.classifier_fn_rate() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_everything() {
+        let d = Dataset {
+            name: "e".into(),
+            kind: DatasetKind::Streaming,
+            n_topics: 0,
+            sentences: vec![],
+        };
+        let cb = CandidateBase::new(2);
+        let e = analyze(&d, &cb);
+        assert_eq!(e.unrecoverable_rate(), 0.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Frequency-binned entity recall — Figure 7.
+//!
+//! "We group entities of different mention frequency in bins of width 5
+//! and track the classifier's recall in detecting them." An entity is
+//! *detected* when at least one of its mentions appears in the predictions
+//! under its (case-insensitive) surface key.
+
+use emd_text::token::{Dataset, Span};
+use std::collections::{HashMap, HashSet};
+
+/// Recall per mention-frequency bin.
+#[derive(Debug, Clone)]
+pub struct FreqBin {
+    /// Inclusive lower bound of the bin (1, 6, 11, ...).
+    pub lo: usize,
+    /// Inclusive upper bound.
+    pub hi: usize,
+    /// Unique entities whose gold mention count falls in the bin.
+    pub n_entities: usize,
+    /// Of those, how many were detected at least once.
+    pub n_detected: usize,
+}
+
+impl FreqBin {
+    /// Detection recall within the bin.
+    pub fn recall(&self) -> f64 {
+        if self.n_entities == 0 {
+            0.0
+        } else {
+            self.n_detected as f64 / self.n_entities as f64
+        }
+    }
+}
+
+/// Compute Figure-7 style bins of width `width` over gold entities.
+pub fn entity_recall_by_frequency(
+    dataset: &Dataset,
+    preds: &[Vec<Span>],
+    width: usize,
+) -> Vec<FreqBin> {
+    assert!(width >= 1);
+    assert_eq!(dataset.len(), preds.len());
+    // Gold frequency per entity key, and the set of detected keys.
+    let mut freq: HashMap<String, usize> = HashMap::new();
+    let mut detected: HashSet<String> = HashSet::new();
+    for (ann, ps) in dataset.sentences.iter().zip(preds.iter()) {
+        let pred_spans: HashSet<Span> = ps.iter().copied().collect();
+        for sp in &ann.gold {
+            let key = sp.surface_lower(&ann.sentence);
+            *freq.entry(key.clone()).or_insert(0) += 1;
+            if pred_spans.contains(sp) {
+                detected.insert(key);
+            }
+        }
+    }
+    let max_f = freq.values().max().copied().unwrap_or(0);
+    let n_bins = max_f.div_ceil(width);
+    let mut bins: Vec<FreqBin> = (0..n_bins)
+        .map(|b| FreqBin { lo: b * width + 1, hi: (b + 1) * width, n_entities: 0, n_detected: 0 })
+        .collect();
+    for (key, f) in &freq {
+        let b = (f - 1) / width;
+        bins[b].n_entities += 1;
+        if detected.contains(key) {
+            bins[b].n_detected += 1;
+        }
+    }
+    bins
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emd_text::token::{AnnotatedSentence, DatasetKind, Sentence, SentenceId};
+
+    /// Build a dataset where "alpha" appears 7 times (detected), "beta"
+    /// twice (missed), "gamma" once (detected).
+    fn setup() -> (Dataset, Vec<Vec<Span>>) {
+        let mut sentences = Vec::new();
+        let mut preds = Vec::new();
+        let mut id = 0u64;
+        let add = |word: &str, detect: bool, sentences: &mut Vec<AnnotatedSentence>, preds: &mut Vec<Vec<Span>>, id: &mut u64| {
+            sentences.push(AnnotatedSentence {
+                sentence: Sentence::from_tokens(SentenceId::new(*id, 0), [word, "x"]),
+                gold: vec![Span::new(0, 1)],
+            });
+            preds.push(if detect { vec![Span::new(0, 1)] } else { vec![] });
+            *id += 1;
+        };
+        for _ in 0..7 {
+            add("alpha", true, &mut sentences, &mut preds, &mut id);
+        }
+        for _ in 0..2 {
+            add("beta", false, &mut sentences, &mut preds, &mut id);
+        }
+        add("gamma", true, &mut sentences, &mut preds, &mut id);
+        (
+            Dataset { name: "t".into(), kind: DatasetKind::Streaming, n_topics: 1, sentences },
+            preds,
+        )
+    }
+
+    #[test]
+    fn bins_partition_entities() {
+        let (d, preds) = setup();
+        let bins = entity_recall_by_frequency(&d, &preds, 5);
+        assert_eq!(bins.len(), 2); // max freq 7 → bins 1-5, 6-10
+        assert_eq!(bins[0].n_entities, 2); // beta (2), gamma (1)
+        assert_eq!(bins[1].n_entities, 1); // alpha (7)
+        assert_eq!(bins[0].n_detected, 1); // gamma
+        assert_eq!(bins[1].n_detected, 1); // alpha
+        assert!((bins[0].recall() - 0.5).abs() < 1e-9);
+        assert_eq!(bins[1].recall(), 1.0);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let d = Dataset {
+            name: "e".into(),
+            kind: DatasetKind::Streaming,
+            n_topics: 0,
+            sentences: vec![],
+        };
+        let bins = entity_recall_by_frequency(&d, &[], 5);
+        assert!(bins.is_empty());
+    }
+
+    #[test]
+    fn bin_boundaries() {
+        let (d, preds) = setup();
+        let bins = entity_recall_by_frequency(&d, &preds, 5);
+        assert_eq!((bins[0].lo, bins[0].hi), (1, 5));
+        assert_eq!((bins[1].lo, bins[1].hi), (6, 10));
+    }
+}

@@ -1,0 +1,14 @@
+//! # emd-eval
+//!
+//! Evaluation harness: the metrics of §VI ("Performance Metrics"), the
+//! frequency-binned recall analysis of Figure 7, the error taxonomy of
+//! §VI-C, plain-text table rendering for the experiment binaries, and the
+//! paper's reference numbers for shape comparison in EXPERIMENTS.md.
+
+pub mod error_analysis;
+pub mod freq_bins;
+pub mod metrics;
+pub mod paper_ref;
+pub mod tables;
+
+pub use metrics::{mention_prf, surface_prf, Prf};

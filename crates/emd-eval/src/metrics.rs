@@ -1,0 +1,164 @@
+//! Precision / Recall / F1 for entity mention detection.
+//!
+//! Two granularities, both from the WNUT17 evaluation methodology:
+//!
+//! * [`mention_prf`] — every occurrence counts: a predicted span is a true
+//!   positive iff an identical gold span exists in the same sentence
+//!   (exact boundary match). This is the primary Table III metric ("EMD
+//!   requires detection of all occurrences of entities in their various
+//!   string forms").
+//! * [`surface_prf`] — WNUT's *F1 (surface)*: predictions and gold are
+//!   reduced to sets of unique lower-cased surface forms before matching,
+//!   so each string variation counts once.
+
+use emd_text::token::{Dataset, Span};
+use std::collections::HashSet;
+
+/// Precision / recall / F1 triple with raw counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prf {
+    /// Precision.
+    pub p: f64,
+    /// Recall.
+    pub r: f64,
+    /// F1 score.
+    pub f1: f64,
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Prf {
+    /// Compute from counts.
+    pub fn from_counts(tp: usize, fp: usize, fn_: usize) -> Prf {
+        let p = if tp + fp > 0 { tp as f64 / (tp + fp) as f64 } else { 0.0 };
+        let r = if tp + fn_ > 0 { tp as f64 / (tp + fn_) as f64 } else { 0.0 };
+        let f1 = if p + r > 0.0 { 2.0 * p * r / (p + r) } else { 0.0 };
+        Prf { p, r, f1, tp, fp, fn_ }
+    }
+}
+
+/// Mention-level (all-occurrences, exact-boundary) PRF.
+///
+/// `preds[i]` are the predicted spans for `dataset.sentences[i]`; the two
+/// must be aligned and of equal length.
+pub fn mention_prf(dataset: &Dataset, preds: &[Vec<Span>]) -> Prf {
+    assert_eq!(dataset.len(), preds.len(), "prediction/dataset misalignment");
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut fn_ = 0usize;
+    for (ann, pred) in dataset.sentences.iter().zip(preds.iter()) {
+        let gold: HashSet<Span> = ann.gold.iter().copied().collect();
+        let predset: HashSet<Span> = pred.iter().copied().collect();
+        tp += gold.intersection(&predset).count();
+        fp += predset.difference(&gold).count();
+        fn_ += gold.difference(&predset).count();
+    }
+    Prf::from_counts(tp, fp, fn_)
+}
+
+/// Surface-form (unique lower-cased strings) PRF — WNUT "F1 (surface)".
+pub fn surface_prf(dataset: &Dataset, preds: &[Vec<Span>]) -> Prf {
+    assert_eq!(dataset.len(), preds.len(), "prediction/dataset misalignment");
+    let mut gold: HashSet<String> = HashSet::new();
+    let mut pred: HashSet<String> = HashSet::new();
+    for (ann, ps) in dataset.sentences.iter().zip(preds.iter()) {
+        for sp in &ann.gold {
+            gold.insert(sp.surface_lower(&ann.sentence));
+        }
+        for sp in ps {
+            if sp.end <= ann.sentence.len() {
+                pred.insert(sp.surface_lower(&ann.sentence));
+            }
+        }
+    }
+    let tp = gold.intersection(&pred).count();
+    let fp = pred.difference(&gold).count();
+    let fn_ = gold.difference(&pred).count();
+    Prf::from_counts(tp, fp, fn_)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emd_text::token::{AnnotatedSentence, DatasetKind, Sentence, SentenceId};
+
+    fn ds() -> Dataset {
+        let s1 = AnnotatedSentence {
+            sentence: Sentence::from_tokens(SentenceId::new(0, 0), ["Covid", "hits", "Italy"]),
+            gold: vec![Span::new(0, 1), Span::new(2, 3)],
+        };
+        let s2 = AnnotatedSentence {
+            sentence: Sentence::from_tokens(SentenceId::new(1, 0), ["ITALY", "rises"]),
+            gold: vec![Span::new(0, 1)],
+        };
+        Dataset { name: "t".into(), kind: DatasetKind::Streaming, n_topics: 1, sentences: vec![s1, s2] }
+    }
+
+    #[test]
+    fn perfect_predictions() {
+        let d = ds();
+        let preds: Vec<Vec<Span>> = d.sentences.iter().map(|s| s.gold.clone()).collect();
+        let m = mention_prf(&d, &preds);
+        assert_eq!((m.p, m.r, m.f1), (1.0, 1.0, 1.0));
+        assert_eq!(m.tp, 3);
+        let s = surface_prf(&d, &preds);
+        assert_eq!(s.f1, 1.0);
+        assert_eq!(s.tp, 2, "covid + italy (case-folded)");
+    }
+
+    #[test]
+    fn empty_predictions() {
+        let d = ds();
+        let preds = vec![vec![], vec![]];
+        let m = mention_prf(&d, &preds);
+        assert_eq!(m.r, 0.0);
+        assert_eq!(m.f1, 0.0);
+        assert_eq!(m.fn_, 3);
+    }
+
+    #[test]
+    fn partial_boundary_is_wrong() {
+        let d = ds();
+        // Predict only token 0 of sentence 0 but with wrong end boundary.
+        let preds = vec![vec![Span::new(0, 2)], vec![]];
+        let m = mention_prf(&d, &preds);
+        assert_eq!(m.tp, 0);
+        assert_eq!(m.fp, 1);
+        assert_eq!(m.fn_, 3);
+    }
+
+    #[test]
+    fn precision_vs_recall_tradeoff() {
+        let d = ds();
+        // Over-predict everything in sentence 0.
+        let preds = vec![vec![Span::new(0, 1), Span::new(1, 2), Span::new(2, 3)], vec![
+            Span::new(0, 1),
+        ]];
+        let m = mention_prf(&d, &preds);
+        assert_eq!(m.tp, 3);
+        assert_eq!(m.fp, 1);
+        assert!(m.r == 1.0 && m.p == 0.75);
+    }
+
+    #[test]
+    fn surface_counts_variants_once() {
+        let d = ds();
+        // Detect italy in sentence 1 only; mention-level recall is 1/3 for
+        // spans but surface recall is 1/2 keys.
+        let preds = vec![vec![], vec![Span::new(0, 1)]];
+        let s = surface_prf(&d, &preds);
+        assert_eq!(s.tp, 1);
+        assert_eq!(s.fn_, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "misalignment")]
+    fn misaligned_preds_panic() {
+        let d = ds();
+        let _ = mention_prf(&d, &[vec![]]);
+    }
+}

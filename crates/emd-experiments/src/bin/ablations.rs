@@ -1,0 +1,74 @@
+//! Design-choice ablations beyond the paper's Figure 6 — the knobs
+//! DESIGN.md calls out:
+//!
+//! * global-embedding pooling: mean (paper) vs max,
+//! * the γ-band end-of-stream resolution (trust-local fallback on/off),
+//! * the α/β confidence thresholds,
+//! * the maximum candidate length `k` of the mention-extraction window.
+//!
+//! Runs the TwitterNLP variant (the cheapest trained system) on the D2
+//! stream so the whole sweep completes in under a minute.
+
+use emd_core::config::Pooling;
+use emd_core::{Globalizer, GlobalizerConfig};
+use emd_eval::metrics::mention_prf;
+use emd_eval::tables::{f2, TextTable};
+use emd_experiments::{aligned_preds, build_variant, load_suite, SystemKind};
+use emd_text::token::Sentence;
+
+fn main() {
+    let suite = load_suite();
+    let variant = build_variant(SystemKind::TwitterNlp, &suite);
+    let d2 = &suite.std.datasets[1];
+    let sentences: Vec<Sentence> = d2.sentences.iter().map(|a| a.sentence.clone()).collect();
+
+    let eval = |cfg: GlobalizerConfig| -> (f64, f64, f64) {
+        let g = Globalizer::new(variant.local.as_ref(), variant.phrase.as_ref(), &variant.classifier, cfg);
+        let (out, _) = g.run(&sentences, 512);
+        let m = mention_prf(d2, &aligned_preds(d2, &out));
+        (m.p, m.r, m.f1)
+    };
+
+    let mut report = String::from("Ablations on design choices (TwitterNLP variant, D2)\n\n");
+
+    // 1. Pooling + trust-local grid.
+    let mut t = TextTable::new(["Pooling", "Trust-local γ fallback", "P", "R", "F1"]);
+    for pooling in [Pooling::Mean, Pooling::Max] {
+        for trust in [true, false] {
+            let (p, r, f1) = eval(GlobalizerConfig {
+                pooling,
+                trust_local_fallback: trust,
+                ..Default::default()
+            });
+            t.row([
+                format!("{pooling:?}"),
+                trust.to_string(),
+                f2(p),
+                f2(r),
+                f2(f1),
+            ]);
+        }
+    }
+    report.push_str(&t.render());
+
+    // 2. Threshold sweep (α, β) around the paper's (0.55, 0.40).
+    report.push('\n');
+    let mut t = TextTable::new(["alpha", "beta", "P", "R", "F1"]);
+    for (alpha, beta) in [(0.75f32, 0.60f32), (0.65, 0.50), (0.55, 0.40), (0.50, 0.30), (0.45, 0.20)] {
+        let (p, r, f1) = eval(GlobalizerConfig { alpha, beta, ..Default::default() });
+        t.row([format!("{alpha:.2}"), format!("{beta:.2}"), f2(p), f2(r), f2(f1)]);
+    }
+    report.push_str(&t.render());
+
+    // 3. Candidate length window k.
+    report.push('\n');
+    let mut t = TextTable::new(["max candidate len k", "P", "R", "F1"]);
+    for k in [1usize, 2, 3, 6, 10] {
+        let (p, r, f1) = eval(GlobalizerConfig { max_candidate_len: k, ..Default::default() });
+        t.row([k.to_string(), f2(p), f2(r), f2(f1)]);
+    }
+    report.push_str(&t.render());
+    report.push_str("\nPaper defaults: mean pooling, alpha=0.55, beta=0.40, k=6.\n");
+
+    emd_experiments::emit("ablations", &report);
+}

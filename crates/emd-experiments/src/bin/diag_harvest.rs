@@ -1,0 +1,43 @@
+//! Diagnostic: inspect harvested classifier training data per system.
+
+use emd_core::config::GlobalizerConfig;
+use emd_core::training::harvest_training_data;
+use emd_experiments::{build_variant, load_suite, SystemKind};
+
+fn main() {
+    let suite = load_suite();
+    for kind in SystemKind::all() {
+        let v = build_variant(kind, &suite);
+        let data = harvest_training_data(
+            v.local.as_ref(),
+            v.phrase.as_ref(),
+            &GlobalizerConfig::default(),
+            &suite.d5,
+        );
+        let n_pos = data.iter().filter(|(_, y)| *y).count();
+        println!(
+            "{:<16} candidates={:<6} pos={:<6} ({:.1}%) dim={} val_f1={:.3}",
+            kind.name(),
+            data.len(),
+            n_pos,
+            100.0 * n_pos as f64 / data.len().max(1) as f64,
+            v.embedding_dim,
+            v.classifier_report.best_val_f1
+        );
+        // Mean feature vectors per class (first 8 dims).
+        let dim = data[0].0.len();
+        let mut mp = vec![0f64; dim];
+        let mut mn = vec![0f64; dim];
+        for (x, y) in &data {
+            let tgt = if *y { &mut mp } else { &mut mn };
+            for (a, &b) in tgt.iter_mut().zip(x.iter()) {
+                *a += b as f64;
+            }
+        }
+        for a in mp.iter_mut() { *a /= n_pos.max(1) as f64; }
+        for a in mn.iter_mut() { *a /= (data.len() - n_pos).max(1) as f64; }
+        let k = dim.min(8);
+        println!("  pos mean: {:?}", &mp[..k].iter().map(|x| (x*100.0).round()/100.0).collect::<Vec<_>>());
+        println!("  neg mean: {:?}", &mn[..k].iter().map(|x| (x*100.0).round()/100.0).collect::<Vec<_>>());
+    }
+}

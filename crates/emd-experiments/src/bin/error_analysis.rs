@@ -1,0 +1,9 @@
+//! Regenerates the §VI-C error analysis.
+
+use emd_experiments::{build_variant, load_suite, reports, SystemKind};
+
+fn main() {
+    let suite = load_suite();
+    let bert = build_variant(SystemKind::MiniBert, &suite);
+    emd_experiments::emit("error_analysis", &reports::error_analysis(&suite, &bert));
+}

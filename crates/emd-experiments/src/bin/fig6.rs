@@ -1,0 +1,9 @@
+//! Regenerates Figure 6 (component ablation on streaming datasets).
+
+use emd_experiments::{build_variant, load_suite, reports, SystemKind};
+
+fn main() {
+    let suite = load_suite();
+    let aguilar = build_variant(SystemKind::Aguilar, &suite);
+    emd_experiments::emit("fig6", &reports::fig6(&suite, &aguilar));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 7 (entity recall vs mention frequency).
+
+use emd_experiments::{build_variant, load_suite, reports, SystemKind};
+
+fn main() {
+    let suite = load_suite();
+    let bert = build_variant(SystemKind::MiniBert, &suite);
+    emd_experiments::emit("fig7", &reports::fig7(&suite, &bert));
+}

@@ -1,0 +1,31 @@
+//! Runs every experiment, reusing trained variants, writing `results/`.
+
+use emd_experiments::{build_variant, load_suite, reports, SystemKind};
+
+fn main() {
+    eprintln!("[run_all] generating datasets (EMD_SCALE={}, EMD_TRAIN_SCALE={})",
+        emd_experiments::eval_scale(), emd_experiments::train_scale());
+    let suite = load_suite();
+    emd_experiments::emit("table1", &reports::table1());
+
+    eprintln!("[run_all] training 4 local EMD systems + phrase embedders + classifiers ...");
+    let variants: Vec<_> =
+        SystemKind::all().iter().map(|&k| build_variant(k, &suite)).collect();
+    emd_experiments::emit("table2", &reports::table2(&variants));
+
+    eprintln!("[run_all] Table III ...");
+    let (t3, _) = reports::table3(&suite, &variants);
+    emd_experiments::emit("table3", &t3);
+
+    let aguilar = &variants[2];
+    let bert = &variants[3];
+    eprintln!("[run_all] Table IV ...");
+    emd_experiments::emit("table4", &reports::table4(&suite, aguilar));
+    eprintln!("[run_all] Figure 6 ...");
+    emd_experiments::emit("fig6", &reports::fig6(&suite, aguilar));
+    eprintln!("[run_all] Figure 7 ...");
+    emd_experiments::emit("fig7", &reports::fig7(&suite, bert));
+    eprintln!("[run_all] Error analysis ...");
+    emd_experiments::emit("error_analysis", &reports::error_analysis(&suite, bert));
+    eprintln!("[run_all] done. (run the `ablations` binary for the design-choice sweeps)");
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table I (dataset statistics).
+
+fn main() {
+    emd_experiments::emit("table1", &emd_experiments::reports::table1());
+}

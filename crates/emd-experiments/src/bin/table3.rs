@@ -1,0 +1,12 @@
+//! Regenerates Table III (local vs global effectiveness + timing,
+//! 4 systems x 6 datasets).
+
+use emd_experiments::{build_variant, load_suite, reports, SystemKind};
+
+fn main() {
+    let suite = load_suite();
+    let variants: Vec<_> =
+        SystemKind::all().iter().map(|&k| build_variant(k, &suite)).collect();
+    let (report, _) = reports::table3(&suite, &variants);
+    emd_experiments::emit("table3", &report);
+}

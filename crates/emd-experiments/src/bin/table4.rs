@@ -1,0 +1,9 @@
+//! Regenerates Table IV (EMD Globalizer vs HIRE-NER).
+
+use emd_experiments::{build_variant, load_suite, reports, SystemKind};
+
+fn main() {
+    let suite = load_suite();
+    let aguilar = build_variant(SystemKind::Aguilar, &suite);
+    emd_experiments::emit("table4", &reports::table4(&suite, &aguilar));
+}

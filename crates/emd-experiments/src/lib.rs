@@ -1,0 +1,324 @@
+//! # emd-experiments
+//!
+//! Shared harness behind the experiment binaries that regenerate every
+//! table and figure of the paper:
+//!
+//! | Binary            | Regenerates              |
+//! |-------------------|--------------------------|
+//! | `table1`          | Table I (dataset stats)  |
+//! | `table2`          | Table II (classifier validation F1) |
+//! | `table3`          | Table III (local vs global P/R/F1 + time) |
+//! | `table4`          | Table IV (vs HIRE-NER)   |
+//! | `fig6`            | Figure 6 (component ablation) |
+//! | `fig7`            | Figure 7 (recall vs mention frequency) |
+//! | `error_analysis`  | §VI-C error taxonomy     |
+//! | (example) `coronavirus_case_study` | Figures 1 & 5 — `cargo run --release --example coronavirus_case_study` |
+//! | `run_all`         | everything above, writing `results/` |
+//!
+//! Scale: models here are laptop-sized; the `EMD_SCALE` environment
+//! variable (default 0.25) shrinks the evaluation datasets proportionally
+//! and `EMD_TRAIN_SCALE` (default 0.08 → ≈3K of D5's 38K tweets) bounds
+//! training cost. Shapes are stable across scales; see EXPERIMENTS.md.
+
+use emd_baseline::{HireConfig, HireNer};
+use emd_core::classifier::{ClassifierTrainConfig, ClassifierTrainReport, EntityClassifier};
+use emd_core::config::{Ablation, GlobalizerConfig};
+use emd_core::local::LocalEmd;
+use emd_core::phrase_embedder::{PhraseEmbedder, StsExample, StsTrainConfig, StsTrainReport};
+use emd_core::training::harvest_training_data;
+use emd_core::{Globalizer, GlobalizerOutput};
+use emd_eval::metrics::{mention_prf, Prf};
+use emd_local::aguilar::{Aguilar, AguilarConfig};
+use emd_local::mini_bert::{MiniBert, MiniBertConfig};
+use emd_local::np_chunker::NpChunker;
+use emd_local::twitter_nlp::{TwitterNlp, TwitterNlpConfig};
+use emd_synth::datasets::{generic_training_corpus, standard_datasets, training_stream, StandardDatasets};
+use emd_synth::sts::gen_sts;
+use emd_text::token::{Dataset, Sentence, Span};
+use std::time::Instant;
+
+/// The four Local EMD instantiations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemKind {
+    /// TweeboParser-style NP chunker.
+    NpChunker,
+    /// Ritter et al. CRF tagger.
+    TwitterNlp,
+    /// Aguilar et al. BiLSTM-CNN-CRF.
+    Aguilar,
+    /// BERTweet-style transformer.
+    MiniBert,
+}
+
+impl SystemKind {
+    /// All systems in Table-III order.
+    pub fn all() -> [SystemKind; 4] {
+        [SystemKind::NpChunker, SystemKind::TwitterNlp, SystemKind::Aguilar, SystemKind::MiniBert]
+    }
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemKind::NpChunker => "NP Chunker",
+            SystemKind::TwitterNlp => "TwitterNLP",
+            SystemKind::Aguilar => "Aguilar et al.",
+            SystemKind::MiniBert => "BERTweet",
+        }
+    }
+}
+
+/// Everything the experiments need: the world, the evaluation suite, D5,
+/// and the generic out-of-domain corpus the local systems are trained on.
+pub struct Suite {
+    /// D1–D4 + WNUT17 + BTC and the shared world.
+    pub std: StandardDatasets,
+    /// The D5 training stream (same world as the evaluation datasets; used
+    /// for the Entity Classifier, T-CAP calibration and error analysis —
+    /// mirroring the paper, where only the classifier is D5-trained).
+    pub d5: Dataset,
+    /// WNUT17-train analog from a disjoint world: the corpus the
+    /// "production" local EMD systems were trained on.
+    pub generic: Dataset,
+    /// The disjoint world the generic corpus came from (provides the
+    /// training-time gazetteer).
+    pub generic_world: emd_synth::entities::World,
+}
+
+/// Read a scale factor from the environment.
+fn env_scale(var: &str, default: f64) -> f64 {
+    std::env::var(var)
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|v| *v > 0.0 && *v <= 1.0)
+        .unwrap_or(default)
+}
+
+/// Evaluation-dataset scale (`EMD_SCALE`, default 0.25).
+pub fn eval_scale() -> f64 {
+    env_scale("EMD_SCALE", 0.25)
+}
+
+/// Training-stream scale (`EMD_TRAIN_SCALE`, default 0.08).
+pub fn train_scale() -> f64 {
+    env_scale("EMD_TRAIN_SCALE", 0.08)
+}
+
+/// Master seed for all experiments.
+pub const SEED: u64 = 2022;
+
+/// Load the full suite at the configured scales.
+pub fn load_suite() -> Suite {
+    let std = standard_datasets(SEED, eval_scale());
+    let (_, d5) = training_stream(SEED, train_scale());
+    let (generic_world, generic) = generic_training_corpus(SEED, train_scale());
+    Suite { std, d5, generic, generic_world }
+}
+
+/// A fully trained framework variant for one Local EMD system.
+pub struct Variant {
+    /// Which system this is.
+    pub kind: SystemKind,
+    /// The trained local system.
+    pub local: Box<dyn LocalEmd>,
+    /// Phrase embedder (deep systems only).
+    pub phrase: Option<PhraseEmbedder>,
+    /// The trained entity classifier.
+    pub classifier: EntityClassifier,
+    /// Classifier training report (Table II).
+    pub classifier_report: ClassifierTrainReport,
+    /// Phrase-embedder training report (deep systems).
+    pub phrase_report: Option<StsTrainReport>,
+    /// Candidate-embedding dimensionality.
+    pub embedding_dim: usize,
+}
+
+/// Precompute STS training pairs as token-embedding matrices using the
+/// trained deep local system (the frozen encoder).
+fn sts_pairs(local: &dyn LocalEmd, suite: &Suite, n: usize, n_val: usize) -> (Vec<StsExample>, Vec<StsExample>) {
+    let (train, val) = gen_sts(&suite.std.world, n, n_val, SEED ^ 0x575);
+    let embed = |s: &Sentence| {
+        local
+            .process(s)
+            .token_embeddings
+            .expect("deep local system must emit embeddings")
+    };
+    let conv = |pairs: &[emd_synth::sts::StsPair]| {
+        pairs
+            .iter()
+            .map(|p| (embed(&p.a), embed(&p.b), p.score))
+            .collect::<Vec<StsExample>>()
+    };
+    (conv(&train), conv(&val))
+}
+
+/// Train one complete framework variant: local system on D5, phrase
+/// embedder on synthetic STS (deep only), entity classifier on candidates
+/// harvested from D5.
+pub fn build_variant(kind: SystemKind, suite: &Suite) -> Variant {
+    let world = &suite.std.world;
+    // Local systems are trained on the *generic* out-of-domain corpus with
+    // the generic world's gazetteer (they are off-the-shelf production
+    // tools in the paper); at inference the gazetteer resource is the
+    // evaluation world's (lexical resources partially cover established
+    // entities, rarely the emerging ones).
+    let local: Box<dyn LocalEmd> = match kind {
+        SystemKind::NpChunker => Box::new(NpChunker::new()),
+        SystemKind::TwitterNlp => {
+            let mut m = TwitterNlp::train(
+                &suite.generic,
+                suite.generic_world.gazetteer.clone(),
+                &TwitterNlpConfig::default(),
+            );
+            m.set_gazetteer(world.gazetteer.clone());
+            Box::new(m)
+        }
+        SystemKind::Aguilar => {
+            let (mut m, _) = Aguilar::train(
+                &suite.generic,
+                suite.generic_world.gazetteer.clone(),
+                &AguilarConfig::default(),
+            );
+            m.set_gazetteer(world.gazetteer.clone());
+            Box::new(m)
+        }
+        SystemKind::MiniBert => {
+            let (m, _) = MiniBert::train(&suite.generic, &MiniBertConfig::default());
+            Box::new(m)
+        }
+    };
+
+    // Phrase embedder for deep systems: output dim mirrors the paper
+    // (Aguilar keeps the token dim; BERTweet projects down).
+    let (phrase, phrase_report) = match local.embedding_dim() {
+        Some(d) => {
+            let out_dim = match kind {
+                SystemKind::Aguilar => d,
+                _ => (d * 2 / 3).max(8),
+            };
+            let (train, val) = sts_pairs(local.as_ref(), suite, 600, 150);
+            let mut pe = PhraseEmbedder::new(d, out_dim, SEED ^ 0x9e);
+            let report = pe.train_sts(&train, &val, &StsTrainConfig::default());
+            (Some(pe), Some(report))
+        }
+        None => (None, None),
+    };
+
+    // Entity classifier on D5-harvested candidates.
+    let cfg = GlobalizerConfig::default();
+    let data = harvest_training_data(local.as_ref(), phrase.as_ref(), &cfg, &suite.d5);
+    let embedding_dim = phrase.as_ref().map(|p| p.out_dim()).unwrap_or(6);
+    let mut classifier = EntityClassifier::new(embedding_dim + 1, SEED ^ 0xc1);
+    let classifier_report = classifier.train(&data, &ClassifierTrainConfig::default());
+
+    Variant { kind, local, phrase, classifier, classifier_report, phrase_report, embedding_dim }
+}
+
+/// Result of evaluating one (variant, dataset) cell of Table III.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Dataset name.
+    pub dataset: String,
+    /// System name.
+    pub system: &'static str,
+    /// Local-only effectiveness.
+    pub local: Prf,
+    /// Full-framework effectiveness.
+    pub global: Prf,
+    /// Wall-clock seconds for the standalone local pass.
+    pub local_secs: f64,
+    /// Wall-clock seconds for the full framework run.
+    pub global_secs: f64,
+}
+
+impl CellResult {
+    /// Relative F1 gain (the paper's "F1 Gain" column).
+    pub fn gain(&self) -> f64 {
+        if self.local.f1 > 0.0 {
+            (self.global.f1 - self.local.f1) / self.local.f1
+        } else {
+            0.0
+        }
+    }
+
+    /// Absolute time overhead in seconds.
+    pub fn overhead(&self) -> f64 {
+        (self.global_secs - self.local_secs).max(0.0)
+    }
+}
+
+/// Extract predictions aligned with the dataset from a globalizer output.
+pub fn aligned_preds(dataset: &Dataset, out: &GlobalizerOutput) -> Vec<Vec<Span>> {
+    let map = out.as_map();
+    dataset
+        .sentences
+        .iter()
+        .map(|a| map.get(&a.sentence.id).cloned().unwrap_or_default())
+        .collect()
+}
+
+/// Run one variant over one dataset with the given ablation, returning the
+/// aligned predictions, the closing state, and wall time.
+pub fn run_variant(
+    variant: &Variant,
+    dataset: &Dataset,
+    ablation: Ablation,
+) -> (Vec<Vec<Span>>, emd_core::globalizer::GlobalizerState, f64) {
+    let cfg = GlobalizerConfig { ablation, ..Default::default() };
+    let g = Globalizer::new(variant.local.as_ref(), variant.phrase.as_ref(), &variant.classifier, cfg);
+    let sentences: Vec<Sentence> = dataset.sentences.iter().map(|a| a.sentence.clone()).collect();
+    let t0 = Instant::now();
+    let (out, state) = g.run(&sentences, 512);
+    let secs = t0.elapsed().as_secs_f64();
+    (aligned_preds(dataset, &out), state, secs)
+}
+
+/// Evaluate one Table-III cell: standalone local pass, then the full
+/// framework.
+pub fn evaluate_cell(variant: &Variant, dataset: &Dataset) -> CellResult {
+    // Standalone local timing + effectiveness.
+    let sentences: Vec<Sentence> = dataset.sentences.iter().map(|a| a.sentence.clone()).collect();
+    let t0 = Instant::now();
+    let local_preds: Vec<Vec<Span>> =
+        sentences.iter().map(|s| variant.local.process(s).spans).collect();
+    let local_secs = t0.elapsed().as_secs_f64();
+    let local = mention_prf(dataset, &local_preds);
+
+    let (global_preds, _, run_secs) = run_variant(variant, dataset, Ablation::Full);
+    let global = mention_prf(dataset, &global_preds);
+    CellResult {
+        dataset: dataset.name.clone(),
+        system: variant.kind.name(),
+        local,
+        global,
+        local_secs,
+        global_secs: run_secs,
+    }
+}
+
+/// Train and evaluate HIRE-NER over a dataset (Table IV baseline).
+pub fn evaluate_hire(hire: &HireNer, dataset: &Dataset) -> Prf {
+    let sentences: Vec<Sentence> = dataset.sentences.iter().map(|a| a.sentence.clone()).collect();
+    let preds = hire.run_dataset(&sentences);
+    mention_prf(dataset, &preds)
+}
+
+/// Train the HIRE-NER baseline on D5.
+pub fn build_hire(suite: &Suite) -> HireNer {
+    HireNer::train(&suite.d5, &HireConfig::default())
+}
+
+/// Write a result file under `results/` (best-effort; directory created if
+/// missing) and echo to stdout.
+pub fn emit(name: &str, content: &str) {
+    println!("{content}");
+    let dir = std::path::Path::new("results");
+    let _ = std::fs::create_dir_all(dir);
+    let path = dir.join(format!("{name}.txt"));
+    if let Err(e) = std::fs::write(&path, content) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        eprintln!("[written {}]", path.display());
+    }
+}
+
+pub mod reports;

@@ -1,0 +1,30 @@
+//! # emd-local
+//!
+//! The four Local EMD instantiations of the paper (§IV-A), each a
+//! from-scratch Rust implementation of the corresponding system family and
+//! each implementing [`emd_core::LocalEmd`] so the framework can wrap them
+//! as black boxes:
+//!
+//! | Paper system        | This crate          | Type     | Entity-aware embeddings |
+//! |---------------------|---------------------|----------|--------------------------|
+//! | TweeboParser NP chunker | [`np_chunker::NpChunker`] | non-deep | – (syntactic 6-dim path) |
+//! | TwitterNLP (Ritter et al.) | [`twitter_nlp::TwitterNlp`] | non-deep | – (syntactic 6-dim path) |
+//! | Aguilar et al. (WNUT17 winner) | [`aguilar::Aguilar`] | deep | 100-dim (last dense before CRF) |
+//! | BERTweet (fine-tuned) | [`mini_bert::MiniBert`] | deep | model-dim (last encoder layer) |
+//!
+//! [`tcap::TCap`] reproduces TwitterNLP's capitalization-informativeness
+//! classifier; [`train_data`] holds shared corpus-preparation helpers;
+//! [`persist`] saves/loads trained checkpoints as JSON.
+
+pub mod aguilar;
+pub mod mini_bert;
+pub mod np_chunker;
+pub mod persist;
+pub mod tcap;
+pub mod train_data;
+pub mod twitter_nlp;
+
+pub use aguilar::Aguilar;
+pub use mini_bert::MiniBert;
+pub use np_chunker::NpChunker;
+pub use twitter_nlp::TwitterNlp;

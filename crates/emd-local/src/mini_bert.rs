@@ -1,0 +1,488 @@
+//! MiniBERT: a from-scratch transformer encoder fine-tuned for EMD,
+//! standing in for BERTweet (§IV-A.4).
+//!
+//! Same computational shape as the original at laptop scale: learned BPE
+//! subwords ([`emd_text::bpe`]), learned positional embeddings, a stack of
+//! post-LN transformer encoder blocks, and a feed-forward + softmax token
+//! classification head (BERTweet's fine-tuning head — no CRF). The hidden
+//! states of the last encoder layer, gathered at each word's first subword,
+//! are the **entity-aware token embeddings** the Global EMD phase consumes
+//! ("the layer prior to the output softmax layer").
+
+use emd_core::local::{LocalEmd, LocalEmdOutput};
+use emd_nn::activations::Relu;
+use emd_nn::attention::MultiHeadAttention;
+use emd_nn::dense::Dense;
+use emd_nn::embedding::Embedding;
+use emd_nn::layernorm::LayerNorm;
+use emd_nn::loss::softmax_xent;
+use emd_nn::matrix::Matrix;
+use emd_nn::optim::Adam;
+use emd_nn::param::{Net, Param};
+use emd_text::bpe::{Bpe, CLS};
+use emd_text::normalize;
+use emd_text::token::{bio_to_spans, Bio, Dataset, Sentence};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Model (hidden) dimensionality — BERTweet's 768 scaled down; the paper
+/// itself projects 768 → 300 in the phrase embedder, so the dimension is a
+/// free hyperparameter.
+pub const MODEL_DIM: usize = 48;
+const N_HEADS: usize = 4;
+const N_BLOCKS: usize = 2;
+const FF_DIM: usize = 96;
+const MAX_SUBWORDS: usize = 96;
+const BPE_MERGES: usize = 500;
+
+/// One post-LN transformer encoder block.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct EncoderBlock {
+    attn: MultiHeadAttention,
+    ln1: LayerNorm,
+    ff1: Dense,
+    ff2: Dense,
+    ln2: LayerNorm,
+    #[serde(skip)]
+    relu: Relu,
+}
+
+impl EncoderBlock {
+    fn new(rng: &mut StdRng) -> EncoderBlock {
+        EncoderBlock {
+            attn: MultiHeadAttention::new(MODEL_DIM, N_HEADS, rng),
+            ln1: LayerNorm::new(MODEL_DIM),
+            ff1: Dense::new(MODEL_DIM, FF_DIM, rng),
+            ff2: Dense::new(FF_DIM, MODEL_DIM, rng),
+            ln2: LayerNorm::new(MODEL_DIM),
+            relu: Relu::new(),
+        }
+    }
+
+    fn forward(&mut self, x: &Matrix) -> Matrix {
+        let a = self.attn.forward(x);
+        let mut x1 = x.clone();
+        x1.add_assign(&a);
+        let h1 = self.ln1.forward(&x1);
+        let f = self.ff2.forward(&self.relu.forward(&self.ff1.forward(&h1)));
+        let mut x2 = h1.clone();
+        x2.add_assign(&f);
+        self.ln2.forward(&x2)
+    }
+
+    fn infer(&self, x: &Matrix) -> Matrix {
+        let a = self.attn.infer(x);
+        let mut x1 = x.clone();
+        x1.add_assign(&a);
+        let h1 = self.ln1.infer(&x1);
+        let mut pre = self.ff1.infer(&h1);
+        for v in &mut pre.data {
+            *v = v.max(0.0);
+        }
+        let f = self.ff2.infer(&pre);
+        let mut x2 = h1.clone();
+        x2.add_assign(&f);
+        self.ln2.infer(&x2)
+    }
+
+    fn backward(&mut self, g: &Matrix) -> Matrix {
+        let g2 = self.ln2.backward(g);
+        let gff = self.ff1.backward(&self.relu.backward(&self.ff2.backward(&g2)));
+        let mut gh1 = g2;
+        gh1.add_assign(&gff);
+        let g1 = self.ln1.backward(&gh1);
+        let gattn = self.attn.backward(&g1);
+        let mut gx = g1;
+        gx.add_assign(&gattn);
+        gx
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut ps = self.attn.params_mut();
+        ps.extend(self.ln1.params_mut());
+        ps.extend(self.ff1.params_mut());
+        ps.extend(self.ff2.params_mut());
+        ps.extend(self.ln2.params_mut());
+        ps
+    }
+}
+
+/// Training hyperparameters.
+#[derive(Debug, Clone)]
+pub struct MiniBertConfig {
+    /// Fine-tuning epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Sentences per optimizer step.
+    pub batch_size: usize,
+    /// Init/shuffle seed.
+    pub seed: u64,
+    /// Gradient clipping max-norm.
+    pub clip: f32,
+    /// Masked-language-model pretraining epochs over the (unlabeled)
+    /// corpus before fine-tuning — BERTweet's recipe at miniature scale.
+    pub pretrain_epochs: usize,
+    /// Fraction of subword positions masked during pretraining.
+    pub mask_prob: f64,
+}
+
+impl Default for MiniBertConfig {
+    fn default() -> Self {
+        MiniBertConfig {
+            epochs: 6,
+            lr: 0.0025,
+            batch_size: 8,
+            seed: 42,
+            clip: 5.0,
+            pretrain_epochs: 2,
+            mask_prob: 0.15,
+        }
+    }
+}
+
+/// The MiniBERT Local EMD system.
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct MiniBert {
+    bpe: Bpe,
+    tok_emb: Embedding,
+    pos_emb: Embedding,
+    blocks: Vec<EncoderBlock>,
+    head: Dense,
+    /// Masked-LM prediction head, used only during pretraining.
+    mlm_head: Dense,
+}
+
+impl MiniBert {
+    /// Learn a BPE vocabulary from the corpus and initialize the model.
+    pub fn init(dataset: &Dataset, seed: u64) -> MiniBert {
+        let mut counts: HashMap<String, u64> = HashMap::new();
+        for s in &dataset.sentences {
+            for t in s.sentence.texts() {
+                *counts.entry(normalize::normalize_token(t)).or_insert(0) += 1;
+            }
+        }
+        // Sort for determinism (HashMap iteration order is randomized).
+        let mut sorted: Vec<(&String, &u64)> = counts.iter().collect();
+        sorted.sort();
+        let bpe = Bpe::learn(sorted.into_iter().map(|(w, c)| (w.as_str(), *c)), BPE_MERGES);
+        let mut rng = StdRng::seed_from_u64(seed);
+        MiniBert {
+            tok_emb: Embedding::new(bpe.vocab_size(), MODEL_DIM, &mut rng),
+            pos_emb: Embedding::new(MAX_SUBWORDS + 1, MODEL_DIM, &mut rng),
+            blocks: (0..N_BLOCKS).map(|_| EncoderBlock::new(&mut rng)).collect(),
+            head: Dense::new(MODEL_DIM, Bio::COUNT, &mut rng),
+            mlm_head: Dense::new(MODEL_DIM, bpe.vocab_size(), &mut rng),
+            bpe,
+        }
+    }
+
+    /// One masked-LM pretraining step: mask a fraction of subword
+    /// positions (replacing their ids with `UNK`), predict the original
+    /// ids at the masked positions. Returns the loss, or `None` when
+    /// nothing was masked.
+    fn pretrain_sentence(&mut self, sentence: &Sentence, mask_prob: f64, rng: &mut StdRng) -> Option<f32> {
+        use rand::Rng;
+        let (ids, positions, _) = self.encode(sentence);
+        if ids.len() < 3 {
+            return None;
+        }
+        let mut masked_ids = ids.clone();
+        let mut targets: Vec<(usize, usize)> = Vec::new(); // (position, original id)
+        for (i, id) in ids.iter().enumerate().skip(1) {
+            if rng.gen_bool(mask_prob) {
+                targets.push((i, *id as usize));
+                masked_ids[i] = emd_text::bpe::UNK;
+            }
+        }
+        if targets.is_empty() {
+            return None;
+        }
+        // Forward with caches.
+        let xe = self.tok_emb.forward(&masked_ids);
+        let pe = self.pos_emb.forward(&positions);
+        let mut h = xe.clone();
+        h.add_assign(&pe);
+        for b in &mut self.blocks {
+            h = b.forward(&h);
+        }
+        let mut masked_h = Matrix::zeros(targets.len(), MODEL_DIM);
+        for (r, (p, _)) in targets.iter().enumerate() {
+            masked_h.row_mut(r).copy_from_slice(h.row(*p));
+        }
+        let logits = self.mlm_head.forward(&masked_h);
+        let labels: Vec<usize> = targets.iter().map(|(_, t)| *t).collect();
+        let (loss, glogits) = softmax_xent(&logits, &labels);
+        // Backward.
+        let gmasked = self.mlm_head.backward(&glogits);
+        let mut gh = Matrix::zeros(h.rows, MODEL_DIM);
+        for (r, (p, _)) in targets.iter().enumerate() {
+            let dst = gh.row_mut(*p);
+            for (a, &b) in dst.iter_mut().zip(gmasked.row(r)) {
+                *a += b;
+            }
+        }
+        for b in self.blocks.iter_mut().rev() {
+            gh = b.backward(&gh);
+        }
+        self.tok_emb.backward(&gh);
+        self.pos_emb.backward(&gh);
+        Some(loss)
+    }
+
+    /// Masked-LM pretraining over the corpus (ignores annotations).
+    /// Returns per-epoch mean MLM loss.
+    pub fn pretrain(&mut self, dataset: &Dataset, cfg: &MiniBertConfig) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x91e);
+        let mut opt = Adam::new(cfg.lr);
+        let mut order: Vec<usize> = (0..dataset.len()).collect();
+        let mut history = Vec::new();
+        for _ in 0..cfg.pretrain_epochs {
+            order.shuffle(&mut rng);
+            let mut total = 0.0;
+            let mut count = 0usize;
+            for chunk in order.chunks(cfg.batch_size) {
+                self.zero_grads();
+                for &i in chunk {
+                    let s = &dataset.sentences[i].sentence;
+                    if let Some(l) = self.pretrain_sentence(s, cfg.mask_prob, &mut rng) {
+                        total += l;
+                        count += 1;
+                    }
+                }
+                self.clip_grad_norm(cfg.clip);
+                let mut params = self.params_mut();
+                opt.step(&mut params);
+            }
+            history.push(if count > 0 { total / count as f32 } else { 0.0 });
+        }
+        history
+    }
+
+    /// Fine-tune on the annotated corpus; returns per-epoch mean loss.
+    pub fn train(dataset: &Dataset, cfg: &MiniBertConfig) -> (MiniBert, Vec<f32>) {
+        let mut model = MiniBert::init(dataset, cfg.seed);
+        if cfg.pretrain_epochs > 0 {
+            model.pretrain(dataset, cfg);
+        }
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xbeef);
+        let mut opt = Adam::new(cfg.lr);
+        let mut order: Vec<usize> = (0..dataset.len()).collect();
+        let mut history = Vec::with_capacity(cfg.epochs);
+        for _ in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            let mut total = 0.0;
+            let mut count = 0usize;
+            for chunk in order.chunks(cfg.batch_size) {
+                model.zero_grads();
+                for &i in chunk {
+                    let ann = &dataset.sentences[i];
+                    if ann.sentence.is_empty() {
+                        continue;
+                    }
+                    let gold: Vec<usize> = ann.gold_bio().iter().map(|b| b.index()).collect();
+                    if let Some(loss) = model.train_sentence(&ann.sentence, &gold) {
+                        total += loss;
+                        count += 1;
+                    }
+                }
+                model.clip_grad_norm(cfg.clip);
+                let mut params = model.params_mut();
+                opt.step(&mut params);
+            }
+            history.push(if count > 0 { total / count as f32 } else { 0.0 });
+        }
+        (model, history)
+    }
+
+    /// Encode a sentence: `[CLS] subwords…` ids, position ids, and the
+    /// (clamped) index of each word's first subword in the input sequence.
+    fn encode(&self, sentence: &Sentence) -> (Vec<u32>, Vec<u32>, Vec<usize>) {
+        let texts: Vec<String> =
+            sentence.texts().map(normalize::normalize_token).collect();
+        let (sub_ids, first) = self.bpe.encode_tokens(texts.iter().map(|s| s.as_str()));
+        let mut ids = Vec::with_capacity(sub_ids.len() + 1);
+        ids.push(CLS);
+        ids.extend(sub_ids);
+        ids.truncate(MAX_SUBWORDS);
+        let positions: Vec<u32> = (0..ids.len() as u32).map(|p| p + 1).collect();
+        let word_pos: Vec<usize> =
+            first.iter().map(|&f| (f + 1).min(ids.len().saturating_sub(1))).collect();
+        (ids, positions, word_pos)
+    }
+
+    fn embed(&self, ids: &[u32], positions: &[u32]) -> Matrix {
+        let mut x = self.tok_emb.infer(ids);
+        x.add_assign(&self.pos_emb.infer(positions));
+        x
+    }
+
+    /// Inference: word-level (emissions, entity-aware embeddings).
+    fn infer_forward(&self, sentence: &Sentence) -> (Matrix, Matrix) {
+        let (ids, positions, word_pos) = self.encode(sentence);
+        let mut h = self.embed(&ids, &positions);
+        for b in &self.blocks {
+            h = b.infer(&h);
+        }
+        let mut word_h = Matrix::zeros(word_pos.len(), MODEL_DIM);
+        for (w, &p) in word_pos.iter().enumerate() {
+            word_h.row_mut(w).copy_from_slice(h.row(p));
+        }
+        let logits = self.head.infer(&word_h);
+        (logits, word_h)
+    }
+
+    /// One training step; `None` if the sentence produced no usable words.
+    fn train_sentence(&mut self, sentence: &Sentence, gold: &[usize]) -> Option<f32> {
+        let (ids, positions, word_pos) = self.encode(sentence);
+        if word_pos.is_empty() {
+            return None;
+        }
+        // Forward with caches.
+        let xe = self.tok_emb.forward(&ids);
+        let pe = self.pos_emb.forward(&positions);
+        let mut h = xe.clone();
+        h.add_assign(&pe);
+        for b in &mut self.blocks {
+            h = b.forward(&h);
+        }
+        let mut word_h = Matrix::zeros(word_pos.len(), MODEL_DIM);
+        for (w, &p) in word_pos.iter().enumerate() {
+            word_h.row_mut(w).copy_from_slice(h.row(p));
+        }
+        let logits = self.head.forward(&word_h);
+        let (loss, glogits) = softmax_xent(&logits, gold);
+        // Backward.
+        let gword = self.head.backward(&glogits);
+        let mut gh = Matrix::zeros(h.rows, MODEL_DIM);
+        for (w, &p) in word_pos.iter().enumerate() {
+            let dst = gh.row_mut(p);
+            for (a, &b) in dst.iter_mut().zip(gword.row(w)) {
+                *a += b;
+            }
+        }
+        for b in self.blocks.iter_mut().rev() {
+            gh = b.backward(&gh);
+        }
+        self.tok_emb.backward(&gh);
+        self.pos_emb.backward(&gh);
+        Some(loss)
+    }
+}
+
+impl Net for MiniBert {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut ps = self.tok_emb.params_mut();
+        ps.extend(self.pos_emb.params_mut());
+        for b in &mut self.blocks {
+            ps.extend(b.params_mut());
+        }
+        ps.extend(self.head.params_mut());
+        ps.extend(self.mlm_head.params_mut());
+        ps
+    }
+}
+
+impl LocalEmd for MiniBert {
+    fn name(&self) -> &str {
+        "BERTweet"
+    }
+
+    fn embedding_dim(&self) -> Option<usize> {
+        Some(MODEL_DIM)
+    }
+
+    fn process(&self, sentence: &Sentence) -> LocalEmdOutput {
+        if sentence.is_empty() {
+            return LocalEmdOutput {
+                spans: vec![],
+                token_embeddings: Some(Matrix::zeros(0, MODEL_DIM)),
+            };
+        }
+        let (logits, emb) = self.infer_forward(sentence);
+        let mut bio = Vec::with_capacity(logits.rows);
+        for r in 0..logits.rows {
+            let row = logits.row(r);
+            let mut best = 0usize;
+            for c in 1..row.len() {
+                if row[c] > row[best] {
+                    best = c;
+                }
+            }
+            bio.push(Bio::from_index(best));
+        }
+        LocalEmdOutput { spans: bio_to_spans(&bio), token_embeddings: Some(emb) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emd_synth::datasets::training_stream;
+
+    #[test]
+    fn training_reduces_loss_and_tags() {
+        let (_, d5) = training_stream(31, 0.004); // ~150 messages
+        let (model, history) = MiniBert::train(&d5, &MiniBertConfig { epochs: 3, ..Default::default() });
+        assert!(
+            history.last().unwrap() < &(history[0] * 0.8),
+            "loss should drop: {history:?}"
+        );
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for s in d5.sentences.iter().take(60) {
+            let out = model.process(&s.sentence);
+            let pred = emd_text::token::spans_to_bio(&out.spans, s.sentence.len());
+            let gold = s.gold_bio();
+            correct += pred.iter().zip(gold.iter()).filter(|(a, b)| a == b).count();
+            total += gold.len();
+        }
+        let acc = correct as f32 / total as f32;
+        assert!(acc > 0.7, "token accuracy too low: {acc}");
+    }
+
+    #[test]
+    fn mlm_pretraining_reduces_loss() {
+        let (_, d5) = training_stream(35, 0.003);
+        let mut model = MiniBert::init(&d5, 0);
+        let cfg = MiniBertConfig { pretrain_epochs: 3, ..Default::default() };
+        let hist = model.pretrain(&d5, &cfg);
+        assert_eq!(hist.len(), 3);
+        assert!(
+            hist.last().unwrap() < &hist[0],
+            "MLM loss should decrease: {hist:?}"
+        );
+    }
+
+    #[test]
+    fn embeddings_word_aligned() {
+        let (_, d5) = training_stream(32, 0.002);
+        let model = MiniBert::init(&d5, 0);
+        let s = &d5.sentences[0].sentence;
+        let out = model.process(s);
+        let emb = out.token_embeddings.unwrap();
+        assert_eq!(emb.rows, s.len(), "one embedding row per word");
+        assert_eq!(emb.cols, MODEL_DIM);
+    }
+
+    #[test]
+    fn long_sentence_truncates_safely() {
+        let (_, d5) = training_stream(33, 0.002);
+        let model = MiniBert::init(&d5, 0);
+        let words: Vec<String> = (0..200).map(|i| format!("word{i}")).collect();
+        let s = Sentence::from_tokens(emd_text::token::SentenceId::new(0, 0), words);
+        let out = model.process(&s);
+        assert_eq!(out.token_embeddings.unwrap().rows, 200);
+    }
+
+    #[test]
+    fn empty_sentence_ok() {
+        let (_, d5) = training_stream(34, 0.002);
+        let model = MiniBert::init(&d5, 0);
+        let s = Sentence { id: emd_text::token::SentenceId::new(0, 0), tokens: vec![] };
+        let out = model.process(&s);
+        assert!(out.spans.is_empty());
+    }
+}

@@ -1,0 +1,141 @@
+//! Chunker-based EMD (§IV-A.1): noun-phrase chunking over POS tags.
+//!
+//! The paper's first instantiation runs TweeboParser to obtain POS tags and
+//! dependency trees, then extracts noun phrases as entity candidates. Ours
+//! chunks maximal nominal runs over the rule-based tagger of `emd-text` —
+//! deliberately a *weak, syntax-only proposer*: high candidate coverage,
+//! low precision (the paper reports P as low as 0.30), leaving plenty for
+//! Global EMD to clean up.
+
+use emd_core::local::{LocalEmd, LocalEmdOutput};
+use emd_text::pos::{tag_sentence, PosTag};
+use emd_text::token::{Sentence, Span};
+
+/// If a chunk contains proper nouns, trim it to the maximal Propn run —
+/// "governor Andy Beshear" → "Andy Beshear". Plain noun chunks are kept
+/// whole (that is where the chunker's characteristic false positives come
+/// from).
+fn trim_to_propn(span: Span, tags: &[PosTag]) -> Span {
+    let propn: Vec<usize> =
+        (span.start..span.end).filter(|&i| tags[i] == PosTag::Propn).collect();
+    if propn.is_empty() {
+        return span;
+    }
+    // Maximal contiguous run containing the first Propn.
+    let mut s = propn[0];
+    let mut e = propn[0] + 1;
+    while e < span.end && tags[e] == PosTag::Propn {
+        e += 1;
+    }
+    while s > span.start && tags[s - 1] == PosTag::Propn {
+        s -= 1;
+    }
+    Span::new(s, e)
+}
+
+/// Noun-phrase chunker Local EMD system.
+#[derive(Debug, Clone, Default)]
+pub struct NpChunker {
+    /// Maximum chunk length in tokens.
+    pub max_len: usize,
+}
+
+impl NpChunker {
+    /// Default configuration (chunks capped at 6 tokens).
+    pub fn new() -> NpChunker {
+        NpChunker { max_len: 6 }
+    }
+}
+
+/// Can this tag begin or continue a candidate noun phrase?
+fn chunkable(tag: PosTag, token: &str) -> bool {
+    match tag {
+        PosTag::Propn => true,
+        PosTag::Noun => token.len() > 2, // drop 1-2 letter noise
+        _ => false,
+    }
+}
+
+impl LocalEmd for NpChunker {
+    fn name(&self) -> &str {
+        "NP Chunker"
+    }
+
+    fn embedding_dim(&self) -> Option<usize> {
+        None
+    }
+
+    fn process(&self, sentence: &Sentence) -> LocalEmdOutput {
+        let texts: Vec<&str> = sentence.texts().collect();
+        let tags = tag_sentence(&texts);
+        let mut spans = Vec::new();
+        let mut start: Option<usize> = None;
+        for i in 0..texts.len() {
+            let ok = chunkable(tags[i], texts[i]);
+            match (start, ok) {
+                (None, true) => start = Some(i),
+                (Some(s), true) => {
+                    if i - s + 1 > self.max_len {
+                        spans.push(Span::new(s, i));
+                        start = Some(i);
+                    }
+                }
+                (Some(s), false) => {
+                    spans.push(Span::new(s, i));
+                    start = None;
+                }
+                (None, false) => {}
+            }
+        }
+        if let Some(s) = start {
+            spans.push(Span::new(s, texts.len()));
+        }
+        let spans = spans.into_iter().map(|sp| trim_to_propn(sp, &tags)).collect();
+        LocalEmdOutput { spans, token_embeddings: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emd_text::token::SentenceId;
+
+    fn run(words: &[&str]) -> Vec<Span> {
+        let s = Sentence::from_tokens(SentenceId::new(0, 0), words.iter().copied());
+        NpChunker::new().process(&s).spans
+    }
+
+    #[test]
+    fn chunks_proper_noun_runs() {
+        let spans = run(&["governor", "Andy", "Beshear", "speaks"]);
+        // The chunk is trimmed to the proper-noun run.
+        assert!(spans.contains(&Span::new(1, 3)), "{spans:?}");
+    }
+
+    #[test]
+    fn common_nouns_overgenerate() {
+        // The chunker is supposed to be noisy: plain nouns become candidates.
+        let spans = run(&["the", "virus", "spreads"]);
+        assert!(spans.contains(&Span::new(1, 2)), "{spans:?}");
+    }
+
+    #[test]
+    fn verbs_and_function_words_excluded() {
+        let spans = run(&["they", "are", "rising", "quickly"]);
+        assert!(spans.is_empty(), "{spans:?}");
+    }
+
+    #[test]
+    fn trailing_chunk_closed() {
+        let spans = run(&["cases", "rise", "in", "Italy"]);
+        assert!(spans.contains(&Span::new(3, 4)), "{spans:?}");
+    }
+
+    #[test]
+    fn no_embeddings() {
+        let s = Sentence::from_tokens(SentenceId::new(0, 0), ["Italy"]);
+        let out = NpChunker::new().process(&s);
+        assert!(out.token_embeddings.is_none());
+        assert!(!NpChunker::new().is_deep());
+    }
+}

@@ -1,0 +1,137 @@
+//! Model persistence: save/load trained Local EMD systems (and any other
+//! serializable model component) as JSON checkpoints.
+//!
+//! JSON is chosen deliberately: checkpoints here are small (tens of
+//! thousands of `f32`s), human-inspectable, and diff-able — the right
+//! trade-off for a reproduction whose models retrain in seconds. The
+//! format records the crate version so stale checkpoints fail loudly.
+
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Envelope written around every checkpoint.
+#[derive(Serialize, Deserialize)]
+struct Envelope<T> {
+    /// Crate version that wrote the checkpoint.
+    version: String,
+    /// Model kind tag (defensive: loading the wrong type fails clearly).
+    kind: String,
+    /// The model itself.
+    model: T,
+}
+
+/// Errors from checkpoint I/O.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// (De)serialization failure.
+    Json(serde_json::Error),
+    /// The checkpoint's `kind` tag does not match the requested type.
+    KindMismatch {
+        /// Tag found in the file.
+        found: String,
+        /// Tag the caller expected.
+        expected: String,
+    },
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            PersistError::Json(e) => write!(f, "checkpoint serialization error: {e}"),
+            PersistError::KindMismatch { found, expected } => {
+                write!(f, "checkpoint kind mismatch: found {found:?}, expected {expected:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Json(e)
+    }
+}
+
+/// Save a model checkpoint. `kind` tags the model type (use
+/// [`kind_of`] for consistency).
+pub fn save<T: Serialize>(path: impl AsRef<Path>, kind: &str, model: &T) -> Result<(), PersistError> {
+    let env = Envelope {
+        version: env!("CARGO_PKG_VERSION").to_string(),
+        kind: kind.to_string(),
+        model,
+    };
+    let json = serde_json::to_string(&env)?;
+    fs::write(path, json)?;
+    Ok(())
+}
+
+/// Load a model checkpoint, verifying the `kind` tag.
+pub fn load<T: DeserializeOwned>(path: impl AsRef<Path>, kind: &str) -> Result<T, PersistError> {
+    let json = fs::read_to_string(path)?;
+    let env: Envelope<T> = serde_json::from_str(&json)?;
+    if env.kind != kind {
+        return Err(PersistError::KindMismatch { found: env.kind, expected: kind.to_string() });
+    }
+    Ok(env.model)
+}
+
+/// Canonical kind tag for a model type name.
+pub fn kind_of<T>() -> &'static str {
+    std::any::type_name::<T>().rsplit("::").next().unwrap_or("model")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::twitter_nlp::{TwitterNlp, TwitterNlpConfig};
+    use emd_core::local::LocalEmd;
+    use emd_synth::datasets::training_stream;
+
+    #[test]
+    fn twitter_nlp_roundtrip_preserves_predictions() {
+        let (world, d5) = training_stream(51, 0.003);
+        let model = TwitterNlp::train(&d5, world.gazetteer.clone(), &TwitterNlpConfig::default());
+        let dir = std::env::temp_dir().join("emd_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("twitter_nlp.json");
+        save(&path, kind_of::<TwitterNlp>(), &model).unwrap();
+        let loaded: TwitterNlp = load(&path, kind_of::<TwitterNlp>()).unwrap();
+        for ann in d5.sentences.iter().take(25) {
+            assert_eq!(
+                model.process(&ann.sentence).spans,
+                loaded.process(&ann.sentence).spans,
+                "loaded model must reproduce predictions"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn kind_mismatch_is_detected() {
+        let dir = std::env::temp_dir().join("emd_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("kind.json");
+        save(&path, "alpha", &vec![1.0f32, 2.0]).unwrap();
+        let err = load::<Vec<f32>>(&path, "beta").unwrap_err();
+        assert!(matches!(err, PersistError::KindMismatch { .. }));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn kind_of_strips_path() {
+        assert_eq!(kind_of::<TwitterNlp>(), "TwitterNlp");
+    }
+}

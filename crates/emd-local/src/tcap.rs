@@ -1,0 +1,141 @@
+//! T-CAP: the capitalization-informativeness classifier (§IV-A.2).
+//!
+//! TwitterNLP trains a classifier that "studies capitalization throughout
+//! the entire sentence to predict whether or not it is informative" —
+//! unreliable casing is rampant in tweets. We reproduce it as a logistic
+//! regression over sentence-level casing statistics, trained against the
+//! uninformative-casing criterion on a reference corpus.
+
+use emd_nn::activations::sigmoid;
+use emd_text::casing::{sentence_casing_uninformative, CapShape};
+use emd_text::token::{Dataset, Sentence};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+const N_FEATS: usize = 6;
+
+/// Logistic-regression capitalization classifier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TCap {
+    w: [f32; N_FEATS],
+    b: f32,
+}
+
+/// Sentence-level casing statistics.
+fn features(sentence: &Sentence) -> [f32; N_FEATS] {
+    let mut n_alpha = 0f32;
+    let mut n_init = 0f32;
+    let mut n_upper = 0f32;
+    let mut n_lower = 0f32;
+    let mut first_cap = 0f32;
+    for (i, t) in sentence.texts().enumerate() {
+        match CapShape::of(t) {
+            CapShape::Init | CapShape::Mixed => {
+                n_alpha += 1.0;
+                n_init += 1.0;
+                if i == 0 {
+                    first_cap = 1.0;
+                }
+            }
+            CapShape::AllUpper => {
+                n_alpha += 1.0;
+                n_upper += 1.0;
+                if i == 0 {
+                    first_cap = 1.0;
+                }
+            }
+            CapShape::AllLower => {
+                n_alpha += 1.0;
+                n_lower += 1.0;
+            }
+            CapShape::NonAlpha => {}
+        }
+    }
+    let d = n_alpha.max(1.0);
+    [n_init / d, n_upper / d, n_lower / d, first_cap, n_alpha / 20.0, 1.0]
+}
+
+impl TCap {
+    /// Train on a reference corpus: label 1 = informative casing.
+    pub fn train(dataset: &Dataset, seed: u64) -> TCap {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut w = [0f32; N_FEATS];
+        for x in &mut w {
+            *x = rng.gen_range(-0.01..0.01);
+        }
+        let mut model = TCap { w, b: 0.0 };
+        let data: Vec<([f32; N_FEATS], f32)> = dataset
+            .sentences
+            .iter()
+            .map(|s| {
+                let y = if sentence_casing_uninformative(&s.sentence) { 0.0 } else { 1.0 };
+                (features(&s.sentence), y)
+            })
+            .collect();
+        let lr = 0.5f32;
+        for _ in 0..30 {
+            for (x, y) in &data {
+                let z: f32 = model.w.iter().zip(x.iter()).map(|(a, b)| a * b).sum::<f32>() + model.b;
+                let g = sigmoid(z) - y;
+                for (wi, xi) in model.w.iter_mut().zip(x.iter()) {
+                    *wi -= lr * g * xi / data.len().max(1) as f32 * 64.0;
+                }
+                model.b -= lr * g / data.len().max(1) as f32 * 64.0;
+            }
+        }
+        model
+    }
+
+    /// Probability that the sentence's casing is informative.
+    pub fn predict(&self, sentence: &Sentence) -> f32 {
+        let x = features(sentence);
+        let z: f32 = self.w.iter().zip(x.iter()).map(|(a, b)| a * b).sum::<f32>() + self.b;
+        sigmoid(z)
+    }
+
+    /// Hard decision at 0.5.
+    pub fn informative(&self, sentence: &Sentence) -> bool {
+        self.predict(sentence) >= 0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emd_text::token::{AnnotatedSentence, DatasetKind, SentenceId};
+
+    fn corpus() -> Dataset {
+        let mk = |id: u64, words: &[&str]| AnnotatedSentence {
+            sentence: Sentence::from_tokens(SentenceId::new(id, 0), words.iter().copied()),
+            gold: vec![],
+        };
+        let mut sentences = Vec::new();
+        // Informative: normal mixed-case sentences.
+        for i in 0..30u64 {
+            sentences.push(mk(i, &["Cases", "rise", "in", "Italy", "today"]));
+            sentences.push(mk(100 + i, &["the", "governor", "Beshear", "said", "so"]));
+        }
+        // Uninformative: ALL CAPS or all lowercase.
+        for i in 0..30u64 {
+            sentences.push(mk(200 + i, &["WE", "ARE", "DONE", "WITH", "THIS"]));
+            sentences.push(mk(300 + i, &["italy", "is", "rising", "fast", "now"]));
+        }
+        Dataset { name: "t".into(), kind: DatasetKind::Streaming, n_topics: 1, sentences }
+    }
+
+    #[test]
+    fn learns_to_separate_casing_regimes() {
+        let tcap = TCap::train(&corpus(), 0);
+        let informative =
+            Sentence::from_tokens(SentenceId::new(0, 0), ["Cases", "rise", "in", "Canada"]);
+        let shouty =
+            Sentence::from_tokens(SentenceId::new(1, 0), ["THIS", "IS", "ALL", "CAPS", "NOW"]);
+        let flat =
+            Sentence::from_tokens(SentenceId::new(2, 0), ["all", "lower", "case", "words", "here"]);
+        assert!(tcap.predict(&informative) > tcap.predict(&shouty));
+        assert!(tcap.predict(&informative) > tcap.predict(&flat));
+        assert!(tcap.informative(&informative));
+        assert!(!tcap.informative(&shouty));
+    }
+}

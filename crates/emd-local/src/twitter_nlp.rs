@@ -1,0 +1,130 @@
+//! TwitterNLP-style CRF tagging (§IV-A.2).
+//!
+//! Ritter et al.'s T-SEG: a CRF over orthographic, contextual (T-POS /
+//! T-CHUNK), capitalization (T-CAP) and dictionary features. Here: the
+//! `emd-crf` sparse linear-chain CRF over the same feature families, with a
+//! trained [`TCap`] gating the shape features, and the world gazetteer
+//! supplying dictionary features.
+
+use crate::tcap::TCap;
+use emd_core::local::{LocalEmd, LocalEmdOutput};
+use emd_crf::features::{extract_features, FeatureConfig};
+use emd_crf::tagger::{CrfTagger, Example, TrainConfig};
+use emd_text::gazetteer::Gazetteer;
+use emd_text::pos::tag_sentence;
+use emd_text::token::{bio_to_spans, Bio, Dataset, Sentence};
+
+/// The CRF-based Local EMD system.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct TwitterNlp {
+    tagger: CrfTagger,
+    tcap: TCap,
+    gazetteer: Gazetteer,
+    feat_cfg: FeatureConfig,
+}
+
+/// Training options.
+#[derive(Debug, Clone)]
+pub struct TwitterNlpConfig {
+    /// CRF training configuration.
+    pub crf: TrainConfig,
+    /// Feature-extraction configuration.
+    pub features: FeatureConfig,
+}
+
+impl Default for TwitterNlpConfig {
+    fn default() -> Self {
+        TwitterNlpConfig {
+            crf: TrainConfig { epochs: 6, lr: 0.05, l2: 1e-6, batch_size: 8, seed: 42 },
+            features: FeatureConfig::default(),
+        }
+    }
+}
+
+impl TwitterNlp {
+    /// Train the full system (T-CAP, then T-SEG) on an annotated corpus.
+    pub fn train(dataset: &Dataset, gazetteer: Gazetteer, cfg: &TwitterNlpConfig) -> TwitterNlp {
+        let tcap = TCap::train(dataset, cfg.crf.seed);
+        let mut examples: Vec<Example> = Vec::with_capacity(dataset.len());
+        for s in &dataset.sentences {
+            if s.sentence.is_empty() {
+                continue;
+            }
+            let toks: Vec<String> = s.sentence.texts().map(|t| t.to_string()).collect();
+            let pos = tag_sentence(&toks);
+            let informative = tcap.informative(&s.sentence);
+            let feats = extract_features(&toks, &pos, &gazetteer, informative, &cfg.features);
+            let gold: Vec<usize> = s.gold_bio().iter().map(|b| b.index()).collect();
+            examples.push((feats, gold));
+        }
+        let mut tagger = CrfTagger::new(&cfg.features);
+        tagger.train(&examples, &cfg.crf);
+        TwitterNlp { tagger, tcap, gazetteer, feat_cfg: cfg.features.clone() }
+    }
+
+    /// Replace the gazetteer (external dictionary resource).
+    pub fn set_gazetteer(&mut self, gazetteer: Gazetteer) {
+        self.gazetteer = gazetteer;
+    }
+
+    /// Access to the trained T-CAP (diagnostics).
+    pub fn tcap(&self) -> &TCap {
+        &self.tcap
+    }
+}
+
+impl LocalEmd for TwitterNlp {
+    fn name(&self) -> &str {
+        "TwitterNLP"
+    }
+
+    fn embedding_dim(&self) -> Option<usize> {
+        None
+    }
+
+    fn process(&self, sentence: &Sentence) -> LocalEmdOutput {
+        if sentence.is_empty() {
+            return LocalEmdOutput { spans: vec![], token_embeddings: None };
+        }
+        let toks: Vec<String> = sentence.texts().map(|t| t.to_string()).collect();
+        let pos = tag_sentence(&toks);
+        let informative = self.tcap.informative(sentence);
+        let feats =
+            extract_features(&toks, &pos, &self.gazetteer, informative, &self.feat_cfg);
+        let bio: Vec<Bio> = self.tagger.decode_bio(&feats);
+        LocalEmdOutput { spans: bio_to_spans(&bio), token_embeddings: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emd_synth::datasets::training_stream;
+
+    #[test]
+    fn trains_and_tags_synthetic_stream() {
+        let (world, d5) = training_stream(11, 0.01); // ~380 messages
+        let model = TwitterNlp::train(&d5, world.gazetteer.clone(), &TwitterNlpConfig::default());
+        // Evaluate token-level agreement on the training data (should be
+        // well above chance).
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for s in d5.sentences.iter().take(150) {
+            let out = model.process(&s.sentence);
+            let pred = emd_text::token::spans_to_bio(&out.spans, s.sentence.len());
+            let gold = s.gold_bio();
+            correct += pred.iter().zip(gold.iter()).filter(|(a, b)| a == b).count();
+            total += gold.len();
+        }
+        let acc = correct as f32 / total as f32;
+        assert!(acc > 0.75, "token accuracy too low: {acc}");
+    }
+
+    #[test]
+    fn empty_sentence() {
+        let (world, d5) = training_stream(12, 0.003);
+        let model = TwitterNlp::train(&d5, world.gazetteer.clone(), &TwitterNlpConfig::default());
+        let s = Sentence { id: emd_text::token::SentenceId::new(0, 0), tokens: vec![] };
+        assert!(model.process(&s).spans.is_empty());
+    }
+}

@@ -1,0 +1,215 @@
+//! Pointwise activation functions with explicit backward passes.
+
+use crate::matrix::Matrix;
+
+/// ReLU applied elementwise; caches the mask for backward.
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    mask: Vec<bool>,
+}
+
+impl Relu {
+    /// New ReLU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `y = max(0, x)`.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        self.mask = x.data.iter().map(|&v| v > 0.0).collect();
+        let data = x.data.iter().map(|&v| v.max(0.0)).collect();
+        Matrix { rows: x.rows, cols: x.cols, data }
+    }
+
+    /// `dx = dy ⊙ 1[x > 0]`.
+    pub fn backward(&self, gy: &Matrix) -> Matrix {
+        assert_eq!(gy.data.len(), self.mask.len(), "backward before forward?");
+        let data = gy
+            .data
+            .iter()
+            .zip(self.mask.iter())
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Matrix { rows: gy.rows, cols: gy.cols, data }
+    }
+}
+
+/// Tanh applied elementwise; caches outputs for backward.
+#[derive(Debug, Clone, Default)]
+pub struct Tanh {
+    y: Vec<f32>,
+}
+
+impl Tanh {
+    /// New Tanh layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `y = tanh(x)`.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let data: Vec<f32> = x.data.iter().map(|&v| v.tanh()).collect();
+        self.y = data.clone();
+        Matrix { rows: x.rows, cols: x.cols, data }
+    }
+
+    /// `dx = dy ⊙ (1 - y²)`.
+    pub fn backward(&self, gy: &Matrix) -> Matrix {
+        let data = gy
+            .data
+            .iter()
+            .zip(self.y.iter())
+            .map(|(&g, &y)| g * (1.0 - y * y))
+            .collect();
+        Matrix { rows: gy.rows, cols: gy.cols, data }
+    }
+}
+
+/// Numerically stable scalar sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Sigmoid applied elementwise; caches outputs for backward.
+#[derive(Debug, Clone, Default)]
+pub struct Sigmoid {
+    y: Vec<f32>,
+}
+
+impl Sigmoid {
+    /// New sigmoid layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `y = σ(x)`.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let data: Vec<f32> = x.data.iter().map(|&v| sigmoid(v)).collect();
+        self.y = data.clone();
+        Matrix { rows: x.rows, cols: x.cols, data }
+    }
+
+    /// `dx = dy ⊙ y(1-y)`.
+    pub fn backward(&self, gy: &Matrix) -> Matrix {
+        let data = gy
+            .data
+            .iter()
+            .zip(self.y.iter())
+            .map(|(&g, &y)| g * y * (1.0 - y))
+            .collect();
+        Matrix { rows: gy.rows, cols: gy.cols, data }
+    }
+}
+
+/// Row-wise softmax (stable).
+pub fn softmax_rows(x: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(x.rows, x.cols);
+    for r in 0..x.rows {
+        let row = x.row(r);
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        let orow = out.row_mut(r);
+        for (o, &v) in orow.iter_mut().zip(row.iter()) {
+            let e = (v - m).exp();
+            *o = e;
+            sum += e;
+        }
+        if sum > 0.0 {
+            for o in orow.iter_mut() {
+                *o /= sum;
+            }
+        }
+    }
+    out
+}
+
+/// Backward through a row-wise softmax given its output `y` and upstream
+/// gradient `gy`: `dx_i = y_i (gy_i - Σ_j gy_j y_j)` per row.
+pub fn softmax_rows_backward(y: &Matrix, gy: &Matrix) -> Matrix {
+    assert_eq!(y.rows, gy.rows);
+    assert_eq!(y.cols, gy.cols);
+    let mut out = Matrix::zeros(y.rows, y.cols);
+    for r in 0..y.rows {
+        let yr = y.row(r);
+        let gr = gy.row(r);
+        let dot: f32 = yr.iter().zip(gr.iter()).map(|(&a, &b)| a * b).sum();
+        for c in 0..y.cols {
+            out.data[r * y.cols + c] = yr[c] * (gr[c] - dot);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_forward_backward() {
+        let mut relu = Relu::new();
+        let x = Matrix::from_vec(1, 4, vec![-1.0, 0.0, 2.0, -3.0]);
+        let y = relu.forward(&x);
+        assert_eq!(y.data, vec![0.0, 0.0, 2.0, 0.0]);
+        let gx = relu.backward(&Matrix::from_vec(1, 4, vec![1.0; 4]));
+        assert_eq!(gx.data, vec![0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn sigmoid_stable() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+        assert!(sigmoid(100.0) > 0.999);
+        assert!(sigmoid(-100.0) < 1e-4);
+        assert!(sigmoid(-100.0) >= 0.0);
+    }
+
+    #[test]
+    fn tanh_grad_matches_fd() {
+        let mut t = Tanh::new();
+        let x0 = 0.37f32;
+        let x = Matrix::from_vec(1, 1, vec![x0]);
+        t.forward(&x);
+        let g = t.backward(&Matrix::from_vec(1, 1, vec![1.0])).data[0];
+        let eps = 1e-3;
+        let fd = ((x0 + eps).tanh() - (x0 - eps).tanh()) / (2.0 * eps);
+        assert!((g - fd).abs() < 1e-4);
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one() {
+        let x = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let y = softmax_rows(&x);
+        for r in 0..2 {
+            let s: f32 = y.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        // monotone in inputs
+        assert!(y.get(0, 2) > y.get(0, 1));
+    }
+
+    #[test]
+    fn softmax_backward_matches_fd() {
+        let x = Matrix::from_vec(1, 3, vec![0.3, -0.2, 0.5]);
+        let y = softmax_rows(&x);
+        // loss = Σ w_i y_i with arbitrary weights
+        let w = [0.7f32, -0.3, 0.4];
+        let gy = Matrix::from_vec(1, 3, w.to_vec());
+        let gx = softmax_rows_backward(&y, &gy);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut xp = x.clone();
+            xp.data[i] += eps;
+            let mut xm = x.clone();
+            xm.data[i] -= eps;
+            let lp: f32 = softmax_rows(&xp).data.iter().zip(w.iter()).map(|(a, b)| a * b).sum();
+            let lm: f32 = softmax_rows(&xm).data.iter().zip(w.iter()).map(|(a, b)| a * b).sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((gx.data[i] - fd).abs() < 1e-3, "i={i} {} vs {}", gx.data[i], fd);
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Multi-head self-attention with a hand-written backward pass.
+//!
+//! The MiniBERT local EMD system stacks these into transformer encoder
+//! blocks. Input and output are `[T, d]`; `d` must be divisible by the
+//! number of heads.
+
+use crate::activations::{softmax_rows, softmax_rows_backward};
+use crate::matrix::Matrix;
+use crate::param::{Net, Param};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Multi-head scaled-dot-product self-attention.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiHeadAttention {
+    /// Query projection `[d, d]`.
+    pub wq: Param,
+    /// Key projection `[d, d]`.
+    pub wk: Param,
+    /// Value projection `[d, d]`.
+    pub wv: Param,
+    /// Output projection `[d, d]`.
+    pub wo: Param,
+    /// Number of heads.
+    pub n_heads: usize,
+    #[serde(skip)]
+    cache: Option<AttnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct AttnCache {
+    x: Matrix,
+    q: Matrix,
+    k: Matrix,
+    v: Matrix,
+    /// Per-head attention matrices `[T, T]`.
+    attn: Vec<Matrix>,
+    /// Concatenated head outputs before the output projection `[T, d]`.
+    concat: Matrix,
+}
+
+/// Copy head `h`'s column slice `[T, dh]` out of `[T, d]`.
+fn head_slice(x: &Matrix, h: usize, dh: usize) -> Matrix {
+    let mut out = Matrix::zeros(x.rows, dh);
+    for r in 0..x.rows {
+        out.row_mut(r).copy_from_slice(&x.row(r)[h * dh..(h + 1) * dh]);
+    }
+    out
+}
+
+/// Add `src` `[T, dh]` into head `h`'s column slice of `dst` `[T, d]`.
+fn head_scatter(dst: &mut Matrix, src: &Matrix, h: usize, dh: usize) {
+    for r in 0..src.rows {
+        let drow = &mut dst.row_mut(r)[h * dh..(h + 1) * dh];
+        for (a, &b) in drow.iter_mut().zip(src.row(r)) {
+            *a += b;
+        }
+    }
+}
+
+impl MultiHeadAttention {
+    /// New attention module over `d`-dim rows with `n_heads` heads.
+    pub fn new(d: usize, n_heads: usize, rng: &mut StdRng) -> MultiHeadAttention {
+        assert!(d.is_multiple_of(n_heads), "model dim {d} not divisible by heads {n_heads}");
+        MultiHeadAttention {
+            wq: Param::xavier(d, d, rng),
+            wk: Param::xavier(d, d, rng),
+            wv: Param::xavier(d, d, rng),
+            wo: Param::xavier(d, d, rng),
+            n_heads,
+            cache: None,
+        }
+    }
+
+    /// Model dimensionality.
+    pub fn dim(&self) -> usize {
+        self.wq.value.rows
+    }
+
+    /// Forward pass `[T, d] → [T, d]`.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let d = self.dim();
+        let dh = d / self.n_heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let q = x.matmul(&self.wq.value);
+        let k = x.matmul(&self.wk.value);
+        let v = x.matmul(&self.wv.value);
+        let mut concat = Matrix::zeros(x.rows, d);
+        let mut attns = Vec::with_capacity(self.n_heads);
+        for h in 0..self.n_heads {
+            let qh = head_slice(&q, h, dh);
+            let kh = head_slice(&k, h, dh);
+            let vh = head_slice(&v, h, dh);
+            let mut scores = qh.matmul_nt(&kh);
+            scores.scale(scale);
+            let a = softmax_rows(&scores);
+            let oh = a.matmul(&vh);
+            head_scatter(&mut concat, &oh, h, dh);
+            attns.push(a);
+        }
+        let y = concat.matmul(&self.wo.value);
+        self.cache = Some(AttnCache { x: x.clone(), q, k, v, attn: attns, concat });
+        y
+    }
+
+    /// Cache-free forward pass for inference (`&self`).
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let d = self.dim();
+        let dh = d / self.n_heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let q = x.matmul(&self.wq.value);
+        let k = x.matmul(&self.wk.value);
+        let v = x.matmul(&self.wv.value);
+        let mut concat = Matrix::zeros(x.rows, d);
+        for h in 0..self.n_heads {
+            let qh = head_slice(&q, h, dh);
+            let kh = head_slice(&k, h, dh);
+            let vh = head_slice(&v, h, dh);
+            let mut scores = qh.matmul_nt(&kh);
+            scores.scale(scale);
+            let a = softmax_rows(&scores);
+            let oh = a.matmul(&vh);
+            head_scatter(&mut concat, &oh, h, dh);
+        }
+        concat.matmul(&self.wo.value)
+    }
+
+    /// Backward pass from `gy` `[T, d]` → `dx` `[T, d]`.
+    pub fn backward(&mut self, gy: &Matrix) -> Matrix {
+        let cache = self.cache.take().expect("MultiHeadAttention::backward before forward");
+        let d = self.dim();
+        let dh = d / self.n_heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        // Output projection.
+        self.wo.grad.add_assign(&cache.concat.matmul_tn(gy));
+        let dconcat = gy.matmul_nt(&self.wo.value);
+
+        let mut dq = Matrix::zeros(cache.x.rows, d);
+        let mut dk = Matrix::zeros(cache.x.rows, d);
+        let mut dv = Matrix::zeros(cache.x.rows, d);
+        for h in 0..self.n_heads {
+            let doh = head_slice(&dconcat, h, dh);
+            let a = &cache.attn[h];
+            let qh = head_slice(&cache.q, h, dh);
+            let kh = head_slice(&cache.k, h, dh);
+            let vh = head_slice(&cache.v, h, dh);
+            // O = A·V
+            let da = doh.matmul_nt(&vh);
+            let dvh = a.matmul_tn(&doh);
+            // Through softmax.
+            let mut ds = softmax_rows_backward(a, &da);
+            ds.scale(scale);
+            // S = Q·Kᵀ (already scaled in ds)
+            let dqh = ds.matmul(&kh);
+            let dkh = ds.matmul_tn(&qh);
+            head_scatter(&mut dq, &dqh, h, dh);
+            head_scatter(&mut dk, &dkh, h, dh);
+            head_scatter(&mut dv, &dvh, h, dh);
+        }
+        self.wq.grad.add_assign(&cache.x.matmul_tn(&dq));
+        self.wk.grad.add_assign(&cache.x.matmul_tn(&dk));
+        self.wv.grad.add_assign(&cache.x.matmul_tn(&dv));
+        let mut dx = dq.matmul_nt(&self.wq.value);
+        dx.add_assign(&dk.matmul_nt(&self.wk.value));
+        dx.add_assign(&dv.matmul_nt(&self.wv.value));
+        dx
+    }
+}
+
+impl Net for MultiHeadAttention {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.wq, &mut self.wk, &mut self.wv, &mut self.wo]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::grad_check;
+    use rand::{Rng, SeedableRng};
+
+    fn input(t: usize, d: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::from_vec(t, d, (0..t * d).map(|_| rng.gen_range(-1.0..1.0)).collect())
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut attn = MultiHeadAttention::new(8, 2, &mut rng);
+        let y = attn.forward(&input(5, 8, 1));
+        assert_eq!((y.rows, y.cols), (5, 8));
+    }
+
+    #[test]
+    fn attention_rows_are_distributions() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut attn = MultiHeadAttention::new(4, 2, &mut rng);
+        attn.forward(&input(4, 4, 3));
+        let cache = attn.cache.as_ref().unwrap();
+        for a in &cache.attn {
+            for r in 0..a.rows {
+                let s: f32 = a.row(r).iter().sum();
+                assert!((s - 1.0).abs() < 1e-5);
+                assert!(a.row(r).iter().all(|&v| v >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn gradcheck_attention() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut attn = MultiHeadAttention::new(4, 2, &mut rng);
+        let x = input(3, 4, 5);
+        grad_check(
+            &mut attn,
+            |net| {
+                let y = net.forward(&x);
+                let loss: f32 = y.data.iter().map(|v| v * v).sum();
+                let gy = Matrix { rows: y.rows, cols: y.cols, data: y.data.iter().map(|v| 2.0 * v).collect() };
+                net.backward(&gy);
+                loss
+            },
+            40,
+            6,
+        );
+    }
+
+    #[test]
+    fn input_grad_matches_fd() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut attn = MultiHeadAttention::new(4, 1, &mut rng);
+        let x = input(3, 4, 8);
+        let y = attn.forward(&x);
+        let gy = Matrix { rows: y.rows, cols: y.cols, data: y.data.iter().map(|v| 2.0 * v).collect() };
+        let dx = attn.backward(&gy);
+        let eps = 5e-3;
+        for i in [0usize, 5, 11] {
+            let mut xp = x.clone();
+            xp.data[i] += eps;
+            let mut xm = x.clone();
+            xm.data[i] -= eps;
+            let lp: f32 = attn.forward(&xp).data.iter().map(|v| v * v).sum();
+            let lm: f32 = attn.forward(&xm).data.iter().map(|v| v * v).sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((dx.data[i] - fd).abs() < 3e-2, "i={i}: {} vs {}", dx.data[i], fd);
+        }
+    }
+
+    #[test]
+    fn single_token_sequence() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut attn = MultiHeadAttention::new(4, 2, &mut rng);
+        let y = attn.forward(&input(1, 4, 10));
+        assert_eq!((y.rows, y.cols), (1, 4));
+    }
+}

@@ -1,0 +1,325 @@
+//! Neural linear-chain CRF output layer.
+//!
+//! Sits on top of per-token emission scores (the output of a dense layer in
+//! Aguilar et al.). Training minimizes the sequence negative log-likelihood
+//! computed with the forward algorithm; decoding uses Viterbi. Gradients
+//! with respect to both the emissions and the transition parameters are the
+//! classic `expected counts − observed counts`.
+
+use crate::matrix::{log_sum_exp, Matrix};
+use crate::param::{Net, Param};
+use serde::{Deserialize, Serialize};
+
+/// Linear-chain CRF over `L` labels with start/end potentials.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CrfLayer {
+    /// Transition scores `[L, L]`: `trans[i][j]` = score of `i → j`.
+    pub trans: Param,
+    /// Start scores `[1, L]`.
+    pub start: Param,
+    /// End scores `[1, L]`.
+    pub end: Param,
+    n_labels: usize,
+}
+
+impl CrfLayer {
+    /// New CRF over `n_labels` labels, zero-initialized potentials.
+    pub fn new(n_labels: usize) -> CrfLayer {
+        CrfLayer {
+            trans: Param::zeros(n_labels, n_labels),
+            start: Param::zeros(1, n_labels),
+            end: Param::zeros(1, n_labels),
+            n_labels,
+        }
+    }
+
+    /// Number of labels.
+    pub fn n_labels(&self) -> usize {
+        self.n_labels
+    }
+
+    /// Forward algorithm: returns `(alpha [T,L], logZ)`.
+    fn forward_alg(&self, emissions: &Matrix) -> (Matrix, f32) {
+        let t_len = emissions.rows;
+        let l = self.n_labels;
+        let mut alpha = Matrix::zeros(t_len, l);
+        for j in 0..l {
+            alpha.set(0, j, self.start.value.data[j] + emissions.get(0, j));
+        }
+        let mut scratch = vec![0.0f32; l];
+        for t in 1..t_len {
+            for j in 0..l {
+                for (i, s) in scratch.iter_mut().enumerate() {
+                    *s = alpha.get(t - 1, i) + self.trans.value.get(i, j);
+                }
+                alpha.set(t, j, emissions.get(t, j) + log_sum_exp(&scratch));
+            }
+        }
+        let finals: Vec<f32> =
+            (0..l).map(|j| alpha.get(t_len - 1, j) + self.end.value.data[j]).collect();
+        (alpha, log_sum_exp(&finals))
+    }
+
+    /// Backward algorithm: `beta [T,L]`.
+    fn backward_alg(&self, emissions: &Matrix) -> Matrix {
+        let t_len = emissions.rows;
+        let l = self.n_labels;
+        let mut beta = Matrix::zeros(t_len, l);
+        for j in 0..l {
+            beta.set(t_len - 1, j, self.end.value.data[j]);
+        }
+        let mut scratch = vec![0.0f32; l];
+        for t in (0..t_len - 1).rev() {
+            for i in 0..l {
+                for (j, s) in scratch.iter_mut().enumerate() {
+                    *s = self.trans.value.get(i, j) + emissions.get(t + 1, j) + beta.get(t + 1, j);
+                }
+                beta.set(t, i, log_sum_exp(&scratch));
+            }
+        }
+        beta
+    }
+
+    /// Score of a specific label path.
+    fn path_score(&self, emissions: &Matrix, labels: &[usize]) -> f32 {
+        let mut s = self.start.value.data[labels[0]] + emissions.get(0, labels[0]);
+        for t in 1..labels.len() {
+            s += self.trans.value.get(labels[t - 1], labels[t]) + emissions.get(t, labels[t]);
+        }
+        s + self.end.value.data[labels[labels.len() - 1]]
+    }
+
+    /// Negative log-likelihood of `gold` given `emissions`, plus the
+    /// gradient with respect to the emissions. Accumulates gradients into
+    /// the transition/start/end parameters.
+    ///
+    /// Panics if the sequence is empty or `gold.len() != emissions.rows`.
+    pub fn nll(&mut self, emissions: &Matrix, gold: &[usize]) -> (f32, Matrix) {
+        assert!(!gold.is_empty(), "empty sequence");
+        assert_eq!(gold.len(), emissions.rows);
+        let t_len = emissions.rows;
+        let l = self.n_labels;
+        let (alpha, log_z) = self.forward_alg(emissions);
+        let beta = self.backward_alg(emissions);
+        let loss = log_z - self.path_score(emissions, gold);
+
+        // Unary marginals → emission gradient.
+        let mut de = Matrix::zeros(t_len, l);
+        for t in 0..t_len {
+            for j in 0..l {
+                let p = (alpha.get(t, j) + beta.get(t, j) - log_z).exp();
+                de.set(t, j, p);
+            }
+            de.data[t * l + gold[t]] -= 1.0;
+        }
+        // Start/end gradients.
+        for j in 0..l {
+            let p0 = (alpha.get(0, j) + beta.get(0, j) - log_z).exp();
+            self.start.grad.data[j] += p0;
+            let pt = (alpha.get(t_len - 1, j) + beta.get(t_len - 1, j) - log_z).exp();
+            self.end.grad.data[j] += pt;
+        }
+        self.start.grad.data[gold[0]] -= 1.0;
+        self.end.grad.data[gold[t_len - 1]] -= 1.0;
+        // Pairwise marginals → transition gradient.
+        for t in 0..t_len - 1 {
+            for i in 0..l {
+                for j in 0..l {
+                    let p = (alpha.get(t, i)
+                        + self.trans.value.get(i, j)
+                        + emissions.get(t + 1, j)
+                        + beta.get(t + 1, j)
+                        - log_z)
+                        .exp();
+                    self.trans.grad.data[i * l + j] += p;
+                }
+            }
+            self.trans.grad.data[gold[t] * l + gold[t + 1]] -= 1.0;
+        }
+        (loss, de)
+    }
+
+    /// Viterbi decoding: the maximum-score label path.
+    pub fn decode(&self, emissions: &Matrix) -> Vec<usize> {
+        let t_len = emissions.rows;
+        if t_len == 0 {
+            return Vec::new();
+        }
+        let l = self.n_labels;
+        let mut delta = Matrix::zeros(t_len, l);
+        let mut back = vec![vec![0usize; l]; t_len];
+        for j in 0..l {
+            delta.set(0, j, self.start.value.data[j] + emissions.get(0, j));
+        }
+        for t in 1..t_len {
+            for j in 0..l {
+                let mut best = f32::NEG_INFINITY;
+                let mut bi = 0;
+                for i in 0..l {
+                    let s = delta.get(t - 1, i) + self.trans.value.get(i, j);
+                    if s > best {
+                        best = s;
+                        bi = i;
+                    }
+                }
+                delta.set(t, j, best + emissions.get(t, j));
+                back[t][j] = bi;
+            }
+        }
+        let mut bj = 0;
+        let mut best = f32::NEG_INFINITY;
+        for j in 0..l {
+            let s = delta.get(t_len - 1, j) + self.end.value.data[j];
+            if s > best {
+                best = s;
+                bj = j;
+            }
+        }
+        let mut path = vec![0usize; t_len];
+        path[t_len - 1] = bj;
+        for t in (1..t_len).rev() {
+            path[t - 1] = back[t][path[t]];
+        }
+        path
+    }
+
+    /// Log-partition for external use (e.g. confidence estimates).
+    pub fn log_partition(&self, emissions: &Matrix) -> f32 {
+        self.forward_alg(emissions).1
+    }
+}
+
+impl Net for CrfLayer {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.trans, &mut self.start, &mut self.end]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::grad_check;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn emissions(t: usize, l: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::from_vec(t, l, (0..t * l).map(|_| rng.gen_range(-1.0..1.0)).collect())
+    }
+
+    #[test]
+    fn nll_nonnegative_and_zero_only_when_certain() {
+        let mut crf = CrfLayer::new(3);
+        let e = emissions(4, 3, 1);
+        let gold = vec![0, 1, 2, 0];
+        let (loss, _) = crf.nll(&e, &gold);
+        assert!(loss >= -1e-4, "NLL must be ≥ 0, got {loss}");
+    }
+
+    #[test]
+    fn decode_matches_brute_force() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut crf = CrfLayer::new(3);
+        for x in &mut crf.trans.value.data {
+            *x = rng.gen_range(-1.0..1.0);
+        }
+        for x in &mut crf.start.value.data {
+            *x = rng.gen_range(-1.0..1.0);
+        }
+        for x in &mut crf.end.value.data {
+            *x = rng.gen_range(-1.0..1.0);
+        }
+        let e = emissions(3, 3, 3);
+        let path = crf.decode(&e);
+        // Brute force over all 27 paths.
+        let mut best_score = f32::NEG_INFINITY;
+        let mut best = vec![];
+        for a in 0..3 {
+            for b in 0..3 {
+                for c in 0..3 {
+                    let p = vec![a, b, c];
+                    let s = crf.path_score(&e, &p);
+                    if s > best_score {
+                        best_score = s;
+                        best = p;
+                    }
+                }
+            }
+        }
+        assert_eq!(path, best);
+    }
+
+    #[test]
+    fn partition_exceeds_any_path_score() {
+        let mut crf = CrfLayer::new(3);
+        crf.trans.value.data.iter_mut().enumerate().for_each(|(i, x)| *x = (i as f32) * 0.1);
+        let e = emissions(4, 3, 4);
+        let z = crf.log_partition(&e);
+        let best = crf.decode(&e);
+        assert!(z >= crf.path_score(&e, &best) - 1e-4);
+    }
+
+    #[test]
+    fn gradcheck_crf_params() {
+        let mut crf = CrfLayer::new(3);
+        let e = emissions(4, 3, 5);
+        let gold = vec![0, 1, 1, 2];
+        grad_check(
+            &mut crf,
+            |net| {
+                let (loss, _) = net.nll(&e, &gold);
+                loss
+            },
+            30,
+            6,
+        );
+    }
+
+    #[test]
+    fn emission_grad_matches_fd() {
+        let mut crf = CrfLayer::new(3);
+        let e = emissions(3, 3, 7);
+        let gold = vec![2, 0, 1];
+        let (_, de) = crf.nll(&e, &gold);
+        let eps = 5e-3;
+        for i in 0..e.data.len() {
+            let mut ep = e.clone();
+            ep.data[i] += eps;
+            let mut em = e.clone();
+            em.data[i] -= eps;
+            let mut c2 = CrfLayer::new(3);
+            let (lp, _) = c2.nll(&ep, &gold);
+            let (lm, _) = c2.nll(&em, &gold);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((de.data[i] - fd).abs() < 1e-2, "i={i}: {} vs {}", de.data[i], fd);
+        }
+    }
+
+    #[test]
+    fn single_token_sequence() {
+        let mut crf = CrfLayer::new(3);
+        let e = emissions(1, 3, 8);
+        let (loss, de) = crf.nll(&e, &[1]);
+        assert!(loss >= 0.0);
+        assert_eq!(de.rows, 1);
+        assert_eq!(crf.decode(&e).len(), 1);
+    }
+
+    #[test]
+    fn training_reduces_nll() {
+        use crate::optim::Sgd;
+        let mut crf = CrfLayer::new(3);
+        let e = emissions(5, 3, 9);
+        let gold = vec![0, 1, 1, 2, 0];
+        let (l0, _) = crf.nll(&e, &gold);
+        let mut opt = Sgd::new(0.5);
+        for _ in 0..50 {
+            crf.zero_grads();
+            let _ = crf.nll(&e, &gold);
+            opt.step(&mut crf.params_mut());
+        }
+        crf.zero_grads();
+        let (l1, _) = crf.nll(&e, &gold);
+        assert!(l1 < l0 * 0.5, "training must reduce NLL: {l0} → {l1}");
+        assert_eq!(crf.decode(&e), gold);
+    }
+}

@@ -1,0 +1,165 @@
+//! Layer normalization (per-row), used by the transformer encoder.
+
+use crate::matrix::Matrix;
+use crate::param::{Net, Param};
+use serde::{Deserialize, Serialize};
+
+/// Per-row layer normalization with learned gain `γ` and bias `β`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayerNorm {
+    /// Gain `[1, d]`, initialized to 1.
+    pub gamma: Param,
+    /// Bias `[1, d]`, initialized to 0.
+    pub beta: Param,
+    eps: f32,
+    #[serde(skip)]
+    cache: Option<(Matrix, Vec<f32>)>, // (xhat, inv_std per row)
+}
+
+impl LayerNorm {
+    /// New layer norm over `d`-dimensional rows.
+    pub fn new(d: usize) -> LayerNorm {
+        let mut gamma = Param::zeros(1, d);
+        gamma.value.fill(1.0);
+        LayerNorm { gamma, beta: Param::zeros(1, d), eps: 1e-5, cache: None }
+    }
+
+    /// `y = γ ⊙ (x − μ)/σ + β`, statistics per row.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let d = x.cols;
+        let mut xhat = Matrix::zeros(x.rows, d);
+        let mut inv_stds = Vec::with_capacity(x.rows);
+        let mut y = Matrix::zeros(x.rows, d);
+        for r in 0..x.rows {
+            let row = x.row(r);
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            inv_stds.push(inv_std);
+            for c in 0..d {
+                let xh = (row[c] - mean) * inv_std;
+                xhat.set(r, c, xh);
+                y.set(r, c, self.gamma.value.data[c] * xh + self.beta.value.data[c]);
+            }
+        }
+        self.cache = Some((xhat, inv_stds));
+        y
+    }
+
+    /// Cache-free forward pass for inference (`&self`).
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let d = x.cols;
+        let mut y = Matrix::zeros(x.rows, d);
+        for r in 0..x.rows {
+            let row = x.row(r);
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            for c in 0..d {
+                let xh = (row[c] - mean) * inv_std;
+                y.set(r, c, self.gamma.value.data[c] * xh + self.beta.value.data[c]);
+            }
+        }
+        y
+    }
+
+    /// Backward pass; accumulates `dγ`, `dβ`, returns `dx`.
+    pub fn backward(&mut self, gy: &Matrix) -> Matrix {
+        let (xhat, inv_stds) = self.cache.take().expect("LayerNorm::backward before forward");
+        let d = gy.cols;
+        let mut dx = Matrix::zeros(gy.rows, d);
+        for r in 0..gy.rows {
+            let gr = gy.row(r);
+            let xr = xhat.row(r);
+            // Accumulate parameter grads.
+            for c in 0..d {
+                self.gamma.grad.data[c] += gr[c] * xr[c];
+                self.beta.grad.data[c] += gr[c];
+            }
+            // dxhat = gy ⊙ γ
+            let dxhat: Vec<f32> =
+                (0..d).map(|c| gr[c] * self.gamma.value.data[c]).collect();
+            let mean_dxhat = dxhat.iter().sum::<f32>() / d as f32;
+            let mean_dxhat_xhat =
+                dxhat.iter().zip(xr.iter()).map(|(&a, &b)| a * b).sum::<f32>() / d as f32;
+            for c in 0..d {
+                dx.set(
+                    r,
+                    c,
+                    inv_stds[r] * (dxhat[c] - mean_dxhat - xr[c] * mean_dxhat_xhat),
+                );
+            }
+        }
+        dx
+    }
+}
+
+impl Net for LayerNorm {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::grad_check;
+
+    #[test]
+    fn normalizes_rows() {
+        let mut ln = LayerNorm::new(4);
+        let x = Matrix::from_vec(2, 4, vec![1., 2., 3., 4., 10., 10., 10., 10.]);
+        let y = ln.forward(&x);
+        // Row 0: mean 0, unit-ish variance.
+        let m: f32 = y.row(0).iter().sum::<f32>() / 4.0;
+        assert!(m.abs() < 1e-5);
+        // Constant row stays ~0 (variance ≈ 0 → xhat 0 → y = β = 0).
+        assert!(y.row(1).iter().all(|v| v.abs() < 1e-2));
+    }
+
+    #[test]
+    fn gradcheck_layernorm() {
+        let mut ln = LayerNorm::new(5);
+        let x = Matrix::from_vec(2, 5, vec![0.5, -1.0, 2.0, 0.3, -0.7, 1.5, 0.2, -0.4, 0.9, -1.2]);
+        grad_check(
+            &mut ln,
+            |net| {
+                let y = net.forward(&x);
+                let loss: f32 = y.data.iter().enumerate().map(|(i, v)| v * v * (1.0 + i as f32 * 0.1)).sum();
+                let gy = Matrix {
+                    rows: y.rows,
+                    cols: y.cols,
+                    data: y.data.iter().enumerate().map(|(i, v)| 2.0 * v * (1.0 + i as f32 * 0.1)).collect(),
+                };
+                net.backward(&gy);
+                loss
+            },
+            20,
+            1,
+        );
+    }
+
+    #[test]
+    fn input_grad_matches_fd() {
+        let mut ln = LayerNorm::new(3);
+        // Use non-trivial gamma to exercise the full path.
+        ln.gamma.value.data = vec![1.5, 0.5, -0.8];
+        ln.beta.value.data = vec![0.1, -0.2, 0.3];
+        let x = Matrix::from_vec(1, 3, vec![0.4, -0.6, 1.1]);
+        let mut ln2 = ln.clone();
+        let y = ln2.forward(&x);
+        let gy = Matrix { rows: 1, cols: 3, data: y.data.iter().map(|v| 2.0 * v).collect() };
+        let dx = ln2.backward(&gy);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut xp = x.clone();
+            xp.data[i] += eps;
+            let mut xm = x.clone();
+            xm.data[i] -= eps;
+            let lp: f32 = ln.clone().forward(&xp).data.iter().map(|v| v * v).sum();
+            let lm: f32 = ln.clone().forward(&xm).data.iter().map(|v| v * v).sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((dx.data[i] - fd).abs() < 1e-2, "i={i}: {} vs {}", dx.data[i], fd);
+        }
+    }
+}

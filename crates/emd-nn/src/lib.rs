@@ -1,0 +1,47 @@
+//! # emd-nn
+//!
+//! A from-scratch, dependency-light neural-network substrate sized for the
+//! EMD Globalizer reproduction. No autograd graph: every layer implements an
+//! explicit `forward` that caches what its hand-written `backward` needs.
+//! This keeps the library small, auditable and fast for the tiny model
+//! sizes the reproduction uses (embedding/hidden dims of 16–64).
+//!
+//! Provided building blocks:
+//!
+//! * [`matrix::Matrix`] — row-major `f32` matrix with the handful of BLAS-1/2/3
+//!   kernels the layers need,
+//! * [`param::Param`] — a weight tensor bundled with its gradient and Adam
+//!   moment buffers,
+//! * layers: [`dense::Dense`], [`embedding::Embedding`], [`lstm::Lstm`] /
+//!   [`lstm::BiLstm`], [`conv::CharCnn`], [`attention::MultiHeadAttention`],
+//!   [`layernorm::LayerNorm`], activations ([`activations`]),
+//! * [`crf::CrfLayer`] — neural linear-chain CRF output layer
+//!   (forward-algorithm NLL + Viterbi decoding),
+//! * [`optim::Adam`] / [`optim::Sgd`] optimizers,
+//! * [`loss`] — MSE / binary cross-entropy / softmax cross-entropy,
+//! * [`gradcheck`] — finite-difference gradient checking used throughout the
+//!   test suite to prove each backward pass correct.
+//!
+//! Conventions: sequences are `Matrix` values of shape `[T, d]` (one row per
+//! time step); batching is done by looping over sequences (sequence lengths
+//! in tweets are short, so per-sequence processing is cache-friendly and
+//! keeps the code simple).
+
+#![allow(clippy::needless_range_loop)] // index loops are clearer in numeric kernels
+
+pub mod activations;
+pub mod attention;
+pub mod conv;
+pub mod crf;
+pub mod dense;
+pub mod embedding;
+pub mod gradcheck;
+pub mod layernorm;
+pub mod loss;
+pub mod lstm;
+pub mod matrix;
+pub mod optim;
+pub mod param;
+
+pub use matrix::Matrix;
+pub use param::{Net, Param};

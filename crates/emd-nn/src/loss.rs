@@ -1,0 +1,130 @@
+//! Loss functions, each returning `(loss, gradient)`.
+
+use crate::activations::sigmoid;
+use crate::matrix::Matrix;
+
+/// Mean squared error between two scalars: `(pred − target)²` and its
+/// gradient with respect to `pred`.
+pub fn mse_scalar(pred: f32, target: f32) -> (f32, f32) {
+    let d = pred - target;
+    (d * d, 2.0 * d)
+}
+
+/// Mean squared error between two equal-shape matrices, averaged over all
+/// elements. Returns loss and `dL/dpred`.
+pub fn mse(pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
+    assert_eq!(pred.data.len(), target.data.len());
+    let n = pred.data.len().max(1) as f32;
+    let mut grad = Matrix::zeros(pred.rows, pred.cols);
+    let mut loss = 0.0;
+    for i in 0..pred.data.len() {
+        let d = pred.data[i] - target.data[i];
+        loss += d * d;
+        grad.data[i] = 2.0 * d / n;
+    }
+    (loss / n, grad)
+}
+
+/// Binary cross-entropy with logits for a single output:
+/// `L = −[y log σ(z) + (1−y) log(1−σ(z))]`; gradient is `σ(z) − y`.
+pub fn bce_with_logits(logit: f32, target: f32) -> (f32, f32) {
+    // Stable formulation: max(z,0) − z·y + log(1 + e^{−|z|})
+    let loss = logit.max(0.0) - logit * target + (1.0 + (-logit.abs()).exp()).ln();
+    let grad = sigmoid(logit) - target;
+    (loss, grad)
+}
+
+/// Softmax cross-entropy over rows of `logits` `[n, C]` against integer
+/// `labels`. Returns mean loss and the gradient `[n, C]` (already divided
+/// by `n`).
+pub fn softmax_xent(logits: &Matrix, labels: &[usize]) -> (f32, Matrix) {
+    assert_eq!(logits.rows, labels.len());
+    let n = logits.rows.max(1) as f32;
+    let mut grad = Matrix::zeros(logits.rows, logits.cols);
+    let mut loss = 0.0;
+    for r in 0..logits.rows {
+        let row = logits.row(r);
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let sum: f32 = row.iter().map(|&v| (v - m).exp()).sum();
+        let log_sum = m + sum.ln();
+        loss += log_sum - row[labels[r]];
+        for c in 0..logits.cols {
+            let p = (row[c] - log_sum).exp();
+            grad.set(r, c, (p - if c == labels[r] { 1.0 } else { 0.0 }) / n);
+        }
+    }
+    (loss / n, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_scalar_basics() {
+        let (l, g) = mse_scalar(2.0, 3.0);
+        assert_eq!(l, 1.0);
+        assert_eq!(g, -2.0);
+        let (l0, g0) = mse_scalar(5.0, 5.0);
+        assert_eq!((l0, g0), (0.0, 0.0));
+    }
+
+    #[test]
+    fn mse_matrix_grad_matches_fd() {
+        let p = Matrix::from_vec(1, 3, vec![0.5, -0.2, 0.9]);
+        let t = Matrix::from_vec(1, 3, vec![0.0, 0.3, 1.0]);
+        let (_, g) = mse(&p, &t);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut pp = p.clone();
+            pp.data[i] += eps;
+            let mut pm = p.clone();
+            pm.data[i] -= eps;
+            let fd = (mse(&pp, &t).0 - mse(&pm, &t).0) / (2.0 * eps);
+            assert!((g.data[i] - fd).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn bce_stable_at_extremes() {
+        let (l, _) = bce_with_logits(100.0, 1.0);
+        assert!(l < 1e-3);
+        let (l2, _) = bce_with_logits(-100.0, 0.0);
+        assert!(l2 < 1e-3);
+        let (l3, _) = bce_with_logits(-100.0, 1.0);
+        assert!(l3 > 50.0 && l3.is_finite());
+    }
+
+    #[test]
+    fn bce_grad_matches_fd() {
+        for (z, y) in [(0.3f32, 1.0f32), (-0.7, 0.0), (2.0, 0.0)] {
+            let (_, g) = bce_with_logits(z, y);
+            let eps = 1e-3;
+            let fd = (bce_with_logits(z + eps, y).0 - bce_with_logits(z - eps, y).0) / (2.0 * eps);
+            assert!((g - fd).abs() < 1e-3, "z={z} y={y}: {g} vs {fd}");
+        }
+    }
+
+    #[test]
+    fn xent_perfect_prediction_low_loss() {
+        let logits = Matrix::from_vec(1, 3, vec![10.0, -10.0, -10.0]);
+        let (l, _) = softmax_xent(&logits, &[0]);
+        assert!(l < 1e-3);
+    }
+
+    #[test]
+    fn xent_grad_matches_fd() {
+        let logits = Matrix::from_vec(2, 3, vec![0.1, 0.5, -0.3, 1.0, -1.0, 0.2]);
+        let labels = [1usize, 0];
+        let (_, g) = softmax_xent(&logits, &labels);
+        let eps = 1e-3;
+        for i in 0..logits.data.len() {
+            let mut lp = logits.clone();
+            lp.data[i] += eps;
+            let mut lm = logits.clone();
+            lm.data[i] -= eps;
+            let fd = (softmax_xent(&lp, &labels).0 - softmax_xent(&lm, &labels).0) / (2.0 * eps);
+            assert!((g.data[i] - fd).abs() < 1e-3, "i={i}");
+        }
+    }
+}

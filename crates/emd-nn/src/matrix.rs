@@ -1,0 +1,374 @@
+//! Row-major `f32` matrix with the small set of kernels the layers need.
+//!
+//! Shapes follow the `[rows, cols]` convention; sequence inputs are
+//! `[T, d]`. The multiply kernels are written in the `ikj` loop order so the
+//! inner loop streams contiguously over both the output row and the `b` row,
+//! which autovectorizes well — plenty for the model sizes used here.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix of `f32`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row-major storage, `rows * cols` long.
+    pub data: Vec<f32>,
+}
+
+impl Matrix {
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Matrix from a flat row-major vector (length must match).
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Matrix {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Single-row matrix from a slice.
+    pub fn row_vector(v: &[f32]) -> Matrix {
+        Matrix { rows: 1, cols: v.len(), data: v.to_vec() }
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `self · b` — `[m,k] x [k,n] -> [m,n]`.
+    pub fn matmul(&self, b: &Matrix) -> Matrix {
+        assert_eq!(self.cols, b.rows, "matmul shape mismatch {}x{} · {}x{}", self.rows, self.cols, b.rows, b.cols);
+        let (m, k, n) = (self.rows, self.cols, b.cols);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let arow = self.row(i);
+            let orow = &mut out.data[i * n..(i + 1) * n];
+            for (p, &a) in arow.iter().enumerate().take(k) {
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &b.data[p * n..(p + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += a * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · b` — `[k,m]ᵀ x [k,n] -> [m,n]`.
+    pub fn matmul_tn(&self, b: &Matrix) -> Matrix {
+        assert_eq!(self.rows, b.rows, "matmul_tn shape mismatch");
+        let (k, m, n) = (self.rows, self.cols, b.cols);
+        let mut out = Matrix::zeros(m, n);
+        for p in 0..k {
+            let arow = self.row(p);
+            let brow = b.row(p);
+            for (i, &a) in arow.iter().enumerate().take(m) {
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &mut out.data[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += a * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · bᵀ` — `[m,k] x [n,k]ᵀ -> [m,n]`.
+    pub fn matmul_nt(&self, b: &Matrix) -> Matrix {
+        assert_eq!(self.cols, b.cols, "matmul_nt shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, b.rows);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let arow = self.row(i);
+            for j in 0..n {
+                let brow = b.row(j);
+                let mut s = 0.0;
+                for p in 0..k {
+                    s += arow[p] * brow[p];
+                }
+                out.data[i * n + j] = s;
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transposed(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Add a `[1,n]` bias row to every row.
+    pub fn add_row_broadcast(&mut self, bias: &Matrix) {
+        assert_eq!(bias.rows, 1);
+        assert_eq!(bias.cols, self.cols);
+        for r in 0..self.rows {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (x, &b) in row.iter_mut().zip(bias.data.iter()) {
+                *x += b;
+            }
+        }
+    }
+
+    /// Column sums as a `[1,n]` matrix (used for bias gradients).
+    pub fn col_sums(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for (o, &x) in out.data.iter_mut().zip(self.row(r)) {
+                *o += x;
+            }
+        }
+        out
+    }
+
+    /// Elementwise `self += other`.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.data.len(), other.data.len());
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Elementwise `self += alpha * other`.
+    pub fn axpy(&mut self, alpha: f32, other: &Matrix) {
+        assert_eq!(self.data.len(), other.data.len());
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Elementwise product (Hadamard), returning a new matrix.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.data.len(), other.data.len());
+        let data = self.data.iter().zip(other.data.iter()).map(|(&a, &b)| a * b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Scale all elements in place.
+    pub fn scale(&mut self, alpha: f32) {
+        for x in &mut self.data {
+            *x *= alpha;
+        }
+    }
+
+    /// Set all elements to `v`.
+    pub fn fill(&mut self, v: f32) {
+        for x in &mut self.data {
+            *x = v;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0.0 for empty).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Stack a slice of equal-width row vectors into a `[n, d]` matrix.
+    pub fn stack_rows(rows: &[Vec<f32>]) -> Matrix {
+        if rows.is_empty() {
+            return Matrix::zeros(0, 0);
+        }
+        let d = rows[0].len();
+        let mut out = Matrix::zeros(rows.len(), d);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), d, "ragged rows");
+            out.row_mut(i).copy_from_slice(r);
+        }
+        out
+    }
+
+    /// Horizontal concatenation `[m, a] ++ [m, b] -> [m, a+b]`.
+    pub fn hcat(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "hcat row mismatch");
+        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        for r in 0..self.rows {
+            out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
+            out.row_mut(r)[self.cols..].copy_from_slice(other.row(r));
+        }
+        out
+    }
+
+    /// Split horizontally at column `c`: `([m, c], [m, cols-c])`.
+    pub fn hsplit(&self, c: usize) -> (Matrix, Matrix) {
+        assert!(c <= self.cols);
+        let mut a = Matrix::zeros(self.rows, c);
+        let mut b = Matrix::zeros(self.rows, self.cols - c);
+        for r in 0..self.rows {
+            a.row_mut(r).copy_from_slice(&self.row(r)[..c]);
+            b.row_mut(r).copy_from_slice(&self.row(r)[c..]);
+        }
+        (a, b)
+    }
+
+    /// Mean over rows → `[1, cols]`.
+    pub fn row_mean(&self) -> Matrix {
+        let mut out = self.col_sums();
+        if self.rows > 0 {
+            out.scale(1.0 / self.rows as f32);
+        }
+        out
+    }
+}
+
+/// log(sum(exp(xs))) computed stably.
+pub fn log_sum_exp(xs: &[f32]) -> f32 {
+    let m = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if m == f32::NEG_INFINITY {
+        return f32::NEG_INFINITY;
+    }
+    m + xs.iter().map(|&x| (x - m).exp()).sum::<f32>().ln()
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
+}
+
+/// Cosine similarity of two vectors (0.0 when either is all-zero).
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let na = dot(a, a).sqrt();
+    let nb = dot(b, b).sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot(a, b) / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data, vec![58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(3, 4, (0..12).map(|x| x as f32).collect());
+        let c1 = a.matmul_tn(&b);
+        let c2 = a.transposed().matmul(&b);
+        assert_eq!(c1.data, c2.data);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(4, 3, (0..12).map(|x| x as f32).collect());
+        let c1 = a.matmul_nt(&b);
+        let c2 = a.matmul(&b.transposed());
+        for (x, y) in c1.data.iter().zip(c2.data.iter()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn bias_broadcast_and_col_sums() {
+        let mut a = Matrix::zeros(3, 2);
+        a.add_row_broadcast(&Matrix::row_vector(&[1.0, -1.0]));
+        assert_eq!(a.data, vec![1., -1., 1., -1., 1., -1.]);
+        assert_eq!(a.col_sums().data, vec![3., -3.]);
+    }
+
+    #[test]
+    fn hcat_hsplit_roundtrip() {
+        let a = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let b = Matrix::from_vec(2, 1, vec![5., 6.]);
+        let c = a.hcat(&b);
+        assert_eq!(c.cols, 3);
+        let (x, y) = c.hsplit(2);
+        assert_eq!(x.data, a.data);
+        assert_eq!(y.data, b.data);
+    }
+
+    #[test]
+    fn stack_rows_shape() {
+        let m = Matrix::stack_rows(&[vec![1., 2.], vec![3., 4.], vec![5., 6.]]);
+        assert_eq!((m.rows, m.cols), (3, 2));
+        assert_eq!(m.row(1), &[3., 4.]);
+    }
+
+    #[test]
+    fn log_sum_exp_stable() {
+        let v = log_sum_exp(&[1000.0, 1000.0]);
+        assert!((v - (1000.0 + 2f32.ln())).abs() < 1e-3);
+        assert_eq!(log_sum_exp(&[]), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn cosine_basics() {
+        assert!((cosine(&[1., 0.], &[1., 0.]) - 1.0).abs() < 1e-6);
+        assert!(cosine(&[1., 0.], &[0., 1.]).abs() < 1e-6);
+        assert_eq!(cosine(&[0., 0.], &[1., 1.]), 0.0);
+    }
+
+    #[test]
+    fn row_mean() {
+        let m = Matrix::from_vec(2, 2, vec![1., 3., 3., 5.]);
+        assert_eq!(m.row_mean().data, vec![2., 4.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,130 @@
+//! Optimizers: plain SGD and Adam (Kingma & Ba, the paper's choice).
+
+use crate::param::Param;
+
+/// Vanilla stochastic gradient descent.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// New SGD optimizer.
+    pub fn new(lr: f32) -> Sgd {
+        Sgd { lr }
+    }
+
+    /// Apply one step: `w ← w − lr · g`.
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        for p in params.iter_mut() {
+            for (w, &g) in p.value.data.iter_mut().zip(p.grad.data.iter()) {
+                *w -= self.lr * g;
+            }
+        }
+    }
+}
+
+/// Adam optimizer with bias correction.
+///
+/// Moment buffers live inside each [`Param`], so a single `Adam` value can
+/// drive any model; only the shared step counter `t` is kept here.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate (paper: 0.001 for the phrase embedder, 0.0015 for the
+    /// entity classifier).
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    t: u64,
+}
+
+impl Adam {
+    /// Adam with the standard β₁=0.9, β₂=0.999, ε=1e-8.
+    pub fn new(lr: f32) -> Adam {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0 }
+    }
+
+    /// Apply one update step to all parameters.
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for p in params.iter_mut() {
+            for i in 0..p.value.data.len() {
+                let g = p.grad.data[i];
+                p.m.data[i] = self.beta1 * p.m.data[i] + (1.0 - self.beta1) * g;
+                p.v.data[i] = self.beta2 * p.v.data[i] + (1.0 - self.beta2) * g * g;
+                let mhat = p.m.data[i] / b1t;
+                let vhat = p.v.data[i] / b2t;
+                p.value.data[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    /// Number of steps taken.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use crate::param::{Net, Param};
+
+    /// Minimize f(w) = (w - 3)² with each optimizer.
+    struct Scalar {
+        w: Param,
+    }
+    impl Net for Scalar {
+        fn params_mut(&mut self) -> Vec<&mut Param> {
+            vec![&mut self.w]
+        }
+    }
+    fn loss_and_grad(s: &mut Scalar) -> f32 {
+        let w = s.w.value.data[0];
+        s.w.grad.data[0] = 2.0 * (w - 3.0);
+        (w - 3.0) * (w - 3.0)
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut s = Scalar { w: Param::zeros(1, 1) };
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..100 {
+            s.zero_grads();
+            let _ = loss_and_grad(&mut s);
+            opt.step(&mut s.params_mut());
+        }
+        assert!((s.w.value.data[0] - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut s = Scalar { w: Param::zeros(1, 1) };
+        let mut opt = Adam::new(0.1);
+        for _ in 0..300 {
+            s.zero_grads();
+            let _ = loss_and_grad(&mut s);
+            opt.step(&mut s.params_mut());
+        }
+        assert!((s.w.value.data[0] - 3.0).abs() < 1e-2, "w={}", s.w.value.data[0]);
+        assert_eq!(opt.steps(), 300);
+    }
+
+    #[test]
+    fn adam_first_step_magnitude_is_lr() {
+        // With bias correction the very first Adam step ≈ lr·sign(g).
+        let mut p = Param::zeros(1, 1);
+        p.grad = Matrix::from_vec(1, 1, vec![42.0]);
+        let mut opt = Adam::new(0.01);
+        opt.step(&mut [&mut p]);
+        assert!((p.value.data[0] + 0.01).abs() < 1e-4, "step={}", p.value.data[0]);
+    }
+}

@@ -1,0 +1,163 @@
+//! Trainable parameters and the [`Net`] trait.
+//!
+//! A [`Param`] bundles a weight matrix with its gradient accumulator and the
+//! Adam moment buffers, so optimizers need no external bookkeeping keyed by
+//! parameter identity. Models implement [`Net`] to expose their parameters
+//! for optimization, serialization and gradient checking.
+
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A trainable weight tensor with gradient and optimizer state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Param {
+    /// Current value.
+    pub value: Matrix,
+    /// Gradient accumulator (same shape as `value`).
+    pub grad: Matrix,
+    /// Adam first-moment buffer.
+    pub m: Matrix,
+    /// Adam second-moment buffer.
+    pub v: Matrix,
+}
+
+impl Param {
+    /// Zero-initialized parameter.
+    pub fn zeros(rows: usize, cols: usize) -> Param {
+        Param {
+            value: Matrix::zeros(rows, cols),
+            grad: Matrix::zeros(rows, cols),
+            m: Matrix::zeros(rows, cols),
+            v: Matrix::zeros(rows, cols),
+        }
+    }
+
+    /// Xavier/Glorot-uniform initialization: `U(-a, a)` with
+    /// `a = sqrt(6 / (fan_in + fan_out))`.
+    pub fn xavier(rows: usize, cols: usize, rng: &mut StdRng) -> Param {
+        let a = (6.0 / (rows + cols) as f32).sqrt();
+        let mut p = Param::zeros(rows, cols);
+        for x in &mut p.value.data {
+            *x = rng.gen_range(-a..a);
+        }
+        p
+    }
+
+    /// Uniform initialization in `(-a, a)` — used for embeddings.
+    pub fn uniform(rows: usize, cols: usize, a: f32, rng: &mut StdRng) -> Param {
+        let mut p = Param::zeros(rows, cols);
+        for x in &mut p.value.data {
+            *x = rng.gen_range(-a..a);
+        }
+        p
+    }
+
+    /// Reset the gradient accumulator to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill(0.0);
+    }
+
+    /// Number of scalar weights.
+    pub fn len(&self) -> usize {
+        self.value.data.len()
+    }
+
+    /// True when the parameter holds no weights.
+    pub fn is_empty(&self) -> bool {
+        self.value.data.is_empty()
+    }
+}
+
+/// A model exposing its trainable parameters.
+///
+/// The returned order must be stable across calls — optimizers and the
+/// gradient checker index parameters positionally.
+pub trait Net {
+    /// Mutable access to every trainable parameter, in a stable order.
+    fn params_mut(&mut self) -> Vec<&mut Param>;
+
+    /// Zero all gradients.
+    fn zero_grads(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total scalar parameter count.
+    fn n_weights(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.len()).sum()
+    }
+
+    /// Global L2 gradient-norm clipping: if the concatenated gradient norm
+    /// exceeds `max_norm`, scale all gradients down proportionally.
+    fn clip_grad_norm(&mut self, max_norm: f32) {
+        let mut sq = 0.0f32;
+        for p in self.params_mut() {
+            sq += p.grad.data.iter().map(|g| g * g).sum::<f32>();
+        }
+        let norm = sq.sqrt();
+        if norm > max_norm && norm > 0.0 {
+            let s = max_norm / norm;
+            for p in self.params_mut() {
+                p.grad.scale(s);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_range() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = Param::xavier(10, 20, &mut rng);
+        let a = (6.0f32 / 30.0).sqrt();
+        assert!(p.value.data.iter().all(|x| x.abs() <= a));
+        assert!(p.value.data.iter().any(|x| *x != 0.0));
+    }
+
+    #[test]
+    fn zero_grad() {
+        let mut p = Param::zeros(2, 2);
+        p.grad.fill(3.0);
+        p.zero_grad();
+        assert!(p.grad.data.iter().all(|x| *x == 0.0));
+    }
+
+    struct Toy {
+        a: Param,
+        b: Param,
+    }
+    impl Net for Toy {
+        fn params_mut(&mut self) -> Vec<&mut Param> {
+            vec![&mut self.a, &mut self.b]
+        }
+    }
+
+    #[test]
+    fn clip_grad_norm() {
+        let mut t = Toy { a: Param::zeros(1, 2), b: Param::zeros(1, 2) };
+        t.a.grad.data = vec![3.0, 0.0];
+        t.b.grad.data = vec![0.0, 4.0];
+        t.clip_grad_norm(1.0); // norm is 5
+        let norm: f32 = t
+            .params_mut()
+            .iter()
+            .flat_map(|p| p.grad.data.iter())
+            .map(|g| g * g)
+            .sum::<f32>()
+            .sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn n_weights() {
+        let mut t = Toy { a: Param::zeros(2, 3), b: Param::zeros(1, 4) };
+        assert_eq!(t.n_weights(), 10);
+    }
+}

@@ -1,0 +1,240 @@
+//! Property-style gradient checks: every layer's backward pass is verified
+//! against finite differences across *randomized* configurations — sizes,
+//! seeds and inputs all vary, so these cover far more of the parameter
+//! space than the fixed unit tests.
+
+use emd_nn::attention::MultiHeadAttention;
+use emd_nn::conv::CharCnn;
+use emd_nn::crf::CrfLayer;
+use emd_nn::dense::Dense;
+use emd_nn::embedding::Embedding;
+use emd_nn::gradcheck::grad_check;
+use emd_nn::layernorm::LayerNorm;
+use emd_nn::lstm::{BiLstm, Lstm};
+use emd_nn::matrix::Matrix;
+use emd_nn::optim::Adam;
+use emd_nn::param::Net;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn rand_input(t: usize, d: usize, rng: &mut StdRng) -> Matrix {
+    Matrix::from_vec(t, d, (0..t * d).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+}
+
+fn sq_loss_grad(y: &Matrix) -> Matrix {
+    Matrix { rows: y.rows, cols: y.cols, data: y.data.iter().map(|v| 2.0 * v).collect() }
+}
+
+#[test]
+fn dense_gradcheck_randomized_configs() {
+    for seed in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (din, dout, n) = (rng.gen_range(1..8), rng.gen_range(1..8), rng.gen_range(1..5));
+        let mut layer = Dense::new(din, dout, &mut rng);
+        let x = rand_input(n, din, &mut rng);
+        grad_check(
+            &mut layer,
+            |net| {
+                let y = net.forward(&x);
+                let loss: f32 = y.data.iter().map(|v| v * v).sum();
+                net.backward(&sq_loss_grad(&y));
+                loss
+            },
+            20,
+            seed * 31 + 1,
+        );
+    }
+}
+
+#[test]
+fn lstm_gradcheck_randomized_configs() {
+    for seed in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(100 + seed);
+        let (din, h, t) = (rng.gen_range(1..5), rng.gen_range(1..5), rng.gen_range(1..6));
+        let mut layer = Lstm::new(din, h, &mut rng);
+        let x = rand_input(t, din, &mut rng);
+        grad_check(
+            &mut layer,
+            |net| {
+                let y = net.forward(&x);
+                let loss: f32 = y.data.iter().map(|v| v * v).sum();
+                net.backward(&sq_loss_grad(&y));
+                loss
+            },
+            25,
+            seed * 17 + 3,
+        );
+    }
+}
+
+#[test]
+fn bilstm_infer_matches_forward() {
+    for seed in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(200 + seed);
+        let (din, h, t) = (rng.gen_range(1..6), rng.gen_range(1..6), rng.gen_range(1..8));
+        let mut layer = BiLstm::new(din, h, &mut rng);
+        let x = rand_input(t, din, &mut rng);
+        let a = layer.forward(&x);
+        let b = layer.infer(&x);
+        assert_eq!(a.data, b.data, "training and inference paths must agree");
+    }
+}
+
+#[test]
+fn attention_infer_matches_forward() {
+    for seed in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(300 + seed);
+        let heads = [1usize, 2, 4][rng.gen_range(0..3)];
+        let d = heads * rng.gen_range(1..4);
+        let t = rng.gen_range(1..7);
+        let mut layer = MultiHeadAttention::new(d, heads, &mut rng);
+        let x = rand_input(t, d, &mut rng);
+        let a = layer.forward(&x);
+        let b = layer.infer(&x);
+        for (p, q) in a.data.iter().zip(b.data.iter()) {
+            assert!((p - q).abs() < 1e-5);
+        }
+    }
+}
+
+#[test]
+fn charcnn_gradcheck_randomized() {
+    for seed in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(400 + seed);
+        let (d, f, l) = (rng.gen_range(1..5), rng.gen_range(1..6), rng.gen_range(1..8));
+        let mut layer = CharCnn::new(d, 3, f, &mut rng);
+        let x = rand_input(l, d, &mut rng);
+        grad_check(
+            &mut layer,
+            |net| {
+                let y = net.forward(&x);
+                let loss: f32 = y.data.iter().map(|v| v * v).sum();
+                net.backward(&sq_loss_grad(&y));
+                loss
+            },
+            15,
+            seed * 13 + 5,
+        );
+    }
+}
+
+#[test]
+fn layernorm_gradcheck_randomized() {
+    for seed in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(500 + seed);
+        let d = rng.gen_range(2..9);
+        let n = rng.gen_range(1..5);
+        let mut layer = LayerNorm::new(d);
+        // Randomize gamma/beta so the test is not at the identity point.
+        for p in layer.params_mut() {
+            for v in &mut p.value.data {
+                *v += rng.gen_range(-0.5..0.5);
+            }
+        }
+        let x = rand_input(n, d, &mut rng);
+        grad_check(
+            &mut layer,
+            |net| {
+                let y = net.forward(&x);
+                let loss: f32 = y.data.iter().map(|v| v * v).sum();
+                net.backward(&sq_loss_grad(&y));
+                loss
+            },
+            20,
+            seed * 7 + 9,
+        );
+    }
+}
+
+#[test]
+fn embedding_gradcheck_randomized() {
+    for seed in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(600 + seed);
+        let vocab = rng.gen_range(3..10);
+        let d = rng.gen_range(1..6);
+        let n = rng.gen_range(1..8);
+        let ids: Vec<u32> = (0..n).map(|_| rng.gen_range(1..vocab as u32)).collect();
+        let mut layer = Embedding::new(vocab, d, &mut rng);
+        grad_check(
+            &mut layer,
+            |net| {
+                let y = net.forward(&ids);
+                let loss: f32 = y.data.iter().map(|v| v * v).sum();
+                net.backward(&sq_loss_grad(&y));
+                loss
+            },
+            20,
+            seed * 3 + 11,
+        );
+    }
+}
+
+#[test]
+fn crf_decode_matches_bruteforce_randomized() {
+    for seed in 0..10u64 {
+        let mut rng = StdRng::seed_from_u64(700 + seed);
+        let mut crf = CrfLayer::new(3);
+        for p in crf.params_mut() {
+            for v in &mut p.value.data {
+                *v = rng.gen_range(-2.0..2.0);
+            }
+        }
+        let t = rng.gen_range(1..5);
+        let e = rand_input(t, 3, &mut rng);
+        let decoded = crf.decode(&e);
+        // Brute force over all 3^t paths via the NLL identity: the decoded
+        // path must have minimal NLL.
+        let mut best = f32::INFINITY;
+        let mut best_path = vec![];
+        let n_paths = 3usize.pow(t as u32);
+        for code in 0..n_paths {
+            let mut path = Vec::with_capacity(t);
+            let mut c = code;
+            for _ in 0..t {
+                path.push(c % 3);
+                c /= 3;
+            }
+            let mut crf2 = crf.clone();
+            let (nll, _) = crf2.nll(&e, &path);
+            if nll < best {
+                best = nll;
+                best_path = path;
+            }
+        }
+        assert_eq!(decoded, best_path, "seed {seed}");
+    }
+}
+
+#[test]
+fn adam_beats_sgd_on_illconditioned_quadratic() {
+    // f(w) = 100 w0² + w1²: Adam's per-coordinate scaling should converge
+    // where comparably-tuned SGD is slow.
+    use emd_nn::param::Param;
+    struct Q {
+        w: Param,
+    }
+    impl Net for Q {
+        fn params_mut(&mut self) -> Vec<&mut Param> {
+            vec![&mut self.w]
+        }
+    }
+    let run = |use_adam: bool| -> f32 {
+        let mut q = Q { w: Param::zeros(1, 2) };
+        q.w.value.data = vec![1.0, 1.0];
+        let mut adam = Adam::new(0.05);
+        let mut sgd = emd_nn::optim::Sgd::new(0.0005); // stable for k=100
+        for _ in 0..200 {
+            q.zero_grads();
+            let (a, b) = (q.w.value.data[0], q.w.value.data[1]);
+            q.w.grad.data = vec![200.0 * a, 2.0 * b];
+            if use_adam {
+                adam.step(&mut q.params_mut());
+            } else {
+                sgd.step(&mut q.params_mut());
+            }
+        }
+        let (a, b) = (q.w.value.data[0], q.w.value.data[1]);
+        100.0 * a * a + b * b
+    };
+    assert!(run(true) < run(false), "Adam should outperform conservative SGD here");
+}

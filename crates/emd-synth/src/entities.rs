@@ -1,0 +1,422 @@
+//! Entity catalog generation.
+//!
+//! A [`World`] owns the universe of entities messages can mention: people,
+//! locations, organizations, products, creative works and events. Entities
+//! are built from curated seed lists *combined with* a syllable-based name
+//! generator, so a controllable fraction of entities is guaranteed to be
+//! out-of-gazetteer — the "rare, emerging entity" phenomenon the paper (and
+//! the WNUT17 task) centers on.
+//!
+//! Every entity carries a set of surface variants: proper case, lowercase,
+//! ALL CAPS, a partial form for multi-token names and an abbreviation for
+//! organizations. Gold annotations always label the variant that actually
+//! appears, so string variation is first-class in the datasets.
+
+use emd_text::gazetteer::{GazCategory, Gazetteer};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+const FIRST_NAMES: &[&str] = &[
+    "Andy", "Maria", "James", "Elena", "Victor", "Sofia", "Marcus", "Priya", "Diego", "Hannah",
+    "Omar", "Lucia", "Felix", "Amara", "Boris", "Greta", "Hugo", "Ines", "Jonas", "Keiko",
+    "Liam", "Nadia", "Oscar", "Paula", "Quinn", "Rosa", "Stefan", "Tara", "Umar", "Vera",
+];
+const LAST_NAMES: &[&str] = &[
+    "Beshear", "Moreno", "Clarke", "Petrov", "Tanaka", "Silva", "Novak", "Fischer", "Rossi",
+    "Haddad", "Kowalski", "Lindgren", "Mbeki", "Navarro", "Okafor", "Price", "Quintana",
+    "Reyes", "Santos", "Thornton", "Ueda", "Vasquez", "Weber", "Xu", "Youssef", "Zhang",
+    "Aldana", "Brennan", "Castillo", "Duarte",
+];
+const PLACES: &[&str] = &[
+    "Italy", "Canada", "Kentucky", "Ohio", "Madrid", "Lagos", "Osaka", "Lyon", "Porto",
+    "Geneva", "Austin", "Denver", "Quito", "Nairobi", "Jakarta", "Oslo", "Dublin", "Calgary",
+    "Valencia", "Krakow", "Tampere", "Bogota", "Adelaide", "Marseille", "Seville",
+];
+const ORG_HEADS: &[&str] = &[
+    "Global", "United", "National", "Pacific", "Atlas", "Vertex", "Nimbus", "Quantum",
+    "Pioneer", "Summit", "Horizon", "Sterling", "Cascade", "Meridian", "Zenith",
+];
+const ORG_TAILS: &[&str] = &[
+    "Health Organization", "Research Institute", "Medical Center", "Dynamics", "Laboratories",
+    "Systems", "Athletics", "Studios", "Networks", "Council", "Alliance", "Federation",
+    "Broadcasting", "Analytics", "Foundation",
+];
+const PRODUCT_HEADS: &[&str] = &[
+    "Pixel", "Nova", "Aero", "Volt", "Echo", "Flux", "Orbit", "Pulse", "Vista", "Prism",
+];
+const PRODUCT_TAILS: &[&str] =
+    &["Phone", "Pad", "Watch", "Drive", "Cam", "Pod", "Book", "Max", "Mini", "Pro"];
+const WORK_HEADS: &[&str] = &[
+    "Midnight", "Silent", "Golden", "Broken", "Hidden", "Crimson", "Electric", "Frozen",
+    "Savage", "Gentle",
+];
+const WORK_TAILS: &[&str] = &[
+    "Empire", "Horizon", "Protocol", "Kingdom", "Paradox", "Symphony", "Station", "Harvest",
+    "Mirage", "Covenant",
+];
+const EVENT_WORDS: &[&str] = &[
+    "Coronavirus", "Covid", "Ebola", "Influenza", "Wildfire", "Heatwave", "Blackout",
+    "Lockdown", "Olympics", "Worlds", "Playoffs", "Election", "Summit", "Primaries",
+];
+
+/// Syllable inventory shared by the entity name generator and the
+/// colloquialism (filler) generator, so affix distributions cannot leak
+/// entity-ness.
+pub(crate) const SYLLABLES: &[&str] = &[
+    "ka", "ze", "mor", "lin", "tav", "rek", "sol", "ny", "bra", "dun", "fel", "gor", "hax",
+    "iva", "jol", "kri", "lum", "mab", "nev", "oss", "pel", "quor", "rin", "sa", "tol", "ull",
+    "vor", "wim", "xan", "yel", "zu", "thra", "bel", "cor", "dag",
+];
+
+/// One nameable entity with its surface variants.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Entity {
+    /// Canonical lower-cased key (full form, space-joined).
+    pub canonical: String,
+    /// Entity category.
+    pub category: GazCategory,
+    /// Display variants: index 0 is the proper full form; the rest are
+    /// case/partial/abbreviation variants. Each variant is a space-joined
+    /// token string.
+    pub variants: Vec<String>,
+    /// Whether this entity is covered by the world gazetteer (rare
+    /// entities are not).
+    pub in_gazetteer: bool,
+    /// Established entities circulate before the stream starts (they occur
+    /// in the D5 training stream); emerging entities only appear in the
+    /// evaluation streams — the "novel and emerging entity" regime of
+    /// WNUT17 that makes microblog EMD hard.
+    pub established: bool,
+}
+
+impl Entity {
+    /// Tokenized form of variant `v`.
+    pub fn variant_tokens(&self, v: usize) -> Vec<String> {
+        self.variants[v].split(' ').map(|s| s.to_string()).collect()
+    }
+
+    /// Number of variants.
+    pub fn n_variants(&self) -> usize {
+        self.variants.len()
+    }
+}
+
+/// Build the variant list for a proper-cased full form.
+fn make_variants(proper: &str, category: GazCategory, rng: &mut StdRng) -> Vec<String> {
+    let mut vs = vec![proper.to_string()];
+    vs.push(proper.to_lowercase());
+    vs.push(proper.to_uppercase());
+    let toks: Vec<&str> = proper.split(' ').collect();
+    if toks.len() > 1 {
+        // Partial form: the most informative token (last for persons,
+        // first otherwise).
+        let part = if category == GazCategory::Person { toks[toks.len() - 1] } else { toks[0] };
+        vs.push(part.to_string());
+        // Abbreviation for organizations: initial letters.
+        if category == GazCategory::Organization && toks.len() >= 2 {
+            let abbr: String = toks.iter().filter_map(|t| t.chars().next()).collect();
+            vs.push(abbr.to_uppercase());
+        }
+    }
+    // Occasionally a mixed-case mangled variant ("CoronaVirus").
+    if rng.gen_bool(0.3) && proper.len() > 5 && !proper.contains(' ') {
+        let mid = proper.len() / 2;
+        if proper.is_char_boundary(mid) {
+            let (a, b) = proper.split_at(mid);
+            let mut m = String::with_capacity(proper.len());
+            m.push_str(a);
+            let mut cs = b.chars();
+            if let Some(c) = cs.next() {
+                m.extend(c.to_uppercase());
+                m.push_str(cs.as_str());
+            }
+            if m != *proper {
+                vs.push(m);
+            }
+        }
+    }
+    vs
+}
+
+/// A generated fictional name, `n_syll` syllables, capitalized.
+fn synth_name(rng: &mut StdRng, n_syll: usize) -> String {
+    let mut s = String::new();
+    for _ in 0..n_syll {
+        s.push_str(SYLLABLES.choose(rng).unwrap());
+    }
+    let mut c = s.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+        None => s,
+    }
+}
+
+/// Configuration for world generation.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of entities per category.
+    pub per_category: usize,
+    /// Fraction of entities that are "established" (available to training
+    /// streams); the rest are emerging.
+    pub established_fraction: f64,
+    /// Gazetteer coverage among established entities.
+    pub gaz_coverage_established: f64,
+    /// Gazetteer coverage among emerging entities (lexical resources lag).
+    pub gaz_coverage_emerging: f64,
+    /// Fraction of entities drawn from the synthetic name generator rather
+    /// than the curated seed lists.
+    pub synthetic_fraction: f64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            seed: 7,
+            per_category: 220,
+            established_fraction: 0.5,
+            gaz_coverage_established: 0.8,
+            gaz_coverage_emerging: 0.15,
+            synthetic_fraction: 0.5,
+        }
+    }
+}
+
+/// The universe of entities plus the gazetteer available to EMD systems.
+#[derive(Debug, Clone)]
+pub struct World {
+    /// All entities, all categories.
+    pub entities: Vec<Entity>,
+    /// Gazetteer covering `gazetteer_coverage` of the entities.
+    pub gazetteer: Gazetteer,
+}
+
+impl World {
+    /// Generate a world deterministically from `cfg`.
+    pub fn generate(cfg: &WorldConfig) -> World {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut entities = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+
+        let push_entity = |proper: String, cat: GazCategory, rng: &mut StdRng,
+                               entities: &mut Vec<Entity>,
+                               seen: &mut std::collections::HashSet<String>| {
+            let canonical = proper.to_lowercase();
+            if !seen.insert(canonical.clone()) {
+                return;
+            }
+            let variants = make_variants(&proper, cat, rng);
+            entities.push(Entity {
+                canonical,
+                category: cat,
+                variants,
+                in_gazetteer: false,
+                established: false,
+            });
+        };
+
+        for cat in GazCategory::all() {
+            let mut made = 0usize;
+            let mut guard = 0usize;
+            while made < cfg.per_category && guard < cfg.per_category * 20 {
+                guard += 1;
+                let synthetic = rng.gen_bool(cfg.synthetic_fraction);
+                let proper = match cat {
+                    GazCategory::Person => {
+                        if synthetic {
+                            format!("{} {}", synth_name(&mut rng, 2), synth_name(&mut rng, 2))
+                        } else {
+                            format!(
+                                "{} {}",
+                                FIRST_NAMES.choose(&mut rng).unwrap(),
+                                LAST_NAMES.choose(&mut rng).unwrap()
+                            )
+                        }
+                    }
+                    GazCategory::Location => {
+                        if synthetic {
+                            { let n = 1 + rng.gen_range(1..3); synth_name(&mut rng, n) }
+                        } else {
+                            (*PLACES.choose(&mut rng).unwrap()).to_string()
+                        }
+                    }
+                    GazCategory::Organization => {
+                        if synthetic {
+                            format!("{} {}", synth_name(&mut rng, 2), ORG_TAILS.choose(&mut rng).unwrap())
+                        } else {
+                            format!(
+                                "{} {}",
+                                ORG_HEADS.choose(&mut rng).unwrap(),
+                                ORG_TAILS.choose(&mut rng).unwrap()
+                            )
+                        }
+                    }
+                    GazCategory::Product => {
+                        if synthetic {
+                            format!("{} {}", synth_name(&mut rng, 2), PRODUCT_TAILS.choose(&mut rng).unwrap())
+                        } else {
+                            format!(
+                                "{} {}",
+                                PRODUCT_HEADS.choose(&mut rng).unwrap(),
+                                PRODUCT_TAILS.choose(&mut rng).unwrap()
+                            )
+                        }
+                    }
+                    GazCategory::CreativeWork => {
+                        if synthetic {
+                            format!("{} {}", synth_name(&mut rng, 2), WORK_TAILS.choose(&mut rng).unwrap())
+                        } else {
+                            format!(
+                                "{} {}",
+                                WORK_HEADS.choose(&mut rng).unwrap(),
+                                WORK_TAILS.choose(&mut rng).unwrap()
+                            )
+                        }
+                    }
+                    GazCategory::Group => {
+                        if synthetic {
+                            { let n = 2 + rng.gen_range(0..2); synth_name(&mut rng, n) }
+                        } else {
+                            (*EVENT_WORDS.choose(&mut rng).unwrap()).to_string()
+                        }
+                    }
+                };
+                let before = entities.len();
+                push_entity(proper, cat, &mut rng, &mut entities, &mut seen);
+                if entities.len() > before {
+                    made += 1;
+                }
+            }
+        }
+
+        // Established/emerging split, then per-class gazetteer coverage.
+        let mut idx: Vec<usize> = (0..entities.len()).collect();
+        idx.shuffle(&mut rng);
+        let n_est = (entities.len() as f64 * cfg.established_fraction) as usize;
+        for &i in idx.iter().take(n_est) {
+            entities[i].established = true;
+        }
+        let mut gazetteer = Gazetteer::new();
+        for e in &mut entities {
+            let cover = if e.established {
+                cfg.gaz_coverage_established
+            } else {
+                cfg.gaz_coverage_emerging
+            };
+            if rng.gen_bool(cover) {
+                e.in_gazetteer = true;
+                gazetteer.insert(e.category, &e.variants[0]);
+            }
+        }
+        World { entities, gazetteer }
+    }
+
+    /// Entities of one category.
+    pub fn by_category(&self, cat: GazCategory) -> Vec<usize> {
+        (0..self.entities.len()).filter(|&i| self.entities[i].category == cat).collect()
+    }
+
+    /// Entity indices filtered by category and established status.
+    pub fn by_category_status(&self, cat: GazCategory, established: bool) -> Vec<usize> {
+        (0..self.entities.len())
+            .filter(|&i| {
+                self.entities[i].category == cat && self.entities[i].established == established
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_world() -> World {
+        World::generate(&WorldConfig { per_category: 30, ..Default::default() })
+    }
+
+    #[test]
+    fn world_has_all_categories() {
+        let w = small_world();
+        for cat in GazCategory::all() {
+            assert!(!w.by_category(cat).is_empty(), "missing {cat:?}");
+        }
+    }
+
+    #[test]
+    fn canonical_keys_unique() {
+        let w = small_world();
+        let mut set = std::collections::HashSet::new();
+        for e in &w.entities {
+            assert!(set.insert(&e.canonical), "duplicate {}", e.canonical);
+        }
+    }
+
+    #[test]
+    fn variants_include_case_forms() {
+        let w = small_world();
+        for e in &w.entities {
+            assert!(e.n_variants() >= 3);
+            assert_eq!(e.variants[1], e.variants[0].to_lowercase());
+            assert_eq!(e.variants[2], e.variants[0].to_uppercase());
+        }
+    }
+
+    #[test]
+    fn person_partial_is_last_name() {
+        let w = small_world();
+        let people = w.by_category(GazCategory::Person);
+        let e = &w.entities[people[0]];
+        let toks: Vec<&str> = e.variants[0].split(' ').collect();
+        assert!(e.variants.iter().any(|v| v == toks[toks.len() - 1]));
+    }
+
+    #[test]
+    fn org_abbreviation_exists() {
+        let w = small_world();
+        let orgs = w.by_category(GazCategory::Organization);
+        let any_abbr = orgs.iter().any(|&i| {
+            let e = &w.entities[i];
+            e.variants.iter().any(|v| {
+                !v.contains(' ')
+                    && v.len() >= 2
+                    && v.len() <= 5
+                    && v.chars().all(|c| c.is_uppercase())
+            })
+        });
+        assert!(any_abbr, "expected at least one organization abbreviation variant");
+    }
+
+    #[test]
+    fn gazetteer_coverage_partial() {
+        let w = small_world();
+        let known = w.entities.iter().filter(|e| e.in_gazetteer).count();
+        assert!(known > 0);
+        assert!(known < w.entities.len(), "some entities must remain out-of-gazetteer");
+        // Known entities are queryable.
+        let e = w.entities.iter().find(|e| e.in_gazetteer).unwrap();
+        assert!(w.gazetteer.contains_any(&e.variants[0]));
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let cfg = WorldConfig { per_category: 20, ..Default::default() };
+        let a = World::generate(&cfg);
+        let b = World::generate(&cfg);
+        assert_eq!(a.entities.len(), b.entities.len());
+        for (x, y) in a.entities.iter().zip(b.entities.iter()) {
+            assert_eq!(x.canonical, y.canonical);
+            assert_eq!(x.variants, y.variants);
+        }
+    }
+
+    #[test]
+    fn variant_tokens_split() {
+        let w = small_world();
+        let people = w.by_category(GazCategory::Person);
+        let e = &w.entities[people[0]];
+        assert_eq!(e.variant_tokens(0).len(), 2);
+    }
+}

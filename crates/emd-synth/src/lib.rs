@@ -1,0 +1,36 @@
+//! # emd-synth
+//!
+//! Generative model of targeted microblog streams — the data substrate
+//! standing in for the paper's crawled Twitter datasets (D1–D4, D5) and the
+//! WNUT17/BTC benchmark corpora (see DESIGN.md for the substitution
+//! argument).
+//!
+//! The generator preserves the properties the EMD Globalizer framework
+//! depends on:
+//!
+//! * **topical streams repeat a finite entity set** — a [`topics::Topic`]
+//!   owns a catalog of focus entities sampled with a Zipf distribution, so
+//!   a few entities recur heavily and a long tail appears once or twice
+//!   (the regime of the paper's Figure 7),
+//! * **mentions vary in surface form** — every [`entities::Entity`] has
+//!   case variants, partial forms and abbreviations ([`entities`]),
+//! * **text is noisy** — ALL-CAPS sentences, lowercased entities,
+//!   elongations, typos, hashtags/mentions/URLs ([`noise`]),
+//! * **non-streaming corpora lack recurrence** — the WNUT17/BTC-like
+//!   builders sample fresh topics and entities per message
+//!   ([`datasets`]).
+//!
+//! Everything is seeded and bit-for-bit reproducible.
+
+pub mod datasets;
+pub mod entities;
+pub mod noise;
+pub mod stream;
+pub mod sts;
+pub mod templates;
+pub mod topics;
+pub mod zipf;
+
+pub use datasets::{standard_datasets, training_stream, StandardDatasets};
+pub use entities::{Entity, World, WorldConfig};
+pub use stream::{gen_random_sample, gen_stream, NoiseConfig};

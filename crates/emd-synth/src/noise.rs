@@ -1,0 +1,231 @@
+//! Tweet noise injection.
+//!
+//! Operates on draft tokens (text + entity-membership flag) *after* gold
+//! spans are fixed, using transformations that never change the token
+//! count, so annotations stay aligned:
+//!
+//! * whole-sentence ALL-CAPS / all-lowercase (the "non-discriminative"
+//!   casing regimes of §V-B1),
+//! * decapitalizing entity tokens (the classic `coronavirus` vs
+//!   `Coronavirus` inconsistency from the paper's case study),
+//! * expressive elongation (`soooo`),
+//! * adjacent-character typos.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A token being assembled into a message, with entity bookkeeping.
+#[derive(Debug, Clone)]
+pub struct DraftToken {
+    /// Surface text.
+    pub text: String,
+    /// `Some(entity_index)` when this token is part of a gold mention.
+    pub entity: Option<usize>,
+}
+
+/// Probabilities for each noise transformation.
+#[derive(Debug, Clone)]
+pub struct NoiseConfig {
+    /// Whole sentence uppercased.
+    pub p_all_caps: f64,
+    /// Whole sentence lowercased.
+    pub p_all_lower: f64,
+    /// An entity token loses its capitalization.
+    pub p_entity_lower: f64,
+    /// A non-entity word gets elongated.
+    pub p_elongate: f64,
+    /// A word suffers an adjacent-character swap.
+    pub p_typo: f64,
+    /// A non-entity word gets spuriously capitalized (random Caps are
+    /// everywhere on Twitter), so capitalization alone cannot identify
+    /// entities.
+    pub p_spurious_cap: f64,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        NoiseConfig {
+            p_all_caps: 0.05,
+            p_all_lower: 0.15,
+            p_entity_lower: 0.18,
+            p_elongate: 0.04,
+            p_typo: 0.02,
+            p_spurious_cap: 0.14,
+        }
+    }
+}
+
+impl NoiseConfig {
+    /// A configuration with all probabilities zero (clean text).
+    pub fn none() -> NoiseConfig {
+        NoiseConfig {
+            p_all_caps: 0.0,
+            p_all_lower: 0.0,
+            p_entity_lower: 0.0,
+            p_elongate: 0.0,
+            p_typo: 0.0,
+            p_spurious_cap: 0.0,
+        }
+    }
+}
+
+fn elongate(word: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = word.chars().collect();
+    // Find a vowel to stretch; fall back to the last char.
+    let pos = chars
+        .iter()
+        .rposition(|c| "aeiouAEIOU".contains(*c))
+        .unwrap_or(chars.len().saturating_sub(1));
+    let reps = rng.gen_range(2..5);
+    let mut out = String::with_capacity(word.len() + reps);
+    for (i, c) in chars.iter().enumerate() {
+        out.push(*c);
+        if i == pos {
+            for _ in 0..reps {
+                out.push(*c);
+            }
+        }
+    }
+    out
+}
+
+fn typo_swap(word: &str, rng: &mut StdRng) -> String {
+    let mut chars: Vec<char> = word.chars().collect();
+    if chars.len() < 3 {
+        return word.to_string();
+    }
+    let i = rng.gen_range(0..chars.len() - 1);
+    chars.swap(i, i + 1);
+    chars.into_iter().collect()
+}
+
+fn decapitalize(word: &str) -> String {
+    word.to_lowercase()
+}
+
+/// Apply noise to a draft sentence in place.
+pub fn apply(tokens: &mut [DraftToken], cfg: &NoiseConfig, rng: &mut StdRng) {
+    // Sentence-level casing first (mutually exclusive).
+    let roll: f64 = rng.gen_range(0.0..1.0);
+    if roll < cfg.p_all_caps {
+        for t in tokens.iter_mut() {
+            t.text = t.text.to_uppercase();
+        }
+        return; // all-caps drowns the other casing noise
+    } else if roll < cfg.p_all_caps + cfg.p_all_lower {
+        for t in tokens.iter_mut() {
+            t.text = t.text.to_lowercase();
+        }
+        return;
+    }
+    for t in tokens.iter_mut() {
+        let is_word = t.text.chars().all(|c| c.is_alphanumeric() || c == '\'');
+        if !is_word {
+            continue;
+        }
+        if t.entity.is_some() {
+            if rng.gen_bool(cfg.p_entity_lower) {
+                t.text = decapitalize(&t.text);
+            }
+            // Entities occasionally get typos too, at half the base rate —
+            // these mentions become genuinely unrecoverable, as in reality.
+            if rng.gen_bool(cfg.p_typo / 2.0) {
+                t.text = typo_swap(&t.text, rng);
+            }
+        } else {
+            if rng.gen_bool(cfg.p_elongate) {
+                t.text = elongate(&t.text, rng);
+            }
+            if rng.gen_bool(cfg.p_typo) {
+                t.text = typo_swap(&t.text, rng);
+            }
+            if rng.gen_bool(cfg.p_spurious_cap) {
+                let mut cs = t.text.chars();
+                if let Some(c) = cs.next() {
+                    if c.is_lowercase() {
+                        t.text = c.to_uppercase().collect::<String>() + cs.as_str();
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn draft(words: &[(&str, Option<usize>)]) -> Vec<DraftToken> {
+        words.iter().map(|(w, e)| DraftToken { text: w.to_string(), entity: *e }).collect()
+    }
+
+    #[test]
+    fn no_noise_is_identity() {
+        let mut toks = draft(&[("Covid", Some(0)), ("hits", None), ("Italy", Some(1))]);
+        let before: Vec<String> = toks.iter().map(|t| t.text.clone()).collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        apply(&mut toks, &NoiseConfig::none(), &mut rng);
+        let after: Vec<String> = toks.iter().map(|t| t.text.clone()).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn all_caps_sentence() {
+        let mut toks = draft(&[("Covid", Some(0)), ("hits", None)]);
+        let cfg = NoiseConfig { p_all_caps: 1.0, ..NoiseConfig::none() };
+        let mut rng = StdRng::seed_from_u64(1);
+        apply(&mut toks, &cfg, &mut rng);
+        assert_eq!(toks[0].text, "COVID");
+        assert_eq!(toks[1].text, "HITS");
+    }
+
+    #[test]
+    fn entity_decapitalization() {
+        let cfg = NoiseConfig { p_entity_lower: 1.0, ..NoiseConfig::none() };
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut toks = draft(&[("Coronavirus", Some(0)), ("Spreads", None)]);
+        apply(&mut toks, &cfg, &mut rng);
+        assert_eq!(toks[0].text, "coronavirus");
+        assert_eq!(toks[1].text, "Spreads", "non-entity untouched");
+    }
+
+    #[test]
+    fn token_count_never_changes() {
+        let cfg = NoiseConfig {
+            p_all_caps: 0.1,
+            p_all_lower: 0.2,
+            p_entity_lower: 0.5,
+            p_elongate: 0.5,
+            p_typo: 0.5,
+            p_spurious_cap: 0.5,
+        };
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut toks =
+                draft(&[("Beshear", Some(0)), ("speaks", None), ("about", None), ("Covid", Some(1))]);
+            apply(&mut toks, &cfg, &mut rng);
+            assert_eq!(toks.len(), 4);
+            assert!(toks.iter().all(|t| !t.text.is_empty()));
+        }
+    }
+
+    #[test]
+    fn elongation_lengthens() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let e = elongate("cool", &mut rng);
+        assert!(e.len() > 4);
+        assert!(e.starts_with("coo"));
+    }
+
+    #[test]
+    fn typo_preserves_chars() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = typo_swap("virus", &mut rng);
+        let mut a: Vec<char> = t.chars().collect();
+        let mut b: Vec<char> = "virus".chars().collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+}

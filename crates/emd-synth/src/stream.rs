@@ -1,0 +1,336 @@
+//! Message-stream generation: fill templates, inject noise, record gold.
+
+use crate::entities::World;
+use crate::noise::{self, DraftToken};
+use crate::templates::Domain;
+use crate::topics::Topic;
+use emd_text::token::{AnnotatedSentence, Dataset, DatasetKind, Sentence, SentenceId, Span, Token};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+pub use crate::noise::NoiseConfig;
+
+/// Conversational filler/chatter words injected between template words.
+/// Mixing real English fillers with syllable-generated colloquialisms makes
+/// the non-entity vocabulary *open*: an out-of-vocabulary lowercase token
+/// can be chatter or a decapitalized entity mention — the core ambiguity of
+/// microblog EMD.
+const FILLERS: &[&str] = &[
+    "honestly", "literally", "apparently", "seriously", "reportedly", "allegedly", "basically",
+    "actually", "meanwhile", "finally", "update", "btw", "tho", "rn", "fr", "yall", "lowkey",
+    "highkey", "deadass", "kinda", "sorta", "imo", "tbh", "ngl", "smh", "fwiw", "lmk", "rly",
+    "def", "legit", "folks", "friends", "everyone", "listen", "look", "welp", "yikes", "wild",
+    "crazy", "insane", "unreal", "huge", "massive", "breaking", "developing", "thread",
+];
+
+/// Draw a filler token: a real filler, or a generated colloquialism built
+/// from the *same* syllable inventory as entity names — affixes must not
+/// give entity-ness away.
+fn sample_filler(rng: &mut StdRng) -> String {
+    if rng.gen_bool(0.55) {
+        (*FILLERS.choose(rng).unwrap()).to_string()
+    } else {
+        let n = rng.gen_range(1..3);
+        let mut s = String::new();
+        for _ in 0..=n {
+            s.push_str(crate::entities::SYLLABLES.choose(rng).unwrap());
+        }
+        s
+    }
+}
+
+/// Insert `n` filler tokens at random non-mention positions, shifting the
+/// recorded mention spans to stay aligned.
+fn insert_fillers(
+    tokens: &mut Vec<DraftToken>,
+    mentions: &mut [(usize, Span)],
+    n: usize,
+    rng: &mut StdRng,
+) {
+    for _ in 0..n {
+        let pos = rng.gen_range(0..=tokens.len());
+        // Never split a mention: a position strictly inside a span is
+        // nudged to the span start.
+        let pos = mentions
+            .iter()
+            .find(|(_, sp)| pos > sp.start && pos < sp.end)
+            .map(|(_, sp)| sp.start)
+            .unwrap_or(pos);
+        tokens.insert(pos, DraftToken { text: sample_filler(rng), entity: None });
+        for (_, sp) in mentions.iter_mut() {
+            if sp.start >= pos {
+                sp.start += 1;
+                sp.end += 1;
+            }
+        }
+    }
+}
+
+/// Sample a surface variant index for a mention. Proper form dominates, but
+/// partial/case variants are common — the string-variation phenomenon the
+/// framework exploits.
+fn sample_variant(n_variants: usize, rng: &mut StdRng) -> usize {
+    // variant 0 = proper, 1 = lower, 2 = UPPER, 3.. = partial/abbr/mixed.
+    let roll: f64 = rng.gen_range(0.0..1.0);
+    if roll < 0.52 || n_variants <= 1 {
+        0
+    } else if roll < 0.70 {
+        1
+    } else if roll < 0.78 {
+        2.min(n_variants - 1)
+    } else {
+        rng.gen_range(3.min(n_variants - 1)..n_variants)
+    }
+}
+
+/// Expand one template into a draft token sequence, recording which tokens
+/// belong to which entity.
+fn fill_template(
+    world: &World,
+    topic: &Topic,
+    template: &str,
+    rng: &mut StdRng,
+) -> (Vec<DraftToken>, Vec<(usize, Span)>) {
+    let mut tokens: Vec<DraftToken> = Vec::new();
+    let mut mentions: Vec<(usize, Span)> = Vec::new();
+    let primary = topic.sample_entity(rng);
+    let push_entity = |e_idx: usize, tokens: &mut Vec<DraftToken>, mentions: &mut Vec<(usize, Span)>, rng: &mut StdRng| {
+        let ent = &world.entities[e_idx];
+        let v = sample_variant(ent.n_variants(), rng);
+        let start = tokens.len();
+        for t in ent.variant_tokens(v) {
+            tokens.push(DraftToken { text: t, entity: Some(e_idx) });
+        }
+        mentions.push((e_idx, Span::new(start, tokens.len())));
+    };
+    for w in template.split_whitespace() {
+        match w {
+            "{E}" => push_entity(primary, &mut tokens, &mut mentions, rng),
+            "{E2}" => {
+                let e2 = topic.sample_secondary(primary, rng);
+                push_entity(e2, &mut tokens, &mut mentions, rng);
+            }
+            "{NUM}" => {
+                let n: u32 = rng.gen_range(2..9000);
+                tokens.push(DraftToken { text: n.to_string(), entity: None });
+            }
+            "{HT}" => {
+                let tags = topic.domain.hashtags();
+                let tag = tags.choose(rng).unwrap();
+                tokens.push(DraftToken { text: format!("#{tag}"), entity: None });
+            }
+            "{AT}" => {
+                let id: u32 = rng.gen_range(1..500);
+                tokens.push(DraftToken { text: format!("@user{id}"), entity: None });
+            }
+            "{URL}" => {
+                let id: u32 = rng.gen_range(1000..99999);
+                tokens.push(DraftToken { text: format!("https://t.co/x{id}"), entity: None });
+            }
+            lit => tokens.push(DraftToken { text: lit.to_string(), entity: None }),
+        }
+    }
+    (tokens, mentions)
+}
+
+fn to_annotated(
+    id: SentenceId,
+    tokens: Vec<DraftToken>,
+    mentions: Vec<(usize, Span)>,
+) -> AnnotatedSentence {
+    let sentence = Sentence {
+        id,
+        tokens: tokens.into_iter().map(|t| Token::synthetic(t.text)).collect(),
+    };
+    let gold = mentions.into_iter().map(|(_, s)| s).collect();
+    AnnotatedSentence { sentence, gold }
+}
+
+/// Generate one message (a single tweet-sentence) on `topic`.
+pub fn gen_message(
+    world: &World,
+    topic: &Topic,
+    tweet_id: u64,
+    noise_cfg: &NoiseConfig,
+    rng: &mut StdRng,
+) -> AnnotatedSentence {
+    let template = topic.domain.templates().choose(rng).unwrap();
+    let (mut tokens, mut mentions) = fill_template(world, topic, template, rng);
+    let n_fillers = rng.gen_range(0..=3);
+    insert_fillers(&mut tokens, &mut mentions, n_fillers, rng);
+    noise::apply(&mut tokens, noise_cfg, rng);
+    to_annotated(SentenceId::new(tweet_id, 0), tokens, mentions)
+}
+
+/// Generate a *streaming* dataset: `n` messages drawn from the given topics
+/// (mirroring a crawled targeted stream — heavy entity recurrence).
+pub fn gen_stream(
+    world: &World,
+    topics: &[Topic],
+    n: usize,
+    name: &str,
+    noise_cfg: &NoiseConfig,
+    seed: u64,
+) -> Dataset {
+    assert!(!topics.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sentences = Vec::with_capacity(n);
+    for i in 0..n {
+        let topic = &topics[rng.gen_range(0..topics.len())];
+        sentences.push(gen_message(world, topic, i as u64, noise_cfg, &mut rng));
+    }
+    Dataset { name: name.to_string(), kind: DatasetKind::Streaming, n_topics: topics.len(), sentences }
+}
+
+/// Generate a *non-streaming* dataset (WNUT17/BTC style): every message
+/// comes from a fresh ephemeral topic over a small entity set, so entity
+/// recurrence across the corpus is minimal.
+pub fn gen_random_sample(
+    world: &World,
+    n: usize,
+    name: &str,
+    noise_cfg: &NoiseConfig,
+    seed: u64,
+) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let domains = Domain::all();
+    let mut sentences = Vec::with_capacity(n);
+    for i in 0..n {
+        let domain = domains[rng.gen_range(0..domains.len())];
+        // Tiny single-use topic of mostly-emerging entities, fresh each
+        // message (WNUT17 is a *novel and emerging* entity benchmark).
+        let topic = Topic::generate_mixed(world, domain, 6, Some(0.15), &mut rng);
+        sentences.push(gen_message(world, &topic, i as u64, noise_cfg, &mut rng));
+    }
+    Dataset {
+        name: name.to_string(),
+        kind: DatasetKind::NonStreaming,
+        n_topics: n, // effectively one topic per message
+        sentences,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entities::{World, WorldConfig};
+    use std::collections::HashMap;
+
+    fn world() -> World {
+        World::generate(&WorldConfig { per_category: 60, ..Default::default() })
+    }
+
+    fn topics(world: &World, n: usize, seed: u64) -> Vec<Topic> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let domains = Domain::all();
+        (0..n).map(|i| Topic::generate(world, domains[i % 5], 50, &mut rng)).collect()
+    }
+
+    #[test]
+    fn gold_spans_match_entity_tokens() {
+        let w = world();
+        let ts = topics(&w, 1, 0);
+        let d = gen_stream(&w, &ts, 200, "t", &NoiseConfig::none(), 1);
+        for s in &d.sentences {
+            for sp in &s.gold {
+                assert!(sp.end <= s.sentence.len());
+                let surface = sp.surface_lower(&s.sentence);
+                // Every gold surface must be a variant (lower-cased) of some
+                // world entity.
+                let found = w.entities.iter().any(|e| {
+                    e.variants.iter().any(|v| v.to_lowercase() == surface)
+                });
+                assert!(found, "gold surface {surface:?} not a known variant");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_repeats_entities() {
+        let w = world();
+        let ts = topics(&w, 1, 2);
+        let d = gen_stream(&w, &ts, 500, "t", &NoiseConfig::default(), 3);
+        let mut freq: HashMap<String, usize> = HashMap::new();
+        for s in &d.sentences {
+            for sp in &s.gold {
+                *freq.entry(sp.surface_lower(&s.sentence)).or_default() += 1;
+            }
+        }
+        let max = freq.values().max().copied().unwrap_or(0);
+        assert!(max >= 20, "a streaming dataset must repeat its head entities, max={max}");
+    }
+
+    #[test]
+    fn non_streaming_has_low_recurrence() {
+        let w = world();
+        let ts = topics(&w, 1, 4);
+        let stream = gen_stream(&w, &ts, 400, "s", &NoiseConfig::none(), 5);
+        let sample = gen_random_sample(&w, 400, "r", &NoiseConfig::none(), 6);
+        let uniq_ratio = |d: &Dataset| d.n_unique_entities() as f64 / d.n_mentions().max(1) as f64;
+        assert!(
+            uniq_ratio(&sample) > uniq_ratio(&stream) * 1.5,
+            "random sample should have far more unique entities per mention: {} vs {}",
+            uniq_ratio(&sample),
+            uniq_ratio(&stream)
+        );
+    }
+
+    #[test]
+    fn surface_variation_present() {
+        let w = world();
+        let ts = topics(&w, 1, 7);
+        let d = gen_stream(&w, &ts, 600, "t", &NoiseConfig::default(), 8);
+        // Group gold mentions by case-insensitive key; at least one entity
+        // must appear under ≥2 distinct raw surfaces.
+        let mut by_key: HashMap<String, std::collections::HashSet<String>> = HashMap::new();
+        for s in &d.sentences {
+            for sp in &s.gold {
+                by_key
+                    .entry(sp.surface_lower(&s.sentence))
+                    .or_default()
+                    .insert(sp.surface(&s.sentence));
+            }
+        }
+        assert!(by_key.values().any(|set| set.len() >= 2), "expected case variation in mentions");
+    }
+
+    #[test]
+    fn deterministic() {
+        let w = world();
+        let ts = topics(&w, 2, 9);
+        let a = gen_stream(&w, &ts, 50, "t", &NoiseConfig::default(), 10);
+        let b = gen_stream(&w, &ts, 50, "t", &NoiseConfig::default(), 10);
+        for (x, y) in a.sentences.iter().zip(b.sentences.iter()) {
+            assert_eq!(x.sentence.joined(), y.sentence.joined());
+            assert_eq!(x.gold, y.gold);
+        }
+    }
+
+    #[test]
+    fn fillers_do_not_corrupt_gold_spans() {
+        let w = world();
+        let ts = topics(&w, 1, 20);
+        let d = gen_stream(&w, &ts, 300, "t", &NoiseConfig::none(), 21);
+        for s in &d.sentences {
+            for sp in &s.gold {
+                let surface = sp.surface_lower(&s.sentence);
+                let found = w.entities.iter().any(|e| {
+                    e.variants.iter().any(|v| v.to_lowercase() == surface)
+                });
+                assert!(found, "gold span corrupted by filler insertion: {surface:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sentences_nonempty_with_ids() {
+        let w = world();
+        let ts = topics(&w, 1, 11);
+        let d = gen_stream(&w, &ts, 20, "t", &NoiseConfig::default(), 12);
+        for (i, s) in d.sentences.iter().enumerate() {
+            assert!(!s.sentence.is_empty());
+            assert_eq!(s.sentence.id.tweet_id, i as u64);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Per-domain message templates.
+//!
+//! A template is a whitespace-separated string whose slots are expanded by
+//! the stream generator:
+//!
+//! * `{E}` — primary focus entity of the message,
+//! * `{E2}` — secondary entity (another focus entity of the topic),
+//! * `{NUM}` — a number,
+//! * `{HT}` — a topical hashtag,
+//! * `{AT}` — a user mention,
+//! * `{URL}` — a link.
+//!
+//! Everything else is literal vocabulary, chosen so the POS heuristics and
+//! lexical features have realistic material to work with.
+
+use serde::{Deserialize, Serialize};
+
+/// Conversation-stream domains (the paper's topics: Politics, Sports,
+/// Entertainment, Science and Health).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Domain {
+    /// Political streams (elections, governors, policy).
+    Politics,
+    /// Sports streams (matches, transfers, standings).
+    Sports,
+    /// Entertainment streams (releases, shows, celebrities).
+    Entertainment,
+    /// Science streams (missions, papers, discoveries).
+    Science,
+    /// Health streams (outbreaks, guidance, case counts).
+    Health,
+}
+
+impl Domain {
+    /// All domains in a fixed order.
+    pub fn all() -> [Domain; 5] {
+        [Domain::Politics, Domain::Sports, Domain::Entertainment, Domain::Science, Domain::Health]
+    }
+
+    /// Templates for this domain.
+    pub fn templates(self) -> &'static [&'static str] {
+        match self {
+            Domain::Politics => POLITICS,
+            Domain::Sports => SPORTS,
+            Domain::Entertainment => ENTERTAINMENT,
+            Domain::Science => SCIENCE,
+            Domain::Health => HEALTH,
+        }
+    }
+
+    /// Topical hashtag bodies for this domain.
+    pub fn hashtags(self) -> &'static [&'static str] {
+        match self {
+            Domain::Politics => &["vote2020", "debate", "election", "policy", "townhall"],
+            Domain::Sports => &["gameday", "playoffs", "matchday", "finals", "transfer"],
+            Domain::Entertainment => &["premiere", "nowwatching", "newmusic", "bingeworthy", "trailer"],
+            Domain::Science => &["research", "space", "newpaper", "discovery", "launch"],
+            Domain::Health => &["covid19", "stayhome", "publichealth", "vaccine", "outbreak"],
+        }
+    }
+}
+
+const POLITICS: &[&str] = &[
+    "{E} says he's asking county judges to monitor parks and shut them down",
+    "{E} to rank {E2} counties by risk , may relax social distancing",
+    "breaking : {E} announces new policy on {E2} {HT}",
+    "why is {E} still silent about {E2} ?",
+    "{E} leads {E2} in the latest polls {HT}",
+    "{AT} reports that {E} will visit {E2} next week",
+    "huge rally for {E} in {E2} today {URL}",
+    "{E} criticized the response from {E2} again",
+    "the debate between {E} and {E2} starts at {NUM}",
+    "{E} signed the bill , {E2} responds {HT}",
+    "can {E} actually win {E2} this time ?",
+    "{E} : social distancing is not social isolation",
+    "so {E} just endorsed {E2} {HT}",
+    "officials in {E} push back on {E2} claims {URL}",
+];
+
+const SPORTS: &[&str] = &[
+    "{E} beats {E2} {NUM} to {NUM} what a game {HT}",
+    "{E} is rising at a rate similar to the early days of {E2}",
+    "goal ! {E} scores against {E2} {HT}",
+    "{E} signs with {E2} for {NUM} million {URL}",
+    "injury update : {E} doubtful for the {E2} game",
+    "{AT} says {E} is the best player {E2} has ever had",
+    "{E} dominates {E2} in the first half",
+    "can't believe {E} lost to {E2} again",
+    "{E} breaks the record held by {E2} since {NUM}",
+    "lineup is out : {E} starts , {E2} on the bench {HT}",
+    "{E} fans are taking over {E2} tonight",
+    "coach of {E} praises {E2} after the draw",
+];
+
+const ENTERTAINMENT: &[&str] = &[
+    "just watched {E} and i'm crying {HT}",
+    "{E} confirmed for the sequel to {E2} {URL}",
+    "{E} drops a surprise album with {E2}",
+    "the finale of {E} broke {NUM} records {HT}",
+    "{AT} interviews {E} about {E2} tonight",
+    "{E} was robbed at the awards , {E2} didn't deserve it",
+    "casting news : {E} joins {E2} {HT}",
+    "{E} tour dates announced for {E2} {URL}",
+    "is {E} better than {E2} ? discuss",
+    "soundtrack of {E} by {E2} is incredible",
+    "{E} renewed for season {NUM} {HT}",
+];
+
+const SCIENCE: &[&str] = &[
+    "{E} publishes new findings about {E2} {URL}",
+    "the {E} mission reaches {E2} after {NUM} years {HT}",
+    "researchers at {E} detect a signal from {E2}",
+    "{E} telescope captures images of {E2} {URL}",
+    "{AT} explains how {E} changes what we know about {E2}",
+    "new paper : {E} confirms the {E2} hypothesis",
+    "{E} launches {NUM} satellites for {E2} {HT}",
+    "a breakthrough from {E} on {E2} storage",
+    "{E} and {E2} announce a joint research program",
+    "data from {E} suggests {E2} is older than thought",
+];
+
+const HEALTH: &[&str] = &[
+    "we just bypass {E} with {E2} cases . but officials want to relax social distancing",
+    "not a bad video to explain how the {E} works as well as the reasoning for social distancing {URL}",
+    "{E} reports {NUM} new cases of {E2} today {HT}",
+    "{E} is rising at a rate similar to the early days in {E2}",
+    "hospitals in {E} are filling up because of {E2}",
+    "{AT} warns that {E} could see a second wave of {E2}",
+    "{E} approves the {E2} vaccine {HT}",
+    "stay home , {E} cases doubled in {E2} this week",
+    "{E} tests positive for {E2} {URL}",
+    "experts from {E} discuss {E2} guidance tonight",
+    "{E} extends the lockdown as {E2} spreads {HT}",
+    "how {E} flattened the curve while {E2} struggles",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_domain_has_templates_and_hashtags() {
+        for d in Domain::all() {
+            assert!(d.templates().len() >= 10, "{d:?}");
+            assert!(d.hashtags().len() >= 3, "{d:?}");
+        }
+    }
+
+    #[test]
+    fn all_templates_mention_primary_entity() {
+        for d in Domain::all() {
+            for t in d.templates() {
+                assert!(t.contains("{E}"), "{d:?}: {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn slots_are_well_formed() {
+        let valid = ["{E}", "{E2}", "{NUM}", "{HT}", "{AT}", "{URL}"];
+        for d in Domain::all() {
+            for t in d.templates() {
+                for w in t.split_whitespace() {
+                    if w.starts_with('{') {
+                        assert!(valid.contains(&w), "unknown slot {w} in {t}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Topics: a domain plus a Zipf-weighted catalog of focus entities.
+//!
+//! A conversation stream on a topic repeats the topic's focus entities with
+//! heavy-tailed frequency. Secondary slots (`{E2}`) draw from the same
+//! catalog, occasionally from the global background, mirroring how real
+//! streams mention tangential entities.
+
+use crate::entities::World;
+use crate::templates::Domain;
+use crate::zipf::Zipf;
+use emd_text::gazetteer::GazCategory;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A conversation topic.
+#[derive(Debug, Clone)]
+pub struct Topic {
+    /// Domain supplying templates and hashtags.
+    pub domain: Domain,
+    /// Indices into `World::entities`, ordered by intended frequency rank.
+    pub focus: Vec<usize>,
+    /// Zipf sampler over `focus`.
+    zipf: Zipf,
+}
+
+/// Category mixture per domain: which entity categories a domain's streams
+/// tend to mention.
+fn domain_categories(d: Domain) -> &'static [GazCategory] {
+    match d {
+        Domain::Politics => &[GazCategory::Person, GazCategory::Location, GazCategory::Organization],
+        Domain::Sports => &[GazCategory::Group, GazCategory::Person, GazCategory::Location],
+        Domain::Entertainment => &[GazCategory::CreativeWork, GazCategory::Person, GazCategory::Group],
+        Domain::Science => &[GazCategory::Organization, GazCategory::Product, GazCategory::Location],
+        Domain::Health => &[GazCategory::Group, GazCategory::Location, GazCategory::Organization],
+    }
+}
+
+impl Topic {
+    /// Build a topic: sample `n_focus` entities from the world, biased to
+    /// the domain's categories, and install a Zipf(1.15) over them.
+    pub fn generate(world: &World, domain: Domain, n_focus: usize, rng: &mut StdRng) -> Topic {
+        Topic::generate_mixed(world, domain, n_focus, None, rng)
+    }
+
+    /// Like [`Topic::generate`], but controlling the fraction of focus
+    /// entities drawn from the *established* pool (`Some(1.0)` = training
+    /// regime, `Some(0.25)` = evaluation streams dominated by emerging
+    /// entities, `None` = ignore the split).
+    pub fn generate_mixed(
+        world: &World,
+        domain: Domain,
+        n_focus: usize,
+        frac_established: Option<f64>,
+        rng: &mut StdRng,
+    ) -> Topic {
+        let cats = domain_categories(domain);
+        let mut focus: Vec<usize> = match frac_established {
+            None => {
+                let mut pool: Vec<usize> = Vec::new();
+                for &c in cats {
+                    pool.extend(world.by_category(c));
+                }
+                pool.shuffle(rng);
+                pool.into_iter().take(n_focus).collect()
+            }
+            Some(frac) => {
+                let mut est: Vec<usize> = Vec::new();
+                let mut emg: Vec<usize> = Vec::new();
+                for &c in cats {
+                    est.extend(world.by_category_status(c, true));
+                    emg.extend(world.by_category_status(c, false));
+                }
+                est.shuffle(rng);
+                emg.shuffle(rng);
+                let n_est = ((n_focus as f64) * frac).round() as usize;
+                let mut f: Vec<usize> = est.into_iter().take(n_est.min(n_focus)).collect();
+                f.extend(emg.into_iter().take(n_focus - f.len().min(n_focus)));
+                f.shuffle(rng);
+                f
+            }
+        };
+        // A dash of out-of-domain entities (streams drift).
+        let extra = (n_focus / 10).max(1);
+        let all: Vec<usize> = (0..world.entities.len()).collect();
+        for _ in 0..extra {
+            let i = all[rng.gen_range(0..all.len())];
+            if !focus.contains(&i) {
+                focus.push(i);
+            }
+        }
+        let zipf = Zipf::new(focus.len(), 1.15);
+        Topic { domain, focus, zipf }
+    }
+
+    /// Draw a focus entity index (into `World::entities`) by Zipf rank.
+    pub fn sample_entity(&self, rng: &mut StdRng) -> usize {
+        self.focus[self.zipf.sample(rng)]
+    }
+
+    /// Draw a secondary entity distinct from `primary` when possible.
+    pub fn sample_secondary(&self, primary: usize, rng: &mut StdRng) -> usize {
+        for _ in 0..8 {
+            let e = self.sample_entity(rng);
+            if e != primary {
+                return e;
+            }
+        }
+        primary
+    }
+
+    /// Number of focus entities.
+    pub fn n_focus(&self) -> usize {
+        self.focus.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entities::WorldConfig;
+    use rand::SeedableRng;
+
+    fn world() -> World {
+        World::generate(&WorldConfig { per_category: 40, ..Default::default() })
+    }
+
+    #[test]
+    fn topic_has_requested_focus_size() {
+        let w = world();
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = Topic::generate(&w, Domain::Health, 30, &mut rng);
+        assert!(t.n_focus() >= 30);
+    }
+
+    #[test]
+    fn sampling_is_heavy_tailed() {
+        let w = world();
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = Topic::generate(&w, Domain::Politics, 40, &mut rng);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..5000 {
+            *counts.entry(t.sample_entity(&mut rng)).or_insert(0usize) += 1;
+        }
+        let max = *counts.values().max().unwrap();
+        let min = t.focus.iter().map(|e| counts.get(e).copied().unwrap_or(0)).min().unwrap();
+        assert!(max > 500, "head entity should dominate, max={max}");
+        assert!(min * 10 < max, "tail entities should be much rarer: min={min} max={max}");
+    }
+
+    #[test]
+    fn secondary_differs_from_primary() {
+        let w = world();
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = Topic::generate(&w, Domain::Sports, 20, &mut rng);
+        let p = t.sample_entity(&mut rng);
+        let mut diff = 0;
+        for _ in 0..50 {
+            if t.sample_secondary(p, &mut rng) != p {
+                diff += 1;
+            }
+        }
+        assert!(diff > 40);
+    }
+
+    #[test]
+    fn domain_bias_holds() {
+        let w = world();
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Topic::generate(&w, Domain::Politics, 30, &mut rng);
+        let cats = domain_categories(Domain::Politics);
+        let in_domain = t
+            .focus
+            .iter()
+            .filter(|&&i| cats.contains(&w.entities[i].category))
+            .count();
+        assert!(in_domain * 2 > t.n_focus(), "majority of focus entities in-domain");
+    }
+}

@@ -1,0 +1,108 @@
+//! Zipf-distributed sampling over ranked items.
+//!
+//! Entity recurrence in conversation streams is heavy-tailed: a handful of
+//! focus entities dominate while most appear once or twice. `rand_distr` is
+//! not in the approved dependency set, so the sampler is implemented here:
+//! an inverse-CDF table over `P(k) ∝ 1/k^s`.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A Zipf sampler over ranks `0..n`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` items with exponent `s` (typically 1.0–1.5;
+    /// higher = more skew). Panics if `n == 0`.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf over zero items");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw a rank in `0..n` (0 = most likely).
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(10, 1.2);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 10);
+        }
+    }
+
+    #[test]
+    fn rank_zero_most_frequent() {
+        let z = Zipf::new(50, 1.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 50];
+        for _ in 0..20000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[5]);
+        assert!(counts[0] > counts[49] * 5);
+        // The tail is still reachable.
+        assert!(counts[40..].iter().sum::<usize>() > 0);
+    }
+
+    #[test]
+    fn heavier_exponent_more_skew() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let z1 = Zipf::new(100, 0.8);
+        let z2 = Zipf::new(100, 2.0);
+        let head = |z: &Zipf, rng: &mut StdRng| {
+            (0..5000).filter(|_| z.sample(rng) == 0).count()
+        };
+        let h1 = head(&z1, &mut rng);
+        let h2 = head(&z2, &mut rng);
+        assert!(h2 > h1);
+    }
+
+    #[test]
+    fn single_item() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Zipf over zero items")]
+    fn zero_items_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,292 @@
+//! Byte-pair encoding, from scratch.
+//!
+//! BERTweet segments tweets into subword units with fastBPE over a 64K
+//! vocabulary; our MiniBERT stand-in learns a small BPE vocabulary from the
+//! synthetic corpus with the classic Sennrich et al. algorithm:
+//!
+//! 1. represent each word as a sequence of characters plus an end-of-word
+//!    marker `</w>`,
+//! 2. repeatedly merge the most frequent adjacent symbol pair,
+//! 3. the learned merge list, applied in order, deterministically segments
+//!    any new word.
+//!
+//! The encoder exposes dense subword ids with reserved `PAD`/`UNK`/`CLS`
+//! slots used by the transformer.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Padding id.
+pub const PAD: u32 = 0;
+/// Unknown-symbol id.
+pub const UNK: u32 = 1;
+/// Classification / begin-of-sequence token id.
+pub const CLS: u32 = 2;
+const N_RESERVED: u32 = 3;
+
+const EOW: &str = "</w>";
+
+/// A learned BPE model: merge ranks + subword vocabulary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Bpe {
+    /// Merge priority: (left, right) → rank (lower = earlier).
+    merges: HashMap<(String, String), u32>,
+    /// Subword string → id.
+    vocab: HashMap<String, u32>,
+    /// id → subword string.
+    items: Vec<String>,
+}
+
+impl Bpe {
+    /// Learn a BPE model from `(word, count)` pairs with at most
+    /// `n_merges` merge operations.
+    pub fn learn<'a, I>(word_counts: I, n_merges: usize) -> Bpe
+    where
+        I: IntoIterator<Item = (&'a str, u64)>,
+    {
+        // Each word is a symbol sequence; keep counts.
+        let mut words: Vec<(Vec<String>, u64)> = Vec::new();
+        for (w, c) in word_counts {
+            if w.is_empty() {
+                continue;
+            }
+            let mut syms: Vec<String> = w.chars().map(|ch| ch.to_string()).collect();
+            if let Some(last) = syms.last_mut() {
+                last.push_str(EOW);
+            }
+            words.push((syms, c));
+        }
+
+        let mut merges: HashMap<(String, String), u32> = HashMap::new();
+        for rank in 0..n_merges {
+            // Count adjacent pairs.
+            let mut pair_counts: HashMap<(String, String), u64> = HashMap::new();
+            for (syms, c) in &words {
+                for win in syms.windows(2) {
+                    *pair_counts
+                        .entry((win[0].clone(), win[1].clone()))
+                        .or_insert(0) += c;
+                }
+            }
+            // Most frequent pair; tie-break lexicographically for determinism.
+            let best = pair_counts
+                .into_iter()
+                .filter(|(_, c)| *c >= 2)
+                .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)));
+            let Some(((a, b), _)) = best else { break };
+            merges.insert((a.clone(), b.clone()), rank as u32);
+            // Apply the merge to every word.
+            let merged = format!("{a}{b}");
+            for (syms, _) in &mut words {
+                let mut out = Vec::with_capacity(syms.len());
+                let mut i = 0;
+                while i < syms.len() {
+                    if i + 1 < syms.len() && syms[i] == a && syms[i + 1] == b {
+                        out.push(merged.clone());
+                        i += 2;
+                    } else {
+                        out.push(syms[i].clone());
+                        i += 1;
+                    }
+                }
+                *syms = out;
+            }
+        }
+
+        // Build the subword vocabulary from everything reachable: single
+        // chars (with and without EOW) seen in training plus merge outputs.
+        let mut vocab: HashMap<String, u32> = HashMap::new();
+        let mut items: Vec<String> = Vec::new();
+        for reserved in ["<pad>", "<unk>", "<cls>"] {
+            vocab.insert(reserved.to_string(), items.len() as u32);
+            items.push(reserved.to_string());
+        }
+        let add = |s: &str, vocab: &mut HashMap<String, u32>, items: &mut Vec<String>| {
+            if !vocab.contains_key(s) {
+                vocab.insert(s.to_string(), items.len() as u32);
+                items.push(s.to_string());
+            }
+        };
+        for (syms, _) in &words {
+            for s in syms {
+                add(s, &mut vocab, &mut items);
+            }
+        }
+        // Also add raw single characters so segmentation of unseen words
+        // rarely produces UNK.
+        let singles: Vec<String> = words
+            .iter()
+            .flat_map(|(syms, _)| syms.iter())
+            .flat_map(|s| s.replace(EOW, "").chars().collect::<Vec<_>>())
+            .map(|c| c.to_string())
+            .collect();
+        for c in singles {
+            add(&c, &mut vocab, &mut items);
+            add(&format!("{c}{EOW}"), &mut vocab, &mut items);
+        }
+        Bpe { merges, vocab, items }
+    }
+
+    /// Segment a word into subword strings by applying learned merges in
+    /// rank order.
+    pub fn segment(&self, word: &str) -> Vec<String> {
+        if word.is_empty() {
+            return Vec::new();
+        }
+        let mut syms: Vec<String> = word.chars().map(|c| c.to_string()).collect();
+        if let Some(last) = syms.last_mut() {
+            last.push_str(EOW);
+        }
+        loop {
+            // Find the lowest-rank applicable merge.
+            let mut best: Option<(usize, u32)> = None;
+            for i in 0..syms.len().saturating_sub(1) {
+                if let Some(&rank) =
+                    self.merges.get(&(syms[i].clone(), syms[i + 1].clone()))
+                {
+                    if best.map(|(_, r)| rank < r).unwrap_or(true) {
+                        best = Some((i, rank));
+                    }
+                }
+            }
+            let Some((i, _)) = best else { break };
+            let merged = format!("{}{}", syms[i], syms[i + 1]);
+            syms.splice(i..i + 2, [merged]);
+        }
+        syms
+    }
+
+    /// Encode a word into subword ids (`UNK` for unknown symbols).
+    pub fn encode_word(&self, word: &str) -> Vec<u32> {
+        self.segment(word)
+            .iter()
+            .map(|s| self.vocab.get(s).copied().unwrap_or(UNK))
+            .collect()
+    }
+
+    /// Encode a token sequence. Returns the flat subword ids and, for each
+    /// input token, the index of its *first* subword in the flat sequence —
+    /// the alignment BERT-style models use to produce word-level outputs.
+    pub fn encode_tokens<'a, I: IntoIterator<Item = &'a str>>(
+        &self,
+        tokens: I,
+    ) -> (Vec<u32>, Vec<usize>) {
+        let mut ids = Vec::new();
+        let mut first = Vec::new();
+        for t in tokens {
+            first.push(ids.len());
+            let mut ws = self.encode_word(&t.to_lowercase());
+            if ws.is_empty() {
+                ws.push(UNK);
+            }
+            ids.append(&mut ws);
+        }
+        (ids, first)
+    }
+
+    /// Subword vocabulary size (including reserved ids).
+    pub fn vocab_size(&self) -> usize {
+        self.items.len()
+    }
+
+    /// The string of a subword id.
+    pub fn subword(&self, id: u32) -> &str {
+        if (id as usize) < self.items.len() {
+            &self.items[id as usize]
+        } else {
+            "<unk>"
+        }
+    }
+
+    /// Number of learned merges.
+    pub fn n_merges(&self) -> usize {
+        self.merges.len()
+    }
+
+    /// Reserved id count (pad/unk/cls).
+    pub fn n_reserved() -> u32 {
+        N_RESERVED
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_bpe() -> Bpe {
+        let corpus = [
+            ("corona", 10u64),
+            ("coronavirus", 20),
+            ("virus", 15),
+            ("viral", 5),
+            ("low", 8),
+            ("lower", 6),
+            ("lowest", 4),
+        ];
+        Bpe::learn(corpus.iter().map(|(w, c)| (*w, *c)), 60)
+    }
+
+    #[test]
+    fn learn_produces_merges() {
+        let bpe = toy_bpe();
+        assert!(bpe.n_merges() > 0);
+        assert!(bpe.vocab_size() > 10);
+    }
+
+    #[test]
+    fn segment_reconstructs_word() {
+        let bpe = toy_bpe();
+        for w in ["coronavirus", "virus", "lowest", "unseenword"] {
+            let segs = bpe.segment(w);
+            let joined: String = segs.join("").replace(EOW, "");
+            assert_eq!(joined, w, "segmentation must reconstruct the word");
+        }
+    }
+
+    #[test]
+    fn frequent_words_become_few_subwords() {
+        let bpe = toy_bpe();
+        // With 60 merges on this tiny corpus, "virus" should be ≤ 2 units.
+        assert!(bpe.segment("virus").len() <= 2, "{:?}", bpe.segment("virus"));
+    }
+
+    #[test]
+    fn encode_word_known_symbols() {
+        let bpe = toy_bpe();
+        let ids = bpe.encode_word("corona");
+        assert!(!ids.is_empty());
+        assert!(ids.iter().all(|&i| i != UNK), "all symbols seen in training");
+    }
+
+    #[test]
+    fn encode_unseen_chars_fall_back_to_unk() {
+        let bpe = toy_bpe();
+        let ids = bpe.encode_word("日本");
+        assert!(ids.iter().all(|&i| i == UNK));
+    }
+
+    #[test]
+    fn token_alignment() {
+        let bpe = toy_bpe();
+        let (ids, first) = bpe.encode_tokens(["corona", "virus"]);
+        assert_eq!(first.len(), 2);
+        assert_eq!(first[0], 0);
+        assert!(first[1] <= ids.len());
+        assert!(first[1] > 0);
+    }
+
+    #[test]
+    fn empty_word() {
+        let bpe = toy_bpe();
+        assert!(bpe.segment("").is_empty());
+        assert!(bpe.encode_word("").is_empty());
+    }
+
+    #[test]
+    fn determinism() {
+        let a = toy_bpe();
+        let b = toy_bpe();
+        assert_eq!(a.segment("coronavirus"), b.segment("coronavirus"));
+        assert_eq!(a.vocab_size(), b.vocab_size());
+    }
+}

@@ -1,0 +1,275 @@
+//! Capitalization analysis.
+//!
+//! Two levels of analysis live here:
+//!
+//! * [`CapShape`] — the orthographic shape of a single token, used as a
+//!   feature by the CRF tagger and the neural encoders.
+//! * [`SyntacticClass`] — the six syntactic context classes of §V-B1 of the
+//!   paper, describing *how a candidate mention is capitalized relative to
+//!   its sentence*. For non-deep Local EMD systems these six classes are the
+//!   entire local candidate embedding (a 6-dimensional one-hot that is then
+//!   pooled over all mentions of the candidate).
+
+use crate::token::{Sentence, Span};
+use serde::{Deserialize, Serialize};
+
+/// Orthographic shape of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CapShape {
+    /// `Coronavirus` — first char uppercase, rest lowercase.
+    Init,
+    /// `CORONAVIRUS`, `UK` — every alphabetic char uppercase (≥1 char).
+    AllUpper,
+    /// `coronavirus` — every alphabetic char lowercase.
+    AllLower,
+    /// `iPhone`, `McDonald` — mixed case not covered above.
+    Mixed,
+    /// `#covid`, `123`, `!!!` — no alphabetic characters at all.
+    NonAlpha,
+}
+
+impl CapShape {
+    /// Classify a token's shape.
+    pub fn of(token: &str) -> CapShape {
+        let mut has_alpha = false;
+        let mut all_upper = true;
+        let mut all_lower = true;
+        let mut first_alpha_upper = false;
+        let mut rest_lower = true;
+        let mut seen_first = false;
+        for c in token.chars() {
+            if c.is_alphabetic() {
+                has_alpha = true;
+                if c.is_uppercase() {
+                    all_lower = false;
+                    if !seen_first {
+                        first_alpha_upper = true;
+                    } else {
+                        rest_lower = false;
+                    }
+                } else {
+                    all_upper = false;
+                }
+                seen_first = true;
+            }
+        }
+        if !has_alpha {
+            CapShape::NonAlpha
+        } else if all_upper {
+            CapShape::AllUpper
+        } else if all_lower {
+            CapShape::AllLower
+        } else if first_alpha_upper && rest_lower {
+            CapShape::Init
+        } else {
+            CapShape::Mixed
+        }
+    }
+
+    /// Dense feature index (stable across the workspace).
+    pub fn index(self) -> usize {
+        match self {
+            CapShape::Init => 0,
+            CapShape::AllUpper => 1,
+            CapShape::AllLower => 2,
+            CapShape::Mixed => 3,
+            CapShape::NonAlpha => 4,
+        }
+    }
+
+    /// Number of shapes.
+    pub const COUNT: usize = 5;
+}
+
+/// The six syntactic possibilities in which a candidate mention can be
+/// presented (§V-B1). The one-hot over these classes is the *local
+/// syntactic embedding* used when the Local EMD system is non-deep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SyntacticClass {
+    /// (1) First character of every candidate token capitalized, and the
+    /// evidence is discriminative (not start-of-sentence, sentence not
+    /// uniformly cased).
+    ProperCapitalization,
+    /// (2) A unigram candidate capitalized at the start of the sentence —
+    /// capitalization could be merely sentence-initial convention.
+    StartOfSentenceCap,
+    /// (3) Only a proper substring of a multi-gram candidate is capitalized.
+    SubstringCapitalization,
+    /// (4) Entire string uppercase — abbreviations like `UN`, `UK`.
+    FullCapitalization,
+    /// (5) Entire string lowercase.
+    NoCapitalization,
+    /// (6) The enclosing sentence is uniformly upper/lower/title-cased, so
+    /// the mention's casing carries no signal.
+    NonDiscriminative,
+}
+
+impl SyntacticClass {
+    /// Dense index, stable ordering (matches the paper's enumeration 1–6).
+    pub fn index(self) -> usize {
+        match self {
+            SyntacticClass::ProperCapitalization => 0,
+            SyntacticClass::StartOfSentenceCap => 1,
+            SyntacticClass::SubstringCapitalization => 2,
+            SyntacticClass::FullCapitalization => 3,
+            SyntacticClass::NoCapitalization => 4,
+            SyntacticClass::NonDiscriminative => 5,
+        }
+    }
+
+    /// Number of classes — the dimensionality of the syntactic embedding.
+    pub const COUNT: usize = 6;
+
+    /// One-hot vector for this class.
+    pub fn one_hot(self) -> [f32; Self::COUNT] {
+        let mut v = [0.0; Self::COUNT];
+        v[self.index()] = 1.0;
+        v
+    }
+}
+
+/// Is the sentence's casing uninformative? True when every alphabetic token
+/// shares the same shape: all lowercase, all uppercase, or all title-cased
+/// (first char capitalized on every word).
+pub fn sentence_casing_uninformative(sentence: &Sentence) -> bool {
+    let mut shapes = Vec::new();
+    for t in sentence.texts() {
+        let sh = CapShape::of(t);
+        if sh != CapShape::NonAlpha {
+            shapes.push(sh);
+        }
+    }
+    if shapes.len() < 2 {
+        // Single-word (or empty) sentences cannot establish a convention.
+        return false;
+    }
+    shapes.iter().all(|s| *s == CapShape::AllLower)
+        || shapes.iter().all(|s| *s == CapShape::AllUpper)
+        || shapes.iter().all(|s| *s == CapShape::Init || *s == CapShape::AllUpper)
+}
+
+/// Classify the syntactic context of a candidate mention `span` within
+/// `sentence` into one of the six classes of §V-B1.
+pub fn syntactic_class(sentence: &Sentence, span: &Span) -> SyntacticClass {
+    debug_assert!(span.end <= sentence.len());
+    if sentence_casing_uninformative(sentence) {
+        return SyntacticClass::NonDiscriminative;
+    }
+    let shapes: Vec<CapShape> = (span.start..span.end)
+        .map(|i| CapShape::of(&sentence.tokens[i].text))
+        .collect();
+    let alpha: Vec<CapShape> =
+        shapes.iter().copied().filter(|s| *s != CapShape::NonAlpha).collect();
+    if alpha.is_empty() {
+        return SyntacticClass::NonDiscriminative;
+    }
+    let all_upper = alpha.iter().all(|s| *s == CapShape::AllUpper);
+    // Multi-char full caps = abbreviation-style. Single letters like "I"
+    // also land here; acceptable.
+    if all_upper {
+        return SyntacticClass::FullCapitalization;
+    }
+    let all_lower = alpha.iter().all(|s| *s == CapShape::AllLower);
+    if all_lower {
+        return SyntacticClass::NoCapitalization;
+    }
+    let all_capitalized =
+        alpha.iter().all(|s| matches!(s, CapShape::Init | CapShape::AllUpper | CapShape::Mixed));
+    if all_capitalized {
+        if span.len() == 1 && span.start == 0 {
+            return SyntacticClass::StartOfSentenceCap;
+        }
+        return SyntacticClass::ProperCapitalization;
+    }
+    // Some tokens capitalized, some not → substring capitalization.
+    SyntacticClass::SubstringCapitalization
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::SentenceId;
+
+    fn sent(words: &[&str]) -> Sentence {
+        Sentence::from_tokens(SentenceId::new(0, 0), words.iter().copied())
+    }
+
+    #[test]
+    fn cap_shapes() {
+        assert_eq!(CapShape::of("Coronavirus"), CapShape::Init);
+        assert_eq!(CapShape::of("CORONAVIRUS"), CapShape::AllUpper);
+        assert_eq!(CapShape::of("coronavirus"), CapShape::AllLower);
+        assert_eq!(CapShape::of("iPhone"), CapShape::Mixed);
+        assert_eq!(CapShape::of("McDonald"), CapShape::Mixed);
+        assert_eq!(CapShape::of("123"), CapShape::NonAlpha);
+        assert_eq!(CapShape::of("UK"), CapShape::AllUpper);
+        assert_eq!(CapShape::of("#tag"), CapShape::AllLower); // 'tag' chars decide
+    }
+
+    #[test]
+    fn proper_capitalization() {
+        let s = sent(&["Trump", "to", "rank", "US", "counties"]);
+        assert_eq!(
+            syntactic_class(&s, &Span::new(0, 1)),
+            SyntacticClass::StartOfSentenceCap // unigram at sentence start
+        );
+        assert_eq!(syntactic_class(&s, &Span::new(3, 4)), SyntacticClass::FullCapitalization);
+    }
+
+    #[test]
+    fn proper_cap_multi_token() {
+        let s = sent(&["Andy", "Beshear", "says", "things"]);
+        assert_eq!(syntactic_class(&s, &Span::new(0, 2)), SyntacticClass::ProperCapitalization);
+    }
+
+    #[test]
+    fn proper_cap_mid_sentence() {
+        let s = sent(&["the", "governor", "Beshear", "spoke"]);
+        assert_eq!(syntactic_class(&s, &Span::new(2, 3)), SyntacticClass::ProperCapitalization);
+    }
+
+    #[test]
+    fn substring_capitalization() {
+        let s = sent(&["watch", "Andy", "beshear", "tonight"]);
+        assert_eq!(syntactic_class(&s, &Span::new(1, 3)), SyntacticClass::SubstringCapitalization);
+    }
+
+    #[test]
+    fn no_capitalization() {
+        let s = sent(&["the", "coronavirus", "Spreads", "fast"]);
+        assert_eq!(syntactic_class(&s, &Span::new(1, 2)), SyntacticClass::NoCapitalization);
+    }
+
+    #[test]
+    fn non_discriminative_all_caps_sentence() {
+        let s = sent(&["WE", "JUST", "BYPASS", "ITALY", "WITH", "CORONAVIRUS", "CASES"]);
+        assert_eq!(syntactic_class(&s, &Span::new(3, 4)), SyntacticClass::NonDiscriminative);
+        assert!(sentence_casing_uninformative(&s));
+    }
+
+    #[test]
+    fn non_discriminative_all_lower_sentence() {
+        let s = sent(&["italy", "is", "rising", "fast"]);
+        assert!(sentence_casing_uninformative(&s));
+        assert_eq!(syntactic_class(&s, &Span::new(0, 1)), SyntacticClass::NonDiscriminative);
+    }
+
+    #[test]
+    fn title_case_sentence_uninformative() {
+        let s = sent(&["Every", "Word", "Here", "Is", "Capitalized"]);
+        assert!(sentence_casing_uninformative(&s));
+    }
+
+    #[test]
+    fn informative_mixed_sentence() {
+        let s = sent(&["Canada", "is", "rising", "at", "a", "rate"]);
+        assert!(!sentence_casing_uninformative(&s));
+        assert_eq!(syntactic_class(&s, &Span::new(0, 1)), SyntacticClass::StartOfSentenceCap);
+    }
+
+    #[test]
+    fn one_hot_shape() {
+        let v = SyntacticClass::FullCapitalization.one_hot();
+        assert_eq!(v, [0.0, 0.0, 0.0, 1.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Gazetteer lookups with Aguilar-style 6-dimensional lexical vectors.
+//!
+//! Aguilar et al. encode, for every token, whether it appears inside an
+//! entry of each of six gazetteer types. We reproduce the mechanism: a
+//! [`Gazetteer`] holds entries per [`GazCategory`] and produces a
+//! `[f32; 6]` lexical vector per token (and a phrase-level membership test
+//! used by the candidate classifier's feature set).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// The six gazetteer categories (mirrors Aguilar et al.'s 6-dim vector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GazCategory {
+    /// People's names.
+    Person,
+    /// Geographic locations.
+    Location,
+    /// Organizations, institutions, teams.
+    Organization,
+    /// Products and services.
+    Product,
+    /// Creative works (movies, shows, songs).
+    CreativeWork,
+    /// Groups / events / miscellaneous.
+    Group,
+}
+
+impl GazCategory {
+    /// Dense index 0..6.
+    pub fn index(self) -> usize {
+        match self {
+            GazCategory::Person => 0,
+            GazCategory::Location => 1,
+            GazCategory::Organization => 2,
+            GazCategory::Product => 3,
+            GazCategory::CreativeWork => 4,
+            GazCategory::Group => 5,
+        }
+    }
+
+    /// Number of categories.
+    pub const COUNT: usize = 6;
+
+    /// All categories, in index order.
+    pub fn all() -> [GazCategory; 6] {
+        [
+            GazCategory::Person,
+            GazCategory::Location,
+            GazCategory::Organization,
+            GazCategory::Product,
+            GazCategory::CreativeWork,
+            GazCategory::Group,
+        ]
+    }
+}
+
+/// A multi-category gazetteer.
+///
+/// Entries are stored lower-cased. Besides full-phrase membership, every
+/// token occurring in any entry of a category is indexed, because Aguilar's
+/// lexical feature fires per *token*.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Gazetteer {
+    phrases: [HashSet<String>; GazCategory::COUNT],
+    tokens: [HashSet<String>; GazCategory::COUNT],
+}
+
+impl Gazetteer {
+    /// Empty gazetteer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a (possibly multi-token, space-separated) entry.
+    pub fn insert(&mut self, cat: GazCategory, entry: &str) {
+        let low = entry.to_lowercase();
+        for tok in low.split_whitespace() {
+            self.tokens[cat.index()].insert(tok.to_string());
+        }
+        self.phrases[cat.index()].insert(low);
+    }
+
+    /// Number of phrase entries across all categories.
+    pub fn len(&self) -> usize {
+        self.phrases.iter().map(|s| s.len()).sum()
+    }
+
+    /// True if no entries at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Token-level lexical vector: dimension `c` is 1.0 iff the lower-cased
+    /// token occurs inside any entry of category `c`.
+    pub fn lexical_vector(&self, token: &str) -> [f32; GazCategory::COUNT] {
+        let low = token.to_lowercase();
+        let mut v = [0.0; GazCategory::COUNT];
+        for (i, set) in self.tokens.iter().enumerate() {
+            if set.contains(&low) {
+                v[i] = 1.0;
+            }
+        }
+        v
+    }
+
+    /// Full-phrase membership in a specific category (case-insensitive).
+    pub fn contains_phrase(&self, cat: GazCategory, phrase: &str) -> bool {
+        self.phrases[cat.index()].contains(&phrase.to_lowercase())
+    }
+
+    /// Full-phrase membership in any category.
+    pub fn contains_any(&self, phrase: &str) -> bool {
+        let low = phrase.to_lowercase();
+        self.phrases.iter().any(|s| s.contains(&low))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut g = Gazetteer::new();
+        g.insert(GazCategory::Person, "Andy Beshear");
+        g.insert(GazCategory::Location, "Italy");
+        assert!(g.contains_phrase(GazCategory::Person, "andy beshear"));
+        assert!(g.contains_any("ITALY"));
+        assert!(!g.contains_any("mars"));
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn token_level_vector() {
+        let mut g = Gazetteer::new();
+        g.insert(GazCategory::Person, "Andy Beshear");
+        let v = g.lexical_vector("beshear");
+        assert_eq!(v[GazCategory::Person.index()], 1.0);
+        assert_eq!(v[GazCategory::Location.index()], 0.0);
+        // Case-insensitive
+        let v2 = g.lexical_vector("BESHEAR");
+        assert_eq!(v2[GazCategory::Person.index()], 1.0);
+    }
+
+    #[test]
+    fn multi_category_token() {
+        let mut g = Gazetteer::new();
+        g.insert(GazCategory::Location, "Washington");
+        g.insert(GazCategory::Person, "George Washington");
+        let v = g.lexical_vector("washington");
+        assert_eq!(v[GazCategory::Location.index()], 1.0);
+        assert_eq!(v[GazCategory::Person.index()], 1.0);
+    }
+
+    #[test]
+    fn category_indices_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for c in GazCategory::all() {
+            assert!(seen.insert(c.index()));
+        }
+        assert_eq!(seen.len(), GazCategory::COUNT);
+    }
+}

@@ -1,0 +1,104 @@
+//! Light text normalization for embedding lookup.
+//!
+//! Microblog text is noisy: character elongations (`soooo`), inconsistent
+//! casing, URLs and user handles that explode vocabulary size. Models look
+//! up embeddings by the *normalized* form while the pipeline keeps original
+//! surfaces for output and for the casing features.
+
+/// Squash runs of 3+ identical characters down to 2 (`soooo` → `soo`).
+///
+/// Two repeats are kept because legitimate English words contain doubled
+/// letters (`too`, `css`); three or more almost never occur outside
+/// expressive lengthening.
+pub fn squash_elongation(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut prev: Option<char> = None;
+    let mut run = 0usize;
+    for c in s.chars() {
+        if Some(c) == prev {
+            run += 1;
+        } else {
+            run = 1;
+            prev = Some(c);
+        }
+        if run <= 2 {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Normalize a token for embedding lookup:
+/// * URLs → `<url>`
+/// * @mentions → `<user>`
+/// * pure numbers → `<num>`
+/// * hashtags keep their body (`#Covid` → `covid`) since hashtag bodies are
+///   often entity mentions,
+/// * otherwise lowercase + elongation squashing.
+pub fn normalize_token(tok: &str) -> String {
+    if tok.starts_with("http://") || tok.starts_with("https://") || tok.starts_with("www.") {
+        return "<url>".to_string();
+    }
+    if tok.len() > 1 && tok.starts_with('@') {
+        return "<user>".to_string();
+    }
+    let body = tok.strip_prefix('#').unwrap_or(tok);
+    if !body.is_empty() && body.chars().all(|c| c.is_ascii_digit() || c == '.' || c == ',' || c == ':') {
+        return "<num>".to_string();
+    }
+    squash_elongation(&body.to_lowercase())
+}
+
+/// True if the token looks like a URL.
+pub fn is_url(tok: &str) -> bool {
+    tok.starts_with("http://") || tok.starts_with("https://") || tok.starts_with("www.")
+}
+
+/// True if the token is a user mention (`@handle`).
+pub fn is_mention(tok: &str) -> bool {
+    tok.len() > 1 && tok.starts_with('@')
+}
+
+/// True if the token is a hashtag (`#topic`).
+pub fn is_hashtag(tok: &str) -> bool {
+    tok.len() > 1 && tok.starts_with('#')
+}
+
+/// True if the token is purely punctuation.
+pub fn is_punct(tok: &str) -> bool {
+    !tok.is_empty() && tok.chars().all(|c| !c.is_alphanumeric())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elongation() {
+        assert_eq!(squash_elongation("soooo"), "soo");
+        assert_eq!(squash_elongation("too"), "too");
+        assert_eq!(squash_elongation("cool"), "cool");
+        assert_eq!(squash_elongation("yessss!!!"), "yess!!");
+        assert_eq!(squash_elongation(""), "");
+    }
+
+    #[test]
+    fn token_normalization() {
+        assert_eq!(normalize_token("https://t.co/x"), "<url>");
+        assert_eq!(normalize_token("@user_1"), "<user>");
+        assert_eq!(normalize_token("#Covid"), "covid");
+        assert_eq!(normalize_token("10,000"), "<num>");
+        assert_eq!(normalize_token("ITALY"), "italy");
+        assert_eq!(normalize_token("soooo"), "soo");
+    }
+
+    #[test]
+    fn classifiers() {
+        assert!(is_url("www.example.com"));
+        assert!(is_mention("@abc"));
+        assert!(!is_mention("@"));
+        assert!(is_hashtag("#x"));
+        assert!(is_punct("!!!"));
+        assert!(!is_punct("a!"));
+    }
+}

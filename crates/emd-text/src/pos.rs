@@ -1,0 +1,306 @@
+//! Lightweight part-of-speech tagger for tweets.
+//!
+//! Stands in for TweeboParser / TwitterNLP's T-POS: a lexicon + suffix-rule
+//! tagger over a compact Twitter tagset. It is deliberately *shallow* — the
+//! paper's point is that the NP-chunker local system is a weak, syntax-only
+//! candidate proposer, and the CRF/neural systems merely consume POS tags as
+//! one feature among several.
+
+use crate::normalize;
+use serde::{Deserialize, Serialize};
+
+/// Compact Twitter POS tagset (subset of Gimpel et al.'s tagset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PosTag {
+    /// Common noun.
+    Noun,
+    /// Proper noun (capitalized, unknown to closed-class lexicons).
+    Propn,
+    /// Verb.
+    Verb,
+    /// Adjective.
+    Adj,
+    /// Adverb.
+    Adv,
+    /// Pronoun.
+    Pron,
+    /// Determiner.
+    Det,
+    /// Adposition / preposition.
+    Adp,
+    /// Conjunction.
+    Conj,
+    /// Numeral.
+    Num,
+    /// Punctuation.
+    Punct,
+    /// `#hashtag`.
+    Hashtag,
+    /// `@mention`.
+    Mention,
+    /// URL.
+    Url,
+    /// Emoticon.
+    Emoticon,
+    /// Interjection (lol, omg, ...).
+    Interj,
+    /// Anything else.
+    Other,
+}
+
+impl PosTag {
+    /// Dense feature index.
+    pub fn index(self) -> usize {
+        use PosTag::*;
+        match self {
+            Noun => 0,
+            Propn => 1,
+            Verb => 2,
+            Adj => 3,
+            Adv => 4,
+            Pron => 5,
+            Det => 6,
+            Adp => 7,
+            Conj => 8,
+            Num => 9,
+            Punct => 10,
+            Hashtag => 11,
+            Mention => 12,
+            Url => 13,
+            Emoticon => 14,
+            Interj => 15,
+            Other => 16,
+        }
+    }
+
+    /// Number of tags.
+    pub const COUNT: usize = 17;
+
+    /// Can this tag occur inside a noun phrase?
+    pub fn nominal(self) -> bool {
+        matches!(self, PosTag::Noun | PosTag::Propn | PosTag::Num | PosTag::Hashtag)
+    }
+}
+
+const DETERMINERS: &[&str] = &[
+    "a", "an", "the", "this", "that", "these", "those", "some", "any", "no", "every", "each",
+    "either", "neither", "my", "your", "his", "her", "its", "our", "their",
+];
+const PRONOUNS: &[&str] = &[
+    "i", "you", "he", "she", "it", "we", "they", "me", "him", "us", "them", "who", "what",
+    "which", "whom", "whose", "myself", "yourself", "himself", "herself", "itself", "ourselves",
+    "themselves", "someone", "anyone", "everyone", "nobody", "something", "anything",
+    "everything", "nothing", "u", "ya", "y'all",
+];
+const PREPOSITIONS: &[&str] = &[
+    "in", "on", "at", "by", "for", "with", "about", "against", "between", "into", "through",
+    "during", "before", "after", "above", "below", "to", "from", "up", "down", "of", "off",
+    "over", "under", "near", "since", "until", "within", "without", "via", "per", "than", "as",
+];
+const CONJUNCTIONS: &[&str] =
+    &["and", "or", "but", "nor", "so", "yet", "because", "although", "while", "if", "when", "that"];
+const COMMON_VERBS: &[&str] = &[
+    "is", "are", "was", "were", "be", "been", "being", "am", "do", "does", "did", "have", "has",
+    "had", "will", "would", "can", "could", "shall", "should", "may", "might", "must", "get",
+    "gets", "got", "go", "goes", "went", "going", "say", "says", "said", "make", "makes", "made",
+    "take", "takes", "took", "see", "sees", "saw", "know", "knows", "knew", "think", "thinks",
+    "thought", "want", "wants", "wanted", "give", "gives", "gave", "come", "comes", "came",
+    "work", "works", "worked", "look", "looks", "looked", "need", "needs", "needed", "keep",
+    "keeps", "kept", "let", "lets", "ask", "asks", "asked", "show", "shows", "showed", "report",
+    "reports", "reported", "announce", "announces", "announced", "confirm", "confirms",
+    "confirmed", "rise", "rises", "rose", "rising", "spread", "spreads", "spreading", "hit",
+    "hits", "lock", "locks", "locked", "close", "closes", "closed", "win", "wins", "won", "lose",
+    "loses", "lost", "play", "plays", "played", "sign", "signs", "signed", "release", "releases",
+    "released", "launch", "launches", "launched", "beat", "beats", "says", "warns", "warned",
+    "warn", "surge", "surges", "surged", "drop", "drops", "dropped", "rank", "relax", "monitor",
+    "shut", "explain", "explains", "explained", "discuss", "discusses", "discussed", "speak", "speaks", "spoke", "visit", "visits",
+    "visited", "leads", "lead", "led", "scores", "score", "scored", "starts", "start", "started",
+];
+const COMMON_ADVERBS: &[&str] = &[
+    "not", "very", "too", "also", "just", "now", "then", "here", "there", "again", "still",
+    "only", "even", "never", "always", "often", "soon", "already", "really", "maybe", "perhaps",
+    "today", "tomorrow", "yesterday", "tonight", "fast", "hard", "well", "far", "n't",
+];
+const COMMON_ADJECTIVES: &[&str] = &[
+    "new", "good", "bad", "big", "small", "high", "low", "old", "young", "early", "late", "long",
+    "short", "great", "little", "own", "other", "same", "able", "social", "public", "local",
+    "global", "national", "major", "minor", "positive", "negative", "severe", "mild", "deadly",
+    "viral", "official", "similar", "many", "few", "several", "last", "next", "first", "second",
+    "third", "worst", "best", "top",
+];
+const INTERJECTIONS: &[&str] = &[
+    "lol", "omg", "wow", "yay", "ugh", "hmm", "yes", "yeah", "no", "nah", "ok", "okay", "please",
+    "thanks", "rt", "wtf", "smh", "lmao", "haha", "hahaha",
+];
+
+fn in_list(list: &[&str], w: &str) -> bool {
+    list.contains(&w)
+}
+
+/// Tag a single token given its lowercase form, shape, and position.
+fn tag_token(original: &str, lower: &str, sentence_initial: bool) -> PosTag {
+    if normalize::is_url(original) {
+        return PosTag::Url;
+    }
+    if normalize::is_mention(original) {
+        return PosTag::Mention;
+    }
+    if normalize::is_hashtag(original) {
+        return PosTag::Hashtag;
+    }
+    // Emoticons containing letters (":D", "xD") aren't pure punctuation.
+    if matches!(original, ":D" | ":P" | ":p" | ":o" | ":O" | "xD" | "XD" | ":-D") {
+        return PosTag::Emoticon;
+    }
+    if normalize::is_punct(original) {
+        // Distinguish emoticons from plain punctuation.
+        if (original.contains(':') || original.contains('<') || original.contains(';'))
+            && original.len() >= 2 && !original.chars().all(|c| c == '.' || c == ',') {
+                return PosTag::Emoticon;
+            }
+        return PosTag::Punct;
+    }
+    if lower.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return PosTag::Num;
+    }
+    if in_list(DETERMINERS, lower) {
+        return PosTag::Det;
+    }
+    if in_list(PRONOUNS, lower) {
+        return PosTag::Pron;
+    }
+    if in_list(PREPOSITIONS, lower) {
+        return PosTag::Adp;
+    }
+    if in_list(CONJUNCTIONS, lower) {
+        return PosTag::Conj;
+    }
+    if in_list(INTERJECTIONS, lower) {
+        return PosTag::Interj;
+    }
+    if in_list(COMMON_VERBS, lower) {
+        return PosTag::Verb;
+    }
+    if in_list(COMMON_ADVERBS, lower) {
+        return PosTag::Adv;
+    }
+    if in_list(COMMON_ADJECTIVES, lower) {
+        return PosTag::Adj;
+    }
+    // Capitalized unknown word not at sentence start → proper noun.
+    let first_upper = original.chars().next().is_some_and(|c| c.is_uppercase());
+    let all_upper = original.chars().filter(|c| c.is_alphabetic()).all(|c| c.is_uppercase())
+        && original.chars().any(|c| c.is_alphabetic());
+    if all_upper && original.len() >= 2 {
+        return PosTag::Propn;
+    }
+    if first_upper && !sentence_initial {
+        return PosTag::Propn;
+    }
+    // Suffix heuristics.
+    if lower.ends_with("ing") || lower.ends_with("ed") || lower.ends_with("ify") {
+        return PosTag::Verb;
+    }
+    if lower.ends_with("ly") {
+        return PosTag::Adv;
+    }
+    if lower.ends_with("ous") || lower.ends_with("ful") || lower.ends_with("ive")
+        || lower.ends_with("al") || lower.ends_with("ic")
+    {
+        return PosTag::Adj;
+    }
+    if first_upper {
+        // Sentence-initial capitalized unknown: could be proper noun or
+        // ordinary word; lean noun and let downstream models disambiguate.
+        return PosTag::Propn;
+    }
+    PosTag::Noun
+}
+
+/// Tag every token of a sentence.
+pub fn tag_sentence(tokens: &[impl AsRef<str>]) -> Vec<PosTag> {
+    tokens
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let orig = t.as_ref();
+            tag_token(orig, &orig.to_lowercase(), i == 0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tags(words: &[&str]) -> Vec<PosTag> {
+        tag_sentence(words)
+    }
+
+    #[test]
+    fn closed_classes() {
+        assert_eq!(tags(&["the"])[0], PosTag::Det);
+        assert_eq!(tags(&["x", "they"])[1], PosTag::Pron);
+        assert_eq!(tags(&["x", "with"])[1], PosTag::Adp);
+        assert_eq!(tags(&["x", "and"])[1], PosTag::Conj);
+    }
+
+    #[test]
+    fn twitter_specials() {
+        let t = tags(&["@user", "#covid", "https://t.co/x", ":D", "!!!"]);
+        assert_eq!(t, vec![
+            PosTag::Mention,
+            PosTag::Hashtag,
+            PosTag::Url,
+            PosTag::Emoticon,
+            PosTag::Punct
+        ]);
+    }
+
+    #[test]
+    fn proper_noun_mid_sentence() {
+        let t = tags(&["cases", "in", "Italy", "rise"]);
+        assert_eq!(t[2], PosTag::Propn);
+    }
+
+    #[test]
+    fn all_caps_propn() {
+        let t = tags(&["CORONAVIRUS", "cases"]);
+        assert_eq!(t[0], PosTag::Propn);
+    }
+
+    #[test]
+    fn verbs_and_adverbs() {
+        let t = tags(&["he", "says", "cases", "rise", "quickly"]);
+        assert_eq!(t[1], PosTag::Verb);
+        assert_eq!(t[4], PosTag::Adv);
+    }
+
+    #[test]
+    fn suffix_rules() {
+        let t = tags(&["x", "testing", "famous", "slowly"]);
+        assert_eq!(t[1], PosTag::Verb);
+        assert_eq!(t[2], PosTag::Adj);
+        assert_eq!(t[3], PosTag::Adv);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(tags(&["10,000"])[0], PosTag::Num);
+    }
+
+    #[test]
+    fn nominal_set() {
+        assert!(PosTag::Noun.nominal());
+        assert!(PosTag::Propn.nominal());
+        assert!(PosTag::Hashtag.nominal());
+        assert!(!PosTag::Verb.nominal());
+        assert!(!PosTag::Det.nominal());
+    }
+
+    #[test]
+    fn unknown_lowercase_is_noun() {
+        let t = tags(&["the", "blorf"]);
+        assert_eq!(t[1], PosTag::Noun);
+    }
+}

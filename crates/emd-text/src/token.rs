@@ -1,0 +1,396 @@
+//! Corpus data model: tokens, sentences, spans, BIO tags and datasets.
+//!
+//! These types are shared by every crate in the workspace. A [`Sentence`] is
+//! one tokenized tweet-sentence identified by a `(tweet id, sentence id)`
+//! pair — the same indexing the paper's *TweetBase* uses. A [`Span`] is a
+//! half-open token range `[start, end)` denoting an entity mention.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single token with its byte offsets into the original message text.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Token {
+    /// The token's surface text, exactly as it appeared.
+    pub text: String,
+    /// Byte offset of the first byte in the source message.
+    pub start: usize,
+    /// Byte offset one past the last byte in the source message.
+    pub end: usize,
+}
+
+impl Token {
+    /// Build a token without source offsets (offsets set to `0..0`).
+    ///
+    /// Useful in tests and for synthetic corpora where the original byte
+    /// positions carry no information.
+    pub fn synthetic(text: impl Into<String>) -> Self {
+        Token { text: text.into(), start: 0, end: 0 }
+    }
+}
+
+/// Identifier of a tweet-sentence inside a stream: `(tweet id, sentence id)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SentenceId {
+    /// Identifier of the enclosing tweet within the stream.
+    pub tweet_id: u64,
+    /// Sentence index within the tweet (tweets may contain several sentences).
+    pub sent_id: u32,
+}
+
+impl SentenceId {
+    /// Convenience constructor.
+    pub fn new(tweet_id: u64, sent_id: u32) -> Self {
+        SentenceId { tweet_id, sent_id }
+    }
+}
+
+impl fmt::Display for SentenceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.tweet_id, self.sent_id)
+    }
+}
+
+/// A tokenized tweet-sentence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sentence {
+    /// Stream-level identifier.
+    pub id: SentenceId,
+    /// Tokens in order of appearance.
+    pub tokens: Vec<Token>,
+}
+
+impl Sentence {
+    /// Build a sentence from whitespace-free token strings (synthetic offsets).
+    pub fn from_tokens<I, S>(id: SentenceId, toks: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Sentence { id, tokens: toks.into_iter().map(Token::synthetic).collect() }
+    }
+
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True when the sentence has no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Iterator over the token texts.
+    pub fn texts(&self) -> impl Iterator<Item = &str> {
+        self.tokens.iter().map(|t| t.text.as_str())
+    }
+
+    /// Reassemble the sentence with single spaces — used for display only.
+    pub fn joined(&self) -> String {
+        let mut out = String::new();
+        for (i, t) in self.tokens.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(&t.text);
+        }
+        out
+    }
+}
+
+/// A half-open token range `[start, end)` marking an entity mention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Span {
+    /// Index of the first token of the mention.
+    pub start: usize,
+    /// One past the index of the last token of the mention.
+    pub end: usize,
+}
+
+impl Span {
+    /// Create a span; panics if `start >= end` in debug builds.
+    pub fn new(start: usize, end: usize) -> Self {
+        debug_assert!(start < end, "span must be non-empty: {start}..{end}");
+        Span { start, end }
+    }
+
+    /// Number of tokens covered.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// A span is never empty by construction, but mirror the std convention.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// True when `self` and `other` share at least one token.
+    pub fn overlaps(&self, other: &Span) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// The surface string of this span within `sentence` (space-joined).
+    pub fn surface(&self, sentence: &Sentence) -> String {
+        let mut out = String::new();
+        for i in self.start..self.end.min(sentence.len()) {
+            if i > self.start {
+                out.push(' ');
+            }
+            out.push_str(&sentence.tokens[i].text);
+        }
+        out
+    }
+
+    /// Lower-cased surface string — the canonical candidate key used by the
+    /// CTrie and CandidateBase (mention matching is case-insensitive, §V-A).
+    pub fn surface_lower(&self, sentence: &Sentence) -> String {
+        self.surface(sentence).to_lowercase()
+    }
+}
+
+/// BIO sequence-labeling tag relative to the nearest entity boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Bio {
+    /// Beginning of an entity mention.
+    B,
+    /// Inside (continuation of) an entity mention.
+    I,
+    /// Outside any mention.
+    O,
+}
+
+impl Bio {
+    /// Dense index used by sequence models (B=0, I=1, O=2).
+    pub fn index(self) -> usize {
+        match self {
+            Bio::B => 0,
+            Bio::I => 1,
+            Bio::O => 2,
+        }
+    }
+
+    /// Inverse of [`Bio::index`].
+    pub fn from_index(i: usize) -> Bio {
+        match i {
+            0 => Bio::B,
+            1 => Bio::I,
+            _ => Bio::O,
+        }
+    }
+
+    /// Number of tags in the scheme.
+    pub const COUNT: usize = 3;
+}
+
+/// Convert a set of (non-overlapping) spans into a BIO tag sequence of
+/// length `len`. Overlapping spans are resolved left-to-right, first wins.
+pub fn spans_to_bio(spans: &[Span], len: usize) -> Vec<Bio> {
+    let mut tags = vec![Bio::O; len];
+    let mut sorted: Vec<&Span> = spans.iter().collect();
+    sorted.sort();
+    for sp in sorted {
+        if sp.start >= len {
+            continue;
+        }
+        let end = sp.end.min(len);
+        // Skip spans colliding with an already-placed one (first wins).
+        if tags[sp.start..end].iter().any(|t| *t != Bio::O) {
+            continue;
+        }
+        tags[sp.start] = Bio::B;
+        for t in tags.iter_mut().take(end).skip(sp.start + 1) {
+            *t = Bio::I;
+        }
+    }
+    tags
+}
+
+/// Decode a BIO tag sequence into spans. A dangling `I` (without a
+/// preceding `B`) starts a new span, the lenient convention used by the
+/// WNUT evaluation scripts.
+pub fn bio_to_spans(tags: &[Bio]) -> Vec<Span> {
+    let mut spans = Vec::new();
+    let mut start: Option<usize> = None;
+    for (i, t) in tags.iter().enumerate() {
+        match t {
+            Bio::B => {
+                if let Some(s) = start.take() {
+                    spans.push(Span::new(s, i));
+                }
+                start = Some(i);
+            }
+            Bio::I => {
+                if start.is_none() {
+                    start = Some(i);
+                }
+            }
+            Bio::O => {
+                if let Some(s) = start.take() {
+                    spans.push(Span::new(s, i));
+                }
+            }
+        }
+    }
+    if let Some(s) = start {
+        spans.push(Span::new(s, tags.len()));
+    }
+    spans
+}
+
+/// A sentence paired with its gold entity mention spans.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnnotatedSentence {
+    /// The tokenized sentence.
+    pub sentence: Sentence,
+    /// Gold mention spans (non-overlapping, sorted).
+    pub gold: Vec<Span>,
+}
+
+impl AnnotatedSentence {
+    /// Gold BIO tags for this sentence.
+    pub fn gold_bio(&self) -> Vec<Bio> {
+        spans_to_bio(&self.gold, self.sentence.len())
+    }
+}
+
+/// Whether a dataset preserves the topical stream structure of Twitter or is
+/// a random sample of the Twittersphere (WNUT17 / BTC style).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// Topic-focused stream subsets (D1–D5): heavy entity recurrence.
+    Streaming,
+    /// Randomly sampled benchmark corpora: little entity recurrence.
+    NonStreaming,
+}
+
+/// An annotated corpus: the unit of evaluation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Short dataset label (`"D1"`, `"WNUT17"`, ...).
+    pub name: String,
+    /// Streaming or non-streaming provenance.
+    pub kind: DatasetKind,
+    /// Number of distinct conversation topics sampled.
+    pub n_topics: usize,
+    /// All annotated sentences in stream order.
+    pub sentences: Vec<AnnotatedSentence>,
+}
+
+impl Dataset {
+    /// Total number of sentences.
+    pub fn len(&self) -> usize {
+        self.sentences.len()
+    }
+
+    /// True when the dataset has no sentences.
+    pub fn is_empty(&self) -> bool {
+        self.sentences.is_empty()
+    }
+
+    /// Total number of gold mentions.
+    pub fn n_mentions(&self) -> usize {
+        self.sentences.iter().map(|s| s.gold.len()).sum()
+    }
+
+    /// Number of unique gold entities (case-insensitive surface keys).
+    pub fn n_unique_entities(&self) -> usize {
+        let mut set = std::collections::HashSet::new();
+        for s in &self.sentences {
+            for sp in &s.gold {
+                set.insert(sp.surface_lower(&s.sentence));
+            }
+        }
+        set.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sent(words: &[&str]) -> Sentence {
+        Sentence::from_tokens(SentenceId::new(1, 0), words.iter().copied())
+    }
+
+    #[test]
+    fn span_surface_and_lower() {
+        let s = sent(&["Andy", "Beshear", "speaks"]);
+        let sp = Span::new(0, 2);
+        assert_eq!(sp.surface(&s), "Andy Beshear");
+        assert_eq!(sp.surface_lower(&s), "andy beshear");
+        assert_eq!(sp.len(), 2);
+    }
+
+    #[test]
+    fn span_overlap() {
+        let a = Span::new(0, 2);
+        let b = Span::new(1, 3);
+        let c = Span::new(2, 4);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert!(b.overlaps(&c));
+    }
+
+    #[test]
+    fn bio_round_trip() {
+        let spans = vec![Span::new(1, 3), Span::new(4, 5)];
+        let tags = spans_to_bio(&spans, 6);
+        assert_eq!(tags, vec![Bio::O, Bio::B, Bio::I, Bio::O, Bio::B, Bio::O]);
+        assert_eq!(bio_to_spans(&tags), spans);
+    }
+
+    #[test]
+    fn bio_adjacent_mentions() {
+        // B I B — two adjacent mentions must stay separate.
+        let tags = vec![Bio::B, Bio::I, Bio::B, Bio::O];
+        assert_eq!(bio_to_spans(&tags), vec![Span::new(0, 2), Span::new(2, 3)]);
+    }
+
+    #[test]
+    fn bio_dangling_i_starts_span() {
+        let tags = vec![Bio::O, Bio::I, Bio::I, Bio::O];
+        assert_eq!(bio_to_spans(&tags), vec![Span::new(1, 3)]);
+    }
+
+    #[test]
+    fn bio_trailing_span_closed() {
+        let tags = vec![Bio::O, Bio::B, Bio::I];
+        assert_eq!(bio_to_spans(&tags), vec![Span::new(1, 3)]);
+    }
+
+    #[test]
+    fn spans_to_bio_ignores_overlap() {
+        let spans = vec![Span::new(0, 2), Span::new(1, 3)];
+        let tags = spans_to_bio(&spans, 3);
+        assert_eq!(tags, vec![Bio::B, Bio::I, Bio::O]);
+    }
+
+    #[test]
+    fn spans_to_bio_clips_out_of_range() {
+        let spans = vec![Span::new(2, 9)];
+        let tags = spans_to_bio(&spans, 4);
+        assert_eq!(tags, vec![Bio::O, Bio::O, Bio::B, Bio::I]);
+    }
+
+    #[test]
+    fn dataset_stats() {
+        let s1 = AnnotatedSentence {
+            sentence: sent(&["Covid", "hits", "Italy"]),
+            gold: vec![Span::new(0, 1), Span::new(2, 3)],
+        };
+        let s2 = AnnotatedSentence {
+            sentence: sent(&["ITALY", "locks", "down"]),
+            gold: vec![Span::new(0, 1)],
+        };
+        let d = Dataset {
+            name: "toy".into(),
+            kind: DatasetKind::Streaming,
+            n_topics: 1,
+            sentences: vec![s1, s2],
+        };
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.n_mentions(), 3);
+        // "italy" and "ITALY" share a case-insensitive key → 2 unique.
+        assert_eq!(d.n_unique_entities(), 2);
+    }
+}

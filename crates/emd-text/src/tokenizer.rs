@@ -1,0 +1,357 @@
+//! Twitter-aware tokenizer.
+//!
+//! Splits raw microblog text into [`Token`]s while keeping the platform's
+//! idiosyncratic units intact: `#hashtags`, `@mentions`, URLs, emoticons and
+//! common contractions. The tokenizer is the first stage of both the Local
+//! EMD systems and the Global EMD rescan, so its behaviour must be identical
+//! everywhere — all crates call into this single implementation.
+
+use crate::token::{Sentence, SentenceId, Token};
+
+/// Character classes the scanner distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    Alpha,
+    Digit,
+    Space,
+    Punct,
+}
+
+fn classify(c: char) -> Class {
+    if c.is_whitespace() {
+        Class::Space
+    } else if c.is_alphabetic() || c == '\'' {
+        Class::Alpha
+    } else if c.is_ascii_digit() {
+        Class::Digit
+    } else {
+        Class::Punct
+    }
+}
+
+/// A small set of western emoticons recognized as single tokens.
+const EMOTICONS: &[&str] = &[
+    ":)", ":(", ":D", ":P", ":p", ";)", ":-)", ":-(", ":-D", ":'(", ":o", ":O", "<3", "xD", "XD",
+    ":/", ":|",
+];
+
+fn starts_with_emoticon(rest: &str) -> Option<usize> {
+    EMOTICONS
+        .iter()
+        .filter(|e| rest.starts_with(**e))
+        .map(|e| e.len())
+        .max()
+}
+
+fn is_url_start(rest: &str) -> bool {
+    rest.starts_with("http://") || rest.starts_with("https://") || rest.starts_with("www.")
+}
+
+/// Tokenize one message into a [`Sentence`].
+///
+/// Rules, in priority order at each scan position:
+/// 1. URLs (`http://…`, `https://…`, `www.…`) are one token up to the next
+///    whitespace.
+/// 2. `@mention` and `#hashtag` are one token (`@`/`#` + alphanumerics,
+///    underscores).
+/// 3. Emoticons from a fixed inventory are one token.
+/// 4. Maximal runs of alphabetic characters (apostrophes allowed inside, so
+///    `don't` and `Beshear's` stay whole) form a word token.
+/// 5. Maximal digit runs (with internal `.`/`,`/`:` so `3.5`, `10,000` and
+///    `19:30` stay whole) form a number token.
+/// 6. Every other non-space character is a single punctuation token.
+pub fn tokenize(id: SentenceId, text: &str) -> Sentence {
+    let mut tokens = Vec::new();
+    let bytes_len = text.len();
+    let mut char_iter = text.char_indices().peekable();
+
+    while let Some(&(i, c)) = char_iter.peek() {
+        let rest = &text[i..];
+        if c.is_whitespace() {
+            char_iter.next();
+            continue;
+        }
+        // URL
+        if is_url_start(rest) {
+            let mut end = bytes_len;
+            for (j, cj) in rest.char_indices() {
+                if cj.is_whitespace() {
+                    end = i + j;
+                    break;
+                }
+            }
+            push(&mut tokens, text, i, end);
+            advance_to(&mut char_iter, end);
+            continue;
+        }
+        // @mention / #hashtag
+        if (c == '@' || c == '#') && rest.len() > c.len_utf8() {
+            let tag_body = &rest[c.len_utf8()..];
+            let mut blen = 0;
+            for ch in tag_body.chars() {
+                if ch.is_alphanumeric() || ch == '_' {
+                    blen += ch.len_utf8();
+                } else {
+                    break;
+                }
+            }
+            if blen > 0 {
+                let end = i + c.len_utf8() + blen;
+                push(&mut tokens, text, i, end);
+                advance_to(&mut char_iter, end);
+                continue;
+            }
+        }
+        // Emoticon
+        if let Some(elen) = starts_with_emoticon(rest) {
+            push(&mut tokens, text, i, i + elen);
+            advance_to(&mut char_iter, i + elen);
+            continue;
+        }
+        match classify(c) {
+            Class::Alpha => {
+                let mut end = i;
+                for (j, cj) in rest.char_indices() {
+                    if classify(cj) == Class::Alpha {
+                        end = i + j + cj.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                // Trim trailing apostrophes ("rockin'" keeps it, "'hello'" edge
+                // cases strip the closing quote).
+                let mut tok = &text[i..end];
+                while tok.ends_with('\'') && tok.len() > 1 && !tok[..tok.len() - 1].ends_with('n')
+                {
+                    tok = &tok[..tok.len() - 1];
+                }
+                // Leading apostrophe is punctuation.
+                if tok.starts_with('\'') && tok.len() > 1 {
+                    push(&mut tokens, text, i, i + 1);
+                    push(&mut tokens, text, i + 1, i + tok.len());
+                } else {
+                    push(&mut tokens, text, i, i + tok.len());
+                }
+                advance_to(&mut char_iter, end);
+                // If we trimmed a trailing quote, emit it as punctuation.
+                let trimmed = end - (i + tok.len());
+                if trimmed > 0 {
+                    push(&mut tokens, text, i + tok.len(), end);
+                }
+            }
+            Class::Digit => {
+                let mut end = i;
+                let mut prev_digit = false;
+                for (j, cj) in rest.char_indices() {
+                    let pos = i + j;
+                    if cj.is_ascii_digit() {
+                        end = pos + 1;
+                        prev_digit = true;
+                    } else if prev_digit
+                        && (cj == '.' || cj == ',' || cj == ':')
+                        && rest[j + 1..].chars().next().is_some_and(|n| n.is_ascii_digit())
+                    {
+                        prev_digit = false;
+                        end = pos + 1;
+                    } else {
+                        break;
+                    }
+                }
+                push(&mut tokens, text, i, end);
+                advance_to(&mut char_iter, end);
+            }
+            Class::Punct => {
+                // Collapse runs of the same punctuation char ("!!!" → one token)
+                let mut end = i + c.len_utf8();
+                for (j, cj) in rest.char_indices().skip(1) {
+                    if cj == c {
+                        end = i + j + cj.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                push(&mut tokens, text, i, end);
+                advance_to(&mut char_iter, end);
+            }
+            Class::Space => unreachable!("whitespace handled above"),
+        }
+    }
+    Sentence { id, tokens }
+}
+
+fn push(tokens: &mut Vec<Token>, text: &str, start: usize, end: usize) {
+    if end > start {
+        tokens.push(Token { text: text[start..end].to_string(), start, end });
+    }
+}
+
+fn advance_to(iter: &mut std::iter::Peekable<std::str::CharIndices<'_>>, end: usize) {
+    while let Some(&(i, _)) = iter.peek() {
+        if i >= end {
+            break;
+        }
+        iter.next();
+    }
+}
+
+/// Split a message into sentences on hard terminators (`.`, `!`, `?`,
+/// newline) and tokenize each, numbering `sent_id` from 0.
+///
+/// Terminators are kept with the sentence they end. Abbreviation handling is
+/// deliberately minimal — tweets rarely contain formal abbreviations, and
+/// the paper treats each tweet-sentence independently anyway.
+pub fn tokenize_message(tweet_id: u64, text: &str) -> Vec<Sentence> {
+    let mut sentences = Vec::new();
+    let mut start = 0usize;
+    let mut sent_id = 0u32;
+    let mut chars = text.char_indices().peekable();
+    while let Some((i, c)) = chars.next() {
+        let hard = c == '\n'
+            || ((c == '.' || c == '!' || c == '?')
+                && chars.peek().map(|&(_, n)| n.is_whitespace()).unwrap_or(true));
+        if hard {
+            let end = i + c.len_utf8();
+            let piece = &text[start..end];
+            if !piece.trim().is_empty() {
+                let s = tokenize(SentenceId::new(tweet_id, sent_id), piece_offset(piece));
+                if !s.is_empty() {
+                    sentences.push(reoffset(s, start, text));
+                    sent_id += 1;
+                }
+            }
+            start = end;
+        }
+    }
+    let piece = &text[start..];
+    if !piece.trim().is_empty() {
+        let s = tokenize(SentenceId::new(tweet_id, sent_id), piece_offset(piece));
+        if !s.is_empty() {
+            sentences.push(reoffset(s, start, text));
+        }
+    }
+    sentences
+}
+
+fn piece_offset(piece: &str) -> &str {
+    piece
+}
+
+/// Shift token offsets of a sentence tokenized from a slice back into the
+/// coordinate space of the full message.
+fn reoffset(mut s: Sentence, base: usize, _full: &str) -> Sentence {
+    for t in &mut s.tokens {
+        t.start += base;
+        t.end += base;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(text: &str) -> Vec<String> {
+        tokenize(SentenceId::new(0, 0), text).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn basic_words_and_punct() {
+        assert_eq!(toks("Social distancing is not social isolation."), vec![
+            "Social",
+            "distancing",
+            "is",
+            "not",
+            "social",
+            "isolation",
+            "."
+        ]);
+    }
+
+    #[test]
+    fn hashtags_and_mentions() {
+        assert_eq!(toks("@realDonaldTrump wants #CovidRelief now"), vec![
+            "@realDonaldTrump",
+            "wants",
+            "#CovidRelief",
+            "now"
+        ]);
+    }
+
+    #[test]
+    fn urls_kept_whole() {
+        assert_eq!(toks("see https://t.co/Ab12?x=1 now"), vec![
+            "see",
+            "https://t.co/Ab12?x=1",
+            "now"
+        ]);
+        assert_eq!(toks("www.example.com rocks"), vec!["www.example.com", "rocks"]);
+    }
+
+    #[test]
+    fn emoticons() {
+        assert_eq!(toks("great news :D <3"), vec!["great", "news", ":D", "<3"]);
+    }
+
+    #[test]
+    fn contractions_stay_whole() {
+        assert_eq!(toks("he's asking don't panic"), vec!["he's", "asking", "don't", "panic"]);
+    }
+
+    #[test]
+    fn numbers_with_separators() {
+        assert_eq!(toks("10,000 cases at 19:30 rate 3.5"), vec![
+            "10,000", "cases", "at", "19:30", "rate", "3.5"
+        ]);
+    }
+
+    #[test]
+    fn punct_runs_collapse() {
+        assert_eq!(toks("WHAT!!! ...ok"), vec!["WHAT", "!!!", "...", "ok"]);
+    }
+
+    #[test]
+    fn offsets_are_correct() {
+        let text = "Italy #covid";
+        let s = tokenize(SentenceId::new(0, 0), text);
+        for t in &s.tokens {
+            assert_eq!(&text[t.start..t.end], t.text);
+        }
+    }
+
+    #[test]
+    fn message_split_into_sentences() {
+        let sents = tokenize_message(7, "Beshear speaks. Italy locks down! why?");
+        assert_eq!(sents.len(), 3);
+        assert_eq!(sents[0].id, SentenceId::new(7, 0));
+        assert_eq!(sents[1].id, SentenceId::new(7, 1));
+        assert_eq!(sents[2].joined(), "why ?");
+    }
+
+    #[test]
+    fn message_offsets_survive_split() {
+        let text = "Beshear speaks. Italy locks down!";
+        for s in tokenize_message(1, text) {
+            for t in &s.tokens {
+                assert_eq!(&text[t.start..t.end], t.text, "offset mismatch for {:?}", t);
+            }
+        }
+    }
+
+    #[test]
+    fn decimal_point_not_sentence_break() {
+        let sents = tokenize_message(1, "rate is 3.5 today");
+        assert_eq!(sents.len(), 1);
+    }
+
+    #[test]
+    fn empty_and_whitespace_inputs() {
+        assert!(toks("").is_empty());
+        assert!(toks("   \t ").is_empty());
+        assert!(tokenize_message(0, "  \n ").is_empty());
+    }
+
+    #[test]
+    fn unicode_words() {
+        assert_eq!(toks("café olé"), vec!["café", "olé"]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Plugging a *custom* Local EMD system into the framework.
+//!
+//! The framework's central design claim is that the Local EMD step is
+//! decoupled: "any existing EMD algorithm [can be inserted] without
+//! training modification/finetuning". This example writes a new local
+//! system from scratch — a hashtag-and-capitalized-bigram heuristic that
+//! knows nothing about the framework — implements `LocalEmd` for it, and
+//! measures the boost.
+//!
+//! Run with: `cargo run --release --example custom_local_emd`
+
+use emd_globalizer::core::classifier::ClassifierTrainConfig;
+use emd_globalizer::core::local::{LocalEmd, LocalEmdOutput};
+use emd_globalizer::core::training::harvest_training_data;
+use emd_globalizer::core::{EntityClassifier, Globalizer, GlobalizerConfig};
+use emd_globalizer::eval::metrics::mention_prf;
+use emd_globalizer::synth::datasets::{standard_datasets, training_stream};
+use emd_globalizer::text::casing::CapShape;
+use emd_globalizer::text::token::{Sentence, Span};
+
+/// A deliberately simple custom tagger: capitalized runs (up to 3 tokens)
+/// away from sentence start, plus hashtag bodies. No training, no model.
+#[derive(Debug, Default)]
+struct CapRunEmd;
+
+impl LocalEmd for CapRunEmd {
+    fn name(&self) -> &str {
+        "CapRun (custom)"
+    }
+
+    fn embedding_dim(&self) -> Option<usize> {
+        None // non-deep: the framework falls back to syntactic embeddings
+    }
+
+    fn process(&self, sentence: &Sentence) -> LocalEmdOutput {
+        let mut spans = Vec::new();
+        let mut start: Option<usize> = None;
+        for (i, tok) in sentence.texts().enumerate() {
+            let capitalized = matches!(CapShape::of(tok), CapShape::Init | CapShape::AllUpper)
+                && i > 0; // skip sentence-initial convention
+            match (start, capitalized) {
+                (None, true) => start = Some(i),
+                (Some(s), true) if i - s >= 3 => {
+                    spans.push(Span::new(s, i));
+                    start = Some(i);
+                }
+                (Some(s), false) => {
+                    spans.push(Span::new(s, i));
+                    start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(s) = start {
+            spans.push(Span::new(s, sentence.len()));
+        }
+        LocalEmdOutput { spans, token_embeddings: None }
+    }
+}
+
+fn main() {
+    let seed = 2022u64;
+    let local = CapRunEmd;
+
+    println!("[setup] training the Entity Classifier on D5 candidates proposed by CapRun ...");
+    let (_, d5) = training_stream(seed, 0.02);
+    let cfg = GlobalizerConfig::default();
+    let data = harvest_training_data(&local, None, &cfg, &d5);
+    let mut classifier = EntityClassifier::new(7, seed);
+    let report = classifier.train(&data, &ClassifierTrainConfig::default());
+    println!("        classifier validation F1: {:.3}", report.best_val_f1);
+
+    let suite = standard_datasets(seed, 0.1);
+    println!("\n{:<8} {:>8} {:>8} {:>8}", "dataset", "local F1", "glob F1", "gain");
+    for d in &suite.datasets {
+        let sentences: Vec<_> = d.sentences.iter().map(|a| a.sentence.clone()).collect();
+        let local_preds: Vec<Vec<Span>> =
+            sentences.iter().map(|s| local.process(s).spans).collect();
+        let lp = mention_prf(d, &local_preds);
+
+        let g = Globalizer::new(&local, None, &classifier, cfg.clone());
+        let (out, _) = g.run(&sentences, 256);
+        let map = out.as_map();
+        let global_preds: Vec<Vec<Span>> = d
+            .sentences
+            .iter()
+            .map(|a| map.get(&a.sentence.id).cloned().unwrap_or_default())
+            .collect();
+        let gp = mention_prf(d, &global_preds);
+        println!(
+            "{:<8} {:>8.3} {:>8.3} {:>+7.1}%",
+            d.name,
+            lp.f1,
+            gp.f1,
+            if lp.f1 > 0.0 { 100.0 * (gp.f1 - lp.f1) / lp.f1 } else { 0.0 }
+        );
+    }
+    println!("\nThe framework boosts even a heuristic it has never seen — the");
+    println!("Local EMD step is a true black box.");
+}

@@ -1,0 +1,58 @@
+//! Quickstart: wrap a Local EMD system with the EMD Globalizer framework
+//! and watch it recover mentions the local pass missed.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use emd_globalizer::core::local::LexiconEmd;
+use emd_globalizer::core::{EntityClassifier, Globalizer, GlobalizerConfig};
+use emd_globalizer::nn::param::Net;
+use emd_globalizer::text::tokenizer::tokenize_message;
+
+fn main() {
+    // 1. A toy Local EMD system: tags tokens found in a small lexicon.
+    //    Any type implementing `LocalEmd` plugs into the framework — see
+    //    `examples/streaming_pipeline.rs` for the trained deep systems.
+    let local = LexiconEmd::new(["coronavirus", "italy", "beshear"]);
+
+    // 2. An entity classifier. For the demo we force "accept everything"
+    //    by biasing the output layer; in real use you train it on labelled
+    //    candidates (see `EntityClassifier::train`).
+    let mut classifier = EntityClassifier::new(7, 0);
+    classifier.params_mut().into_iter().last().unwrap().value.data[0] = 10.0;
+
+    // 3. Assemble the framework. Non-deep local systems need no phrase
+    //    embedder (the 6-dim syntactic path is used).
+    let globalizer = Globalizer::new(&local, None, &classifier, GlobalizerConfig::default());
+
+    // 4. A small message stream. Note the casing variation: a plain
+    //    lexicon matcher already handles case-insensitivity, but the
+    //    interesting part is "Andy Beshear" — the lexicon only knows
+    //    "beshear", yet the CTrie + rescan machinery aggregates mentions.
+    let raw_stream = [
+        "Coronavirus spreads fast in Italy.",
+        "CORONAVIRUS cases triple overnight!",
+        "Beshear says social distancing is not social isolation.",
+        "the coronavirus is not done with italy",
+    ];
+    let sentences: Vec<_> = raw_stream
+        .iter()
+        .enumerate()
+        .flat_map(|(i, msg)| tokenize_message(i as u64, msg))
+        .collect();
+
+    // 5. Run: batches stream through `process_batch`, `finalize` closes.
+    let (output, state) = globalizer.run(&sentences, 2);
+
+    println!("candidates discovered : {}", output.n_candidates);
+    println!("accepted as entities  : {}", output.n_entities);
+    println!();
+    for (sid, spans) in &output.per_sentence {
+        let sent = &state.tweetbase.get(*sid).unwrap().sentence;
+        let mentions: Vec<String> = spans.iter().map(|sp| sp.surface(sent)).collect();
+        println!("tweet {:>2}: {:<55} -> {:?}", sid.tweet_id, sent.joined(), mentions);
+    }
+
+    let total: usize = output.per_sentence.iter().map(|(_, v)| v.len()).sum();
+    assert!(total >= 5, "expected at least 5 mentions, got {total}");
+    println!("\nok: {total} mentions extracted across the stream");
+}

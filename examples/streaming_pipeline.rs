@@ -1,0 +1,72 @@
+//! Incremental streaming: feed a tweet stream to the framework batch by
+//! batch (the paper's iteration model), watch the candidate pool and the
+//! accepted entity set grow, then finalize.
+//!
+//! Uses the TwitterNLP (CRF) local system — trained quickly on the generic
+//! corpus — so the whole example runs in seconds.
+//!
+//! Run with: `cargo run --release --example streaming_pipeline`
+
+use emd_globalizer::core::classifier::ClassifierTrainConfig;
+use emd_globalizer::core::training::harvest_training_data;
+use emd_globalizer::core::{EntityClassifier, Globalizer, GlobalizerConfig};
+use emd_globalizer::local::twitter_nlp::{TwitterNlp, TwitterNlpConfig};
+use emd_globalizer::synth::datasets::{generic_training_corpus, standard_datasets, training_stream};
+
+fn main() {
+    let seed = 2022u64;
+
+    println!("[setup] training TwitterNLP on the out-of-domain generic corpus ...");
+    let (gen_world, generic) = generic_training_corpus(seed, 0.25);
+    let mut local = TwitterNlp::train(&generic, gen_world.gazetteer.clone(), &TwitterNlpConfig::default());
+
+    println!("[setup] training the Entity Classifier on D5 candidates ...");
+    let suite = standard_datasets(seed, 0.05);
+    local.set_gazetteer(suite.world.gazetteer.clone());
+    let (_, d5) = training_stream(seed, 0.02);
+    let cfg = GlobalizerConfig::default();
+    let data = harvest_training_data(&local, None, &cfg, &d5);
+    let mut classifier = EntityClassifier::new(7, seed);
+    classifier.train(&data, &ClassifierTrainConfig::default());
+
+    // The D2-analog health stream, consumed in batches of 25 messages.
+    let d2 = &suite.datasets[1];
+    let sentences: Vec<_> = d2.sentences.iter().map(|a| a.sentence.clone()).collect();
+
+    let globalizer = Globalizer::new(&local, None, &classifier, cfg);
+    let mut state = globalizer.new_state();
+    println!("\n[stream] consuming {} messages in batches of 25:\n", sentences.len());
+    for (i, batch) in sentences.chunks(25).enumerate() {
+        globalizer.process_batch(&mut state, batch);
+        let n_entities = state
+            .candidates
+            .iter()
+            .filter(|c| c.label == emd_globalizer::core::CandidateLabel::Entity)
+            .count();
+        println!(
+            "batch {:>2}: sentences={:<4} candidates={:<4} confident-entities={:<4} trie-nodes={}",
+            i + 1,
+            state.tweetbase.len(),
+            state.candidates.len(),
+            n_entities,
+            state.ctrie.n_nodes(),
+        );
+    }
+
+    let output = globalizer.finalize(&mut state);
+    println!("\n[finalize] candidates={} entities={}", output.n_candidates, output.n_entities);
+
+    // Top entities by mention frequency.
+    let mut top: Vec<_> = state
+        .candidates
+        .iter()
+        .filter(|c| c.label == emd_globalizer::core::CandidateLabel::Entity)
+        .map(|c| (c.frequency(), c.key.clone()))
+        .collect();
+    top.sort_by(|a, b| b.0.cmp(&a.0));
+    println!("\nmost frequent entities in the stream:");
+    for (freq, key) in top.iter().take(10) {
+        println!("  {freq:>4} x {key}");
+    }
+    assert!(output.n_entities > 0);
+}

@@ -1,0 +1,72 @@
+//! # EMD Globalizer
+//!
+//! A Rust reproduction of **"Boosting Entity Mention Detection for
+//! Targetted Twitter Streams with Global Contextual Embeddings"**
+//! (Saha Bhowmick, Dragut & Meng — ICDE 2022).
+//!
+//! EMD Globalizer is a stream-aware, two-phase framework that wraps *any*
+//! existing entity-mention-detection (EMD) system and boosts its
+//! effectiveness on microblog streams:
+//!
+//! 1. **Local EMD** — the wrapped black-box tagger runs over each
+//!    tweet-sentence in isolation, proposing seed entity candidates (and,
+//!    for deep systems, per-token entity-aware embeddings).
+//! 2. **Global EMD** — candidates are indexed in a case-insensitive prefix
+//!    trie; a rescan of the stream finds *every* mention of every candidate
+//!    (recovering what the local pass missed); per-mention local embeddings
+//!    pool into a **global candidate embedding**; a small classifier
+//!    separates true entities from false positives; all mentions of
+//!    accepted candidates are emitted.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use emd_globalizer::core::{Globalizer, GlobalizerConfig, EntityClassifier};
+//! use emd_globalizer::core::local::LexiconEmd;
+//! use emd_globalizer::text::token::{Sentence, SentenceId};
+//! use emd_globalizer::nn::param::Net;
+//!
+//! // Any `LocalEmd` implementation plugs in; here a toy lexicon tagger.
+//! let local = LexiconEmd::new(["coronavirus"]);
+//!
+//! // An accept-all classifier for illustration (normally trained on D5).
+//! let mut classifier = EntityClassifier::new(7, 0);
+//! classifier.params_mut().into_iter().last().unwrap().value.data[0] = 10.0;
+//!
+//! let globalizer = Globalizer::new(&local, None, &classifier, GlobalizerConfig::default());
+//! let stream = vec![
+//!     Sentence::from_tokens(SentenceId::new(0, 0), ["Coronavirus", "spreads"]),
+//!     Sentence::from_tokens(SentenceId::new(1, 0), ["CORONAVIRUS", "cases", "rise"]),
+//! ];
+//! let (out, _state) = globalizer.run(&stream, 512);
+//! let total: usize = out.per_sentence.iter().map(|(_, v)| v.len()).sum();
+//! assert_eq!(total, 2); // the ALL-CAPS variant is recovered globally
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `emd-core` | the framework: CTrie, mention extraction, phrase embedder, entity classifier, pipeline |
+//! | [`local`] | `emd-local` | the four Local EMD systems (NP chunker, TwitterNLP-CRF, Aguilar BiLSTM-CNN-CRF, MiniBERT) |
+//! | [`text`] | `emd-text` | tokenizer, casing analysis, BPE, POS, gazetteers, corpus types |
+//! | [`nn`] | `emd-nn` | from-scratch neural substrate with hand-written backprop |
+//! | [`crf`] | `emd-crf` | sparse feature-hashed linear-chain CRF |
+//! | [`synth`] | `emd-synth` | synthetic targeted-stream generator (datasets D1–D5, WNUT17/BTC-like) |
+//! | [`baseline`] | `emd-baseline` | HIRE-NER document-level baseline |
+//! | [`eval`] | `emd-eval` | metrics, frequency bins, error analysis, paper reference values |
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured comparison of every table and figure.
+
+pub use emd_baseline as baseline;
+pub use emd_core as core;
+pub use emd_crf as crf;
+pub use emd_eval as eval;
+pub use emd_local as local;
+pub use emd_nn as nn;
+pub use emd_synth as synth;
+pub use emd_text as text;
+
+/// The version of this reproduction.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

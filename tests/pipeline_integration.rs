@@ -1,0 +1,193 @@
+//! Cross-crate integration tests: the full framework wired to trained
+//! local systems on synthetic streams, exercising every phase end-to-end.
+//!
+//! These tests train tiny models, so they run in seconds but cover the
+//! same code paths as the experiment binaries.
+
+use emd_globalizer::core::classifier::ClassifierTrainConfig;
+use emd_globalizer::core::config::Ablation;
+use emd_globalizer::core::local::LocalEmd;
+use emd_globalizer::core::phrase_embedder::StsTrainConfig;
+use emd_globalizer::core::training::harvest_training_data;
+use emd_globalizer::core::{EntityClassifier, Globalizer, GlobalizerConfig, PhraseEmbedder};
+use emd_globalizer::eval::metrics::mention_prf;
+use emd_globalizer::local::aguilar::{Aguilar, AguilarConfig};
+use emd_globalizer::local::np_chunker::NpChunker;
+use emd_globalizer::local::twitter_nlp::{TwitterNlp, TwitterNlpConfig};
+use emd_globalizer::synth::datasets::{generic_training_corpus, standard_datasets, training_stream};
+use emd_globalizer::synth::sts::gen_sts;
+use emd_globalizer::text::token::{Dataset, Sentence, Span};
+
+const SEED: u64 = 77;
+
+fn sentences_of(d: &Dataset) -> Vec<Sentence> {
+    d.sentences.iter().map(|a| a.sentence.clone()).collect()
+}
+
+fn aligned(d: &Dataset, out: &emd_globalizer::core::GlobalizerOutput) -> Vec<Vec<Span>> {
+    let map = out.as_map();
+    d.sentences
+        .iter()
+        .map(|a| map.get(&a.sentence.id).cloned().unwrap_or_default())
+        .collect()
+}
+
+/// NP chunker (non-deep) through the full framework: global F1 must beat
+/// local F1 on a streaming dataset.
+#[test]
+fn np_chunker_framework_boosts_streaming_f1() {
+    let suite = standard_datasets(SEED, 0.05);
+    let (_, d5) = training_stream(SEED, 0.015);
+    let local = NpChunker::new();
+    let cfg = GlobalizerConfig::default();
+    let data = harvest_training_data(&local, None, &cfg, &d5);
+    assert!(data.len() > 50, "harvest should find candidates");
+    let mut clf = EntityClassifier::new(7, SEED);
+    let report = clf.train(&data, &ClassifierTrainConfig { epochs: 200, ..Default::default() });
+    assert!(report.best_val_f1 > 0.5, "classifier barely better than chance");
+
+    let d2 = &suite.datasets[1];
+    let sents = sentences_of(d2);
+    let local_preds: Vec<Vec<Span>> = sents.iter().map(|s| local.process(s).spans).collect();
+    let lp = mention_prf(d2, &local_preds);
+
+    let g = Globalizer::new(&local, None, &clf, cfg);
+    let (out, _) = g.run(&sents, 64);
+    let gp = mention_prf(d2, &aligned(d2, &out));
+
+    assert!(
+        gp.f1 > lp.f1,
+        "framework must boost the chunker: local {:.3} vs global {:.3}",
+        lp.f1,
+        gp.f1
+    );
+    assert!(gp.p > lp.p, "precision must improve (classifier filters junk)");
+}
+
+/// The three ablation levels must be ordered on a streaming dataset for a
+/// trained CRF local system: local ≤ mention-extraction ≈ full, with full
+/// ≥ local strictly.
+#[test]
+fn ablation_levels_ordered() {
+    let (gen_world, generic) = generic_training_corpus(SEED, 0.25);
+    let suite = standard_datasets(SEED, 0.04);
+    let (_, d5) = training_stream(SEED, 0.01);
+    let mut local = TwitterNlp::train(&generic, gen_world.gazetteer.clone(), &TwitterNlpConfig::default());
+    local.set_gazetteer(suite.world.gazetteer.clone());
+    let cfg = GlobalizerConfig::default();
+    let data = harvest_training_data(&local, None, &cfg, &d5);
+    let mut clf = EntityClassifier::new(7, SEED);
+    clf.train(&data, &ClassifierTrainConfig { epochs: 150, ..Default::default() });
+
+    let d1 = &suite.datasets[0];
+    let sents = sentences_of(d1);
+    let f1_of = |ablation: Ablation| {
+        let g = Globalizer::new(
+            &local,
+            None,
+            &clf,
+            GlobalizerConfig { ablation, ..Default::default() },
+        );
+        let (out, _) = g.run(&sents, 64);
+        mention_prf(d1, &aligned(d1, &out)).f1
+    };
+    let local_f1 = f1_of(Ablation::LocalOnly);
+    let mention_f1 = f1_of(Ablation::MentionExtraction);
+    let full_f1 = f1_of(Ablation::Full);
+    assert!(
+        mention_f1 >= local_f1 - 0.02,
+        "mention extraction should not hurt: {local_f1:.3} -> {mention_f1:.3}"
+    );
+    assert!(
+        full_f1 >= local_f1,
+        "full framework must not be worse than local: {local_f1:.3} -> {full_f1:.3}"
+    );
+}
+
+/// Deep path end-to-end: Aguilar + phrase embedder + classifier.
+#[test]
+fn deep_path_end_to_end() {
+    let (gen_world, generic) = generic_training_corpus(SEED, 0.25);
+    let suite = standard_datasets(SEED, 0.03);
+    let (world, d5) = training_stream(SEED, 0.008);
+    let (mut local, _) = Aguilar::train(&generic, gen_world.gazetteer.clone(), &AguilarConfig {
+        epochs: 2,
+        ..Default::default()
+    });
+    local.set_gazetteer(suite.world.gazetteer.clone());
+
+    // Phrase embedder on STS pairs embedded by the frozen encoder.
+    let (tr, va) = gen_sts(&world, 120, 40, SEED);
+    let embed = |s: &Sentence| local.process(s).token_embeddings.unwrap();
+    let conv = |ps: &[emd_globalizer::synth::sts::StsPair]| {
+        ps.iter().map(|p| (embed(&p.a), embed(&p.b), p.score)).collect::<Vec<_>>()
+    };
+    let mut pe = PhraseEmbedder::new(local.embedding_dim().unwrap(), 32, SEED);
+    let r = pe.train_sts(&conv(&tr), &conv(&va), &StsTrainConfig { epochs: 40, ..Default::default() });
+    assert!(r.best_val_mse < 0.5);
+
+    let cfg = GlobalizerConfig::default();
+    let data = harvest_training_data(&local, Some(&pe), &cfg, &d5);
+    assert!(data.iter().all(|(f, _)| f.len() == pe.out_dim() + 1));
+    let mut clf = EntityClassifier::new(pe.out_dim() + 1, SEED);
+    clf.train(&data, &ClassifierTrainConfig { epochs: 120, ..Default::default() });
+
+    let d1 = &suite.datasets[0];
+    let sents = sentences_of(d1);
+    let g = Globalizer::new(&local, Some(&pe), &clf, cfg);
+    let (out, state) = g.run(&sents, 32);
+    let gp = mention_prf(d1, &aligned(d1, &out));
+    assert!(gp.f1 > 0.2, "deep pipeline should produce sane outputs, F1={}", gp.f1);
+    // Candidate records must have pooled embeddings of the right dim.
+    for c in state.candidates.iter() {
+        assert_eq!(c.global_embedding().len(), pe.out_dim());
+    }
+}
+
+/// Batched and one-shot execution agree on final outputs (incremental
+/// correctness, cross-crate).
+#[test]
+fn incremental_equals_batch_with_trained_system() {
+    let (gen_world, generic) = generic_training_corpus(SEED, 0.25);
+    let suite = standard_datasets(SEED, 0.02);
+    let mut local = TwitterNlp::train(&generic, gen_world.gazetteer.clone(), &TwitterNlpConfig::default());
+    local.set_gazetteer(suite.world.gazetteer.clone());
+    let (_, d5) = training_stream(SEED, 0.008);
+    let cfg = GlobalizerConfig::default();
+    let data = harvest_training_data(&local, None, &cfg, &d5);
+    let mut clf = EntityClassifier::new(7, SEED);
+    clf.train(&data, &ClassifierTrainConfig { epochs: 100, ..Default::default() });
+
+    let d3 = &suite.datasets[2];
+    let sents = sentences_of(d3);
+    let g = Globalizer::new(&local, None, &clf, cfg);
+    let (a, _) = g.run(&sents, usize::MAX);
+    let (b, _) = g.run(&sents, 7);
+    assert_eq!(a.per_sentence, b.per_sentence);
+}
+
+/// Evaluation invariants across the suite: predictions never contain
+/// out-of-range or overlapping spans.
+#[test]
+fn outputs_are_well_formed_spans() {
+    let suite = standard_datasets(SEED, 0.03);
+    let (_, d5) = training_stream(SEED, 0.008);
+    let local = NpChunker::new();
+    let cfg = GlobalizerConfig::default();
+    let data = harvest_training_data(&local, None, &cfg, &d5);
+    let mut clf = EntityClassifier::new(7, SEED);
+    clf.train(&data, &ClassifierTrainConfig { epochs: 80, ..Default::default() });
+    let g = Globalizer::new(&local, None, &clf, cfg);
+    for d in &suite.datasets {
+        let sents = sentences_of(d);
+        let (out, _) = g.run(&sents, 128);
+        for ((_, spans), ann) in out.per_sentence.iter().zip(d.sentences.iter()) {
+            for sp in spans {
+                assert!(sp.end <= ann.sentence.len(), "span out of range in {}", d.name);
+            }
+            for w in spans.windows(2) {
+                assert!(w[0].end <= w[1].start, "overlapping spans in {}", d.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants of the framework.
+
+use emd_globalizer::core::ctrie::CTrie;
+use emd_globalizer::core::mention::extract_mentions;
+use emd_globalizer::nn::matrix::{cosine, log_sum_exp, Matrix};
+use emd_globalizer::text::bpe::Bpe;
+use emd_globalizer::text::token::{bio_to_spans, spans_to_bio, Bio, Sentence, SentenceId, Span};
+use emd_globalizer::text::tokenizer::{tokenize, tokenize_message};
+use emd_globalizer::text::vocab::Vocab;
+use proptest::prelude::*;
+
+/// Strategy: a lowercase token of 1..8 chars.
+fn token_strat() -> impl Strategy<Value = String> {
+    "[a-z]{1,8}"
+}
+
+/// Strategy: a sentence of 0..15 tokens.
+fn sentence_strat() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(token_strat(), 0..15)
+}
+
+proptest! {
+    /// Tokenizer: token byte offsets always index the original text and
+    /// reproduce the token exactly.
+    #[test]
+    fn tokenizer_offsets_valid(text in "\\PC{0,80}") {
+        let s = tokenize(SentenceId::new(0, 0), &text);
+        for t in &s.tokens {
+            prop_assert!(t.end <= text.len());
+            prop_assert_eq!(&text[t.start..t.end], t.text.as_str());
+        }
+    }
+
+    /// Tokenizer: never panics and never emits empty tokens, on any input.
+    #[test]
+    fn tokenizer_total(text in "\\PC{0,120}") {
+        for s in tokenize_message(0, &text) {
+            for t in &s.tokens {
+                prop_assert!(!t.text.is_empty());
+            }
+        }
+    }
+
+    /// BIO round-trip: spans → tags → spans is the identity for sorted,
+    /// non-overlapping spans.
+    #[test]
+    fn bio_round_trip(raw in proptest::collection::vec((0usize..20, 1usize..4), 0..5)) {
+        // Build sorted non-overlapping spans from (start, len) pairs.
+        let mut spans = Vec::new();
+        let mut cursor = 0usize;
+        for (gap, len) in raw {
+            let start = cursor + gap;
+            let end = start + len;
+            if end > 40 { break; }
+            spans.push(Span::new(start, end));
+            cursor = end + 1; // ensure a gap so adjacency isn't merged
+        }
+        let tags = spans_to_bio(&spans, 50);
+        prop_assert_eq!(bio_to_spans(&tags), spans);
+    }
+
+    /// BIO decoding: output spans never overlap, regardless of tag soup.
+    #[test]
+    fn bio_decode_no_overlap(tags in proptest::collection::vec(0usize..3, 0..30)) {
+        let tags: Vec<Bio> = tags.into_iter().map(Bio::from_index).collect();
+        let spans = bio_to_spans(&tags);
+        for w in spans.windows(2) {
+            prop_assert!(w[0].end <= w[1].start);
+        }
+        for sp in &spans {
+            prop_assert!(sp.start < sp.end && sp.end <= tags.len());
+        }
+    }
+
+    /// CTrie: everything inserted is found (case-insensitively), and the
+    /// candidate count equals the number of distinct lowercased sequences.
+    #[test]
+    fn ctrie_insert_contains(cands in proptest::collection::vec(
+        proptest::collection::vec(token_strat(), 1..4), 1..12)) {
+        let mut trie = CTrie::new();
+        let mut set = std::collections::HashSet::new();
+        for c in &cands {
+            trie.insert(c);
+            set.insert(c.join(" "));
+        }
+        prop_assert_eq!(trie.len(), set.len());
+        for c in &cands {
+            prop_assert!(trie.contains(c));
+            let upper: Vec<String> = c.iter().map(|t| t.to_uppercase()).collect();
+            prop_assert!(trie.contains(&upper));
+        }
+    }
+
+    /// Mention extraction: returned spans are in-range, non-overlapping,
+    /// and each one's surface is a registered candidate.
+    #[test]
+    fn mention_extraction_invariants(
+        cands in proptest::collection::vec(proptest::collection::vec(token_strat(), 1..3), 1..8),
+        words in sentence_strat(),
+    ) {
+        let mut trie = CTrie::new();
+        for c in &cands {
+            trie.insert(c);
+        }
+        let sentence = Sentence::from_tokens(SentenceId::new(0, 0), words);
+        let mentions = extract_mentions(&trie, &sentence, 6);
+        for w in mentions.windows(2) {
+            prop_assert!(w[0].end <= w[1].start, "overlap");
+        }
+        for sp in &mentions {
+            prop_assert!(sp.end <= sentence.len());
+            let toks: Vec<&str> = (sp.start..sp.end)
+                .map(|i| sentence.tokens[i].text.as_str())
+                .collect();
+            prop_assert!(trie.contains(&toks), "non-candidate surface emitted");
+        }
+    }
+
+    /// Matrix multiplication is associative (within f32 tolerance).
+    #[test]
+    fn matmul_associative(
+        a in proptest::collection::vec(-2.0f32..2.0, 6),
+        b in proptest::collection::vec(-2.0f32..2.0, 6),
+        c in proptest::collection::vec(-2.0f32..2.0, 6),
+    ) {
+        let ma = Matrix::from_vec(2, 3, a);
+        let mb = Matrix::from_vec(3, 2, b);
+        let mc = Matrix::from_vec(2, 3, c);
+        let left = ma.matmul(&mb).matmul(&mc);
+        let right = ma.matmul(&mb.matmul(&mc));
+        for (x, y) in left.data.iter().zip(right.data.iter()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// Transpose is an involution.
+    #[test]
+    fn transpose_involution(data in proptest::collection::vec(-10.0f32..10.0, 12)) {
+        let m = Matrix::from_vec(3, 4, data);
+        prop_assert_eq!(m.transposed().transposed().data, m.data);
+    }
+
+    /// log-sum-exp dominates the max and is translation-equivariant.
+    #[test]
+    fn log_sum_exp_properties(xs in proptest::collection::vec(-20.0f32..20.0, 1..8), shift in -5.0f32..5.0) {
+        let m = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let lse = log_sum_exp(&xs);
+        prop_assert!(lse >= m - 1e-4);
+        let shifted: Vec<f32> = xs.iter().map(|x| x + shift).collect();
+        prop_assert!((log_sum_exp(&shifted) - (lse + shift)).abs() < 1e-3);
+    }
+
+    /// Cosine similarity is bounded and symmetric.
+    #[test]
+    fn cosine_bounded_symmetric(
+        a in proptest::collection::vec(-5.0f32..5.0, 4),
+        b in proptest::collection::vec(-5.0f32..5.0, 4),
+    ) {
+        let c1 = cosine(&a, &b);
+        let c2 = cosine(&b, &a);
+        prop_assert!((-1.001..=1.001).contains(&c1));
+        prop_assert!((c1 - c2).abs() < 1e-6);
+    }
+
+    /// BPE segmentation always reconstructs the input word.
+    #[test]
+    fn bpe_reconstructs(words in proptest::collection::vec(token_strat(), 2..10), probe in token_strat()) {
+        let bpe = Bpe::learn(words.iter().map(|w| (w.as_str(), 3u64)), 30);
+        let joined: String = bpe.segment(&probe).join("").replace("</w>", "");
+        prop_assert_eq!(joined, probe);
+    }
+
+    /// Vocab: add-then-get is the identity; unseen maps to UNK.
+    #[test]
+    fn vocab_roundtrip(words in proptest::collection::vec(token_strat(), 1..20)) {
+        let mut v = Vocab::new(true);
+        let ids: Vec<u32> = words.iter().map(|w| v.add(w)).collect();
+        for (w, id) in words.iter().zip(ids.iter()) {
+            prop_assert_eq!(v.get(w), *id);
+            prop_assert_eq!(v.get(&w.to_uppercase()), *id);
+        }
+    }
+
+    /// spans_to_bio never produces dangling I-after-O sequences for valid
+    /// span sets (every I is preceded by B or I).
+    #[test]
+    fn spans_to_bio_well_formed(raw in proptest::collection::vec((0usize..10, 1usize..4), 0..6)) {
+        let mut spans = Vec::new();
+        let mut cursor = 0usize;
+        for (gap, len) in raw {
+            let start = cursor + gap;
+            spans.push(Span::new(start, start + len));
+            cursor = start + len;
+        }
+        let tags = spans_to_bio(&spans, 60);
+        for i in 0..tags.len() {
+            if tags[i] == Bio::I {
+                prop_assert!(i > 0 && tags[i - 1] != Bio::O, "dangling I at {i}");
+            }
+        }
+    }
+}
