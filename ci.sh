@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Continuous-integration gate: formatting, lints, and the tier-1 test
+# suite (see ROADMAP.md). Run from the repository root.
+set -euo pipefail
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1 tests =="
+cargo test --workspace --release
+
+echo "CI green."

@@ -14,7 +14,13 @@ fn bench_baseline(c: &mut Criterion) {
     let slice: Vec<_> = sents.iter().take(100).cloned().collect();
 
     let (_, d5) = training_stream(SEED, 0.01);
-    let hire = HireNer::train(&d5, &HireConfig { epochs: 1, ..Default::default() });
+    let hire = HireNer::train(
+        &d5,
+        &HireConfig {
+            epochs: 1,
+            ..Default::default()
+        },
+    );
 
     let mut group = c.benchmark_group("global_systems_100_sentences");
     group.sample_size(20);
@@ -29,7 +35,9 @@ fn bench_baseline(c: &mut Criterion) {
 
     let (crf, clf) = trained_crf_variant();
     let g = Globalizer::new(&crf, None, &clf, GlobalizerConfig::default());
-    group.bench_function("emd_globalizer", |b| b.iter(|| black_box(g.run(&slice, 512))));
+    group.bench_function("emd_globalizer", |b| {
+        b.iter(|| black_box(g.run(&slice, 512)))
+    });
 
     group.finish();
 }

@@ -20,8 +20,9 @@ fn bench_global_components(c: &mut Criterion) {
     let mut trie = CTrie::new();
     for ann in &d2.sentences {
         for sp in &ann.gold {
-            let toks: Vec<String> =
-                (sp.start..sp.end).map(|i| ann.sentence.tokens[i].text.clone()).collect();
+            let toks: Vec<String> = (sp.start..sp.end)
+                .map(|i| ann.sentence.tokens[i].text.clone())
+                .collect();
             trie.insert(&toks);
         }
     }
@@ -60,7 +61,11 @@ fn bench_global_components(c: &mut Criterion) {
     // (the Aguilar deep path).
     let pe = PhraseEmbedder::new(100, 100, SEED);
     let mut rng = StdRng::seed_from_u64(SEED);
-    let te = Matrix::from_vec(12, 100, (0..1200).map(|_| rng.gen_range(-1.0f32..1.0)).collect());
+    let te = Matrix::from_vec(
+        12,
+        100,
+        (0..1200).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+    );
     group.bench_function("phrase_embed_mention", |b| {
         let span = emd_text::token::Span::new(4, 7);
         b.iter(|| black_box(pe.embed_span(&te, &span)))

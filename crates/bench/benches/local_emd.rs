@@ -30,7 +30,11 @@ fn bench_locals(c: &mut Criterion) {
         })
     });
 
-    let mut crf = TwitterNlp::train(&generic, gen_world.gazetteer.clone(), &TwitterNlpConfig::default());
+    let mut crf = TwitterNlp::train(
+        &generic,
+        gen_world.gazetteer.clone(),
+        &TwitterNlpConfig::default(),
+    );
     crf.set_gazetteer(world.gazetteer.clone());
     group.bench_function("twitter_nlp", |b| {
         b.iter(|| {
@@ -40,10 +44,14 @@ fn bench_locals(c: &mut Criterion) {
         })
     });
 
-    let (mut aguilar, _) = Aguilar::train(&generic, gen_world.gazetteer.clone(), &AguilarConfig {
-        epochs: 1,
-        ..Default::default()
-    });
+    let (mut aguilar, _) = Aguilar::train(
+        &generic,
+        gen_world.gazetteer.clone(),
+        &AguilarConfig {
+            epochs: 1,
+            ..Default::default()
+        },
+    );
     aguilar.set_gazetteer(world.gazetteer.clone());
     group.bench_function("aguilar", |b| {
         b.iter(|| {
@@ -53,7 +61,13 @@ fn bench_locals(c: &mut Criterion) {
         })
     });
 
-    let (bert, _) = MiniBert::train(&generic, &MiniBertConfig { epochs: 1, ..Default::default() });
+    let (bert, _) = MiniBert::train(
+        &generic,
+        &MiniBertConfig {
+            epochs: 1,
+            ..Default::default()
+        },
+    );
     group.bench_function("mini_bert", |b| {
         b.iter(|| {
             for s in slice {
@@ -76,10 +90,14 @@ fn bench_locals(c: &mut Criterion) {
                     n_topics: d.n_topics,
                     sentences: d.sentences.into_iter().take(8).collect(),
                 };
-                black_box(Aguilar::train(&small, gen_world.gazetteer.clone(), &AguilarConfig {
-                    epochs: 1,
-                    ..Default::default()
-                }))
+                black_box(Aguilar::train(
+                    &small,
+                    gen_world.gazetteer.clone(),
+                    &AguilarConfig {
+                        epochs: 1,
+                        ..Default::default()
+                    },
+                ))
             },
             BatchSize::LargeInput,
         )

@@ -32,13 +32,21 @@ fn bench_pipeline(c: &mut Criterion) {
     // Figure-6 component stack.
     for (label, ablation) in [
         ("crf_ablation_local", Ablation::LocalOnly),
-        ("crf_ablation_mention_extraction", Ablation::MentionExtraction),
+        (
+            "crf_ablation_mention_extraction",
+            Ablation::MentionExtraction,
+        ),
         ("crf_full_framework", Ablation::Full),
     ] {
-        let g = Globalizer::new(&crf, None, &crf_clf, GlobalizerConfig {
-            ablation,
-            ..Default::default()
-        });
+        let g = Globalizer::new(
+            &crf,
+            None,
+            &crf_clf,
+            GlobalizerConfig {
+                ablation,
+                ..Default::default()
+            },
+        );
         group.bench_function(label, |b| b.iter(|| black_box(g.run(&slice, 512))));
     }
 

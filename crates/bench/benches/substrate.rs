@@ -15,7 +15,11 @@ use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
 fn rand_matrix(r: usize, c: usize, rng: &mut StdRng) -> Matrix {
-    Matrix::from_vec(r, c, (0..r * c).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+    Matrix::from_vec(
+        r,
+        c,
+        (0..r * c).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+    )
 }
 
 fn bench_substrate(c: &mut Criterion) {
@@ -28,7 +32,9 @@ fn bench_substrate(c: &mut Criterion) {
 
     let mut lstm = BiLstm::new(70, 50, &mut rng);
     let x = rand_matrix(15, 70, &mut rng);
-    group.bench_function("bilstm_fwd_15x70_h50", |bch| bch.iter(|| black_box(lstm.infer(&x))));
+    group.bench_function("bilstm_fwd_15x70_h50", |bch| {
+        bch.iter(|| black_box(lstm.infer(&x)))
+    });
     group.bench_function("bilstm_fwd_bwd_15x70_h50", |bch| {
         bch.iter(|| {
             let y = lstm.forward(&x);
@@ -38,7 +44,9 @@ fn bench_substrate(c: &mut Criterion) {
 
     let mut attn = MultiHeadAttention::new(48, 4, &mut rng);
     let xa = rand_matrix(24, 48, &mut rng);
-    group.bench_function("attention_fwd_24x48_h4", |bch| bch.iter(|| black_box(attn.infer(&xa))));
+    group.bench_function("attention_fwd_24x48_h4", |bch| {
+        bch.iter(|| black_box(attn.infer(&xa)))
+    });
     group.bench_function("attention_fwd_bwd_24x48_h4", |bch| {
         bch.iter(|| {
             let y = attn.forward(&xa);
@@ -49,8 +57,12 @@ fn bench_substrate(c: &mut Criterion) {
     let mut crf = CrfLayer::new(3);
     let e = rand_matrix(15, 3, &mut rng);
     let gold = vec![0usize, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2];
-    group.bench_function("crf_viterbi_15x3", |bch| bch.iter(|| black_box(crf.decode(&e))));
-    group.bench_function("crf_nll_15x3", |bch| bch.iter(|| black_box(crf.nll(&e, &gold))));
+    group.bench_function("crf_viterbi_15x3", |bch| {
+        bch.iter(|| black_box(crf.decode(&e)))
+    });
+    group.bench_function("crf_nll_15x3", |bch| {
+        bch.iter(|| black_box(crf.nll(&e, &gold)))
+    });
     group.finish();
 
     let mut group = c.benchmark_group("text_kernels");
@@ -59,7 +71,14 @@ fn bench_substrate(c: &mut Criterion) {
         bch.iter(|| black_box(tokenize(SentenceId::new(0, 0), tweet)))
     });
 
-    let words = ["coronavirus", "cases", "distancing", "italy", "lockdown", "variant"];
+    let words = [
+        "coronavirus",
+        "cases",
+        "distancing",
+        "italy",
+        "lockdown",
+        "variant",
+    ];
     let bpe = Bpe::learn(words.iter().map(|w| (*w, 10u64)), 80);
     group.bench_function("bpe_encode_word", |bch| {
         bch.iter(|| black_box(bpe.encode_word("coronavirus")))

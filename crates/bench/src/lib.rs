@@ -40,14 +40,24 @@ pub fn sentences_of(d: &Dataset) -> Vec<Sentence> {
 /// variant — benches that need a real model use this).
 pub fn trained_crf_variant() -> (TwitterNlp, EntityClassifier) {
     let (gen_world, generic) = generic_training_corpus(SEED, 0.25);
-    let mut local = TwitterNlp::train(&generic, gen_world.gazetteer.clone(), &TwitterNlpConfig::default());
+    let mut local = TwitterNlp::train(
+        &generic,
+        gen_world.gazetteer.clone(),
+        &TwitterNlpConfig::default(),
+    );
     let suite = standard_datasets(SEED, 0.02);
     local.set_gazetteer(suite.world.gazetteer.clone());
     let (_, d5) = training_stream(SEED, 0.01);
     let cfg = GlobalizerConfig::default();
     let data = harvest_training_data(&local, None, &cfg, &d5);
     let mut clf = EntityClassifier::new(7, SEED);
-    clf.train(&data, &ClassifierTrainConfig { epochs: 100, ..Default::default() });
+    clf.train(
+        &data,
+        &ClassifierTrainConfig {
+            epochs: 100,
+            ..Default::default()
+        },
+    );
     (local, clf)
 }
 

@@ -57,7 +57,13 @@ pub struct HireConfig {
 
 impl Default for HireConfig {
     fn default() -> Self {
-        HireConfig { epochs: 3, lr: 0.004, batch_size: 8, seed: 42, clip: 5.0 }
+        HireConfig {
+            epochs: 3,
+            lr: 0.004,
+            batch_size: 8,
+            seed: 42,
+            clip: 5.0,
+        }
     }
 }
 
@@ -77,7 +83,10 @@ impl TokenMemory {
     /// Add one contextual embedding observation for `token`.
     pub fn update(&mut self, token: &str, emb: &[f32]) {
         let key = normalize::normalize_token(token);
-        let entry = self.sums.entry(key).or_insert_with(|| (vec![0.0; emb.len()], 0));
+        let entry = self
+            .sums
+            .entry(key)
+            .or_insert_with(|| (vec![0.0; emb.len()], 0));
         for (s, &v) in entry.0.iter_mut().zip(emb.iter()) {
             *s += v;
         }
@@ -205,8 +214,11 @@ impl HireNer {
     /// Train on an annotated corpus.
     pub fn train(dataset: &Dataset, cfg: &HireConfig) -> HireNer {
         let mut model = HireNer::init(dataset, cfg.seed);
-        let sentences: Vec<Sentence> =
-            dataset.sentences.iter().map(|a| a.sentence.clone()).collect();
+        let sentences: Vec<Sentence> = dataset
+            .sentences
+            .iter()
+            .map(|a| a.sentence.clone())
+            .collect();
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x41);
         let mut opt = Adam::new(cfg.lr);
         let mut order: Vec<usize> = (0..dataset.len()).collect();
@@ -285,9 +297,19 @@ mod tests {
     #[test]
     fn trains_and_decodes() {
         let (_, d5) = training_stream(41, 0.004);
-        let model = HireNer::train(&d5, &HireConfig { epochs: 2, ..Default::default() });
-        let sentences: Vec<Sentence> =
-            d5.sentences.iter().take(60).map(|a| a.sentence.clone()).collect();
+        let model = HireNer::train(
+            &d5,
+            &HireConfig {
+                epochs: 2,
+                ..Default::default()
+            },
+        );
+        let sentences: Vec<Sentence> = d5
+            .sentences
+            .iter()
+            .take(60)
+            .map(|a| a.sentence.clone())
+            .collect();
         let preds = model.run_dataset(&sentences);
         assert_eq!(preds.len(), 60);
         let mut correct = 0usize;
@@ -307,10 +329,16 @@ mod tests {
         // Decoding with an empty memory vs the stream memory may differ —
         // at minimum it must not crash and must produce valid spans.
         let (_, d5) = training_stream(42, 0.003);
-        let model = HireNer::train(&d5, &HireConfig { epochs: 1, ..Default::default() });
+        let model = HireNer::train(
+            &d5,
+            &HireConfig {
+                epochs: 1,
+                ..Default::default()
+            },
+        );
         let s = &d5.sentences[0].sentence;
         let empty = TokenMemory::new();
-        let mem = model.build_memory(&[s.clone()]);
+        let mem = model.build_memory(std::slice::from_ref(s));
         let a = model.decode(s, &empty);
         let b = model.decode(s, &mem);
         for sp in a.iter().chain(b.iter()) {

@@ -11,7 +11,7 @@
 
 use crate::classifier::CandidateLabel;
 use emd_text::token::{SentenceId, Span};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// A single located mention of a candidate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +34,9 @@ pub struct CandidateRecord {
     pub tokens: Vec<String>,
     /// All located mentions, in discovery order.
     pub mentions: Vec<MentionRef>,
+    /// `(sentence, span)` pairs already in `mentions`, for O(1) dedup when
+    /// overlapping rescans revisit a sentence.
+    seen: HashSet<(SentenceId, Span)>,
     /// Running sum of local candidate embeddings.
     emb_sum: Vec<f32>,
     /// Number of pooled embeddings.
@@ -55,11 +58,25 @@ impl CandidateRecord {
             key,
             tokens,
             mentions: Vec::new(),
+            seen: HashSet::new(),
             emb_sum: vec![0.0; dim],
             emb_count: 0,
             local_embeddings: Vec::new(),
             label: CandidateLabel::Pending,
             score: None,
+        }
+    }
+
+    /// Record a mention unless an identical `(sentence, span)` pair is
+    /// already present. Returns `true` when the mention was new. This is
+    /// the dedup gate the rescan relies on: a sentence revisited because
+    /// two new candidates both touch it must not double-count mentions.
+    pub fn try_add_mention(&mut self, mref: MentionRef) -> bool {
+        if self.seen.insert((mref.sid, mref.span)) {
+            self.mentions.push(mref);
+            true
+        } else {
+            false
         }
     }
 
@@ -129,7 +146,11 @@ pub struct CandidateBase {
 impl CandidateBase {
     /// New store for embeddings of dimension `dim`.
     pub fn new(dim: usize) -> CandidateBase {
-        CandidateBase { records: Vec::new(), index: HashMap::new(), dim }
+        CandidateBase {
+            records: Vec::new(),
+            index: HashMap::new(),
+            dim,
+        }
     }
 
     /// Embedding dimensionality.
@@ -144,7 +165,8 @@ impl CandidateBase {
             None => {
                 let i = self.records.len();
                 self.index.insert(key.to_string(), i);
-                self.records.push(CandidateRecord::new(key.to_string(), self.dim));
+                self.records
+                    .push(CandidateRecord::new(key.to_string(), self.dim));
                 i
             }
         };
@@ -242,6 +264,30 @@ mod tests {
         });
         assert_eq!(r.frequency(), 2);
         assert_eq!(r.mentions.iter().filter(|m| m.locally_detected).count(), 1);
+    }
+
+    #[test]
+    fn try_add_mention_dedups() {
+        let mut cb = CandidateBase::new(1);
+        let r = cb.entry("italy");
+        let a = MentionRef {
+            sid: SentenceId::new(1, 0),
+            span: Span::new(0, 1),
+            locally_detected: true,
+        };
+        let b = MentionRef {
+            span: Span::new(3, 4),
+            ..a
+        };
+        assert!(r.try_add_mention(a));
+        assert!(r.try_add_mention(b));
+        // Same (sid, span) again — even with a different provenance flag —
+        // is a duplicate.
+        assert!(!r.try_add_mention(MentionRef {
+            locally_detected: false,
+            ..a
+        }));
+        assert_eq!(r.frequency(), 2);
     }
 
     #[test]

@@ -66,7 +66,13 @@ pub struct ClassifierTrainConfig {
 
 impl Default for ClassifierTrainConfig {
     fn default() -> Self {
-        ClassifierTrainConfig { epochs: 1000, lr: 0.0015, batch_size: 128, patience: 20, seed: 42 }
+        ClassifierTrainConfig {
+            epochs: 1000,
+            lr: 0.0015,
+            batch_size: 128,
+            patience: 20,
+            seed: 42,
+        }
     }
 }
 
@@ -225,7 +231,11 @@ impl EntityClassifier {
         for (p, b) in self.params_mut().into_iter().zip(best) {
             p.value = b;
         }
-        ClassifierTrainReport { best_val_f1: best_f1, best_epoch, epochs_run }
+        ClassifierTrainReport {
+            best_val_f1: best_f1,
+            best_epoch,
+            epochs_run,
+        }
     }
 }
 
@@ -267,11 +277,26 @@ mod tests {
     #[test]
     fn thresholds() {
         let cfg = GlobalizerConfig::default();
-        assert_eq!(EntityClassifier::classify(0.9, &cfg), CandidateLabel::Entity);
-        assert_eq!(EntityClassifier::classify(0.55, &cfg), CandidateLabel::Entity);
-        assert_eq!(EntityClassifier::classify(0.5, &cfg), CandidateLabel::Ambiguous);
-        assert_eq!(EntityClassifier::classify(0.40, &cfg), CandidateLabel::NonEntity);
-        assert_eq!(EntityClassifier::classify(0.1, &cfg), CandidateLabel::NonEntity);
+        assert_eq!(
+            EntityClassifier::classify(0.9, &cfg),
+            CandidateLabel::Entity
+        );
+        assert_eq!(
+            EntityClassifier::classify(0.55, &cfg),
+            CandidateLabel::Entity
+        );
+        assert_eq!(
+            EntityClassifier::classify(0.5, &cfg),
+            CandidateLabel::Ambiguous
+        );
+        assert_eq!(
+            EntityClassifier::classify(0.40, &cfg),
+            CandidateLabel::NonEntity
+        );
+        assert_eq!(
+            EntityClassifier::classify(0.1, &cfg),
+            CandidateLabel::NonEntity
+        );
     }
 
     #[test]
@@ -285,11 +310,14 @@ mod tests {
     fn learns_separable_data() {
         let data = toy_data(600, 5, 1);
         let mut c = EntityClassifier::new(6, 2);
-        let report = c.train(&data, &ClassifierTrainConfig {
-            epochs: 150,
-            patience: 30,
-            ..Default::default()
-        });
+        let report = c.train(
+            &data,
+            &ClassifierTrainConfig {
+                epochs: 150,
+                patience: 30,
+                ..Default::default()
+            },
+        );
         assert!(report.best_val_f1 > 0.85, "val F1 = {}", report.best_val_f1);
     }
 
@@ -297,11 +325,14 @@ mod tests {
     fn early_stopping() {
         let data = toy_data(100, 3, 3);
         let mut c = EntityClassifier::new(4, 4);
-        let report = c.train(&data, &ClassifierTrainConfig {
-            epochs: 1000,
-            patience: 5,
-            ..Default::default()
-        });
+        let report = c.train(
+            &data,
+            &ClassifierTrainConfig {
+                epochs: 1000,
+                patience: 5,
+                ..Default::default()
+            },
+        );
         assert!(report.epochs_run < 1000);
     }
 

@@ -46,6 +46,13 @@ pub struct GlobalizerConfig {
     /// the local system detected at least half of its mentions); when
     /// false, the bare `final_threshold` decides.
     pub trust_local_fallback: bool,
+    /// Adjacent-candidate promotion support at stream close: when two
+    /// candidates are extracted adjacent to each other at least this many
+    /// times — and in at least half the occurrences of the rarer of the
+    /// two — the concatenation is promoted to a candidate of its own and
+    /// the affected sentences are rescanned. Recovers multi-token entities
+    /// the local system only ever detects in fragments. `0` disables.
+    pub promotion_support: usize,
 }
 
 impl Default for GlobalizerConfig {
@@ -58,6 +65,7 @@ impl Default for GlobalizerConfig {
             ablation: Ablation::Full,
             pooling: Pooling::Mean,
             trust_local_fallback: true,
+            promotion_support: 3,
         }
     }
 }

@@ -39,7 +39,10 @@ impl CTrie {
 
     /// Empty trie.
     pub fn new() -> CTrie {
-        CTrie { nodes: vec![Node::default()], n_candidates: 0 }
+        CTrie {
+            nodes: vec![Node::default()],
+            n_candidates: 0,
+        }
     }
 
     /// Insert a candidate given its tokens (any casing). Returns `true` if
@@ -73,9 +76,21 @@ impl CTrie {
     }
 
     /// Follow the edge labelled with the lower-cased form of `token`.
+    ///
+    /// Already-lowercase ASCII tokens — the overwhelmingly common case in
+    /// tweet streams — are looked up without allocating. The predicate must
+    /// be "ASCII with no ASCII uppercase", not `char::is_lowercase`: some
+    /// non-ASCII characters (e.g. titlecase forms) are not uppercase yet
+    /// still change under `to_lowercase`.
     pub fn child(&self, node: NodeId, token: &str) -> Option<NodeId> {
-        let key = token.to_lowercase();
-        self.nodes[node as usize].children.get(&key).copied()
+        let children = &self.nodes[node as usize].children;
+        if token
+            .bytes()
+            .all(|b| b.is_ascii() && !b.is_ascii_uppercase())
+        {
+            return children.get(token).copied();
+        }
+        children.get(&token.to_lowercase()).copied()
     }
 
     /// Does the path ending at `node` spell a candidate?
@@ -185,6 +200,26 @@ mod tests {
     }
 
     #[test]
+    fn child_fast_path_matches_slow_path() {
+        let mut t = CTrie::new();
+        t.insert(&["straße", "café"]);
+        t.insert(&["covid"]);
+        // Lowercase ASCII (fast path), mixed-case ASCII and non-ASCII
+        // (slow path) must agree on every edge.
+        assert!(t.child(CTrie::ROOT, "covid").is_some());
+        assert!(t.child(CTrie::ROOT, "COVID").is_some());
+        assert!(t.child(CTrie::ROOT, "CoViD").is_some());
+        let n = t.child(CTrie::ROOT, "STRASSE");
+        // "STRASSE".to_lowercase() is "strasse", a different key than
+        // "straße" — both paths must agree that it misses.
+        assert!(n.is_none());
+        let n = t.child(CTrie::ROOT, "straße").unwrap();
+        assert!(t.child(n, "CAFÉ").is_some());
+        assert!(t.child(n, "café").is_some());
+        assert!(t.child(CTrie::ROOT, "missing").is_none());
+    }
+
+    #[test]
     fn empty_insert_rejected() {
         let mut t = CTrie::new();
         assert!(!t.insert::<&str>(&[]));
@@ -198,8 +233,12 @@ mod tests {
         t.insert(&["Andy", "Beshear"]);
         let mut cands = t.candidates();
         cands.sort();
-        assert_eq!(cands, vec![vec!["andy".to_string(), "beshear".to_string()], vec![
-            "italy".to_string()
-        ]]);
+        assert_eq!(
+            cands,
+            vec![
+                vec!["andy".to_string(), "beshear".to_string()],
+                vec!["italy".to_string()]
+            ]
+        );
     }
 }

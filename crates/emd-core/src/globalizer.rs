@@ -6,8 +6,16 @@
 //! arrive, and [`Globalizer::finalize`] performs the closing rescan (old
 //! sentences may contain mentions of candidates discovered later), resolves
 //! the ambiguous γ band, and emits the final mention outputs.
+//!
+//! The closing rescan is *incremental*: the state tracks which stored
+//! sentences could possibly be affected by candidates registered after
+//! their last scan (via the [`TweetBase`] token inverted index — a new
+//! candidate can only change sentences containing its first token), and
+//! [`Globalizer::finalize`] rescans only those. The brute-force
+//! [`Globalizer::finalize_full_rescan`] rescans everything and exists as
+//! the reference the incremental path is tested bit-identical against.
 
-use crate::candidatebase::{CandidateBase, MentionRef};
+use crate::candidatebase::{CandidateBase, CandidateRecord, MentionRef};
 use crate::classifier::{CandidateLabel, EntityClassifier};
 use crate::config::{Ablation, GlobalizerConfig};
 use crate::ctrie::CTrie;
@@ -17,6 +25,7 @@ use crate::phrase_embedder::PhraseEmbedder;
 use crate::tweetbase::{TweetBase, TweetRecord};
 use emd_text::casing::{syntactic_class, SyntacticClass};
 use emd_text::token::{Sentence, SentenceId, Span};
+use std::collections::{BTreeSet, HashMap};
 
 /// Accumulated pipeline state across batches.
 #[derive(Debug, Clone)]
@@ -27,6 +36,12 @@ pub struct GlobalizerState {
     pub ctrie: CTrie,
     /// Per-candidate records with pooled global embeddings.
     pub candidates: CandidateBase,
+    /// Stream-order indices of records whose stored `global_mentions` may
+    /// be stale: never scanned yet, or a candidate whose first token they
+    /// contain was registered after their last scan. Ordered so rescans
+    /// replay in stream order, keeping outputs bit-identical to a full
+    /// sequential rescan.
+    dirty: BTreeSet<usize>,
 }
 
 /// Final (or interim) outputs of the framework.
@@ -38,6 +53,11 @@ pub struct GlobalizerOutput {
     pub n_candidates: usize,
     /// Number of candidates accepted as entities.
     pub n_entities: usize,
+    /// Candidates created by adjacent-pair promotion at stream close.
+    pub n_promoted: usize,
+    /// Sentence scans performed by the closing rescan (for the incremental
+    /// path this is usually far below the stream length).
+    pub n_rescanned: usize,
 }
 
 impl GlobalizerOutput {
@@ -46,6 +66,10 @@ impl GlobalizerOutput {
         self.per_sentence.iter().cloned().collect()
     }
 }
+
+/// One staged rescan result: the record index, its re-extracted mentions,
+/// and the (candidate key, mention, local embedding) triples to pool.
+type StagedScan = (usize, Vec<Span>, Vec<(String, MentionRef, Vec<f32>)>);
 
 /// The framework: a Local EMD plug-in, the Global EMD components, and the
 /// configuration.
@@ -70,9 +94,18 @@ impl<'a> Globalizer<'a> {
     ) -> Globalizer<'a> {
         if let Some(d) = local.embedding_dim() {
             let pe = phrase.expect("deep Local EMD requires a PhraseEmbedder");
-            assert_eq!(pe.in_dim(), d, "PhraseEmbedder input dim must match the local system");
+            assert_eq!(
+                pe.in_dim(),
+                d,
+                "PhraseEmbedder input dim must match the local system"
+            );
         }
-        Globalizer { local, phrase, classifier, config }
+        Globalizer {
+            local,
+            phrase,
+            classifier,
+            config,
+        }
     }
 
     /// Dimensionality of candidate embeddings: the phrase-embedder output
@@ -90,6 +123,7 @@ impl<'a> Globalizer<'a> {
             tweetbase: TweetBase::new(),
             ctrie: CTrie::new(),
             candidates: CandidateBase::new(self.candidate_dim()),
+            dirty: BTreeSet::new(),
         }
     }
 
@@ -113,7 +147,12 @@ impl<'a> Globalizer<'a> {
     /// across `n_threads` scoped threads (inference is `&self`), then the
     /// outputs are ingested sequentially in stream order, so results are
     /// bit-identical to the sequential path.
-    fn local_phase_parallel(&self, state: &mut GlobalizerState, batch: &[Sentence], n_threads: usize) {
+    fn local_phase_parallel(
+        &self,
+        state: &mut GlobalizerState,
+        batch: &[Sentence],
+        n_threads: usize,
+    ) {
         let n_threads = n_threads.max(1).min(batch.len().max(1));
         let chunk = batch.len().div_ceil(n_threads);
         let mut outputs: Vec<crate::local::LocalEmdOutput> = Vec::with_capacity(batch.len());
@@ -122,7 +161,9 @@ impl<'a> Globalizer<'a> {
                 .chunks(chunk.max(1))
                 .map(|part| {
                     scope.spawn(move || {
-                        part.iter().map(|s| self.local.process(s)).collect::<Vec<_>>()
+                        part.iter()
+                            .map(|s| self.local.process(s))
+                            .collect::<Vec<_>>()
                     })
                 })
                 .collect();
@@ -133,59 +174,137 @@ impl<'a> Globalizer<'a> {
         self.ingest_local_outputs(state, batch, outputs);
     }
 
-    /// Register local outputs: seed the CTrie, store TweetBase records.
+    /// Register local outputs: store TweetBase records, seed the CTrie,
+    /// mark possibly-affected sentences dirty.
+    ///
+    /// Local spans are validated once here — a misbehaving local system can
+    /// emit empty or out-of-bounds spans, and letting them into
+    /// `local_spans` would leak them into `LocalOnly` outputs and inflate
+    /// `locally_detected` counts. Records are stored for the *whole batch*
+    /// before any candidate registration, so a candidate discovered at
+    /// sentence `i` correctly dirties a later sentence of the same batch.
     fn ingest_local_outputs(
         &self,
         state: &mut GlobalizerState,
         batch: &[Sentence],
         outputs: Vec<crate::local::LocalEmdOutput>,
     ) {
+        let mut kept: Vec<Vec<Span>> = Vec::with_capacity(batch.len());
         for (sentence, out) in batch.iter().zip(outputs) {
-            for sp in &out.spans {
-                if sp.len() <= self.config.max_candidate_len && sp.end <= sentence.len() {
+            let spans: Vec<Span> = out
+                .spans
+                .into_iter()
+                .filter(|sp| sp.start < sp.end && sp.end <= sentence.len())
+                .collect();
+            let idx = state.tweetbase.insert(TweetRecord {
+                sentence: sentence.clone(),
+                token_embeddings: out.token_embeddings,
+                local_spans: spans.clone(),
+                global_mentions: Vec::new(),
+            });
+            state.dirty.insert(idx);
+            kept.push(spans);
+        }
+        for (sentence, spans) in batch.iter().zip(&kept) {
+            for sp in spans {
+                if sp.len() <= self.config.max_candidate_len {
                     let toks: Vec<&str> = (sp.start..sp.end)
                         .map(|i| sentence.tokens[i].text.as_str())
                         .collect();
-                    state.ctrie.insert(&toks);
+                    if state.ctrie.insert(&toks) {
+                        Self::mark_dirty(state, &toks[0].to_lowercase());
+                    }
                 }
             }
-            state.tweetbase.insert(TweetRecord {
-                sentence: sentence.clone(),
-                token_embeddings: out.token_embeddings,
-                local_spans: out.spans,
-                global_mentions: Vec::new(),
-            });
         }
     }
 
-    /// **Mention extraction + embedding pooling** over the given sentence
-    /// ids. New mentions (not yet in the CandidateBase) contribute their
-    /// local embeddings to the candidate pool.
-    fn scan_and_pool(&self, state: &mut GlobalizerState, ids: &[SentenceId]) {
-        for &sid in ids {
-            let Some(record) = state.tweetbase.get(sid) else { continue };
-            let mentions =
-                extract_mentions(&state.ctrie, &record.sentence, self.config.max_candidate_len);
-            let locally: Vec<Span> = record.local_spans.clone();
-            // Compute embeddings before touching candidate records (borrow
-            // discipline: record is borrowed from tweetbase).
-            let mut staged: Vec<(String, MentionRef, Vec<f32>)> = Vec::with_capacity(mentions.len());
-            for sp in &mentions {
+    /// Mark every stored sentence containing `first_token_lower` as needing
+    /// a rescan: a candidate insertion can only change a sentence's
+    /// extraction if the sentence contains the candidate's first token.
+    fn mark_dirty(state: &mut GlobalizerState, first_token_lower: &str) {
+        for &i in state.tweetbase.indices_with_token(first_token_lower) {
+            state.dirty.insert(i);
+        }
+    }
+
+    /// Mention extraction + embedding staging for one record (read-only; a
+    /// rescan worker runs this off-thread).
+    fn stage_scan(&self, tweetbase: &TweetBase, ctrie: &CTrie, idx: usize) -> StagedScan {
+        let record = tweetbase.get_by_index(idx);
+        let mentions = extract_mentions(ctrie, &record.sentence, self.config.max_candidate_len);
+        let staged = mentions
+            .iter()
+            .map(|sp| {
                 let key = sp.surface_lower(&record.sentence);
                 let emb = self.local_embedding(record, sp);
-                let locally_detected = locally.iter().any(|l| l == sp);
-                staged.push((key, MentionRef { sid, span: *sp, locally_detected }, emb));
+                let locally_detected = record.local_spans.iter().any(|l| l == sp);
+                (
+                    key,
+                    MentionRef {
+                        sid: record.sentence.id,
+                        span: *sp,
+                        locally_detected,
+                    },
+                    emb,
+                )
+            })
+            .collect();
+        (idx, mentions, staged)
+    }
+
+    /// **Mention extraction + embedding pooling** over the given record
+    /// indices. New mentions (not yet in the CandidateBase) contribute
+    /// their local embeddings to the candidate pool; scanned records are
+    /// cleared from the dirty set.
+    ///
+    /// Extraction and embedding are read-only, so with `n_threads > 1` the
+    /// indices are sharded across scoped threads; the *apply* step replays
+    /// the staged results sequentially in the order given (callers pass
+    /// ascending stream order), which keeps pool-append order — and with it
+    /// every f32 sum and the candidate discovery order — bit-identical to
+    /// the sequential path.
+    fn scan_records(&self, state: &mut GlobalizerState, indices: &[usize], n_threads: usize) {
+        if indices.is_empty() {
+            return;
+        }
+        let results: Vec<StagedScan> = {
+            let tweetbase = &state.tweetbase;
+            let ctrie = &state.ctrie;
+            let n_threads = n_threads.max(1).min(indices.len());
+            if n_threads == 1 {
+                indices
+                    .iter()
+                    .map(|&i| self.stage_scan(tweetbase, ctrie, i))
+                    .collect()
+            } else {
+                let chunk = indices.len().div_ceil(n_threads);
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = indices
+                        .chunks(chunk)
+                        .map(|part| {
+                            scope.spawn(move || {
+                                part.iter()
+                                    .map(|&i| self.stage_scan(tweetbase, ctrie, i))
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("rescan worker panicked"))
+                        .collect()
+                })
             }
-            if let Some(rec) = state.tweetbase.get_mut(sid) {
-                rec.global_mentions = mentions;
-            }
+        };
+        for (idx, mentions, staged) in results {
+            state.tweetbase.get_mut_by_index(idx).global_mentions = mentions;
+            state.dirty.remove(&idx);
             for (key, mref, emb) in staged {
                 let rec = state.candidates.entry(&key);
-                if rec.mentions.iter().any(|m| m.sid == mref.sid && m.span == mref.span) {
-                    continue; // already pooled in an earlier pass
+                if rec.try_add_mention(mref) {
+                    rec.add_embedding(&emb);
                 }
-                rec.mentions.push(mref);
-                rec.add_embedding(&emb);
             }
         }
     }
@@ -200,22 +319,65 @@ impl<'a> Globalizer<'a> {
     /// candidate's mentions, the global evidence is too weak to overrule it
     /// (the paper: "it is rare that an entity found by Local EMD is missed
     /// at the global step").
-    fn classify_candidates(&self, state: &mut GlobalizerState, resolve_ambiguous: bool) {
-        for rec in state.candidates.iter_mut() {
-            if matches!(rec.label, CandidateLabel::Entity | CandidateLabel::NonEntity) {
-                continue;
-            }
+    /// Scoring is per-candidate and read-only, so with `n_threads > 1` the
+    /// unfrozen candidates are sharded across scoped threads; labels and
+    /// scores are then applied sequentially in discovery order (label
+    /// decisions never depend on other candidates, but the sequential apply
+    /// keeps the state evolution identical to the single-threaded path).
+    fn classify_candidates(
+        &self,
+        state: &mut GlobalizerState,
+        resolve_ambiguous: bool,
+        n_threads: usize,
+    ) {
+        let score_one = |rec: &CandidateRecord| {
             let feats = EntityClassifier::features(
                 &rec.pooled_embedding(self.config.pooling),
                 rec.token_len(),
             );
-            let p = self.classifier.predict(&feats);
+            self.classifier.predict(&feats)
+        };
+        // Phase 1 (parallelizable): score every unfrozen candidate.
+        let scores: Vec<Option<f32>> = {
+            let pending: Vec<Option<&CandidateRecord>> = state
+                .candidates
+                .iter()
+                .map(|rec| match rec.label {
+                    CandidateLabel::Entity | CandidateLabel::NonEntity => None,
+                    _ => Some(rec),
+                })
+                .collect();
+            let n_threads = n_threads.max(1).min(pending.len().max(1));
+            if n_threads == 1 {
+                pending.iter().map(|o| o.map(&score_one)).collect()
+            } else {
+                let chunk = pending.len().div_ceil(n_threads);
+                let score_ref = &score_one;
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = pending
+                        .chunks(chunk)
+                        .map(|part| {
+                            scope.spawn(move || {
+                                part.iter().map(|o| o.map(score_ref)).collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("classify worker panicked"))
+                        .collect()
+                })
+            }
+        };
+        // Phase 2 (sequential): apply labels in discovery order.
+        for (rec, p) in state.candidates.iter_mut().zip(scores) {
+            let Some(p) = p else { continue };
             rec.score = Some(p);
             rec.label = EntityClassifier::classify(p, &self.config);
             if resolve_ambiguous && rec.label == CandidateLabel::Ambiguous {
                 let locally = rec.mentions.iter().filter(|m| m.locally_detected).count();
-                let trust_local = self.config.trust_local_fallback
-                    && 2 * locally >= rec.mentions.len().max(1);
+                let trust_local =
+                    self.config.trust_local_fallback && 2 * locally >= rec.mentions.len().max(1);
                 rec.label = if p >= self.config.final_threshold || trust_local {
                     CandidateLabel::Entity
                 } else {
@@ -250,24 +412,106 @@ impl<'a> Globalizer<'a> {
         if self.config.ablation == Ablation::LocalOnly {
             return;
         }
-        let ids: Vec<SentenceId> = batch.iter().map(|s| s.id).collect();
-        self.scan_and_pool(state, &ids);
+        let indices: Vec<usize> = batch
+            .iter()
+            .filter_map(|s| state.tweetbase.index_of(s.id))
+            .collect();
+        self.scan_records(state, &indices, 1);
         if self.config.ablation == Ablation::Full {
-            self.classify_candidates(state, false);
+            self.classify_candidates(state, false, 1);
         }
     }
 
-    /// Close the stream: rescan *every* stored sentence against the final
-    /// CTrie (recovering mentions of late-discovered candidates in early
-    /// sentences), resolve the γ band, and emit final outputs.
-    pub fn finalize(&self, state: &mut GlobalizerState) -> GlobalizerOutput {
-        if self.config.ablation != Ablation::LocalOnly {
-            let ids: Vec<SentenceId> = state.tweetbase.iter().map(|r| r.sentence.id).collect();
-            self.scan_and_pool(state, &ids);
-            if self.config.ablation == Ablation::Full {
-                self.classify_candidates(state, true);
+    /// Adjacent-pair candidate promotion (stream close): two candidates
+    /// extracted adjacent to each other often enough are evidence of one
+    /// fragmented multi-token entity the local system never detects in
+    /// full, so their concatenation becomes a candidate of its own.
+    ///
+    /// Computed purely from the stored (up-to-date) `global_mentions`, in
+    /// stream order, so the promotion set is independent of batch schedule
+    /// and rescan strategy. Returns candidate token vectors in
+    /// first-adjacency stream order.
+    fn find_promotions(&self, state: &GlobalizerState) -> Vec<Vec<String>> {
+        let support = self.config.promotion_support;
+        if support == 0 {
+            return Vec::new();
+        }
+        let mut order: Vec<(String, String)> = Vec::new();
+        let mut adjacency: HashMap<(String, String), usize> = HashMap::new();
+        for rec in state.tweetbase.iter() {
+            // Extraction emits non-overlapping spans in ascending order, so
+            // consecutive entries are the only adjacency candidates.
+            for w in rec.global_mentions.windows(2) {
+                if w[0].end == w[1].start {
+                    let pair = (
+                        w[0].surface_lower(&rec.sentence),
+                        w[1].surface_lower(&rec.sentence),
+                    );
+                    let n = adjacency.entry(pair.clone()).or_insert(0);
+                    if *n == 0 {
+                        order.push(pair);
+                    }
+                    *n += 1;
+                }
             }
         }
+        let mut promotions = Vec::new();
+        for pair in order {
+            let adj = adjacency[&pair];
+            if adj < support {
+                continue;
+            }
+            let (Some(a), Some(b)) = (state.candidates.get(&pair.0), state.candidates.get(&pair.1))
+            else {
+                continue;
+            };
+            // The adjacency must dominate the rarer fragment: incidental
+            // co-occurrence of two frequent independent entities stays out.
+            if 2 * adj < a.frequency().min(b.frequency()) {
+                continue;
+            }
+            let mut tokens = a.tokens.clone();
+            tokens.extend(b.tokens.iter().cloned());
+            if tokens.len() > self.config.max_candidate_len || state.ctrie.contains(&tokens) {
+                continue;
+            }
+            promotions.push(tokens);
+        }
+        promotions
+    }
+
+    /// Closing rescan + promotion fixpoint. Returns `(n_rescanned,
+    /// n_promoted)`.
+    fn close_stream(&self, state: &mut GlobalizerState, n_threads: usize) -> (usize, usize) {
+        if self.config.ablation == Ablation::LocalOnly {
+            return (0, 0);
+        }
+        let mut n_rescanned = 0;
+        let mut n_promoted = 0;
+        loop {
+            let dirty: Vec<usize> = std::mem::take(&mut state.dirty).into_iter().collect();
+            n_rescanned += dirty.len();
+            self.scan_records(state, &dirty, n_threads);
+            let promotions = self.find_promotions(state);
+            if promotions.is_empty() {
+                break;
+            }
+            for tokens in promotions {
+                if state.ctrie.insert(&tokens) {
+                    n_promoted += 1;
+                    Self::mark_dirty(state, &tokens[0]);
+                }
+            }
+        }
+        (n_rescanned, n_promoted)
+    }
+
+    fn emit(
+        &self,
+        state: &GlobalizerState,
+        n_rescanned: usize,
+        n_promoted: usize,
+    ) -> GlobalizerOutput {
         let mut per_sentence = Vec::with_capacity(state.tweetbase.len());
         for rec in state.tweetbase.iter() {
             let spans = match self.config.ablation {
@@ -294,7 +538,73 @@ impl<'a> Globalizer<'a> {
             .iter()
             .filter(|c| c.label == CandidateLabel::Entity)
             .count();
-        GlobalizerOutput { per_sentence, n_candidates: state.candidates.len(), n_entities }
+        GlobalizerOutput {
+            per_sentence,
+            n_candidates: state.candidates.len(),
+            n_entities,
+            n_promoted,
+            n_rescanned,
+        }
+    }
+
+    /// Close the stream: rescan the stored sentences whose extraction could
+    /// have changed since their last scan (recovering mentions of
+    /// late-discovered candidates in early sentences), run adjacent-pair
+    /// promotion to a fixpoint, resolve the γ band, and emit final outputs.
+    ///
+    /// Rescan and classification shard across all available cores; outputs
+    /// are bit-identical to [`Globalizer::finalize_full_rescan`] regardless
+    /// of thread count or batch schedule.
+    pub fn finalize(&self, state: &mut GlobalizerState) -> GlobalizerOutput {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.finalize_with_threads(state, threads)
+    }
+
+    /// [`Globalizer::finalize`] with an explicit worker-thread count.
+    pub fn finalize_with_threads(
+        &self,
+        state: &mut GlobalizerState,
+        n_threads: usize,
+    ) -> GlobalizerOutput {
+        let (n_rescanned, n_promoted) = self.close_stream(state, n_threads);
+        if self.config.ablation == Ablation::Full {
+            self.classify_candidates(state, true, n_threads);
+        }
+        self.emit(state, n_rescanned, n_promoted)
+    }
+
+    /// Brute-force reference for [`Globalizer::finalize`]: rescans *every*
+    /// stored sentence (once per promotion round) instead of only the
+    /// possibly-affected ones. Kept as the oracle the incremental path is
+    /// tested bit-identical against, and as the baseline for the `rescan`
+    /// benchmark.
+    pub fn finalize_full_rescan(&self, state: &mut GlobalizerState) -> GlobalizerOutput {
+        if self.config.ablation == Ablation::LocalOnly {
+            return self.emit(state, 0, 0);
+        }
+        let mut n_rescanned = 0;
+        let mut n_promoted = 0;
+        loop {
+            state.dirty.clear();
+            let all: Vec<usize> = (0..state.tweetbase.len()).collect();
+            n_rescanned += all.len();
+            self.scan_records(state, &all, 1);
+            let promotions = self.find_promotions(state);
+            if promotions.is_empty() {
+                break;
+            }
+            for tokens in promotions {
+                if state.ctrie.insert(&tokens) {
+                    n_promoted += 1;
+                }
+            }
+        }
+        if self.config.ablation == Ablation::Full {
+            self.classify_candidates(state, true, 1);
+        }
+        self.emit(state, n_rescanned, n_promoted)
     }
 
     /// Convenience: run the whole pipeline over a fixed set of sentences in
@@ -330,17 +640,24 @@ pub fn index_stream(
         _ => SyntacticClass::COUNT,
     };
     let dummy = EntityClassifier::new(dim + 1, 0);
-    let g = Globalizer::new(local, phrase, &dummy, GlobalizerConfig {
-        ablation: Ablation::MentionExtraction,
-        ..config.clone()
-    });
+    let g = Globalizer::new(
+        local,
+        phrase,
+        &dummy,
+        GlobalizerConfig {
+            ablation: Ablation::MentionExtraction,
+            ..config.clone()
+        },
+    );
     let mut state = g.new_state();
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     g.process_batch_parallel(&mut state, sentences, threads);
-    // Closing rescan: candidates discovered late may have mentions in
-    // earlier sentences (dedup in the pool makes this idempotent).
-    let ids: Vec<SentenceId> = state.tweetbase.iter().map(|r| r.sentence.id).collect();
-    g.scan_and_pool(&mut state, &ids);
+    // Closing rescan (candidates discovered late may have mentions in
+    // earlier sentences) + promotion, shared with `finalize`, minus the
+    // classification stage.
+    g.close_stream(&mut state, threads);
     state
 }
 
@@ -400,7 +717,10 @@ mod tests {
                     .filter(|(_, t)| *t == "Coronavirus")
                     .map(|(i, _)| Span::new(i, i + 1))
                     .collect();
-                crate::local::LocalEmdOutput { spans, token_embeddings: None }
+                crate::local::LocalEmdOutput {
+                    spans,
+                    token_embeddings: None,
+                }
             }
         }
         let local = CaseSensitiveEmd;
@@ -427,7 +747,10 @@ mod tests {
         let stream = sents(&[&["the", "Italy", "report"]]);
         let (out, state) = g.run(&stream, 10);
         assert_eq!(out.n_candidates, 2);
-        assert_eq!(out.n_entities, 0, "reject-all classifier must drop every candidate");
+        assert_eq!(
+            out.n_entities, 0,
+            "reject-all classifier must drop every candidate"
+        );
         let total: usize = out.per_sentence.iter().map(|(_, v)| v.len()).sum();
         assert_eq!(total, 0);
         // Candidates carry scores after finalize.
@@ -441,13 +764,19 @@ mod tests {
     fn ablation_local_only_passes_through() {
         let local = LexiconEmd::new(["italy"]);
         let clf = accept_all(7);
-        let cfg = GlobalizerConfig { ablation: Ablation::LocalOnly, ..Default::default() };
+        let cfg = GlobalizerConfig {
+            ablation: Ablation::LocalOnly,
+            ..Default::default()
+        };
         let g = Globalizer::new(&local, None, &clf, cfg);
         let stream = sents(&[&["Italy", "and", "ITALY"], &["nothing", "here"]]);
         let (out, _) = g.run(&stream, 10);
         // Lexicon matches case-insensitively, so 2 mentions from sentence 0.
         assert_eq!(out.per_sentence[0].1.len(), 2);
-        assert_eq!(out.n_candidates, 0, "no global structures in LocalOnly mode");
+        assert_eq!(
+            out.n_candidates, 0,
+            "no global structures in LocalOnly mode"
+        );
     }
 
     #[test]
@@ -470,17 +799,26 @@ mod tests {
                     .filter(|(_, t)| *t == "Italy")
                     .map(|(i, _)| Span::new(i, i + 1))
                     .collect();
-                crate::local::LocalEmdOutput { spans, token_embeddings: None }
+                crate::local::LocalEmdOutput {
+                    spans,
+                    token_embeddings: None,
+                }
             }
         }
         let local = FirstOnlyEmd;
         let clf = reject_all(7); // would reject if consulted
-        let cfg = GlobalizerConfig { ablation: Ablation::MentionExtraction, ..Default::default() };
+        let cfg = GlobalizerConfig {
+            ablation: Ablation::MentionExtraction,
+            ..Default::default()
+        };
         let g = Globalizer::new(&local, None, &clf, cfg);
         let stream = sents(&[&["Italy", "rises"], &["italy", "again"]]);
         let (out, _) = g.run(&stream, 10);
         let total: usize = out.per_sentence.iter().map(|(_, v)| v.len()).sum();
-        assert_eq!(total, 2, "mention extraction emits all candidate mentions unfiltered");
+        assert_eq!(
+            total, 2,
+            "mention extraction emits all candidate mentions unfiltered"
+        );
     }
 
     #[test]
@@ -490,10 +828,7 @@ mod tests {
         let g = Globalizer::new(&local, None, &clf, GlobalizerConfig::default());
         let stream: Vec<Sentence> = (0..40)
             .map(|i| {
-                Sentence::from_tokens(
-                    SentenceId::new(i, 0),
-                    ["Italy", "fights", "covid", "again"],
-                )
+                Sentence::from_tokens(SentenceId::new(i, 0), ["Italy", "fights", "covid", "again"])
             })
             .collect();
         let mut s1 = g.new_state();
@@ -518,8 +853,16 @@ mod tests {
         let g = Globalizer::new(&local, None, &clf, GlobalizerConfig::default());
         let (out_single, _) = g.run(&stream, 100);
         let (out_batched, _) = g.run(&stream, 1);
-        let a: Vec<_> = out_single.per_sentence.iter().map(|(_, v)| v.clone()).collect();
-        let b: Vec<_> = out_batched.per_sentence.iter().map(|(_, v)| v.clone()).collect();
+        let a: Vec<_> = out_single
+            .per_sentence
+            .iter()
+            .map(|(_, v)| v.clone())
+            .collect();
+        let b: Vec<_> = out_batched
+            .per_sentence
+            .iter()
+            .map(|(_, v)| v.clone())
+            .collect();
         assert_eq!(a, b, "batching must not change final outputs");
     }
 
@@ -546,7 +889,10 @@ mod tests {
                 } else {
                     vec![]
                 };
-                crate::local::LocalEmdOutput { spans, token_embeddings: None }
+                crate::local::LocalEmdOutput {
+                    spans,
+                    token_embeddings: None,
+                }
             }
         }
         let local = LastOnly;
@@ -563,7 +909,11 @@ mod tests {
             g.process_batch(&mut state, std::slice::from_ref(s));
         }
         let out = g.finalize(&mut state);
-        assert_eq!(out.per_sentence[0].1.len(), 1, "early mention recovered at finalize");
+        assert_eq!(
+            out.per_sentence[0].1.len(),
+            1,
+            "early mention recovered at finalize"
+        );
         assert_eq!(out.per_sentence[2].1.len(), 1);
     }
 
@@ -598,14 +948,260 @@ mod tests {
                 } else {
                     vec![Span::new(1, 2)] // just "Andy"
                 };
-                crate::local::LocalEmdOutput { spans, token_embeddings: None }
+                crate::local::LocalEmdOutput {
+                    spans,
+                    token_embeddings: None,
+                }
             }
         }
         let local = PartialEmd;
         let clf = accept_all(7);
         let g = Globalizer::new(&local, None, &clf, GlobalizerConfig::default());
-        let stream = sents(&[&["Andy", "Beshear", "talks"], &["gov", "Andy", "Beshear", "walks"]]);
+        let stream = sents(&[
+            &["Andy", "Beshear", "talks"],
+            &["gov", "Andy", "Beshear", "walks"],
+        ]);
         let (out, _) = g.run(&stream, 10);
-        assert!(out.per_sentence[1].1.contains(&Span::new(1, 3)), "full mention recovered");
+        assert!(
+            out.per_sentence[1].1.contains(&Span::new(1, 3)),
+            "full mention recovered"
+        );
+    }
+
+    #[test]
+    fn incremental_finalize_matches_full_rescan() {
+        // Same ingested state, closed two ways: the incremental dirty-set
+        // rescan (parallel) and the brute-force everything rescan must be
+        // bit-identical — outputs, candidate set, and entity verdicts.
+        let local = LexiconEmd::new(["italy", "beshear", "covid"]);
+        let clf = accept_all(7);
+        let g = Globalizer::new(&local, None, &clf, GlobalizerConfig::default());
+        let stream = sents(&[
+            &["Italy", "reports", "covid", "cases"],
+            &["nothing", "to", "see"],
+            &["Beshear", "on", "Covid", "in", "italy"],
+            &["beshear", "speaks", "again"],
+        ]);
+        let mut s1 = g.new_state();
+        for s in &stream {
+            g.process_batch(&mut s1, std::slice::from_ref(s));
+        }
+        let mut s2 = s1.clone();
+        let inc = g.finalize_with_threads(&mut s1, 4);
+        let full = g.finalize_full_rescan(&mut s2);
+        assert_eq!(inc.per_sentence, full.per_sentence);
+        assert_eq!(inc.n_candidates, full.n_candidates);
+        assert_eq!(inc.n_entities, full.n_entities);
+        assert_eq!(inc.n_promoted, full.n_promoted);
+        let keys1: Vec<&str> = s1.candidates.iter().map(|c| c.key.as_str()).collect();
+        let keys2: Vec<&str> = s2.candidates.iter().map(|c| c.key.as_str()).collect();
+        assert_eq!(keys1, keys2, "candidate discovery order must match");
+        for (a, b) in s1.candidates.iter().zip(s2.candidates.iter()) {
+            assert_eq!(
+                a.global_embedding(),
+                b.global_embedding(),
+                "pooled sums must match"
+            );
+            assert_eq!(a.mentions, b.mentions);
+        }
+    }
+
+    #[test]
+    fn finalize_rescans_only_affected_sentences() {
+        // Candidate discovered in the last batch: only the earlier sentences
+        // containing its first token are rescanned at close, not the stream.
+        let local = LexiconEmd::new(["beshear"]);
+        let clf = accept_all(7);
+        let g = Globalizer::new(&local, None, &clf, GlobalizerConfig::default());
+        let stream = sents(&[
+            &["beshear", "speaks", "today"],
+            &["no", "entities", "here"],
+            &["still", "nothing"],
+            &["Beshear", "again"],
+        ]);
+        let mut state = g.new_state();
+        for s in &stream {
+            g.process_batch(&mut state, std::slice::from_ref(s));
+        }
+        let out = g.finalize(&mut state);
+        // Sentence 0 was dirtied by the batch-3 trie insert... no — the
+        // candidate "beshear" is registered at batch 0 already (local
+        // detects it there), so every sentence is scanned within its own
+        // batch and nothing is left dirty at close.
+        assert_eq!(
+            out.n_rescanned, 0,
+            "no sentence can be affected by later candidates"
+        );
+        let total: usize = out.per_sentence.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn finalize_rescan_count_is_incremental() {
+        // "beshear" only becomes a candidate at the last batch; of the three
+        // earlier sentences exactly one contains the token and only that one
+        // is rescanned at close.
+        #[derive(Debug)]
+        struct LastOnly;
+        impl LocalEmd for LastOnly {
+            fn name(&self) -> &str {
+                "last-only"
+            }
+            fn embedding_dim(&self) -> Option<usize> {
+                None
+            }
+            fn process(&self, s: &Sentence) -> crate::local::LocalEmdOutput {
+                let spans = if s.id.tweet_id == 3 {
+                    vec![Span::new(0, 1)]
+                } else {
+                    vec![]
+                };
+                crate::local::LocalEmdOutput {
+                    spans,
+                    token_embeddings: None,
+                }
+            }
+        }
+        let local = LastOnly;
+        let clf = accept_all(7);
+        let g = Globalizer::new(&local, None, &clf, GlobalizerConfig::default());
+        let stream = sents(&[
+            &["beshear", "speaks", "today"],
+            &["no", "entities", "here"],
+            &["still", "nothing"],
+            &["Beshear", "again"],
+        ]);
+        let mut state = g.new_state();
+        for s in &stream {
+            g.process_batch(&mut state, std::slice::from_ref(s));
+        }
+        let out = g.finalize(&mut state);
+        assert_eq!(
+            out.n_rescanned, 1,
+            "only the one affected early sentence is rescanned"
+        );
+        assert_eq!(out.per_sentence[0].1.len(), 1, "early mention recovered");
+        assert_eq!(out.per_sentence[3].1.len(), 1);
+    }
+
+    #[test]
+    fn adjacent_fragments_promoted_to_full_candidate() {
+        // The local system only ever detects the fragments "moross" and
+        // "lumsa", never the bigram. With enough adjacency support the
+        // promotion pass must recover the full two-token mention.
+        let local = LexiconEmd::new(["moross", "lumsa"]);
+        let clf = accept_all(7);
+        let g = Globalizer::new(&local, None, &clf, GlobalizerConfig::default());
+        let stream = sents(&[
+            &["Moross", "Lumsa", "quarantined"],
+            &["cases", "at", "Moross", "Lumsa", "rise"],
+            &["Moross", "Lumsa", "closed"],
+        ]);
+        let (out, state) = g.run(&stream, 10);
+        assert_eq!(out.n_promoted, 1);
+        assert!(state.ctrie.contains(&["moross", "lumsa"]));
+        assert_eq!(out.per_sentence[0].1, vec![Span::new(0, 2)]);
+        assert_eq!(out.per_sentence[1].1, vec![Span::new(2, 4)]);
+        assert_eq!(out.per_sentence[2].1, vec![Span::new(0, 2)]);
+        // The promoted candidate pooled one embedding per recovered mention.
+        let promoted = state.candidates.get("moross lumsa").unwrap();
+        assert_eq!(promoted.frequency(), 3);
+        assert_eq!(promoted.n_pooled(), 3);
+    }
+
+    #[test]
+    fn rare_adjacency_not_promoted() {
+        // One incidental adjacency is far below the default support of 3:
+        // the fragments stay separate candidates.
+        let local = LexiconEmd::new(["italy", "canada"]);
+        let clf = accept_all(7);
+        let g = Globalizer::new(&local, None, &clf, GlobalizerConfig::default());
+        let stream = sents(&[
+            &["Italy", "Canada", "trade"],
+            &["Italy", "alone"],
+            &["Canada", "alone"],
+        ]);
+        let (out, state) = g.run(&stream, 10);
+        assert_eq!(out.n_promoted, 0);
+        assert!(!state.ctrie.contains(&["italy", "canada"]));
+        assert_eq!(
+            out.per_sentence[0].1,
+            vec![Span::new(0, 1), Span::new(1, 2)]
+        );
+    }
+
+    #[test]
+    fn promotion_disabled_by_zero_support() {
+        let local = LexiconEmd::new(["moross", "lumsa"]);
+        let clf = accept_all(7);
+        let cfg = GlobalizerConfig {
+            promotion_support: 0,
+            ..Default::default()
+        };
+        let g = Globalizer::new(&local, None, &clf, cfg);
+        let stream = sents(&[
+            &["Moross", "Lumsa", "quarantined"],
+            &["Moross", "Lumsa", "rises"],
+            &["Moross", "Lumsa", "closed"],
+        ]);
+        let (out, _) = g.run(&stream, 10);
+        assert_eq!(out.n_promoted, 0);
+        assert_eq!(
+            out.per_sentence[0].1,
+            vec![Span::new(0, 1), Span::new(1, 2)]
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_local_spans_dropped_at_ingestion() {
+        // A misbehaving local system emits spans past the end of the
+        // sentence and empty spans. They must be dropped once at ingestion:
+        // not panic the rescan, not appear in LocalOnly outputs, not count
+        // as locally-detected evidence.
+        #[derive(Debug)]
+        struct Misbehaving;
+        impl LocalEmd for Misbehaving {
+            fn name(&self) -> &str {
+                "misbehaving"
+            }
+            fn embedding_dim(&self) -> Option<usize> {
+                None
+            }
+            fn process(&self, s: &Sentence) -> crate::local::LocalEmdOutput {
+                crate::local::LocalEmdOutput {
+                    spans: vec![
+                        Span::new(0, 1),                 // valid
+                        Span::new(1, s.len() + 3),       // out of bounds
+                        Span::new(2, 2),                 // empty
+                        Span::new(s.len(), s.len() + 1), // fully past the end
+                    ],
+                    token_embeddings: None,
+                }
+            }
+        }
+        let local = Misbehaving;
+        let clf = accept_all(7);
+        for ablation in [
+            Ablation::LocalOnly,
+            Ablation::MentionExtraction,
+            Ablation::Full,
+        ] {
+            let cfg = GlobalizerConfig {
+                ablation,
+                ..Default::default()
+            };
+            let g = Globalizer::new(&local, None, &clf, cfg);
+            let stream = sents(&[&["Italy", "reports", "cases"]]);
+            let (out, state) = g.run(&stream, 10);
+            assert_eq!(
+                out.per_sentence[0].1,
+                vec![Span::new(0, 1)],
+                "only the valid span survives under {ablation:?}"
+            );
+            if ablation != Ablation::LocalOnly {
+                let rec = state.candidates.get("italy").unwrap();
+                assert!(rec.mentions.iter().all(|m| m.locally_detected));
+            }
+        }
     }
 }

@@ -53,7 +53,10 @@ impl LexiconEmd {
     /// Build from an iterator of entries.
     pub fn new<I: IntoIterator<Item = S>, S: Into<String>>(entries: I) -> Self {
         LexiconEmd {
-            lexicon: entries.into_iter().map(|s| s.into().to_lowercase()).collect(),
+            lexicon: entries
+                .into_iter()
+                .map(|s| s.into().to_lowercase())
+                .collect(),
         }
     }
 }
@@ -74,7 +77,10 @@ impl LocalEmd for LexiconEmd {
             .filter(|(_, t)| self.lexicon.contains(&t.to_lowercase()))
             .map(|(i, _)| Span::new(i, i + 1))
             .collect();
-        LocalEmdOutput { spans, token_embeddings: None }
+        LocalEmdOutput {
+            spans,
+            token_embeddings: None,
+        }
     }
 }
 

@@ -50,7 +50,13 @@ pub struct StsTrainConfig {
 
 impl Default for StsTrainConfig {
     fn default() -> Self {
-        StsTrainConfig { epochs: 200, lr: 0.001, batch_size: 32, patience: 25, seed: 42 }
+        StsTrainConfig {
+            epochs: 200,
+            lr: 0.001,
+            batch_size: 32,
+            patience: 25,
+            seed: 42,
+        }
     }
 }
 
@@ -70,7 +76,9 @@ impl PhraseEmbedder {
     /// phrase embeddings.
     pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> PhraseEmbedder {
         let mut rng = StdRng::seed_from_u64(seed);
-        PhraseEmbedder { dense: Dense::new(in_dim, out_dim, &mut rng) }
+        PhraseEmbedder {
+            dense: Dense::new(in_dim, out_dim, &mut rng),
+        }
     }
 
     /// Input (token-embedding) dimensionality.
@@ -166,7 +174,11 @@ impl PhraseEmbedder {
         }
         self.dense.w.value = best_w;
         self.dense.b.value = best_b;
-        StsTrainReport { best_val_mse: best_val, best_epoch, epochs_run }
+        StsTrainReport {
+            best_val_mse: best_val,
+            best_epoch,
+            epochs_run,
+        }
     }
 
     /// Accumulate the gradient of `(cos(u,v) − y)²` into the dense layer,
@@ -223,8 +235,8 @@ mod tests {
                 let mut b = rand_rows(4, d, &mut rng);
                 if similar {
                     for r in 0..4 {
-                        for c in 0..d {
-                            let v = 3.0 * latent[c];
+                        for (c, l) in latent.iter().enumerate() {
+                            let v = 3.0 * l;
                             a.data[r * d + c] += v;
                             b.data[r * d + c] += v;
                         }
@@ -271,11 +283,15 @@ mod tests {
         let val = toy_sts(40, 6, 4);
         let mut pe = PhraseEmbedder::new(6, 4, 5);
         let before = pe.mse(&val);
-        let report = pe.train_sts(&train, &val, &StsTrainConfig {
-            epochs: 60,
-            patience: 60,
-            ..Default::default()
-        });
+        let report = pe.train_sts(
+            &train,
+            &val,
+            &StsTrainConfig {
+                epochs: 60,
+                patience: 60,
+                ..Default::default()
+            },
+        );
         let after = pe.mse(&val);
         assert!(
             after < before * 0.8,
@@ -288,11 +304,15 @@ mod tests {
     fn similar_pairs_score_higher_after_training() {
         let train = toy_sts(150, 6, 6);
         let mut pe = PhraseEmbedder::new(6, 4, 7);
-        pe.train_sts(&train, &train[..30].to_vec(), &StsTrainConfig {
-            epochs: 60,
-            patience: 60,
-            ..Default::default()
-        });
+        pe.train_sts(
+            &train,
+            &train[..30],
+            &StsTrainConfig {
+                epochs: 60,
+                patience: 60,
+                ..Default::default()
+            },
+        );
         let test = toy_sts(40, 6, 8);
         let mut sim_sum = 0.0;
         let mut dis_sum = 0.0;
@@ -319,11 +339,15 @@ mod tests {
         let train = toy_sts(40, 4, 9);
         let val = toy_sts(10, 4, 10);
         let mut pe = PhraseEmbedder::new(4, 3, 11);
-        let report = pe.train_sts(&train, &val, &StsTrainConfig {
-            epochs: 1000,
-            patience: 3,
-            ..Default::default()
-        });
+        let report = pe.train_sts(
+            &train,
+            &val,
+            &StsTrainConfig {
+                epochs: 1000,
+                patience: 3,
+                ..Default::default()
+            },
+        );
         assert!(report.epochs_run < 1000, "patience must stop training");
     }
 }

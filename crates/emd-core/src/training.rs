@@ -6,9 +6,9 @@
 //! each discovered candidate *entity* iff its (case-insensitive) surface
 //! matches a gold mention surface in the stream.
 
-use crate::globalizer::index_stream;
 use crate::classifier::EntityClassifier;
 use crate::config::GlobalizerConfig;
+use crate::globalizer::index_stream;
 use crate::local::LocalEmd;
 use crate::phrase_embedder::PhraseEmbedder;
 use emd_text::token::Dataset;
@@ -22,7 +22,11 @@ pub fn harvest_training_data(
     config: &GlobalizerConfig,
     dataset: &Dataset,
 ) -> Vec<(Vec<f32>, bool)> {
-    let sentences: Vec<_> = dataset.sentences.iter().map(|a| a.sentence.clone()).collect();
+    let sentences: Vec<_> = dataset
+        .sentences
+        .iter()
+        .map(|a| a.sentence.clone())
+        .collect();
     let state = index_stream(local, phrase, config, &sentences);
 
     // Gold surface keys (case-insensitive).
@@ -61,10 +65,18 @@ mod tests {
             gold: vec![Span::new(0, 1)],
         };
         let s2 = AnnotatedSentence {
-            sentence: Sentence::from_tokens(SentenceId::new(1, 0), ["the", "report", "from", "italy"]),
+            sentence: Sentence::from_tokens(
+                SentenceId::new(1, 0),
+                ["the", "report", "from", "italy"],
+            ),
             gold: vec![Span::new(3, 4)],
         };
-        Dataset { name: "toy".into(), kind: DatasetKind::Streaming, n_topics: 1, sentences: vec![s1, s2] }
+        Dataset {
+            name: "toy".into(),
+            kind: DatasetKind::Streaming,
+            n_topics: 1,
+            sentences: vec![s1, s2],
+        }
     }
 
     #[test]
@@ -79,7 +91,10 @@ mod tests {
         assert!(data.iter().all(|(f, _)| f.len() == 7));
         let n_pos = data.iter().filter(|(_, y)| *y).count();
         assert!(n_pos >= 1, "italy rows are positive");
-        assert!(n_pos < data.len(), "the false candidate contributes negatives");
+        assert!(
+            n_pos < data.len(),
+            "the false candidate contributes negatives"
+        );
     }
 
     #[test]

@@ -24,10 +24,22 @@ pub struct TweetRecord {
 }
 
 /// The stream-wide sentence store.
+///
+/// Besides the id → record map, the store maintains an inverted index from
+/// lower-cased token to the (stream-ordered) record indices of sentences
+/// containing that token. Global EMD uses it to find which sentences a
+/// newly discovered candidate could possibly match — a candidate insertion
+/// only changes a sentence's extraction if the sentence contains the
+/// candidate's first token — so the close-of-stream rescan touches only
+/// those sentences instead of the whole stream.
 #[derive(Debug, Clone, Default)]
 pub struct TweetBase {
     records: Vec<TweetRecord>,
     index: HashMap<SentenceId, usize>,
+    /// Lower-cased token → ascending record indices of sentences containing
+    /// it. Postings for a replaced record are left in place (a harmless
+    /// superset: rescans re-check the sentence text anyway).
+    token_index: HashMap<String, Vec<usize>>,
 }
 
 impl TweetBase {
@@ -40,7 +52,7 @@ impl TweetBase {
     /// previous record with the same id (streams should not repeat ids).
     pub fn insert(&mut self, record: TweetRecord) -> usize {
         let id = record.sentence.id;
-        if let Some(&i) = self.index.get(&id) {
+        let i = if let Some(&i) = self.index.get(&id) {
             self.records[i] = record;
             i
         } else {
@@ -48,7 +60,42 @@ impl TweetBase {
             self.index.insert(id, i);
             self.records.push(record);
             i
+        };
+        for text in self.records[i].sentence.texts() {
+            let postings = self.token_index.entry(text.to_lowercase()).or_default();
+            // Pushes for one record are consecutive, so a last-element check
+            // dedups repeated tokens and keeps the postings sorted.
+            if postings.last() != Some(&i) {
+                postings.push(i);
+            }
         }
+        i
+    }
+
+    /// Ascending record indices of sentences containing the (already
+    /// lower-cased) token. May include indices of records that were later
+    /// replaced under the same id; callers re-scan the sentence, so stale
+    /// entries cost a lookup, never correctness.
+    pub fn indices_with_token(&self, token_lower: &str) -> &[usize] {
+        self.token_index
+            .get(token_lower)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Record by stream-order index.
+    pub fn get_by_index(&self, i: usize) -> &TweetRecord {
+        &self.records[i]
+    }
+
+    /// Mutable record by stream-order index.
+    pub fn get_mut_by_index(&mut self, i: usize) -> &mut TweetRecord {
+        &mut self.records[i]
+    }
+
+    /// Stream-order index for a sentence id.
+    pub fn index_of(&self, id: SentenceId) -> Option<usize> {
+        self.index.get(&id).copied()
     }
 
     /// Lookup by sentence id.
@@ -128,10 +175,72 @@ mod tests {
     }
 
     #[test]
+    fn token_index_finds_sentences() {
+        let mut tb = TweetBase::new();
+        tb.insert(TweetRecord {
+            sentence: Sentence::from_tokens(SentenceId::new(1, 0), ["Italy", "report"]),
+            token_embeddings: None,
+            local_spans: vec![],
+            global_mentions: vec![],
+        });
+        tb.insert(TweetRecord {
+            sentence: Sentence::from_tokens(SentenceId::new(2, 0), ["italy", "italy", "again"]),
+            token_embeddings: None,
+            local_spans: vec![],
+            global_mentions: vec![],
+        });
+        // Case-folded, deduped per record, ascending order.
+        assert_eq!(tb.indices_with_token("italy"), &[0, 1]);
+        assert_eq!(tb.indices_with_token("report"), &[0]);
+        assert_eq!(tb.indices_with_token("missing"), &[] as &[usize]);
+    }
+
+    #[test]
+    fn token_index_survives_replacement() {
+        let mut tb = TweetBase::new();
+        tb.insert(TweetRecord {
+            sentence: Sentence::from_tokens(SentenceId::new(1, 0), ["old", "text"]),
+            token_embeddings: None,
+            local_spans: vec![],
+            global_mentions: vec![],
+        });
+        tb.insert(TweetRecord {
+            sentence: Sentence::from_tokens(SentenceId::new(1, 0), ["new", "text"]),
+            token_embeddings: None,
+            local_spans: vec![],
+            global_mentions: vec![],
+        });
+        // The new token is indexed; the stale posting for "old" may remain
+        // (documented superset behaviour) but must point at the live record.
+        assert_eq!(tb.indices_with_token("new"), &[0]);
+        assert_eq!(tb.indices_with_token("text"), &[0]);
+        assert_eq!(tb.len(), 1);
+        for &i in tb.indices_with_token("old") {
+            assert_eq!(tb.get_by_index(i).sentence.id, SentenceId::new(1, 0));
+        }
+    }
+
+    #[test]
+    fn by_index_accessors() {
+        let mut tb = TweetBase::new();
+        tb.insert(rec(7));
+        assert_eq!(tb.index_of(SentenceId::new(7, 0)), Some(0));
+        assert_eq!(tb.get_by_index(0).sentence.id.tweet_id, 7);
+        tb.get_mut_by_index(0).global_mentions.push(Span::new(0, 1));
+        assert_eq!(tb.get_by_index(0).global_mentions.len(), 1);
+    }
+
+    #[test]
     fn mutable_update() {
         let mut tb = TweetBase::new();
         tb.insert(rec(1));
-        tb.get_mut(SentenceId::new(1, 0)).unwrap().global_mentions.push(Span::new(0, 2));
-        assert_eq!(tb.get(SentenceId::new(1, 0)).unwrap().global_mentions.len(), 1);
+        tb.get_mut(SentenceId::new(1, 0))
+            .unwrap()
+            .global_mentions
+            .push(Span::new(0, 2));
+        assert_eq!(
+            tb.get(SentenceId::new(1, 0)).unwrap().global_mentions.len(),
+            1
+        );
     }
 }

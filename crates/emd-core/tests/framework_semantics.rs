@@ -47,7 +47,11 @@ fn invalid_local_spans_are_ignored() {
     let clf = biased_classifier(7, 10.0);
     let g = Globalizer::new(&local, None, &clf, GlobalizerConfig::default());
     let (out, state) = g.run(&sents(&[&["a", "b"], &["c"]]), 8);
-    assert_eq!(state.ctrie.len(), 0, "oversized spans must not register candidates");
+    assert_eq!(
+        state.ctrie.len(),
+        0,
+        "oversized spans must not register candidates"
+    );
     let total: usize = out.per_sentence.iter().map(|(_, v)| v.len()).sum();
     assert_eq!(total, 0);
 }
@@ -64,8 +68,15 @@ impl LocalEmd for LongSpanEmd {
         None
     }
     fn process(&self, s: &Sentence) -> LocalEmdOutput {
-        let spans = if s.len() >= 5 { vec![Span::new(0, 5)] } else { vec![] };
-        LocalEmdOutput { spans, token_embeddings: None }
+        let spans = if s.len() >= 5 {
+            vec![Span::new(0, 5)]
+        } else {
+            vec![]
+        };
+        LocalEmdOutput {
+            spans,
+            token_embeddings: None,
+        }
     }
 }
 
@@ -73,7 +84,10 @@ impl LocalEmd for LongSpanEmd {
 fn max_candidate_len_enforced() {
     let local = LongSpanEmd;
     let clf = biased_classifier(7, 10.0);
-    let cfg = GlobalizerConfig { max_candidate_len: 3, ..Default::default() };
+    let cfg = GlobalizerConfig {
+        max_candidate_len: 3,
+        ..Default::default()
+    };
     let g = Globalizer::new(&local, None, &clf, cfg);
     let (_, state) = g.run(&sents(&[&["a", "b", "c", "d", "e"]]), 8);
     assert!(state.ctrie.is_empty());
@@ -136,8 +150,16 @@ fn trust_local_fallback_changes_gamma_band_only() {
         let (out, _) = g.run(&stream, 8);
         out.per_sentence[0].1.len()
     };
-    assert_eq!(run(true), 1, "fallback accepts the locally-detected candidate");
-    assert_eq!(run(false), 0, "without fallback the high threshold rejects it");
+    assert_eq!(
+        run(true),
+        1,
+        "fallback accepts the locally-detected candidate"
+    );
+    assert_eq!(
+        run(false),
+        0,
+        "without fallback the high threshold rejects it"
+    );
 }
 
 #[test]
@@ -146,7 +168,10 @@ fn pooling_modes_agree_for_single_mention() {
     let mut cb = CandidateBase::new(3);
     let r = cb.entry("solo");
     r.add_embedding(&[0.3, -0.2, 0.9]);
-    assert_eq!(r.pooled_embedding(Pooling::Mean), r.pooled_embedding(Pooling::Max));
+    assert_eq!(
+        r.pooled_embedding(Pooling::Mean),
+        r.pooled_embedding(Pooling::Max)
+    );
 }
 
 #[test]
@@ -169,7 +194,10 @@ fn mention_refs_distinguish_local_vs_recovered() {
                 .filter(|(_, t)| *t == "Italy")
                 .map(|(i, _)| Span::new(i, i + 1))
                 .collect();
-            LocalEmdOutput { spans, token_embeddings: None }
+            LocalEmdOutput {
+                spans,
+                token_embeddings: None,
+            }
         }
     }
     let local = CaseSensitive;
@@ -177,7 +205,11 @@ fn mention_refs_distinguish_local_vs_recovered() {
     let g = Globalizer::new(&local, None, &clf, GlobalizerConfig::default());
     let (_, state) = g.run(&sents(&[&["Italy", "x"], &["italy", "y"]]), 8);
     let rec = state.candidates.get("italy").unwrap();
-    let flags: Vec<bool> = rec.mentions.iter().map(|m: &MentionRef| m.locally_detected).collect();
+    let flags: Vec<bool> = rec
+        .mentions
+        .iter()
+        .map(|m: &MentionRef| m.locally_detected)
+        .collect();
     assert_eq!(flags.iter().filter(|f| **f).count(), 1);
     assert_eq!(flags.len(), 2);
 }
@@ -186,7 +218,10 @@ fn mention_refs_distinguish_local_vs_recovered() {
 fn local_only_never_builds_global_state() {
     let local = LexiconEmd::new(["italy"]);
     let clf = biased_classifier(7, 10.0);
-    let cfg = GlobalizerConfig { ablation: Ablation::LocalOnly, ..Default::default() };
+    let cfg = GlobalizerConfig {
+        ablation: Ablation::LocalOnly,
+        ..Default::default()
+    };
     let g = Globalizer::new(&local, None, &clf, cfg);
     let (_, state) = g.run(&sents(&[&["Italy", "italy"]]), 8);
     assert!(state.candidates.is_empty());

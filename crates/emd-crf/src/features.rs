@@ -26,7 +26,11 @@ pub struct FeatureConfig {
 
 impl Default for FeatureConfig {
     fn default() -> Self {
-        FeatureConfig { n_buckets: 1 << 16, use_gazetteer: true, use_pos: true }
+        FeatureConfig {
+            n_buckets: 1 << 16,
+            use_gazetteer: true,
+            use_pos: true,
+        }
     }
 }
 
@@ -183,7 +187,10 @@ mod tests {
         let b = hash_feature("w0=covid", 1 << 10);
         assert_eq!(a, b);
         assert!(a < (1 << 10));
-        assert_ne!(hash_feature("w0=covid", 1 << 16), hash_feature("w0=italy", 1 << 16));
+        assert_ne!(
+            hash_feature("w0=covid", 1 << 16),
+            hash_feature("w0=italy", 1 << 16)
+        );
     }
 
     #[test]
@@ -194,7 +201,10 @@ mod tests {
         let feats = extract_features(&toks, &pos, &gaz, true, &FeatureConfig::default());
         assert_eq!(feats.len(), 4);
         for f in &feats {
-            assert!(f.len() >= 10, "each position should have a rich feature set");
+            assert!(
+                f.len() >= 10,
+                "each position should have a rich feature set"
+            );
         }
     }
 
@@ -215,8 +225,13 @@ mod tests {
         let mut gaz = Gazetteer::new();
         gaz.insert(GazCategory::Location, "Italy");
         let with = extract_features(&toks, &pos, &gaz, true, &FeatureConfig::default());
-        let without =
-            extract_features(&toks, &pos, &Gazetteer::new(), true, &FeatureConfig::default());
+        let without = extract_features(
+            &toks,
+            &pos,
+            &Gazetteer::new(),
+            true,
+            &FeatureConfig::default(),
+        );
         assert_eq!(with[1].len(), without[1].len() + 1);
     }
 

@@ -46,7 +46,13 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { epochs: 8, lr: 0.05, l2: 1e-6, batch_size: 8, seed: 42 }
+        TrainConfig {
+            epochs: 8,
+            lr: 0.05,
+            l2: 1e-6,
+            batch_size: 8,
+            seed: 42,
+        }
     }
 }
 
@@ -145,7 +151,10 @@ impl CrfTagger {
 
     /// Decode straight to BIO tags.
     pub fn decode_bio(&self, feats: &[Vec<u32>]) -> Vec<Bio> {
-        self.decode(feats).into_iter().map(Bio::from_index).collect()
+        self.decode(feats)
+            .into_iter()
+            .map(Bio::from_index)
+            .collect()
     }
 }
 
@@ -166,7 +175,11 @@ mod tests {
     use emd_text::token::{bio_to_spans, spans_to_bio, Span};
 
     fn cfg() -> FeatureConfig {
-        FeatureConfig { n_buckets: 1 << 12, use_gazetteer: true, use_pos: true }
+        FeatureConfig {
+            n_buckets: 1 << 12,
+            use_gazetteer: true,
+            use_pos: true,
+        }
     }
 
     fn example(words: &[&str], spans: &[Span]) -> Example {
@@ -174,23 +187,35 @@ mod tests {
         let pos = tag_sentence(&toks);
         let gaz = Gazetteer::new();
         let feats = extract_features(&toks, &pos, &gaz, true, &cfg());
-        let gold = spans_to_bio(spans, toks.len()).iter().map(|b| b.index()).collect();
+        let gold = spans_to_bio(spans, toks.len())
+            .iter()
+            .map(|b| b.index())
+            .collect();
         (feats, gold)
     }
 
     fn toy_corpus() -> Vec<Example> {
         vec![
-            example(&["Covid", "hits", "Italy", "hard"], &[Span::new(0, 1), Span::new(2, 3)]),
+            example(
+                &["Covid", "hits", "Italy", "hard"],
+                &[Span::new(0, 1), Span::new(2, 3)],
+            ),
             example(&["Italy", "locks", "down", "fast"], &[Span::new(0, 1)]),
             example(&["cases", "rise", "in", "Italy"], &[Span::new(3, 4)]),
-            example(&["Trump", "visits", "Kentucky", "today"], &[
-                Span::new(0, 1),
-                Span::new(2, 3),
-            ]),
-            example(&["governor", "Andy", "Beshear", "speaks"], &[Span::new(1, 3)]),
+            example(
+                &["Trump", "visits", "Kentucky", "today"],
+                &[Span::new(0, 1), Span::new(2, 3)],
+            ),
+            example(
+                &["governor", "Andy", "Beshear", "speaks"],
+                &[Span::new(1, 3)],
+            ),
             example(&["the", "virus", "spreads", "fast"], &[]),
             example(&["people", "stay", "at", "home"], &[]),
-            example(&["Beshear", "warns", "about", "Covid"], &[Span::new(0, 1), Span::new(3, 4)]),
+            example(
+                &["Beshear", "warns", "about", "Covid"],
+                &[Span::new(0, 1), Span::new(3, 4)],
+            ),
         ]
     }
 
@@ -198,7 +223,13 @@ mod tests {
     fn training_reduces_loss() {
         let data = toy_corpus();
         let mut tagger = CrfTagger::new(&cfg());
-        let hist = tagger.train(&data, &TrainConfig { epochs: 10, ..Default::default() });
+        let hist = tagger.train(
+            &data,
+            &TrainConfig {
+                epochs: 10,
+                ..Default::default()
+            },
+        );
         assert!(hist.last().unwrap() < &(hist[0] * 0.5), "{hist:?}");
     }
 
@@ -206,7 +237,14 @@ mod tests {
     fn learns_training_set() {
         let data = toy_corpus();
         let mut tagger = CrfTagger::new(&cfg());
-        tagger.train(&data, &TrainConfig { epochs: 30, lr: 0.08, ..Default::default() });
+        tagger.train(
+            &data,
+            &TrainConfig {
+                epochs: 30,
+                lr: 0.08,
+                ..Default::default()
+            },
+        );
         let mut correct = 0;
         let mut total = 0;
         for (feats, gold) in &data {
@@ -224,7 +262,14 @@ mod tests {
     fn generalizes_to_seen_entity_in_new_context() {
         let data = toy_corpus();
         let mut tagger = CrfTagger::new(&cfg());
-        tagger.train(&data, &TrainConfig { epochs: 30, lr: 0.08, ..Default::default() });
+        tagger.train(
+            &data,
+            &TrainConfig {
+                epochs: 30,
+                lr: 0.08,
+                ..Default::default()
+            },
+        );
         // "Italy" appeared in training in other contexts.
         let (feats, _) = example(&["morning", "update", "from", "Italy"], &[]);
         let bio = tagger.decode_bio(&feats);

@@ -60,7 +60,9 @@ pub fn analyze(dataset: &Dataset, candidates: &CandidateBase) -> ErrorBreakdown 
     let mut gold_freq: HashMap<String, usize> = HashMap::new();
     for ann in &dataset.sentences {
         for sp in &ann.gold {
-            *gold_freq.entry(sp.surface_lower(&ann.sentence)).or_insert(0) += 1;
+            *gold_freq
+                .entry(sp.surface_lower(&ann.sentence))
+                .or_insert(0) += 1;
         }
     }
     let candidate_keys: HashSet<&str> = candidates.iter().map(|c| c.key.as_str()).collect();
@@ -98,7 +100,12 @@ mod tests {
             name: "t".into(),
             kind: DatasetKind::Streaming,
             n_topics: 1,
-            sentences: vec![mk(0, "alpha"), mk(1, "alpha"), mk(2, "beta"), mk(3, "gamma")],
+            sentences: vec![
+                mk(0, "alpha"),
+                mk(1, "alpha"),
+                mk(2, "beta"),
+                mk(3, "gamma"),
+            ],
         }
     }
 

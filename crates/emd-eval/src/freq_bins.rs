@@ -56,7 +56,12 @@ pub fn entity_recall_by_frequency(
     let max_f = freq.values().max().copied().unwrap_or(0);
     let n_bins = max_f.div_ceil(width);
     let mut bins: Vec<FreqBin> = (0..n_bins)
-        .map(|b| FreqBin { lo: b * width + 1, hi: (b + 1) * width, n_entities: 0, n_detected: 0 })
+        .map(|b| FreqBin {
+            lo: b * width + 1,
+            hi: (b + 1) * width,
+            n_entities: 0,
+            n_detected: 0,
+        })
         .collect();
     for (key, f) in &freq {
         let b = (f - 1) / width;
@@ -79,12 +84,20 @@ mod tests {
         let mut sentences = Vec::new();
         let mut preds = Vec::new();
         let mut id = 0u64;
-        let add = |word: &str, detect: bool, sentences: &mut Vec<AnnotatedSentence>, preds: &mut Vec<Vec<Span>>, id: &mut u64| {
+        let add = |word: &str,
+                   detect: bool,
+                   sentences: &mut Vec<AnnotatedSentence>,
+                   preds: &mut Vec<Vec<Span>>,
+                   id: &mut u64| {
             sentences.push(AnnotatedSentence {
                 sentence: Sentence::from_tokens(SentenceId::new(*id, 0), [word, "x"]),
                 gold: vec![Span::new(0, 1)],
             });
-            preds.push(if detect { vec![Span::new(0, 1)] } else { vec![] });
+            preds.push(if detect {
+                vec![Span::new(0, 1)]
+            } else {
+                vec![]
+            });
             *id += 1;
         };
         for _ in 0..7 {
@@ -95,7 +108,12 @@ mod tests {
         }
         add("gamma", true, &mut sentences, &mut preds, &mut id);
         (
-            Dataset { name: "t".into(), kind: DatasetKind::Streaming, n_topics: 1, sentences },
+            Dataset {
+                name: "t".into(),
+                kind: DatasetKind::Streaming,
+                n_topics: 1,
+                sentences,
+            },
             preds,
         )
     }

@@ -34,10 +34,29 @@ pub struct Prf {
 impl Prf {
     /// Compute from counts.
     pub fn from_counts(tp: usize, fp: usize, fn_: usize) -> Prf {
-        let p = if tp + fp > 0 { tp as f64 / (tp + fp) as f64 } else { 0.0 };
-        let r = if tp + fn_ > 0 { tp as f64 / (tp + fn_) as f64 } else { 0.0 };
-        let f1 = if p + r > 0.0 { 2.0 * p * r / (p + r) } else { 0.0 };
-        Prf { p, r, f1, tp, fp, fn_ }
+        let p = if tp + fp > 0 {
+            tp as f64 / (tp + fp) as f64
+        } else {
+            0.0
+        };
+        let r = if tp + fn_ > 0 {
+            tp as f64 / (tp + fn_) as f64
+        } else {
+            0.0
+        };
+        let f1 = if p + r > 0.0 {
+            2.0 * p * r / (p + r)
+        } else {
+            0.0
+        };
+        Prf {
+            p,
+            r,
+            f1,
+            tp,
+            fp,
+            fn_,
+        }
     }
 }
 
@@ -46,7 +65,11 @@ impl Prf {
 /// `preds[i]` are the predicted spans for `dataset.sentences[i]`; the two
 /// must be aligned and of equal length.
 pub fn mention_prf(dataset: &Dataset, preds: &[Vec<Span>]) -> Prf {
-    assert_eq!(dataset.len(), preds.len(), "prediction/dataset misalignment");
+    assert_eq!(
+        dataset.len(),
+        preds.len(),
+        "prediction/dataset misalignment"
+    );
     let mut tp = 0usize;
     let mut fp = 0usize;
     let mut fn_ = 0usize;
@@ -62,7 +85,11 @@ pub fn mention_prf(dataset: &Dataset, preds: &[Vec<Span>]) -> Prf {
 
 /// Surface-form (unique lower-cased strings) PRF — WNUT "F1 (surface)".
 pub fn surface_prf(dataset: &Dataset, preds: &[Vec<Span>]) -> Prf {
-    assert_eq!(dataset.len(), preds.len(), "prediction/dataset misalignment");
+    assert_eq!(
+        dataset.len(),
+        preds.len(),
+        "prediction/dataset misalignment"
+    );
     let mut gold: HashSet<String> = HashSet::new();
     let mut pred: HashSet<String> = HashSet::new();
     for (ann, ps) in dataset.sentences.iter().zip(preds.iter()) {
@@ -95,7 +122,12 @@ mod tests {
             sentence: Sentence::from_tokens(SentenceId::new(1, 0), ["ITALY", "rises"]),
             gold: vec![Span::new(0, 1)],
         };
-        Dataset { name: "t".into(), kind: DatasetKind::Streaming, n_topics: 1, sentences: vec![s1, s2] }
+        Dataset {
+            name: "t".into(),
+            kind: DatasetKind::Streaming,
+            n_topics: 1,
+            sentences: vec![s1, s2],
+        }
     }
 
     #[test]
@@ -135,9 +167,10 @@ mod tests {
     fn precision_vs_recall_tradeoff() {
         let d = ds();
         // Over-predict everything in sentence 0.
-        let preds = vec![vec![Span::new(0, 1), Span::new(1, 2), Span::new(2, 3)], vec![
-            Span::new(0, 1),
-        ]];
+        let preds = vec![
+            vec![Span::new(0, 1), Span::new(1, 2), Span::new(2, 3)],
+            vec![Span::new(0, 1)],
+        ];
         let m = mention_prf(&d, &preds);
         assert_eq!(m.tp, 3);
         assert_eq!(m.fp, 1);

@@ -21,30 +21,150 @@ pub struct Table3Row {
 /// Table III of the paper (effectiveness columns only; timing is
 /// hardware-bound).
 pub const TABLE3: &[Table3Row] = &[
-    Table3Row { dataset: "D1", system: "NP Chunker", local: (0.30, 0.58, 0.40), global: (0.81, 0.63, 0.71) },
-    Table3Row { dataset: "D1", system: "TwitterNLP", local: (0.65, 0.47, 0.55), global: (0.80, 0.66, 0.72) },
-    Table3Row { dataset: "D1", system: "Aguilar et al.", local: (0.76, 0.55, 0.64), global: (0.87, 0.66, 0.75) },
-    Table3Row { dataset: "D1", system: "BERTweet", local: (0.66, 0.49, 0.56), global: (0.84, 0.66, 0.74) },
-    Table3Row { dataset: "D2", system: "NP Chunker", local: (0.40, 0.47, 0.43), global: (0.59, 0.62, 0.60) },
-    Table3Row { dataset: "D2", system: "TwitterNLP", local: (0.33, 0.52, 0.41), global: (0.71, 0.55, 0.62) },
-    Table3Row { dataset: "D2", system: "Aguilar et al.", local: (0.63, 0.57, 0.60), global: (0.69, 0.67, 0.68) },
-    Table3Row { dataset: "D2", system: "BERTweet", local: (0.56, 0.51, 0.53), global: (0.65, 0.64, 0.64) },
-    Table3Row { dataset: "D3", system: "NP Chunker", local: (0.59, 0.54, 0.56), global: (0.71, 0.66, 0.68) },
-    Table3Row { dataset: "D3", system: "TwitterNLP", local: (0.75, 0.64, 0.69), global: (0.88, 0.71, 0.78) },
-    Table3Row { dataset: "D3", system: "Aguilar et al.", local: (0.77, 0.64, 0.70), global: (0.82, 0.77, 0.794) },
-    Table3Row { dataset: "D3", system: "BERTweet", local: (0.77, 0.63, 0.69), global: (0.83, 0.82, 0.83) },
-    Table3Row { dataset: "D4", system: "NP Chunker", local: (0.47, 0.59, 0.52), global: (0.83, 0.73, 0.77) },
-    Table3Row { dataset: "D4", system: "TwitterNLP", local: (0.67, 0.41, 0.52), global: (0.89, 0.64, 0.74) },
-    Table3Row { dataset: "D4", system: "Aguilar et al.", local: (0.82, 0.61, 0.69), global: (0.88, 0.75, 0.81) },
-    Table3Row { dataset: "D4", system: "BERTweet", local: (0.69, 0.58, 0.62), global: (0.81, 0.76, 0.78) },
-    Table3Row { dataset: "WNUT17", system: "NP Chunker", local: (0.42, 0.35, 0.39), global: (0.63, 0.35, 0.44) },
-    Table3Row { dataset: "WNUT17", system: "TwitterNLP", local: (0.35, 0.42, 0.39), global: (0.65, 0.52, 0.58) },
-    Table3Row { dataset: "WNUT17", system: "Aguilar et al.", local: (0.68, 0.47, 0.56), global: (0.72, 0.50, 0.59) },
-    Table3Row { dataset: "WNUT17", system: "BERTweet", local: (0.61, 0.43, 0.51), global: (0.73, 0.48, 0.58) },
-    Table3Row { dataset: "BTC", system: "NP Chunker", local: (0.46, 0.51, 0.48), global: (0.66, 0.52, 0.58) },
-    Table3Row { dataset: "BTC", system: "TwitterNLP", local: (0.69, 0.43, 0.53), global: (0.74, 0.45, 0.56) },
-    Table3Row { dataset: "BTC", system: "Aguilar et al.", local: (0.75, 0.56, 0.64), global: (0.77, 0.59, 0.67) },
-    Table3Row { dataset: "BTC", system: "BERTweet", local: (0.63, 0.50, 0.56), global: (0.69, 0.58, 0.63) },
+    Table3Row {
+        dataset: "D1",
+        system: "NP Chunker",
+        local: (0.30, 0.58, 0.40),
+        global: (0.81, 0.63, 0.71),
+    },
+    Table3Row {
+        dataset: "D1",
+        system: "TwitterNLP",
+        local: (0.65, 0.47, 0.55),
+        global: (0.80, 0.66, 0.72),
+    },
+    Table3Row {
+        dataset: "D1",
+        system: "Aguilar et al.",
+        local: (0.76, 0.55, 0.64),
+        global: (0.87, 0.66, 0.75),
+    },
+    Table3Row {
+        dataset: "D1",
+        system: "BERTweet",
+        local: (0.66, 0.49, 0.56),
+        global: (0.84, 0.66, 0.74),
+    },
+    Table3Row {
+        dataset: "D2",
+        system: "NP Chunker",
+        local: (0.40, 0.47, 0.43),
+        global: (0.59, 0.62, 0.60),
+    },
+    Table3Row {
+        dataset: "D2",
+        system: "TwitterNLP",
+        local: (0.33, 0.52, 0.41),
+        global: (0.71, 0.55, 0.62),
+    },
+    Table3Row {
+        dataset: "D2",
+        system: "Aguilar et al.",
+        local: (0.63, 0.57, 0.60),
+        global: (0.69, 0.67, 0.68),
+    },
+    Table3Row {
+        dataset: "D2",
+        system: "BERTweet",
+        local: (0.56, 0.51, 0.53),
+        global: (0.65, 0.64, 0.64),
+    },
+    Table3Row {
+        dataset: "D3",
+        system: "NP Chunker",
+        local: (0.59, 0.54, 0.56),
+        global: (0.71, 0.66, 0.68),
+    },
+    Table3Row {
+        dataset: "D3",
+        system: "TwitterNLP",
+        local: (0.75, 0.64, 0.69),
+        global: (0.88, 0.71, 0.78),
+    },
+    Table3Row {
+        dataset: "D3",
+        system: "Aguilar et al.",
+        local: (0.77, 0.64, 0.70),
+        global: (0.82, 0.77, 0.794),
+    },
+    Table3Row {
+        dataset: "D3",
+        system: "BERTweet",
+        local: (0.77, 0.63, 0.69),
+        global: (0.83, 0.82, 0.83),
+    },
+    Table3Row {
+        dataset: "D4",
+        system: "NP Chunker",
+        local: (0.47, 0.59, 0.52),
+        global: (0.83, 0.73, 0.77),
+    },
+    Table3Row {
+        dataset: "D4",
+        system: "TwitterNLP",
+        local: (0.67, 0.41, 0.52),
+        global: (0.89, 0.64, 0.74),
+    },
+    Table3Row {
+        dataset: "D4",
+        system: "Aguilar et al.",
+        local: (0.82, 0.61, 0.69),
+        global: (0.88, 0.75, 0.81),
+    },
+    Table3Row {
+        dataset: "D4",
+        system: "BERTweet",
+        local: (0.69, 0.58, 0.62),
+        global: (0.81, 0.76, 0.78),
+    },
+    Table3Row {
+        dataset: "WNUT17",
+        system: "NP Chunker",
+        local: (0.42, 0.35, 0.39),
+        global: (0.63, 0.35, 0.44),
+    },
+    Table3Row {
+        dataset: "WNUT17",
+        system: "TwitterNLP",
+        local: (0.35, 0.42, 0.39),
+        global: (0.65, 0.52, 0.58),
+    },
+    Table3Row {
+        dataset: "WNUT17",
+        system: "Aguilar et al.",
+        local: (0.68, 0.47, 0.56),
+        global: (0.72, 0.50, 0.59),
+    },
+    Table3Row {
+        dataset: "WNUT17",
+        system: "BERTweet",
+        local: (0.61, 0.43, 0.51),
+        global: (0.73, 0.48, 0.58),
+    },
+    Table3Row {
+        dataset: "BTC",
+        system: "NP Chunker",
+        local: (0.46, 0.51, 0.48),
+        global: (0.66, 0.52, 0.58),
+    },
+    Table3Row {
+        dataset: "BTC",
+        system: "TwitterNLP",
+        local: (0.69, 0.43, 0.53),
+        global: (0.74, 0.45, 0.56),
+    },
+    Table3Row {
+        dataset: "BTC",
+        system: "Aguilar et al.",
+        local: (0.75, 0.56, 0.64),
+        global: (0.77, 0.59, 0.67),
+    },
+    Table3Row {
+        dataset: "BTC",
+        system: "BERTweet",
+        local: (0.63, 0.50, 0.56),
+        global: (0.69, 0.58, 0.63),
+    },
 ];
 
 /// One Table IV row: Globalizer (Aguilar variant) vs HIRE-NER.
@@ -60,12 +180,36 @@ pub struct Table4Row {
 
 /// Table IV of the paper.
 pub const TABLE4: &[Table4Row] = &[
-    Table4Row { dataset: "D1", globalizer: (0.87, 0.66, 0.75), hire: (0.65, 0.62, 0.63) },
-    Table4Row { dataset: "D2", globalizer: (0.69, 0.67, 0.68), hire: (0.46, 0.56, 0.51) },
-    Table4Row { dataset: "D3", globalizer: (0.82, 0.77, 0.79), hire: (0.75, 0.73, 0.74) },
-    Table4Row { dataset: "D4", globalizer: (0.88, 0.75, 0.81), hire: (0.58, 0.68, 0.61) },
-    Table4Row { dataset: "WNUT17", globalizer: (0.72, 0.50, 0.59), hire: (0.50, 0.49, 0.50) },
-    Table4Row { dataset: "BTC", globalizer: (0.77, 0.59, 0.67), hire: (0.60, 0.49, 0.54) },
+    Table4Row {
+        dataset: "D1",
+        globalizer: (0.87, 0.66, 0.75),
+        hire: (0.65, 0.62, 0.63),
+    },
+    Table4Row {
+        dataset: "D2",
+        globalizer: (0.69, 0.67, 0.68),
+        hire: (0.46, 0.56, 0.51),
+    },
+    Table4Row {
+        dataset: "D3",
+        globalizer: (0.82, 0.77, 0.79),
+        hire: (0.75, 0.73, 0.74),
+    },
+    Table4Row {
+        dataset: "D4",
+        globalizer: (0.88, 0.75, 0.81),
+        hire: (0.58, 0.68, 0.61),
+    },
+    Table4Row {
+        dataset: "WNUT17",
+        globalizer: (0.72, 0.50, 0.59),
+        hire: (0.50, 0.49, 0.50),
+    },
+    Table4Row {
+        dataset: "BTC",
+        globalizer: (0.77, 0.59, 0.67),
+        hire: (0.60, 0.49, 0.54),
+    },
 ];
 
 /// Table II: classifier validation F1 per variant.
@@ -104,7 +248,10 @@ mod tests {
     fn table3_covers_all_cells() {
         assert_eq!(TABLE3.len(), 24, "6 datasets × 4 systems");
         for r in TABLE3 {
-            assert!(r.global.2 > r.local.2, "paper reports gains everywhere: {r:?}");
+            assert!(
+                r.global.2 > r.local.2,
+                "paper reports gains everywhere: {r:?}"
+            );
         }
     }
 
@@ -113,7 +260,10 @@ mod tests {
         assert_eq!(TABLE4.len(), 6);
         for r in TABLE4 {
             assert!(r.globalizer.2 > r.hire.2);
-            assert!(r.globalizer.0 > r.hire.0, "precision margin is the headline");
+            assert!(
+                r.globalizer.0 > r.hire.0,
+                "precision margin is the headline"
+            );
         }
     }
 
@@ -125,6 +275,9 @@ mod tests {
             .map(|r| (r.global.2 - r.local.2) / r.local.2)
             .sum::<f64>()
             / TABLE3.len() as f64;
-        assert!((mean - claims::AVG_GAIN_ALL).abs() < 0.03, "mean gain {mean}");
+        assert!(
+            (mean - claims::AVG_GAIN_ALL).abs() < 0.03,
+            "mean gain {mean}"
+        );
     }
 }

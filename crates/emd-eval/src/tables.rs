@@ -10,7 +10,10 @@ pub struct TextTable {
 impl TextTable {
     /// New table with the given column headers.
     pub fn new<I: IntoIterator<Item = S>, S: Into<String>>(header: I) -> TextTable {
-        TextTable { header: header.into_iter().map(|s| s.into()).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.into_iter().map(|s| s.into()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (padded/truncated to the header width).

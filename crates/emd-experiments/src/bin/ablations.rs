@@ -23,7 +23,12 @@ fn main() {
     let sentences: Vec<Sentence> = d2.sentences.iter().map(|a| a.sentence.clone()).collect();
 
     let eval = |cfg: GlobalizerConfig| -> (f64, f64, f64) {
-        let g = Globalizer::new(variant.local.as_ref(), variant.phrase.as_ref(), &variant.classifier, cfg);
+        let g = Globalizer::new(
+            variant.local.as_ref(),
+            variant.phrase.as_ref(),
+            &variant.classifier,
+            cfg,
+        );
         let (out, _) = g.run(&sentences, 512);
         let m = mention_prf(d2, &aligned_preds(d2, &out));
         (m.p, m.r, m.f1)
@@ -54,9 +59,25 @@ fn main() {
     // 2. Threshold sweep (α, β) around the paper's (0.55, 0.40).
     report.push('\n');
     let mut t = TextTable::new(["alpha", "beta", "P", "R", "F1"]);
-    for (alpha, beta) in [(0.75f32, 0.60f32), (0.65, 0.50), (0.55, 0.40), (0.50, 0.30), (0.45, 0.20)] {
-        let (p, r, f1) = eval(GlobalizerConfig { alpha, beta, ..Default::default() });
-        t.row([format!("{alpha:.2}"), format!("{beta:.2}"), f2(p), f2(r), f2(f1)]);
+    for (alpha, beta) in [
+        (0.75f32, 0.60f32),
+        (0.65, 0.50),
+        (0.55, 0.40),
+        (0.50, 0.30),
+        (0.45, 0.20),
+    ] {
+        let (p, r, f1) = eval(GlobalizerConfig {
+            alpha,
+            beta,
+            ..Default::default()
+        });
+        t.row([
+            format!("{alpha:.2}"),
+            format!("{beta:.2}"),
+            f2(p),
+            f2(r),
+            f2(f1),
+        ]);
     }
     report.push_str(&t.render());
 
@@ -64,7 +85,10 @@ fn main() {
     report.push('\n');
     let mut t = TextTable::new(["max candidate len k", "P", "R", "F1"]);
     for k in [1usize, 2, 3, 6, 10] {
-        let (p, r, f1) = eval(GlobalizerConfig { max_candidate_len: k, ..Default::default() });
+        let (p, r, f1) = eval(GlobalizerConfig {
+            max_candidate_len: k,
+            ..Default::default()
+        });
         t.row([k.to_string(), f2(p), f2(r), f2(f1)]);
     }
     report.push_str(&t.render());

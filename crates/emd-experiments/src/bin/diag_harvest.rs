@@ -34,10 +34,26 @@ fn main() {
                 *a += b as f64;
             }
         }
-        for a in mp.iter_mut() { *a /= n_pos.max(1) as f64; }
-        for a in mn.iter_mut() { *a /= (data.len() - n_pos).max(1) as f64; }
+        for a in mp.iter_mut() {
+            *a /= n_pos.max(1) as f64;
+        }
+        for a in mn.iter_mut() {
+            *a /= (data.len() - n_pos).max(1) as f64;
+        }
         let k = dim.min(8);
-        println!("  pos mean: {:?}", &mp[..k].iter().map(|x| (x*100.0).round()/100.0).collect::<Vec<_>>());
-        println!("  neg mean: {:?}", &mn[..k].iter().map(|x| (x*100.0).round()/100.0).collect::<Vec<_>>());
+        println!(
+            "  pos mean: {:?}",
+            &mp[..k]
+                .iter()
+                .map(|x| (x * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
+        );
+        println!(
+            "  neg mean: {:?}",
+            &mn[..k]
+                .iter()
+                .map(|x| (x * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
+        );
     }
 }

@@ -3,14 +3,19 @@
 use emd_experiments::{build_variant, load_suite, reports, SystemKind};
 
 fn main() {
-    eprintln!("[run_all] generating datasets (EMD_SCALE={}, EMD_TRAIN_SCALE={})",
-        emd_experiments::eval_scale(), emd_experiments::train_scale());
+    eprintln!(
+        "[run_all] generating datasets (EMD_SCALE={}, EMD_TRAIN_SCALE={})",
+        emd_experiments::eval_scale(),
+        emd_experiments::train_scale()
+    );
     let suite = load_suite();
     emd_experiments::emit("table1", &reports::table1());
 
     eprintln!("[run_all] training 4 local EMD systems + phrase embedders + classifiers ...");
-    let variants: Vec<_> =
-        SystemKind::all().iter().map(|&k| build_variant(k, &suite)).collect();
+    let variants: Vec<_> = SystemKind::all()
+        .iter()
+        .map(|&k| build_variant(k, &suite))
+        .collect();
     emd_experiments::emit("table2", &reports::table2(&variants));
 
     eprintln!("[run_all] Table III ...");

@@ -4,7 +4,9 @@ use emd_experiments::{build_variant, load_suite, reports, SystemKind};
 
 fn main() {
     let suite = load_suite();
-    let variants: Vec<_> =
-        SystemKind::all().iter().map(|&k| build_variant(k, &suite)).collect();
+    let variants: Vec<_> = SystemKind::all()
+        .iter()
+        .map(|&k| build_variant(k, &suite))
+        .collect();
     emd_experiments::emit("table2", &reports::table2(&variants));
 }

@@ -5,8 +5,10 @@ use emd_experiments::{build_variant, load_suite, reports, SystemKind};
 
 fn main() {
     let suite = load_suite();
-    let variants: Vec<_> =
-        SystemKind::all().iter().map(|&k| build_variant(k, &suite)).collect();
+    let variants: Vec<_> = SystemKind::all()
+        .iter()
+        .map(|&k| build_variant(k, &suite))
+        .collect();
     let (report, _) = reports::table3(&suite, &variants);
     emd_experiments::emit("table3", &report);
 }

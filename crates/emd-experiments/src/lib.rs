@@ -32,7 +32,9 @@ use emd_local::aguilar::{Aguilar, AguilarConfig};
 use emd_local::mini_bert::{MiniBert, MiniBertConfig};
 use emd_local::np_chunker::NpChunker;
 use emd_local::twitter_nlp::{TwitterNlp, TwitterNlpConfig};
-use emd_synth::datasets::{generic_training_corpus, standard_datasets, training_stream, StandardDatasets};
+use emd_synth::datasets::{
+    generic_training_corpus, standard_datasets, training_stream, StandardDatasets,
+};
 use emd_synth::sts::gen_sts;
 use emd_text::token::{Dataset, Sentence, Span};
 use std::time::Instant;
@@ -53,7 +55,12 @@ pub enum SystemKind {
 impl SystemKind {
     /// All systems in Table-III order.
     pub fn all() -> [SystemKind; 4] {
-        [SystemKind::NpChunker, SystemKind::TwitterNlp, SystemKind::Aguilar, SystemKind::MiniBert]
+        [
+            SystemKind::NpChunker,
+            SystemKind::TwitterNlp,
+            SystemKind::Aguilar,
+            SystemKind::MiniBert,
+        ]
     }
 
     /// Display name matching the paper.
@@ -111,7 +118,12 @@ pub fn load_suite() -> Suite {
     let std = standard_datasets(SEED, eval_scale());
     let (_, d5) = training_stream(SEED, train_scale());
     let (generic_world, generic) = generic_training_corpus(SEED, train_scale());
-    Suite { std, d5, generic, generic_world }
+    Suite {
+        std,
+        d5,
+        generic,
+        generic_world,
+    }
 }
 
 /// A fully trained framework variant for one Local EMD system.
@@ -134,7 +146,12 @@ pub struct Variant {
 
 /// Precompute STS training pairs as token-embedding matrices using the
 /// trained deep local system (the frozen encoder).
-fn sts_pairs(local: &dyn LocalEmd, suite: &Suite, n: usize, n_val: usize) -> (Vec<StsExample>, Vec<StsExample>) {
+fn sts_pairs(
+    local: &dyn LocalEmd,
+    suite: &Suite,
+    n: usize,
+    n_val: usize,
+) -> (Vec<StsExample>, Vec<StsExample>) {
     let (train, val) = gen_sts(&suite.std.world, n, n_val, SEED ^ 0x575);
     let embed = |s: &Sentence| {
         local
@@ -210,7 +227,15 @@ pub fn build_variant(kind: SystemKind, suite: &Suite) -> Variant {
     let mut classifier = EntityClassifier::new(embedding_dim + 1, SEED ^ 0xc1);
     let classifier_report = classifier.train(&data, &ClassifierTrainConfig::default());
 
-    Variant { kind, local, phrase, classifier, classifier_report, phrase_report, embedding_dim }
+    Variant {
+        kind,
+        local,
+        phrase,
+        classifier,
+        classifier_report,
+        phrase_report,
+        embedding_dim,
+    }
 }
 
 /// Result of evaluating one (variant, dataset) cell of Table III.
@@ -228,6 +253,12 @@ pub struct CellResult {
     pub local_secs: f64,
     /// Wall-clock seconds for the full framework run.
     pub global_secs: f64,
+    /// Sentences in the dataset (denominator for the rescan fraction).
+    pub n_sentences: usize,
+    /// Sentences revisited by the incremental close-of-stream rescan.
+    pub n_rescanned: usize,
+    /// Candidates promoted from adjacent fragments at stream close.
+    pub n_promoted: usize,
 }
 
 impl CellResult {
@@ -244,6 +275,15 @@ impl CellResult {
     pub fn overhead(&self) -> f64 {
         (self.global_secs - self.local_secs).max(0.0)
     }
+
+    /// Fraction of the stream revisited by the closing rescan.
+    pub fn rescan_frac(&self) -> f64 {
+        if self.n_sentences > 0 {
+            self.n_rescanned as f64 / self.n_sentences as f64
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Extract predictions aligned with the dataset from a globalizer output.
@@ -257,33 +297,58 @@ pub fn aligned_preds(dataset: &Dataset, out: &GlobalizerOutput) -> Vec<Vec<Span>
 }
 
 /// Run one variant over one dataset with the given ablation, returning the
-/// aligned predictions, the closing state, and wall time.
+/// aligned predictions, the raw globalizer output (rescan/promotion stats),
+/// the closing state, and wall time.
 pub fn run_variant(
     variant: &Variant,
     dataset: &Dataset,
     ablation: Ablation,
-) -> (Vec<Vec<Span>>, emd_core::globalizer::GlobalizerState, f64) {
-    let cfg = GlobalizerConfig { ablation, ..Default::default() };
-    let g = Globalizer::new(variant.local.as_ref(), variant.phrase.as_ref(), &variant.classifier, cfg);
-    let sentences: Vec<Sentence> = dataset.sentences.iter().map(|a| a.sentence.clone()).collect();
+) -> (
+    Vec<Vec<Span>>,
+    GlobalizerOutput,
+    emd_core::globalizer::GlobalizerState,
+    f64,
+) {
+    let cfg = GlobalizerConfig {
+        ablation,
+        ..Default::default()
+    };
+    let g = Globalizer::new(
+        variant.local.as_ref(),
+        variant.phrase.as_ref(),
+        &variant.classifier,
+        cfg,
+    );
+    let sentences: Vec<Sentence> = dataset
+        .sentences
+        .iter()
+        .map(|a| a.sentence.clone())
+        .collect();
     let t0 = Instant::now();
     let (out, state) = g.run(&sentences, 512);
     let secs = t0.elapsed().as_secs_f64();
-    (aligned_preds(dataset, &out), state, secs)
+    let preds = aligned_preds(dataset, &out);
+    (preds, out, state, secs)
 }
 
 /// Evaluate one Table-III cell: standalone local pass, then the full
 /// framework.
 pub fn evaluate_cell(variant: &Variant, dataset: &Dataset) -> CellResult {
     // Standalone local timing + effectiveness.
-    let sentences: Vec<Sentence> = dataset.sentences.iter().map(|a| a.sentence.clone()).collect();
+    let sentences: Vec<Sentence> = dataset
+        .sentences
+        .iter()
+        .map(|a| a.sentence.clone())
+        .collect();
     let t0 = Instant::now();
-    let local_preds: Vec<Vec<Span>> =
-        sentences.iter().map(|s| variant.local.process(s).spans).collect();
+    let local_preds: Vec<Vec<Span>> = sentences
+        .iter()
+        .map(|s| variant.local.process(s).spans)
+        .collect();
     let local_secs = t0.elapsed().as_secs_f64();
     let local = mention_prf(dataset, &local_preds);
 
-    let (global_preds, _, run_secs) = run_variant(variant, dataset, Ablation::Full);
+    let (global_preds, out, _, run_secs) = run_variant(variant, dataset, Ablation::Full);
     let global = mention_prf(dataset, &global_preds);
     CellResult {
         dataset: dataset.name.clone(),
@@ -292,12 +357,19 @@ pub fn evaluate_cell(variant: &Variant, dataset: &Dataset) -> CellResult {
         global,
         local_secs,
         global_secs: run_secs,
+        n_sentences: sentences.len(),
+        n_rescanned: out.n_rescanned,
+        n_promoted: out.n_promoted,
     }
 }
 
 /// Train and evaluate HIRE-NER over a dataset (Table IV baseline).
 pub fn evaluate_hire(hire: &HireNer, dataset: &Dataset) -> Prf {
-    let sentences: Vec<Sentence> = dataset.sentences.iter().map(|a| a.sentence.clone()).collect();
+    let sentences: Vec<Sentence> = dataset
+        .sentences
+        .iter()
+        .map(|a| a.sentence.clone())
+        .collect();
     let preds = hire.run_dataset(&sentences);
     mention_prf(dataset, &preds)
 }

@@ -15,10 +15,18 @@ use emd_text::token::DatasetKind;
 
 /// Table I: dataset statistics (always at full scale — generation is cheap).
 pub fn table1() -> String {
-    let mut out = String::from("Table I: Twitter datasets (synthetic regeneration, full scale)\n\n");
+    let mut out =
+        String::from("Table I: Twitter datasets (synthetic regeneration, full scale)\n\n");
     let suite = standard_datasets(crate::SEED, 1.0);
     let (_, d5) = emd_synth::datasets::training_stream(crate::SEED, 1.0);
-    let mut t = TextTable::new(["Dataset", "#Topics", "#Hashtags", "#Entities", "#Mentions", "Size"]);
+    let mut t = TextTable::new([
+        "Dataset",
+        "#Topics",
+        "#Hashtags",
+        "#Entities",
+        "#Mentions",
+        "Size",
+    ]);
     for d in suite.datasets.iter().chain(std::iter::once(&d5)) {
         let s = stats(d);
         let topics = if d.kind == DatasetKind::NonStreaming {
@@ -73,8 +81,20 @@ pub fn table2(variants: &[Variant]) -> String {
 pub fn table3(suite: &Suite, variants: &[Variant]) -> (String, Vec<CellResult>) {
     let mut cells = Vec::new();
     let mut t = TextTable::new([
-        "Dataset", "System", "L-P", "L-R", "L-F1", "L-time(s)", "G-P", "G-R", "G-F1",
-        "G-time(s)", "F1 Gain", "Overhead(s)", "Paper L-F1", "Paper G-F1",
+        "Dataset",
+        "System",
+        "L-P",
+        "L-R",
+        "L-F1",
+        "L-time(s)",
+        "G-P",
+        "G-R",
+        "G-F1",
+        "G-time(s)",
+        "F1 Gain",
+        "Overhead(s)",
+        "Paper L-F1",
+        "Paper G-F1",
     ]);
     for d in &suite.std.datasets {
         for v in variants {
@@ -101,14 +121,17 @@ pub fn table3(suite: &Suite, variants: &[Variant]) -> (String, Vec<CellResult>) 
             cells.push(cell);
         }
     }
-    let mut out = String::from(
-        "Table III: Effectiveness and execution time with EMD Globalizer\n\n",
-    );
+    let mut out =
+        String::from("Table III: Effectiveness and execution time with EMD Globalizer\n\n");
     out.push_str(&t.render());
 
     // Aggregates (the §VI headline claims).
     let agg = |filter: &dyn Fn(&CellResult) -> bool| -> f64 {
-        let xs: Vec<f64> = cells.iter().filter(|c| filter(c)).map(|c| c.gain()).collect();
+        let xs: Vec<f64> = cells
+            .iter()
+            .filter(|c| filter(c))
+            .map(|c| c.gain())
+            .collect();
         if xs.is_empty() {
             0.0
         } else {
@@ -138,6 +161,21 @@ pub fn table3(suite: &Suite, variants: &[Variant]) -> (String, Vec<CellResult>) 
             pct(agg(&|c| c.system == kind.name()))
         ));
     }
+
+    // Incremental-finalize statistics: how much of each stream the
+    // inverted-index close-of-stream rescan actually revisits, and how
+    // many candidates adjacent-fragment promotion recovered.
+    let total_sentences: usize = cells.iter().map(|c| c.n_sentences).sum();
+    let total_rescanned: usize = cells.iter().map(|c| c.n_rescanned).sum();
+    let total_promoted: usize = cells.iter().map(|c| c.n_promoted).sum();
+    out.push_str(&format!(
+        "\nClosing rescan (incremental finalize): {total_rescanned} of {total_sentences} sentences revisited ({}), {total_promoted} candidates promoted from adjacent fragments\n",
+        pct(if total_sentences > 0 {
+            total_rescanned as f64 / total_sentences as f64
+        } else {
+            0.0
+        }),
+    ));
     (out, cells)
 }
 
@@ -148,7 +186,7 @@ pub fn table4(suite: &Suite, aguilar: &Variant) -> String {
         "Dataset", "System", "P", "R", "F1", "Paper P", "Paper R", "Paper F1",
     ]);
     for d in &suite.std.datasets {
-        let (preds, _, _) = run_variant(aguilar, d, Ablation::Full);
+        let (preds, _, _, _) = run_variant(aguilar, d, Ablation::Full);
         let g = mention_prf(d, &preds);
         let h = evaluate_hire(&hire, d);
         let paper = paper_ref::TABLE4.iter().find(|r| r.dataset == d.name);
@@ -173,15 +211,21 @@ pub fn table4(suite: &Suite, aguilar: &Variant) -> String {
             paper.map(|r| f2(r.hire.2)).unwrap_or_default(),
         ]);
     }
-    let mut out =
-        String::from("Table IV: Effectiveness of Global EMD systems (Aguilar variant vs HIRE-NER)\n\n");
+    let mut out = String::from(
+        "Table IV: Effectiveness of Global EMD systems (Aguilar variant vs HIRE-NER)\n\n",
+    );
     out.push_str(&t.render());
     out
 }
 
 /// Figure 6: component ablation on the streaming datasets (Aguilar variant).
 pub fn fig6(suite: &Suite, aguilar: &Variant) -> String {
-    let mut t = TextTable::new(["Dataset", "Local only", "+Mention extraction", "Full framework"]);
+    let mut t = TextTable::new([
+        "Dataset",
+        "Local only",
+        "+Mention extraction",
+        "Full framework",
+    ]);
     let mut gains_mention = Vec::new();
     let mut gains_full = Vec::new();
     for d in &suite.std.datasets {
@@ -189,7 +233,7 @@ pub fn fig6(suite: &Suite, aguilar: &Variant) -> String {
             continue;
         }
         let f1_of = |ablation| {
-            let (preds, _, _) = run_variant(aguilar, d, ablation);
+            let (preds, _, _, _) = run_variant(aguilar, d, ablation);
             mention_prf(d, &preds).f1
         };
         let local = f1_of(Ablation::LocalOnly);
@@ -228,7 +272,7 @@ pub fn fig7(suite: &Suite, bert: &Variant) -> String {
         if !d.name.starts_with('D') {
             continue;
         }
-        let (preds, _, _) = run_variant(bert, d, Ablation::Full);
+        let (preds, _, _, _) = run_variant(bert, d, Ablation::Full);
         for b in entity_recall_by_frequency(d, &preds, 5) {
             let idx = (b.lo - 1) / 5;
             if merged.len() <= idx {
@@ -269,7 +313,7 @@ pub fn error_analysis(suite: &Suite, bert: &Variant) -> String {
         if !d.name.starts_with('D') {
             continue;
         }
-        let (_, state, _) = run_variant(bert, d, Ablation::Full);
+        let (_, _, state, _) = run_variant(bert, d, Ablation::Full);
         let e = analyze(d, &state.candidates);
         total.total_mentions += e.total_mentions;
         total.total_entities += e.total_entities;

@@ -63,7 +63,13 @@ pub struct AguilarConfig {
 
 impl Default for AguilarConfig {
     fn default() -> Self {
-        AguilarConfig { epochs: 3, lr: 0.004, batch_size: 8, seed: 42, clip: 5.0 }
+        AguilarConfig {
+            epochs: 3,
+            lr: 0.004,
+            batch_size: 8,
+            seed: 42,
+            clip: 5.0,
+        }
     }
 }
 
@@ -114,7 +120,11 @@ impl Aguilar {
     }
 
     /// Train on the corpus; returns per-epoch mean NLL.
-    pub fn train(dataset: &Dataset, gazetteer: Gazetteer, cfg: &AguilarConfig) -> (Aguilar, Vec<f32>) {
+    pub fn train(
+        dataset: &Dataset,
+        gazetteer: Gazetteer,
+        cfg: &AguilarConfig,
+    ) -> (Aguilar, Vec<f32>) {
         let mut model = Aguilar::init(dataset, gazetteer, cfg.seed);
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x1234);
         let mut opt = Adam::new(cfg.lr);
@@ -152,9 +162,15 @@ impl Aguilar {
                 .iter()
                 .map(|t| self.word_vocab.get(&normalize::normalize_token(t)))
                 .collect(),
-            char_ids: texts.iter().map(|t| encode_chars(&self.char_vocab, t)).collect(),
+            char_ids: texts
+                .iter()
+                .map(|t| encode_chars(&self.char_vocab, t))
+                .collect(),
             pos_ids: pos.iter().map(|p| p.index() as u32 + 1).collect(),
-            gaz: texts.iter().map(|t| self.gazetteer.lexical_vector(t)).collect(),
+            gaz: texts
+                .iter()
+                .map(|t| self.gazetteer.lexical_vector(t))
+                .collect(),
         }
     }
 
@@ -279,7 +295,10 @@ impl LocalEmd for Aguilar {
         let (e, emb) = self.infer_forward(sentence);
         let labels = self.crf.decode(&e);
         let bio: Vec<Bio> = labels.into_iter().map(Bio::from_index).collect();
-        LocalEmdOutput { spans: bio_to_spans(&bio), token_embeddings: Some(emb) }
+        LocalEmdOutput {
+            spans: bio_to_spans(&bio),
+            token_embeddings: Some(emb),
+        }
     }
 }
 
@@ -291,10 +310,14 @@ mod tests {
     #[test]
     fn training_reduces_loss_and_tags() {
         let (world, d5) = training_stream(21, 0.005); // ~190 messages
-        let (model, history) = Aguilar::train(&d5, world.gazetteer.clone(), &AguilarConfig {
-            epochs: 3,
-            ..Default::default()
-        });
+        let (model, history) = Aguilar::train(
+            &d5,
+            world.gazetteer.clone(),
+            &AguilarConfig {
+                epochs: 3,
+                ..Default::default()
+            },
+        );
         assert!(
             history.last().unwrap() < &(history[0] * 0.7),
             "loss should drop: {history:?}"
@@ -316,16 +339,25 @@ mod tests {
     #[test]
     fn emits_entity_aware_embeddings() {
         let (world, d5) = training_stream(22, 0.002);
-        let (model, _) = Aguilar::train(&d5, world.gazetteer.clone(), &AguilarConfig {
-            epochs: 1,
-            ..Default::default()
-        });
+        let (model, _) = Aguilar::train(
+            &d5,
+            world.gazetteer.clone(),
+            &AguilarConfig {
+                epochs: 1,
+                ..Default::default()
+            },
+        );
         let s = &d5.sentences[0].sentence;
         let out = model.process(s);
-        let emb = out.token_embeddings.expect("deep system must emit embeddings");
+        let emb = out
+            .token_embeddings
+            .expect("deep system must emit embeddings");
         assert_eq!(emb.rows, s.len());
         assert_eq!(emb.cols, EMB_DIM);
-        assert!(emb.data.iter().all(|v| *v >= 0.0), "post-ReLU embeddings are non-negative");
+        assert!(
+            emb.data.iter().all(|v| *v >= 0.0),
+            "post-ReLU embeddings are non-negative"
+        );
         assert!(model.is_deep());
     }
 
@@ -333,7 +365,10 @@ mod tests {
     fn empty_sentence_ok() {
         let (world, d5) = training_stream(23, 0.002);
         let model = Aguilar::init(&d5, world.gazetteer.clone(), 0);
-        let s = Sentence { id: emd_text::token::SentenceId::new(0, 0), tokens: vec![] };
+        let s = Sentence {
+            id: emd_text::token::SentenceId::new(0, 0),
+            tokens: vec![],
+        };
         let out = model.process(&s);
         assert!(out.spans.is_empty());
         assert_eq!(out.token_embeddings.unwrap().rows, 0);

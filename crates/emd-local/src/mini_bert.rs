@@ -89,7 +89,9 @@ impl EncoderBlock {
 
     fn backward(&mut self, g: &Matrix) -> Matrix {
         let g2 = self.ln2.backward(g);
-        let gff = self.ff1.backward(&self.relu.backward(&self.ff2.backward(&g2)));
+        let gff = self
+            .ff1
+            .backward(&self.relu.backward(&self.ff2.backward(&g2)));
         let mut gh1 = g2;
         gh1.add_assign(&gff);
         let g1 = self.ln1.backward(&gh1);
@@ -167,7 +169,10 @@ impl MiniBert {
         // Sort for determinism (HashMap iteration order is randomized).
         let mut sorted: Vec<(&String, &u64)> = counts.iter().collect();
         sorted.sort();
-        let bpe = Bpe::learn(sorted.into_iter().map(|(w, c)| (w.as_str(), *c)), BPE_MERGES);
+        let bpe = Bpe::learn(
+            sorted.into_iter().map(|(w, c)| (w.as_str(), *c)),
+            BPE_MERGES,
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         MiniBert {
             tok_emb: Embedding::new(bpe.vocab_size(), MODEL_DIM, &mut rng),
@@ -183,7 +188,12 @@ impl MiniBert {
     /// positions (replacing their ids with `UNK`), predict the original
     /// ids at the masked positions. Returns the loss, or `None` when
     /// nothing was masked.
-    fn pretrain_sentence(&mut self, sentence: &Sentence, mask_prob: f64, rng: &mut StdRng) -> Option<f32> {
+    fn pretrain_sentence(
+        &mut self,
+        sentence: &Sentence,
+        mask_prob: f64,
+        rng: &mut StdRng,
+    ) -> Option<f32> {
         use rand::Rng;
         let (ids, positions, _) = self.encode(sentence);
         if ids.len() < 3 {
@@ -300,16 +310,17 @@ impl MiniBert {
     /// Encode a sentence: `[CLS] subwords…` ids, position ids, and the
     /// (clamped) index of each word's first subword in the input sequence.
     fn encode(&self, sentence: &Sentence) -> (Vec<u32>, Vec<u32>, Vec<usize>) {
-        let texts: Vec<String> =
-            sentence.texts().map(normalize::normalize_token).collect();
+        let texts: Vec<String> = sentence.texts().map(normalize::normalize_token).collect();
         let (sub_ids, first) = self.bpe.encode_tokens(texts.iter().map(|s| s.as_str()));
         let mut ids = Vec::with_capacity(sub_ids.len() + 1);
         ids.push(CLS);
         ids.extend(sub_ids);
         ids.truncate(MAX_SUBWORDS);
         let positions: Vec<u32> = (0..ids.len() as u32).map(|p| p + 1).collect();
-        let word_pos: Vec<usize> =
-            first.iter().map(|&f| (f + 1).min(ids.len().saturating_sub(1))).collect();
+        let word_pos: Vec<usize> = first
+            .iter()
+            .map(|&f| (f + 1).min(ids.len().saturating_sub(1)))
+            .collect();
         (ids, positions, word_pos)
     }
 
@@ -413,7 +424,10 @@ impl LocalEmd for MiniBert {
             }
             bio.push(Bio::from_index(best));
         }
-        LocalEmdOutput { spans: bio_to_spans(&bio), token_embeddings: Some(emb) }
+        LocalEmdOutput {
+            spans: bio_to_spans(&bio),
+            token_embeddings: Some(emb),
+        }
     }
 }
 
@@ -425,7 +439,13 @@ mod tests {
     #[test]
     fn training_reduces_loss_and_tags() {
         let (_, d5) = training_stream(31, 0.004); // ~150 messages
-        let (model, history) = MiniBert::train(&d5, &MiniBertConfig { epochs: 3, ..Default::default() });
+        let (model, history) = MiniBert::train(
+            &d5,
+            &MiniBertConfig {
+                epochs: 3,
+                ..Default::default()
+            },
+        );
         assert!(
             history.last().unwrap() < &(history[0] * 0.8),
             "loss should drop: {history:?}"
@@ -447,7 +467,10 @@ mod tests {
     fn mlm_pretraining_reduces_loss() {
         let (_, d5) = training_stream(35, 0.003);
         let mut model = MiniBert::init(&d5, 0);
-        let cfg = MiniBertConfig { pretrain_epochs: 3, ..Default::default() };
+        let cfg = MiniBertConfig {
+            pretrain_epochs: 3,
+            ..Default::default()
+        };
         let hist = model.pretrain(&d5, &cfg);
         assert_eq!(hist.len(), 3);
         assert!(
@@ -481,7 +504,10 @@ mod tests {
     fn empty_sentence_ok() {
         let (_, d5) = training_stream(34, 0.002);
         let model = MiniBert::init(&d5, 0);
-        let s = Sentence { id: emd_text::token::SentenceId::new(0, 0), tokens: vec![] };
+        let s = Sentence {
+            id: emd_text::token::SentenceId::new(0, 0),
+            tokens: vec![],
+        };
         let out = model.process(&s);
         assert!(out.spans.is_empty());
     }

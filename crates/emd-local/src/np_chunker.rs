@@ -16,8 +16,9 @@ use emd_text::token::{Sentence, Span};
 /// whole (that is where the chunker's characteristic false positives come
 /// from).
 fn trim_to_propn(span: Span, tags: &[PosTag]) -> Span {
-    let propn: Vec<usize> =
-        (span.start..span.end).filter(|&i| tags[i] == PosTag::Propn).collect();
+    let propn: Vec<usize> = (span.start..span.end)
+        .filter(|&i| tags[i] == PosTag::Propn)
+        .collect();
     if propn.is_empty() {
         return span;
     }
@@ -90,8 +91,14 @@ impl LocalEmd for NpChunker {
         if let Some(s) = start {
             spans.push(Span::new(s, texts.len()));
         }
-        let spans = spans.into_iter().map(|sp| trim_to_propn(sp, &tags)).collect();
-        LocalEmdOutput { spans, token_embeddings: None }
+        let spans = spans
+            .into_iter()
+            .map(|sp| trim_to_propn(sp, &tags))
+            .collect();
+        LocalEmdOutput {
+            spans,
+            token_embeddings: None,
+        }
     }
 }
 

@@ -45,7 +45,10 @@ impl std::fmt::Display for PersistError {
             PersistError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
             PersistError::Json(e) => write!(f, "checkpoint serialization error: {e}"),
             PersistError::KindMismatch { found, expected } => {
-                write!(f, "checkpoint kind mismatch: found {found:?}, expected {expected:?}")
+                write!(
+                    f,
+                    "checkpoint kind mismatch: found {found:?}, expected {expected:?}"
+                )
             }
         }
     }
@@ -67,7 +70,11 @@ impl From<serde_json::Error> for PersistError {
 
 /// Save a model checkpoint. `kind` tags the model type (use
 /// [`kind_of`] for consistency).
-pub fn save<T: Serialize>(path: impl AsRef<Path>, kind: &str, model: &T) -> Result<(), PersistError> {
+pub fn save<T: Serialize>(
+    path: impl AsRef<Path>,
+    kind: &str,
+    model: &T,
+) -> Result<(), PersistError> {
     let env = Envelope {
         version: env!("CARGO_PKG_VERSION").to_string(),
         kind: kind.to_string(),
@@ -83,14 +90,20 @@ pub fn load<T: DeserializeOwned>(path: impl AsRef<Path>, kind: &str) -> Result<T
     let json = fs::read_to_string(path)?;
     let env: Envelope<T> = serde_json::from_str(&json)?;
     if env.kind != kind {
-        return Err(PersistError::KindMismatch { found: env.kind, expected: kind.to_string() });
+        return Err(PersistError::KindMismatch {
+            found: env.kind,
+            expected: kind.to_string(),
+        });
     }
     Ok(env.model)
 }
 
 /// Canonical kind tag for a model type name.
 pub fn kind_of<T>() -> &'static str {
-    std::any::type_name::<T>().rsplit("::").next().unwrap_or("model")
+    std::any::type_name::<T>()
+        .rsplit("::")
+        .next()
+        .unwrap_or("model")
 }
 
 #[cfg(test)]

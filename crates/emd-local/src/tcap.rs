@@ -53,7 +53,14 @@ fn features(sentence: &Sentence) -> [f32; N_FEATS] {
         }
     }
     let d = n_alpha.max(1.0);
-    [n_init / d, n_upper / d, n_lower / d, first_cap, n_alpha / 20.0, 1.0]
+    [
+        n_init / d,
+        n_upper / d,
+        n_lower / d,
+        first_cap,
+        n_alpha / 20.0,
+        1.0,
+    ]
 }
 
 impl TCap {
@@ -69,14 +76,24 @@ impl TCap {
             .sentences
             .iter()
             .map(|s| {
-                let y = if sentence_casing_uninformative(&s.sentence) { 0.0 } else { 1.0 };
+                let y = if sentence_casing_uninformative(&s.sentence) {
+                    0.0
+                } else {
+                    1.0
+                };
                 (features(&s.sentence), y)
             })
             .collect();
         let lr = 0.5f32;
         for _ in 0..30 {
             for (x, y) in &data {
-                let z: f32 = model.w.iter().zip(x.iter()).map(|(a, b)| a * b).sum::<f32>() + model.b;
+                let z: f32 = model
+                    .w
+                    .iter()
+                    .zip(x.iter())
+                    .map(|(a, b)| a * b)
+                    .sum::<f32>()
+                    + model.b;
                 let g = sigmoid(z) - y;
                 for (wi, xi) in model.w.iter_mut().zip(x.iter()) {
                     *wi -= lr * g * xi / data.len().max(1) as f32 * 64.0;
@@ -121,7 +138,12 @@ mod tests {
             sentences.push(mk(200 + i, &["WE", "ARE", "DONE", "WITH", "THIS"]));
             sentences.push(mk(300 + i, &["italy", "is", "rising", "fast", "now"]));
         }
-        Dataset { name: "t".into(), kind: DatasetKind::Streaming, n_topics: 1, sentences }
+        Dataset {
+            name: "t".into(),
+            kind: DatasetKind::Streaming,
+            n_topics: 1,
+            sentences,
+        }
     }
 
     #[test]
@@ -131,8 +153,10 @@ mod tests {
             Sentence::from_tokens(SentenceId::new(0, 0), ["Cases", "rise", "in", "Canada"]);
         let shouty =
             Sentence::from_tokens(SentenceId::new(1, 0), ["THIS", "IS", "ALL", "CAPS", "NOW"]);
-        let flat =
-            Sentence::from_tokens(SentenceId::new(2, 0), ["all", "lower", "case", "words", "here"]);
+        let flat = Sentence::from_tokens(
+            SentenceId::new(2, 0),
+            ["all", "lower", "case", "words", "here"],
+        );
         assert!(tcap.predict(&informative) > tcap.predict(&shouty));
         assert!(tcap.predict(&informative) > tcap.predict(&flat));
         assert!(tcap.informative(&informative));

@@ -56,7 +56,12 @@ mod tests {
             sentence: Sentence::from_tokens(SentenceId::new(0, 0), ["Italy", "Italy", "x"]),
             gold: vec![Span::new(0, 1), Span::new(1, 2)],
         };
-        Dataset { name: "t".into(), kind: DatasetKind::Streaming, n_topics: 1, sentences: vec![s] }
+        Dataset {
+            name: "t".into(),
+            kind: DatasetKind::Streaming,
+            n_topics: 1,
+            sentences: vec![s],
+        }
     }
 
     #[test]

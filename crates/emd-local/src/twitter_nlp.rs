@@ -35,7 +35,13 @@ pub struct TwitterNlpConfig {
 impl Default for TwitterNlpConfig {
     fn default() -> Self {
         TwitterNlpConfig {
-            crf: TrainConfig { epochs: 6, lr: 0.05, l2: 1e-6, batch_size: 8, seed: 42 },
+            crf: TrainConfig {
+                epochs: 6,
+                lr: 0.05,
+                l2: 1e-6,
+                batch_size: 8,
+                seed: 42,
+            },
             features: FeatureConfig::default(),
         }
     }
@@ -59,7 +65,12 @@ impl TwitterNlp {
         }
         let mut tagger = CrfTagger::new(&cfg.features);
         tagger.train(&examples, &cfg.crf);
-        TwitterNlp { tagger, tcap, gazetteer, feat_cfg: cfg.features.clone() }
+        TwitterNlp {
+            tagger,
+            tcap,
+            gazetteer,
+            feat_cfg: cfg.features.clone(),
+        }
     }
 
     /// Replace the gazetteer (external dictionary resource).
@@ -84,15 +95,20 @@ impl LocalEmd for TwitterNlp {
 
     fn process(&self, sentence: &Sentence) -> LocalEmdOutput {
         if sentence.is_empty() {
-            return LocalEmdOutput { spans: vec![], token_embeddings: None };
+            return LocalEmdOutput {
+                spans: vec![],
+                token_embeddings: None,
+            };
         }
         let toks: Vec<String> = sentence.texts().map(|t| t.to_string()).collect();
         let pos = tag_sentence(&toks);
         let informative = self.tcap.informative(sentence);
-        let feats =
-            extract_features(&toks, &pos, &self.gazetteer, informative, &self.feat_cfg);
+        let feats = extract_features(&toks, &pos, &self.gazetteer, informative, &self.feat_cfg);
         let bio: Vec<Bio> = self.tagger.decode_bio(&feats);
-        LocalEmdOutput { spans: bio_to_spans(&bio), token_embeddings: None }
+        LocalEmdOutput {
+            spans: bio_to_spans(&bio),
+            token_embeddings: None,
+        }
     }
 }
 
@@ -124,7 +140,10 @@ mod tests {
     fn empty_sentence() {
         let (world, d5) = training_stream(12, 0.003);
         let model = TwitterNlp::train(&d5, world.gazetteer.clone(), &TwitterNlpConfig::default());
-        let s = Sentence { id: emd_text::token::SentenceId::new(0, 0), tokens: vec![] };
+        let s = Sentence {
+            id: emd_text::token::SentenceId::new(0, 0),
+            tokens: vec![],
+        };
         assert!(model.process(&s).spans.is_empty());
     }
 }

@@ -18,7 +18,11 @@ impl Relu {
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
         self.mask = x.data.iter().map(|&v| v > 0.0).collect();
         let data = x.data.iter().map(|&v| v.max(0.0)).collect();
-        Matrix { rows: x.rows, cols: x.cols, data }
+        Matrix {
+            rows: x.rows,
+            cols: x.cols,
+            data,
+        }
     }
 
     /// `dx = dy ⊙ 1[x > 0]`.
@@ -30,7 +34,11 @@ impl Relu {
             .zip(self.mask.iter())
             .map(|(&g, &m)| if m { g } else { 0.0 })
             .collect();
-        Matrix { rows: gy.rows, cols: gy.cols, data }
+        Matrix {
+            rows: gy.rows,
+            cols: gy.cols,
+            data,
+        }
     }
 }
 
@@ -50,7 +58,11 @@ impl Tanh {
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
         let data: Vec<f32> = x.data.iter().map(|&v| v.tanh()).collect();
         self.y = data.clone();
-        Matrix { rows: x.rows, cols: x.cols, data }
+        Matrix {
+            rows: x.rows,
+            cols: x.cols,
+            data,
+        }
     }
 
     /// `dx = dy ⊙ (1 - y²)`.
@@ -61,7 +73,11 @@ impl Tanh {
             .zip(self.y.iter())
             .map(|(&g, &y)| g * (1.0 - y * y))
             .collect();
-        Matrix { rows: gy.rows, cols: gy.cols, data }
+        Matrix {
+            rows: gy.rows,
+            cols: gy.cols,
+            data,
+        }
     }
 }
 
@@ -92,7 +108,11 @@ impl Sigmoid {
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
         let data: Vec<f32> = x.data.iter().map(|&v| sigmoid(v)).collect();
         self.y = data.clone();
-        Matrix { rows: x.rows, cols: x.cols, data }
+        Matrix {
+            rows: x.rows,
+            cols: x.cols,
+            data,
+        }
     }
 
     /// `dx = dy ⊙ y(1-y)`.
@@ -103,7 +123,11 @@ impl Sigmoid {
             .zip(self.y.iter())
             .map(|(&g, &y)| g * y * (1.0 - y))
             .collect();
-        Matrix { rows: gy.rows, cols: gy.cols, data }
+        Matrix {
+            rows: gy.rows,
+            cols: gy.cols,
+            data,
+        }
     }
 }
 
@@ -206,10 +230,25 @@ mod tests {
             xp.data[i] += eps;
             let mut xm = x.clone();
             xm.data[i] -= eps;
-            let lp: f32 = softmax_rows(&xp).data.iter().zip(w.iter()).map(|(a, b)| a * b).sum();
-            let lm: f32 = softmax_rows(&xm).data.iter().zip(w.iter()).map(|(a, b)| a * b).sum();
+            let lp: f32 = softmax_rows(&xp)
+                .data
+                .iter()
+                .zip(w.iter())
+                .map(|(a, b)| a * b)
+                .sum();
+            let lm: f32 = softmax_rows(&xm)
+                .data
+                .iter()
+                .zip(w.iter())
+                .map(|(a, b)| a * b)
+                .sum();
             let fd = (lp - lm) / (2.0 * eps);
-            assert!((gx.data[i] - fd).abs() < 1e-3, "i={i} {} vs {}", gx.data[i], fd);
+            assert!(
+                (gx.data[i] - fd).abs() < 1e-3,
+                "i={i} {} vs {}",
+                gx.data[i],
+                fd
+            );
         }
     }
 }

@@ -43,7 +43,8 @@ struct AttnCache {
 fn head_slice(x: &Matrix, h: usize, dh: usize) -> Matrix {
     let mut out = Matrix::zeros(x.rows, dh);
     for r in 0..x.rows {
-        out.row_mut(r).copy_from_slice(&x.row(r)[h * dh..(h + 1) * dh]);
+        out.row_mut(r)
+            .copy_from_slice(&x.row(r)[h * dh..(h + 1) * dh]);
     }
     out
 }
@@ -61,7 +62,10 @@ fn head_scatter(dst: &mut Matrix, src: &Matrix, h: usize, dh: usize) {
 impl MultiHeadAttention {
     /// New attention module over `d`-dim rows with `n_heads` heads.
     pub fn new(d: usize, n_heads: usize, rng: &mut StdRng) -> MultiHeadAttention {
-        assert!(d.is_multiple_of(n_heads), "model dim {d} not divisible by heads {n_heads}");
+        assert!(
+            d.is_multiple_of(n_heads),
+            "model dim {d} not divisible by heads {n_heads}"
+        );
         MultiHeadAttention {
             wq: Param::xavier(d, d, rng),
             wk: Param::xavier(d, d, rng),
@@ -99,7 +103,14 @@ impl MultiHeadAttention {
             attns.push(a);
         }
         let y = concat.matmul(&self.wo.value);
-        self.cache = Some(AttnCache { x: x.clone(), q, k, v, attn: attns, concat });
+        self.cache = Some(AttnCache {
+            x: x.clone(),
+            q,
+            k,
+            v,
+            attn: attns,
+            concat,
+        });
         y
     }
 
@@ -127,7 +138,10 @@ impl MultiHeadAttention {
 
     /// Backward pass from `gy` `[T, d]` → `dx` `[T, d]`.
     pub fn backward(&mut self, gy: &Matrix) -> Matrix {
-        let cache = self.cache.take().expect("MultiHeadAttention::backward before forward");
+        let cache = self
+            .cache
+            .take()
+            .expect("MultiHeadAttention::backward before forward");
         let d = self.dim();
         let dh = d / self.n_heads;
         let scale = 1.0 / (dh as f32).sqrt();
@@ -218,7 +232,11 @@ mod tests {
             |net| {
                 let y = net.forward(&x);
                 let loss: f32 = y.data.iter().map(|v| v * v).sum();
-                let gy = Matrix { rows: y.rows, cols: y.cols, data: y.data.iter().map(|v| 2.0 * v).collect() };
+                let gy = Matrix {
+                    rows: y.rows,
+                    cols: y.cols,
+                    data: y.data.iter().map(|v| 2.0 * v).collect(),
+                };
                 net.backward(&gy);
                 loss
             },
@@ -233,7 +251,11 @@ mod tests {
         let mut attn = MultiHeadAttention::new(4, 1, &mut rng);
         let x = input(3, 4, 8);
         let y = attn.forward(&x);
-        let gy = Matrix { rows: y.rows, cols: y.cols, data: y.data.iter().map(|v| 2.0 * v).collect() };
+        let gy = Matrix {
+            rows: y.rows,
+            cols: y.cols,
+            data: y.data.iter().map(|v| 2.0 * v).collect(),
+        };
         let dx = attn.backward(&gy);
         let eps = 5e-3;
         for i in [0usize, 5, 11] {
@@ -244,7 +266,12 @@ mod tests {
             let lp: f32 = attn.forward(&xp).data.iter().map(|v| v * v).sum();
             let lm: f32 = attn.forward(&xm).data.iter().map(|v| v * v).sum();
             let fd = (lp - lm) / (2.0 * eps);
-            assert!((dx.data[i] - fd).abs() < 3e-2, "i={i}: {} vs {}", dx.data[i], fd);
+            assert!(
+                (dx.data[i] - fd).abs() < 3e-2,
+                "i={i}: {} vs {}",
+                dx.data[i],
+                fd
+            );
         }
     }
 

@@ -106,7 +106,12 @@ impl CharCnn {
             out.set(0, j, best);
             argmax[j] = bi;
         }
-        self.cache = Some(CnnCache { patches, pre_relu: pre, argmax, in_len: x.rows });
+        self.cache = Some(CnnCache {
+            patches,
+            pre_relu: pre,
+            argmax,
+            in_len: x.rows,
+        });
         out
     }
 
@@ -248,7 +253,11 @@ mod tests {
             |net| {
                 let y = net.forward(&x);
                 let loss: f32 = y.data.iter().map(|v| v * v).sum();
-                let gy = Matrix { rows: 1, cols: y.cols, data: y.data.iter().map(|v| 2.0 * v).collect() };
+                let gy = Matrix {
+                    rows: 1,
+                    cols: y.cols,
+                    data: y.data.iter().map(|v| 2.0 * v).collect(),
+                };
                 net.backward(&gy);
                 loss
             },
@@ -263,7 +272,11 @@ mod tests {
         let mut cnn = CharCnn::new(2, 3, 3, &mut rng);
         let x = input(4, 2, 11);
         let y = cnn.forward(&x);
-        let gy = Matrix { rows: 1, cols: y.cols, data: y.data.iter().map(|v| 2.0 * v).collect() };
+        let gy = Matrix {
+            rows: 1,
+            cols: y.cols,
+            data: y.data.iter().map(|v| 2.0 * v).collect(),
+        };
         let dx = cnn.backward(&gy);
         let eps = 5e-3;
         for i in 0..x.data.len() {
@@ -275,7 +288,12 @@ mod tests {
             let lm: f32 = cnn.forward(&xm).data.iter().map(|v| v * v).sum();
             let fd = (lp - lm) / (2.0 * eps);
             // max-pool argmax can flip under perturbation; allow loose tol
-            assert!((dx.data[i] - fd).abs() < 5e-2, "i={i}: {} vs {}", dx.data[i], fd);
+            assert!(
+                (dx.data[i] - fd).abs() < 5e-2,
+                "i={i}: {} vs {}",
+                dx.data[i],
+                fd
+            );
         }
     }
 }

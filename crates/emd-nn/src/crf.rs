@@ -55,8 +55,9 @@ impl CrfLayer {
                 alpha.set(t, j, emissions.get(t, j) + log_sum_exp(&scratch));
             }
         }
-        let finals: Vec<f32> =
-            (0..l).map(|j| alpha.get(t_len - 1, j) + self.end.value.data[j]).collect();
+        let finals: Vec<f32> = (0..l)
+            .map(|j| alpha.get(t_len - 1, j) + self.end.value.data[j])
+            .collect();
         (alpha, log_sum_exp(&finals))
     }
 
@@ -251,7 +252,12 @@ mod tests {
     #[test]
     fn partition_exceeds_any_path_score() {
         let mut crf = CrfLayer::new(3);
-        crf.trans.value.data.iter_mut().enumerate().for_each(|(i, x)| *x = (i as f32) * 0.1);
+        crf.trans
+            .value
+            .data
+            .iter_mut()
+            .enumerate()
+            .for_each(|(i, x)| *x = (i as f32) * 0.1);
         let e = emissions(4, 3, 4);
         let z = crf.log_partition(&e);
         let best = crf.decode(&e);
@@ -290,7 +296,12 @@ mod tests {
             let (lp, _) = c2.nll(&ep, &gold);
             let (lm, _) = c2.nll(&em, &gold);
             let fd = (lp - lm) / (2.0 * eps);
-            assert!((de.data[i] - fd).abs() < 1e-2, "i={i}: {} vs {}", de.data[i], fd);
+            assert!(
+                (de.data[i] - fd).abs() < 1e-2,
+                "i={i}: {} vs {}",
+                de.data[i],
+                fd
+            );
         }
     }
 

@@ -23,7 +23,11 @@ pub struct Dense {
 impl Dense {
     /// Xavier-initialized dense layer.
     pub fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Dense {
-        Dense { w: Param::xavier(in_dim, out_dim, rng), b: Param::zeros(1, out_dim), cache_x: None }
+        Dense {
+            w: Param::xavier(in_dim, out_dim, rng),
+            b: Param::zeros(1, out_dim),
+            cache_x: None,
+        }
     }
 
     /// Input dimensionality.
@@ -54,7 +58,10 @@ impl Dense {
     /// Backward pass: accumulates `dW = xᵀ·gy`, `db = colsum(gy)`, returns
     /// `dx = gy·Wᵀ`.
     pub fn backward(&mut self, gy: &Matrix) -> Matrix {
-        let x = self.cache_x.as_ref().expect("Dense::backward called before forward");
+        let x = self
+            .cache_x
+            .as_ref()
+            .expect("Dense::backward called before forward");
         self.w.grad.add_assign(&x.matmul_tn(gy));
         self.b.grad.add_assign(&gy.col_sums());
         gy.matmul_nt(&self.w.value)
@@ -122,7 +129,11 @@ mod tests {
         let mut d = Dense::new(2, 2, &mut rng);
         let x = Matrix::from_vec(1, 2, vec![0.3, -0.4]);
         let y = d.forward(&x);
-        let gy = Matrix { rows: 1, cols: 2, data: y.data.iter().map(|v| 2.0 * v).collect() };
+        let gy = Matrix {
+            rows: 1,
+            cols: 2,
+            data: y.data.iter().map(|v| 2.0 * v).collect(),
+        };
         let gx = d.backward(&gy);
         let eps = 1e-2;
         for i in 0..2 {

@@ -24,7 +24,10 @@ impl Embedding {
         for x in table.value.row_mut(0) {
             *x = 0.0;
         }
-        Embedding { table, cache_ids: Vec::new() }
+        Embedding {
+            table,
+            cache_ids: Vec::new(),
+        }
     }
 
     /// Embedding dimensionality.
@@ -48,7 +51,11 @@ impl Embedding {
         let dim = self.dim();
         let mut out = Matrix::zeros(ids.len(), dim);
         for (t, &id) in ids.iter().enumerate() {
-            let id = if (id as usize) < self.vocab() { id as usize } else { 0 };
+            let id = if (id as usize) < self.vocab() {
+                id as usize
+            } else {
+                0
+            };
             out.row_mut(t).copy_from_slice(self.table.value.row(id));
         }
         out
@@ -56,7 +63,11 @@ impl Embedding {
 
     /// Accumulate gradients for the rows used in the last forward.
     pub fn backward(&mut self, gy: &Matrix) {
-        assert_eq!(gy.rows, self.cache_ids.len(), "Embedding::backward shape mismatch");
+        assert_eq!(
+            gy.rows,
+            self.cache_ids.len(),
+            "Embedding::backward shape mismatch"
+        );
         let ids = std::mem::take(&mut self.cache_ids);
         self.accumulate_grad(&ids, gy);
         self.cache_ids = ids;
@@ -66,7 +77,11 @@ impl Embedding {
     /// when the table is looked up many times per training step (e.g. the
     /// per-word character encoder).
     pub fn accumulate_grad(&mut self, ids: &[u32], gy: &Matrix) {
-        assert_eq!(gy.rows, ids.len(), "Embedding::accumulate_grad shape mismatch");
+        assert_eq!(
+            gy.rows,
+            ids.len(),
+            "Embedding::accumulate_grad shape mismatch"
+        );
         for (t, &id) in ids.iter().enumerate() {
             if id == 0 || (id as usize) >= self.vocab() {
                 continue; // padding / out-of-range: no gradient
@@ -132,7 +147,11 @@ mod tests {
             |net| {
                 let y = net.forward(&ids);
                 let loss: f32 = y.data.iter().map(|v| v * v).sum();
-                let gy = Matrix { rows: y.rows, cols: y.cols, data: y.data.iter().map(|v| 2.0 * v).collect() };
+                let gy = Matrix {
+                    rows: y.rows,
+                    cols: y.cols,
+                    data: y.data.iter().map(|v| 2.0 * v).collect(),
+                };
                 net.backward(&gy);
                 loss
             },

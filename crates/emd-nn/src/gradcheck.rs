@@ -21,14 +21,23 @@ use rand::{Rng, SeedableRng};
 /// `f32` arithmetic with ε = 5e-3.
 ///
 /// Panics with a diagnostic on the first failing coordinate.
-pub fn grad_check<N: Net>(net: &mut N, mut run: impl FnMut(&mut N) -> f32, samples: usize, seed: u64) {
+pub fn grad_check<N: Net>(
+    net: &mut N,
+    mut run: impl FnMut(&mut N) -> f32,
+    samples: usize,
+    seed: u64,
+) {
     const EPS: f32 = 5e-3;
     const TOL: f32 = 2e-2;
 
     // Analytic pass.
     net.zero_grads();
     let _ = run(net);
-    let grads: Vec<Vec<f32>> = net.params_mut().iter().map(|p| p.grad.data.clone()).collect();
+    let grads: Vec<Vec<f32>> = net
+        .params_mut()
+        .iter()
+        .map(|p| p.grad.data.clone())
+        .collect();
     let shapes: Vec<usize> = grads.iter().map(|g| g.len()).collect();
 
     let mut rng = StdRng::seed_from_u64(seed);
@@ -81,7 +90,9 @@ mod tests {
 
     #[test]
     fn passes_for_correct_gradient() {
-        let mut m = Linear1 { w: Param::zeros(1, 1) };
+        let mut m = Linear1 {
+            w: Param::zeros(1, 1),
+        };
         m.w.value.data[0] = 0.7;
         let x = 1.3f32;
         grad_check(
@@ -100,7 +111,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "gradient mismatch")]
     fn fails_for_wrong_gradient() {
-        let mut m = Linear1 { w: Param::zeros(1, 1) };
+        let mut m = Linear1 {
+            w: Param::zeros(1, 1),
+        };
         m.w.value.data[0] = 0.7;
         grad_check(
             &mut m,
@@ -124,7 +137,14 @@ mod tests {
                 vec![&mut self.p]
             }
         }
-        let mut m = Empty { p: Param { value: Matrix::zeros(0, 0), grad: Matrix::zeros(0, 0), m: Matrix::zeros(0, 0), v: Matrix::zeros(0, 0) } };
+        let mut m = Empty {
+            p: Param {
+                value: Matrix::zeros(0, 0),
+                grad: Matrix::zeros(0, 0),
+                m: Matrix::zeros(0, 0),
+                v: Matrix::zeros(0, 0),
+            },
+        };
         grad_check(&mut m, |_| 0.0, 5, 2);
     }
 }

@@ -21,7 +21,12 @@ impl LayerNorm {
     pub fn new(d: usize) -> LayerNorm {
         let mut gamma = Param::zeros(1, d);
         gamma.value.fill(1.0);
-        LayerNorm { gamma, beta: Param::zeros(1, d), eps: 1e-5, cache: None }
+        LayerNorm {
+            gamma,
+            beta: Param::zeros(1, d),
+            eps: 1e-5,
+            cache: None,
+        }
     }
 
     /// `y = γ ⊙ (x − μ)/σ + β`, statistics per row.
@@ -39,7 +44,11 @@ impl LayerNorm {
             for c in 0..d {
                 let xh = (row[c] - mean) * inv_std;
                 xhat.set(r, c, xh);
-                y.set(r, c, self.gamma.value.data[c] * xh + self.beta.value.data[c]);
+                y.set(
+                    r,
+                    c,
+                    self.gamma.value.data[c] * xh + self.beta.value.data[c],
+                );
             }
         }
         self.cache = Some((xhat, inv_stds));
@@ -57,7 +66,11 @@ impl LayerNorm {
             let inv_std = 1.0 / (var + self.eps).sqrt();
             for c in 0..d {
                 let xh = (row[c] - mean) * inv_std;
-                y.set(r, c, self.gamma.value.data[c] * xh + self.beta.value.data[c]);
+                y.set(
+                    r,
+                    c,
+                    self.gamma.value.data[c] * xh + self.beta.value.data[c],
+                );
             }
         }
         y
@@ -65,7 +78,10 @@ impl LayerNorm {
 
     /// Backward pass; accumulates `dγ`, `dβ`, returns `dx`.
     pub fn backward(&mut self, gy: &Matrix) -> Matrix {
-        let (xhat, inv_stds) = self.cache.take().expect("LayerNorm::backward before forward");
+        let (xhat, inv_stds) = self
+            .cache
+            .take()
+            .expect("LayerNorm::backward before forward");
         let d = gy.cols;
         let mut dx = Matrix::zeros(gy.rows, d);
         for r in 0..gy.rows {
@@ -77,11 +93,14 @@ impl LayerNorm {
                 self.beta.grad.data[c] += gr[c];
             }
             // dxhat = gy ⊙ γ
-            let dxhat: Vec<f32> =
-                (0..d).map(|c| gr[c] * self.gamma.value.data[c]).collect();
+            let dxhat: Vec<f32> = (0..d).map(|c| gr[c] * self.gamma.value.data[c]).collect();
             let mean_dxhat = dxhat.iter().sum::<f32>() / d as f32;
-            let mean_dxhat_xhat =
-                dxhat.iter().zip(xr.iter()).map(|(&a, &b)| a * b).sum::<f32>() / d as f32;
+            let mean_dxhat_xhat = dxhat
+                .iter()
+                .zip(xr.iter())
+                .map(|(&a, &b)| a * b)
+                .sum::<f32>()
+                / d as f32;
             for c in 0..d {
                 dx.set(
                     r,
@@ -120,16 +139,30 @@ mod tests {
     #[test]
     fn gradcheck_layernorm() {
         let mut ln = LayerNorm::new(5);
-        let x = Matrix::from_vec(2, 5, vec![0.5, -1.0, 2.0, 0.3, -0.7, 1.5, 0.2, -0.4, 0.9, -1.2]);
+        let x = Matrix::from_vec(
+            2,
+            5,
+            vec![0.5, -1.0, 2.0, 0.3, -0.7, 1.5, 0.2, -0.4, 0.9, -1.2],
+        );
         grad_check(
             &mut ln,
             |net| {
                 let y = net.forward(&x);
-                let loss: f32 = y.data.iter().enumerate().map(|(i, v)| v * v * (1.0 + i as f32 * 0.1)).sum();
+                let loss: f32 = y
+                    .data
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| v * v * (1.0 + i as f32 * 0.1))
+                    .sum();
                 let gy = Matrix {
                     rows: y.rows,
                     cols: y.cols,
-                    data: y.data.iter().enumerate().map(|(i, v)| 2.0 * v * (1.0 + i as f32 * 0.1)).collect(),
+                    data: y
+                        .data
+                        .iter()
+                        .enumerate()
+                        .map(|(i, v)| 2.0 * v * (1.0 + i as f32 * 0.1))
+                        .collect(),
                 };
                 net.backward(&gy);
                 loss
@@ -148,7 +181,11 @@ mod tests {
         let x = Matrix::from_vec(1, 3, vec![0.4, -0.6, 1.1]);
         let mut ln2 = ln.clone();
         let y = ln2.forward(&x);
-        let gy = Matrix { rows: 1, cols: 3, data: y.data.iter().map(|v| 2.0 * v).collect() };
+        let gy = Matrix {
+            rows: 1,
+            cols: 3,
+            data: y.data.iter().map(|v| 2.0 * v).collect(),
+        };
         let dx = ln2.backward(&gy);
         let eps = 1e-3;
         for i in 0..3 {
@@ -159,7 +196,12 @@ mod tests {
             let lp: f32 = ln.clone().forward(&xp).data.iter().map(|v| v * v).sum();
             let lm: f32 = ln.clone().forward(&xm).data.iter().map(|v| v * v).sum();
             let fd = (lp - lm) / (2.0 * eps);
-            assert!((dx.data[i] - fd).abs() < 1e-2, "i={i}: {} vs {}", dx.data[i], fd);
+            assert!(
+                (dx.data[i] - fd).abs() < 1e-2,
+                "i={i}: {} vs {}",
+                dx.data[i],
+                fd
+            );
         }
     }
 }

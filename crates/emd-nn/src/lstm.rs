@@ -219,7 +219,10 @@ pub struct BiLstm {
 impl BiLstm {
     /// New BiLSTM over `input`-dim rows with `hidden` units per direction.
     pub fn new(input: usize, hidden: usize, rng: &mut StdRng) -> BiLstm {
-        BiLstm { fwd: Lstm::new(input, hidden, rng), bwd: Lstm::new(input, hidden, rng) }
+        BiLstm {
+            fwd: Lstm::new(input, hidden, rng),
+            bwd: Lstm::new(input, hidden, rng),
+        }
     }
 
     /// Output dimensionality (2 × hidden).
@@ -287,7 +290,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut lstm = Lstm::new(3, 4, &mut rng);
         let y = lstm.forward(&input(6, 3, 2));
-        assert!(y.data.iter().all(|v| v.abs() <= 1.0), "h = o·tanh(c) ∈ (-1,1)");
+        assert!(
+            y.data.iter().all(|v| v.abs() <= 1.0),
+            "h = o·tanh(c) ∈ (-1,1)"
+        );
     }
 
     #[test]
@@ -300,7 +306,11 @@ mod tests {
             |net| {
                 let y = net.forward(&x);
                 let loss: f32 = y.data.iter().map(|v| v * v).sum();
-                let gy = Matrix { rows: y.rows, cols: y.cols, data: y.data.iter().map(|v| 2.0 * v).collect() };
+                let gy = Matrix {
+                    rows: y.rows,
+                    cols: y.cols,
+                    data: y.data.iter().map(|v| 2.0 * v).collect(),
+                };
                 net.backward(&gy);
                 loss
             },
@@ -315,7 +325,11 @@ mod tests {
         let mut lstm = Lstm::new(2, 3, &mut rng);
         let x = input(3, 2, 7);
         let y = lstm.forward(&x);
-        let gy = Matrix { rows: y.rows, cols: y.cols, data: y.data.iter().map(|v| 2.0 * v).collect() };
+        let gy = Matrix {
+            rows: y.rows,
+            cols: y.cols,
+            data: y.data.iter().map(|v| 2.0 * v).collect(),
+        };
         let dx = lstm.backward(&gy);
         let eps = 5e-3;
         for i in 0..x.data.len() {
@@ -326,7 +340,12 @@ mod tests {
             let lp: f32 = lstm.forward(&xp).data.iter().map(|v| v * v).sum();
             let lm: f32 = lstm.forward(&xm).data.iter().map(|v| v * v).sum();
             let fd = (lp - lm) / (2.0 * eps);
-            assert!((dx.data[i] - fd).abs() < 2e-2, "i={i}: {} vs {}", dx.data[i], fd);
+            assert!(
+                (dx.data[i] - fd).abs() < 2e-2,
+                "i={i}: {} vs {}",
+                dx.data[i],
+                fd
+            );
         }
     }
 
@@ -342,7 +361,11 @@ mod tests {
             |net| {
                 let y = net.forward(&x);
                 let loss: f32 = y.data.iter().map(|v| v * v).sum();
-                let gy = Matrix { rows: y.rows, cols: y.cols, data: y.data.iter().map(|v| 2.0 * v).collect() };
+                let gy = Matrix {
+                    rows: y.rows,
+                    cols: y.cols,
+                    data: y.data.iter().map(|v| 2.0 * v).collect(),
+                };
                 net.backward(&gy);
                 loss
             },
@@ -363,7 +386,8 @@ mod tests {
         let y1 = net.forward(&x1);
         let y2 = net.forward(&x2);
         let h = 3;
-        let first_row_bwd_changed = (0..h).any(|j| (y1.get(0, h + j) - y2.get(0, h + j)).abs() > 1e-6);
+        let first_row_bwd_changed =
+            (0..h).any(|j| (y1.get(0, h + j) - y2.get(0, h + j)).abs() > 1e-6);
         assert!(first_row_bwd_changed);
         // Forward half of row 0 must be unchanged.
         let first_row_fwd_changed = (0..h).any(|j| (y1.get(0, j) - y2.get(0, j)).abs() > 1e-9);

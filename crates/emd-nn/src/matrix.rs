@@ -21,7 +21,11 @@ pub struct Matrix {
 impl Matrix {
     /// All-zeros matrix.
     pub fn zeros(rows: usize, cols: usize) -> Matrix {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Matrix from a flat row-major vector (length must match).
@@ -32,7 +36,11 @@ impl Matrix {
 
     /// Single-row matrix from a slice.
     pub fn row_vector(v: &[f32]) -> Matrix {
-        Matrix { rows: 1, cols: v.len(), data: v.to_vec() }
+        Matrix {
+            rows: 1,
+            cols: v.len(),
+            data: v.to_vec(),
+        }
     }
 
     /// Element accessor.
@@ -63,7 +71,11 @@ impl Matrix {
 
     /// `self · b` — `[m,k] x [k,n] -> [m,n]`.
     pub fn matmul(&self, b: &Matrix) -> Matrix {
-        assert_eq!(self.cols, b.rows, "matmul shape mismatch {}x{} · {}x{}", self.rows, self.cols, b.rows, b.cols);
+        assert_eq!(
+            self.cols, b.rows,
+            "matmul shape mismatch {}x{} · {}x{}",
+            self.rows, self.cols, b.rows, b.cols
+        );
         let (m, k, n) = (self.rows, self.cols, b.cols);
         let mut out = Matrix::zeros(m, n);
         for i in 0..m {
@@ -175,8 +187,17 @@ impl Matrix {
     /// Elementwise product (Hadamard), returning a new matrix.
     pub fn hadamard(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.data.len(), other.data.len());
-        let data = self.data.iter().zip(other.data.iter()).map(|(&a, &b)| a * b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| a * b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Scale all elements in place.

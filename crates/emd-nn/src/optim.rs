@@ -46,7 +46,13 @@ pub struct Adam {
 impl Adam {
     /// Adam with the standard β₁=0.9, β₂=0.999, ε=1e-8.
     pub fn new(lr: f32) -> Adam {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0 }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+        }
     }
 
     /// Apply one update step to all parameters.
@@ -95,7 +101,9 @@ mod tests {
 
     #[test]
     fn sgd_converges_on_quadratic() {
-        let mut s = Scalar { w: Param::zeros(1, 1) };
+        let mut s = Scalar {
+            w: Param::zeros(1, 1),
+        };
         let mut opt = Sgd::new(0.1);
         for _ in 0..100 {
             s.zero_grads();
@@ -107,14 +115,20 @@ mod tests {
 
     #[test]
     fn adam_converges_on_quadratic() {
-        let mut s = Scalar { w: Param::zeros(1, 1) };
+        let mut s = Scalar {
+            w: Param::zeros(1, 1),
+        };
         let mut opt = Adam::new(0.1);
         for _ in 0..300 {
             s.zero_grads();
             let _ = loss_and_grad(&mut s);
             opt.step(&mut s.params_mut());
         }
-        assert!((s.w.value.data[0] - 3.0).abs() < 1e-2, "w={}", s.w.value.data[0]);
+        assert!(
+            (s.w.value.data[0] - 3.0).abs() < 1e-2,
+            "w={}",
+            s.w.value.data[0]
+        );
         assert_eq!(opt.steps(), 300);
     }
 
@@ -125,6 +139,10 @@ mod tests {
         p.grad = Matrix::from_vec(1, 1, vec![42.0]);
         let mut opt = Adam::new(0.01);
         opt.step(&mut [&mut p]);
-        assert!((p.value.data[0] + 0.01).abs() < 1e-4, "step={}", p.value.data[0]);
+        assert!(
+            (p.value.data[0] + 0.01).abs() < 1e-4,
+            "step={}",
+            p.value.data[0]
+        );
     }
 }

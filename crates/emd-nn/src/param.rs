@@ -141,7 +141,10 @@ mod tests {
 
     #[test]
     fn clip_grad_norm() {
-        let mut t = Toy { a: Param::zeros(1, 2), b: Param::zeros(1, 2) };
+        let mut t = Toy {
+            a: Param::zeros(1, 2),
+            b: Param::zeros(1, 2),
+        };
         t.a.grad.data = vec![3.0, 0.0];
         t.b.grad.data = vec![0.0, 4.0];
         t.clip_grad_norm(1.0); // norm is 5
@@ -157,7 +160,10 @@ mod tests {
 
     #[test]
     fn n_weights() {
-        let mut t = Toy { a: Param::zeros(2, 3), b: Param::zeros(1, 4) };
+        let mut t = Toy {
+            a: Param::zeros(2, 3),
+            b: Param::zeros(1, 4),
+        };
         assert_eq!(t.n_weights(), 10);
     }
 }

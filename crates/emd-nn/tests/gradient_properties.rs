@@ -18,18 +18,30 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn rand_input(t: usize, d: usize, rng: &mut StdRng) -> Matrix {
-    Matrix::from_vec(t, d, (0..t * d).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+    Matrix::from_vec(
+        t,
+        d,
+        (0..t * d).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+    )
 }
 
 fn sq_loss_grad(y: &Matrix) -> Matrix {
-    Matrix { rows: y.rows, cols: y.cols, data: y.data.iter().map(|v| 2.0 * v).collect() }
+    Matrix {
+        rows: y.rows,
+        cols: y.cols,
+        data: y.data.iter().map(|v| 2.0 * v).collect(),
+    }
 }
 
 #[test]
 fn dense_gradcheck_randomized_configs() {
     for seed in 0..5u64 {
         let mut rng = StdRng::seed_from_u64(seed);
-        let (din, dout, n) = (rng.gen_range(1..8), rng.gen_range(1..8), rng.gen_range(1..5));
+        let (din, dout, n) = (
+            rng.gen_range(1..8),
+            rng.gen_range(1..8),
+            rng.gen_range(1..5),
+        );
         let mut layer = Dense::new(din, dout, &mut rng);
         let x = rand_input(n, din, &mut rng);
         grad_check(
@@ -50,7 +62,11 @@ fn dense_gradcheck_randomized_configs() {
 fn lstm_gradcheck_randomized_configs() {
     for seed in 0..4u64 {
         let mut rng = StdRng::seed_from_u64(100 + seed);
-        let (din, h, t) = (rng.gen_range(1..5), rng.gen_range(1..5), rng.gen_range(1..6));
+        let (din, h, t) = (
+            rng.gen_range(1..5),
+            rng.gen_range(1..5),
+            rng.gen_range(1..6),
+        );
         let mut layer = Lstm::new(din, h, &mut rng);
         let x = rand_input(t, din, &mut rng);
         grad_check(
@@ -71,7 +87,11 @@ fn lstm_gradcheck_randomized_configs() {
 fn bilstm_infer_matches_forward() {
     for seed in 0..5u64 {
         let mut rng = StdRng::seed_from_u64(200 + seed);
-        let (din, h, t) = (rng.gen_range(1..6), rng.gen_range(1..6), rng.gen_range(1..8));
+        let (din, h, t) = (
+            rng.gen_range(1..6),
+            rng.gen_range(1..6),
+            rng.gen_range(1..8),
+        );
         let mut layer = BiLstm::new(din, h, &mut rng);
         let x = rand_input(t, din, &mut rng);
         let a = layer.forward(&x);
@@ -101,7 +121,11 @@ fn attention_infer_matches_forward() {
 fn charcnn_gradcheck_randomized() {
     for seed in 0..4u64 {
         let mut rng = StdRng::seed_from_u64(400 + seed);
-        let (d, f, l) = (rng.gen_range(1..5), rng.gen_range(1..6), rng.gen_range(1..8));
+        let (d, f, l) = (
+            rng.gen_range(1..5),
+            rng.gen_range(1..6),
+            rng.gen_range(1..8),
+        );
         let mut layer = CharCnn::new(d, 3, f, &mut rng);
         let x = rand_input(l, d, &mut rng);
         grad_check(
@@ -219,7 +243,9 @@ fn adam_beats_sgd_on_illconditioned_quadratic() {
         }
     }
     let run = |use_adam: bool| -> f32 {
-        let mut q = Q { w: Param::zeros(1, 2) };
+        let mut q = Q {
+            w: Param::zeros(1, 2),
+        };
         q.w.value.data = vec![1.0, 1.0];
         let mut adam = Adam::new(0.05);
         let mut sgd = emd_nn::optim::Sgd::new(0.0005); // stable for k=100
@@ -236,5 +262,8 @@ fn adam_beats_sgd_on_illconditioned_quadratic() {
         let (a, b) = (q.w.value.data[0], q.w.value.data[1]);
         100.0 * a * a + b * b
     };
-    assert!(run(true) < run(false), "Adam should outperform conservative SGD here");
+    assert!(
+        run(true) < run(false),
+        "Adam should outperform conservative SGD here"
+    );
 }

@@ -39,12 +39,18 @@ pub struct StandardDatasets {
 impl StandardDatasets {
     /// Streaming subset (D1–D4).
     pub fn streaming(&self) -> Vec<&Dataset> {
-        self.datasets.iter().filter(|d| d.name.starts_with('D')).collect()
+        self.datasets
+            .iter()
+            .filter(|d| d.name.starts_with('D'))
+            .collect()
     }
 
     /// Non-streaming subset (WNUT17, BTC).
     pub fn non_streaming(&self) -> Vec<&Dataset> {
-        self.datasets.iter().filter(|d| !d.name.starts_with('D')).collect()
+        self.datasets
+            .iter()
+            .filter(|d| !d.name.starts_with('D'))
+            .collect()
     }
 }
 
@@ -54,24 +60,51 @@ impl StandardDatasets {
 /// benchmark harness and tests; experiments use `scale = 1.0`.
 pub fn standard_datasets(seed: u64, scale: f64) -> StandardDatasets {
     assert!(scale > 0.0 && scale <= 1.0);
-    let world = World::generate(&WorldConfig { seed, ..Default::default() });
+    let world = World::generate(&WorldConfig {
+        seed,
+        ..Default::default()
+    });
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5151);
     let noise = NoiseConfig::default();
     let sz = |n: usize| ((n as f64 * scale) as usize).max(20);
 
     // D1: single politics stream.
-    let t1 = vec![Topic::generate_mixed(&world, Domain::Politics, 60, Some(EVAL_ESTABLISHED), &mut rng)];
+    let t1 = vec![Topic::generate_mixed(
+        &world,
+        Domain::Politics,
+        60,
+        Some(EVAL_ESTABLISHED),
+        &mut rng,
+    )];
     let d1 = gen_stream(&world, &t1, sz(1000), "D1", &noise, seed ^ 1);
 
     // D2: the Covid-19 stream of the case study.
-    let t2 = vec![Topic::generate_mixed(&world, Domain::Health, 80, Some(EVAL_ESTABLISHED), &mut rng)];
+    let t2 = vec![Topic::generate_mixed(
+        &world,
+        Domain::Health,
+        80,
+        Some(EVAL_ESTABLISHED),
+        &mut rng,
+    )];
     let d2 = gen_stream(&world, &t2, sz(2000), "D2", &noise, seed ^ 2);
 
     // D3: three topics.
     let t3 = vec![
         Topic::generate_mixed(&world, Domain::Sports, 60, Some(EVAL_ESTABLISHED), &mut rng),
-        Topic::generate_mixed(&world, Domain::Entertainment, 60, Some(EVAL_ESTABLISHED), &mut rng),
-        Topic::generate_mixed(&world, Domain::Science, 60, Some(EVAL_ESTABLISHED), &mut rng),
+        Topic::generate_mixed(
+            &world,
+            Domain::Entertainment,
+            60,
+            Some(EVAL_ESTABLISHED),
+            &mut rng,
+        ),
+        Topic::generate_mixed(
+            &world,
+            Domain::Science,
+            60,
+            Some(EVAL_ESTABLISHED),
+            &mut rng,
+        ),
     ];
     let d3 = gen_stream(&world, &t3, sz(3000), "D3", &noise, seed ^ 3);
 
@@ -86,7 +119,10 @@ pub fn standard_datasets(seed: u64, scale: f64) -> StandardDatasets {
     let wnut = gen_random_sample(&world, sz(1500), "WNUT17", &noise, seed ^ 5);
     let btc = gen_random_sample(&world, sz(5000), "BTC", &noise, seed ^ 6);
 
-    StandardDatasets { world, datasets: vec![d1, d2, d3, d4, wnut, btc] }
+    StandardDatasets {
+        world,
+        datasets: vec![d1, d2, d3, d4, wnut, btc],
+    }
 }
 
 /// Generate D5 — the 38K-tweet training stream used to supervise the
@@ -94,7 +130,10 @@ pub fn standard_datasets(seed: u64, scale: f64) -> StandardDatasets {
 /// systems). `scale` as in [`standard_datasets`].
 pub fn training_stream(seed: u64, scale: f64) -> (World, Dataset) {
     assert!(scale > 0.0 && scale <= 1.0);
-    let world = World::generate(&WorldConfig { seed, ..Default::default() });
+    let world = World::generate(&WorldConfig {
+        seed,
+        ..Default::default()
+    });
     let mut rng = StdRng::seed_from_u64(seed ^ 0xd5d5);
     // A broad stream mixing all domains — rich supervision.
     // Training streams only see established entities: evaluation streams
@@ -121,14 +160,24 @@ pub fn training_stream(seed: u64, scale: f64) -> (World, Dataset) {
 pub fn generic_training_corpus(seed: u64, scale: f64) -> (World, Dataset) {
     assert!(scale > 0.0 && scale <= 1.0);
     // Different seed-space → different entity catalog.
-    let world = World::generate(&WorldConfig { seed: seed ^ 0x7e57_0000, ..Default::default() });
+    let world = World::generate(&WorldConfig {
+        seed: seed ^ 0x7e57_0000,
+        ..Default::default()
+    });
     let mut rng = StdRng::seed_from_u64(seed ^ 0x7e57_0001);
     let topics: Vec<Topic> = Domain::all()
         .iter()
         .map(|&d| Topic::generate(&world, d, 90, &mut rng))
         .collect();
     let n = ((4_000f64 * scale.max(0.25)) as usize).max(400);
-    let corpus = gen_stream(&world, &topics, n, "WNUT17-train", &NoiseConfig::default(), seed ^ 0x7e57_0002);
+    let corpus = gen_stream(
+        &world,
+        &topics,
+        n,
+        "WNUT17-train",
+        &NoiseConfig::default(),
+        seed ^ 0x7e57_0002,
+    );
     (world, corpus)
 }
 

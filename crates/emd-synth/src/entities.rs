@@ -20,54 +20,101 @@ use serde::{Deserialize, Serialize};
 
 const FIRST_NAMES: &[&str] = &[
     "Andy", "Maria", "James", "Elena", "Victor", "Sofia", "Marcus", "Priya", "Diego", "Hannah",
-    "Omar", "Lucia", "Felix", "Amara", "Boris", "Greta", "Hugo", "Ines", "Jonas", "Keiko",
-    "Liam", "Nadia", "Oscar", "Paula", "Quinn", "Rosa", "Stefan", "Tara", "Umar", "Vera",
+    "Omar", "Lucia", "Felix", "Amara", "Boris", "Greta", "Hugo", "Ines", "Jonas", "Keiko", "Liam",
+    "Nadia", "Oscar", "Paula", "Quinn", "Rosa", "Stefan", "Tara", "Umar", "Vera",
 ];
 const LAST_NAMES: &[&str] = &[
     "Beshear", "Moreno", "Clarke", "Petrov", "Tanaka", "Silva", "Novak", "Fischer", "Rossi",
-    "Haddad", "Kowalski", "Lindgren", "Mbeki", "Navarro", "Okafor", "Price", "Quintana",
-    "Reyes", "Santos", "Thornton", "Ueda", "Vasquez", "Weber", "Xu", "Youssef", "Zhang",
-    "Aldana", "Brennan", "Castillo", "Duarte",
+    "Haddad", "Kowalski", "Lindgren", "Mbeki", "Navarro", "Okafor", "Price", "Quintana", "Reyes",
+    "Santos", "Thornton", "Ueda", "Vasquez", "Weber", "Xu", "Youssef", "Zhang", "Aldana",
+    "Brennan", "Castillo", "Duarte",
 ];
 const PLACES: &[&str] = &[
-    "Italy", "Canada", "Kentucky", "Ohio", "Madrid", "Lagos", "Osaka", "Lyon", "Porto",
-    "Geneva", "Austin", "Denver", "Quito", "Nairobi", "Jakarta", "Oslo", "Dublin", "Calgary",
-    "Valencia", "Krakow", "Tampere", "Bogota", "Adelaide", "Marseille", "Seville",
+    "Italy",
+    "Canada",
+    "Kentucky",
+    "Ohio",
+    "Madrid",
+    "Lagos",
+    "Osaka",
+    "Lyon",
+    "Porto",
+    "Geneva",
+    "Austin",
+    "Denver",
+    "Quito",
+    "Nairobi",
+    "Jakarta",
+    "Oslo",
+    "Dublin",
+    "Calgary",
+    "Valencia",
+    "Krakow",
+    "Tampere",
+    "Bogota",
+    "Adelaide",
+    "Marseille",
+    "Seville",
 ];
 const ORG_HEADS: &[&str] = &[
-    "Global", "United", "National", "Pacific", "Atlas", "Vertex", "Nimbus", "Quantum",
-    "Pioneer", "Summit", "Horizon", "Sterling", "Cascade", "Meridian", "Zenith",
+    "Global", "United", "National", "Pacific", "Atlas", "Vertex", "Nimbus", "Quantum", "Pioneer",
+    "Summit", "Horizon", "Sterling", "Cascade", "Meridian", "Zenith",
 ];
 const ORG_TAILS: &[&str] = &[
-    "Health Organization", "Research Institute", "Medical Center", "Dynamics", "Laboratories",
-    "Systems", "Athletics", "Studios", "Networks", "Council", "Alliance", "Federation",
-    "Broadcasting", "Analytics", "Foundation",
+    "Health Organization",
+    "Research Institute",
+    "Medical Center",
+    "Dynamics",
+    "Laboratories",
+    "Systems",
+    "Athletics",
+    "Studios",
+    "Networks",
+    "Council",
+    "Alliance",
+    "Federation",
+    "Broadcasting",
+    "Analytics",
+    "Foundation",
 ];
 const PRODUCT_HEADS: &[&str] = &[
     "Pixel", "Nova", "Aero", "Volt", "Echo", "Flux", "Orbit", "Pulse", "Vista", "Prism",
 ];
-const PRODUCT_TAILS: &[&str] =
-    &["Phone", "Pad", "Watch", "Drive", "Cam", "Pod", "Book", "Max", "Mini", "Pro"];
+const PRODUCT_TAILS: &[&str] = &[
+    "Phone", "Pad", "Watch", "Drive", "Cam", "Pod", "Book", "Max", "Mini", "Pro",
+];
 const WORK_HEADS: &[&str] = &[
-    "Midnight", "Silent", "Golden", "Broken", "Hidden", "Crimson", "Electric", "Frozen",
-    "Savage", "Gentle",
+    "Midnight", "Silent", "Golden", "Broken", "Hidden", "Crimson", "Electric", "Frozen", "Savage",
+    "Gentle",
 ];
 const WORK_TAILS: &[&str] = &[
     "Empire", "Horizon", "Protocol", "Kingdom", "Paradox", "Symphony", "Station", "Harvest",
     "Mirage", "Covenant",
 ];
 const EVENT_WORDS: &[&str] = &[
-    "Coronavirus", "Covid", "Ebola", "Influenza", "Wildfire", "Heatwave", "Blackout",
-    "Lockdown", "Olympics", "Worlds", "Playoffs", "Election", "Summit", "Primaries",
+    "Coronavirus",
+    "Covid",
+    "Ebola",
+    "Influenza",
+    "Wildfire",
+    "Heatwave",
+    "Blackout",
+    "Lockdown",
+    "Olympics",
+    "Worlds",
+    "Playoffs",
+    "Election",
+    "Summit",
+    "Primaries",
 ];
 
 /// Syllable inventory shared by the entity name generator and the
 /// colloquialism (filler) generator, so affix distributions cannot leak
 /// entity-ness.
 pub(crate) const SYLLABLES: &[&str] = &[
-    "ka", "ze", "mor", "lin", "tav", "rek", "sol", "ny", "bra", "dun", "fel", "gor", "hax",
-    "iva", "jol", "kri", "lum", "mab", "nev", "oss", "pel", "quor", "rin", "sa", "tol", "ull",
-    "vor", "wim", "xan", "yel", "zu", "thra", "bel", "cor", "dag",
+    "ka", "ze", "mor", "lin", "tav", "rek", "sol", "ny", "bra", "dun", "fel", "gor", "hax", "iva",
+    "jol", "kri", "lum", "mab", "nev", "oss", "pel", "quor", "rin", "sa", "tol", "ull", "vor",
+    "wim", "xan", "yel", "zu", "thra", "bel", "cor", "dag",
 ];
 
 /// One nameable entity with its surface variants.
@@ -112,7 +159,11 @@ fn make_variants(proper: &str, category: GazCategory, rng: &mut StdRng) -> Vec<S
     if toks.len() > 1 {
         // Partial form: the most informative token (last for persons,
         // first otherwise).
-        let part = if category == GazCategory::Person { toks[toks.len() - 1] } else { toks[0] };
+        let part = if category == GazCategory::Person {
+            toks[toks.len() - 1]
+        } else {
+            toks[0]
+        };
         vs.push(part.to_string());
         // Abbreviation for organizations: initial letters.
         if category == GazCategory::Organization && toks.len() >= 2 {
@@ -201,9 +252,11 @@ impl World {
         let mut entities = Vec::new();
         let mut seen = std::collections::HashSet::new();
 
-        let push_entity = |proper: String, cat: GazCategory, rng: &mut StdRng,
-                               entities: &mut Vec<Entity>,
-                               seen: &mut std::collections::HashSet<String>| {
+        let push_entity = |proper: String,
+                           cat: GazCategory,
+                           rng: &mut StdRng,
+                           entities: &mut Vec<Entity>,
+                           seen: &mut std::collections::HashSet<String>| {
             let canonical = proper.to_lowercase();
             if !seen.insert(canonical.clone()) {
                 return;
@@ -238,14 +291,21 @@ impl World {
                     }
                     GazCategory::Location => {
                         if synthetic {
-                            { let n = 1 + rng.gen_range(1..3); synth_name(&mut rng, n) }
+                            {
+                                let n = 1 + rng.gen_range(1..3);
+                                synth_name(&mut rng, n)
+                            }
                         } else {
                             (*PLACES.choose(&mut rng).unwrap()).to_string()
                         }
                     }
                     GazCategory::Organization => {
                         if synthetic {
-                            format!("{} {}", synth_name(&mut rng, 2), ORG_TAILS.choose(&mut rng).unwrap())
+                            format!(
+                                "{} {}",
+                                synth_name(&mut rng, 2),
+                                ORG_TAILS.choose(&mut rng).unwrap()
+                            )
                         } else {
                             format!(
                                 "{} {}",
@@ -256,7 +316,11 @@ impl World {
                     }
                     GazCategory::Product => {
                         if synthetic {
-                            format!("{} {}", synth_name(&mut rng, 2), PRODUCT_TAILS.choose(&mut rng).unwrap())
+                            format!(
+                                "{} {}",
+                                synth_name(&mut rng, 2),
+                                PRODUCT_TAILS.choose(&mut rng).unwrap()
+                            )
                         } else {
                             format!(
                                 "{} {}",
@@ -267,7 +331,11 @@ impl World {
                     }
                     GazCategory::CreativeWork => {
                         if synthetic {
-                            format!("{} {}", synth_name(&mut rng, 2), WORK_TAILS.choose(&mut rng).unwrap())
+                            format!(
+                                "{} {}",
+                                synth_name(&mut rng, 2),
+                                WORK_TAILS.choose(&mut rng).unwrap()
+                            )
                         } else {
                             format!(
                                 "{} {}",
@@ -278,7 +346,10 @@ impl World {
                     }
                     GazCategory::Group => {
                         if synthetic {
-                            { let n = 2 + rng.gen_range(0..2); synth_name(&mut rng, n) }
+                            {
+                                let n = 2 + rng.gen_range(0..2);
+                                synth_name(&mut rng, n)
+                            }
                         } else {
                             (*EVENT_WORDS.choose(&mut rng).unwrap()).to_string()
                         }
@@ -311,12 +382,17 @@ impl World {
                 gazetteer.insert(e.category, &e.variants[0]);
             }
         }
-        World { entities, gazetteer }
+        World {
+            entities,
+            gazetteer,
+        }
     }
 
     /// Entities of one category.
     pub fn by_category(&self, cat: GazCategory) -> Vec<usize> {
-        (0..self.entities.len()).filter(|&i| self.entities[i].category == cat).collect()
+        (0..self.entities.len())
+            .filter(|&i| self.entities[i].category == cat)
+            .collect()
     }
 
     /// Entity indices filtered by category and established status.
@@ -334,7 +410,10 @@ mod tests {
     use super::*;
 
     fn small_world() -> World {
-        World::generate(&WorldConfig { per_category: 30, ..Default::default() })
+        World::generate(&WorldConfig {
+            per_category: 30,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -386,7 +465,10 @@ mod tests {
                     && v.chars().all(|c| c.is_uppercase())
             })
         });
-        assert!(any_abbr, "expected at least one organization abbreviation variant");
+        assert!(
+            any_abbr,
+            "expected at least one organization abbreviation variant"
+        );
     }
 
     #[test]
@@ -394,7 +476,10 @@ mod tests {
         let w = small_world();
         let known = w.entities.iter().filter(|e| e.in_gazetteer).count();
         assert!(known > 0);
-        assert!(known < w.entities.len(), "some entities must remain out-of-gazetteer");
+        assert!(
+            known < w.entities.len(),
+            "some entities must remain out-of-gazetteer"
+        );
         // Known entities are queryable.
         let e = w.entities.iter().find(|e| e.in_gazetteer).unwrap();
         assert!(w.gazetteer.contains_any(&e.variants[0]));
@@ -402,7 +487,10 @@ mod tests {
 
     #[test]
     fn deterministic_generation() {
-        let cfg = WorldConfig { per_category: 20, ..Default::default() };
+        let cfg = WorldConfig {
+            per_category: 20,
+            ..Default::default()
+        };
         let a = World::generate(&cfg);
         let b = World::generate(&cfg);
         assert_eq!(a.entities.len(), b.entities.len());

@@ -157,7 +157,13 @@ mod tests {
     use rand::SeedableRng;
 
     fn draft(words: &[(&str, Option<usize>)]) -> Vec<DraftToken> {
-        words.iter().map(|(w, e)| DraftToken { text: w.to_string(), entity: *e }).collect()
+        words
+            .iter()
+            .map(|(w, e)| DraftToken {
+                text: w.to_string(),
+                entity: *e,
+            })
+            .collect()
     }
 
     #[test]
@@ -173,7 +179,10 @@ mod tests {
     #[test]
     fn all_caps_sentence() {
         let mut toks = draft(&[("Covid", Some(0)), ("hits", None)]);
-        let cfg = NoiseConfig { p_all_caps: 1.0, ..NoiseConfig::none() };
+        let cfg = NoiseConfig {
+            p_all_caps: 1.0,
+            ..NoiseConfig::none()
+        };
         let mut rng = StdRng::seed_from_u64(1);
         apply(&mut toks, &cfg, &mut rng);
         assert_eq!(toks[0].text, "COVID");
@@ -182,7 +191,10 @@ mod tests {
 
     #[test]
     fn entity_decapitalization() {
-        let cfg = NoiseConfig { p_entity_lower: 1.0, ..NoiseConfig::none() };
+        let cfg = NoiseConfig {
+            p_entity_lower: 1.0,
+            ..NoiseConfig::none()
+        };
         let mut rng = StdRng::seed_from_u64(2);
         let mut toks = draft(&[("Coronavirus", Some(0)), ("Spreads", None)]);
         apply(&mut toks, &cfg, &mut rng);
@@ -202,8 +214,12 @@ mod tests {
         };
         for seed in 0..20 {
             let mut rng = StdRng::seed_from_u64(seed);
-            let mut toks =
-                draft(&[("Beshear", Some(0)), ("speaks", None), ("about", None), ("Covid", Some(1))]);
+            let mut toks = draft(&[
+                ("Beshear", Some(0)),
+                ("speaks", None),
+                ("about", None),
+                ("Covid", Some(1)),
+            ]);
             apply(&mut toks, &cfg, &mut rng);
             assert_eq!(toks.len(), 4);
             assert!(toks.iter().all(|t| !t.text.is_empty()));

@@ -17,11 +17,52 @@ pub use crate::noise::NoiseConfig;
 /// can be chatter or a decapitalized entity mention — the core ambiguity of
 /// microblog EMD.
 const FILLERS: &[&str] = &[
-    "honestly", "literally", "apparently", "seriously", "reportedly", "allegedly", "basically",
-    "actually", "meanwhile", "finally", "update", "btw", "tho", "rn", "fr", "yall", "lowkey",
-    "highkey", "deadass", "kinda", "sorta", "imo", "tbh", "ngl", "smh", "fwiw", "lmk", "rly",
-    "def", "legit", "folks", "friends", "everyone", "listen", "look", "welp", "yikes", "wild",
-    "crazy", "insane", "unreal", "huge", "massive", "breaking", "developing", "thread",
+    "honestly",
+    "literally",
+    "apparently",
+    "seriously",
+    "reportedly",
+    "allegedly",
+    "basically",
+    "actually",
+    "meanwhile",
+    "finally",
+    "update",
+    "btw",
+    "tho",
+    "rn",
+    "fr",
+    "yall",
+    "lowkey",
+    "highkey",
+    "deadass",
+    "kinda",
+    "sorta",
+    "imo",
+    "tbh",
+    "ngl",
+    "smh",
+    "fwiw",
+    "lmk",
+    "rly",
+    "def",
+    "legit",
+    "folks",
+    "friends",
+    "everyone",
+    "listen",
+    "look",
+    "welp",
+    "yikes",
+    "wild",
+    "crazy",
+    "insane",
+    "unreal",
+    "huge",
+    "massive",
+    "breaking",
+    "developing",
+    "thread",
 ];
 
 /// Draw a filler token: a real filler, or a generated colloquialism built
@@ -57,7 +98,13 @@ fn insert_fillers(
             .find(|(_, sp)| pos > sp.start && pos < sp.end)
             .map(|(_, sp)| sp.start)
             .unwrap_or(pos);
-        tokens.insert(pos, DraftToken { text: sample_filler(rng), entity: None });
+        tokens.insert(
+            pos,
+            DraftToken {
+                text: sample_filler(rng),
+                entity: None,
+            },
+        );
         for (_, sp) in mentions.iter_mut() {
             if sp.start >= pos {
                 sp.start += 1;
@@ -95,12 +142,18 @@ fn fill_template(
     let mut tokens: Vec<DraftToken> = Vec::new();
     let mut mentions: Vec<(usize, Span)> = Vec::new();
     let primary = topic.sample_entity(rng);
-    let push_entity = |e_idx: usize, tokens: &mut Vec<DraftToken>, mentions: &mut Vec<(usize, Span)>, rng: &mut StdRng| {
+    let push_entity = |e_idx: usize,
+                       tokens: &mut Vec<DraftToken>,
+                       mentions: &mut Vec<(usize, Span)>,
+                       rng: &mut StdRng| {
         let ent = &world.entities[e_idx];
         let v = sample_variant(ent.n_variants(), rng);
         let start = tokens.len();
         for t in ent.variant_tokens(v) {
-            tokens.push(DraftToken { text: t, entity: Some(e_idx) });
+            tokens.push(DraftToken {
+                text: t,
+                entity: Some(e_idx),
+            });
         }
         mentions.push((e_idx, Span::new(start, tokens.len())));
     };
@@ -113,22 +166,37 @@ fn fill_template(
             }
             "{NUM}" => {
                 let n: u32 = rng.gen_range(2..9000);
-                tokens.push(DraftToken { text: n.to_string(), entity: None });
+                tokens.push(DraftToken {
+                    text: n.to_string(),
+                    entity: None,
+                });
             }
             "{HT}" => {
                 let tags = topic.domain.hashtags();
                 let tag = tags.choose(rng).unwrap();
-                tokens.push(DraftToken { text: format!("#{tag}"), entity: None });
+                tokens.push(DraftToken {
+                    text: format!("#{tag}"),
+                    entity: None,
+                });
             }
             "{AT}" => {
                 let id: u32 = rng.gen_range(1..500);
-                tokens.push(DraftToken { text: format!("@user{id}"), entity: None });
+                tokens.push(DraftToken {
+                    text: format!("@user{id}"),
+                    entity: None,
+                });
             }
             "{URL}" => {
                 let id: u32 = rng.gen_range(1000..99999);
-                tokens.push(DraftToken { text: format!("https://t.co/x{id}"), entity: None });
+                tokens.push(DraftToken {
+                    text: format!("https://t.co/x{id}"),
+                    entity: None,
+                });
             }
-            lit => tokens.push(DraftToken { text: lit.to_string(), entity: None }),
+            lit => tokens.push(DraftToken {
+                text: lit.to_string(),
+                entity: None,
+            }),
         }
     }
     (tokens, mentions)
@@ -141,7 +209,10 @@ fn to_annotated(
 ) -> AnnotatedSentence {
     let sentence = Sentence {
         id,
-        tokens: tokens.into_iter().map(|t| Token::synthetic(t.text)).collect(),
+        tokens: tokens
+            .into_iter()
+            .map(|t| Token::synthetic(t.text))
+            .collect(),
     };
     let gold = mentions.into_iter().map(|(_, s)| s).collect();
     AnnotatedSentence { sentence, gold }
@@ -180,7 +251,12 @@ pub fn gen_stream(
         let topic = &topics[rng.gen_range(0..topics.len())];
         sentences.push(gen_message(world, topic, i as u64, noise_cfg, &mut rng));
     }
-    Dataset { name: name.to_string(), kind: DatasetKind::Streaming, n_topics: topics.len(), sentences }
+    Dataset {
+        name: name.to_string(),
+        kind: DatasetKind::Streaming,
+        n_topics: topics.len(),
+        sentences,
+    }
 }
 
 /// Generate a *non-streaming* dataset (WNUT17/BTC style): every message
@@ -218,13 +294,18 @@ mod tests {
     use std::collections::HashMap;
 
     fn world() -> World {
-        World::generate(&WorldConfig { per_category: 60, ..Default::default() })
+        World::generate(&WorldConfig {
+            per_category: 60,
+            ..Default::default()
+        })
     }
 
     fn topics(world: &World, n: usize, seed: u64) -> Vec<Topic> {
         let mut rng = StdRng::seed_from_u64(seed);
         let domains = Domain::all();
-        (0..n).map(|i| Topic::generate(world, domains[i % 5], 50, &mut rng)).collect()
+        (0..n)
+            .map(|i| Topic::generate(world, domains[i % 5], 50, &mut rng))
+            .collect()
     }
 
     #[test]
@@ -238,9 +319,10 @@ mod tests {
                 let surface = sp.surface_lower(&s.sentence);
                 // Every gold surface must be a variant (lower-cased) of some
                 // world entity.
-                let found = w.entities.iter().any(|e| {
-                    e.variants.iter().any(|v| v.to_lowercase() == surface)
-                });
+                let found = w
+                    .entities
+                    .iter()
+                    .any(|e| e.variants.iter().any(|v| v.to_lowercase() == surface));
                 assert!(found, "gold surface {surface:?} not a known variant");
             }
         }
@@ -258,7 +340,10 @@ mod tests {
             }
         }
         let max = freq.values().max().copied().unwrap_or(0);
-        assert!(max >= 20, "a streaming dataset must repeat its head entities, max={max}");
+        assert!(
+            max >= 20,
+            "a streaming dataset must repeat its head entities, max={max}"
+        );
     }
 
     #[test]
@@ -292,7 +377,10 @@ mod tests {
                     .insert(sp.surface(&s.sentence));
             }
         }
-        assert!(by_key.values().any(|set| set.len() >= 2), "expected case variation in mentions");
+        assert!(
+            by_key.values().any(|set| set.len() >= 2),
+            "expected case variation in mentions"
+        );
     }
 
     #[test]
@@ -315,10 +403,14 @@ mod tests {
         for s in &d.sentences {
             for sp in &s.gold {
                 let surface = sp.surface_lower(&s.sentence);
-                let found = w.entities.iter().any(|e| {
-                    e.variants.iter().any(|v| v.to_lowercase() == surface)
-                });
-                assert!(found, "gold span corrupted by filler insertion: {surface:?}");
+                let found = w
+                    .entities
+                    .iter()
+                    .any(|e| e.variants.iter().any(|v| v.to_lowercase() == surface));
+                assert!(
+                    found,
+                    "gold span corrupted by filler insertion: {surface:?}"
+                );
             }
         }
     }

@@ -49,15 +49,24 @@ pub fn gen_sts(world: &World, n: usize, n_val: usize, seed: u64) -> (Vec<StsPair
             let t = &topics[rng.gen_range(0..topics.len())];
             let a = gen_message(world, t, id * 2, &noise, rng);
             let mut b = gen_message(world, t, id * 2 + 1, &noise, rng);
-            let akeys: std::collections::HashSet<String> =
-                a.gold.iter().map(|s| s.surface_lower(&a.sentence)).collect();
-            let mut shares = b.gold.iter().any(|s| akeys.contains(&s.surface_lower(&b.sentence)));
+            let akeys: std::collections::HashSet<String> = a
+                .gold
+                .iter()
+                .map(|s| s.surface_lower(&a.sentence))
+                .collect();
+            let mut shares = b
+                .gold
+                .iter()
+                .any(|s| akeys.contains(&s.surface_lower(&b.sentence)));
             for _ in 0..6 {
                 if shares {
                     break;
                 }
                 b = gen_message(world, t, id * 2 + 1, &noise, rng);
-                shares = b.gold.iter().any(|s| akeys.contains(&s.surface_lower(&b.sentence)));
+                shares = b
+                    .gold
+                    .iter()
+                    .any(|s| akeys.contains(&s.surface_lower(&b.sentence)));
             }
             let base = if shares { 0.88 } else { 0.62 };
             StsPair {
@@ -103,7 +112,10 @@ mod tests {
 
     #[test]
     fn scores_in_unit_interval() {
-        let w = World::generate(&WorldConfig { per_category: 40, ..Default::default() });
+        let w = World::generate(&WorldConfig {
+            per_category: 40,
+            ..Default::default()
+        });
         let (train, val) = gen_sts(&w, 200, 50, 1);
         assert_eq!(train.len(), 200);
         assert_eq!(val.len(), 50);
@@ -115,7 +127,10 @@ mod tests {
 
     #[test]
     fn score_distribution_spans_range() {
-        let w = World::generate(&WorldConfig { per_category: 40, ..Default::default() });
+        let w = World::generate(&WorldConfig {
+            per_category: 40,
+            ..Default::default()
+        });
         let (train, _) = gen_sts(&w, 300, 10, 2);
         let lows = train.iter().filter(|p| p.score < 0.35).count();
         let highs = train.iter().filter(|p| p.score > 0.7).count();
@@ -125,7 +140,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let w = World::generate(&WorldConfig { per_category: 40, ..Default::default() });
+        let w = World::generate(&WorldConfig {
+            per_category: 40,
+            ..Default::default()
+        });
         let (a, _) = gen_sts(&w, 50, 5, 3);
         let (b, _) = gen_sts(&w, 50, 5, 3);
         for (x, y) in a.iter().zip(b.iter()) {

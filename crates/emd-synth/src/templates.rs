@@ -34,7 +34,13 @@ pub enum Domain {
 impl Domain {
     /// All domains in a fixed order.
     pub fn all() -> [Domain; 5] {
-        [Domain::Politics, Domain::Sports, Domain::Entertainment, Domain::Science, Domain::Health]
+        [
+            Domain::Politics,
+            Domain::Sports,
+            Domain::Entertainment,
+            Domain::Science,
+            Domain::Health,
+        ]
     }
 
     /// Templates for this domain.
@@ -53,7 +59,13 @@ impl Domain {
         match self {
             Domain::Politics => &["vote2020", "debate", "election", "policy", "townhall"],
             Domain::Sports => &["gameday", "playoffs", "matchday", "finals", "transfer"],
-            Domain::Entertainment => &["premiere", "nowwatching", "newmusic", "bingeworthy", "trailer"],
+            Domain::Entertainment => &[
+                "premiere",
+                "nowwatching",
+                "newmusic",
+                "bingeworthy",
+                "trailer",
+            ],
             Domain::Science => &["research", "space", "newpaper", "discovery", "launch"],
             Domain::Health => &["covid19", "stayhome", "publichealth", "vaccine", "outbreak"],
         }

@@ -28,11 +28,31 @@ pub struct Topic {
 /// tend to mention.
 fn domain_categories(d: Domain) -> &'static [GazCategory] {
     match d {
-        Domain::Politics => &[GazCategory::Person, GazCategory::Location, GazCategory::Organization],
-        Domain::Sports => &[GazCategory::Group, GazCategory::Person, GazCategory::Location],
-        Domain::Entertainment => &[GazCategory::CreativeWork, GazCategory::Person, GazCategory::Group],
-        Domain::Science => &[GazCategory::Organization, GazCategory::Product, GazCategory::Location],
-        Domain::Health => &[GazCategory::Group, GazCategory::Location, GazCategory::Organization],
+        Domain::Politics => &[
+            GazCategory::Person,
+            GazCategory::Location,
+            GazCategory::Organization,
+        ],
+        Domain::Sports => &[
+            GazCategory::Group,
+            GazCategory::Person,
+            GazCategory::Location,
+        ],
+        Domain::Entertainment => &[
+            GazCategory::CreativeWork,
+            GazCategory::Person,
+            GazCategory::Group,
+        ],
+        Domain::Science => &[
+            GazCategory::Organization,
+            GazCategory::Product,
+            GazCategory::Location,
+        ],
+        Domain::Health => &[
+            GazCategory::Group,
+            GazCategory::Location,
+            GazCategory::Organization,
+        ],
     }
 }
 
@@ -90,7 +110,11 @@ impl Topic {
             }
         }
         let zipf = Zipf::new(focus.len(), 1.15);
-        Topic { domain, focus, zipf }
+        Topic {
+            domain,
+            focus,
+            zipf,
+        }
     }
 
     /// Draw a focus entity index (into `World::entities`) by Zipf rank.
@@ -122,7 +146,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn world() -> World {
-        World::generate(&WorldConfig { per_category: 40, ..Default::default() })
+        World::generate(&WorldConfig {
+            per_category: 40,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -143,9 +170,17 @@ mod tests {
             *counts.entry(t.sample_entity(&mut rng)).or_insert(0usize) += 1;
         }
         let max = *counts.values().max().unwrap();
-        let min = t.focus.iter().map(|e| counts.get(e).copied().unwrap_or(0)).min().unwrap();
+        let min = t
+            .focus
+            .iter()
+            .map(|e| counts.get(e).copied().unwrap_or(0))
+            .min()
+            .unwrap();
         assert!(max > 500, "head entity should dominate, max={max}");
-        assert!(min * 10 < max, "tail entities should be much rarer: min={min} max={max}");
+        assert!(
+            min * 10 < max,
+            "tail entities should be much rarer: min={min} max={max}"
+        );
     }
 
     #[test]
@@ -174,6 +209,9 @@ mod tests {
             .iter()
             .filter(|&&i| cats.contains(&w.entities[i].category))
             .count();
-        assert!(in_domain * 2 > t.n_focus(), "majority of focus entities in-domain");
+        assert!(
+            in_domain * 2 > t.n_focus(),
+            "majority of focus entities in-domain"
+        );
     }
 }

@@ -85,9 +85,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let z1 = Zipf::new(100, 0.8);
         let z2 = Zipf::new(100, 2.0);
-        let head = |z: &Zipf, rng: &mut StdRng| {
-            (0..5000).filter(|_| z.sample(rng) == 0).count()
-        };
+        let head = |z: &Zipf, rng: &mut StdRng| (0..5000).filter(|_| z.sample(rng) == 0).count();
         let h1 = head(&z1, &mut rng);
         let h2 = head(&z2, &mut rng);
         assert!(h2 > h1);

@@ -1,9 +1,7 @@
 //! Contract tests for the synthetic-stream generator: the statistical
 //! properties the evaluation depends on must hold across seeds and scales.
 
-use emd_synth::datasets::{
-    generic_training_corpus, standard_datasets, stats, training_stream,
-};
+use emd_synth::datasets::{generic_training_corpus, standard_datasets, stats, training_stream};
 use emd_text::token::DatasetKind;
 use std::collections::{HashMap, HashSet};
 
@@ -17,10 +15,8 @@ fn recurrence_gap_holds_across_seeds() {
         let ratio = |d: &emd_text::token::Dataset| {
             d.n_mentions() as f64 / d.n_unique_entities().max(1) as f64
         };
-        let streaming_avg: f64 =
-            suite.streaming().iter().map(|d| ratio(d)).sum::<f64>() / 4.0;
-        let non_avg: f64 =
-            suite.non_streaming().iter().map(|d| ratio(d)).sum::<f64>() / 2.0;
+        let streaming_avg: f64 = suite.streaming().iter().map(|d| ratio(d)).sum::<f64>() / 4.0;
+        let non_avg: f64 = suite.non_streaming().iter().map(|d| ratio(d)).sum::<f64>() / 2.0;
         assert!(
             streaming_avg > non_avg * 2.0,
             "seed {seed}: streaming {streaming_avg:.1} vs non-streaming {non_avg:.1}"
@@ -34,8 +30,12 @@ fn recurrence_gap_holds_across_seeds() {
 fn generic_world_is_disjoint_from_eval_world() {
     let suite = standard_datasets(2022, 0.05);
     let (gen_world, _) = generic_training_corpus(2022, 0.25);
-    let eval_keys: HashSet<&str> =
-        suite.world.entities.iter().map(|e| e.canonical.as_str()).collect();
+    let eval_keys: HashSet<&str> = suite
+        .world
+        .entities
+        .iter()
+        .map(|e| e.canonical.as_str())
+        .collect();
     let overlap = gen_world
         .entities
         .iter()

@@ -124,7 +124,11 @@ impl Bpe {
             add(&c, &mut vocab, &mut items);
             add(&format!("{c}{EOW}"), &mut vocab, &mut items);
         }
-        Bpe { merges, vocab, items }
+        Bpe {
+            merges,
+            vocab,
+            items,
+        }
     }
 
     /// Segment a word into subword strings by applying learned merges in
@@ -141,9 +145,7 @@ impl Bpe {
             // Find the lowest-rank applicable merge.
             let mut best: Option<(usize, u32)> = None;
             for i in 0..syms.len().saturating_sub(1) {
-                if let Some(&rank) =
-                    self.merges.get(&(syms[i].clone(), syms[i + 1].clone()))
-                {
+                if let Some(&rank) = self.merges.get(&(syms[i].clone(), syms[i + 1].clone())) {
                     if best.map(|(_, r)| rank < r).unwrap_or(true) {
                         best = Some((i, rank));
                     }
@@ -247,7 +249,11 @@ mod tests {
     fn frequent_words_become_few_subwords() {
         let bpe = toy_bpe();
         // With 60 merges on this tiny corpus, "virus" should be ≤ 2 units.
-        assert!(bpe.segment("virus").len() <= 2, "{:?}", bpe.segment("virus"));
+        assert!(
+            bpe.segment("virus").len() <= 2,
+            "{:?}",
+            bpe.segment("virus")
+        );
     }
 
     #[test]
@@ -255,7 +261,10 @@ mod tests {
         let bpe = toy_bpe();
         let ids = bpe.encode_word("corona");
         assert!(!ids.is_empty());
-        assert!(ids.iter().all(|&i| i != UNK), "all symbols seen in training");
+        assert!(
+            ids.iter().all(|&i| i != UNK),
+            "all symbols seen in training"
+        );
     }
 
     #[test]

@@ -145,7 +145,9 @@ pub fn sentence_casing_uninformative(sentence: &Sentence) -> bool {
     }
     shapes.iter().all(|s| *s == CapShape::AllLower)
         || shapes.iter().all(|s| *s == CapShape::AllUpper)
-        || shapes.iter().all(|s| *s == CapShape::Init || *s == CapShape::AllUpper)
+        || shapes
+            .iter()
+            .all(|s| *s == CapShape::Init || *s == CapShape::AllUpper)
 }
 
 /// Classify the syntactic context of a candidate mention `span` within
@@ -158,8 +160,11 @@ pub fn syntactic_class(sentence: &Sentence, span: &Span) -> SyntacticClass {
     let shapes: Vec<CapShape> = (span.start..span.end)
         .map(|i| CapShape::of(&sentence.tokens[i].text))
         .collect();
-    let alpha: Vec<CapShape> =
-        shapes.iter().copied().filter(|s| *s != CapShape::NonAlpha).collect();
+    let alpha: Vec<CapShape> = shapes
+        .iter()
+        .copied()
+        .filter(|s| *s != CapShape::NonAlpha)
+        .collect();
     if alpha.is_empty() {
         return SyntacticClass::NonDiscriminative;
     }
@@ -173,8 +178,9 @@ pub fn syntactic_class(sentence: &Sentence, span: &Span) -> SyntacticClass {
     if all_lower {
         return SyntacticClass::NoCapitalization;
     }
-    let all_capitalized =
-        alpha.iter().all(|s| matches!(s, CapShape::Init | CapShape::AllUpper | CapShape::Mixed));
+    let all_capitalized = alpha
+        .iter()
+        .all(|s| matches!(s, CapShape::Init | CapShape::AllUpper | CapShape::Mixed));
     if all_capitalized {
         if span.len() == 1 && span.start == 0 {
             return SyntacticClass::StartOfSentenceCap;
@@ -213,37 +219,63 @@ mod tests {
             syntactic_class(&s, &Span::new(0, 1)),
             SyntacticClass::StartOfSentenceCap // unigram at sentence start
         );
-        assert_eq!(syntactic_class(&s, &Span::new(3, 4)), SyntacticClass::FullCapitalization);
+        assert_eq!(
+            syntactic_class(&s, &Span::new(3, 4)),
+            SyntacticClass::FullCapitalization
+        );
     }
 
     #[test]
     fn proper_cap_multi_token() {
         let s = sent(&["Andy", "Beshear", "says", "things"]);
-        assert_eq!(syntactic_class(&s, &Span::new(0, 2)), SyntacticClass::ProperCapitalization);
+        assert_eq!(
+            syntactic_class(&s, &Span::new(0, 2)),
+            SyntacticClass::ProperCapitalization
+        );
     }
 
     #[test]
     fn proper_cap_mid_sentence() {
         let s = sent(&["the", "governor", "Beshear", "spoke"]);
-        assert_eq!(syntactic_class(&s, &Span::new(2, 3)), SyntacticClass::ProperCapitalization);
+        assert_eq!(
+            syntactic_class(&s, &Span::new(2, 3)),
+            SyntacticClass::ProperCapitalization
+        );
     }
 
     #[test]
     fn substring_capitalization() {
         let s = sent(&["watch", "Andy", "beshear", "tonight"]);
-        assert_eq!(syntactic_class(&s, &Span::new(1, 3)), SyntacticClass::SubstringCapitalization);
+        assert_eq!(
+            syntactic_class(&s, &Span::new(1, 3)),
+            SyntacticClass::SubstringCapitalization
+        );
     }
 
     #[test]
     fn no_capitalization() {
         let s = sent(&["the", "coronavirus", "Spreads", "fast"]);
-        assert_eq!(syntactic_class(&s, &Span::new(1, 2)), SyntacticClass::NoCapitalization);
+        assert_eq!(
+            syntactic_class(&s, &Span::new(1, 2)),
+            SyntacticClass::NoCapitalization
+        );
     }
 
     #[test]
     fn non_discriminative_all_caps_sentence() {
-        let s = sent(&["WE", "JUST", "BYPASS", "ITALY", "WITH", "CORONAVIRUS", "CASES"]);
-        assert_eq!(syntactic_class(&s, &Span::new(3, 4)), SyntacticClass::NonDiscriminative);
+        let s = sent(&[
+            "WE",
+            "JUST",
+            "BYPASS",
+            "ITALY",
+            "WITH",
+            "CORONAVIRUS",
+            "CASES",
+        ]);
+        assert_eq!(
+            syntactic_class(&s, &Span::new(3, 4)),
+            SyntacticClass::NonDiscriminative
+        );
         assert!(sentence_casing_uninformative(&s));
     }
 
@@ -251,7 +283,10 @@ mod tests {
     fn non_discriminative_all_lower_sentence() {
         let s = sent(&["italy", "is", "rising", "fast"]);
         assert!(sentence_casing_uninformative(&s));
-        assert_eq!(syntactic_class(&s, &Span::new(0, 1)), SyntacticClass::NonDiscriminative);
+        assert_eq!(
+            syntactic_class(&s, &Span::new(0, 1)),
+            SyntacticClass::NonDiscriminative
+        );
     }
 
     #[test]
@@ -264,7 +299,10 @@ mod tests {
     fn informative_mixed_sentence() {
         let s = sent(&["Canada", "is", "rising", "at", "a", "rate"]);
         assert!(!sentence_casing_uninformative(&s));
-        assert_eq!(syntactic_class(&s, &Span::new(0, 1)), SyntacticClass::StartOfSentenceCap);
+        assert_eq!(
+            syntactic_class(&s, &Span::new(0, 1)),
+            SyntacticClass::StartOfSentenceCap
+        );
     }
 
     #[test]

@@ -43,7 +43,11 @@ pub fn normalize_token(tok: &str) -> String {
         return "<user>".to_string();
     }
     let body = tok.strip_prefix('#').unwrap_or(tok);
-    if !body.is_empty() && body.chars().all(|c| c.is_ascii_digit() || c == '.' || c == ',' || c == ':') {
+    if !body.is_empty()
+        && body
+            .chars()
+            .all(|c| c.is_ascii_digit() || c == '.' || c == ',' || c == ':')
+    {
         return "<num>".to_string();
     }
     squash_elongation(&body.to_lowercase())

@@ -78,7 +78,10 @@ impl PosTag {
 
     /// Can this tag occur inside a noun phrase?
     pub fn nominal(self) -> bool {
-        matches!(self, PosTag::Noun | PosTag::Propn | PosTag::Num | PosTag::Hashtag)
+        matches!(
+            self,
+            PosTag::Noun | PosTag::Propn | PosTag::Num | PosTag::Hashtag
+        )
     }
 }
 
@@ -87,39 +90,238 @@ const DETERMINERS: &[&str] = &[
     "either", "neither", "my", "your", "his", "her", "its", "our", "their",
 ];
 const PRONOUNS: &[&str] = &[
-    "i", "you", "he", "she", "it", "we", "they", "me", "him", "us", "them", "who", "what",
-    "which", "whom", "whose", "myself", "yourself", "himself", "herself", "itself", "ourselves",
-    "themselves", "someone", "anyone", "everyone", "nobody", "something", "anything",
-    "everything", "nothing", "u", "ya", "y'all",
+    "i",
+    "you",
+    "he",
+    "she",
+    "it",
+    "we",
+    "they",
+    "me",
+    "him",
+    "us",
+    "them",
+    "who",
+    "what",
+    "which",
+    "whom",
+    "whose",
+    "myself",
+    "yourself",
+    "himself",
+    "herself",
+    "itself",
+    "ourselves",
+    "themselves",
+    "someone",
+    "anyone",
+    "everyone",
+    "nobody",
+    "something",
+    "anything",
+    "everything",
+    "nothing",
+    "u",
+    "ya",
+    "y'all",
 ];
 const PREPOSITIONS: &[&str] = &[
     "in", "on", "at", "by", "for", "with", "about", "against", "between", "into", "through",
-    "during", "before", "after", "above", "below", "to", "from", "up", "down", "of", "off",
-    "over", "under", "near", "since", "until", "within", "without", "via", "per", "than", "as",
+    "during", "before", "after", "above", "below", "to", "from", "up", "down", "of", "off", "over",
+    "under", "near", "since", "until", "within", "without", "via", "per", "than", "as",
 ];
-const CONJUNCTIONS: &[&str] =
-    &["and", "or", "but", "nor", "so", "yet", "because", "although", "while", "if", "when", "that"];
+const CONJUNCTIONS: &[&str] = &[
+    "and", "or", "but", "nor", "so", "yet", "because", "although", "while", "if", "when", "that",
+];
 const COMMON_VERBS: &[&str] = &[
-    "is", "are", "was", "were", "be", "been", "being", "am", "do", "does", "did", "have", "has",
-    "had", "will", "would", "can", "could", "shall", "should", "may", "might", "must", "get",
-    "gets", "got", "go", "goes", "went", "going", "say", "says", "said", "make", "makes", "made",
-    "take", "takes", "took", "see", "sees", "saw", "know", "knows", "knew", "think", "thinks",
-    "thought", "want", "wants", "wanted", "give", "gives", "gave", "come", "comes", "came",
-    "work", "works", "worked", "look", "looks", "looked", "need", "needs", "needed", "keep",
-    "keeps", "kept", "let", "lets", "ask", "asks", "asked", "show", "shows", "showed", "report",
-    "reports", "reported", "announce", "announces", "announced", "confirm", "confirms",
-    "confirmed", "rise", "rises", "rose", "rising", "spread", "spreads", "spreading", "hit",
-    "hits", "lock", "locks", "locked", "close", "closes", "closed", "win", "wins", "won", "lose",
-    "loses", "lost", "play", "plays", "played", "sign", "signs", "signed", "release", "releases",
-    "released", "launch", "launches", "launched", "beat", "beats", "says", "warns", "warned",
-    "warn", "surge", "surges", "surged", "drop", "drops", "dropped", "rank", "relax", "monitor",
-    "shut", "explain", "explains", "explained", "discuss", "discusses", "discussed", "speak", "speaks", "spoke", "visit", "visits",
-    "visited", "leads", "lead", "led", "scores", "score", "scored", "starts", "start", "started",
+    "is",
+    "are",
+    "was",
+    "were",
+    "be",
+    "been",
+    "being",
+    "am",
+    "do",
+    "does",
+    "did",
+    "have",
+    "has",
+    "had",
+    "will",
+    "would",
+    "can",
+    "could",
+    "shall",
+    "should",
+    "may",
+    "might",
+    "must",
+    "get",
+    "gets",
+    "got",
+    "go",
+    "goes",
+    "went",
+    "going",
+    "say",
+    "says",
+    "said",
+    "make",
+    "makes",
+    "made",
+    "take",
+    "takes",
+    "took",
+    "see",
+    "sees",
+    "saw",
+    "know",
+    "knows",
+    "knew",
+    "think",
+    "thinks",
+    "thought",
+    "want",
+    "wants",
+    "wanted",
+    "give",
+    "gives",
+    "gave",
+    "come",
+    "comes",
+    "came",
+    "work",
+    "works",
+    "worked",
+    "look",
+    "looks",
+    "looked",
+    "need",
+    "needs",
+    "needed",
+    "keep",
+    "keeps",
+    "kept",
+    "let",
+    "lets",
+    "ask",
+    "asks",
+    "asked",
+    "show",
+    "shows",
+    "showed",
+    "report",
+    "reports",
+    "reported",
+    "announce",
+    "announces",
+    "announced",
+    "confirm",
+    "confirms",
+    "confirmed",
+    "rise",
+    "rises",
+    "rose",
+    "rising",
+    "spread",
+    "spreads",
+    "spreading",
+    "hit",
+    "hits",
+    "lock",
+    "locks",
+    "locked",
+    "close",
+    "closes",
+    "closed",
+    "win",
+    "wins",
+    "won",
+    "lose",
+    "loses",
+    "lost",
+    "play",
+    "plays",
+    "played",
+    "sign",
+    "signs",
+    "signed",
+    "release",
+    "releases",
+    "released",
+    "launch",
+    "launches",
+    "launched",
+    "beat",
+    "beats",
+    "says",
+    "warns",
+    "warned",
+    "warn",
+    "surge",
+    "surges",
+    "surged",
+    "drop",
+    "drops",
+    "dropped",
+    "rank",
+    "relax",
+    "monitor",
+    "shut",
+    "explain",
+    "explains",
+    "explained",
+    "discuss",
+    "discusses",
+    "discussed",
+    "speak",
+    "speaks",
+    "spoke",
+    "visit",
+    "visits",
+    "visited",
+    "leads",
+    "lead",
+    "led",
+    "scores",
+    "score",
+    "scored",
+    "starts",
+    "start",
+    "started",
 ];
 const COMMON_ADVERBS: &[&str] = &[
-    "not", "very", "too", "also", "just", "now", "then", "here", "there", "again", "still",
-    "only", "even", "never", "always", "often", "soon", "already", "really", "maybe", "perhaps",
-    "today", "tomorrow", "yesterday", "tonight", "fast", "hard", "well", "far", "n't",
+    "not",
+    "very",
+    "too",
+    "also",
+    "just",
+    "now",
+    "then",
+    "here",
+    "there",
+    "again",
+    "still",
+    "only",
+    "even",
+    "never",
+    "always",
+    "often",
+    "soon",
+    "already",
+    "really",
+    "maybe",
+    "perhaps",
+    "today",
+    "tomorrow",
+    "yesterday",
+    "tonight",
+    "fast",
+    "hard",
+    "well",
+    "far",
+    "n't",
 ];
 const COMMON_ADJECTIVES: &[&str] = &[
     "new", "good", "bad", "big", "small", "high", "low", "old", "young", "early", "late", "long",
@@ -149,15 +351,20 @@ fn tag_token(original: &str, lower: &str, sentence_initial: bool) -> PosTag {
         return PosTag::Hashtag;
     }
     // Emoticons containing letters (":D", "xD") aren't pure punctuation.
-    if matches!(original, ":D" | ":P" | ":p" | ":o" | ":O" | "xD" | "XD" | ":-D") {
+    if matches!(
+        original,
+        ":D" | ":P" | ":p" | ":o" | ":O" | "xD" | "XD" | ":-D"
+    ) {
         return PosTag::Emoticon;
     }
     if normalize::is_punct(original) {
         // Distinguish emoticons from plain punctuation.
         if (original.contains(':') || original.contains('<') || original.contains(';'))
-            && original.len() >= 2 && !original.chars().all(|c| c == '.' || c == ',') {
-                return PosTag::Emoticon;
-            }
+            && original.len() >= 2
+            && !original.chars().all(|c| c == '.' || c == ',')
+        {
+            return PosTag::Emoticon;
+        }
         return PosTag::Punct;
     }
     if lower.chars().next().is_some_and(|c| c.is_ascii_digit()) {
@@ -189,7 +396,10 @@ fn tag_token(original: &str, lower: &str, sentence_initial: bool) -> PosTag {
     }
     // Capitalized unknown word not at sentence start → proper noun.
     let first_upper = original.chars().next().is_some_and(|c| c.is_uppercase());
-    let all_upper = original.chars().filter(|c| c.is_alphabetic()).all(|c| c.is_uppercase())
+    let all_upper = original
+        .chars()
+        .filter(|c| c.is_alphabetic())
+        .all(|c| c.is_uppercase())
         && original.chars().any(|c| c.is_alphabetic());
     if all_upper && original.len() >= 2 {
         return PosTag::Propn;
@@ -204,8 +414,11 @@ fn tag_token(original: &str, lower: &str, sentence_initial: bool) -> PosTag {
     if lower.ends_with("ly") {
         return PosTag::Adv;
     }
-    if lower.ends_with("ous") || lower.ends_with("ful") || lower.ends_with("ive")
-        || lower.ends_with("al") || lower.ends_with("ic")
+    if lower.ends_with("ous")
+        || lower.ends_with("ful")
+        || lower.ends_with("ive")
+        || lower.ends_with("al")
+        || lower.ends_with("ic")
     {
         return PosTag::Adj;
     }
@@ -248,13 +461,16 @@ mod tests {
     #[test]
     fn twitter_specials() {
         let t = tags(&["@user", "#covid", "https://t.co/x", ":D", "!!!"]);
-        assert_eq!(t, vec![
-            PosTag::Mention,
-            PosTag::Hashtag,
-            PosTag::Url,
-            PosTag::Emoticon,
-            PosTag::Punct
-        ]);
+        assert_eq!(
+            t,
+            vec![
+                PosTag::Mention,
+                PosTag::Hashtag,
+                PosTag::Url,
+                PosTag::Emoticon,
+                PosTag::Punct
+            ]
+        );
     }
 
     #[test]

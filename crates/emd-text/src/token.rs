@@ -25,7 +25,11 @@ impl Token {
     /// Useful in tests and for synthetic corpora where the original byte
     /// positions carry no information.
     pub fn synthetic(text: impl Into<String>) -> Self {
-        Token { text: text.into(), start: 0, end: 0 }
+        Token {
+            text: text.into(),
+            start: 0,
+            end: 0,
+        }
     }
 }
 
@@ -67,7 +71,10 @@ impl Sentence {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        Sentence { id, tokens: toks.into_iter().map(Token::synthetic).collect() }
+        Sentence {
+            id,
+            tokens: toks.into_iter().map(Token::synthetic).collect(),
+        }
     }
 
     /// Number of tokens.

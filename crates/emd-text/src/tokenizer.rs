@@ -121,8 +121,7 @@ pub fn tokenize(id: SentenceId, text: &str) -> Sentence {
                 // Trim trailing apostrophes ("rockin'" keeps it, "'hello'" edge
                 // cases strip the closing quote).
                 let mut tok = &text[i..end];
-                while tok.ends_with('\'') && tok.len() > 1 && !tok[..tok.len() - 1].ends_with('n')
-                {
+                while tok.ends_with('\'') && tok.len() > 1 && !tok[..tok.len() - 1].ends_with('n') {
                     tok = &tok[..tok.len() - 1];
                 }
                 // Leading apostrophe is punctuation.
@@ -149,7 +148,10 @@ pub fn tokenize(id: SentenceId, text: &str) -> Sentence {
                         prev_digit = true;
                     } else if prev_digit
                         && (cj == '.' || cj == ',' || cj == ':')
-                        && rest[j + 1..].chars().next().is_some_and(|n| n.is_ascii_digit())
+                        && rest[j + 1..]
+                            .chars()
+                            .next()
+                            .is_some_and(|n| n.is_ascii_digit())
                     {
                         prev_digit = false;
                         end = pos + 1;
@@ -181,7 +183,11 @@ pub fn tokenize(id: SentenceId, text: &str) -> Sentence {
 
 fn push(tokens: &mut Vec<Token>, text: &str, start: usize, end: usize) {
     if end > start {
-        tokens.push(Token { text: text[start..end].to_string(), start, end });
+        tokens.push(Token {
+            text: text[start..end].to_string(),
+            start,
+            end,
+        });
     }
 }
 
@@ -208,7 +214,10 @@ pub fn tokenize_message(tweet_id: u64, text: &str) -> Vec<Sentence> {
     while let Some((i, c)) = chars.next() {
         let hard = c == '\n'
             || ((c == '.' || c == '!' || c == '?')
-                && chars.peek().map(|&(_, n)| n.is_whitespace()).unwrap_or(true));
+                && chars
+                    .peek()
+                    .map(|&(_, n)| n.is_whitespace())
+                    .unwrap_or(true));
         if hard {
             let end = i + c.len_utf8();
             let piece = &text[start..end];
@@ -251,40 +260,47 @@ mod tests {
     use super::*;
 
     fn toks(text: &str) -> Vec<String> {
-        tokenize(SentenceId::new(0, 0), text).tokens.into_iter().map(|t| t.text).collect()
+        tokenize(SentenceId::new(0, 0), text)
+            .tokens
+            .into_iter()
+            .map(|t| t.text)
+            .collect()
     }
 
     #[test]
     fn basic_words_and_punct() {
-        assert_eq!(toks("Social distancing is not social isolation."), vec![
-            "Social",
-            "distancing",
-            "is",
-            "not",
-            "social",
-            "isolation",
-            "."
-        ]);
+        assert_eq!(
+            toks("Social distancing is not social isolation."),
+            vec![
+                "Social",
+                "distancing",
+                "is",
+                "not",
+                "social",
+                "isolation",
+                "."
+            ]
+        );
     }
 
     #[test]
     fn hashtags_and_mentions() {
-        assert_eq!(toks("@realDonaldTrump wants #CovidRelief now"), vec![
-            "@realDonaldTrump",
-            "wants",
-            "#CovidRelief",
-            "now"
-        ]);
+        assert_eq!(
+            toks("@realDonaldTrump wants #CovidRelief now"),
+            vec!["@realDonaldTrump", "wants", "#CovidRelief", "now"]
+        );
     }
 
     #[test]
     fn urls_kept_whole() {
-        assert_eq!(toks("see https://t.co/Ab12?x=1 now"), vec![
-            "see",
-            "https://t.co/Ab12?x=1",
-            "now"
-        ]);
-        assert_eq!(toks("www.example.com rocks"), vec!["www.example.com", "rocks"]);
+        assert_eq!(
+            toks("see https://t.co/Ab12?x=1 now"),
+            vec!["see", "https://t.co/Ab12?x=1", "now"]
+        );
+        assert_eq!(
+            toks("www.example.com rocks"),
+            vec!["www.example.com", "rocks"]
+        );
     }
 
     #[test]
@@ -294,14 +310,18 @@ mod tests {
 
     #[test]
     fn contractions_stay_whole() {
-        assert_eq!(toks("he's asking don't panic"), vec!["he's", "asking", "don't", "panic"]);
+        assert_eq!(
+            toks("he's asking don't panic"),
+            vec!["he's", "asking", "don't", "panic"]
+        );
     }
 
     #[test]
     fn numbers_with_separators() {
-        assert_eq!(toks("10,000 cases at 19:30 rate 3.5"), vec![
-            "10,000", "cases", "at", "19:30", "rate", "3.5"
-        ]);
+        assert_eq!(
+            toks("10,000 cases at 19:30 rate 3.5"),
+            vec!["10,000", "cases", "at", "19:30", "rate", "3.5"]
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@ use emd_text::bpe::Bpe;
 use emd_text::casing::{sentence_casing_uninformative, syntactic_class, SyntacticClass};
 use emd_text::normalize::normalize_token;
 use emd_text::pos::{tag_sentence, PosTag};
-use emd_text::token::{Span, SentenceId};
+use emd_text::token::{SentenceId, Span};
 use emd_text::tokenizer::{tokenize, tokenize_message};
 
 const TWEETS: &[&str] = &[
@@ -38,20 +38,29 @@ fn figure1_tweets_tokenize_cleanly() {
 /// the mixed-case ones are not.
 #[test]
 fn case_study_casing_classification() {
-    let shouty = tokenize(SentenceId::new(0, 0), "WE JUST BY-PASS Italy WITH CORONAVIRUS CASES");
+    let shouty = tokenize(
+        SentenceId::new(0, 0),
+        "WE JUST BY-PASS Italy WITH CORONAVIRUS CASES",
+    );
     // Note: 'Italy' is Init-cased amid ALL-CAPS, so the sentence is not
     // perfectly uniform — but a mention of CORONAVIRUS inside it is still
     // syntactically weak evidence. Verify at minimum that an actually
     // uniform sentence is flagged.
     let uniform = tokenize(SentenceId::new(1, 0), "THE CASES KEEP RISING FAST");
     assert!(sentence_casing_uninformative(&uniform));
-    let normal = tokenize(SentenceId::new(2, 0), "Canada is rising at a rate similar to the early days");
+    let normal = tokenize(
+        SentenceId::new(2, 0),
+        "Canada is rising at a rate similar to the early days",
+    );
     assert!(!sentence_casing_uninformative(&normal));
     // Mention-level class for "Italy" in the shouty tweet.
     let idx = shouty.texts().position(|t| t == "Italy").unwrap();
     let class = syntactic_class(&shouty, &Span::new(idx, idx + 1));
     assert!(
-        matches!(class, SyntacticClass::ProperCapitalization | SyntacticClass::NonDiscriminative),
+        matches!(
+            class,
+            SyntacticClass::ProperCapitalization | SyntacticClass::NonDiscriminative
+        ),
         "{class:?}"
     );
 }
@@ -77,7 +86,11 @@ fn specials_pipeline() {
             seen.insert("emoticon");
         }
     }
-    assert_eq!(seen.len(), 3, "tweet should exercise hashtag, url, emoticon: {texts:?}");
+    assert_eq!(
+        seen.len(),
+        3,
+        "tweet should exercise hashtag, url, emoticon: {texts:?}"
+    );
 }
 
 /// Normalization + BPE: every normalized token of the tweet set segments

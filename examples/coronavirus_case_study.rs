@@ -8,14 +8,14 @@
 //! Run with: `cargo run --release --example coronavirus_case_study`
 
 use emd_globalizer::core::classifier::ClassifierTrainConfig;
-use emd_globalizer::core::training::harvest_training_data;
-use emd_globalizer::core::{EntityClassifier, Globalizer, GlobalizerConfig, PhraseEmbedder};
 use emd_globalizer::core::local::LocalEmd;
 use emd_globalizer::core::phrase_embedder::StsTrainConfig;
+use emd_globalizer::core::training::harvest_training_data;
+use emd_globalizer::core::{EntityClassifier, Globalizer, GlobalizerConfig, PhraseEmbedder};
 use emd_globalizer::local::mini_bert::{MiniBert, MiniBertConfig};
 use emd_globalizer::synth::datasets::{generic_training_corpus, training_stream};
-use emd_globalizer::synth::sts::gen_sts;
 use emd_globalizer::synth::stream::{gen_stream, NoiseConfig};
+use emd_globalizer::synth::sts::gen_sts;
 use emd_globalizer::synth::templates::Domain;
 use emd_globalizer::synth::topics::Topic;
 use rand::rngs::StdRng;
@@ -34,10 +34,16 @@ fn main() {
         bert.process(s).token_embeddings.expect("deep system")
     };
     let to_pairs = |ps: &[emd_globalizer::synth::sts::StsPair]| {
-        ps.iter().map(|p| (embed(&p.a), embed(&p.b), p.score)).collect::<Vec<_>>()
+        ps.iter()
+            .map(|p| (embed(&p.a), embed(&p.b), p.score))
+            .collect::<Vec<_>>()
     };
     let mut phrase = PhraseEmbedder::new(bert.embedding_dim().unwrap(), 32, seed);
-    phrase.train_sts(&to_pairs(&sts_train), &to_pairs(&sts_val), &StsTrainConfig::default());
+    phrase.train_sts(
+        &to_pairs(&sts_train),
+        &to_pairs(&sts_val),
+        &StsTrainConfig::default(),
+    );
     let cfg = GlobalizerConfig::default();
     let data = harvest_training_data(&bert, Some(&phrase), &cfg, &d5);
     let mut classifier = EntityClassifier::new(phrase.out_dim() + 1, seed);
@@ -45,9 +51,26 @@ fn main() {
 
     println!("[3/4] generating a Covid-like health stream (D2 analog) ...");
     let mut rng = StdRng::seed_from_u64(seed ^ 0xc0);
-    let topic = vec![Topic::generate_mixed(&world, Domain::Health, 60, Some(0.25), &mut rng)];
-    let stream = gen_stream(&world, &topic, 150, "case-study", &NoiseConfig::default(), seed ^ 2);
-    let sentences: Vec<_> = stream.sentences.iter().map(|a| a.sentence.clone()).collect();
+    let topic = vec![Topic::generate_mixed(
+        &world,
+        Domain::Health,
+        60,
+        Some(0.25),
+        &mut rng,
+    )];
+    let stream = gen_stream(
+        &world,
+        &topic,
+        150,
+        "case-study",
+        &NoiseConfig::default(),
+        seed ^ 2,
+    );
+    let sentences: Vec<_> = stream
+        .sentences
+        .iter()
+        .map(|a| a.sentence.clone())
+        .collect();
 
     println!("[4/4] running Local EMD alone vs the full framework ...\n");
     let globalizer = Globalizer::new(&bert, Some(&phrase), &classifier, cfg);
@@ -74,5 +97,8 @@ fn main() {
     let global_total: usize = output.per_sentence.iter().map(|(_, v)| v.len()).sum();
     println!("mentions found by Local EMD alone : {local_total}");
     println!("mentions in the framework output  : {global_total}");
-    assert!(shown > 0, "the case study should exhibit recovered mentions");
+    assert!(
+        shown > 0,
+        "the case study should exhibit recovered mentions"
+    );
 }

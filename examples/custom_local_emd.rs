@@ -36,8 +36,8 @@ impl LocalEmd for CapRunEmd {
         let mut spans = Vec::new();
         let mut start: Option<usize> = None;
         for (i, tok) in sentence.texts().enumerate() {
-            let capitalized = matches!(CapShape::of(tok), CapShape::Init | CapShape::AllUpper)
-                && i > 0; // skip sentence-initial convention
+            let capitalized =
+                matches!(CapShape::of(tok), CapShape::Init | CapShape::AllUpper) && i > 0; // skip sentence-initial convention
             match (start, capitalized) {
                 (None, true) => start = Some(i),
                 (Some(s), true) if i - s >= 3 => {
@@ -54,7 +54,10 @@ impl LocalEmd for CapRunEmd {
         if let Some(s) = start {
             spans.push(Span::new(s, sentence.len()));
         }
-        LocalEmdOutput { spans, token_embeddings: None }
+        LocalEmdOutput {
+            spans,
+            token_embeddings: None,
+        }
     }
 }
 
@@ -68,10 +71,16 @@ fn main() {
     let data = harvest_training_data(&local, None, &cfg, &d5);
     let mut classifier = EntityClassifier::new(7, seed);
     let report = classifier.train(&data, &ClassifierTrainConfig::default());
-    println!("        classifier validation F1: {:.3}", report.best_val_f1);
+    println!(
+        "        classifier validation F1: {:.3}",
+        report.best_val_f1
+    );
 
     let suite = standard_datasets(seed, 0.1);
-    println!("\n{:<8} {:>8} {:>8} {:>8}", "dataset", "local F1", "glob F1", "gain");
+    println!(
+        "\n{:<8} {:>8} {:>8} {:>8}",
+        "dataset", "local F1", "glob F1", "gain"
+    );
     for d in &suite.datasets {
         let sentences: Vec<_> = d.sentences.iter().map(|a| a.sentence.clone()).collect();
         let local_preds: Vec<Vec<Span>> =
@@ -92,7 +101,11 @@ fn main() {
             d.name,
             lp.f1,
             gp.f1,
-            if lp.f1 > 0.0 { 100.0 * (gp.f1 - lp.f1) / lp.f1 } else { 0.0 }
+            if lp.f1 > 0.0 {
+                100.0 * (gp.f1 - lp.f1) / lp.f1
+            } else {
+                0.0
+            }
         );
     }
     println!("\nThe framework boosts even a heuristic it has never seen — the");

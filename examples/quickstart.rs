@@ -18,7 +18,13 @@ fn main() {
     //    by biasing the output layer; in real use you train it on labelled
     //    candidates (see `EntityClassifier::train`).
     let mut classifier = EntityClassifier::new(7, 0);
-    classifier.params_mut().into_iter().last().unwrap().value.data[0] = 10.0;
+    classifier
+        .params_mut()
+        .into_iter()
+        .last()
+        .unwrap()
+        .value
+        .data[0] = 10.0;
 
     // 3. Assemble the framework. Non-deep local systems need no phrase
     //    embedder (the 6-dim syntactic path is used).
@@ -49,7 +55,12 @@ fn main() {
     for (sid, spans) in &output.per_sentence {
         let sent = &state.tweetbase.get(*sid).unwrap().sentence;
         let mentions: Vec<String> = spans.iter().map(|sp| sp.surface(sent)).collect();
-        println!("tweet {:>2}: {:<55} -> {:?}", sid.tweet_id, sent.joined(), mentions);
+        println!(
+            "tweet {:>2}: {:<55} -> {:?}",
+            sid.tweet_id,
+            sent.joined(),
+            mentions
+        );
     }
 
     let total: usize = output.per_sentence.iter().map(|(_, v)| v.len()).sum();

@@ -11,14 +11,20 @@ use emd_globalizer::core::classifier::ClassifierTrainConfig;
 use emd_globalizer::core::training::harvest_training_data;
 use emd_globalizer::core::{EntityClassifier, Globalizer, GlobalizerConfig};
 use emd_globalizer::local::twitter_nlp::{TwitterNlp, TwitterNlpConfig};
-use emd_globalizer::synth::datasets::{generic_training_corpus, standard_datasets, training_stream};
+use emd_globalizer::synth::datasets::{
+    generic_training_corpus, standard_datasets, training_stream,
+};
 
 fn main() {
     let seed = 2022u64;
 
     println!("[setup] training TwitterNLP on the out-of-domain generic corpus ...");
     let (gen_world, generic) = generic_training_corpus(seed, 0.25);
-    let mut local = TwitterNlp::train(&generic, gen_world.gazetteer.clone(), &TwitterNlpConfig::default());
+    let mut local = TwitterNlp::train(
+        &generic,
+        gen_world.gazetteer.clone(),
+        &TwitterNlpConfig::default(),
+    );
 
     println!("[setup] training the Entity Classifier on D5 candidates ...");
     let suite = standard_datasets(seed, 0.05);
@@ -35,7 +41,10 @@ fn main() {
 
     let globalizer = Globalizer::new(&local, None, &classifier, cfg);
     let mut state = globalizer.new_state();
-    println!("\n[stream] consuming {} messages in batches of 25:\n", sentences.len());
+    println!(
+        "\n[stream] consuming {} messages in batches of 25:\n",
+        sentences.len()
+    );
     for (i, batch) in sentences.chunks(25).enumerate() {
         globalizer.process_batch(&mut state, batch);
         let n_entities = state
@@ -54,7 +63,10 @@ fn main() {
     }
 
     let output = globalizer.finalize(&mut state);
-    println!("\n[finalize] candidates={} entities={}", output.n_candidates, output.n_entities);
+    println!(
+        "\n[finalize] candidates={} entities={} rescanned={} promoted={}",
+        output.n_candidates, output.n_entities, output.n_rescanned, output.n_promoted
+    );
 
     // Top entities by mention frequency.
     let mut top: Vec<_> = state
@@ -63,7 +75,7 @@ fn main() {
         .filter(|c| c.label == emd_globalizer::core::CandidateLabel::Entity)
         .map(|c| (c.frequency(), c.key.clone()))
         .collect();
-    top.sort_by(|a, b| b.0.cmp(&a.0));
+    top.sort_by_key(|b| std::cmp::Reverse(b.0));
     println!("\nmost frequent entities in the stream:");
     for (freq, key) in top.iter().take(10) {
         println!("  {freq:>4} x {key}");

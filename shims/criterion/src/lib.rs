@@ -1,0 +1,301 @@
+//! Offline stand-in for the subset of `criterion` this workspace's benches
+//! use: `Criterion`, `benchmark_group` / `bench_function`, `Bencher::iter`
+//! / `iter_batched`, `sample_size`, `black_box`, and the `criterion_group!`
+//! / `criterion_main!` macros.
+//!
+//! Measurement model: after a short calibration pass, each sample runs
+//! enough iterations to take roughly `measurement_ms / sample_count`, and
+//! the reported figure is the median over samples (min/mean/median/max all
+//! printed). No statistical regression analysis, no HTML reports — just
+//! honest wall-clock numbers on stdout, which is what the EXPERIMENTS.md
+//! tables record.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; the shim treats every variant the
+/// same (setup re-runs per measured batch, excluded from timing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Re-setup on every iteration.
+    PerIteration,
+}
+
+/// Collected timing for one benchmark.
+#[derive(Debug, Clone)]
+struct Sample {
+    iters: u64,
+    total: Duration,
+}
+
+/// The per-benchmark measurement driver handed to `bench_function` closures.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Sample>,
+    sample_count: usize,
+    measurement: Duration,
+}
+
+impl Bencher<'_> {
+    /// Measure `routine` (its return value is black-boxed).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fit in one sample's time slice?
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let slice = self.measurement / self.sample_count as u32;
+        let iters_per_sample = (slice.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(Sample {
+                iters: iters_per_sample,
+                total: start.elapsed(),
+            });
+        }
+    }
+
+    /// Measure `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_count {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(Sample {
+                iters: 1,
+                total: start.elapsed(),
+            });
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_bench(
+    id: &str,
+    filter: Option<&str>,
+    sample_count: usize,
+    measurement: Duration,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    if let Some(needle) = filter {
+        if !id.contains(needle) {
+            return;
+        }
+    }
+    let mut samples = Vec::new();
+    let mut b = Bencher {
+        samples: &mut samples,
+        sample_count,
+        measurement,
+    };
+    f(&mut b);
+    if samples.is_empty() {
+        println!("{id:<50} (no samples)");
+        return;
+    }
+    let mut per_iter: Vec<f64> = samples
+        .iter()
+        .map(|s| s.total.as_nanos() as f64 / s.iters as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let min = per_iter[0];
+    let max = per_iter[per_iter.len() - 1];
+    let median = per_iter[per_iter.len() / 2];
+    let to_d = |ns: f64| Duration::from_nanos(ns as u64);
+    println!(
+        "{id:<50} time: [{} {} {}]",
+        fmt_duration(to_d(min)),
+        fmt_duration(to_d(median)),
+        fmt_duration(to_d(max)),
+    );
+}
+
+/// Top-level benchmark driver (also the `benchmark_group` factory).
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // cargo bench passes `--bench` (and test harness flags); the first
+        // free argument is a substring filter, as with the real crate.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "bench");
+        Criterion {
+            filter,
+            sample_size: 20,
+            measurement: Duration::from_millis(600),
+        }
+    }
+}
+
+impl Criterion {
+    /// Begin a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+            measurement: None,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_bench(
+            id,
+            self.filter.as_deref(),
+            self.sample_size,
+            self.measurement,
+            &mut f,
+        );
+        self
+    }
+}
+
+/// A named group; benchmark ids print as `group/name`.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Override the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = Some(d);
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(
+            &full,
+            self.parent.filter.as_deref(),
+            self.sample_size.unwrap_or(self.parent.sample_size),
+            self.measurement.unwrap_or(self.parent.measurement),
+            &mut f,
+        );
+        self
+    }
+
+    /// End the group (no-op beyond matching the real API).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion {
+            filter: None,
+            sample_size: 3,
+            measurement: Duration::from_millis(5),
+        };
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        c.bench_function("counts", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        assert!(runs > 0, "routine must actually run");
+    }
+
+    #[test]
+    fn groups_apply_sample_size_and_filtering() {
+        let mut c = Criterion {
+            filter: Some("wanted".into()),
+            sample_size: 3,
+            measurement: Duration::from_millis(5),
+        };
+        let mut wanted = 0u64;
+        let mut unwanted = 0u64;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function("wanted_case", |b| b.iter(|| wanted += 1));
+        g.bench_function("other_case", |b| b.iter(|| unwanted += 1));
+        g.finish();
+        assert!(wanted > 0);
+        assert_eq!(unwanted, 0, "filter must skip non-matching benchmarks");
+    }
+
+    #[test]
+    fn iter_batched_consumes_fresh_inputs() {
+        let mut c = Criterion {
+            filter: None,
+            sample_size: 4,
+            measurement: Duration::from_millis(5),
+        };
+        let mut setups = 0u64;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8, 2, 3]
+                },
+                |v| v.len(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, 4);
+    }
+}

@@ -1,0 +1,161 @@
+//! String generation from the small regex subset the workspace's property
+//! tests use: sequences of atoms, where an atom is a character class
+//! (`[a-z0-9_]`, with ranges and literal members), the escape `\PC`
+//! ("printable": any non-control character), or a literal character; each
+//! atom may carry a `{m}` / `{m,n}` repetition.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+enum Atom {
+    /// Choose uniformly from explicit options.
+    Class(Vec<char>),
+    /// Any printable (non-control) character, drawn from a spread of
+    /// scripts so multi-byte handling gets exercised.
+    Printable,
+    /// A fixed character.
+    Literal(char),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize, // inclusive
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed `[` in pattern {pattern:?}"));
+                let body = &chars[i + 1..i + close];
+                i += close + 1;
+                let mut opts = Vec::new();
+                let mut j = 0;
+                while j < body.len() {
+                    if j + 2 < body.len() && body[j + 1] == '-' {
+                        let (lo, hi) = (body[j] as u32, body[j + 2] as u32);
+                        assert!(lo <= hi, "bad range in pattern {pattern:?}");
+                        opts.extend((lo..=hi).filter_map(char::from_u32));
+                        j += 3;
+                    } else {
+                        opts.push(body[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!opts.is_empty(), "empty class in pattern {pattern:?}");
+                Atom::Class(opts)
+            }
+            '\\' => {
+                // Only `\PC` (printable) is supported, matching the
+                // workspace's `\PC{0,N}` tokenizer-fuzzing patterns.
+                let rest: String = chars[i..].iter().take(3).collect();
+                assert!(rest == "\\PC", "unsupported escape in pattern {pattern:?}");
+                i += 3;
+                Atom::Printable
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional {m} or {m,n} quantifier.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed `{{` in pattern {pattern:?}"));
+            let body: String = chars[i + 1..i + close].iter().collect();
+            i += close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad quantifier"),
+                    hi.trim().parse().expect("bad quantifier"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad quantifier");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "bad quantifier in pattern {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Pools for `\PC`: weighted toward ASCII (tokens, punctuation, digits)
+/// with a multi-byte tail (accents, CJK, symbols, emoji).
+const ASCII_PRINTABLE: &[u8] =
+    b" !\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_`abcdefghijklmnopqrstuvwxyz{|}~";
+const WIDE: &[char] = &[
+    'é', 'ü', 'ñ', 'ß', 'ø', 'ç', 'Æ', 'œ', '√', '°', '©', '∞', '→', '日', '本', '語', '中', '文',
+    'λ', 'Ω', 'π', 'а', 'б', 'в', '🎉', '🚀', '😀', '\u{2014}', '\u{00a0}',
+];
+
+fn printable(rng: &mut StdRng) -> char {
+    if rng.gen_bool(0.85) {
+        *ASCII_PRINTABLE.choose(rng).unwrap() as char
+    } else {
+        *WIDE.choose(rng).unwrap()
+    }
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let n = rng.gen_range(piece.min..=piece.max);
+        for _ in 0..n {
+            match &piece.atom {
+                Atom::Class(opts) => out.push(*opts.choose(rng).unwrap()),
+                Atom::Printable => out.push(printable(rng)),
+                Atom::Literal(c) => out.push(*c),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_with_range_and_quantifier() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-c]{2,4}", &mut rng);
+            assert!((2..=4).contains(&s.len()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn printable_never_emits_controls() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let s = generate_from_pattern("\\PC{0,40}", &mut rng);
+            assert!(s.chars().count() <= 40);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literals_and_mixed_patterns() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = generate_from_pattern("ab[0-9]{3}", &mut rng);
+        assert!(s.starts_with("ab") && s.len() == 5);
+        assert!(s[2..].chars().all(|c| c.is_ascii_digit()));
+    }
+}

@@ -1,0 +1,272 @@
+//! Offline stand-in for the subset of the `rand` crate API this workspace
+//! uses: `StdRng::seed_from_u64`, `Rng::{gen_range, gen_bool}`, and
+//! `seq::SliceRandom::{choose, shuffle}`.
+//!
+//! The container building this repository has no crates.io access, so the
+//! workspace vendors a minimal deterministic PRNG instead of the real crate
+//! (see `shims/README.md`). The generator is xoshiro256++ seeded through
+//! SplitMix64 — statistically solid for the synthetic-data and
+//! weight-initialisation workloads here, but **not** the same stream as the
+//! real `rand::StdRng`, and not cryptographically secure.
+
+/// Low-level entropy source: everything derives from `next_u64`.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits (upper half of `next_u64`).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding interface (only the `seed_from_u64` entry point is provided).
+pub trait SeedableRng: Sized {
+    /// Deterministically construct the generator from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore + Sized {
+    /// Sample uniformly from a half-open (`a..b`) or inclusive (`a..=b`)
+    /// range. Panics on empty ranges. Generic over the output type `T` so
+    /// untyped literals infer from the call site, as with the real crate.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli sample: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range: {p}"
+        );
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// A uniform `f64` in `[0, 1)` from 53 random bits.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Range types [`Rng::gen_range`] can sample `T` from. Implemented once,
+/// generically over [`SampleUniform`] element types, so type inference can
+/// flow from the call site through the range literal (e.g.
+/// `let n: usize = 1 + rng.gen_range(1..3);`).
+pub trait SampleRange<T> {
+    /// Draw one uniform sample.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Element types with a uniform distribution over a range.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range on empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "gen_range on empty range");
+        T::sample_inclusive(rng, start, end)
+    }
+}
+
+/// Unbiased-enough integer draw in `[0, span)` via 128-bit widening
+/// multiply (Lemire's method without the rejection step; bias is
+/// `< span / 2^64`, irrelevant for the workloads here).
+#[inline]
+fn mul_shift(bits: u64, span: u128) -> u64 {
+    ((bits as u128 * span) >> 64) as u64
+}
+
+macro_rules! impl_int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                let span = (hi as i128 - lo as i128) as u128;
+                (lo as i128 + mul_shift(rng.next_u64(), span) as i128) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + mul_shift(rng.next_u64(), span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                let v = lo + (unit_f64(rng.next_u64()) as $t) * (hi - lo);
+                // Floating rounding can land exactly on `hi`; stay half-open.
+                if v < hi { v } else { lo }
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                lo + (unit_f64(rng.next_u64()) as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_float_uniform!(f32, f64);
+
+pub mod rngs {
+    //! Concrete generators (only `StdRng` is provided).
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ generator, seeded via SplitMix64. Deterministic for a
+    /// given seed; not the same stream as the real `rand::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // SplitMix64 expansion, per Vigna's reference seeding scheme.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    //! Slice sampling helpers.
+    use super::{RngCore, SampleRange};
+
+    /// `choose` / `shuffle` on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+        /// A uniformly random element, or `None` on an empty slice.
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+        /// In-place Fisher–Yates shuffle.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get((0..self.len()).sample_from(rng))
+            }
+        }
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (0..i + 1).sample_from(rng);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-1.5f32..2.5);
+            assert!((-1.5..2.5).contains(&f));
+            let i = rng.gen_range(-4i32..=4);
+            assert!((-4..=4).contains(&i));
+        }
+    }
+
+    #[test]
+    fn int_range_hits_every_value() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_frequency() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "p=0.25 gave {hits}/10000");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert!(v != sorted, "shuffle left 50 elements in order");
+    }
+
+    #[test]
+    fn choose_empty_and_nonempty() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let v = [1, 2, 3];
+        assert!(v.contains(v.choose(&mut rng).unwrap()));
+    }
+}

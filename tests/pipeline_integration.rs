@@ -14,7 +14,9 @@ use emd_globalizer::eval::metrics::mention_prf;
 use emd_globalizer::local::aguilar::{Aguilar, AguilarConfig};
 use emd_globalizer::local::np_chunker::NpChunker;
 use emd_globalizer::local::twitter_nlp::{TwitterNlp, TwitterNlpConfig};
-use emd_globalizer::synth::datasets::{generic_training_corpus, standard_datasets, training_stream};
+use emd_globalizer::synth::datasets::{
+    generic_training_corpus, standard_datasets, training_stream,
+};
 use emd_globalizer::synth::sts::gen_sts;
 use emd_globalizer::text::token::{Dataset, Sentence, Span};
 
@@ -43,8 +45,17 @@ fn np_chunker_framework_boosts_streaming_f1() {
     let data = harvest_training_data(&local, None, &cfg, &d5);
     assert!(data.len() > 50, "harvest should find candidates");
     let mut clf = EntityClassifier::new(7, SEED);
-    let report = clf.train(&data, &ClassifierTrainConfig { epochs: 200, ..Default::default() });
-    assert!(report.best_val_f1 > 0.5, "classifier barely better than chance");
+    let report = clf.train(
+        &data,
+        &ClassifierTrainConfig {
+            epochs: 200,
+            ..Default::default()
+        },
+    );
+    assert!(
+        report.best_val_f1 > 0.5,
+        "classifier barely better than chance"
+    );
 
     let d2 = &suite.datasets[1];
     let sents = sentences_of(d2);
@@ -61,7 +72,10 @@ fn np_chunker_framework_boosts_streaming_f1() {
         lp.f1,
         gp.f1
     );
-    assert!(gp.p > lp.p, "precision must improve (classifier filters junk)");
+    assert!(
+        gp.p > lp.p,
+        "precision must improve (classifier filters junk)"
+    );
 }
 
 /// The three ablation levels must be ordered on a streaming dataset for a
@@ -72,12 +86,22 @@ fn ablation_levels_ordered() {
     let (gen_world, generic) = generic_training_corpus(SEED, 0.25);
     let suite = standard_datasets(SEED, 0.04);
     let (_, d5) = training_stream(SEED, 0.01);
-    let mut local = TwitterNlp::train(&generic, gen_world.gazetteer.clone(), &TwitterNlpConfig::default());
+    let mut local = TwitterNlp::train(
+        &generic,
+        gen_world.gazetteer.clone(),
+        &TwitterNlpConfig::default(),
+    );
     local.set_gazetteer(suite.world.gazetteer.clone());
     let cfg = GlobalizerConfig::default();
     let data = harvest_training_data(&local, None, &cfg, &d5);
     let mut clf = EntityClassifier::new(7, SEED);
-    clf.train(&data, &ClassifierTrainConfig { epochs: 150, ..Default::default() });
+    clf.train(
+        &data,
+        &ClassifierTrainConfig {
+            epochs: 150,
+            ..Default::default()
+        },
+    );
 
     let d1 = &suite.datasets[0];
     let sents = sentences_of(d1);
@@ -86,7 +110,10 @@ fn ablation_levels_ordered() {
             &local,
             None,
             &clf,
-            GlobalizerConfig { ablation, ..Default::default() },
+            GlobalizerConfig {
+                ablation,
+                ..Default::default()
+            },
         );
         let (out, _) = g.run(&sents, 64);
         mention_prf(d1, &aligned(d1, &out)).f1
@@ -110,34 +137,57 @@ fn deep_path_end_to_end() {
     let (gen_world, generic) = generic_training_corpus(SEED, 0.25);
     let suite = standard_datasets(SEED, 0.03);
     let (world, d5) = training_stream(SEED, 0.008);
-    let (mut local, _) = Aguilar::train(&generic, gen_world.gazetteer.clone(), &AguilarConfig {
-        epochs: 2,
-        ..Default::default()
-    });
+    let (mut local, _) = Aguilar::train(
+        &generic,
+        gen_world.gazetteer.clone(),
+        &AguilarConfig {
+            epochs: 2,
+            ..Default::default()
+        },
+    );
     local.set_gazetteer(suite.world.gazetteer.clone());
 
     // Phrase embedder on STS pairs embedded by the frozen encoder.
     let (tr, va) = gen_sts(&world, 120, 40, SEED);
     let embed = |s: &Sentence| local.process(s).token_embeddings.unwrap();
     let conv = |ps: &[emd_globalizer::synth::sts::StsPair]| {
-        ps.iter().map(|p| (embed(&p.a), embed(&p.b), p.score)).collect::<Vec<_>>()
+        ps.iter()
+            .map(|p| (embed(&p.a), embed(&p.b), p.score))
+            .collect::<Vec<_>>()
     };
     let mut pe = PhraseEmbedder::new(local.embedding_dim().unwrap(), 32, SEED);
-    let r = pe.train_sts(&conv(&tr), &conv(&va), &StsTrainConfig { epochs: 40, ..Default::default() });
+    let r = pe.train_sts(
+        &conv(&tr),
+        &conv(&va),
+        &StsTrainConfig {
+            epochs: 40,
+            ..Default::default()
+        },
+    );
     assert!(r.best_val_mse < 0.5);
 
     let cfg = GlobalizerConfig::default();
     let data = harvest_training_data(&local, Some(&pe), &cfg, &d5);
     assert!(data.iter().all(|(f, _)| f.len() == pe.out_dim() + 1));
     let mut clf = EntityClassifier::new(pe.out_dim() + 1, SEED);
-    clf.train(&data, &ClassifierTrainConfig { epochs: 120, ..Default::default() });
+    clf.train(
+        &data,
+        &ClassifierTrainConfig {
+            epochs: 120,
+            ..Default::default()
+        },
+    );
 
     let d1 = &suite.datasets[0];
     let sents = sentences_of(d1);
     let g = Globalizer::new(&local, Some(&pe), &clf, cfg);
     let (out, state) = g.run(&sents, 32);
     let gp = mention_prf(d1, &aligned(d1, &out));
-    assert!(gp.f1 > 0.2, "deep pipeline should produce sane outputs, F1={}", gp.f1);
+    assert!(
+        gp.f1 > 0.2,
+        "deep pipeline should produce sane outputs, F1={}",
+        gp.f1
+    );
     // Candidate records must have pooled embeddings of the right dim.
     for c in state.candidates.iter() {
         assert_eq!(c.global_embedding().len(), pe.out_dim());
@@ -150,13 +200,23 @@ fn deep_path_end_to_end() {
 fn incremental_equals_batch_with_trained_system() {
     let (gen_world, generic) = generic_training_corpus(SEED, 0.25);
     let suite = standard_datasets(SEED, 0.02);
-    let mut local = TwitterNlp::train(&generic, gen_world.gazetteer.clone(), &TwitterNlpConfig::default());
+    let mut local = TwitterNlp::train(
+        &generic,
+        gen_world.gazetteer.clone(),
+        &TwitterNlpConfig::default(),
+    );
     local.set_gazetteer(suite.world.gazetteer.clone());
     let (_, d5) = training_stream(SEED, 0.008);
     let cfg = GlobalizerConfig::default();
     let data = harvest_training_data(&local, None, &cfg, &d5);
     let mut clf = EntityClassifier::new(7, SEED);
-    clf.train(&data, &ClassifierTrainConfig { epochs: 100, ..Default::default() });
+    clf.train(
+        &data,
+        &ClassifierTrainConfig {
+            epochs: 100,
+            ..Default::default()
+        },
+    );
 
     let d3 = &suite.datasets[2];
     let sents = sentences_of(d3);
@@ -176,14 +236,24 @@ fn outputs_are_well_formed_spans() {
     let cfg = GlobalizerConfig::default();
     let data = harvest_training_data(&local, None, &cfg, &d5);
     let mut clf = EntityClassifier::new(7, SEED);
-    clf.train(&data, &ClassifierTrainConfig { epochs: 80, ..Default::default() });
+    clf.train(
+        &data,
+        &ClassifierTrainConfig {
+            epochs: 80,
+            ..Default::default()
+        },
+    );
     let g = Globalizer::new(&local, None, &clf, cfg);
     for d in &suite.datasets {
         let sents = sentences_of(d);
         let (out, _) = g.run(&sents, 128);
         for ((_, spans), ann) in out.per_sentence.iter().zip(d.sentences.iter()) {
             for sp in spans {
-                assert!(sp.end <= ann.sentence.len(), "span out of range in {}", d.name);
+                assert!(
+                    sp.end <= ann.sentence.len(),
+                    "span out of range in {}",
+                    d.name
+                );
             }
             for w in spans.windows(2) {
                 assert!(w[0].end <= w[1].start, "overlapping spans in {}", d.name);

@@ -1,8 +1,11 @@
 //! Property-based tests (proptest) over the core data structures and
 //! invariants of the framework.
 
+use emd_globalizer::core::config::Ablation;
 use emd_globalizer::core::ctrie::CTrie;
+use emd_globalizer::core::local::LexiconEmd;
 use emd_globalizer::core::mention::extract_mentions;
+use emd_globalizer::core::{EntityClassifier, Globalizer, GlobalizerConfig};
 use emd_globalizer::nn::matrix::{cosine, log_sum_exp, Matrix};
 use emd_globalizer::text::bpe::Bpe;
 use emd_globalizer::text::token::{bio_to_spans, spans_to_bio, Bio, Sentence, SentenceId, Span};
@@ -179,6 +182,64 @@ proptest! {
         for (w, id) in words.iter().zip(ids.iter()) {
             prop_assert_eq!(v.get(w), *id);
             prop_assert_eq!(v.get(&w.to_uppercase()), *id);
+        }
+    }
+
+    /// The incremental dirty-set finalize is bit-identical to the
+    /// brute-force full rescan — same per-sentence outputs, candidate
+    /// discovery order, pooled embeddings, and verdicts — for any stream,
+    /// batch size, and worker-thread count, in both global ablations.
+    #[test]
+    fn incremental_finalize_matches_brute_force(
+        msgs in proptest::collection::vec(proptest::collection::vec(0usize..12, 1..8), 1..20),
+        batch in 1usize..8,
+        threads in 1usize..5,
+        seed in 0u64..4,
+    ) {
+        const WORDS: [&str; 12] = [
+            "italy", "covid", "beshear", "moross", "lumsa", "zutav",
+            "report", "cases", "the", "news", "visit", "again",
+        ];
+        let lexicon = LexiconEmd::new(["italy", "covid", "beshear", "moross", "lumsa", "zutav"]);
+        // A freshly initialised classifier scores in and around the γ band,
+        // exercising interim freezing and the end-of-stream resolution.
+        let clf = EntityClassifier::new(7, seed);
+        let stream: Vec<Sentence> = msgs
+            .iter()
+            .enumerate()
+            .map(|(i, words)| {
+                let toks = words.iter().enumerate().map(|(j, &w)| {
+                    let mut t = WORDS[w].to_string();
+                    if (i + j) % 3 == 0 {
+                        t[..1].make_ascii_uppercase();
+                    }
+                    t
+                });
+                Sentence::from_tokens(SentenceId::new(i as u64, 0), toks)
+            })
+            .collect();
+        for ablation in [Ablation::MentionExtraction, Ablation::Full] {
+            let g = Globalizer::new(&lexicon, None, &clf, GlobalizerConfig {
+                ablation,
+                ..Default::default()
+            });
+            let mut s_inc = g.new_state();
+            for chunk in stream.chunks(batch) {
+                g.process_batch(&mut s_inc, chunk);
+            }
+            let mut s_full = s_inc.clone();
+            let inc = g.finalize_with_threads(&mut s_inc, threads);
+            let full = g.finalize_full_rescan(&mut s_full);
+            prop_assert_eq!(&inc.per_sentence, &full.per_sentence);
+            prop_assert_eq!(inc.n_candidates, full.n_candidates);
+            prop_assert_eq!(inc.n_entities, full.n_entities);
+            prop_assert_eq!(inc.n_promoted, full.n_promoted);
+            for (a, b) in s_inc.candidates.iter().zip(s_full.candidates.iter()) {
+                prop_assert_eq!(&a.key, &b.key, "discovery order diverged");
+                prop_assert_eq!(a.global_embedding(), b.global_embedding());
+                prop_assert_eq!(&a.mentions, &b.mentions);
+                prop_assert!(a.label == b.label, "label diverged for {}", a.key);
+            }
         }
     }
 
