@@ -12,4 +12,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== tier-1 tests =="
 cargo test --workspace --release
 
+echo "== instrumented smoke pipeline =="
+# The quickstart runs the full pipeline with metric recording on and
+# asserts nonzero sample counts and sane quantiles for every phase
+# (local inference, trie registration, occurrence scan, pooling,
+# classification, finalize rescan + promotion), then round-trips the
+# Prometheus and JSON exports. It exits nonzero on any violation.
+cargo run --release --example quickstart > /dev/null
+
 echo "CI green."

@@ -63,6 +63,23 @@ fn bench_pipeline(c: &mut Criterion) {
     });
 
     group.finish();
+
+    // One instrumented pass (outside the timed groups): per-phase latency
+    // quantiles from the metrics registry, for eyeballing where the
+    // framework overhead lives.
+    emd_obs::set_enabled(true);
+    let g = Globalizer::new(&crf, None, &crf_clf, GlobalizerConfig::default());
+    g.run(&slice, 10);
+    println!("instrumented pass (batched 10):");
+    for h in g.metrics().snapshot().histograms {
+        if h.count > 0 {
+            println!(
+                "  {:<32} n={:<5} p50={:>10.0}ns p99={:>10.0}ns max={:>10}ns",
+                h.name, h.count, h.p50, h.p99, h.max
+            );
+        }
+    }
+    emd_obs::set_enabled(false);
 }
 
 criterion_group!(benches, bench_pipeline);

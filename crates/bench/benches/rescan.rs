@@ -144,6 +144,9 @@ fn bench_rescan(c: &mut Criterion) {
     }
     {
         // Report how much of the stream the incremental path touches.
+        // Registry metrics stay in their default noop mode here — the
+        // benchmark measures the uninstrumented cost — but the always-on
+        // per-run phase breakdown is free to print.
         let mut s = ingested.clone();
         let out = g.finalize_with_threads(&mut s, 1);
         println!(
@@ -154,6 +157,10 @@ fn bench_rescan(c: &mut Criterion) {
             100.0 * out.n_rescanned as f64 / sentences.len() as f64,
             out.n_promoted,
         );
+        for (phase, ns) in out.phase_timings.as_pairs() {
+            println!("  phase {phase:>16}: {:>9.3} ms", ns as f64 / 1e6);
+        }
+        assert!(!emd_obs::enabled(), "rescan bench must run in noop mode");
     }
 
     let mut group = c.benchmark_group("rescan");

@@ -21,11 +21,21 @@ use crate::config::{Ablation, GlobalizerConfig};
 use crate::ctrie::CTrie;
 use crate::local::LocalEmd;
 use crate::mention::extract_mentions;
+use crate::obs::{PhaseTimings, PipelineMetrics};
 use crate::phrase_embedder::PhraseEmbedder;
 use crate::tweetbase::{TweetBase, TweetRecord};
+use emd_obs::Timer;
 use emd_text::casing::{syntactic_class, SyntacticClass};
 use emd_text::token::{Sentence, SentenceId, Span};
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
+use std::time::Instant;
+
+/// Elapsed nanoseconds since `t0`, saturating into a `u64`.
+#[inline]
+fn elapsed_ns(t0: Instant) -> u64 {
+    t0.elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
 
 /// Accumulated pipeline state across batches.
 #[derive(Debug, Clone)]
@@ -42,10 +52,29 @@ pub struct GlobalizerState {
     /// replay in stream order, keeping outputs bit-identical to a full
     /// sequential rescan.
     dirty: BTreeSet<usize>,
+    /// Cumulative per-phase wall-clock spent on this state, accumulated
+    /// unconditionally (one clock read per phase call) and surfaced via
+    /// [`GlobalizerOutput::phase_timings`].
+    timings: PhaseTimings,
 }
 
-/// Final (or interim) outputs of the framework.
-#[derive(Debug, Clone)]
+impl GlobalizerState {
+    /// Number of records currently awaiting a rescan (the dirty-set
+    /// depth). Observable live, e.g. between batches.
+    pub fn n_dirty(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Cumulative per-phase wall-clock timings accumulated on this state
+    /// so far.
+    pub fn timings(&self) -> &PhaseTimings {
+        &self.timings
+    }
+}
+
+/// Final (or interim) outputs of the framework. Serializable (the
+/// experiment binaries persist it, timings included, to `results/` JSON).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GlobalizerOutput {
     /// Predicted mentions per sentence, in stream order.
     pub per_sentence: Vec<(SentenceId, Vec<Span>)>,
@@ -58,6 +87,11 @@ pub struct GlobalizerOutput {
     /// Sentence scans performed by the closing rescan (for the incremental
     /// path this is usually far below the stream length).
     pub n_rescanned: usize,
+    /// Cumulative per-phase wall-clock breakdown for the run that produced
+    /// this output. Wall-clock only — never part of output equality
+    /// comparisons (instrumented and uninstrumented runs are bit-identical
+    /// in every other field).
+    pub phase_timings: PhaseTimings,
 }
 
 impl GlobalizerOutput {
@@ -80,6 +114,9 @@ pub struct Globalizer<'a> {
     classifier: &'a EntityClassifier,
     /// Pipeline configuration.
     pub config: GlobalizerConfig,
+    /// Metric handles every phase records into. Defaults to the
+    /// process-wide registry; see [`Globalizer::set_metrics`].
+    metrics: PipelineMetrics,
 }
 
 impl<'a> Globalizer<'a> {
@@ -105,7 +142,19 @@ impl<'a> Globalizer<'a> {
             phrase,
             classifier,
             config,
+            metrics: PipelineMetrics::global(),
         }
+    }
+
+    /// The metric handles this instance records into.
+    pub fn metrics(&self) -> &PipelineMetrics {
+        &self.metrics
+    }
+
+    /// Point the instrumentation at a private registry's handles instead
+    /// of the process-wide default (isolated tests, side-by-side runs).
+    pub fn set_metrics(&mut self, metrics: PipelineMetrics) {
+        self.metrics = metrics;
     }
 
     /// Dimensionality of candidate embeddings: the phrase-embedder output
@@ -124,6 +173,7 @@ impl<'a> Globalizer<'a> {
             ctrie: CTrie::new(),
             candidates: CandidateBase::new(self.candidate_dim()),
             dirty: BTreeSet::new(),
+            timings: PhaseTimings::default(),
         }
     }
 
@@ -138,8 +188,13 @@ impl<'a> Globalizer<'a> {
     /// **Local EMD phase** for one batch: run the plug-in per sentence,
     /// register seed candidates in the CTrie, store TweetBase records.
     fn local_phase(&self, state: &mut GlobalizerState, batch: &[Sentence]) {
-        let outputs: Vec<crate::local::LocalEmdOutput> =
-            batch.iter().map(|s| self.local.process(s)).collect();
+        let t0 = Instant::now();
+        let outputs: Vec<crate::local::LocalEmdOutput> = {
+            let _span = Timer::start(&self.metrics.local_infer_ns);
+            batch.iter().map(|s| self.local.process(s)).collect()
+        };
+        state.timings.local_infer_ns += elapsed_ns(t0);
+        self.metrics.sentences_total.add(batch.len() as u64);
         self.ingest_local_outputs(state, batch, outputs);
     }
 
@@ -155,22 +210,28 @@ impl<'a> Globalizer<'a> {
     ) {
         let n_threads = n_threads.max(1).min(batch.len().max(1));
         let chunk = batch.len().div_ceil(n_threads);
+        let t0 = Instant::now();
         let mut outputs: Vec<crate::local::LocalEmdOutput> = Vec::with_capacity(batch.len());
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = batch
-                .chunks(chunk.max(1))
-                .map(|part| {
-                    scope.spawn(move || {
-                        part.iter()
-                            .map(|s| self.local.process(s))
-                            .collect::<Vec<_>>()
+        {
+            let _span = Timer::start(&self.metrics.local_infer_ns);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = batch
+                    .chunks(chunk.max(1))
+                    .map(|part| {
+                        scope.spawn(move || {
+                            part.iter()
+                                .map(|s| self.local.process(s))
+                                .collect::<Vec<_>>()
+                        })
                     })
-                })
-                .collect();
-            for h in handles {
-                outputs.extend(h.join().expect("local EMD worker panicked"));
-            }
-        });
+                    .collect();
+                for h in handles {
+                    outputs.extend(h.join().expect("local EMD worker panicked"));
+                }
+            });
+        }
+        state.timings.local_infer_ns += elapsed_ns(t0);
+        self.metrics.sentences_total.add(batch.len() as u64);
         self.ingest_local_outputs(state, batch, outputs);
     }
 
@@ -189,6 +250,9 @@ impl<'a> Globalizer<'a> {
         batch: &[Sentence],
         outputs: Vec<crate::local::LocalEmdOutput>,
     ) {
+        let t0 = Instant::now();
+        let _span = Timer::start(&self.metrics.ingest_ns);
+        let mut n_local_spans = 0u64;
         let mut kept: Vec<Vec<Span>> = Vec::with_capacity(batch.len());
         for (sentence, out) in batch.iter().zip(outputs) {
             let spans: Vec<Span> = out
@@ -196,6 +260,7 @@ impl<'a> Globalizer<'a> {
                 .into_iter()
                 .filter(|sp| sp.start < sp.end && sp.end <= sentence.len())
                 .collect();
+            n_local_spans += spans.len() as u64;
             let idx = state.tweetbase.insert(TweetRecord {
                 sentence: sentence.clone(),
                 token_embeddings: out.token_embeddings,
@@ -205,6 +270,8 @@ impl<'a> Globalizer<'a> {
             state.dirty.insert(idx);
             kept.push(spans);
         }
+        let trie_span = Timer::start(&self.metrics.trie_register_ns);
+        let mut n_inserted = 0u64;
         for (sentence, spans) in batch.iter().zip(&kept) {
             for sp in spans {
                 if sp.len() <= self.config.max_candidate_len {
@@ -212,11 +279,16 @@ impl<'a> Globalizer<'a> {
                         .map(|i| sentence.tokens[i].text.as_str())
                         .collect();
                     if state.ctrie.insert(&toks) {
+                        n_inserted += 1;
                         Self::mark_dirty(state, &toks[0].to_lowercase());
                     }
                 }
             }
         }
+        drop(trie_span);
+        self.metrics.local_spans_total.add(n_local_spans);
+        self.metrics.trie_inserts_total.add(n_inserted);
+        state.timings.ingest_ns += elapsed_ns(t0);
     }
 
     /// Mark every stored sentence containing `first_token_lower` as needing
@@ -268,11 +340,15 @@ impl<'a> Globalizer<'a> {
         if indices.is_empty() {
             return;
         }
+        self.metrics.scan_records_total.add(indices.len() as u64);
+        let t_scan = Instant::now();
         let results: Vec<StagedScan> = {
+            let _span = Timer::start(&self.metrics.scan_ns);
             let tweetbase = &state.tweetbase;
             let ctrie = &state.ctrie;
             let n_threads = n_threads.max(1).min(indices.len());
             if n_threads == 1 {
+                let _shard = Timer::start(&self.metrics.scan_shard_ns);
                 indices
                     .iter()
                     .map(|&i| self.stage_scan(tweetbase, ctrie, i))
@@ -284,6 +360,7 @@ impl<'a> Globalizer<'a> {
                         .chunks(chunk)
                         .map(|part| {
                             scope.spawn(move || {
+                                let _shard = Timer::start(&self.metrics.scan_shard_ns);
                                 part.iter()
                                     .map(|&i| self.stage_scan(tweetbase, ctrie, i))
                                     .collect::<Vec<_>>()
@@ -297,16 +374,26 @@ impl<'a> Globalizer<'a> {
                 })
             }
         };
+        state.timings.scan_ns += elapsed_ns(t_scan);
+        let t_pool = Instant::now();
+        let _pool_span = Timer::start(&self.metrics.pool_ns);
+        let mut n_mentions = 0u64;
+        let mut n_pooled = 0u64;
         for (idx, mentions, staged) in results {
+            n_mentions += mentions.len() as u64;
             state.tweetbase.get_mut_by_index(idx).global_mentions = mentions;
             state.dirty.remove(&idx);
             for (key, mref, emb) in staged {
                 let rec = state.candidates.entry(&key);
                 if rec.try_add_mention(mref) {
                     rec.add_embedding(&emb);
+                    n_pooled += 1;
                 }
             }
         }
+        self.metrics.scan_mentions_total.add(n_mentions);
+        self.metrics.pool_embeddings_total.add(n_pooled);
+        state.timings.pool_ns += elapsed_ns(t_pool);
     }
 
     /// Score candidates. Confident verdicts (α/β) freeze; ambiguous ones
@@ -330,6 +417,8 @@ impl<'a> Globalizer<'a> {
         resolve_ambiguous: bool,
         n_threads: usize,
     ) {
+        let t0 = Instant::now();
+        let _span = Timer::start(&self.metrics.classify_ns);
         let score_one = |rec: &CandidateRecord| {
             let feats = EntityClassifier::features(
                 &rec.pooled_embedding(self.config.pooling),
@@ -370,8 +459,10 @@ impl<'a> Globalizer<'a> {
             }
         };
         // Phase 2 (sequential): apply labels in discovery order.
+        let mut n_scored = 0u64;
         for (rec, p) in state.candidates.iter_mut().zip(scores) {
             let Some(p) = p else { continue };
+            n_scored += 1;
             rec.score = Some(p);
             rec.label = EntityClassifier::classify(p, &self.config);
             if resolve_ambiguous && rec.label == CandidateLabel::Ambiguous {
@@ -385,6 +476,8 @@ impl<'a> Globalizer<'a> {
                 };
             }
         }
+        self.metrics.classify_candidates_total.add(n_scored);
+        state.timings.classify_ns += elapsed_ns(t0);
     }
 
     /// Consume one batch of the stream: Local EMD, candidate registration,
@@ -488,11 +581,15 @@ impl<'a> Globalizer<'a> {
         }
         let mut n_rescanned = 0;
         let mut n_promoted = 0;
+        self.metrics.dirty_depth.set(state.dirty.len() as f64);
         loop {
+            self.metrics.finalize_promotion_rounds_total.inc();
             let dirty: Vec<usize> = std::mem::take(&mut state.dirty).into_iter().collect();
             n_rescanned += dirty.len();
             self.scan_records(state, &dirty, n_threads);
+            let t_promo = Instant::now();
             let promotions = self.find_promotions(state);
+            state.timings.promotion_ns += elapsed_ns(t_promo);
             if promotions.is_empty() {
                 break;
             }
@@ -503,6 +600,15 @@ impl<'a> Globalizer<'a> {
                 }
             }
         }
+        self.metrics
+            .finalize_rescan_sentences_total
+            .add(n_rescanned as u64);
+        self.metrics
+            .finalize_promotions_total
+            .add(n_promoted as u64);
+        self.metrics
+            .rescan_coverage
+            .set(n_rescanned as f64 / state.tweetbase.len().max(1) as f64);
         (n_rescanned, n_promoted)
     }
 
@@ -544,6 +650,7 @@ impl<'a> Globalizer<'a> {
             n_entities,
             n_promoted,
             n_rescanned,
+            phase_timings: state.timings.clone(),
         }
     }
 
@@ -568,11 +675,18 @@ impl<'a> Globalizer<'a> {
         state: &mut GlobalizerState,
         n_threads: usize,
     ) -> GlobalizerOutput {
+        let t0 = Instant::now();
+        let _span = Timer::start(&self.metrics.finalize_ns);
         let (n_rescanned, n_promoted) = self.close_stream(state, n_threads);
         if self.config.ablation == Ablation::Full {
             self.classify_candidates(state, true, n_threads);
         }
-        self.emit(state, n_rescanned, n_promoted)
+        let t_emit = Instant::now();
+        let mut out = self.emit(state, n_rescanned, n_promoted);
+        state.timings.emit_ns += elapsed_ns(t_emit);
+        state.timings.finalize_ns += elapsed_ns(t0);
+        out.phase_timings = state.timings.clone();
+        out
     }
 
     /// Brute-force reference for [`Globalizer::finalize`]: rescans *every*
@@ -584,14 +698,19 @@ impl<'a> Globalizer<'a> {
         if self.config.ablation == Ablation::LocalOnly {
             return self.emit(state, 0, 0);
         }
+        let t0 = Instant::now();
+        let _span = Timer::start(&self.metrics.finalize_ns);
         let mut n_rescanned = 0;
         let mut n_promoted = 0;
         loop {
+            self.metrics.finalize_promotion_rounds_total.inc();
             state.dirty.clear();
             let all: Vec<usize> = (0..state.tweetbase.len()).collect();
             n_rescanned += all.len();
             self.scan_records(state, &all, 1);
+            let t_promo = Instant::now();
             let promotions = self.find_promotions(state);
+            state.timings.promotion_ns += elapsed_ns(t_promo);
             if promotions.is_empty() {
                 break;
             }
@@ -601,10 +720,22 @@ impl<'a> Globalizer<'a> {
                 }
             }
         }
+        self.metrics
+            .finalize_rescan_sentences_total
+            .add(n_rescanned as u64);
+        self.metrics
+            .finalize_promotions_total
+            .add(n_promoted as u64);
+        self.metrics.rescan_coverage.set(1.0);
         if self.config.ablation == Ablation::Full {
             self.classify_candidates(state, true, 1);
         }
-        self.emit(state, n_rescanned, n_promoted)
+        let t_emit = Instant::now();
+        let mut out = self.emit(state, n_rescanned, n_promoted);
+        state.timings.emit_ns += elapsed_ns(t_emit);
+        state.timings.finalize_ns += elapsed_ns(t0);
+        out.phase_timings = state.timings.clone();
+        out
     }
 
     /// Convenience: run the whole pipeline over a fixed set of sentences in

@@ -35,6 +35,7 @@ pub mod ctrie;
 pub mod globalizer;
 pub mod local;
 pub mod mention;
+pub mod obs;
 pub mod phrase_embedder;
 pub mod training;
 pub mod tweetbase;
@@ -44,4 +45,5 @@ pub use config::{Ablation, GlobalizerConfig};
 pub use ctrie::CTrie;
 pub use globalizer::{Globalizer, GlobalizerOutput};
 pub use local::{LocalEmd, LocalEmdOutput};
+pub use obs::{PhaseTimings, PipelineMetrics};
 pub use phrase_embedder::PhraseEmbedder;

@@ -3,6 +3,8 @@
 use emd_experiments::{build_variant, load_suite, reports, SystemKind};
 
 fn main() {
+    // Collect pipeline metrics for the whole run; dumped at the end.
+    emd_obs::set_enabled(true);
     eprintln!(
         "[run_all] generating datasets (EMD_SCALE={}, EMD_TRAIN_SCALE={})",
         emd_experiments::eval_scale(),
@@ -19,8 +21,12 @@ fn main() {
     emd_experiments::emit("table2", &reports::table2(&variants));
 
     eprintln!("[run_all] Table III ...");
-    let (t3, _) = reports::table3(&suite, &variants);
+    let (t3, cells) = reports::table3(&suite, &variants);
     emd_experiments::emit("table3", &t3);
+    emd_experiments::emit_json(
+        "phase_timings",
+        &emd_experiments::phase_timings_report(&cells),
+    );
 
     let aguilar = &variants[2];
     let bert = &variants[3];
@@ -32,5 +38,10 @@ fn main() {
     emd_experiments::emit("fig7", &reports::fig7(&suite, bert));
     eprintln!("[run_all] Error analysis ...");
     emd_experiments::emit("error_analysis", &reports::error_analysis(&suite, bert));
+    // Process-wide metric totals across every experiment above, in both
+    // exposition formats.
+    let snap = emd_obs::global().snapshot();
+    emd_experiments::emit_json("metrics", &snap.to_json());
+    emd_experiments::emit("metrics_prometheus", &snap.to_prometheus());
     eprintln!("[run_all] done. (run the `ablations` binary for the design-choice sweeps)");
 }

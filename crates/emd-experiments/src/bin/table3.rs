@@ -4,11 +4,16 @@
 use emd_experiments::{build_variant, load_suite, reports, SystemKind};
 
 fn main() {
+    emd_obs::set_enabled(true);
     let suite = load_suite();
     let variants: Vec<_> = SystemKind::all()
         .iter()
         .map(|&k| build_variant(k, &suite))
         .collect();
-    let (report, _) = reports::table3(&suite, &variants);
+    let (report, cells) = reports::table3(&suite, &variants);
     emd_experiments::emit("table3", &report);
+    emd_experiments::emit_json(
+        "phase_timings",
+        &emd_experiments::phase_timings_report(&cells),
+    );
 }

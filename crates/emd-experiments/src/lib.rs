@@ -26,7 +26,7 @@ use emd_core::config::{Ablation, GlobalizerConfig};
 use emd_core::local::LocalEmd;
 use emd_core::phrase_embedder::{PhraseEmbedder, StsExample, StsTrainConfig, StsTrainReport};
 use emd_core::training::harvest_training_data;
-use emd_core::{Globalizer, GlobalizerOutput};
+use emd_core::{Globalizer, GlobalizerOutput, PhaseTimings};
 use emd_eval::metrics::{mention_prf, Prf};
 use emd_local::aguilar::{Aguilar, AguilarConfig};
 use emd_local::mini_bert::{MiniBert, MiniBertConfig};
@@ -37,6 +37,7 @@ use emd_synth::datasets::{
 };
 use emd_synth::sts::gen_sts;
 use emd_text::token::{Dataset, Sentence, Span};
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// The four Local EMD instantiations.
@@ -259,6 +260,8 @@ pub struct CellResult {
     pub n_rescanned: usize,
     /// Candidates promoted from adjacent fragments at stream close.
     pub n_promoted: usize,
+    /// Per-phase wall-clock breakdown of the full framework run.
+    pub phase: PhaseTimings,
 }
 
 impl CellResult {
@@ -360,6 +363,7 @@ pub fn evaluate_cell(variant: &Variant, dataset: &Dataset) -> CellResult {
         n_sentences: sentences.len(),
         n_rescanned: out.n_rescanned,
         n_promoted: out.n_promoted,
+        phase: out.phase_timings,
     }
 }
 
@@ -383,14 +387,53 @@ pub fn build_hire(suite: &Suite) -> HireNer {
 /// missing) and echo to stdout.
 pub fn emit(name: &str, content: &str) {
     println!("{content}");
+    emit_file(&format!("{name}.txt"), content);
+}
+
+/// Write a machine-readable result under `results/` without echoing the
+/// (potentially large) content to stdout.
+pub fn emit_json(name: &str, content: &str) {
+    emit_file(&format!("{name}.json"), content);
+}
+
+fn emit_file(filename: &str, content: &str) {
     let dir = std::path::Path::new("results");
     let _ = std::fs::create_dir_all(dir);
-    let path = dir.join(format!("{name}.txt"));
+    let path = dir.join(filename);
     if let Err(e) = std::fs::write(&path, content) {
         eprintln!("warning: could not write {}: {e}", path.display());
     } else {
         eprintln!("[written {}]", path.display());
     }
+}
+
+/// One Table-III cell's per-phase timing breakdown, as persisted to
+/// `results/phase_timings.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseTimingsRecord {
+    /// Dataset name.
+    pub dataset: String,
+    /// Local EMD system name.
+    pub system: String,
+    /// Full-run wall-clock seconds.
+    pub global_secs: f64,
+    /// Cumulative nanoseconds per pipeline phase.
+    pub phase: PhaseTimings,
+}
+
+/// Serialize the per-phase timing breakdown of every evaluated cell to a
+/// JSON document (see [`PhaseTimingsRecord`]).
+pub fn phase_timings_report(cells: &[CellResult]) -> String {
+    let records: Vec<PhaseTimingsRecord> = cells
+        .iter()
+        .map(|c| PhaseTimingsRecord {
+            dataset: c.dataset.clone(),
+            system: c.system.to_string(),
+            global_secs: c.global_secs,
+            phase: c.phase.clone(),
+        })
+        .collect();
+    serde_json::to_string(&records).expect("phase timings serialize")
 }
 
 pub mod reports;

@@ -24,6 +24,38 @@ pub mod tcap;
 pub mod train_data;
 pub mod twitter_nlp;
 
+pub(crate) mod obs {
+    //! Per-system inference latency instrumentation. Handles live in
+    //! module-level statics (not on the model structs, which are
+    //! serialized as checkpoints) and register lazily in the process-wide
+    //! [`emd_obs::global`] registry on first use.
+    use emd_obs::{Histogram, Timer};
+    use std::sync::OnceLock;
+
+    /// A lazily registered `emd_local_<system>_process_ns` histogram.
+    pub(crate) struct ProcessHist {
+        name: &'static str,
+        hist: OnceLock<Histogram>,
+    }
+
+    impl ProcessHist {
+        pub(crate) const fn new(name: &'static str) -> ProcessHist {
+            ProcessHist {
+                name,
+                hist: OnceLock::new(),
+            }
+        }
+
+        /// Start an RAII span over one `process` call (inert in noop mode).
+        pub(crate) fn span(&self) -> Timer {
+            Timer::start(
+                self.hist
+                    .get_or_init(|| emd_obs::global().histogram(self.name)),
+            )
+        }
+    }
+}
+
 pub use aguilar::Aguilar;
 pub use mini_bert::MiniBert;
 pub use np_chunker::NpChunker;

@@ -406,6 +406,9 @@ impl LocalEmd for MiniBert {
     }
 
     fn process(&self, sentence: &Sentence) -> LocalEmdOutput {
+        static PROCESS_NS: crate::obs::ProcessHist =
+            crate::obs::ProcessHist::new("emd_local_mini_bert_process_ns");
+        let _span = PROCESS_NS.span();
         if sentence.is_empty() {
             return LocalEmdOutput {
                 spans: vec![],

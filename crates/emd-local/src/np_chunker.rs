@@ -67,6 +67,9 @@ impl LocalEmd for NpChunker {
     }
 
     fn process(&self, sentence: &Sentence) -> LocalEmdOutput {
+        static PROCESS_NS: crate::obs::ProcessHist =
+            crate::obs::ProcessHist::new("emd_local_np_chunker_process_ns");
+        let _span = PROCESS_NS.span();
         let texts: Vec<&str> = sentence.texts().collect();
         let tags = tag_sentence(&texts);
         let mut spans = Vec::new();

@@ -94,6 +94,9 @@ impl LocalEmd for TwitterNlp {
     }
 
     fn process(&self, sentence: &Sentence) -> LocalEmdOutput {
+        static PROCESS_NS: crate::obs::ProcessHist =
+            crate::obs::ProcessHist::new("emd_local_twitter_nlp_process_ns");
+        let _span = PROCESS_NS.span();
         if sentence.is_empty() {
             return LocalEmdOutput {
                 spans: vec![],

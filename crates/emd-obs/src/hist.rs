@@ -1,0 +1,296 @@
+//! Log-bucketed histogram with quantile estimation.
+//!
+//! Values (u64, typically nanoseconds) land in buckets whose width grows
+//! geometrically: each power-of-two octave is split into 4 sub-buckets,
+//! so bucket width is at most 1/4 of the bucket's lower bound and any
+//! interpolated quantile carries ≤ 25% relative error. 252 fixed buckets
+//! cover the full u64 range; recording is a handful of relaxed atomic
+//! operations and never allocates.
+
+use crate::snapshot::{BucketSnapshot, HistogramSnapshot};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Total number of buckets: 4 unit buckets for values 0..4, then 4
+/// sub-buckets per octave for exponents 2..=63.
+pub(crate) const N_BUCKETS: usize = 252;
+
+/// Bucket index for a value. Monotone in `v`.
+#[inline]
+pub(crate) fn bucket_index(v: u64) -> usize {
+    if v < 4 {
+        v as usize
+    } else {
+        let e = 63 - v.leading_zeros() as usize; // floor(log2 v), >= 2
+        let sub = ((v >> (e - 2)) & 0b11) as usize; // 2 bits below the MSB
+        4 * e + sub - 4
+    }
+}
+
+/// Inclusive lower bound of bucket `i` (the smallest value mapping to it).
+pub(crate) fn bucket_lo(i: usize) -> u64 {
+    debug_assert!(i < N_BUCKETS);
+    if i < 4 {
+        i as u64
+    } else {
+        let e = (i + 4) / 4;
+        let sub = ((i + 4) % 4) as u64;
+        (4 + sub) << (e - 2)
+    }
+}
+
+/// Exclusive upper bound of bucket `i` (saturating at `u64::MAX`).
+pub(crate) fn bucket_hi(i: usize) -> u64 {
+    if i + 1 >= N_BUCKETS {
+        u64::MAX
+    } else {
+        bucket_lo(i + 1)
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct HistInner {
+    buckets: [AtomicU64; N_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistInner {
+    fn new() -> HistInner {
+        HistInner {
+            buckets: [const { AtomicU64::new(0) }; N_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A shareable handle to a log-bucketed histogram. Cloning is cheap (an
+/// `Arc` bump) and every clone records into the same buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<HistInner>,
+}
+
+/// Point-in-time aggregate statistics of a histogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistStats {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples (saturating).
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 90th percentile.
+    pub p90: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, unregistered histogram (registries hand out registered
+    /// ones; this is for standalone use and tests).
+    pub fn new() -> Histogram {
+        Histogram {
+            inner: Arc::new(HistInner::new()),
+        }
+    }
+
+    /// Record one sample. A no-op while recording is disabled.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        let i = &self.inner;
+        i.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        i.count.fetch_add(1, Ordering::Relaxed);
+        i.sum.fetch_add(v, Ordering::Relaxed);
+        i.min.fetch_min(v, Ordering::Relaxed);
+        i.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples recorded so far.
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.inner.max.load(Ordering::Relaxed)
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count() == 0 {
+            // The empty sentinel is u64::MAX; don't leak it (and don't
+            // confuse it with a genuinely recorded u64::MAX).
+            0
+        } else {
+            self.inner.min.load(Ordering::Relaxed)
+        }
+    }
+
+    /// Estimate the `q`-quantile (`q` in `[0, 1]`) by locating the bucket
+    /// holding the sample of rank `ceil(q·count)` and interpolating
+    /// linearly inside it. The estimate lies in the same bucket as the
+    /// exact order statistic, so its relative error is bounded by the
+    /// bucket width (≤ 25%); the result is additionally clamped to the
+    /// observed `[min, max]`. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cum = 0u64;
+        let mut est = self.max() as f64;
+        for i in 0..N_BUCKETS {
+            let c = self.inner.buckets[i].load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= target {
+                let lo = bucket_lo(i) as f64;
+                let hi = bucket_hi(i) as f64;
+                let within = (target - cum) as f64 - 0.5;
+                est = lo + (hi - lo) * (within / c as f64);
+                break;
+            }
+            cum += c;
+        }
+        est.clamp(self.min() as f64, self.max() as f64)
+    }
+
+    /// Aggregate statistics (count, sum, min/max, p50/p90/p99).
+    pub fn stats(&self) -> HistStats {
+        HistStats {
+            count: self.count(),
+            sum: self.sum(),
+            min: self.min(),
+            max: self.max(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+        }
+    }
+
+    /// Serializable snapshot: aggregate stats plus the non-empty buckets.
+    pub fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        let stats = self.stats();
+        let buckets = (0..N_BUCKETS)
+            .filter_map(|i| {
+                let c = self.inner.buckets[i].load(Ordering::Relaxed);
+                (c > 0).then(|| BucketSnapshot {
+                    lo: bucket_lo(i),
+                    hi: bucket_hi(i),
+                    count: c,
+                })
+            })
+            .collect();
+        HistogramSnapshot {
+            name: name.to_string(),
+            count: stats.count,
+            sum: stats.sum,
+            min: stats.min,
+            max: stats.max,
+            p50: stats.p50,
+            p90: stats.p90,
+            p99: stats.p99,
+            buckets,
+        }
+    }
+
+    /// Zero every bucket and aggregate (used by [`crate::Registry::reset`]).
+    pub fn reset(&self) {
+        for b in &self.inner.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.inner.count.store(0, Ordering::Relaxed);
+        self.inner.sum.store(0, Ordering::Relaxed);
+        self.inner.min.store(u64::MAX, Ordering::Relaxed);
+        self.inner.max.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    #[test]
+    fn bucket_scheme_is_monotone_and_self_inverse() {
+        // Every bucket's lower bound maps back to its own index, bounds
+        // tile the u64 range, and the index is monotone across edges.
+        let mut prev_hi = 0u64;
+        for i in 0..N_BUCKETS {
+            let lo = bucket_lo(i);
+            let hi = bucket_hi(i);
+            assert_eq!(lo, prev_hi, "buckets must tile without gaps at {i}");
+            assert!(lo < hi || (i == N_BUCKETS - 1 && hi == u64::MAX));
+            assert_eq!(bucket_index(lo), i, "lower bound maps to own bucket");
+            if hi != u64::MAX {
+                assert_eq!(bucket_index(hi), i + 1, "upper bound starts the next");
+                assert_eq!(bucket_index(hi - 1), i, "last value stays inside");
+            }
+            prev_hi = hi;
+        }
+        assert_eq!(bucket_index(u64::MAX), N_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_width_bounds_relative_error() {
+        for i in 4..N_BUCKETS - 1 {
+            let lo = bucket_lo(i);
+            let width = bucket_hi(i) - lo;
+            assert!(
+                4 * width <= lo,
+                "bucket {i}: width {width} exceeds lo/4 ({lo})"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_values_round_trip_through_edges() {
+        let _g = test_lock::enable();
+        for v in [0u64, 1, 2, 3, 4, 5, 7, 8, 9, 1023, 1024, 1025, u64::MAX] {
+            let h = Histogram::new();
+            h.record(v);
+            assert_eq!(h.count(), 1);
+            assert_eq!(h.min(), v);
+            assert_eq!(h.max(), v);
+            // The single sample is its own every-quantile; clamping to
+            // [min, max] makes the estimate exact.
+            assert_eq!(h.quantile(0.5), v as f64);
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.99), 0.0);
+    }
+}

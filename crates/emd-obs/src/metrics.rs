@@ -1,0 +1,123 @@
+//! Scalar metrics: monotonic counters and float gauges.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing counter. Cloning is cheap and every clone
+/// increments the same underlying atomic.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    inner: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A fresh, unregistered counter.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Add 1. A no-op while recording is disabled.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`. A no-op while recording is disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.inner.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.inner.load(Ordering::Relaxed)
+    }
+
+    /// Zero the counter (used by [`crate::Registry::reset`]).
+    pub fn reset(&self) {
+        self.inner.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An instantaneous float value (set-or-adjust semantics). Stored as the
+/// bit pattern of an `f64` in an atomic word.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Default for Gauge {
+    fn default() -> Gauge {
+        Gauge::new()
+    }
+}
+
+impl Gauge {
+    /// A fresh, unregistered gauge holding 0.0.
+    pub fn new() -> Gauge {
+        Gauge {
+            bits: Arc::new(AtomicU64::new(0.0f64.to_bits())),
+        }
+    }
+
+    /// Overwrite the value. A no-op while recording is disabled.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if crate::enabled() {
+            self.bits.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Adjust the value by `delta` (atomically, via compare-and-swap).
+    /// A no-op while recording is disabled.
+    pub fn add(&self, delta: f64) {
+        if !crate::enabled() {
+            return;
+        }
+        let _ = self
+            .bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| {
+                Some((f64::from_bits(b) + delta).to_bits())
+            });
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Zero the gauge (used by [`crate::Registry::reset`]).
+    pub fn reset(&self) {
+        self.bits.store(0.0f64.to_bits(), Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    #[test]
+    fn counter_adds() {
+        let _g = test_lock::enable();
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_set_and_add() {
+        let _g = test_lock::enable();
+        let g = Gauge::new();
+        g.set(1.5);
+        g.add(-0.25);
+        assert_eq!(g.get(), 1.25);
+        g.reset();
+        assert_eq!(g.get(), 0.0);
+    }
+}

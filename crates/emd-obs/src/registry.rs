@@ -1,0 +1,178 @@
+//! Named-metric registry.
+
+use crate::snapshot::{CounterSnapshot, GaugeSnapshot, Snapshot};
+use crate::{Counter, Gauge, Histogram};
+use std::collections::BTreeMap;
+use std::sync::RwLock;
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A set of metrics addressed by name. `counter`/`gauge`/`histogram` are
+/// get-or-create: the first call under a name registers the metric, later
+/// calls hand back a clone of the same handle, so call sites don't need
+/// to coordinate registration. Handles stay valid (and keep recording
+/// into the registry) after they're handed out.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: RwLock<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn get_or_insert<T: Clone>(
+        &self,
+        name: &str,
+        kind: &str,
+        extract: impl Fn(&Metric) -> Option<T>,
+        make: impl FnOnce() -> Metric,
+    ) -> T {
+        if let Some(m) = self.metrics.read().unwrap().get(name) {
+            return extract(m)
+                .unwrap_or_else(|| panic!("metric {name:?} already registered as a non-{kind}"));
+        }
+        let mut map = self.metrics.write().unwrap();
+        let m = map.entry(name.to_string()).or_insert_with(make);
+        extract(m).unwrap_or_else(|| panic!("metric {name:?} already registered as a non-{kind}"))
+    }
+
+    /// Get or create the counter named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.get_or_insert(
+            name,
+            "counter",
+            |m| match m {
+                Metric::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+            || Metric::Counter(Counter::new()),
+        )
+    }
+
+    /// Get or create the gauge named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.get_or_insert(
+            name,
+            "gauge",
+            |m| match m {
+                Metric::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+            || Metric::Gauge(Gauge::new()),
+        )
+    }
+
+    /// Get or create the histogram named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.get_or_insert(
+            name,
+            "histogram",
+            |m| match m {
+                Metric::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+            || Metric::Histogram(Histogram::new()),
+        )
+    }
+
+    /// A point-in-time [`Snapshot`] of every registered metric, sorted by
+    /// name within each kind.
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.metrics.read().unwrap();
+        let mut snap = Snapshot::default();
+        for (name, metric) in map.iter() {
+            match metric {
+                Metric::Counter(c) => snap.counters.push(CounterSnapshot {
+                    name: name.clone(),
+                    value: c.get(),
+                }),
+                Metric::Gauge(g) => snap.gauges.push(GaugeSnapshot {
+                    name: name.clone(),
+                    value: g.get(),
+                }),
+                Metric::Histogram(h) => snap.histograms.push(h.snapshot(name)),
+            }
+        }
+        snap
+    }
+
+    /// Zero every registered metric (names stay registered and handed-out
+    /// handles stay live).
+    pub fn reset(&self) {
+        let map = self.metrics.read().unwrap();
+        for metric in map.values() {
+            match metric {
+                Metric::Counter(c) => c.reset(),
+                Metric::Gauge(g) => g.reset(),
+                Metric::Histogram(h) => h.reset(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    #[test]
+    fn get_or_create_aliases() {
+        let _g = test_lock::enable();
+        let reg = Registry::new();
+        reg.counter("a_total").add(2);
+        reg.counter("a_total").add(3);
+        assert_eq!(reg.counter("a_total").get(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        let _c = reg.counter("x");
+        let _h = reg.histogram("x");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let _g = test_lock::enable();
+        let reg = Registry::new();
+        reg.counter("z_total").inc();
+        reg.counter("a_total").inc();
+        reg.gauge("depth").set(7.0);
+        reg.histogram("lat_ns").record(100);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["a_total", "z_total"]);
+        assert_eq!(snap.gauge("depth"), Some(7.0));
+        assert_eq!(snap.histogram("lat_ns").unwrap().count, 1);
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_handles_live() {
+        let _g = test_lock::enable();
+        let reg = Registry::new();
+        let c = reg.counter("c_total");
+        c.add(9);
+        reg.reset();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        assert_eq!(reg.snapshot().counter("c_total"), Some(1));
+    }
+}

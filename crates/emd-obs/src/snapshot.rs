@@ -1,0 +1,128 @@
+//! Point-in-time snapshots of a registry and the two exporters:
+//! Prometheus text exposition format and JSON (via the serde shim).
+
+use serde::{Deserialize, Serialize};
+
+/// One counter's value at snapshot time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Counter value.
+    pub value: u64,
+}
+
+/// One gauge's value at snapshot time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Gauge value.
+    pub value: f64,
+}
+
+/// One non-empty histogram bucket: samples in `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketSnapshot {
+    /// Inclusive lower bound.
+    pub lo: u64,
+    /// Exclusive upper bound.
+    pub hi: u64,
+    /// Samples in this bucket (non-cumulative).
+    pub count: u64,
+}
+
+/// One histogram's state at snapshot time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 90th percentile.
+    pub p90: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+    /// Non-empty buckets in ascending order.
+    pub buckets: Vec<BucketSnapshot>,
+}
+
+/// A consistent-enough point-in-time view of a whole [`crate::Registry`]
+/// (individual metrics are read with relaxed atomics; concurrent writers
+/// may land between reads). Metric vectors are sorted by name.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// All counters, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// All gauges, sorted by name.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// All histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Look up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Look up a gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// Look up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Render in Prometheus text exposition format. Histograms emit
+    /// cumulative `_bucket{le="…"}` series (one per non-empty bucket,
+    /// keyed by its exclusive upper bound, plus `+Inf`), `_sum`, and
+    /// `_count`; counters and gauges emit plain samples.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for c in &self.counters {
+            out.push_str(&format!("# TYPE {} counter\n", c.name));
+            out.push_str(&format!("{} {}\n", c.name, c.value));
+        }
+        for g in &self.gauges {
+            out.push_str(&format!("# TYPE {} gauge\n", g.name));
+            out.push_str(&format!("{} {}\n", g.name, g.value));
+        }
+        for h in &self.histograms {
+            out.push_str(&format!("# TYPE {} histogram\n", h.name));
+            let mut cum = 0u64;
+            for b in &h.buckets {
+                cum += b.count;
+                out.push_str(&format!("{}_bucket{{le=\"{}\"}} {}\n", h.name, b.hi, cum));
+            }
+            out.push_str(&format!("{}_bucket{{le=\"+Inf\"}} {}\n", h.name, h.count));
+            out.push_str(&format!("{}_sum {}\n", h.name, h.sum));
+            out.push_str(&format!("{}_count {}\n", h.name, h.count));
+        }
+        out
+    }
+
+    /// Serialize to a JSON document (round-trips through
+    /// [`Snapshot::from_json`]).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serialization cannot fail")
+    }
+
+    /// Parse a snapshot back out of its JSON form.
+    pub fn from_json(s: &str) -> Result<Snapshot, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}

@@ -1,0 +1,250 @@
+//! Integration tests for emd-obs: quantile estimates against an exact
+//! order-statistic oracle, correctness under thread-scope concurrency
+//! (mirroring how the pipeline's parallel shards record), and round-trips
+//! through both exporters.
+//!
+//! This binary runs as its own process, so it owns the process-wide
+//! enabled flag; tests that need recording serialize on a local lock.
+
+use emd_obs::{Histogram, Registry, Snapshot, Timer};
+use rand::{Rng, SeedableRng};
+use std::sync::Mutex;
+
+static FLAG_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_recording<T>(f: impl FnOnce() -> T) -> T {
+    let _g = FLAG_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    emd_obs::set_enabled(true);
+    let out = f();
+    emd_obs::set_enabled(false);
+    out
+}
+
+/// Exact `q`-quantile of a sorted sample under the same rank convention
+/// the histogram uses: the sample of rank `ceil(q * n)` (1-based).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let target = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[target - 1]
+}
+
+fn check_quantiles(values: &mut [u64], label: &str) {
+    let h = Histogram::new();
+    for &v in values.iter() {
+        h.record(v);
+    }
+    values.sort_unstable();
+    assert_eq!(h.count(), values.len() as u64, "{label}: count");
+    assert_eq!(h.min(), values[0], "{label}: min is exact");
+    assert_eq!(h.max(), *values.last().unwrap(), "{label}: max is exact");
+    for q in [0.0, 0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 1.0] {
+        let exact = exact_quantile(values, q) as f64;
+        let est = h.quantile(q);
+        // Bucket width is <= lo/4, so the interpolated estimate stays
+        // within 25% of the exact order statistic (plus one unit of slack
+        // for the tiny integer buckets).
+        let tol = (0.25 * exact).max(1.0);
+        assert!(
+            (est - exact).abs() <= tol,
+            "{label}: q={q}: estimate {est} vs exact {exact} (tol {tol})"
+        );
+    }
+}
+
+#[test]
+fn quantiles_match_exact_oracle_uniform() {
+    with_recording(|| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut values: Vec<u64> = (0..10_000)
+            .map(|_| rng.gen_range(1u64..5_000_000))
+            .collect();
+        check_quantiles(&mut values, "uniform");
+    });
+}
+
+#[test]
+fn quantiles_match_exact_oracle_log_spread() {
+    with_recording(|| {
+        // Latency-shaped data: spans ~6 orders of magnitude, as pipeline
+        // phase timings do (trie insert ns vs full-batch finalize ms).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut values: Vec<u64> = (0..10_000)
+            .map(|_| {
+                let exp = rng.gen_range(4u32..24);
+                rng.gen_range(1u64 << exp..1u64 << (exp + 1))
+            })
+            .collect();
+        check_quantiles(&mut values, "log-spread");
+    });
+}
+
+#[test]
+fn quantiles_match_exact_oracle_heavy_duplicates() {
+    with_recording(|| {
+        // Many ties on a handful of values — degenerate buckets.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let points = [17u64, 900, 4096, 4097, 250_000];
+        let mut values: Vec<u64> = (0..5_000)
+            .map(|_| points[rng.gen_range(0usize..points.len())])
+            .collect();
+        check_quantiles(&mut values, "duplicates");
+    });
+}
+
+#[test]
+fn counters_and_histograms_are_race_free_under_thread_scope() {
+    with_recording(|| {
+        // Same shape as process_batch_parallel: N worker shards hammer
+        // shared handles through std::thread::scope.
+        let reg = Registry::new();
+        let c = reg.counter("emd_test_ops_total");
+        let h = reg.histogram("emd_test_lat_ns");
+        let g = reg.gauge("emd_test_depth");
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 10_000;
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let (c, h, g) = (c.clone(), h.clone(), g.clone());
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        c.inc();
+                        h.record(t * PER_THREAD + i + 1);
+                        g.add(1.0);
+                    }
+                });
+            }
+        });
+        let n = THREADS * PER_THREAD;
+        assert_eq!(c.get(), n);
+        assert_eq!(h.count(), n);
+        // Sum of 1..=n: no lost updates across buckets either.
+        assert_eq!(h.sum(), n * (n + 1) / 2);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), n);
+        assert_eq!(g.get(), n as f64);
+        let bucket_total: u64 = reg
+            .snapshot()
+            .histogram("emd_test_lat_ns")
+            .unwrap()
+            .buckets
+            .iter()
+            .map(|b| b.count)
+            .sum();
+        assert_eq!(bucket_total, n, "bucket counts account for every sample");
+    });
+}
+
+/// Minimal parser for the Prometheus text exposition format: returns
+/// `(name-with-labels, value)` samples and checks `# TYPE` lines are
+/// well-formed.
+fn parse_prometheus(text: &str) -> Vec<(String, f64)> {
+    let mut samples = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().expect("TYPE line has a metric name");
+            let kind = parts.next().expect("TYPE line has a kind");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "unknown TYPE {kind} for {name}"
+            );
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unexpected comment: {line}");
+        let (name, value) = line.rsplit_once(' ').expect("sample line is `name value`");
+        let value: f64 = value.parse().expect("sample value parses as a number");
+        samples.push((name.to_string(), value));
+    }
+    samples
+}
+
+#[test]
+fn prometheus_export_parses_and_matches() {
+    with_recording(|| {
+        let reg = Registry::new();
+        reg.counter("emd_scan_records_total").add(42);
+        reg.gauge("emd_finalize_dirty_depth").set(3.5);
+        let h = reg.histogram("emd_scan_ns");
+        for v in [100u64, 200, 300, 5_000] {
+            h.record(v);
+        }
+        let text = reg.snapshot().to_prometheus();
+        let samples = parse_prometheus(&text);
+        let get = |name: &str| {
+            samples
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("missing sample {name}"))
+                .1
+        };
+        assert_eq!(get("emd_scan_records_total"), 42.0);
+        assert_eq!(get("emd_finalize_dirty_depth"), 3.5);
+        assert_eq!(get("emd_scan_ns_count"), 4.0);
+        assert_eq!(get("emd_scan_ns_sum"), 5_600.0);
+        assert_eq!(get("emd_scan_ns_bucket{le=\"+Inf\"}"), 4.0);
+        // Cumulative bucket counts are non-decreasing and end at count.
+        let cum: Vec<f64> = samples
+            .iter()
+            .filter(|(n, _)| n.starts_with("emd_scan_ns_bucket"))
+            .map(|&(_, v)| v)
+            .collect();
+        assert!(cum.windows(2).all(|w| w[0] <= w[1]), "cumulative: {cum:?}");
+        assert_eq!(*cum.last().unwrap(), 4.0);
+    });
+}
+
+#[test]
+fn json_snapshot_round_trips() {
+    with_recording(|| {
+        let reg = Registry::new();
+        reg.counter("emd_pipeline_sentences_total").add(1_000);
+        reg.gauge("emd_finalize_rescan_coverage").set(0.25);
+        let h = reg.histogram("emd_classify_ns");
+        for v in 1..=100u64 {
+            h.record(v * 997);
+        }
+        let snap = reg.snapshot();
+        let json = snap.to_json();
+        let back = Snapshot::from_json(&json).expect("snapshot JSON deserializes");
+        assert_eq!(back, snap, "JSON round-trip is lossless");
+        assert_eq!(back.counter("emd_pipeline_sentences_total"), Some(1_000));
+        assert_eq!(back.gauge("emd_finalize_rescan_coverage"), Some(0.25));
+        assert_eq!(back.histogram("emd_classify_ns").unwrap().count, 100);
+    });
+}
+
+#[test]
+fn timers_feed_registry_histograms() {
+    with_recording(|| {
+        let reg = Registry::new();
+        let h = reg.histogram("emd_span_ns");
+        for _ in 0..32 {
+            let _span = Timer::start(&h);
+            std::hint::black_box((0..64).sum::<u64>());
+        }
+        let snap = reg.snapshot().histogram("emd_span_ns").cloned().unwrap();
+        assert_eq!(snap.count, 32);
+        assert!(snap.sum > 0, "spans measured nonzero time");
+        assert!(snap.p50 >= snap.min as f64);
+        assert!(snap.p99 <= snap.max as f64);
+    });
+}
+
+#[test]
+fn disabled_process_wide_flag_makes_recording_free_of_side_effects() {
+    let _g = FLAG_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    emd_obs::set_enabled(false);
+    let reg = Registry::new();
+    let c = reg.counter("noop_total");
+    let h = reg.histogram("noop_ns");
+    c.add(5);
+    h.record(123);
+    drop(Timer::start(&h));
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter("noop_total"), Some(0));
+    assert_eq!(snap.histogram("noop_ns").unwrap().count, 0);
+    assert!(snap.histogram("noop_ns").unwrap().buckets.is_empty());
+}

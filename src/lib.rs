@@ -55,6 +55,7 @@
 //! | [`synth`] | `emd-synth` | synthetic targeted-stream generator (datasets D1–D5, WNUT17/BTC-like) |
 //! | [`baseline`] | `emd-baseline` | HIRE-NER document-level baseline |
 //! | [`eval`] | `emd-eval` | metrics, frequency bins, error analysis, paper reference values |
+//! | [`obs`] | `emd-obs` | zero-dependency metrics: counters, gauges, latency histograms, Prometheus/JSON exporters |
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured comparison of every table and figure.
@@ -65,6 +66,7 @@ pub use emd_crf as crf;
 pub use emd_eval as eval;
 pub use emd_local as local;
 pub use emd_nn as nn;
+pub use emd_obs as obs;
 pub use emd_synth as synth;
 pub use emd_text as text;
 

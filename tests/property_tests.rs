@@ -12,6 +12,26 @@ use emd_globalizer::text::token::{bio_to_spans, spans_to_bio, Bio, Sentence, Sen
 use emd_globalizer::text::tokenizer::{tokenize, tokenize_message};
 use emd_globalizer::text::vocab::Vocab;
 use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard};
+
+/// Serialises access to the process-wide metrics flag across the tests
+/// that toggle it (cargo's harness runs tests in this binary on multiple
+/// threads), and restores the default noop mode on drop.
+static OBS_FLAG: Mutex<()> = Mutex::new(());
+
+struct ObsGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl Drop for ObsGuard {
+    fn drop(&mut self) {
+        emd_globalizer::obs::set_enabled(false);
+    }
+}
+
+fn obs_flag(on: bool) -> ObsGuard {
+    let guard = OBS_FLAG.lock().unwrap_or_else(|p| p.into_inner());
+    emd_globalizer::obs::set_enabled(on);
+    ObsGuard(guard)
+}
 
 /// Strategy: a lowercase token of 1..8 chars.
 fn token_strat() -> impl Strategy<Value = String> {
@@ -218,6 +238,9 @@ proptest! {
                 Sentence::from_tokens(SentenceId::new(i as u64, 0), toks)
             })
             .collect();
+        // Metric recording must not perturb any of the equalities below:
+        // run half the cases with the instrumentation enabled.
+        let _obs = obs_flag(seed % 2 == 1);
         for ablation in [Ablation::MentionExtraction, Ablation::Full] {
             let g = Globalizer::new(&lexicon, None, &clf, GlobalizerConfig {
                 ablation,
@@ -240,6 +263,65 @@ proptest! {
                 prop_assert_eq!(&a.mentions, &b.mentions);
                 prop_assert!(a.label == b.label, "label diverged for {}", a.key);
             }
+        }
+    }
+
+    /// Noop transparency: the metrics layer is observation only. Running
+    /// the identical pipeline with recording enabled and disabled yields
+    /// bit-identical outputs — per-sentence spans, candidate discovery
+    /// order, pooled embeddings, verdicts, and all summary counts. Only
+    /// `phase_timings` (wall-clock) may differ, so it is excluded.
+    #[test]
+    fn instrumentation_is_output_transparent(
+        msgs in proptest::collection::vec(proptest::collection::vec(0usize..12, 1..8), 1..15),
+        batch in 1usize..6,
+        threads in 1usize..4,
+        seed in 0u64..4,
+    ) {
+        const WORDS: [&str; 12] = [
+            "italy", "covid", "beshear", "moross", "lumsa", "zutav",
+            "report", "cases", "the", "news", "visit", "again",
+        ];
+        let lexicon = LexiconEmd::new(["italy", "covid", "beshear", "moross", "lumsa", "zutav"]);
+        let clf = EntityClassifier::new(7, seed);
+        let stream: Vec<Sentence> = msgs
+            .iter()
+            .enumerate()
+            .map(|(i, words)| {
+                let toks = words.iter().enumerate().map(|(j, &w)| {
+                    let mut t = WORDS[w].to_string();
+                    if (i + j) % 3 == 0 {
+                        t[..1].make_ascii_uppercase();
+                    }
+                    t
+                });
+                Sentence::from_tokens(SentenceId::new(i as u64, 0), toks)
+            })
+            .collect();
+        let g = Globalizer::new(&lexicon, None, &clf, GlobalizerConfig::default());
+        let mut runs = Vec::new();
+        for on in [true, false] {
+            let _obs = obs_flag(on);
+            let mut s = g.new_state();
+            for chunk in stream.chunks(batch) {
+                g.process_batch(&mut s, chunk);
+            }
+            let out = g.finalize_with_threads(&mut s, threads);
+            runs.push((out, s));
+        }
+        let (out_on, s_on) = &runs[0];
+        let (out_off, s_off) = &runs[1];
+        prop_assert_eq!(&out_on.per_sentence, &out_off.per_sentence);
+        prop_assert_eq!(out_on.n_candidates, out_off.n_candidates);
+        prop_assert_eq!(out_on.n_entities, out_off.n_entities);
+        prop_assert_eq!(out_on.n_promoted, out_off.n_promoted);
+        prop_assert_eq!(out_on.n_rescanned, out_off.n_rescanned);
+        prop_assert_eq!(s_on.candidates.len(), s_off.candidates.len());
+        for (a, b) in s_on.candidates.iter().zip(s_off.candidates.iter()) {
+            prop_assert_eq!(&a.key, &b.key, "discovery order diverged");
+            prop_assert_eq!(a.global_embedding(), b.global_embedding());
+            prop_assert_eq!(&a.mentions, &b.mentions);
+            prop_assert!(a.label == b.label, "label diverged for {}", a.key);
         }
     }
 
