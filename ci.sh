@@ -20,4 +20,17 @@ echo "== instrumented smoke pipeline =="
 # Prometheus and JSON exports. It exits nonzero on any violation.
 cargo run --release --example quickstart > /dev/null
 
+echo "== chaos + crash-recovery smoke =="
+# Deterministic fault injection (fixed schedules, no wall-clock or RNG in
+# the harness): the chaos suite arms every fail-point site, verifies
+# transient faults are invisible (bit-identical outputs, empty
+# quarantine), persistent faults quarantine/degrade instead of aborting,
+# and checkpoint save→restore→continue is bit-identical. The example then
+# drives the supervisor through poison input, injected faults, and a
+# simulated mid-stream crash with recovery; it exits nonzero on any
+# violated guarantee. (Debug profile: the `failpoints` feature comes from
+# the root dev-dependency and is compiled out of release builds.)
+cargo test --test chaos_resilience
+cargo run --example resilient_stream > /dev/null
+
 echo "CI green."

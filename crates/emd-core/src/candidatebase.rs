@@ -11,10 +11,11 @@
 
 use crate::classifier::CandidateLabel;
 use emd_text::token::{SentenceId, Span};
+use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// A single located mention of a candidate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MentionRef {
     /// Sentence the mention occurs in.
     pub sid: SentenceId,
@@ -26,7 +27,7 @@ pub struct MentionRef {
 }
 
 /// Per-candidate record.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CandidateRecord {
     /// Lower-cased space-joined key.
     pub key: String,
@@ -49,6 +50,11 @@ pub struct CandidateRecord {
     pub label: CandidateLabel,
     /// Last classifier probability, if scored.
     pub score: Option<f32>,
+    /// Degraded-mode flag: the phrase embedder or classifier failed
+    /// persistently for this candidate, so its classifier verdict is
+    /// unreliable. Emission falls back to trusting only the Local EMD
+    /// system's own detections for this candidate (LocalOnly behaviour).
+    pub degraded: bool,
 }
 
 impl CandidateRecord {
@@ -64,6 +70,7 @@ impl CandidateRecord {
             local_embeddings: Vec::new(),
             label: CandidateLabel::Pending,
             score: None,
+            degraded: false,
         }
     }
 
@@ -136,7 +143,7 @@ impl CandidateRecord {
 }
 
 /// The stream-wide candidate store.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CandidateBase {
     records: Vec<CandidateRecord>,
     index: HashMap<String, usize>,

@@ -53,6 +53,12 @@ pub struct GlobalizerConfig {
     /// the affected sentences are rescanned. Recovers multi-token entities
     /// the local system only ever detects in fragments. `0` disables.
     pub promotion_support: usize,
+    /// Poison-message retry budget: how many times a panicking per-item
+    /// unit of work (one sentence's local inference or ingest, one
+    /// record's rescan, one candidate's classification) is retried before
+    /// the item is quarantined (sentences) or marked degraded
+    /// (candidates). Total attempts per item = `poison_retries + 1`.
+    pub poison_retries: usize,
 }
 
 impl Default for GlobalizerConfig {
@@ -66,6 +72,7 @@ impl Default for GlobalizerConfig {
             pooling: Pooling::Mean,
             trust_local_fallback: true,
             promotion_support: 3,
+            poison_retries: 1,
         }
     }
 }

@@ -14,6 +14,24 @@
 //! [`Globalizer::finalize`] rescans only those. The brute-force
 //! [`Globalizer::finalize_full_rescan`] rescans everything and exists as
 //! the reference the incremental path is tested bit-identical against.
+//!
+//! ## Failure model
+//!
+//! Every per-item unit of work (one sentence's local inference or ingest
+//! staging, one record's rescan, one candidate's classification) is pure
+//! with respect to pipeline state and runs inside a panic-isolation
+//! boundary with a bounded retry budget
+//! ([`GlobalizerConfig::poison_retries`]). State mutation happens only in
+//! the sequential *apply* steps, which are infallible, so a caught panic
+//! never leaves partial state behind. Items that exhaust their budget are
+//! **quarantined** (sentences — diverted to the dead-letter buffer on
+//! [`GlobalizerOutput::quarantined`]) or marked **degraded** (candidates —
+//! emission falls back to the local system's own detections). Worker
+//! shards are joined *unconditionally*; a panicked shard's work is re-run
+//! on the caller thread, so one poisoned shard never aborts the batch or
+//! leaks live threads. Fail points ([`emd_resilience::failpoint`]) at each
+//! phase boundary drive the chaos test suite; they compile to nothing
+//! without the `failpoints` feature.
 
 use crate::candidatebase::{CandidateBase, CandidateRecord, MentionRef};
 use crate::classifier::{CandidateLabel, EntityClassifier};
@@ -25,6 +43,8 @@ use crate::obs::{PhaseTimings, PipelineMetrics};
 use crate::phrase_embedder::PhraseEmbedder;
 use crate::tweetbase::{TweetBase, TweetRecord};
 use emd_obs::Timer;
+use emd_resilience::quarantine::{PipelinePhase, QuarantineEntry};
+use emd_resilience::{failpoint, isolate, validate};
 use emd_text::casing::{syntactic_class, SyntacticClass};
 use emd_text::token::{Sentence, SentenceId, Span};
 use serde::{Deserialize, Serialize};
@@ -37,8 +57,10 @@ fn elapsed_ns(t0: Instant) -> u64 {
     t0.elapsed().as_nanos().min(u64::MAX as u128) as u64
 }
 
-/// Accumulated pipeline state across batches.
-#[derive(Debug, Clone)]
+/// Accumulated pipeline state across batches. Serializable: the
+/// `StreamSupervisor` checkpoints it between batches so an interrupted
+/// run can resume from the last completed batch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GlobalizerState {
     /// Per-sentence records.
     pub tweetbase: TweetBase,
@@ -56,6 +78,14 @@ pub struct GlobalizerState {
     /// unconditionally (one clock read per phase call) and surfaced via
     /// [`GlobalizerOutput::phase_timings`].
     timings: PhaseTimings,
+    /// Dead-letter log: sentences the pipeline gave up on, in
+    /// deterministic stream/discovery order.
+    pub quarantined: Vec<QuarantineEntry>,
+    /// Stream-order indices of records quarantined *after* ingestion (a
+    /// persistently failing rescan). They stay in the TweetBase so indices
+    /// remain stable, but are excluded from dirtying, scans, promotion
+    /// evidence, and emission.
+    quarantined_idx: BTreeSet<usize>,
 }
 
 impl GlobalizerState {
@@ -63,6 +93,11 @@ impl GlobalizerState {
     /// depth). Observable live, e.g. between batches.
     pub fn n_dirty(&self) -> usize {
         self.dirty.len()
+    }
+
+    /// Number of sentences quarantined so far.
+    pub fn n_quarantined(&self) -> usize {
+        self.quarantined.len()
     }
 
     /// Cumulative per-phase wall-clock timings accumulated on this state
@@ -92,6 +127,15 @@ pub struct GlobalizerOutput {
     /// comparisons (instrumented and uninstrumented runs are bit-identical
     /// in every other field).
     pub phase_timings: PhaseTimings,
+    /// Dead-letter buffer: sentences the pipeline gave up on (poison
+    /// input or persistent per-item faults). These sentences do not
+    /// appear in `per_sentence`; operators drain this buffer for
+    /// inspection or replay.
+    pub quarantined: Vec<QuarantineEntry>,
+    /// Candidates whose phrase embedding or classification failed
+    /// persistently; their emission fell back to the local system's own
+    /// detections (degraded LocalOnly behaviour).
+    pub n_degraded: usize,
 }
 
 impl GlobalizerOutput {
@@ -101,9 +145,18 @@ impl GlobalizerOutput {
     }
 }
 
-/// One staged rescan result: the record index, its re-extracted mentions,
-/// and the (candidate key, mention, local embedding) triples to pool.
-type StagedScan = (usize, Vec<Span>, Vec<(String, MentionRef, Vec<f32>)>);
+/// One staged rescan result, computed read-only (a rescan worker runs the
+/// staging off-thread; the sequential apply step replays it).
+struct StagedScan {
+    /// Re-extracted mentions for the record.
+    mentions: Vec<Span>,
+    /// `(candidate key, mention, local embedding)` triples to pool.
+    staged: Vec<(String, MentionRef, Vec<f32>)>,
+    /// Candidate keys whose embedding computation panicked or produced
+    /// non-finite values; a zero vector was pooled in its place and the
+    /// apply step marks the candidate degraded.
+    degraded_keys: Vec<String>,
+}
 
 /// The framework: a Local EMD plug-in, the Global EMD components, and the
 /// configuration.
@@ -174,7 +227,35 @@ impl<'a> Globalizer<'a> {
             candidates: CandidateBase::new(self.candidate_dim()),
             dirty: BTreeSet::new(),
             timings: PhaseTimings::default(),
+            quarantined: Vec::new(),
+            quarantined_idx: BTreeSet::new(),
         }
+    }
+
+    /// Total attempts per isolated unit of work.
+    fn attempts(&self) -> usize {
+        self.config.poison_retries + 1
+    }
+
+    /// Record `failed` panicking attempts against the retry counter.
+    fn note_retries(&self, failed: usize) {
+        if failed > 0 {
+            self.metrics.item_retries_total.add(failed as u64);
+        }
+    }
+
+    /// Divert a sentence to the dead-letter log.
+    fn quarantine_sentence(
+        &self,
+        state: &mut GlobalizerState,
+        sid: SentenceId,
+        phase: PipelinePhase,
+        reason: String,
+    ) {
+        self.metrics.quarantined_total.inc();
+        state
+            .quarantined
+            .push(QuarantineEntry { sid, phase, reason });
     }
 
     /// Compute the local candidate embedding for a mention.
@@ -185,13 +266,26 @@ impl<'a> Globalizer<'a> {
         }
     }
 
+    /// One sentence's local inference, panic-isolated with the retry
+    /// budget. Pure (no pipeline state touched), so a caught panic leaves
+    /// nothing behind; used identically by the sequential and parallel
+    /// local phases, keeping their failure behaviour bit-identical.
+    fn local_attempt(&self, sentence: &Sentence) -> Result<crate::local::LocalEmdOutput, String> {
+        let r = isolate::retry_catch(self.attempts(), || {
+            failpoint::fire("local_inference");
+            self.local.process(sentence)
+        });
+        self.note_retries(r.failed_attempts);
+        r.result
+    }
+
     /// **Local EMD phase** for one batch: run the plug-in per sentence,
     /// register seed candidates in the CTrie, store TweetBase records.
     fn local_phase(&self, state: &mut GlobalizerState, batch: &[Sentence]) {
         let t0 = Instant::now();
-        let outputs: Vec<crate::local::LocalEmdOutput> = {
+        let outputs: Vec<Result<crate::local::LocalEmdOutput, String>> = {
             let _span = Timer::start(&self.metrics.local_infer_ns);
-            batch.iter().map(|s| self.local.process(s)).collect()
+            batch.iter().map(|s| self.local_attempt(s)).collect()
         };
         state.timings.local_infer_ns += elapsed_ns(t0);
         self.metrics.sentences_total.add(batch.len() as u64);
@@ -202,6 +296,12 @@ impl<'a> Globalizer<'a> {
     /// across `n_threads` scoped threads (inference is `&self`), then the
     /// outputs are ingested sequentially in stream order, so results are
     /// bit-identical to the sequential path.
+    ///
+    /// Shards are joined unconditionally before any failure is acted on —
+    /// a panicked shard must not leak the surviving worker threads — and a
+    /// failed shard's sentences are re-run on the caller thread (the
+    /// surviving "pool"), so one poisoned shard degrades to sequential
+    /// work instead of aborting the batch.
     fn local_phase_parallel(
         &self,
         state: &mut GlobalizerState,
@@ -209,70 +309,135 @@ impl<'a> Globalizer<'a> {
         n_threads: usize,
     ) {
         let n_threads = n_threads.max(1).min(batch.len().max(1));
-        let chunk = batch.len().div_ceil(n_threads);
+        let chunk = batch.len().div_ceil(n_threads).max(1);
         let t0 = Instant::now();
-        let mut outputs: Vec<crate::local::LocalEmdOutput> = Vec::with_capacity(batch.len());
+        let mut outputs: Vec<Result<crate::local::LocalEmdOutput, String>> =
+            Vec::with_capacity(batch.len());
         {
             let _span = Timer::start(&self.metrics.local_infer_ns);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = batch
-                    .chunks(chunk.max(1))
+            let chunks: Vec<&[Sentence]> = batch.chunks(chunk).collect();
+            let shard_results: Vec<Option<Vec<_>>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .iter()
                     .map(|part| {
                         scope.spawn(move || {
+                            failpoint::fire("local_shard");
                             part.iter()
-                                .map(|s| self.local.process(s))
+                                .map(|s| self.local_attempt(s))
                                 .collect::<Vec<_>>()
                         })
                     })
                     .collect();
-                for h in handles {
-                    outputs.extend(h.join().expect("local EMD worker panicked"));
-                }
+                handles.into_iter().map(|h| h.join().ok()).collect()
             });
+            for (part, slot) in chunks.iter().zip(shard_results) {
+                match slot {
+                    Some(v) => outputs.extend(v),
+                    None => {
+                        self.metrics.shard_retries_total.inc();
+                        outputs.extend(part.iter().map(|s| self.local_attempt(s)));
+                    }
+                }
+            }
         }
         state.timings.local_infer_ns += elapsed_ns(t0);
         self.metrics.sentences_total.add(batch.len() as u64);
         self.ingest_local_outputs(state, batch, outputs);
     }
 
+    /// Validation + span sanitation for one sentence's local output,
+    /// panic-isolated with the retry budget. Pure: the TweetBase / CTrie
+    /// are untouched, so failures here quarantine cleanly.
+    fn stage_ingest(
+        &self,
+        sentence: &Sentence,
+        out: crate::local::LocalEmdOutput,
+    ) -> Result<crate::local::LocalEmdOutput, String> {
+        let mut slot = Some(out);
+        let r = isolate::retry_catch(self.attempts(), || {
+            failpoint::fire("ingest");
+            validate::validate_sentence(sentence)?;
+            let out = slot.as_ref().expect("ingest slot consumed before success");
+            if let Some(te) = &out.token_embeddings {
+                if te.rows != sentence.len() {
+                    return Err(format!(
+                        "token embeddings have {} rows for {} tokens",
+                        te.rows,
+                        sentence.len()
+                    ));
+                }
+                if !validate::all_finite(&te.data) {
+                    return Err("non-finite token embedding values".to_string());
+                }
+            }
+            let spans = validate::sanitize_spans(out.spans.clone(), sentence.len());
+            // All fallible work is done; taking the slot is the final,
+            // infallible step, so a retry never sees a half-consumed slot.
+            let mut out = slot.take().expect("ingest slot consumed before success");
+            out.spans = spans;
+            Ok(out)
+        });
+        self.note_retries(r.failed_attempts);
+        r.result.and_then(|inner| inner)
+    }
+
     /// Register local outputs: store TweetBase records, seed the CTrie,
     /// mark possibly-affected sentences dirty.
     ///
-    /// Local spans are validated once here — a misbehaving local system can
-    /// emit empty or out-of-bounds spans, and letting them into
-    /// `local_spans` would leak them into `LocalOnly` outputs and inflate
-    /// `locally_detected` counts. Records are stored for the *whole batch*
-    /// before any candidate registration, so a candidate discovered at
-    /// sentence `i` correctly dirties a later sentence of the same batch.
+    /// Local outputs are validated once here — a misbehaving local system
+    /// can emit empty, overlapping, or out-of-bounds spans, oversized
+    /// tokens, or non-finite embeddings, and letting them in would leak
+    /// into `LocalOnly` outputs, inflate `locally_detected` counts, or
+    /// poison candidate pools. Sentences whose local inference failed (or
+    /// whose output fails validation) are quarantined and never enter the
+    /// TweetBase. Records are stored for the *whole batch* before any
+    /// candidate registration, so a candidate discovered at sentence `i`
+    /// correctly dirties a later sentence of the same batch.
     fn ingest_local_outputs(
         &self,
         state: &mut GlobalizerState,
         batch: &[Sentence],
-        outputs: Vec<crate::local::LocalEmdOutput>,
+        outputs: Vec<Result<crate::local::LocalEmdOutput, String>>,
     ) {
         let t0 = Instant::now();
         let _span = Timer::start(&self.metrics.ingest_ns);
+        // Stage (fallible, isolated, read-only) per sentence.
+        let staged: Vec<Result<crate::local::LocalEmdOutput, (PipelinePhase, String)>> = batch
+            .iter()
+            .zip(outputs)
+            .map(|(sentence, out)| match out {
+                Err(reason) => Err((PipelinePhase::LocalInference, reason)),
+                Ok(out) => self
+                    .stage_ingest(sentence, out)
+                    .map_err(|reason| (PipelinePhase::Ingest, reason)),
+            })
+            .collect();
+        // Apply (infallible): store records, register candidates, dirty.
         let mut n_local_spans = 0u64;
-        let mut kept: Vec<Vec<Span>> = Vec::with_capacity(batch.len());
-        for (sentence, out) in batch.iter().zip(outputs) {
-            let spans: Vec<Span> = out
-                .spans
-                .into_iter()
-                .filter(|sp| sp.start < sp.end && sp.end <= sentence.len())
-                .collect();
-            n_local_spans += spans.len() as u64;
-            let idx = state.tweetbase.insert(TweetRecord {
-                sentence: sentence.clone(),
-                token_embeddings: out.token_embeddings,
-                local_spans: spans.clone(),
-                global_mentions: Vec::new(),
-            });
-            state.dirty.insert(idx);
-            kept.push(spans);
+        let mut kept: Vec<Option<Vec<Span>>> = Vec::with_capacity(batch.len());
+        for (sentence, st) in batch.iter().zip(staged) {
+            match st {
+                Err((phase, reason)) => {
+                    self.quarantine_sentence(state, sentence.id, phase, reason);
+                    kept.push(None);
+                }
+                Ok(out) => {
+                    n_local_spans += out.spans.len() as u64;
+                    let idx = state.tweetbase.insert(TweetRecord {
+                        sentence: sentence.clone(),
+                        token_embeddings: out.token_embeddings,
+                        local_spans: out.spans.clone(),
+                        global_mentions: Vec::new(),
+                    });
+                    state.dirty.insert(idx);
+                    kept.push(Some(out.spans));
+                }
+            }
         }
         let trie_span = Timer::start(&self.metrics.trie_register_ns);
         let mut n_inserted = 0u64;
         for (sentence, spans) in batch.iter().zip(&kept) {
+            let Some(spans) = spans else { continue };
             for sp in spans {
                 if sp.len() <= self.config.max_candidate_len {
                     let toks: Vec<&str> = (sp.start..sp.end)
@@ -294,22 +459,48 @@ impl<'a> Globalizer<'a> {
     /// Mark every stored sentence containing `first_token_lower` as needing
     /// a rescan: a candidate insertion can only change a sentence's
     /// extraction if the sentence contains the candidate's first token.
+    /// Quarantined records are permanently excluded.
     fn mark_dirty(state: &mut GlobalizerState, first_token_lower: &str) {
         for &i in state.tweetbase.indices_with_token(first_token_lower) {
-            state.dirty.insert(i);
+            if !state.quarantined_idx.contains(&i) {
+                state.dirty.insert(i);
+            }
         }
     }
 
     /// Mention extraction + embedding staging for one record (read-only; a
-    /// rescan worker runs this off-thread).
-    fn stage_scan(&self, tweetbase: &TweetBase, ctrie: &CTrie, idx: usize) -> StagedScan {
+    /// rescan worker runs this off-thread). `phase_fp` is the fail-point
+    /// name for the calling phase (batch scan vs finalize rescan).
+    ///
+    /// The phrase-embedder call is individually isolated: if it panics or
+    /// produces non-finite values for a mention, a zero vector is pooled
+    /// in its place and the candidate is flagged degraded instead of the
+    /// whole record being quarantined.
+    fn stage_scan(
+        &self,
+        tweetbase: &TweetBase,
+        ctrie: &CTrie,
+        idx: usize,
+        phase_fp: &str,
+    ) -> StagedScan {
+        failpoint::fire(phase_fp);
         let record = tweetbase.get_by_index(idx);
         let mentions = extract_mentions(ctrie, &record.sentence, self.config.max_candidate_len);
+        let mut degraded_keys = Vec::new();
         let staged = mentions
             .iter()
             .map(|sp| {
                 let key = sp.surface_lower(&record.sentence);
-                let emb = self.local_embedding(record, sp);
+                let emb = match isolate::catch(|| {
+                    failpoint::fire("phrase_embed");
+                    self.local_embedding(record, sp)
+                }) {
+                    Ok(emb) if validate::all_finite(&emb) => emb,
+                    _ => {
+                        degraded_keys.push(key.clone());
+                        vec![0.0; self.candidate_dim()]
+                    }
+                };
                 let locally_detected = record.local_spans.iter().any(|l| l == sp);
                 (
                     key,
@@ -322,7 +513,26 @@ impl<'a> Globalizer<'a> {
                 )
             })
             .collect();
-        (idx, mentions, staged)
+        StagedScan {
+            mentions,
+            staged,
+            degraded_keys,
+        }
+    }
+
+    /// One record's staging, panic-isolated with the retry budget.
+    fn scan_attempt(
+        &self,
+        tweetbase: &TweetBase,
+        ctrie: &CTrie,
+        idx: usize,
+        phase_fp: &str,
+    ) -> Result<StagedScan, String> {
+        let r = isolate::retry_catch(self.attempts(), || {
+            self.stage_scan(tweetbase, ctrie, idx, phase_fp)
+        });
+        self.note_retries(r.failed_attempts);
+        r.result
     }
 
     /// **Mention extraction + embedding pooling** over the given record
@@ -336,13 +546,29 @@ impl<'a> Globalizer<'a> {
     /// ascending stream order), which keeps pool-append order — and with it
     /// every f32 sum and the candidate discovery order — bit-identical to
     /// the sequential path.
-    fn scan_records(&self, state: &mut GlobalizerState, indices: &[usize], n_threads: usize) {
+    ///
+    /// Failure handling: shards are joined unconditionally (no leaked
+    /// threads); a panicked shard's records are re-staged on the caller
+    /// thread; a record whose staging exhausts the retry budget is
+    /// quarantined — its stale `global_mentions` are dropped so it can no
+    /// longer feed promotions or emission.
+    fn scan_records(
+        &self,
+        state: &mut GlobalizerState,
+        indices: &[usize],
+        n_threads: usize,
+        phase: PipelinePhase,
+    ) {
         if indices.is_empty() {
             return;
         }
+        let phase_fp = match phase {
+            PipelinePhase::FinalizeRescan => "finalize_rescan",
+            _ => "scan",
+        };
         self.metrics.scan_records_total.add(indices.len() as u64);
         let t_scan = Instant::now();
-        let results: Vec<StagedScan> = {
+        let results: Vec<(usize, Result<StagedScan, String>)> = {
             let _span = Timer::start(&self.metrics.scan_ns);
             let tweetbase = &state.tweetbase;
             let ctrie = &state.ctrie;
@@ -351,27 +577,41 @@ impl<'a> Globalizer<'a> {
                 let _shard = Timer::start(&self.metrics.scan_shard_ns);
                 indices
                     .iter()
-                    .map(|&i| self.stage_scan(tweetbase, ctrie, i))
+                    .map(|&i| (i, self.scan_attempt(tweetbase, ctrie, i, phase_fp)))
                     .collect()
             } else {
                 let chunk = indices.len().div_ceil(n_threads);
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = indices
-                        .chunks(chunk)
+                let chunks: Vec<&[usize]> = indices.chunks(chunk).collect();
+                let shard_results: Vec<Option<Vec<_>>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = chunks
+                        .iter()
                         .map(|part| {
                             scope.spawn(move || {
                                 let _shard = Timer::start(&self.metrics.scan_shard_ns);
+                                failpoint::fire("scan_shard");
                                 part.iter()
-                                    .map(|&i| self.stage_scan(tweetbase, ctrie, i))
+                                    .map(|&i| (i, self.scan_attempt(tweetbase, ctrie, i, phase_fp)))
                                     .collect::<Vec<_>>()
                             })
                         })
                         .collect();
-                    handles
-                        .into_iter()
-                        .flat_map(|h| h.join().expect("rescan worker panicked"))
-                        .collect()
-                })
+                    handles.into_iter().map(|h| h.join().ok()).collect()
+                });
+                let mut results = Vec::with_capacity(indices.len());
+                for (part, slot) in chunks.iter().zip(shard_results) {
+                    match slot {
+                        Some(v) => results.extend(v),
+                        None => {
+                            self.metrics.shard_retries_total.inc();
+                            results.extend(
+                                part.iter().map(|&i| {
+                                    (i, self.scan_attempt(tweetbase, ctrie, i, phase_fp))
+                                }),
+                            );
+                        }
+                    }
+                }
+                results
             }
         };
         state.timings.scan_ns += elapsed_ns(t_scan);
@@ -379,15 +619,31 @@ impl<'a> Globalizer<'a> {
         let _pool_span = Timer::start(&self.metrics.pool_ns);
         let mut n_mentions = 0u64;
         let mut n_pooled = 0u64;
-        for (idx, mentions, staged) in results {
-            n_mentions += mentions.len() as u64;
-            state.tweetbase.get_mut_by_index(idx).global_mentions = mentions;
-            state.dirty.remove(&idx);
-            for (key, mref, emb) in staged {
-                let rec = state.candidates.entry(&key);
-                if rec.try_add_mention(mref) {
-                    rec.add_embedding(&emb);
-                    n_pooled += 1;
+        for (idx, outcome) in results {
+            match outcome {
+                Ok(st) => {
+                    n_mentions += st.mentions.len() as u64;
+                    state.tweetbase.get_mut_by_index(idx).global_mentions = st.mentions;
+                    state.dirty.remove(&idx);
+                    for (key, mref, emb) in st.staged {
+                        let rec = state.candidates.entry(&key);
+                        if rec.try_add_mention(mref) {
+                            rec.add_embedding(&emb);
+                            n_pooled += 1;
+                        }
+                    }
+                    for key in st.degraded_keys {
+                        state.candidates.entry(&key).degraded = true;
+                    }
+                }
+                Err(reason) => {
+                    let sid = state.tweetbase.get_by_index(idx).sentence.id;
+                    self.quarantine_sentence(state, sid, phase, reason);
+                    state.quarantined_idx.insert(idx);
+                    state.dirty.remove(&idx);
+                    // Drop stale evidence: a quarantined record's old
+                    // mentions must not feed promotions or emission.
+                    state.tweetbase.get_mut_by_index(idx).global_mentions = Vec::new();
                 }
             }
         }
@@ -419,15 +675,24 @@ impl<'a> Globalizer<'a> {
     ) {
         let t0 = Instant::now();
         let _span = Timer::start(&self.metrics.classify_ns);
-        let score_one = |rec: &CandidateRecord| {
-            let feats = EntityClassifier::features(
-                &rec.pooled_embedding(self.config.pooling),
-                rec.token_len(),
-            );
-            self.classifier.predict(&feats)
+        // Scoring is pure, so it runs panic-isolated with the retry
+        // budget; a candidate whose scoring fails persistently keeps its
+        // previous label and is marked degraded (emission then falls back
+        // to the local system's own detections for it).
+        let score_one = |rec: &CandidateRecord| -> Result<f32, String> {
+            let r = isolate::retry_catch(self.attempts(), || {
+                failpoint::fire("classify");
+                let feats = EntityClassifier::features(
+                    &rec.pooled_embedding(self.config.pooling),
+                    rec.token_len(),
+                );
+                self.classifier.predict(&feats)
+            });
+            self.note_retries(r.failed_attempts);
+            r.result
         };
         // Phase 1 (parallelizable): score every unfrozen candidate.
-        let scores: Vec<Option<f32>> = {
+        let scores: Vec<Option<Result<f32, String>>> = {
             let pending: Vec<Option<&CandidateRecord>> = state
                 .candidates
                 .iter()
@@ -441,27 +706,44 @@ impl<'a> Globalizer<'a> {
                 pending.iter().map(|o| o.map(&score_one)).collect()
             } else {
                 let chunk = pending.len().div_ceil(n_threads);
+                let chunks: Vec<&[Option<&CandidateRecord>]> = pending.chunks(chunk).collect();
                 let score_ref = &score_one;
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = pending
-                        .chunks(chunk)
+                let shard_results: Vec<Option<Vec<_>>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = chunks
+                        .iter()
                         .map(|part| {
                             scope.spawn(move || {
+                                failpoint::fire("classify_shard");
                                 part.iter().map(|o| o.map(score_ref)).collect::<Vec<_>>()
                             })
                         })
                         .collect();
-                    handles
-                        .into_iter()
-                        .flat_map(|h| h.join().expect("classify worker panicked"))
-                        .collect()
-                })
+                    handles.into_iter().map(|h| h.join().ok()).collect()
+                });
+                let mut scores = Vec::with_capacity(pending.len());
+                for (part, slot) in chunks.iter().zip(shard_results) {
+                    match slot {
+                        Some(v) => scores.extend(v),
+                        None => {
+                            self.metrics.shard_retries_total.inc();
+                            scores.extend(part.iter().map(|o| o.map(score_ref)));
+                        }
+                    }
+                }
+                scores
             }
         };
         // Phase 2 (sequential): apply labels in discovery order.
         let mut n_scored = 0u64;
         for (rec, p) in state.candidates.iter_mut().zip(scores) {
             let Some(p) = p else { continue };
+            let p = match p {
+                Ok(p) => p,
+                Err(_) => {
+                    rec.degraded = true;
+                    continue;
+                }
+            };
             n_scored += 1;
             rec.score = Some(p);
             rec.label = EntityClassifier::classify(p, &self.config);
@@ -505,11 +787,15 @@ impl<'a> Globalizer<'a> {
         if self.config.ablation == Ablation::LocalOnly {
             return;
         }
+        // Sentences quarantined at local/ingest never entered the
+        // TweetBase, so `index_of` filters them out here; records
+        // quarantined by an earlier scan are excluded explicitly.
         let indices: Vec<usize> = batch
             .iter()
             .filter_map(|s| state.tweetbase.index_of(s.id))
+            .filter(|i| !state.quarantined_idx.contains(i))
             .collect();
-        self.scan_records(state, &indices, 1);
+        self.scan_records(state, &indices, 1, PipelinePhase::Scan);
         if self.config.ablation == Ablation::Full {
             self.classify_candidates(state, false, 1);
         }
@@ -586,7 +872,7 @@ impl<'a> Globalizer<'a> {
             self.metrics.finalize_promotion_rounds_total.inc();
             let dirty: Vec<usize> = std::mem::take(&mut state.dirty).into_iter().collect();
             n_rescanned += dirty.len();
-            self.scan_records(state, &dirty, n_threads);
+            self.scan_records(state, &dirty, n_threads, PipelinePhase::FinalizeRescan);
             let t_promo = Instant::now();
             let promotions = self.find_promotions(state);
             state.timings.promotion_ns += elapsed_ns(t_promo);
@@ -619,7 +905,10 @@ impl<'a> Globalizer<'a> {
         n_promoted: usize,
     ) -> GlobalizerOutput {
         let mut per_sentence = Vec::with_capacity(state.tweetbase.len());
-        for rec in state.tweetbase.iter() {
+        for (idx, rec) in state.tweetbase.iter().enumerate() {
+            if state.quarantined_idx.contains(&idx) {
+                continue;
+            }
             let spans = match self.config.ablation {
                 Ablation::LocalOnly => rec.local_spans.clone(),
                 Ablation::MentionExtraction => rec.global_mentions.clone(),
@@ -631,7 +920,18 @@ impl<'a> Globalizer<'a> {
                         state
                             .candidates
                             .get(&key)
-                            .map(|c| c.label == CandidateLabel::Entity)
+                            .map(|c| {
+                                if c.degraded {
+                                    // Degraded fallback: the classifier
+                                    // verdict is unreliable, so only spans
+                                    // the local system itself proposed
+                                    // survive (LocalOnly behaviour for
+                                    // this candidate).
+                                    rec.local_spans.contains(*sp)
+                                } else {
+                                    c.label == CandidateLabel::Entity
+                                }
+                            })
                             .unwrap_or(false)
                     })
                     .copied()
@@ -644,6 +944,8 @@ impl<'a> Globalizer<'a> {
             .iter()
             .filter(|c| c.label == CandidateLabel::Entity)
             .count();
+        let n_degraded = state.candidates.iter().filter(|c| c.degraded).count();
+        self.metrics.degraded_candidates.set(n_degraded as f64);
         GlobalizerOutput {
             per_sentence,
             n_candidates: state.candidates.len(),
@@ -651,6 +953,8 @@ impl<'a> Globalizer<'a> {
             n_promoted,
             n_rescanned,
             phase_timings: state.timings.clone(),
+            quarantined: state.quarantined.clone(),
+            n_degraded,
         }
     }
 
@@ -705,9 +1009,11 @@ impl<'a> Globalizer<'a> {
         loop {
             self.metrics.finalize_promotion_rounds_total.inc();
             state.dirty.clear();
-            let all: Vec<usize> = (0..state.tweetbase.len()).collect();
+            let all: Vec<usize> = (0..state.tweetbase.len())
+                .filter(|i| !state.quarantined_idx.contains(i))
+                .collect();
             n_rescanned += all.len();
-            self.scan_records(state, &all, 1);
+            self.scan_records(state, &all, 1, PipelinePhase::FinalizeRescan);
             let t_promo = Instant::now();
             let promotions = self.find_promotions(state);
             state.timings.promotion_ns += elapsed_ns(t_promo);
@@ -1299,12 +1605,21 @@ mod tests {
                 None
             }
             fn process(&self, s: &Sentence) -> crate::local::LocalEmdOutput {
+                // Struct literals: `Span::new` debug-asserts non-emptiness,
+                // and the point here is smuggling invalid spans past the
+                // local system boundary.
                 crate::local::LocalEmdOutput {
                     spans: vec![
-                        Span::new(0, 1),                 // valid
-                        Span::new(1, s.len() + 3),       // out of bounds
-                        Span::new(2, 2),                 // empty
-                        Span::new(s.len(), s.len() + 1), // fully past the end
+                        Span { start: 0, end: 1 }, // valid
+                        Span {
+                            start: 1,
+                            end: s.len() + 3,
+                        }, // out of bounds
+                        Span { start: 2, end: 2 }, // empty
+                        Span {
+                            start: s.len(),
+                            end: s.len() + 1,
+                        }, // fully past the end
                     ],
                     token_embeddings: None,
                 }
@@ -1334,5 +1649,221 @@ mod tests {
                 assert!(rec.mentions.iter().all(|m| m.locally_detected));
             }
         }
+    }
+
+    /// A local system that panics (injected-fault payload, so the quiet
+    /// hook suppresses the backtrace) on selected tweet ids, from the
+    /// `fail_on_attempt`-th attempt per sentence onward (1-based; 1 =
+    /// always fails).
+    #[derive(Debug)]
+    struct PanickyEmd {
+        fail_tweet: u64,
+        fail_until_attempt: usize,
+        calls: std::sync::Mutex<std::collections::HashMap<u64, usize>>,
+    }
+
+    impl PanickyEmd {
+        fn new(fail_tweet: u64, fail_until_attempt: usize) -> PanickyEmd {
+            emd_resilience::failpoint::install_quiet_hook();
+            PanickyEmd {
+                fail_tweet,
+                fail_until_attempt,
+                calls: std::sync::Mutex::new(std::collections::HashMap::new()),
+            }
+        }
+    }
+
+    impl LocalEmd for PanickyEmd {
+        fn name(&self) -> &str {
+            "panicky"
+        }
+        fn embedding_dim(&self) -> Option<usize> {
+            None
+        }
+        fn process(&self, s: &Sentence) -> crate::local::LocalEmdOutput {
+            if s.id.tweet_id == self.fail_tweet {
+                let should_fail = {
+                    // Recover the lock if a previous attempt's panic
+                    // poisoned it — the counter itself is never torn.
+                    let mut calls = self
+                        .calls
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                    let n = calls.entry(s.id.tweet_id).or_insert(0);
+                    *n += 1;
+                    *n <= self.fail_until_attempt
+                };
+                if should_fail {
+                    emd_resilience::failpoint::panic_injected("test_local");
+                }
+            }
+            let spans = s
+                .texts()
+                .enumerate()
+                .filter(|(_, t)| t.eq_ignore_ascii_case("italy"))
+                .map(|(i, _)| Span::new(i, i + 1))
+                .collect();
+            crate::local::LocalEmdOutput {
+                spans,
+                token_embeddings: None,
+            }
+        }
+    }
+
+    #[test]
+    fn persistently_panicking_sentence_is_quarantined() {
+        // Tweet 1's local inference panics on every attempt: the sentence
+        // must land in the dead-letter buffer, the rest of the stream must
+        // come through untouched.
+        let local = PanickyEmd::new(1, usize::MAX);
+        let clf = accept_all(7);
+        let g = Globalizer::new(&local, None, &clf, GlobalizerConfig::default());
+        let stream = sents(&[
+            &["Italy", "reports", "cases"],
+            &["italy", "poisoned", "message"],
+            &["ITALY", "again"],
+        ]);
+        let (out, state) = g.run(&stream, 10);
+        let sids: Vec<u64> = out.per_sentence.iter().map(|(s, _)| s.tweet_id).collect();
+        assert_eq!(sids, vec![0, 2], "quarantined sentence not emitted");
+        assert_eq!(out.quarantined.len(), 1);
+        assert_eq!(out.quarantined[0].sid, SentenceId::new(1, 0));
+        assert_eq!(
+            out.quarantined[0].phase,
+            emd_resilience::PipelinePhase::LocalInference
+        );
+        assert_eq!(state.n_quarantined(), 1);
+        // The surviving sentences still go through the full pipeline.
+        assert_eq!(out.per_sentence[0].1, vec![Span::new(0, 1)]);
+        assert_eq!(out.per_sentence[1].1, vec![Span::new(0, 1)]);
+    }
+
+    #[test]
+    fn transient_panic_is_retried_not_quarantined() {
+        // Tweet 1 fails exactly once; the default budget of one retry
+        // recovers it, so the output is identical to a fault-free run.
+        let local = PanickyEmd::new(1, 1);
+        let clf = accept_all(7);
+        let g = Globalizer::new(&local, None, &clf, GlobalizerConfig::default());
+        let stream = sents(&[&["Italy", "one"], &["italy", "two"], &["ITALY", "three"]]);
+        let (out, _) = g.run(&stream, 10);
+        assert!(out.quarantined.is_empty());
+        assert_eq!(out.per_sentence.len(), 3);
+        for (_, spans) in &out.per_sentence {
+            assert_eq!(spans, &vec![Span::new(0, 1)]);
+        }
+    }
+
+    #[test]
+    fn zero_retry_budget_quarantines_on_first_panic() {
+        let local = PanickyEmd::new(1, 1);
+        let clf = accept_all(7);
+        let cfg = GlobalizerConfig {
+            poison_retries: 0,
+            ..Default::default()
+        };
+        let g = Globalizer::new(&local, None, &clf, cfg);
+        let stream = sents(&[&["Italy", "one"], &["italy", "two"]]);
+        let (out, _) = g.run(&stream, 10);
+        assert_eq!(out.quarantined.len(), 1, "no retry with a zero budget");
+    }
+
+    #[test]
+    fn parallel_local_phase_quarantines_identically() {
+        // The same poison sentence, processed on the sequential and the
+        // sharded local phase: outputs and quarantine logs must match.
+        let clf = accept_all(7);
+        let stream = sents(&[
+            &["Italy", "a"],
+            &["italy", "b"],
+            &["ITALY", "c"],
+            &["italy", "d"],
+        ]);
+        let run = |threads: Option<usize>| {
+            let local = PanickyEmd::new(2, usize::MAX);
+            let g = Globalizer::new(&local, None, &clf, GlobalizerConfig::default());
+            let mut state = g.new_state();
+            match threads {
+                None => g.process_batch(&mut state, &stream),
+                Some(t) => g.process_batch_parallel(&mut state, &stream, t),
+            }
+            g.finalize(&mut state)
+        };
+        let seq = run(None);
+        let par = run(Some(3));
+        assert_eq!(seq.per_sentence, par.per_sentence);
+        assert_eq!(seq.quarantined, par.quarantined);
+        assert_eq!(seq.quarantined.len(), 1);
+    }
+
+    #[test]
+    fn oversized_token_quarantined_at_ingest() {
+        let local = LexiconEmd::new(["italy"]);
+        let clf = accept_all(7);
+        let g = Globalizer::new(&local, None, &clf, GlobalizerConfig::default());
+        let big = "x".repeat(emd_resilience::validate::MAX_TOKEN_BYTES + 1);
+        let stream = vec![
+            Sentence::from_tokens(SentenceId::new(0, 0), ["Italy", "fine"]),
+            Sentence::from_tokens(SentenceId::new(1, 0), ["Italy", big.as_str()]),
+        ];
+        let (out, _) = g.run(&stream, 10);
+        assert_eq!(out.quarantined.len(), 1);
+        assert_eq!(out.quarantined[0].sid, SentenceId::new(1, 0));
+        assert_eq!(
+            out.quarantined[0].phase,
+            emd_resilience::PipelinePhase::Ingest
+        );
+        assert_eq!(out.per_sentence.len(), 1);
+    }
+
+    #[test]
+    fn degraded_candidate_falls_back_to_local_detections() {
+        // "Coronavirus" is detected locally only in proper case; the
+        // global rescan recovers the ALL-CAPS mention. When the candidate
+        // is degraded (its classifier verdict unreliable), emission must
+        // fall back to the locally detected span only.
+        #[derive(Debug)]
+        struct CaseSensitiveEmd;
+        impl LocalEmd for CaseSensitiveEmd {
+            fn name(&self) -> &str {
+                "case-sensitive"
+            }
+            fn embedding_dim(&self) -> Option<usize> {
+                None
+            }
+            fn process(&self, s: &Sentence) -> crate::local::LocalEmdOutput {
+                let spans = s
+                    .texts()
+                    .enumerate()
+                    .filter(|(_, t)| *t == "Coronavirus")
+                    .map(|(i, _)| Span::new(i, i + 1))
+                    .collect();
+                crate::local::LocalEmdOutput {
+                    spans,
+                    token_embeddings: None,
+                }
+            }
+        }
+        let local = CaseSensitiveEmd;
+        let clf = accept_all(7);
+        let g = Globalizer::new(&local, None, &clf, GlobalizerConfig::default());
+        let stream = sents(&[&["Coronavirus", "spreads"], &["CORONAVIRUS", "rises"]]);
+        let (mut state, out) = {
+            let mut state = g.new_state();
+            g.process_batch(&mut state, &stream);
+            let out = g.finalize(&mut state);
+            (state, out)
+        };
+        // Healthy run: both mentions emitted.
+        let total: usize = out.per_sentence.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(total, 2);
+        assert_eq!(out.n_degraded, 0);
+        // Degrade the candidate and re-emit: only the local detection
+        // survives.
+        state.candidates.get_mut("coronavirus").unwrap().degraded = true;
+        let out = g.emit(&state, 0, 0);
+        assert_eq!(out.n_degraded, 1);
+        assert_eq!(out.per_sentence[0].1, vec![Span::new(0, 1)]);
+        assert_eq!(out.per_sentence[1].1, Vec::<Span>::new());
     }
 }

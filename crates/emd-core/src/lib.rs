@@ -37,6 +37,7 @@ pub mod local;
 pub mod mention;
 pub mod obs;
 pub mod phrase_embedder;
+pub mod supervisor;
 pub mod training;
 pub mod tweetbase;
 
@@ -47,3 +48,4 @@ pub use globalizer::{Globalizer, GlobalizerOutput};
 pub use local::{LocalEmd, LocalEmdOutput};
 pub use obs::{PhaseTimings, PipelineMetrics};
 pub use phrase_embedder::PhraseEmbedder;
+pub use supervisor::{RunReport, StreamSupervisor, SupervisorConfig};

@@ -23,6 +23,28 @@ pub struct LocalEmdOutput {
 /// `Send + Sync` is required so the framework can fan sentence processing
 /// out across threads ([`crate::globalizer::Globalizer::process_batch_parallel`]);
 /// inference is `&self` and every provided implementation is plain data.
+///
+/// ## Boundary contract
+///
+/// The framework treats implementations as **untrusted black boxes** and
+/// hardens the boundary once, at ingestion:
+///
+/// * **Spans** may be empty, out of bounds, overlapping, or unsorted —
+///   ingestion sorts them and drops invalid or overlapping entries. They
+///   never reach `LocalOnly` outputs, candidate registration, or
+///   `locally_detected` evidence.
+/// * **Token embeddings**, when present, must have one row per token and
+///   finite values; otherwise the whole sentence is rejected (a truncated
+///   or NaN-poisoned matrix cannot be partially trusted) and diverted to
+///   the quarantine buffer on
+///   [`crate::globalizer::GlobalizerOutput::quarantined`].
+/// * **Panics** in [`LocalEmd::process`] are caught per sentence, retried
+///   within [`crate::config::GlobalizerConfig::poison_retries`], and
+///   quarantine the sentence when the budget is exhausted — one poisoned
+///   input never aborts a batch or leaks worker threads.
+///
+/// Implementations therefore need no defensive validation of their own
+/// output; conversely they must not rely on invalid spans being emitted.
 pub trait LocalEmd: Send + Sync {
     /// Human-readable system name (used in reports).
     fn name(&self) -> &str;

@@ -129,10 +129,14 @@ pipeline_metrics! {
         finalize_rescan_sentences_total => "emd_finalize_rescan_sentences_total",
         finalize_promotion_rounds_total => "emd_finalize_promotion_rounds_total",
         finalize_promotions_total => "emd_finalize_promotions_total",
+        quarantined_total => "emd_resilience_quarantined_total",
+        shard_retries_total => "emd_resilience_shard_retries_total",
+        item_retries_total => "emd_resilience_item_retries_total",
     }
     gauges {
         dirty_depth => "emd_finalize_dirty_depth",
         rescan_coverage => "emd_finalize_rescan_coverage",
+        degraded_candidates => "emd_resilience_degraded_candidates",
     }
     histograms {
         local_infer_ns => "emd_pipeline_local_infer_ns",
@@ -143,6 +147,8 @@ pipeline_metrics! {
         pool_ns => "emd_pipeline_pool_ns",
         classify_ns => "emd_pipeline_classify_ns",
         finalize_ns => "emd_pipeline_finalize_ns",
+        checkpoint_write_ns => "emd_resilience_checkpoint_write_ns",
+        checkpoint_restore_ns => "emd_resilience_checkpoint_restore_ns",
     }
 }
 
@@ -169,11 +175,16 @@ mod tests {
         let reg = Registry::new();
         let m = PipelineMetrics::from_registry(&reg);
         let snap = m.snapshot();
-        assert_eq!(snap.counters.len(), 10);
-        assert_eq!(snap.gauges.len(), 2);
-        assert_eq!(snap.histograms.len(), 8);
+        assert_eq!(snap.counters.len(), 13);
+        assert_eq!(snap.gauges.len(), 3);
+        assert_eq!(snap.histograms.len(), 10);
         assert!(snap.counter("emd_trie_inserts_total").is_some());
+        assert!(snap.counter("emd_resilience_quarantined_total").is_some());
+        assert!(snap.gauge("emd_resilience_degraded_candidates").is_some());
         assert!(snap.histogram("emd_pipeline_scan_shard_ns").is_some());
+        assert!(snap
+            .histogram("emd_resilience_checkpoint_write_ns")
+            .is_some());
         let sorted: Vec<_> = snap.counters.iter().map(|c| c.name.clone()).collect();
         let mut expect = sorted.clone();
         expect.sort();

@@ -1,0 +1,355 @@
+//! StreamSupervisor: a crash-recoverable batch driver for unattended
+//! streaming runs.
+//!
+//! The supervisor wraps [`Globalizer`] batch processing with three
+//! guarantees:
+//!
+//! 1. **Transactional batches** — each batch runs against a clone of the
+//!    pipeline state inside a panic-isolation boundary; a batch-level
+//!    fault (beyond what the per-item isolation inside the pipeline
+//!    already absorbs) discards the partial clone and retries from the
+//!    pre-batch state. A batch that exhausts its retry budget is diverted
+//!    whole into the dead-letter buffer instead of killing the stream.
+//! 2. **Checkpointing** — every `checkpoint_every` completed batches (and
+//!    after the final one) the full [`GlobalizerState`] is snapshotted to
+//!    a versioned, checksummed file
+//!    ([`emd_resilience::checkpoint`]) with an atomic rename, so a crash
+//!    mid-write can never corrupt the previous checkpoint.
+//! 3. **Recovery** — on startup, a valid checkpoint restores the state
+//!    and the run replays only the *suffix* of the stream (batches after
+//!    the checkpoint's sequence number). A missing checkpoint is a fresh
+//!    start; a corrupt one is discarded (reported in the
+//!    [`RunReport`]) and the run starts fresh rather than trusting
+//!    damaged state. Because batch processing is deterministic, a
+//!    recovered run's final output is bit-identical to an uninterrupted
+//!    one.
+
+use crate::globalizer::{Globalizer, GlobalizerOutput, GlobalizerState};
+use emd_obs::Timer;
+use emd_resilience::checkpoint::{self, CheckpointError};
+use emd_resilience::quarantine::{PipelinePhase, QuarantineEntry};
+use emd_resilience::{failpoint, isolate};
+use emd_text::token::Sentence;
+use std::path::PathBuf;
+
+/// Supervisor policy knobs.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Where to persist checkpoints. `None` disables checkpointing (the
+    /// supervisor still gives transactional batches and retry).
+    pub checkpoint_path: Option<PathBuf>,
+    /// Write a checkpoint every this many completed batches (the final
+    /// batch always checkpoints). Values below 1 behave as 1.
+    pub checkpoint_every: usize,
+    /// Sentences per batch.
+    pub batch_size: usize,
+    /// How many times a batch whose processing panicked at the batch
+    /// level is retried before the whole batch is dead-lettered.
+    pub batch_retries: usize,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> SupervisorConfig {
+        SupervisorConfig {
+            checkpoint_path: None,
+            checkpoint_every: 4,
+            batch_size: 512,
+            batch_retries: 1,
+        }
+    }
+}
+
+/// What a supervised run did, alongside the pipeline output.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The final pipeline output (bit-identical to an unsupervised,
+    /// uninterrupted run over the same stream, modulo dead-lettered
+    /// batches).
+    pub output: GlobalizerOutput,
+    /// Total batches in the stream.
+    pub batches_total: usize,
+    /// Batches processed in this run (the replayed suffix).
+    pub batches_processed: usize,
+    /// Batches skipped because a checkpoint already covered them.
+    pub batches_skipped: usize,
+    /// Batch-level retry attempts performed.
+    pub batches_retried: usize,
+    /// Batches that exhausted the retry budget and were dead-lettered.
+    pub batches_dead_lettered: usize,
+    /// Checkpoints successfully written.
+    pub checkpoints_written: usize,
+    /// Checkpoint writes that failed (the run continues; the previous
+    /// checkpoint stays valid thanks to the atomic rename).
+    pub checkpoint_write_failures: usize,
+    /// True when the run resumed from a valid checkpoint.
+    pub resumed_from_checkpoint: bool,
+    /// True when a checkpoint existed but was corrupt (bad magic, bad
+    /// version, checksum mismatch, undecodable payload) and was discarded
+    /// in favour of a fresh start.
+    pub discarded_corrupt_checkpoint: bool,
+}
+
+/// Crash-recoverable batch driver over a [`Globalizer`].
+pub struct StreamSupervisor<'g, 'a> {
+    globalizer: &'g Globalizer<'a>,
+    /// Supervisor policy.
+    pub config: SupervisorConfig,
+}
+
+impl<'g, 'a> StreamSupervisor<'g, 'a> {
+    /// Wrap a globalizer with supervision policy.
+    pub fn new(
+        globalizer: &'g Globalizer<'a>,
+        config: SupervisorConfig,
+    ) -> StreamSupervisor<'g, 'a> {
+        StreamSupervisor { globalizer, config }
+    }
+
+    /// Restore state from the configured checkpoint, or start fresh.
+    /// Returns `(state, batches_already_completed, resumed, discarded)`.
+    fn restore_or_fresh(&self) -> (GlobalizerState, usize, bool, bool) {
+        let Some(path) = &self.config.checkpoint_path else {
+            return (self.globalizer.new_state(), 0, false, false);
+        };
+        let m = self.globalizer.metrics();
+        let restored = {
+            let _t = Timer::start(&m.checkpoint_restore_ns);
+            checkpoint::load::<GlobalizerState>(path)
+        };
+        match restored {
+            Ok((seq, state)) => (state, seq as usize, true, false),
+            Err(CheckpointError::NotFound) => (self.globalizer.new_state(), 0, false, false),
+            Err(_) => (self.globalizer.new_state(), 0, false, true),
+        }
+    }
+
+    /// Drive the whole stream: restore (or start fresh), replay the
+    /// remaining batches with transactional retry and periodic
+    /// checkpoints, finalize, and report.
+    pub fn run(&self, stream: &[Sentence]) -> RunReport {
+        let (mut state, completed, resumed, discarded) = self.restore_or_fresh();
+        let every = self.config.checkpoint_every.max(1);
+        let batches: Vec<&[Sentence]> = stream.chunks(self.config.batch_size.max(1)).collect();
+        let start = completed.min(batches.len());
+        let m = self.globalizer.metrics();
+        let mut batches_retried = 0;
+        let mut batches_dead_lettered = 0;
+        let mut checkpoints_written = 0;
+        let mut checkpoint_write_failures = 0;
+        for (i, batch) in batches.iter().enumerate().skip(start) {
+            let mut failed_attempts = 0;
+            loop {
+                // Work on a clone so a batch-level panic discards the
+                // partial state and the retry starts from a clean slate.
+                let mut trial = state.clone();
+                let outcome = isolate::catch(|| {
+                    failpoint::fire("supervisor_batch");
+                    self.globalizer.process_batch(&mut trial, batch);
+                    trial
+                });
+                match outcome {
+                    Ok(next) => {
+                        state = next;
+                        break;
+                    }
+                    Err(reason) => {
+                        if failed_attempts < self.config.batch_retries {
+                            failed_attempts += 1;
+                            batches_retried += 1;
+                            continue;
+                        }
+                        // Budget exhausted: divert the whole batch to the
+                        // dead-letter buffer and move on. The pre-batch
+                        // state is untouched, so the stream survives.
+                        batches_dead_lettered += 1;
+                        for s in batch.iter() {
+                            m.quarantined_total.inc();
+                            state.quarantined.push(QuarantineEntry {
+                                sid: s.id,
+                                phase: PipelinePhase::Supervisor,
+                                reason: reason.clone(),
+                            });
+                        }
+                        break;
+                    }
+                }
+            }
+            let is_last = i + 1 == batches.len();
+            if let Some(path) = &self.config.checkpoint_path {
+                if (i + 1) % every == 0 || is_last {
+                    let saved = {
+                        let _t = Timer::start(&m.checkpoint_write_ns);
+                        checkpoint::save(path, (i + 1) as u64, &state)
+                    };
+                    match saved {
+                        Ok(()) => checkpoints_written += 1,
+                        Err(_) => checkpoint_write_failures += 1,
+                    }
+                }
+            }
+        }
+        let output = self.globalizer.finalize(&mut state);
+        RunReport {
+            output,
+            batches_total: batches.len(),
+            batches_processed: batches.len() - start,
+            batches_skipped: start,
+            batches_retried,
+            batches_dead_lettered,
+            checkpoints_written,
+            checkpoint_write_failures,
+            resumed_from_checkpoint: resumed,
+            discarded_corrupt_checkpoint: discarded,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::EntityClassifier;
+    use crate::config::GlobalizerConfig;
+    use crate::local::LexiconEmd;
+    use emd_text::token::SentenceId;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn accept_all(dim: usize) -> EntityClassifier {
+        let mut c = EntityClassifier::new(dim, 0);
+        use emd_nn::param::Net;
+        let params = c.params_mut();
+        let last = params.into_iter().last().unwrap();
+        last.value.data[0] = 100.0;
+        c
+    }
+
+    fn stream(n: u64) -> Vec<Sentence> {
+        (0..n)
+            .map(|i| {
+                let words: &[&str] = if i % 3 == 0 {
+                    &["Italy", "reports", "cases"]
+                } else if i % 3 == 1 {
+                    &["covid", "in", "italy"]
+                } else {
+                    &["nothing", "here"]
+                };
+                Sentence::from_tokens(SentenceId::new(i, 0), words.iter().copied())
+            })
+            .collect()
+    }
+
+    fn temp(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "emd_supervisor_test_{}_{}_{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed),
+            tag
+        ))
+    }
+
+    #[test]
+    fn supervised_run_matches_unsupervised() {
+        let local = LexiconEmd::new(["italy", "covid"]);
+        let clf = accept_all(7);
+        let g = Globalizer::new(&local, None, &clf, GlobalizerConfig::default());
+        let s = stream(20);
+        let (plain, _) = g.run(&s, 4);
+        let sup = StreamSupervisor::new(
+            &g,
+            SupervisorConfig {
+                checkpoint_path: None,
+                batch_size: 4,
+                ..Default::default()
+            },
+        );
+        let report = sup.run(&s);
+        assert_eq!(report.output.per_sentence, plain.per_sentence);
+        assert_eq!(report.batches_total, 5);
+        assert_eq!(report.batches_processed, 5);
+        assert!(!report.resumed_from_checkpoint);
+        assert_eq!(report.checkpoints_written, 0, "checkpointing disabled");
+    }
+
+    #[test]
+    fn restart_resumes_from_checkpoint_and_replays_suffix() {
+        let local = LexiconEmd::new(["italy", "covid"]);
+        let clf = accept_all(7);
+        let g = Globalizer::new(&local, None, &clf, GlobalizerConfig::default());
+        let s = stream(20);
+        let path = temp("resume");
+        let cfg = SupervisorConfig {
+            checkpoint_path: Some(path.clone()),
+            checkpoint_every: 2,
+            batch_size: 4,
+            ..Default::default()
+        };
+        // "Crash" after a prefix: run only the first 12 sentences (3
+        // batches; checkpoint lands at batch 2).
+        let sup = StreamSupervisor::new(&g, cfg.clone());
+        let _ = sup.run(&s[..12]);
+        // Restart over the full stream: the checkpoint covers a prefix,
+        // only the suffix is replayed, and the output is bit-identical to
+        // an uninterrupted run.
+        let report = sup.run(&s);
+        assert!(report.resumed_from_checkpoint);
+        assert_eq!(report.batches_total, 5);
+        assert_eq!(report.batches_skipped, 3, "prefix came from the checkpoint");
+        assert_eq!(report.batches_processed, 2);
+        let (plain, _) = g.run(&s, 4);
+        assert_eq!(report.output.per_sentence, plain.per_sentence);
+        assert_eq!(report.output.n_candidates, plain.n_candidates);
+        assert_eq!(report.output.n_entities, plain.n_entities);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_discarded_fresh_start() {
+        let local = LexiconEmd::new(["italy"]);
+        let clf = accept_all(7);
+        let g = Globalizer::new(&local, None, &clf, GlobalizerConfig::default());
+        let path = temp("corrupt");
+        std::fs::write(&path, "EMDCKPT v1 seq=2 crc=0000000000000000\n{garbage\n").unwrap();
+        let sup = StreamSupervisor::new(
+            &g,
+            SupervisorConfig {
+                checkpoint_path: Some(path.clone()),
+                batch_size: 2,
+                ..Default::default()
+            },
+        );
+        let s = stream(4);
+        let report = sup.run(&s);
+        assert!(report.discarded_corrupt_checkpoint);
+        assert!(!report.resumed_from_checkpoint);
+        assert_eq!(
+            report.batches_processed, 2,
+            "fresh start replays everything"
+        );
+        let (plain, _) = g.run(&s, 2);
+        assert_eq!(report.output.per_sentence, plain.per_sentence);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_written_every_n_and_at_end() {
+        let local = LexiconEmd::new(["italy"]);
+        let clf = accept_all(7);
+        let g = Globalizer::new(&local, None, &clf, GlobalizerConfig::default());
+        let path = temp("cadence");
+        let sup = StreamSupervisor::new(
+            &g,
+            SupervisorConfig {
+                checkpoint_path: Some(path.clone()),
+                checkpoint_every: 2,
+                batch_size: 2,
+                ..Default::default()
+            },
+        );
+        // 5 batches → checkpoints after batches 2, 4, and 5 (final).
+        let report = sup.run(&stream(10));
+        assert_eq!(report.checkpoints_written, 3);
+        let (seq, _state): (u64, GlobalizerState) = checkpoint::load(&path).unwrap();
+        assert_eq!(seq, 5, "final checkpoint covers the whole stream");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

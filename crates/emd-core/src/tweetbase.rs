@@ -7,10 +7,11 @@
 
 use emd_nn::matrix::Matrix;
 use emd_text::token::{Sentence, SentenceId, Span};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// One sentence's record.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TweetRecord {
     /// The sentence.
     pub sentence: Sentence,
@@ -32,7 +33,7 @@ pub struct TweetRecord {
 /// only changes a sentence's extraction if the sentence contains the
 /// candidate's first token — so the close-of-stream rescan touches only
 /// those sentences instead of the whole stream.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TweetBase {
     records: Vec<TweetRecord>,
     index: HashMap<SentenceId, usize>,

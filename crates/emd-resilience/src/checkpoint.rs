@@ -1,0 +1,272 @@
+//! Versioned, integrity-checked snapshot files.
+//!
+//! Format (one header line, then the payload):
+//!
+//! ```text
+//! EMDCKPT v1 seq=<n> crc=<16 hex digits>\n
+//! <payload JSON>\n
+//! ```
+//!
+//! * `v1` — the [`FORMAT_VERSION`]; readers reject other versions rather
+//!   than guessing at field layouts.
+//! * `seq` — an application-meaning-free sequence number; the
+//!   `StreamSupervisor` stores "batches completed" here so recovery knows
+//!   which suffix of the stream to replay.
+//! * `crc` — FNV-1a 64 over the payload bytes; a torn or bit-flipped file
+//!   is detected and reported as [`CheckpointError::ChecksumMismatch`]
+//!   instead of deserializing garbage into live state.
+//!
+//! Writes are atomic: the content goes to a `<path>.tmp` sibling first
+//! and is `rename`d over the target, so a crash mid-write leaves either
+//! the previous checkpoint or a stray temp file — never a half-written
+//! checkpoint at the canonical path.
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::fs;
+use std::path::Path;
+
+/// Magic tag opening every checkpoint file.
+pub const MAGIC: &str = "EMDCKPT";
+
+/// Current checkpoint format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Why a checkpoint could not be written or read back.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The file does not exist (a fresh start, not corruption).
+    NotFound,
+    /// Filesystem-level failure.
+    Io(String),
+    /// The file does not start with the `EMDCKPT` magic.
+    BadMagic,
+    /// The file is a checkpoint, but of an unsupported format version.
+    UnsupportedVersion(u32),
+    /// Payload bytes do not match the header checksum.
+    ChecksumMismatch,
+    /// Header or payload failed to parse.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::NotFound => write!(f, "checkpoint file not found"),
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported checkpoint version v{v} (this build reads v{FORMAT_VERSION})"
+                )
+            }
+            CheckpointError::ChecksumMismatch => {
+                write!(f, "checkpoint payload does not match its checksum")
+            }
+            CheckpointError::Corrupt(e) => write!(f, "corrupt checkpoint: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// FNV-1a 64-bit hash — small, dependency-free, and plenty for detecting
+/// torn writes and accidental corruption (this is an integrity check, not
+/// an authentication mechanism).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Serialize `payload`, wrap it in a v1 header, and atomically replace
+/// `path` with the result.
+pub fn save<T: Serialize>(path: &Path, seq: u64, payload: &T) -> Result<(), CheckpointError> {
+    let json =
+        serde_json::to_string(payload).map_err(|e| CheckpointError::Corrupt(e.to_string()))?;
+    let crc = fnv1a64(json.as_bytes());
+    let content = format!("{MAGIC} v{FORMAT_VERSION} seq={seq} crc={crc:016x}\n{json}\n");
+    let tmp = tmp_path(path);
+    fs::write(&tmp, content).map_err(|e| CheckpointError::Io(e.to_string()))?;
+    fs::rename(&tmp, path).map_err(|e| CheckpointError::Io(e.to_string()))
+}
+
+/// Read a checkpoint back: verify magic, version, and checksum, then
+/// deserialize. Returns `(seq, payload)`.
+pub fn load<T: DeserializeOwned>(path: &Path) -> Result<(u64, T), CheckpointError> {
+    let content = fs::read_to_string(path).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::NotFound {
+            CheckpointError::NotFound
+        } else {
+            CheckpointError::Io(e.to_string())
+        }
+    })?;
+    let (header, payload) = content
+        .split_once('\n')
+        .ok_or_else(|| CheckpointError::Corrupt("missing header line".to_string()))?;
+    let mut parts = header.split(' ');
+    if parts.next() != Some(MAGIC) {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version: u32 = parts
+        .next()
+        .and_then(|v| v.strip_prefix('v'))
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| CheckpointError::Corrupt("malformed version field".to_string()))?;
+    if version != FORMAT_VERSION {
+        return Err(CheckpointError::UnsupportedVersion(version));
+    }
+    let seq: u64 = parts
+        .next()
+        .and_then(|v| v.strip_prefix("seq="))
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| CheckpointError::Corrupt("malformed seq field".to_string()))?;
+    let crc: u64 = parts
+        .next()
+        .and_then(|v| v.strip_prefix("crc="))
+        .and_then(|v| u64::from_str_radix(v, 16).ok())
+        .ok_or_else(|| CheckpointError::Corrupt("malformed crc field".to_string()))?;
+    let payload = payload.strip_suffix('\n').unwrap_or(payload);
+    if fnv1a64(payload.as_bytes()) != crc {
+        return Err(CheckpointError::ChecksumMismatch);
+    }
+    let value: T =
+        serde_json::from_str(payload).map_err(|e| CheckpointError::Corrupt(e.to_string()))?;
+    Ok((seq, value))
+}
+
+/// Sibling temp path: `<file name>.tmp` in the same directory, so the
+/// final `rename` never crosses a filesystem boundary.
+fn tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Payload {
+        items: Vec<String>,
+        weight: f32,
+        n: u64,
+    }
+
+    fn payload() -> Payload {
+        Payload {
+            items: vec!["italy".into(), "andy beshear".into()],
+            weight: 0.125,
+            n: 42,
+        }
+    }
+
+    /// Unique temp file per test (the suite runs multi-threaded).
+    fn temp(tag: &str) -> std::path::PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "emd_ckpt_test_{}_{}_{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed),
+            tag
+        ))
+    }
+
+    #[test]
+    fn round_trip() {
+        let path = temp("rt");
+        save(&path, 7, &payload()).unwrap();
+        let (seq, back): (u64, Payload) = load(&path).unwrap();
+        assert_eq!(seq, 7);
+        assert_eq!(back, payload());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_not_found() {
+        let path = temp("missing");
+        match load::<Payload>(&path) {
+            Err(CheckpointError::NotFound) => {}
+            other => panic!("expected NotFound, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let path = temp("magic");
+        std::fs::write(&path, "NOTACKPT v1 seq=0 crc=0\n{}\n").unwrap();
+        assert!(matches!(
+            load::<Payload>(&path),
+            Err(CheckpointError::BadMagic)
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let path = temp("version");
+        std::fs::write(&path, "EMDCKPT v99 seq=0 crc=0\n{}\n").unwrap();
+        assert!(matches!(
+            load::<Payload>(&path),
+            Err(CheckpointError::UnsupportedVersion(99))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn flipped_payload_bit_detected() {
+        let path = temp("flip");
+        save(&path, 1, &payload()).unwrap();
+        let mut content = std::fs::read_to_string(&path).unwrap();
+        // Corrupt one payload character without touching the header.
+        let idx = content.find('\n').unwrap() + 5;
+        content.replace_range(idx..idx + 1, "~");
+        std::fs::write(&path, content).unwrap();
+        assert!(matches!(
+            load::<Payload>(&path),
+            Err(CheckpointError::ChecksumMismatch)
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_file_detected() {
+        let path = temp("trunc");
+        save(&path, 1, &payload()).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &content[..content.len() / 2]).unwrap();
+        assert!(load::<Payload>(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn save_overwrites_atomically() {
+        let path = temp("overwrite");
+        save(&path, 1, &payload()).unwrap();
+        let mut p2 = payload();
+        p2.n = 99;
+        save(&path, 2, &p2).unwrap();
+        let (seq, back): (u64, Payload) = load(&path).unwrap();
+        assert_eq!((seq, back.n), (2, 99));
+        assert!(
+            !tmp_path(&path).exists(),
+            "temp sibling must not survive a successful save"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fnv_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

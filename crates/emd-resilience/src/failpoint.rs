@@ -1,0 +1,284 @@
+//! Deterministic fail points.
+//!
+//! A *fail point* is a named site in the pipeline — `fire("scan")` — that
+//! normally does nothing. Tests and chaos drivers *arm* a site with a
+//! [`Schedule`] and the next matching [`fire`] call panics with an
+//! [`InjectedFault`] payload, which the surrounding isolation layer
+//! ([`crate::isolate`]) catches and routes through the same recovery paths
+//! a real fault would take.
+//!
+//! Cost model: with the `failpoints` cargo feature **disabled** (the
+//! default, and always the case in release binaries) [`fire`] is an empty
+//! `#[inline(always)]` function — the call sites compile to nothing.
+//! With the feature enabled, the fast path is one relaxed atomic load;
+//! the registry mutex is only touched while at least one site is armed.
+//!
+//! Schedules are deterministic, so a chaos run with a fixed arming plan
+//! is exactly reproducible: `Once` fires on the first hit, `EveryK(k)`
+//! on every k-th hit, `AfterN(n)` exactly once after `n` clean passes.
+
+/// Panic payload carried by an injected fault, so isolation layers can
+/// distinguish injected faults from organic panics (and the quiet panic
+/// hook can suppress their stderr noise).
+#[derive(Debug)]
+pub struct InjectedFault {
+    /// Name of the fail point that fired.
+    pub name: String,
+}
+
+impl std::fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "injected fault at fail point `{}`", self.name)
+    }
+}
+
+/// Deterministic trigger schedule for an armed fail point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Fire on the first hit, then disarm.
+    Once,
+    /// Fire on every k-th hit (`k ≥ 1`), indefinitely (persistent fault).
+    EveryK(u64),
+    /// Pass `n` hits, fire on hit `n + 1`, then disarm (crash-after-n).
+    AfterN(u64),
+}
+
+/// Panic with an [`InjectedFault`] payload. Used by fail points and by
+/// test doubles simulating poisoned inputs, so the quiet hook suppresses
+/// their backtrace noise in both cases.
+pub fn panic_injected(name: &str) -> ! {
+    std::panic::panic_any(InjectedFault {
+        name: name.to_string(),
+    })
+}
+
+/// Install (once per process) a panic hook that suppresses the stderr
+/// report for [`InjectedFault`] payloads — injected faults are caught and
+/// recovered by design, so their backtraces are pure noise — while
+/// delegating every organic panic to the previous hook. Available (and
+/// meaningful) with or without the `failpoints` feature: poison-input
+/// test doubles use [`panic_injected`] in every build.
+pub fn install_quiet_hook() {
+    use std::sync::Once;
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedFault>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+#[cfg(feature = "failpoints")]
+mod imp {
+    use super::{install_quiet_hook, panic_injected, Schedule};
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// Fast-path switch: false ⇒ no site is armed and [`fire`] returns
+    /// after one relaxed load.
+    static ANY_ARMED: AtomicBool = AtomicBool::new(false);
+
+    struct Armed {
+        schedule: Schedule,
+        hits: u64,
+    }
+
+    fn registry() -> MutexGuard<'static, HashMap<String, Armed>> {
+        static REG: OnceLock<Mutex<HashMap<String, Armed>>> = OnceLock::new();
+        REG.get_or_init(|| Mutex::new(HashMap::new()))
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// True: this build carries the fail-point harness.
+    pub fn enabled() -> bool {
+        true
+    }
+
+    /// Hit the named fail point; panics with [`InjectedFault`] when the
+    /// site is armed and its schedule matches.
+    pub fn fire(name: &str) {
+        if !ANY_ARMED.load(Ordering::Relaxed) {
+            return;
+        }
+        let fires = {
+            let mut reg = registry();
+            match reg.get_mut(name) {
+                None => false,
+                Some(armed) => {
+                    armed.hits += 1;
+                    let (fires, disarm) = match armed.schedule {
+                        Schedule::Once => (armed.hits == 1, armed.hits == 1),
+                        Schedule::EveryK(k) => (armed.hits % k.max(1) == 0, false),
+                        Schedule::AfterN(n) => (armed.hits == n + 1, armed.hits == n + 1),
+                    };
+                    if disarm {
+                        reg.remove(name);
+                        ANY_ARMED.store(!reg.is_empty(), Ordering::Relaxed);
+                    }
+                    fires
+                }
+            }
+        };
+        if fires {
+            panic_injected(name);
+        }
+    }
+
+    /// Arm a fail point. The returned guard disarms the site when dropped,
+    /// so a panicking test cannot leak an armed site into the next test.
+    /// Arming also installs the quiet panic hook.
+    pub fn arm(name: &str, schedule: Schedule) -> ArmGuard {
+        install_quiet_hook();
+        let mut reg = registry();
+        reg.insert(name.to_string(), Armed { schedule, hits: 0 });
+        ANY_ARMED.store(true, Ordering::Relaxed);
+        ArmGuard {
+            name: name.to_string(),
+        }
+    }
+
+    /// Disarm every fail point.
+    pub fn disarm_all() {
+        let mut reg = registry();
+        reg.clear();
+        ANY_ARMED.store(false, Ordering::Relaxed);
+    }
+
+    /// Disarms its fail point on drop.
+    #[must_use = "dropping the guard disarms the fail point"]
+    pub struct ArmGuard {
+        name: String,
+    }
+
+    impl Drop for ArmGuard {
+        fn drop(&mut self) {
+            let mut reg = registry();
+            reg.remove(&self.name);
+            ANY_ARMED.store(!reg.is_empty(), Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(not(feature = "failpoints"))]
+mod imp {
+    use super::Schedule;
+
+    /// False: fail points are compiled out of this build.
+    pub fn enabled() -> bool {
+        false
+    }
+
+    /// No-op — the `failpoints` feature is disabled, so every injection
+    /// site in the pipeline compiles to nothing.
+    #[inline(always)]
+    pub fn fire(_name: &str) {}
+
+    /// No-op arming (nothing will ever fire in this build). Kept so code
+    /// written against the harness still compiles without the feature.
+    pub fn arm(_name: &str, _schedule: Schedule) -> ArmGuard {
+        ArmGuard {}
+    }
+
+    /// No-op.
+    pub fn disarm_all() {}
+
+    /// Guard over nothing.
+    #[must_use = "dropping the guard disarms the fail point"]
+    pub struct ArmGuard {}
+}
+
+pub use imp::{arm, disarm_all, enabled, fire, ArmGuard};
+
+#[cfg(all(test, feature = "failpoints"))]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// The registry is process-global; serialize the tests that use it.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn lock() -> MutexGuard<'static, ()> {
+        let g = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        disarm_all();
+        g
+    }
+
+    fn fires(name: &str) -> bool {
+        crate::isolate::catch(|| fire(name)).is_err()
+    }
+
+    #[test]
+    fn unarmed_fire_is_silent() {
+        let _l = lock();
+        assert!(enabled());
+        assert!(!fires("nothing_armed_here"));
+    }
+
+    #[test]
+    fn once_fires_exactly_once() {
+        let _l = lock();
+        let _g = arm("p", Schedule::Once);
+        assert!(fires("p"));
+        assert!(!fires("p"));
+        assert!(!fires("p"));
+    }
+
+    #[test]
+    fn every_k_is_periodic() {
+        let _l = lock();
+        let _g = arm("p", Schedule::EveryK(3));
+        let pattern: Vec<bool> = (0..9).map(|_| fires("p")).collect();
+        assert_eq!(
+            pattern,
+            vec![false, false, true, false, false, true, false, false, true]
+        );
+    }
+
+    #[test]
+    fn after_n_passes_then_fires_once() {
+        let _l = lock();
+        let _g = arm("p", Schedule::AfterN(2));
+        assert!(!fires("p"));
+        assert!(!fires("p"));
+        assert!(fires("p"));
+        assert!(!fires("p"));
+    }
+
+    #[test]
+    fn guard_disarms_on_drop() {
+        let _l = lock();
+        {
+            let _g = arm("p", Schedule::EveryK(1));
+            assert!(fires("p"));
+        }
+        assert!(!fires("p"));
+    }
+
+    #[test]
+    fn independent_sites_do_not_interfere() {
+        let _l = lock();
+        let _a = arm("a", Schedule::Once);
+        let _b = arm("b", Schedule::EveryK(2));
+        assert!(!fires("c"));
+        assert!(fires("a"));
+        assert!(!fires("b"));
+        assert!(fires("b"));
+    }
+
+    #[test]
+    fn injected_payload_is_recognizable() {
+        let _l = lock();
+        let _g = arm("p", Schedule::Once);
+        let caught = std::panic::catch_unwind(|| fire("p"));
+        let payload = caught.expect_err("must fire");
+        let fault = payload
+            .downcast_ref::<InjectedFault>()
+            .expect("payload is InjectedFault");
+        assert_eq!(fault.name, "p");
+    }
+}

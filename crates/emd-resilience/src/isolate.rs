@@ -1,0 +1,136 @@
+//! Panic isolation: run a unit of work, convert a panic into an error
+//! message, optionally retry within a bounded budget.
+//!
+//! The pipeline calls these around *pure* units (per-sentence inference,
+//! per-record scan staging, per-candidate scoring), so a caught panic
+//! never leaves partially mutated state behind — the mutating apply steps
+//! stay outside the isolation boundary and are infallible.
+
+use crate::failpoint::InjectedFault;
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Render a panic payload as a one-line reason string.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(fault) = payload.downcast_ref::<InjectedFault>() {
+        fault.to_string()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_string()
+    }
+}
+
+/// Run `f`, catching any panic and rendering it as an error message.
+///
+/// The `AssertUnwindSafe` is justified by the calling convention above:
+/// isolated units are read-only over shared state and build their result
+/// by value, so there is no broken invariant to observe after a catch.
+pub fn catch<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| panic_message(payload.as_ref()))
+}
+
+/// Outcome of [`retry_catch`]: the final result plus how many attempts
+/// panicked along the way (for retry metrics — `failed_attempts` can be
+/// nonzero even when `result` is `Ok`).
+#[derive(Debug)]
+pub struct Retried<T> {
+    /// The value from the first successful attempt, or the last panic
+    /// message once the budget is exhausted.
+    pub result: Result<T, String>,
+    /// Number of attempts that panicked.
+    pub failed_attempts: usize,
+}
+
+/// Run `f` under [`catch`] up to `attempts` times (at least once),
+/// stopping at the first success.
+pub fn retry_catch<T>(attempts: usize, mut f: impl FnMut() -> T) -> Retried<T> {
+    let attempts = attempts.max(1);
+    let mut failed_attempts = 0;
+    let mut last_err = String::new();
+    for _ in 0..attempts {
+        match catch(&mut f) {
+            Ok(v) => {
+                return Retried {
+                    result: Ok(v),
+                    failed_attempts,
+                }
+            }
+            Err(e) => {
+                failed_attempts += 1;
+                last_err = e;
+            }
+        }
+    }
+    Retried {
+        result: Err(last_err),
+        failed_attempts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failpoint::{install_quiet_hook, panic_injected};
+
+    #[test]
+    fn catch_passes_values_through() {
+        assert_eq!(catch(|| 41 + 1), Ok(42));
+    }
+
+    #[test]
+    fn catch_renders_str_and_string_payloads() {
+        install_quiet_hook();
+        let e = catch(|| -> u8 { std::panic::panic_any(InjectedFault { name: "x".into() }) })
+            .unwrap_err();
+        assert!(e.contains("fail point `x`"), "{e}");
+        // &str / String payloads would print via the default hook; route
+        // them through a temporarily quiet scope by using panic_any with
+        // InjectedFault in the other tests and plain panics here, where
+        // the noise is the point being tested.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let e1 = catch(|| -> u8 { panic!("boom") }).unwrap_err();
+        let e2 = catch(|| -> u8 { std::panic::panic_any(format!("msg {}", 7)) }).unwrap_err();
+        std::panic::set_hook(prev);
+        assert_eq!(e1, "panic: boom");
+        assert_eq!(e2, "panic: msg 7");
+    }
+
+    #[test]
+    fn retry_recovers_transient_failures() {
+        install_quiet_hook();
+        let mut calls = 0;
+        let r = retry_catch(3, || {
+            calls += 1;
+            if calls < 3 {
+                panic_injected("transient");
+            }
+            calls
+        });
+        assert_eq!(r.result, Ok(3));
+        assert_eq!(r.failed_attempts, 2);
+    }
+
+    #[test]
+    fn retry_budget_is_bounded() {
+        install_quiet_hook();
+        let mut calls = 0;
+        let r = retry_catch(4, || -> () {
+            calls += 1;
+            panic_injected("persistent");
+        });
+        assert_eq!(calls, 4);
+        assert_eq!(r.failed_attempts, 4);
+        assert!(r.result.unwrap_err().contains("persistent"));
+    }
+
+    #[test]
+    fn zero_attempts_still_runs_once() {
+        let r = retry_catch(0, || 7);
+        assert_eq!(r.result, Ok(7));
+        assert_eq!(r.failed_attempts, 0);
+    }
+}

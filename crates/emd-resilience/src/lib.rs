@@ -1,0 +1,36 @@
+//! # emd-resilience
+//!
+//! The failure model of the streaming runtime (see DESIGN.md § "Failure
+//! model"): deterministic fault injection, panic isolation, poison-input
+//! validation, quarantine bookkeeping, and a versioned checkpoint format.
+//! `emd-core` threads these primitives through every pipeline phase so a
+//! panicking worker, a malformed tweet, or a process restart degrades the
+//! run instead of destroying it.
+//!
+//! * [`failpoint`] — named injection sites at each phase boundary with
+//!   seeded trigger schedules (fail-once, fail-every-k, fail-after-n).
+//!   Compile-time zero-cost unless the `failpoints` feature is enabled
+//!   (tests and examples enable it; release builds never do).
+//! * [`isolate`] — `catch_unwind` wrappers that convert panics into
+//!   `Result`s with readable messages, plus a bounded retry budget.
+//! * [`validate`] — input validation for third-party Local EMD output:
+//!   token sanity, span bounds/overlap, finite embeddings.
+//! * [`quarantine`] — the dead-letter record type: which sentence failed,
+//!   in which phase, and why.
+//! * [`checkpoint`] — atomic snapshot files with a versioned header and an
+//!   FNV-1a integrity checksum, so `StreamSupervisor` restarts replay only
+//!   the suffix since the last checkpoint.
+//!
+//! The crate deliberately depends only on `emd-text` (for sentence ids)
+//! and the serde shims — it sits *below* `emd-core` in the crate graph.
+
+pub mod checkpoint;
+pub mod failpoint;
+pub mod isolate;
+pub mod quarantine;
+pub mod validate;
+
+pub use checkpoint::{CheckpointError, FORMAT_VERSION};
+pub use failpoint::{fire, InjectedFault, Schedule};
+pub use isolate::{catch, retry_catch, Retried};
+pub use quarantine::{PipelinePhase, QuarantineEntry};

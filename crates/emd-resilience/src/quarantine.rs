@@ -1,0 +1,92 @@
+//! Quarantine bookkeeping: the dead-letter record type.
+//!
+//! When a sentence exhausts its retry budget in some phase — its local
+//! system panics persistently, its tokens fail validation, its embeddings
+//! are NaN, its rescan keeps dying — the pipeline *diverts* it into a
+//! quarantine log on the output instead of killing the batch (or silently
+//! dropping the evidence). Operators drain the log from
+//! `GlobalizerOutput::quarantined` or watch the
+//! `emd_resilience_quarantined_total` counter.
+
+use emd_text::token::SentenceId;
+use serde::{Deserialize, Serialize};
+
+/// The pipeline phase in which a failure was isolated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PipelinePhase {
+    /// The Local EMD plug-in's own `process` call.
+    LocalInference,
+    /// Validation + storage of local outputs (TweetBase / CTrie).
+    Ingest,
+    /// The batch-time occurrence scan.
+    Scan,
+    /// Candidate classification.
+    Classify,
+    /// The closing rescan at stream close.
+    FinalizeRescan,
+    /// The batch-driving supervisor loop.
+    Supervisor,
+}
+
+impl std::fmt::Display for PipelinePhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PipelinePhase::LocalInference => "local-inference",
+            PipelinePhase::Ingest => "ingest",
+            PipelinePhase::Scan => "scan",
+            PipelinePhase::Classify => "classify",
+            PipelinePhase::FinalizeRescan => "finalize-rescan",
+            PipelinePhase::Supervisor => "supervisor",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One dead-letter entry: a sentence the pipeline gave up on, where, and
+/// why. Entries appear in deterministic stream/discovery order, so two
+/// runs with the same faults produce identical quarantine logs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantineEntry {
+    /// The quarantined sentence.
+    pub sid: SentenceId,
+    /// Phase in which the failure was isolated.
+    pub phase: PipelinePhase,
+    /// Human-readable reason (panic message or validation error).
+    pub reason: String,
+}
+
+impl std::fmt::Display for QuarantineEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] sentence {}: {}", self.phase, self.sid, self.reason)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serde_round_trip() {
+        let e = QuarantineEntry {
+            sid: SentenceId::new(7, 1),
+            phase: PipelinePhase::Scan,
+            reason: "panic: boom".to_string(),
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: QuarantineEntry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = QuarantineEntry {
+            sid: SentenceId::new(3, 0),
+            phase: PipelinePhase::LocalInference,
+            reason: "token 2 is empty".to_string(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "[local-inference] sentence 3#0: token 2 is empty"
+        );
+    }
+}

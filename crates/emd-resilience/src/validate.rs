@@ -1,0 +1,136 @@
+//! Input validation at the Local EMD trust boundary.
+//!
+//! Third-party local systems are black boxes: they may emit spans past
+//! the end of the sentence, overlapping spans, empty or absurdly long
+//! tokens, or NaN embedding values. The pipeline validates once at ingest
+//! (see the [`LocalEmd` contract](../../emd-core/src/local.rs)) and either
+//! repairs (spans) or quarantines (tokens, embeddings) instead of letting
+//! the damage propagate into shared state.
+
+use emd_text::token::{Sentence, Span};
+
+/// Upper bound on a single token's byte length. Twitter messages are
+/// capped at 280 *characters*; a multi-kilobyte "token" is corrupt input
+/// (or an adversarial payload) and quarantining the sentence is safer
+/// than letting it into the trie and the inverted index.
+pub const MAX_TOKEN_BYTES: usize = 512;
+
+/// Validate sentence shape: every token non-empty and within
+/// [`MAX_TOKEN_BYTES`]. Empty sentences are fine (they simply contain
+/// nothing to match).
+pub fn validate_sentence(sentence: &Sentence) -> Result<(), String> {
+    for (i, tok) in sentence.tokens.iter().enumerate() {
+        if tok.text.is_empty() {
+            return Err(format!("token {i} is empty"));
+        }
+        if tok.text.len() > MAX_TOKEN_BYTES {
+            return Err(format!(
+                "token {i} is {} bytes (max {MAX_TOKEN_BYTES})",
+                tok.text.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Repair a local system's span list: drop empty and out-of-bounds spans,
+/// sort by position, and drop any span overlapping an earlier (kept) one.
+/// The result is sorted, non-overlapping, and fully in-bounds — the
+/// invariants the rest of the pipeline assumes of `local_spans`.
+pub fn sanitize_spans(spans: Vec<Span>, n_tokens: usize) -> Vec<Span> {
+    let mut kept: Vec<Span> = spans
+        .into_iter()
+        .filter(|sp| sp.start < sp.end && sp.end <= n_tokens)
+        .collect();
+    kept.sort();
+    let mut out: Vec<Span> = Vec::with_capacity(kept.len());
+    for sp in kept {
+        if out.last().is_none_or(|prev| prev.end <= sp.start) {
+            out.push(sp);
+        }
+    }
+    out
+}
+
+/// True when every value is finite (no NaN, no ±∞). NaN embeddings would
+/// poison every pooled sum they are added to — one corrupt mention would
+/// silently destroy its candidate's global embedding for the whole run.
+pub fn all_finite(values: &[f32]) -> bool {
+    values.iter().all(|v| v.is_finite())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emd_text::token::{SentenceId, Token};
+
+    fn sent(words: &[&str]) -> Sentence {
+        Sentence::from_tokens(SentenceId::new(0, 0), words.iter().copied())
+    }
+
+    #[test]
+    fn well_formed_sentences_pass() {
+        assert!(validate_sentence(&sent(&["Italy", "reports", "cases"])).is_ok());
+        assert!(validate_sentence(&sent(&[])).is_ok(), "empty is valid");
+    }
+
+    #[test]
+    fn empty_token_rejected() {
+        let mut s = sent(&["ok"]);
+        s.tokens.push(Token::synthetic(""));
+        let err = validate_sentence(&s).unwrap_err();
+        assert!(err.contains("token 1 is empty"), "{err}");
+    }
+
+    #[test]
+    fn oversized_token_rejected() {
+        let mut s = sent(&["ok"]);
+        s.tokens
+            .push(Token::synthetic("x".repeat(MAX_TOKEN_BYTES + 1)));
+        let err = validate_sentence(&s).unwrap_err();
+        assert!(err.contains("bytes"), "{err}");
+        // Exactly at the limit is fine.
+        let mut s2 = sent(&[]);
+        s2.tokens
+            .push(Token::synthetic("y".repeat(MAX_TOKEN_BYTES)));
+        assert!(validate_sentence(&s2).is_ok());
+    }
+
+    #[test]
+    fn sanitize_drops_oob_and_empty() {
+        let spans = vec![
+            Span { start: 0, end: 1 },
+            Span { start: 2, end: 2 },  // empty
+            Span { start: 5, end: 4 },  // inverted
+            Span { start: 1, end: 99 }, // out of bounds
+        ];
+        assert_eq!(sanitize_spans(spans, 3), vec![Span { start: 0, end: 1 }]);
+    }
+
+    #[test]
+    fn sanitize_sorts_and_drops_overlaps() {
+        let spans = vec![
+            Span { start: 3, end: 5 },
+            Span { start: 0, end: 2 },
+            Span { start: 1, end: 4 }, // overlaps both; later in sort order than (0,2)
+            Span { start: 5, end: 6 }, // adjacent to (3,5): kept
+        ];
+        assert_eq!(
+            sanitize_spans(spans, 10),
+            vec![
+                Span { start: 0, end: 2 },
+                Span { start: 3, end: 5 },
+                Span { start: 5, end: 6 },
+            ]
+        );
+    }
+
+    #[test]
+    fn finite_check() {
+        assert!(all_finite(&[0.0, -1.5, f32::MAX]));
+        assert!(!all_finite(&[0.0, f32::NAN]));
+        assert!(!all_finite(&[f32::INFINITY]));
+        assert!(!all_finite(&[f32::NEG_INFINITY, 1.0]));
+        assert!(all_finite(&[]));
+    }
+}

@@ -1,0 +1,162 @@
+//! Running the pipeline unattended: fault injection, quarantine,
+//! degraded modes, checkpointing, and crash recovery in one script.
+//!
+//! The scenario: a stream of 600 messages processed by a supervisor that
+//! checkpoints every 4 batches, while
+//!
+//! * a poison message (an absurdly long token) arrives mid-stream and is
+//!   diverted to the quarantine buffer instead of crashing the run;
+//! * transient faults are injected at the local-inference and scan
+//!   boundaries (this example is built with the `failpoints` feature
+//!   active, like the test suite) and absorbed by the retry budget;
+//! * the process "crashes" after a prefix of the stream, and a second
+//!   supervisor run resumes from the checkpoint, replaying only the
+//!   suffix — with outputs bit-identical to a never-crashed run.
+//!
+//! Exits nonzero if any of those guarantees is violated, so CI runs it
+//! as the chaos + crash-recovery smoke.
+//!
+//! Run with: `cargo run --example resilient_stream`
+
+use emd_globalizer::core::local::LexiconEmd;
+use emd_globalizer::core::supervisor::{StreamSupervisor, SupervisorConfig};
+use emd_globalizer::core::{EntityClassifier, Globalizer, GlobalizerConfig};
+use emd_globalizer::resilience::failpoint::{self, Schedule};
+use emd_globalizer::text::token::{Sentence, SentenceId};
+
+const WORDS: [&str; 12] = [
+    "italy", "covid", "beshear", "moross", "lumsa", "zutav", "report", "cases", "the", "news",
+    "visit", "again",
+];
+
+fn synthetic_stream(n: usize) -> Vec<Sentence> {
+    (0..n)
+        .map(|i| {
+            let toks = (0..3 + i % 4).map(|j| {
+                let mut t = WORDS[(i * 7 + j * 3) % WORDS.len()].to_string();
+                if (i + j) % 3 == 0 {
+                    t[..1].make_ascii_uppercase();
+                }
+                t
+            });
+            Sentence::from_tokens(SentenceId::new(i as u64, 0), toks)
+        })
+        .collect()
+}
+
+fn main() {
+    let local = LexiconEmd::new(["italy", "covid", "beshear", "moross", "lumsa", "zutav"]);
+    let clf = EntityClassifier::new(7, 2022);
+    let g = Globalizer::new(&local, None, &clf, GlobalizerConfig::default());
+    emd_globalizer::obs::set_enabled(true);
+
+    let mut stream = synthetic_stream(600);
+    // A poison message: one token far beyond the ingestion validator's
+    // size bound. It must be quarantined, never emitted, never fatal.
+    let poison_sid = SentenceId::new(10_000, 0);
+    stream[300] = Sentence::from_tokens(poison_sid, ["italy", &"x".repeat(4096)]);
+
+    // Fault-free reference run (no supervisor, no faults).
+    let clean = g.run(&stream, 50).0;
+
+    let ckpt = std::env::temp_dir().join(format!("emd_resilient_stream_{}", std::process::id()));
+    std::fs::remove_file(&ckpt).ok();
+    let sup = StreamSupervisor::new(
+        &g,
+        SupervisorConfig {
+            checkpoint_path: Some(ckpt.clone()),
+            checkpoint_every: 4,
+            batch_size: 50,
+            batch_retries: 1,
+        },
+    );
+
+    println!("[phase 1] run a prefix under injected faults, then \"crash\"");
+    {
+        // Transient faults: each fires once, the retry budget absorbs it.
+        let _fp1 = failpoint::arm("local_inference", Schedule::AfterN(40));
+        let _fp2 = failpoint::arm("scan", Schedule::AfterN(25));
+        let report = sup.run(&stream[..350]);
+        println!(
+            "  processed {} batches, wrote {} checkpoints",
+            report.batches_processed, report.checkpoints_written
+        );
+        assert!(report.checkpoints_written > 0, "prefix run must checkpoint");
+    }
+
+    println!("[phase 2] restart over the full stream: resume + replay the suffix");
+    let report = {
+        let _fp = failpoint::arm("supervisor_batch", Schedule::Once);
+        sup.run(&stream)
+    };
+    std::fs::remove_file(&ckpt).ok();
+    println!(
+        "  resumed={} skipped={} processed={} batch_retries={} dead_lettered={}",
+        report.resumed_from_checkpoint,
+        report.batches_skipped,
+        report.batches_processed,
+        report.batches_retried,
+        report.batches_dead_lettered
+    );
+    assert!(
+        report.resumed_from_checkpoint,
+        "must resume from the checkpoint"
+    );
+    assert!(
+        report.batches_skipped > 0,
+        "the prefix must not be reprocessed"
+    );
+    assert_eq!(report.batches_dead_lettered, 0);
+    assert_eq!(
+        report.batches_retried, 1,
+        "the injected supervisor fault retries"
+    );
+
+    println!("[verify] recovered output == never-crashed output, modulo quarantine");
+    let out = &report.output;
+    assert_eq!(out.per_sentence, clean.per_sentence);
+    assert_eq!(out.n_candidates, clean.n_candidates);
+    assert_eq!(out.n_entities, clean.n_entities);
+    assert_eq!(out.n_degraded, 0);
+
+    println!("\nquarantine buffer ({} entries):", out.quarantined.len());
+    for entry in &out.quarantined {
+        let mut line = entry.to_string();
+        line.truncate(96);
+        println!("  {line}");
+    }
+    assert_eq!(out.quarantined.len(), 1, "exactly the poison message");
+    assert_eq!(out.quarantined[0].sid, poison_sid);
+    assert!(
+        !out.per_sentence.iter().any(|(sid, _)| *sid == poison_sid),
+        "quarantined sentences are never emitted"
+    );
+
+    println!("\nresilience metrics (Prometheus exposition):");
+    let snap = emd_globalizer::obs::global().snapshot();
+    for line in snap.to_prometheus().lines() {
+        if line.contains("emd_resilience_") && !line.contains("_ns") {
+            println!("  {line}");
+        }
+    }
+    assert!(
+        snap.counter("emd_resilience_quarantined_total")
+            .unwrap_or(0)
+            > 0,
+        "quarantine counter must have fired"
+    );
+    assert!(
+        snap.histogram("emd_resilience_checkpoint_write_ns")
+            .map(|h| h.count)
+            .unwrap_or(0)
+            > 0,
+        "checkpoint write latency must have samples"
+    );
+
+    println!(
+        "\n[ok] stream of {} survived poison input, three injected faults, and a crash; \
+         outputs bit-identical ({} entities).",
+        stream.len(),
+        out.n_entities
+    );
+}

@@ -56,6 +56,7 @@
 //! | [`baseline`] | `emd-baseline` | HIRE-NER document-level baseline |
 //! | [`eval`] | `emd-eval` | metrics, frequency bins, error analysis, paper reference values |
 //! | [`obs`] | `emd-obs` | zero-dependency metrics: counters, gauges, latency histograms, Prometheus/JSON exporters |
+//! | [`resilience`] | `emd-resilience` | failure model: fail points, panic isolation, quarantine, checkpoint format |
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured comparison of every table and figure.
@@ -67,6 +68,7 @@ pub use emd_eval as eval;
 pub use emd_local as local;
 pub use emd_nn as nn;
 pub use emd_obs as obs;
+pub use emd_resilience as resilience;
 pub use emd_synth as synth;
 pub use emd_text as text;
 
