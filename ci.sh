@@ -33,4 +33,25 @@ echo "== chaos + crash-recovery smoke =="
 cargo test --test chaos_resilience
 cargo run --example resilient_stream > /dev/null
 
+echo "== trace smoke =="
+# Decision-level tracing: the trace-audit suite checks noop transparency
+# (tracing on/off ⇒ bit-identical outputs) and that replaying the event
+# log reconstructs the pipeline output across rescan, promotion,
+# quarantine, and degraded-fallback streams. The example then prints
+# provenance chains for one emitted and one suppressed candidate,
+# round-trips the JSONL export, and writes the collapsed-stack profile;
+# it exits nonzero on any violation.
+cargo test --test trace_audit
+cargo run --release --example explain_mention > /dev/null
+test -s results/flame.txt
+# Well-formed collapsed stacks: every line is `emd(;frame)+ <self_ns>`.
+grep -qE '^emd(;[a-z_]+)+ [0-9]+$' results/flame.txt
+! grep -vqE '^emd(;[a-z_]+)+ [0-9]+$' results/flame.txt
+
+echo "== bench smoke =="
+# Reduced-size pipeline benchmark; emits the machine-readable report
+# (per-phase throughput, latency quantiles, tracing on/off events/sec).
+BENCH_SMOKE=1 cargo bench -p emd-bench --bench pipeline > /dev/null
+test -s results/BENCH_pipeline.json
+
 echo "CI green."

@@ -1,53 +1,231 @@
 //! End-to-end pipeline timing — the claim behind Table III's "Execution
 //! Time" columns and Figure 6's component stack: running the full
 //! framework costs only slightly more than Local EMD alone.
+//!
+//! Besides the Criterion groups, every run writes a machine-readable
+//! report to `results/BENCH_pipeline.json`: per-phase throughput (from
+//! `PhaseTimings`), latency quantiles (from the `emd-obs` histograms),
+//! and the tracing overhead (wall clock and events/sec with the
+//! `emd-trace` ring on vs off).
+//!
+//! Set `BENCH_SMOKE=1` for the CI smoke mode: a reduced stream and tiny
+//! sample counts (skipping the expensive CRF variants), still emitting
+//! the full JSON report.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use emd_bench::{bench_stream, chunker_variant, sentences_of, trained_crf_variant};
 use emd_core::config::Ablation;
 use emd_core::local::LocalEmd;
 use emd_core::{Globalizer, GlobalizerConfig};
+use serde::Serialize;
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
-fn bench_pipeline(c: &mut Criterion) {
-    let (d2, _) = bench_stream();
-    let sents = sentences_of(&d2);
-    let slice: Vec<_> = sents.iter().take(100).cloned().collect();
+/// Per-phase cumulative time and derived throughput for one pipeline run.
+#[derive(Serialize)]
+struct PhaseStat {
+    phase: String,
+    total_ns: u64,
+    sentences_per_sec: f64,
+}
 
-    let (crf, crf_clf) = trained_crf_variant();
+/// One latency histogram from the instrumented pass.
+#[derive(Serialize)]
+struct LatencyStat {
+    name: String,
+    count: u64,
+    p50_ns: f64,
+    p99_ns: f64,
+    max_ns: u64,
+}
+
+/// Tracing cost: the same run with the event ring off vs on.
+#[derive(Serialize)]
+struct TracingStat {
+    events: u64,
+    dropped: u64,
+    run_ns_tracing_off: u64,
+    run_ns_tracing_on: u64,
+    events_per_sec: f64,
+    overhead_pct: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    smoke: bool,
+    n_sentences: usize,
+    batch_size: usize,
+    phases: Vec<PhaseStat>,
+    latency: Vec<LatencyStat>,
+    tracing: TracingStat,
+}
+
+/// Run the chunker variant instrumented (metrics + trace) and assemble
+/// the JSON report. Uses the cheap deterministic chunker so the report
+/// pass costs the same in smoke and full mode.
+fn emit_report(slice: &[emd_text::token::Sentence], batch: usize, smoke: bool) {
     let (chunker, accept_all) = chunker_variant();
 
-    let mut group = c.benchmark_group("pipeline_100_sentences");
-    group.sample_size(20);
+    // Instrumented pass: per-phase timings + latency quantiles.
+    emd_obs::set_enabled(true);
+    let g = Globalizer::new(&chunker, None, &accept_all, GlobalizerConfig::default());
+    let (out, _) = g.run(slice, batch);
+    let snapshot = g.metrics().snapshot();
+    emd_obs::set_enabled(false);
 
-    // Local EMD alone (the paper's baseline time).
-    group.bench_function("crf_local_only", |b| {
-        b.iter(|| {
-            for s in &slice {
-                black_box(crf.process(s));
-            }
-        })
-    });
-
-    // Figure-6 component stack.
-    for (label, ablation) in [
-        ("crf_ablation_local", Ablation::LocalOnly),
-        (
-            "crf_ablation_mention_extraction",
-            Ablation::MentionExtraction,
-        ),
-        ("crf_full_framework", Ablation::Full),
-    ] {
-        let g = Globalizer::new(
-            &crf,
-            None,
-            &crf_clf,
-            GlobalizerConfig {
-                ablation,
-                ..Default::default()
+    let run_total_ns: u64 = out.phase_timings.as_pairs().iter().map(|(_, v)| v).sum();
+    let phases: Vec<PhaseStat> = out
+        .phase_timings
+        .as_pairs()
+        .into_iter()
+        .map(|(name, total_ns)| PhaseStat {
+            phase: name.trim_end_matches("_ns").to_string(),
+            total_ns,
+            sentences_per_sec: if total_ns == 0 {
+                0.0
+            } else {
+                slice.len() as f64 * 1e9 / total_ns as f64
             },
-        );
-        group.bench_function(label, |b| b.iter(|| black_box(g.run(&slice, 512))));
+        })
+        .collect();
+    let latency: Vec<LatencyStat> = snapshot
+        .histograms
+        .iter()
+        .filter(|h| h.count > 0)
+        .map(|h| LatencyStat {
+            name: h.name.clone(),
+            count: h.count,
+            p50_ns: h.p50,
+            p99_ns: h.p99,
+            max_ns: h.max,
+        })
+        .collect();
+
+    // Tracing overhead: identical runs with the event ring off and on
+    // (best of several passes, so one scheduler hiccup doesn't skew the
+    // reported percentage).
+    const PASSES: usize = 5;
+    let g = Globalizer::new(&chunker, None, &accept_all, GlobalizerConfig::default());
+    let run_ns_tracing_off = (0..PASSES)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(g.run(slice, batch));
+            t0.elapsed().as_nanos() as u64
+        })
+        .min()
+        .unwrap();
+
+    emd_trace::set_enabled(true);
+    let sink = emd_trace::TraceSink::with_capacity(1 << 18);
+    let mut g = Globalizer::new(&chunker, None, &accept_all, GlobalizerConfig::default());
+    g.set_trace(sink.clone());
+    let run_ns_tracing_on = (0..PASSES)
+        .map(|_| {
+            let _ = sink.drain();
+            let t0 = Instant::now();
+            black_box(g.run(slice, batch));
+            t0.elapsed().as_nanos() as u64
+        })
+        .min()
+        .unwrap();
+    emd_trace::set_enabled(false);
+
+    let events = sink.events_total() / PASSES as u64;
+    let tracing = TracingStat {
+        events,
+        dropped: sink.dropped_total(),
+        run_ns_tracing_off,
+        run_ns_tracing_on,
+        events_per_sec: if run_ns_tracing_on == 0 {
+            0.0
+        } else {
+            events as f64 * 1e9 / run_ns_tracing_on as f64
+        },
+        overhead_pct: if run_ns_tracing_off == 0 {
+            0.0
+        } else {
+            (run_ns_tracing_on as f64 / run_ns_tracing_off as f64 - 1.0) * 100.0
+        },
+    };
+
+    let report = BenchReport {
+        smoke,
+        n_sentences: slice.len(),
+        batch_size: batch,
+        phases,
+        latency,
+        tracing,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = format!("{dir}/BENCH_pipeline.json");
+    std::fs::write(&path, &json).expect("write bench report");
+    println!(
+        "report: {} phases, {} histograms, {} trace events ({:.0} events/sec, {:+.1}% wall clock) -> {path}",
+        report.phases.len(),
+        report.latency.len(),
+        report.tracing.events,
+        report.tracing.events_per_sec,
+        report.tracing.overhead_pct,
+    );
+    assert!(run_total_ns > 0, "phase timings must be recorded");
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let smoke = std::env::var_os("BENCH_SMOKE").is_some();
+    let (d2, _) = bench_stream();
+    let sents = sentences_of(&d2);
+    let take = if smoke { 40 } else { 100 };
+    let slice: Vec<_> = sents.iter().take(take).cloned().collect();
+
+    let (chunker, accept_all) = chunker_variant();
+    let crf_pair = (!smoke).then(trained_crf_variant);
+
+    let mut group = c.benchmark_group("pipeline_100_sentences");
+    if smoke {
+        group.sample_size(10);
+        group.measurement_time(Duration::from_millis(100));
+    } else {
+        group.sample_size(20);
+    }
+
+    if let Some((crf, crf_clf)) = &crf_pair {
+        // Local EMD alone (the paper's baseline time).
+        group.bench_function("crf_local_only", |b| {
+            b.iter(|| {
+                for s in &slice {
+                    black_box(crf.process(s));
+                }
+            })
+        });
+
+        // Figure-6 component stack.
+        for (label, ablation) in [
+            ("crf_ablation_local", Ablation::LocalOnly),
+            (
+                "crf_ablation_mention_extraction",
+                Ablation::MentionExtraction,
+            ),
+            ("crf_full_framework", Ablation::Full),
+        ] {
+            let g = Globalizer::new(
+                crf,
+                None,
+                crf_clf,
+                GlobalizerConfig {
+                    ablation,
+                    ..Default::default()
+                },
+            );
+            group.bench_function(label, |b| b.iter(|| black_box(g.run(&slice, 512))));
+        }
+
+        // Incremental batching: same work in batches of 10 (stream mode).
+        group.bench_function("crf_full_framework_batched_10", |b| {
+            let g = Globalizer::new(crf, None, crf_clf, GlobalizerConfig::default());
+            b.iter(|| black_box(g.run(&slice, 10)))
+        });
     }
 
     // Chunker variant isolates framework overhead from model cost.
@@ -56,30 +234,28 @@ fn bench_pipeline(c: &mut Criterion) {
         b.iter(|| black_box(g.run(&slice, 512)))
     });
 
-    // Incremental batching: same work in batches of 10 (stream mode).
-    group.bench_function("crf_full_framework_batched_10", |b| {
-        let g = Globalizer::new(&crf, None, &crf_clf, GlobalizerConfig::default());
-        b.iter(|| black_box(g.run(&slice, 10)))
-    });
-
     group.finish();
 
-    // One instrumented pass (outside the timed groups): per-phase latency
-    // quantiles from the metrics registry, for eyeballing where the
-    // framework overhead lives.
-    emd_obs::set_enabled(true);
-    let g = Globalizer::new(&crf, None, &crf_clf, GlobalizerConfig::default());
-    g.run(&slice, 10);
-    println!("instrumented pass (batched 10):");
-    for h in g.metrics().snapshot().histograms {
-        if h.count > 0 {
-            println!(
-                "  {:<32} n={:<5} p50={:>10.0}ns p99={:>10.0}ns max={:>10}ns",
-                h.name, h.count, h.p50, h.p99, h.max
-            );
+    if let Some((crf, crf_clf)) = &crf_pair {
+        // One instrumented CRF pass (outside the timed groups): per-phase
+        // latency quantiles, for eyeballing where the overhead lives.
+        emd_obs::set_enabled(true);
+        let g = Globalizer::new(crf, None, crf_clf, GlobalizerConfig::default());
+        g.run(&slice, 10);
+        println!("instrumented pass (batched 10):");
+        for h in g.metrics().snapshot().histograms {
+            if h.count > 0 {
+                println!(
+                    "  {:<32} n={:<5} p50={:>10.0}ns p99={:>10.0}ns max={:>10}ns",
+                    h.name, h.count, h.p50, h.p99, h.max
+                );
+            }
         }
+        emd_obs::set_enabled(false);
     }
-    emd_obs::set_enabled(false);
+
+    // Machine-readable report (both modes).
+    emit_report(&slice, 10, smoke);
 }
 
 criterion_group!(benches, bench_pipeline);

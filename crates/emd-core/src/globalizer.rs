@@ -47,6 +47,7 @@ use emd_resilience::quarantine::{PipelinePhase, QuarantineEntry};
 use emd_resilience::{failpoint, isolate, validate};
 use emd_text::casing::{syntactic_class, SyntacticClass};
 use emd_text::token::{Sentence, SentenceId, Span};
+use emd_trace::{TraceAblation, TraceEvent, TraceEventKind, TraceLabel, TracePhase, TraceSink};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
 use std::time::Instant;
@@ -55,6 +56,46 @@ use std::time::Instant;
 #[inline]
 fn elapsed_ns(t0: Instant) -> u64 {
     t0.elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
+/// Map a resilience phase onto the trace vocabulary (the trace crate is
+/// dependency-free, so it cannot name `PipelinePhase` itself).
+fn trace_phase(phase: PipelinePhase) -> TracePhase {
+    match phase {
+        PipelinePhase::LocalInference => TracePhase::LocalInfer,
+        PipelinePhase::Ingest => TracePhase::Ingest,
+        PipelinePhase::Scan => TracePhase::Scan,
+        PipelinePhase::Classify => TracePhase::Classify,
+        PipelinePhase::FinalizeRescan => TracePhase::FinalizeRescan,
+        PipelinePhase::Supervisor => TracePhase::Supervisor,
+    }
+}
+
+fn trace_label(label: CandidateLabel) -> TraceLabel {
+    match label {
+        CandidateLabel::Pending => TraceLabel::Pending,
+        CandidateLabel::Entity => TraceLabel::Entity,
+        CandidateLabel::NonEntity => TraceLabel::NonEntity,
+        CandidateLabel::Ambiguous => TraceLabel::Ambiguous,
+    }
+}
+
+fn trace_ablation(a: Ablation) -> TraceAblation {
+    match a {
+        Ablation::LocalOnly => TraceAblation::LocalOnly,
+        Ablation::MentionExtraction => TraceAblation::MentionExtraction,
+        Ablation::Full => TraceAblation::Full,
+    }
+}
+
+/// `(tweet id, sentence index)` causal ID of a sentence.
+fn tsid(sid: SentenceId) -> (u64, u32) {
+    (sid.tweet_id, sid.sent_id)
+}
+
+/// `[start, end)` causal ID of a span.
+fn tspan(sp: &Span) -> (u32, u32) {
+    (sp.start as u32, sp.end as u32)
 }
 
 /// Accumulated pipeline state across batches. Serializable: the
@@ -86,6 +127,14 @@ pub struct GlobalizerState {
     /// remain stable, but are excluded from dirtying, scans, promotion
     /// evidence, and emission.
     quarantined_idx: BTreeSet<usize>,
+    /// 1-based batch counter, advanced on every `process_batch` call
+    /// (unconditionally, so traced and untraced runs stay aligned) and
+    /// stamped into `BatchStart` trace events.
+    pub(crate) batch_seq: u64,
+    /// Trace sequence number at the last committed batch boundary. The
+    /// supervisor checkpoints it so a restored run continues the
+    /// interrupted run's event numbering instead of reusing it.
+    pub(crate) trace_seq: u64,
 }
 
 impl GlobalizerState {
@@ -143,6 +192,28 @@ impl GlobalizerOutput {
     pub fn as_map(&self) -> std::collections::HashMap<SentenceId, Vec<Span>> {
         self.per_sentence.iter().cloned().collect()
     }
+
+    /// Provenance for one candidate key (lower-cased, space-joined): the
+    /// full decision chain assembled from `events` — detection, pooling,
+    /// verdicts, degradation, promotion — with the `emitted` flag taken
+    /// from this output's ground truth (a traced mention of the candidate
+    /// appears among the final spans) rather than inferred from the trace.
+    /// The chain is empty when the candidate never appears in the trace
+    /// (unknown key, or tracing was disabled during the run).
+    pub fn explain(&self, candidate: &str, events: &[TraceEvent]) -> emd_trace::Explanation {
+        let mut ex = emd_trace::explain::explain_from_trace(events, candidate);
+        let map = self.as_map();
+        ex.emitted = ex.chain.iter().any(|e| {
+            e.kind == TraceEventKind::ScanMention
+                && match (e.sid, e.span) {
+                    (Some((tweet_id, sent_id)), Some(span)) => map
+                        .get(&SentenceId::new(tweet_id, sent_id))
+                        .is_some_and(|spans| spans.iter().any(|sp| tspan(sp) == span)),
+                    _ => false,
+                }
+        });
+        ex
+    }
 }
 
 /// One staged rescan result, computed read-only (a rescan worker runs the
@@ -170,6 +241,10 @@ pub struct Globalizer<'a> {
     /// Metric handles every phase records into. Defaults to the
     /// process-wide registry; see [`Globalizer::set_metrics`].
     metrics: PipelineMetrics,
+    /// Trace sink decision events are pushed into when
+    /// `emd_trace::enabled()`. Defaults to the process-wide ring; see
+    /// [`Globalizer::set_trace`].
+    trace: TraceSink,
 }
 
 impl<'a> Globalizer<'a> {
@@ -196,6 +271,7 @@ impl<'a> Globalizer<'a> {
             classifier,
             config,
             metrics: PipelineMetrics::global(),
+            trace: emd_trace::global().clone(),
         }
     }
 
@@ -208,6 +284,60 @@ impl<'a> Globalizer<'a> {
     /// of the process-wide default (isolated tests, side-by-side runs).
     pub fn set_metrics(&mut self, metrics: PipelineMetrics) {
         self.metrics = metrics;
+    }
+
+    /// The trace sink this instance pushes decision events into.
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// Point trace emission at a private sink instead of the process-wide
+    /// ring (isolated tests, per-run trace capture).
+    pub fn set_trace(&mut self, trace: TraceSink) {
+        self.trace = trace;
+    }
+
+    /// Push one trace event, keeping the `emd_trace_*` meta-counters in
+    /// step. Callers gate on `emd_trace::enabled()` *before* constructing
+    /// the event, so the disabled path allocates nothing.
+    fn temit(&self, ev: TraceEvent) -> Option<u64> {
+        match self.trace.push(ev) {
+            Some(seq) => {
+                self.metrics.trace_events_total.inc();
+                Some(seq)
+            }
+            None => {
+                self.metrics.trace_dropped_events_total.inc();
+                None
+            }
+        }
+    }
+
+    /// Record a completed phase in the trace, reusing the wall-clock delta
+    /// the timings bookkeeping already measured — tracing adds no clock
+    /// read of its own, and none at all while disabled.
+    fn trace_phase_span(&self, phase: TracePhase, parent: Option<TracePhase>, dur_ns: u64) {
+        if emd_trace::enabled() {
+            self.temit(TraceEvent {
+                phase: Some(phase),
+                parent,
+                dur_ns: Some(dur_ns),
+                system: (phase == TracePhase::LocalInfer).then(|| self.local.name().to_string()),
+                ..TraceEvent::of(TraceEventKind::PhaseSpan)
+            });
+        }
+    }
+
+    /// Count (and trace) one panicked worker shard whose work was re-run
+    /// on the caller thread.
+    fn note_shard_retry(&self, phase: TracePhase) {
+        self.metrics.shard_retries_total.inc();
+        if emd_trace::enabled() {
+            self.temit(TraceEvent {
+                phase: Some(phase),
+                ..TraceEvent::of(TraceEventKind::ShardRetry)
+            });
+        }
     }
 
     /// Dimensionality of candidate embeddings: the phrase-embedder output
@@ -229,6 +359,8 @@ impl<'a> Globalizer<'a> {
             timings: PhaseTimings::default(),
             quarantined: Vec::new(),
             quarantined_idx: BTreeSet::new(),
+            batch_seq: 0,
+            trace_seq: 0,
         }
     }
 
@@ -241,10 +373,19 @@ impl<'a> Globalizer<'a> {
     fn note_retries(&self, failed: usize) {
         if failed > 0 {
             self.metrics.item_retries_total.add(failed as u64);
+            if emd_trace::enabled() {
+                self.temit(TraceEvent {
+                    count: Some(failed as u64),
+                    ..TraceEvent::of(TraceEventKind::ItemRetry)
+                });
+            }
         }
     }
 
-    /// Divert a sentence to the dead-letter log.
+    /// Divert a sentence to the dead-letter log. When tracing is on, the
+    /// `SentenceQuarantined` event's sequence number is linked back into
+    /// the dead-letter entry, so an operator holding the entry can pull
+    /// the sentence's full event history out of the trace.
     fn quarantine_sentence(
         &self,
         state: &mut GlobalizerState,
@@ -253,9 +394,22 @@ impl<'a> Globalizer<'a> {
         reason: String,
     ) {
         self.metrics.quarantined_total.inc();
-        state
-            .quarantined
-            .push(QuarantineEntry { sid, phase, reason });
+        let trace_event = if emd_trace::enabled() {
+            self.temit(TraceEvent {
+                sid: Some(tsid(sid)),
+                phase: Some(trace_phase(phase)),
+                reason: Some(reason.clone()),
+                ..TraceEvent::of(TraceEventKind::SentenceQuarantined)
+            })
+        } else {
+            None
+        };
+        state.quarantined.push(QuarantineEntry {
+            sid,
+            phase,
+            reason,
+            trace_event,
+        });
     }
 
     /// Compute the local candidate embedding for a mention.
@@ -287,7 +441,9 @@ impl<'a> Globalizer<'a> {
             let _span = Timer::start(&self.metrics.local_infer_ns);
             batch.iter().map(|s| self.local_attempt(s)).collect()
         };
-        state.timings.local_infer_ns += elapsed_ns(t0);
+        let dt = elapsed_ns(t0);
+        state.timings.local_infer_ns += dt;
+        self.trace_phase_span(TracePhase::LocalInfer, None, dt);
         self.metrics.sentences_total.add(batch.len() as u64);
         self.ingest_local_outputs(state, batch, outputs);
     }
@@ -334,13 +490,15 @@ impl<'a> Globalizer<'a> {
                 match slot {
                     Some(v) => outputs.extend(v),
                     None => {
-                        self.metrics.shard_retries_total.inc();
+                        self.note_shard_retry(TracePhase::LocalInfer);
                         outputs.extend(part.iter().map(|s| self.local_attempt(s)));
                     }
                 }
             }
         }
-        state.timings.local_infer_ns += elapsed_ns(t0);
+        let dt = elapsed_ns(t0);
+        state.timings.local_infer_ns += dt;
+        self.trace_phase_span(TracePhase::LocalInfer, None, dt);
         self.metrics.sentences_total.add(batch.len() as u64);
         self.ingest_local_outputs(state, batch, outputs);
     }
@@ -413,6 +571,7 @@ impl<'a> Globalizer<'a> {
             })
             .collect();
         // Apply (infallible): store records, register candidates, dirty.
+        let tracing = emd_trace::enabled();
         let mut n_local_spans = 0u64;
         let mut kept: Vec<Option<Vec<Span>>> = Vec::with_capacity(batch.len());
         for (sentence, st) in batch.iter().zip(staged) {
@@ -430,6 +589,21 @@ impl<'a> Globalizer<'a> {
                         global_mentions: Vec::new(),
                     });
                     state.dirty.insert(idx);
+                    if tracing {
+                        self.temit(TraceEvent {
+                            sid: Some(tsid(sentence.id)),
+                            count: Some(out.spans.len() as u64),
+                            ..TraceEvent::of(TraceEventKind::SentenceAdmitted)
+                        });
+                        for sp in &out.spans {
+                            self.temit(TraceEvent {
+                                sid: Some(tsid(sentence.id)),
+                                span: Some(tspan(sp)),
+                                system: Some(self.local.name().to_string()),
+                                ..TraceEvent::of(TraceEventKind::LocalDetect)
+                            });
+                        }
+                    }
                     kept.push(Some(out.spans));
                 }
             }
@@ -445,6 +619,15 @@ impl<'a> Globalizer<'a> {
                         .collect();
                     if state.ctrie.insert(&toks) {
                         n_inserted += 1;
+                        if tracing {
+                            self.temit(TraceEvent {
+                                sid: Some(tsid(sentence.id)),
+                                span: Some(tspan(sp)),
+                                candidate: Some(toks.join(" ").to_lowercase()),
+                                phase: Some(TracePhase::TrieRegister),
+                                ..TraceEvent::of(TraceEventKind::TrieInsert)
+                            });
+                        }
                         Self::mark_dirty(state, &toks[0].to_lowercase());
                     }
                 }
@@ -453,7 +636,9 @@ impl<'a> Globalizer<'a> {
         drop(trie_span);
         self.metrics.local_spans_total.add(n_local_spans);
         self.metrics.trie_inserts_total.add(n_inserted);
-        state.timings.ingest_ns += elapsed_ns(t0);
+        let dt = elapsed_ns(t0);
+        state.timings.ingest_ns += dt;
+        self.trace_phase_span(TracePhase::Ingest, None, dt);
     }
 
     /// Mark every stored sentence containing `first_token_lower` as needing
@@ -566,6 +751,10 @@ impl<'a> Globalizer<'a> {
             PipelinePhase::FinalizeRescan => "finalize_rescan",
             _ => "scan",
         };
+        let tphase = trace_phase(phase);
+        // Finalize-time scans nest under the finalize frame in the flame
+        // view; batch-time scans are top-level.
+        let tparent = (phase == PipelinePhase::FinalizeRescan).then_some(TracePhase::Finalize);
         self.metrics.scan_records_total.add(indices.len() as u64);
         let t_scan = Instant::now();
         let results: Vec<(usize, Result<StagedScan, String>)> = {
@@ -602,7 +791,7 @@ impl<'a> Globalizer<'a> {
                     match slot {
                         Some(v) => results.extend(v),
                         None => {
-                            self.metrics.shard_retries_total.inc();
+                            self.note_shard_retry(tphase);
                             results.extend(
                                 part.iter().map(|&i| {
                                     (i, self.scan_attempt(tweetbase, ctrie, i, phase_fp))
@@ -614,7 +803,10 @@ impl<'a> Globalizer<'a> {
                 results
             }
         };
-        state.timings.scan_ns += elapsed_ns(t_scan);
+        let dt_scan = elapsed_ns(t_scan);
+        state.timings.scan_ns += dt_scan;
+        self.trace_phase_span(tphase, tparent, dt_scan);
+        let tracing = emd_trace::enabled();
         let t_pool = Instant::now();
         let _pool_span = Timer::start(&self.metrics.pool_ns);
         let mut n_mentions = 0u64;
@@ -623,17 +815,47 @@ impl<'a> Globalizer<'a> {
             match outcome {
                 Ok(st) => {
                     n_mentions += st.mentions.len() as u64;
+                    if tracing {
+                        self.temit(TraceEvent {
+                            sid: Some(tsid(state.tweetbase.get_by_index(idx).sentence.id)),
+                            count: Some(st.mentions.len() as u64),
+                            phase: Some(tphase),
+                            ..TraceEvent::of(TraceEventKind::ScanRecord)
+                        });
+                    }
                     state.tweetbase.get_mut_by_index(idx).global_mentions = st.mentions;
                     state.dirty.remove(&idx);
                     for (key, mref, emb) in st.staged {
                         let rec = state.candidates.entry(&key);
-                        if rec.try_add_mention(mref) {
+                        let pooled = rec.try_add_mention(mref);
+                        if pooled {
                             rec.add_embedding(&emb);
                             n_pooled += 1;
+                        }
+                        if tracing {
+                            self.temit(TraceEvent {
+                                sid: Some(tsid(mref.sid)),
+                                span: Some(tspan(&mref.span)),
+                                candidate: Some(key),
+                                pooled: Some(pooled),
+                                local_hit: Some(mref.locally_detected),
+                                phase: Some(tphase),
+                                ..TraceEvent::of(TraceEventKind::ScanMention)
+                            });
                         }
                     }
                     for key in st.degraded_keys {
                         state.candidates.entry(&key).degraded = true;
+                        if tracing {
+                            self.temit(TraceEvent {
+                                candidate: Some(key),
+                                phase: Some(tphase),
+                                reason: Some(
+                                    "phrase embedding failed; zero vector pooled".to_string(),
+                                ),
+                                ..TraceEvent::of(TraceEventKind::CandidateDegraded)
+                            });
+                        }
                     }
                 }
                 Err(reason) => {
@@ -649,7 +871,9 @@ impl<'a> Globalizer<'a> {
         }
         self.metrics.scan_mentions_total.add(n_mentions);
         self.metrics.pool_embeddings_total.add(n_pooled);
-        state.timings.pool_ns += elapsed_ns(t_pool);
+        let dt_pool = elapsed_ns(t_pool);
+        state.timings.pool_ns += dt_pool;
+        self.trace_phase_span(TracePhase::Pool, tparent, dt_pool);
     }
 
     /// Score candidates. Confident verdicts (α/β) freeze; ambiguous ones
@@ -725,7 +949,7 @@ impl<'a> Globalizer<'a> {
                     match slot {
                         Some(v) => scores.extend(v),
                         None => {
-                            self.metrics.shard_retries_total.inc();
+                            self.note_shard_retry(TracePhase::Classify);
                             scores.extend(part.iter().map(|o| o.map(score_ref)));
                         }
                     }
@@ -734,13 +958,22 @@ impl<'a> Globalizer<'a> {
             }
         };
         // Phase 2 (sequential): apply labels in discovery order.
+        let tracing = emd_trace::enabled();
         let mut n_scored = 0u64;
         for (rec, p) in state.candidates.iter_mut().zip(scores) {
             let Some(p) = p else { continue };
             let p = match p {
                 Ok(p) => p,
-                Err(_) => {
+                Err(reason) => {
                     rec.degraded = true;
+                    if tracing {
+                        self.temit(TraceEvent {
+                            candidate: Some(rec.key.clone()),
+                            phase: Some(TracePhase::Classify),
+                            reason: Some(reason),
+                            ..TraceEvent::of(TraceEventKind::CandidateDegraded)
+                        });
+                    }
                     continue;
                 }
             };
@@ -757,17 +990,47 @@ impl<'a> Globalizer<'a> {
                     CandidateLabel::NonEntity
                 };
             }
+            if tracing {
+                self.temit(TraceEvent {
+                    candidate: Some(rec.key.clone()),
+                    score: Some(p),
+                    label: Some(trace_label(rec.label)),
+                    final_verdict: Some(resolve_ambiguous),
+                    phase: Some(TracePhase::Classify),
+                    ..TraceEvent::of(TraceEventKind::Verdict)
+                });
+            }
         }
         self.metrics.classify_candidates_total.add(n_scored);
-        state.timings.classify_ns += elapsed_ns(t0);
+        let dt = elapsed_ns(t0);
+        state.timings.classify_ns += dt;
+        self.trace_phase_span(
+            TracePhase::Classify,
+            resolve_ambiguous.then_some(TracePhase::Finalize),
+            dt,
+        );
     }
 
     /// Consume one batch of the stream: Local EMD, candidate registration,
     /// mention extraction over the batch, pooling, and an interim
     /// classification pass (γ candidates stay pending).
     pub fn process_batch(&self, state: &mut GlobalizerState, batch: &[Sentence]) {
+        self.start_batch(state, batch);
         self.local_phase(state, batch);
         self.global_stage(state, batch);
+    }
+
+    /// Advance the batch counter (always — traced and untraced runs must
+    /// agree on batch IDs) and delimit the batch in the trace.
+    fn start_batch(&self, state: &mut GlobalizerState, batch: &[Sentence]) {
+        state.batch_seq += 1;
+        if emd_trace::enabled() {
+            self.temit(TraceEvent {
+                batch: Some(state.batch_seq),
+                count: Some(batch.len() as u64),
+                ..TraceEvent::of(TraceEventKind::BatchStart)
+            });
+        }
     }
 
     /// Like [`Globalizer::process_batch`] but runs Local EMD inference on
@@ -779,6 +1042,7 @@ impl<'a> Globalizer<'a> {
         batch: &[Sentence],
         n_threads: usize,
     ) {
+        self.start_batch(state, batch);
         self.local_phase_parallel(state, batch, n_threads);
         self.global_stage(state, batch);
     }
@@ -875,13 +1139,22 @@ impl<'a> Globalizer<'a> {
             self.scan_records(state, &dirty, n_threads, PipelinePhase::FinalizeRescan);
             let t_promo = Instant::now();
             let promotions = self.find_promotions(state);
-            state.timings.promotion_ns += elapsed_ns(t_promo);
+            let dt_promo = elapsed_ns(t_promo);
+            state.timings.promotion_ns += dt_promo;
+            self.trace_phase_span(TracePhase::Promotion, Some(TracePhase::Finalize), dt_promo);
             if promotions.is_empty() {
                 break;
             }
             for tokens in promotions {
                 if state.ctrie.insert(&tokens) {
                     n_promoted += 1;
+                    if emd_trace::enabled() {
+                        self.temit(TraceEvent {
+                            candidate: Some(tokens.join(" ")),
+                            phase: Some(TracePhase::Promotion),
+                            ..TraceEvent::of(TraceEventKind::Promotion)
+                        });
+                    }
                     Self::mark_dirty(state, &tokens[0]);
                 }
             }
@@ -904,6 +1177,13 @@ impl<'a> Globalizer<'a> {
         n_rescanned: usize,
         n_promoted: usize,
     ) -> GlobalizerOutput {
+        if emd_trace::enabled() {
+            self.temit(TraceEvent {
+                ablation: Some(trace_ablation(self.config.ablation)),
+                count: Some(state.tweetbase.len() as u64),
+                ..TraceEvent::of(TraceEventKind::EmitStart)
+            });
+        }
         let mut per_sentence = Vec::with_capacity(state.tweetbase.len());
         for (idx, rec) in state.tweetbase.iter().enumerate() {
             if state.quarantined_idx.contains(&idx) {
@@ -987,8 +1267,12 @@ impl<'a> Globalizer<'a> {
         }
         let t_emit = Instant::now();
         let mut out = self.emit(state, n_rescanned, n_promoted);
-        state.timings.emit_ns += elapsed_ns(t_emit);
-        state.timings.finalize_ns += elapsed_ns(t0);
+        let dt_emit = elapsed_ns(t_emit);
+        state.timings.emit_ns += dt_emit;
+        self.trace_phase_span(TracePhase::Emit, Some(TracePhase::Finalize), dt_emit);
+        let dt_total = elapsed_ns(t0);
+        state.timings.finalize_ns += dt_total;
+        self.trace_phase_span(TracePhase::Finalize, None, dt_total);
         out.phase_timings = state.timings.clone();
         out
     }
@@ -1016,13 +1300,22 @@ impl<'a> Globalizer<'a> {
             self.scan_records(state, &all, 1, PipelinePhase::FinalizeRescan);
             let t_promo = Instant::now();
             let promotions = self.find_promotions(state);
-            state.timings.promotion_ns += elapsed_ns(t_promo);
+            let dt_promo = elapsed_ns(t_promo);
+            state.timings.promotion_ns += dt_promo;
+            self.trace_phase_span(TracePhase::Promotion, Some(TracePhase::Finalize), dt_promo);
             if promotions.is_empty() {
                 break;
             }
             for tokens in promotions {
                 if state.ctrie.insert(&tokens) {
                     n_promoted += 1;
+                    if emd_trace::enabled() {
+                        self.temit(TraceEvent {
+                            candidate: Some(tokens.join(" ")),
+                            phase: Some(TracePhase::Promotion),
+                            ..TraceEvent::of(TraceEventKind::Promotion)
+                        });
+                    }
                 }
             }
         }
@@ -1038,8 +1331,12 @@ impl<'a> Globalizer<'a> {
         }
         let t_emit = Instant::now();
         let mut out = self.emit(state, n_rescanned, n_promoted);
-        state.timings.emit_ns += elapsed_ns(t_emit);
-        state.timings.finalize_ns += elapsed_ns(t0);
+        let dt_emit = elapsed_ns(t_emit);
+        state.timings.emit_ns += dt_emit;
+        self.trace_phase_span(TracePhase::Emit, Some(TracePhase::Finalize), dt_emit);
+        let dt_total = elapsed_ns(t0);
+        state.timings.finalize_ns += dt_total;
+        self.trace_phase_span(TracePhase::Finalize, None, dt_total);
         out.phase_timings = state.timings.clone();
         out
     }

@@ -46,7 +46,10 @@ pub struct LocalEmdOutput {
 /// Implementations therefore need no defensive validation of their own
 /// output; conversely they must not rely on invalid spans being emitted.
 pub trait LocalEmd: Send + Sync {
-    /// Human-readable system name (used in reports).
+    /// Human-readable system name. Used in reports, and stamped into
+    /// `LocalDetect` / local-phase `PhaseSpan` trace events
+    /// (`emd_trace`) as the `system` causal field, so a provenance chain
+    /// shows *which* local system proposed each span.
     fn name(&self) -> &str;
 
     /// Dimensionality of the entity-aware token embeddings, or `None` for

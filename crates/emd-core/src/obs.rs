@@ -132,6 +132,8 @@ pipeline_metrics! {
         quarantined_total => "emd_resilience_quarantined_total",
         shard_retries_total => "emd_resilience_shard_retries_total",
         item_retries_total => "emd_resilience_item_retries_total",
+        trace_events_total => "emd_trace_events_total",
+        trace_dropped_events_total => "emd_trace_dropped_events_total",
     }
     gauges {
         dirty_depth => "emd_finalize_dirty_depth",
@@ -175,10 +177,12 @@ mod tests {
         let reg = Registry::new();
         let m = PipelineMetrics::from_registry(&reg);
         let snap = m.snapshot();
-        assert_eq!(snap.counters.len(), 13);
+        assert_eq!(snap.counters.len(), 15);
         assert_eq!(snap.gauges.len(), 3);
         assert_eq!(snap.histograms.len(), 10);
         assert!(snap.counter("emd_trie_inserts_total").is_some());
+        assert!(snap.counter("emd_trace_events_total").is_some());
+        assert!(snap.counter("emd_trace_dropped_events_total").is_some());
         assert!(snap.counter("emd_resilience_quarantined_total").is_some());
         assert!(snap.gauge("emd_resilience_degraded_candidates").is_some());
         assert!(snap.histogram("emd_pipeline_scan_shard_ns").is_some());

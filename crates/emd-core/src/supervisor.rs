@@ -30,6 +30,7 @@ use emd_resilience::checkpoint::{self, CheckpointError};
 use emd_resilience::quarantine::{PipelinePhase, QuarantineEntry};
 use emd_resilience::{failpoint, isolate};
 use emd_text::token::Sentence;
+use emd_trace::{TraceEvent, TraceEventKind, TracePhase};
 use std::path::PathBuf;
 
 /// Supervisor policy knobs.
@@ -87,6 +88,16 @@ pub struct RunReport {
     /// version, checksum mismatch, undecodable payload) and was discarded
     /// in favour of a fresh start.
     pub discarded_corrupt_checkpoint: bool,
+    /// Trace events flushed from the globalizer's sink, in sequence
+    /// order, when `emd_trace::enabled()` during the run (empty
+    /// otherwise). The sink is drained at every batch boundary —
+    /// committed batches only: a retried attempt's partial events are
+    /// discarded and their sequence numbers re-issued to the retry, and a
+    /// run restored from a checkpoint continues the interrupted run's
+    /// numbering (`GlobalizerState` carries the committed high-water
+    /// mark). Point the globalizer at a private sink
+    /// ([`Globalizer::set_trace`]) to keep unrelated events out.
+    pub trace_events: Vec<TraceEvent>,
 }
 
 /// Crash-recoverable batch driver over a [`Globalizer`].
@@ -126,17 +137,55 @@ impl<'g, 'a> StreamSupervisor<'g, 'a> {
     /// Drive the whole stream: restore (or start fresh), replay the
     /// remaining batches with transactional retry and periodic
     /// checkpoints, finalize, and report.
+    /// Push one supervisor-level trace event, keeping the meta-counters
+    /// in step with [`Globalizer`]'s own emission.
+    fn temit(&self, ev: TraceEvent) -> Option<u64> {
+        let m = self.globalizer.metrics();
+        match self.globalizer.trace().push(ev) {
+            Some(seq) => {
+                m.trace_events_total.inc();
+                Some(seq)
+            }
+            None => {
+                m.trace_dropped_events_total.inc();
+                None
+            }
+        }
+    }
+
     pub fn run(&self, stream: &[Sentence]) -> RunReport {
         let (mut state, completed, resumed, discarded) = self.restore_or_fresh();
         let every = self.config.checkpoint_every.max(1);
         let batches: Vec<&[Sentence]> = stream.chunks(self.config.batch_size.max(1)).collect();
         let start = completed.min(batches.len());
         let m = self.globalizer.metrics();
+        let tracing = emd_trace::enabled();
+        let sink = self.globalizer.trace().clone();
+        let mut trace_events: Vec<TraceEvent> = Vec::new();
+        if tracing && resumed {
+            // Continue the interrupted run's numbering: the checkpoint
+            // carries the sequence high-water mark of its last committed
+            // batch, so replayed-suffix events slot in right after the
+            // events the interrupted run had already flushed.
+            sink.set_next_seq(state.trace_seq);
+            self.temit(TraceEvent {
+                count: Some(completed as u64),
+                phase: Some(TracePhase::Supervisor),
+                ..TraceEvent::of(TraceEventKind::CheckpointRestored)
+            });
+            trace_events.extend(sink.drain());
+            state.trace_seq = sink.next_seq();
+        }
         let mut batches_retried = 0;
         let mut batches_dead_lettered = 0;
         let mut checkpoints_written = 0;
         let mut checkpoint_write_failures = 0;
         for (i, batch) in batches.iter().enumerate().skip(start) {
+            // Everything the sink accumulates during an attempt belongs
+            // to that attempt; a failed attempt's events are discarded
+            // and their sequence numbers re-issued, so the committed
+            // trace is identical whether or not retries happened.
+            let seq0 = sink.next_seq();
             let mut failed_attempts = 0;
             loop {
                 // Work on a clone so a batch-level panic discards the
@@ -150,9 +199,17 @@ impl<'g, 'a> StreamSupervisor<'g, 'a> {
                 match outcome {
                     Ok(next) => {
                         state = next;
+                        if tracing {
+                            trace_events.extend(sink.drain());
+                            state.trace_seq = sink.next_seq();
+                        }
                         break;
                     }
                     Err(reason) => {
+                        if tracing {
+                            let _ = sink.drain();
+                            sink.set_next_seq(seq0);
+                        }
                         if failed_attempts < self.config.batch_retries {
                             failed_attempts += 1;
                             batches_retried += 1;
@@ -164,11 +221,26 @@ impl<'g, 'a> StreamSupervisor<'g, 'a> {
                         batches_dead_lettered += 1;
                         for s in batch.iter() {
                             m.quarantined_total.inc();
+                            let trace_event = if tracing {
+                                self.temit(TraceEvent {
+                                    sid: Some((s.id.tweet_id, s.id.sent_id)),
+                                    phase: Some(TracePhase::Supervisor),
+                                    reason: Some(reason.clone()),
+                                    ..TraceEvent::of(TraceEventKind::SentenceQuarantined)
+                                })
+                            } else {
+                                None
+                            };
                             state.quarantined.push(QuarantineEntry {
                                 sid: s.id,
                                 phase: PipelinePhase::Supervisor,
                                 reason: reason.clone(),
+                                trace_event,
                             });
+                        }
+                        if tracing {
+                            trace_events.extend(sink.drain());
+                            state.trace_seq = sink.next_seq();
                         }
                         break;
                     }
@@ -182,13 +254,27 @@ impl<'g, 'a> StreamSupervisor<'g, 'a> {
                         checkpoint::save(path, (i + 1) as u64, &state)
                     };
                     match saved {
-                        Ok(()) => checkpoints_written += 1,
+                        Ok(()) => {
+                            checkpoints_written += 1;
+                            if tracing {
+                                self.temit(TraceEvent {
+                                    batch: Some(state.batch_seq),
+                                    count: Some((i + 1) as u64),
+                                    phase: Some(TracePhase::Supervisor),
+                                    ..TraceEvent::of(TraceEventKind::CheckpointSaved)
+                                });
+                                trace_events.extend(sink.drain());
+                            }
+                        }
                         Err(_) => checkpoint_write_failures += 1,
                     }
                 }
             }
         }
         let output = self.globalizer.finalize(&mut state);
+        if tracing {
+            trace_events.extend(sink.drain());
+        }
         RunReport {
             output,
             batches_total: batches.len(),
@@ -200,6 +286,7 @@ impl<'g, 'a> StreamSupervisor<'g, 'a> {
             checkpoint_write_failures,
             resumed_from_checkpoint: resumed,
             discarded_corrupt_checkpoint: discarded,
+            trace_events,
         }
     }
 }

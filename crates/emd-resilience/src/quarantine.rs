@@ -45,7 +45,7 @@ impl std::fmt::Display for PipelinePhase {
 /// One dead-letter entry: a sentence the pipeline gave up on, where, and
 /// why. Entries appear in deterministic stream/discovery order, so two
 /// runs with the same faults produce identical quarantine logs.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Eq, Serialize, Deserialize)]
 pub struct QuarantineEntry {
     /// The quarantined sentence.
     pub sid: SentenceId,
@@ -53,6 +53,21 @@ pub struct QuarantineEntry {
     pub phase: PipelinePhase,
     /// Human-readable reason (panic message or validation error).
     pub reason: String,
+    /// Sequence number of the `SentenceQuarantined` trace event recording
+    /// this diversion, when tracing was enabled — the join key into the
+    /// trace for the sentence's full event history. `None` in untraced
+    /// runs (or when the ring dropped the event).
+    #[serde(skip)]
+    pub trace_event: Option<u64>,
+}
+
+// Equality deliberately ignores `trace_event`: the dead-letter *decision*
+// is what must be deterministic, and a traced run must compare equal to
+// the identical untraced run (noop-transparency tests rely on this).
+impl PartialEq for QuarantineEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.sid == other.sid && self.phase == other.phase && self.reason == other.reason
+    }
 }
 
 impl std::fmt::Display for QuarantineEntry {
@@ -71,10 +86,26 @@ mod tests {
             sid: SentenceId::new(7, 1),
             phase: PipelinePhase::Scan,
             reason: "panic: boom".to_string(),
+            trace_event: Some(42),
         };
         let json = serde_json::to_string(&e).unwrap();
         let back: QuarantineEntry = serde_json::from_str(&json).unwrap();
         assert_eq!(back, e);
+    }
+
+    #[test]
+    fn equality_ignores_trace_link() {
+        let mut a = QuarantineEntry {
+            sid: SentenceId::new(1, 0),
+            phase: PipelinePhase::Supervisor,
+            reason: "boom".to_string(),
+            trace_event: Some(9),
+        };
+        let mut b = a.clone();
+        b.trace_event = None;
+        assert_eq!(a, b, "traced and untraced entries compare equal");
+        a.reason = "other".to_string();
+        assert_ne!(a, b);
     }
 
     #[test]
@@ -83,6 +114,7 @@ mod tests {
             sid: SentenceId::new(3, 0),
             phase: PipelinePhase::LocalInference,
             reason: "token 2 is empty".to_string(),
+            trace_event: None,
         };
         assert_eq!(
             e.to_string(),

@@ -1,0 +1,395 @@
+//! Trace-replay auditing.
+//!
+//! [`replay`] reconstructs the pipeline's final mention set from a trace
+//! alone, by re-applying the decisions the events record — admission
+//! order, per-record mention lists, classifier labels, degraded
+//! fallbacks, quarantines, and the emission rule selected by the ablation
+//! mode. The property tests in the root crate assert the reconstruction
+//! is **bit-identical** to the `GlobalizerOutput` the traced run actually
+//! produced; this is the forcing function that keeps the event vocabulary
+//! complete — a phase that forgets to emit its events breaks the replay.
+//!
+//! The auditor deliberately consumes *only* the event stream (no pipeline
+//! state), and ignores pure bookkeeping kinds (`ItemRetry`, `ShardRetry`,
+//! `PhaseSpan`, checkpoint markers) that carry no decision.
+
+use crate::event::{TraceAblation, TraceEvent, TraceEventKind, TraceLabel, TracePhase};
+use std::collections::{HashMap, HashSet};
+
+/// One reconstructed sentence: `(tweet id, sentence index)` and its
+/// final `[start, end)` token spans.
+pub type ReplayedSentence = ((u64, u32), Vec<(u32, u32)>);
+
+/// The output facts reconstructable from a trace, mirroring the
+/// corresponding `GlobalizerOutput` fields.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReplayedOutput {
+    /// Final spans per admitted, non-quarantined sentence, in TweetBase
+    /// (stream admission) order.
+    pub per_sentence: Vec<ReplayedSentence>,
+    /// Distinct candidate keys ever registered in the CandidateBase.
+    pub n_candidates: usize,
+    /// Candidates whose final label is Entity.
+    pub n_entities: usize,
+    /// Successful adjacent-pair promotions.
+    pub n_promoted: usize,
+    /// Records passed to the closing rescan (over all promotion rounds).
+    pub n_rescanned: usize,
+    /// Candidates in degraded LocalOnly fallback.
+    pub n_degraded: usize,
+}
+
+/// One extracted mention as the trace records it.
+struct ReplayMention {
+    span: (u32, u32),
+    key: String,
+    local_hit: bool,
+}
+
+/// Reconstruct the final mention set from trace events alone. Events may
+/// arrive in any order; they are re-sorted by `seq` first (the ring's
+/// `drain` already returns them sorted).
+pub fn replay(events: &[TraceEvent]) -> ReplayedOutput {
+    let mut ordered: Vec<&TraceEvent> = events.iter().collect();
+    ordered.sort_by_key(|e| e.seq);
+
+    // TweetBase admission order.
+    let mut admitted: Vec<(u64, u32)> = Vec::new();
+    // Local EMD spans per sentence (LocalOnly emission + degraded checks).
+    let mut local: HashMap<(u64, u32), Vec<(u32, u32)>> = HashMap::new();
+    // Current global mention list per sentence; each ScanRecord *replaces*
+    // the list, exactly as the scan apply step replaces `global_mentions`.
+    let mut global: HashMap<(u64, u32), Vec<ReplayMention>> = HashMap::new();
+    // Last classifier verdict per candidate wins (frozen labels simply
+    // stop producing Verdict events).
+    let mut labels: HashMap<&str, TraceLabel> = HashMap::new();
+    let mut candidates: HashSet<&str> = HashSet::new();
+    let mut degraded: HashSet<&str> = HashSet::new();
+    // Sentences quarantined *after* admission (scan phases) are excluded
+    // from emission; earlier-phase quarantines never produced a
+    // SentenceAdmitted so they are naturally absent.
+    let mut excluded: HashSet<(u64, u32)> = HashSet::new();
+    let mut ablation = TraceAblation::Full;
+    let mut n_promoted = 0usize;
+    let mut n_rescanned = 0usize;
+
+    for ev in ordered {
+        match ev.kind {
+            TraceEventKind::SentenceAdmitted => {
+                if let Some(sid) = ev.sid {
+                    admitted.push(sid);
+                }
+            }
+            TraceEventKind::LocalDetect => {
+                if let (Some(sid), Some(span)) = (ev.sid, ev.span) {
+                    local.entry(sid).or_default().push(span);
+                }
+            }
+            TraceEventKind::ScanRecord => {
+                if let Some(sid) = ev.sid {
+                    global.insert(sid, Vec::new());
+                }
+                if ev.phase == Some(TracePhase::FinalizeRescan) {
+                    n_rescanned += 1;
+                }
+            }
+            TraceEventKind::ScanMention => {
+                if let (Some(sid), Some(span), Some(key)) = (ev.sid, ev.span, &ev.candidate) {
+                    candidates.insert(key);
+                    global.entry(sid).or_default().push(ReplayMention {
+                        span,
+                        key: key.clone(),
+                        local_hit: ev.local_hit.unwrap_or(false),
+                    });
+                }
+            }
+            TraceEventKind::CandidateDegraded => {
+                if let Some(key) = &ev.candidate {
+                    // Degraded keys discovered at embedding time register
+                    // the candidate even when no mention pooled.
+                    candidates.insert(key);
+                    degraded.insert(key);
+                }
+            }
+            TraceEventKind::Verdict => {
+                if let (Some(key), Some(label)) = (&ev.candidate, ev.label) {
+                    labels.insert(key, label);
+                }
+            }
+            TraceEventKind::Promotion => n_promoted += 1,
+            TraceEventKind::SentenceQuarantined => {
+                let scan_phase = matches!(
+                    ev.phase,
+                    Some(TracePhase::Scan) | Some(TracePhase::FinalizeRescan)
+                );
+                if scan_phase {
+                    if let Some(sid) = ev.sid {
+                        excluded.insert(sid);
+                    }
+                }
+                if ev.phase == Some(TracePhase::FinalizeRescan) {
+                    // The record counted toward the rescan before failing.
+                    n_rescanned += 1;
+                }
+            }
+            TraceEventKind::EmitStart => {
+                if let Some(a) = ev.ablation {
+                    ablation = a;
+                }
+            }
+            TraceEventKind::BatchStart
+            | TraceEventKind::TrieInsert
+            | TraceEventKind::ItemRetry
+            | TraceEventKind::ShardRetry
+            | TraceEventKind::PhaseSpan
+            | TraceEventKind::CheckpointSaved
+            | TraceEventKind::CheckpointRestored => {}
+        }
+    }
+
+    let empty_local: Vec<(u32, u32)> = Vec::new();
+    let empty_global: Vec<ReplayMention> = Vec::new();
+    let mut per_sentence = Vec::with_capacity(admitted.len());
+    for sid in admitted {
+        if excluded.contains(&sid) {
+            continue;
+        }
+        let mentions = global.get(&sid).unwrap_or(&empty_global);
+        let spans: Vec<(u32, u32)> = match ablation {
+            TraceAblation::LocalOnly => local.get(&sid).unwrap_or(&empty_local).clone(),
+            TraceAblation::MentionExtraction => mentions.iter().map(|m| m.span).collect(),
+            TraceAblation::Full => mentions
+                .iter()
+                .filter(|m| {
+                    if degraded.contains(m.key.as_str()) {
+                        // Degraded fallback mirrors emission: only spans
+                        // the local system itself proposed survive.
+                        m.local_hit
+                    } else {
+                        labels.get(m.key.as_str()) == Some(&TraceLabel::Entity)
+                    }
+                })
+                .map(|m| m.span)
+                .collect(),
+        };
+        per_sentence.push((sid, spans));
+    }
+
+    ReplayedOutput {
+        per_sentence,
+        n_candidates: candidates.len(),
+        n_entities: labels
+            .values()
+            .filter(|&&l| l == TraceLabel::Entity)
+            .count(),
+        n_promoted,
+        n_rescanned,
+        n_degraded: degraded.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEventKind as K;
+
+    fn seqed(events: Vec<TraceEvent>) -> Vec<TraceEvent> {
+        events
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut e)| {
+                e.seq = i as u64;
+                e
+            })
+            .collect()
+    }
+
+    #[test]
+    fn replays_full_ablation_with_labels_and_degraded() {
+        let events = seqed(vec![
+            TraceEvent {
+                sid: Some((1, 0)),
+                ..TraceEvent::of(K::SentenceAdmitted)
+            },
+            TraceEvent {
+                sid: Some((1, 0)),
+                span: Some((0, 1)),
+                ..TraceEvent::of(K::LocalDetect)
+            },
+            TraceEvent {
+                sid: Some((1, 0)),
+                count: Some(2),
+                phase: Some(TracePhase::Scan),
+                ..TraceEvent::of(K::ScanRecord)
+            },
+            TraceEvent {
+                sid: Some((1, 0)),
+                span: Some((0, 1)),
+                candidate: Some("italy".into()),
+                local_hit: Some(true),
+                ..TraceEvent::of(K::ScanMention)
+            },
+            TraceEvent {
+                sid: Some((1, 0)),
+                span: Some((2, 3)),
+                candidate: Some("the".into()),
+                local_hit: Some(false),
+                ..TraceEvent::of(K::ScanMention)
+            },
+            TraceEvent {
+                candidate: Some("italy".into()),
+                label: Some(TraceLabel::Entity),
+                ..TraceEvent::of(K::Verdict)
+            },
+            TraceEvent {
+                candidate: Some("the".into()),
+                label: Some(TraceLabel::NonEntity),
+                ..TraceEvent::of(K::Verdict)
+            },
+            TraceEvent {
+                ablation: Some(TraceAblation::Full),
+                ..TraceEvent::of(K::EmitStart)
+            },
+        ]);
+        let out = replay(&events);
+        assert_eq!(out.per_sentence, vec![((1, 0), vec![(0, 1)])]);
+        assert_eq!(out.n_candidates, 2);
+        assert_eq!(out.n_entities, 1);
+        assert_eq!(out.n_degraded, 0);
+    }
+
+    #[test]
+    fn last_verdict_wins_and_rescan_replaces_mentions() {
+        let events = seqed(vec![
+            TraceEvent {
+                sid: Some((7, 0)),
+                ..TraceEvent::of(K::SentenceAdmitted)
+            },
+            TraceEvent {
+                sid: Some((7, 0)),
+                count: Some(1),
+                phase: Some(TracePhase::Scan),
+                ..TraceEvent::of(K::ScanRecord)
+            },
+            TraceEvent {
+                sid: Some((7, 0)),
+                span: Some((0, 1)),
+                candidate: Some("rome".into()),
+                ..TraceEvent::of(K::ScanMention)
+            },
+            TraceEvent {
+                candidate: Some("rome".into()),
+                label: Some(TraceLabel::Ambiguous),
+                ..TraceEvent::of(K::Verdict)
+            },
+            // Finalize rescan re-extracts the record with an extra
+            // late-discovered mention, then the γ pass resolves the label.
+            TraceEvent {
+                sid: Some((7, 0)),
+                count: Some(2),
+                phase: Some(TracePhase::FinalizeRescan),
+                ..TraceEvent::of(K::ScanRecord)
+            },
+            TraceEvent {
+                sid: Some((7, 0)),
+                span: Some((0, 1)),
+                candidate: Some("rome".into()),
+                ..TraceEvent::of(K::ScanMention)
+            },
+            TraceEvent {
+                sid: Some((7, 0)),
+                span: Some((2, 4)),
+                candidate: Some("new rome".into()),
+                ..TraceEvent::of(K::ScanMention)
+            },
+            TraceEvent {
+                candidate: Some("rome".into()),
+                label: Some(TraceLabel::Entity),
+                final_verdict: Some(true),
+                ..TraceEvent::of(K::Verdict)
+            },
+            TraceEvent {
+                candidate: Some("new rome".into()),
+                label: Some(TraceLabel::Entity),
+                final_verdict: Some(true),
+                ..TraceEvent::of(K::Verdict)
+            },
+            TraceEvent {
+                ablation: Some(TraceAblation::Full),
+                ..TraceEvent::of(K::EmitStart)
+            },
+        ]);
+        let out = replay(&events);
+        assert_eq!(out.per_sentence, vec![((7, 0), vec![(0, 1), (2, 4)])]);
+        assert_eq!(out.n_rescanned, 1);
+        assert_eq!(out.n_entities, 2);
+    }
+
+    #[test]
+    fn scan_quarantine_excludes_sentence_and_counts_rescan() {
+        let events = seqed(vec![
+            TraceEvent {
+                sid: Some((1, 0)),
+                ..TraceEvent::of(K::SentenceAdmitted)
+            },
+            TraceEvent {
+                sid: Some((2, 0)),
+                ..TraceEvent::of(K::SentenceAdmitted)
+            },
+            TraceEvent {
+                sid: Some((1, 0)),
+                count: Some(0),
+                phase: Some(TracePhase::FinalizeRescan),
+                ..TraceEvent::of(K::ScanRecord)
+            },
+            TraceEvent {
+                sid: Some((2, 0)),
+                phase: Some(TracePhase::FinalizeRescan),
+                reason: Some("boom".into()),
+                ..TraceEvent::of(K::SentenceQuarantined)
+            },
+            // A quarantine isolated before admission must not exclude
+            // anything (its sentence never entered the TweetBase).
+            TraceEvent {
+                sid: Some((3, 0)),
+                phase: Some(TracePhase::Ingest),
+                reason: Some("bad span".into()),
+                ..TraceEvent::of(K::SentenceQuarantined)
+            },
+            TraceEvent {
+                ablation: Some(TraceAblation::MentionExtraction),
+                ..TraceEvent::of(K::EmitStart)
+            },
+        ]);
+        let out = replay(&events);
+        assert_eq!(out.per_sentence, vec![((1, 0), vec![])]);
+        assert_eq!(out.n_rescanned, 2, "quarantined record still counted");
+    }
+
+    #[test]
+    fn local_only_uses_local_detections() {
+        let events = seqed(vec![
+            TraceEvent {
+                sid: Some((5, 1)),
+                ..TraceEvent::of(K::SentenceAdmitted)
+            },
+            TraceEvent {
+                sid: Some((5, 1)),
+                span: Some((1, 3)),
+                ..TraceEvent::of(K::LocalDetect)
+            },
+            TraceEvent {
+                ablation: Some(TraceAblation::LocalOnly),
+                ..TraceEvent::of(K::EmitStart)
+            },
+        ]);
+        let out = replay(&events);
+        assert_eq!(out.per_sentence, vec![((5, 1), vec![(1, 3)])]);
+        assert_eq!(out.n_candidates, 0);
+    }
+
+    #[test]
+    fn empty_trace_replays_to_empty_output() {
+        assert_eq!(replay(&[]), ReplayedOutput::default());
+    }
+}

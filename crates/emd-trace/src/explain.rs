@@ -1,0 +1,210 @@
+//! Per-candidate provenance: the ordered chain of every decision the
+//! pipeline took about one candidate, assembled from a trace.
+//!
+//! `GlobalizerOutput::explain` (in `emd-core`) wraps [`chain_for`] and
+//! overrides the emission heuristic with the output's ground truth; this
+//! module stays usable on a bare trace (e.g. one re-read from JSONL).
+
+use crate::event::{TraceEvent, TraceEventKind, TraceLabel};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The decision chain for one candidate key, plus the summary facts a
+/// reader wants first.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Explanation {
+    /// Lower-cased space-joined candidate key the chain explains.
+    pub candidate: String,
+    /// Last classifier label applied (None when never scored — e.g. a
+    /// LocalOnly run or a candidate degraded before scoring).
+    pub final_label: Option<TraceLabel>,
+    /// Last classifier probability.
+    pub final_score: Option<f32>,
+    /// Whether the candidate ended in degraded LocalOnly fallback.
+    pub degraded: bool,
+    /// Mentions extracted in the candidate's *latest* scan state (one per
+    /// most-recent `ScanMention` round, distinct sentence+span).
+    pub n_mentions: usize,
+    /// Mentions whose embedding entered the global pool.
+    pub n_pooled: usize,
+    /// Whether the pipeline's final output contains at least one span for
+    /// this candidate. Derived from the chain when built via
+    /// [`explain_from_trace`]; overridden with output ground truth by
+    /// `GlobalizerOutput::explain`.
+    pub emitted: bool,
+    /// Every trace event mentioning the candidate, in sequence order.
+    pub chain: Vec<TraceEvent>,
+}
+
+/// All events carrying the given candidate key, in sequence order. Empty
+/// when the candidate never appeared (e.g. a misspelled key).
+pub fn chain_for(events: &[TraceEvent], candidate: &str) -> Vec<TraceEvent> {
+    let mut chain: Vec<TraceEvent> = events
+        .iter()
+        .filter(|e| e.candidate.as_deref() == Some(candidate))
+        .cloned()
+        .collect();
+    chain.sort_by_key(|e| e.seq);
+    chain
+}
+
+/// Assemble an [`Explanation`] from a trace alone. The `emitted` flag is
+/// inferred by the same rule the pipeline's Full-ablation emission uses:
+/// a degraded candidate survives through its locally-detected mentions,
+/// anything else needs a final Entity label and at least one mention.
+pub fn explain_from_trace(events: &[TraceEvent], candidate: &str) -> Explanation {
+    let chain = chain_for(events, candidate);
+    let mut final_label = None;
+    let mut final_score = None;
+    let mut degraded = false;
+    let mut n_mentions = 0usize;
+    let mut n_pooled = 0usize;
+    let mut any_local_hit = false;
+    for ev in &chain {
+        match ev.kind {
+            TraceEventKind::Verdict => {
+                final_label = ev.label;
+                if ev.score.is_some() {
+                    final_score = ev.score;
+                }
+            }
+            TraceEventKind::CandidateDegraded => degraded = true,
+            TraceEventKind::ScanMention => {
+                n_mentions += 1;
+                if ev.pooled == Some(true) {
+                    n_pooled += 1;
+                }
+                if ev.local_hit == Some(true) {
+                    any_local_hit = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    let emitted = if degraded {
+        any_local_hit
+    } else {
+        final_label == Some(TraceLabel::Entity) && n_mentions > 0
+    };
+    Explanation {
+        candidate: candidate.to_string(),
+        final_label,
+        final_score,
+        degraded,
+        n_mentions,
+        n_pooled,
+        emitted,
+        chain,
+    }
+}
+
+impl Explanation {
+    /// The chain as JSONL, preceded by no header — concatenable with
+    /// other explanations or a full trace dump.
+    pub fn to_jsonl(&self) -> String {
+        crate::jsonl::to_jsonl(&self.chain)
+    }
+}
+
+impl fmt::Display for Explanation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "candidate \"{}\": {}{}label={:?} score={} mentions={} pooled={}",
+            self.candidate,
+            if self.emitted {
+                "EMITTED"
+            } else {
+                "SUPPRESSED"
+            },
+            if self.degraded { " (degraded) " } else { " " },
+            self.final_label,
+            self.final_score
+                .map(|s| format!("{s:.3}"))
+                .unwrap_or_else(|| "-".to_string()),
+            self.n_mentions,
+            self.n_pooled,
+        )?;
+        for ev in &self.chain {
+            writeln!(f, "  {ev}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEventKind as K;
+
+    fn mention(seq: u64, key: &str, pooled: bool, local_hit: bool) -> TraceEvent {
+        TraceEvent {
+            seq,
+            sid: Some((1, 0)),
+            span: Some((0, 1)),
+            candidate: Some(key.into()),
+            pooled: Some(pooled),
+            local_hit: Some(local_hit),
+            ..TraceEvent::of(K::ScanMention)
+        }
+    }
+
+    #[test]
+    fn chain_filters_and_orders_by_seq() {
+        let events = vec![
+            mention(5, "rome", true, true),
+            mention(2, "rome", true, false),
+            mention(3, "paris", true, true),
+        ];
+        let chain = chain_for(&events, "rome");
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain[0].seq, 2);
+        assert_eq!(chain[1].seq, 5);
+        assert!(chain_for(&events, "london").is_empty());
+    }
+
+    #[test]
+    fn entity_label_with_mentions_is_emitted() {
+        let events = vec![
+            mention(0, "rome", true, true),
+            TraceEvent {
+                seq: 1,
+                candidate: Some("rome".into()),
+                score: Some(0.9),
+                label: Some(TraceLabel::Entity),
+                ..TraceEvent::of(K::Verdict)
+            },
+        ];
+        let ex = explain_from_trace(&events, "rome");
+        assert!(ex.emitted);
+        assert_eq!(ex.final_label, Some(TraceLabel::Entity));
+        assert_eq!(ex.final_score, Some(0.9));
+        assert_eq!(ex.n_mentions, 1);
+        assert_eq!(ex.n_pooled, 1);
+        assert_eq!(ex.chain.len(), 2);
+    }
+
+    #[test]
+    fn degraded_falls_back_to_local_hits() {
+        let events = vec![
+            mention(0, "glitch", false, false),
+            TraceEvent {
+                seq: 1,
+                candidate: Some("glitch".into()),
+                reason: Some("embed failed".into()),
+                ..TraceEvent::of(K::CandidateDegraded)
+            },
+        ];
+        let ex = explain_from_trace(&events, "glitch");
+        assert!(ex.degraded);
+        assert!(!ex.emitted, "no local hit -> suppressed");
+    }
+
+    #[test]
+    fn display_and_jsonl_are_nonempty_for_nonempty_chains() {
+        let events = vec![mention(0, "rome", true, true)];
+        let ex = explain_from_trace(&events, "rome");
+        assert!(ex.to_string().contains("candidate \"rome\""));
+        assert_eq!(ex.to_jsonl().lines().count(), 1);
+    }
+}

@@ -1,0 +1,94 @@
+//! JSONL (one JSON object per line) serialization of traces, built on the
+//! in-repo serde shims. JSONL streams are append-friendly and `grep`-able
+//! — the natural on-disk form for an event log.
+
+use crate::event::TraceEvent;
+
+/// Serialize events to JSONL, one event per line, in the given order.
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        // TraceEvent contains only serializable fields; the shim cannot
+        // fail on it short of a bug, which a round-trip test would catch.
+        if let Ok(line) = serde_json::to_string(ev) {
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Parse a JSONL trace back into events. Blank lines are skipped; a
+/// malformed line fails the whole parse with its line number.
+pub fn from_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev: TraceEvent =
+            serde_json::from_str(line).map_err(|e| format!("line {}: {e:?}", i + 1))?;
+        events.push(ev);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{TraceEventKind as K, TraceLabel, TracePhase};
+
+    #[test]
+    fn round_trips_a_mixed_trace() {
+        let events = vec![
+            TraceEvent {
+                seq: 0,
+                batch: Some(1),
+                count: Some(3),
+                ..TraceEvent::of(K::BatchStart)
+            },
+            TraceEvent {
+                seq: 1,
+                sid: Some((9, 2)),
+                span: Some((0, 2)),
+                candidate: Some("new york".into()),
+                pooled: Some(true),
+                local_hit: Some(false),
+                phase: Some(TracePhase::Scan),
+                ..TraceEvent::of(K::ScanMention)
+            },
+            TraceEvent {
+                seq: 2,
+                candidate: Some("new york".into()),
+                score: Some(0.75),
+                label: Some(TraceLabel::Entity),
+                final_verdict: Some(true),
+                ..TraceEvent::of(K::Verdict)
+            },
+        ];
+        let text = to_jsonl(&events);
+        assert_eq!(text.lines().count(), 3);
+        let back = from_jsonl(&text).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = format!(
+            "\n{}\n\n",
+            serde_json::to_string(&TraceEvent::of(K::EmitStart)).unwrap()
+        );
+        assert_eq!(from_jsonl(&text).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let err = from_jsonl("not json\n").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+    }
+
+    #[test]
+    fn empty_input_round_trips() {
+        assert!(from_jsonl(&to_jsonl(&[])).unwrap().is_empty());
+    }
+}

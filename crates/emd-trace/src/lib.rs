@@ -1,0 +1,100 @@
+//! # emd-trace
+//!
+//! Decision-level tracing for the EMD Globalizer pipeline (zero external
+//! dependencies — only the in-repo `serde`/`serde_json` shims, per the
+//! offline `shims/` policy).
+//!
+//! Where `emd-obs` answers "how much / how fast" with aggregate counters
+//! and histograms, this crate answers **"why was *this* mention emitted
+//! (or dropped)?"** for a single candidate. Four layers:
+//!
+//! * an [`event::TraceEvent`] vocabulary carrying causal IDs — batch id,
+//!   sentence id, token span, candidate key — for every decision the
+//!   pipeline takes (local detection, trie registration, occurrence-scan
+//!   hits, embedding pooling, classifier verdicts, promotion, retries,
+//!   quarantine, degraded fallback);
+//! * a lock-free bounded MPMC ring buffer ([`ring::TraceSink`]) events are
+//!   pushed into from any pipeline thread: fixed capacity, drop-counted
+//!   when full, with deterministic monotone sequence numbers that survive
+//!   checkpoint/restore ([`ring::TraceSink::set_next_seq`]);
+//! * a replay auditor ([`audit::replay`]) that reconstructs the final
+//!   mention set from the trace alone — the forcing function keeping the
+//!   event vocabulary complete: any phase that forgets to emit its events
+//!   fails the bit-identical replay proptest;
+//! * provenance chains ([`explain::chain_for`]), JSONL serialization
+//!   ([`jsonl`]), and collapsed-stack flame output ([`flame`]).
+//!
+//! ## The global noop switch
+//!
+//! All emission is gated on a process-wide flag ([`set_enabled`]),
+//! mirroring `emd_obs::set_enabled`. The flag starts **off**: a untraced
+//! binary pays one relaxed atomic load + branch per decision site and the
+//! pipeline performs *no* allocation and *no* clock read on behalf of the
+//! tracing layer. Outputs are bit-identical with the flag on or off.
+//!
+//! ## Naming convention
+//!
+//! Trace event kinds extend the `emd_<area>_<metric>_<unit>` metric
+//! naming scheme: the two meta-metrics live in `emd-obs` as
+//! `emd_trace_events_total` / `emd_trace_dropped_events_total`, and event
+//! kinds are `UpperCamelCase` nouns of the decision they record (see
+//! [`event::TraceEventKind`]).
+
+pub mod audit;
+pub mod event;
+pub mod explain;
+pub mod flame;
+pub mod jsonl;
+pub mod ring;
+
+pub use event::{TraceAblation, TraceEvent, TraceEventKind, TraceLabel, TracePhase};
+pub use explain::Explanation;
+pub use ring::TraceSink;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// Default capacity of the process-wide ring (events).
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// Process-wide emission switch. Off by default (noop mode).
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turn trace emission on or off for the whole process. Off (the
+/// default) is the *noop* mode: every decision site becomes a relaxed
+/// load + branch, and no event is allocated.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether trace emission is currently enabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The process-wide default sink. Pipeline instrumentation pushes here
+/// unless pointed at a private [`TraceSink`].
+pub fn global() -> &'static TraceSink {
+    static GLOBAL: OnceLock<TraceSink> = OnceLock::new();
+    GLOBAL.get_or_init(|| TraceSink::with_capacity(DEFAULT_CAPACITY))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn disabled_by_default() {
+        // Other tests may have flipped the flag; just exercise the API.
+        let was = super::enabled();
+        super::set_enabled(true);
+        assert!(super::enabled());
+        super::set_enabled(was);
+    }
+
+    #[test]
+    fn global_sink_is_shared() {
+        let a = super::global();
+        let b = super::global();
+        assert_eq!(a.capacity(), b.capacity());
+    }
+}

@@ -1,0 +1,337 @@
+//! The lock-free bounded event ring.
+//!
+//! A Vyukov-style multi-producer/multi-consumer bounded queue: every slot
+//! carries an atomic stamp that encodes whose turn it is, so producers
+//! claim slots with one CAS and never block behind each other. The ring
+//! **drops on overflow** (counted in `dropped_total`) rather than
+//! blocking or reallocating: tracing must never apply backpressure to
+//! the pipeline, and a bounded ring keeps the memory footprint fixed.
+//!
+//! Sequence numbers are assigned at push time from a dedicated monotone
+//! counter, *after* slot reservation succeeds, so dropped events consume
+//! no numbers and a run's surviving events are numbered identically
+//! whether or not other runs preceded it (given a fresh sink). The
+//! counter is settable ([`TraceSink::set_next_seq`]) so a supervisor
+//! restoring from a checkpoint continues the numbering of the interrupted
+//! run instead of reusing it.
+
+use crate::event::TraceEvent;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct Slot {
+    /// Vyukov turn stamp: `pos` means free for the producer of position
+    /// `pos`; `pos + 1` means filled, awaiting the consumer of `pos`.
+    stamp: AtomicU64,
+    value: UnsafeCell<Option<TraceEvent>>,
+}
+
+/// The shared ring storage. Use through [`TraceSink`].
+struct TraceBuffer {
+    mask: u64,
+    slots: Box<[Slot]>,
+    enqueue_pos: AtomicU64,
+    dequeue_pos: AtomicU64,
+    next_seq: AtomicU64,
+    events_total: AtomicU64,
+    dropped_total: AtomicU64,
+}
+
+// The stamp protocol guarantees exclusive access to `value` between the
+// winning CAS and the releasing stamp store, so cross-thread sharing of
+// the UnsafeCell contents is race-free.
+unsafe impl Send for TraceBuffer {}
+unsafe impl Sync for TraceBuffer {}
+
+impl TraceBuffer {
+    fn with_capacity(capacity: usize) -> TraceBuffer {
+        let cap = capacity.next_power_of_two().max(2);
+        let slots: Vec<Slot> = (0..cap)
+            .map(|i| Slot {
+                stamp: AtomicU64::new(i as u64),
+                value: UnsafeCell::new(None),
+            })
+            .collect();
+        TraceBuffer {
+            mask: (cap - 1) as u64,
+            slots: slots.into_boxed_slice(),
+            enqueue_pos: AtomicU64::new(0),
+            dequeue_pos: AtomicU64::new(0),
+            next_seq: AtomicU64::new(0),
+            events_total: AtomicU64::new(0),
+            dropped_total: AtomicU64::new(0),
+        }
+    }
+
+    fn push(&self, mut ev: TraceEvent) -> Option<u64> {
+        let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[(pos & self.mask) as usize];
+            let stamp = slot.stamp.load(Ordering::Acquire);
+            let diff = (stamp as i64).wrapping_sub(pos as i64);
+            match diff.cmp(&0) {
+                std::cmp::Ordering::Equal => {
+                    match self.enqueue_pos.compare_exchange_weak(
+                        pos,
+                        pos.wrapping_add(1),
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            // Slot reserved: assign the sequence number and
+                            // publish.
+                            let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+                            ev.seq = seq;
+                            unsafe { *slot.value.get() = Some(ev) };
+                            slot.stamp.store(pos.wrapping_add(1), Ordering::Release);
+                            self.events_total.fetch_add(1, Ordering::Relaxed);
+                            return Some(seq);
+                        }
+                        Err(current) => pos = current,
+                    }
+                }
+                std::cmp::Ordering::Less => {
+                    // The slot still holds an unconsumed event one lap
+                    // behind: the ring is full. Drop, count, move on.
+                    self.dropped_total.fetch_add(1, Ordering::Relaxed);
+                    return None;
+                }
+                std::cmp::Ordering::Greater => {
+                    // Another producer advanced the position under us.
+                    pos = self.enqueue_pos.load(Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    fn pop(&self) -> Option<TraceEvent> {
+        let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[(pos & self.mask) as usize];
+            let stamp = slot.stamp.load(Ordering::Acquire);
+            let diff = (stamp as i64).wrapping_sub(pos.wrapping_add(1) as i64);
+            match diff.cmp(&0) {
+                std::cmp::Ordering::Equal => {
+                    match self.dequeue_pos.compare_exchange_weak(
+                        pos,
+                        pos.wrapping_add(1),
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            let ev = unsafe { (*slot.value.get()).take() };
+                            slot.stamp
+                                .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
+                            return ev;
+                        }
+                        Err(current) => pos = current,
+                    }
+                }
+                std::cmp::Ordering::Less => return None, // empty
+                std::cmp::Ordering::Greater => {
+                    pos = self.dequeue_pos.load(Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+/// Cheaply clonable handle to a shared [`TraceBuffer`]. The pipeline
+/// pushes from any thread; a single logical consumer drains between
+/// batches (the supervisor) or at end of run (tests, examples).
+#[derive(Clone)]
+pub struct TraceSink {
+    buf: Arc<TraceBuffer>,
+}
+
+impl TraceSink {
+    /// A fresh sink holding up to `capacity` events (rounded up to a
+    /// power of two, minimum 2).
+    pub fn with_capacity(capacity: usize) -> TraceSink {
+        TraceSink {
+            buf: Arc::new(TraceBuffer::with_capacity(capacity)),
+        }
+    }
+
+    /// Slot capacity of the ring.
+    pub fn capacity(&self) -> usize {
+        self.buf.slots.len()
+    }
+
+    /// Push an event; its `seq` is assigned here. Returns the assigned
+    /// sequence number, or `None` when the ring was full and the event
+    /// was dropped (counted in [`TraceSink::dropped_total`]).
+    pub fn push(&self, ev: TraceEvent) -> Option<u64> {
+        self.buf.push(ev)
+    }
+
+    /// Drain every buffered event, returned in sequence order.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::new();
+        while let Some(ev) = self.buf.pop() {
+            out.push(ev);
+        }
+        // Producers race for slots, so buffer order can locally diverge
+        // from seq order; restore the total order here.
+        out.sort_by_key(|e| e.seq);
+        out
+    }
+
+    /// The sequence number the next pushed event will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.buf.next_seq.load(Ordering::Relaxed)
+    }
+
+    /// Reset the sequence counter — used by the supervisor to continue a
+    /// checkpointed run's numbering after restart, and to rewind after a
+    /// discarded (retried) batch so the replayed events get the same
+    /// numbers the failed attempt consumed.
+    pub fn set_next_seq(&self, seq: u64) {
+        self.buf.next_seq.store(seq, Ordering::Relaxed);
+    }
+
+    /// Events successfully enqueued over the sink's lifetime.
+    pub fn events_total(&self) -> u64 {
+        self.buf.events_total.load(Ordering::Relaxed)
+    }
+
+    /// Events dropped because the ring was full.
+    pub fn dropped_total(&self) -> u64 {
+        self.buf.dropped_total.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceSink")
+            .field("capacity", &self.capacity())
+            .field("events_total", &self.events_total())
+            .field("dropped_total", &self.dropped_total())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{TraceEvent, TraceEventKind};
+
+    fn ev(n: u64) -> TraceEvent {
+        TraceEvent {
+            count: Some(n),
+            ..TraceEvent::of(TraceEventKind::ItemRetry)
+        }
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        assert_eq!(TraceSink::with_capacity(5).capacity(), 8);
+        assert_eq!(TraceSink::with_capacity(0).capacity(), 2);
+        assert_eq!(TraceSink::with_capacity(16).capacity(), 16);
+    }
+
+    #[test]
+    fn push_drain_preserves_order_and_payload() {
+        let sink = TraceSink::with_capacity(8);
+        for i in 0..5 {
+            assert_eq!(sink.push(ev(i)), Some(i));
+        }
+        let drained = sink.drain();
+        assert_eq!(drained.len(), 5);
+        for (i, e) in drained.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+            assert_eq!(e.count, Some(i as u64));
+        }
+        assert!(sink.drain().is_empty());
+    }
+
+    #[test]
+    fn overflow_drops_and_counts_without_consuming_seqs() {
+        let sink = TraceSink::with_capacity(4);
+        for i in 0..4 {
+            assert_eq!(sink.push(ev(i)), Some(i));
+        }
+        for i in 4..10 {
+            assert_eq!(sink.push(ev(i)), None, "ring is full");
+        }
+        assert_eq!(sink.events_total(), 4);
+        assert_eq!(sink.dropped_total(), 6);
+        assert_eq!(sink.next_seq(), 4, "drops consume no sequence numbers");
+        // Draining frees the slots; pushes succeed again and numbering
+        // continues from where it left off.
+        assert_eq!(sink.drain().len(), 4);
+        assert_eq!(sink.push(ev(99)), Some(4));
+    }
+
+    #[test]
+    fn wraparound_reuses_slots() {
+        let sink = TraceSink::with_capacity(2);
+        let mut seen = Vec::new();
+        for round in 0..10u64 {
+            assert!(sink.push(ev(round)).is_some());
+            seen.extend(sink.drain());
+        }
+        assert_eq!(seen.len(), 10);
+        let seqs: Vec<u64> = seen.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (0..10).collect::<Vec<u64>>());
+        assert_eq!(sink.dropped_total(), 0);
+    }
+
+    #[test]
+    fn set_next_seq_continues_numbering() {
+        let sink = TraceSink::with_capacity(8);
+        sink.push(ev(0));
+        sink.drain();
+        sink.set_next_seq(100);
+        assert_eq!(sink.push(ev(1)), Some(100));
+        assert_eq!(sink.next_seq(), 101);
+    }
+
+    #[test]
+    fn cross_thread_seqs_are_unique_and_dense() {
+        let sink = TraceSink::with_capacity(1 << 12);
+        let threads = 8;
+        let per_thread = 200u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let sink = sink.clone();
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        let got = sink.push(ev(t * per_thread + i));
+                        assert!(got.is_some(), "capacity covers all pushes");
+                    }
+                });
+            }
+        });
+        let drained = sink.drain();
+        assert_eq!(drained.len(), (threads * per_thread) as usize);
+        // Drain sorts by seq; monotone density proves uniqueness.
+        for (i, e) in drained.iter().enumerate() {
+            assert_eq!(e.seq, i as u64, "seqs are dense and unique");
+        }
+        assert_eq!(sink.dropped_total(), 0);
+    }
+
+    #[test]
+    fn concurrent_producers_with_overflow_account_exactly() {
+        let sink = TraceSink::with_capacity(16);
+        let threads = 4;
+        let per_thread = 100u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let sink = sink.clone();
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        let _ = sink.push(ev(t * per_thread + i));
+                    }
+                });
+            }
+        });
+        let total = threads * per_thread;
+        assert_eq!(sink.events_total() + sink.dropped_total(), total);
+        assert_eq!(sink.events_total(), 16, "exactly one ring-full survives");
+        let drained = sink.drain();
+        assert_eq!(drained.len(), 16);
+    }
+}

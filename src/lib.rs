@@ -56,6 +56,7 @@
 //! | [`baseline`] | `emd-baseline` | HIRE-NER document-level baseline |
 //! | [`eval`] | `emd-eval` | metrics, frequency bins, error analysis, paper reference values |
 //! | [`obs`] | `emd-obs` | zero-dependency metrics: counters, gauges, latency histograms, Prometheus/JSON exporters |
+//! | [`trace`] | `emd-trace` | decision-level tracing: lock-free event ring, per-mention provenance, trace-replay auditing, flame output |
 //! | [`resilience`] | `emd-resilience` | failure model: fail points, panic isolation, quarantine, checkpoint format |
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
@@ -71,6 +72,7 @@ pub use emd_obs as obs;
 pub use emd_resilience as resilience;
 pub use emd_synth as synth;
 pub use emd_text as text;
+pub use emd_trace as trace;
 
 /// The version of this reproduction.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
