@@ -53,5 +53,16 @@ echo "== bench smoke =="
 # (per-phase throughput, latency quantiles, tracing on/off events/sec).
 BENCH_SMOKE=1 cargo bench -p emd-bench --bench pipeline > /dev/null
 test -s results/BENCH_pipeline.json
+# Keep the committed copy at the repo root in sync with the fresh run.
+cp results/BENCH_pipeline.json BENCH_pipeline.json
+
+echo "== bounded-memory soak smoke =="
+# Stream a long-horizon drifting topic stream through a windowed
+# pipeline and assert the bounded-memory guarantees via the emd-obs
+# gauges: the window evicts every out-of-window sentence, tombstones
+# are compacted, and the resident-bytes gauge plateaus instead of
+# growing with stream length. Exits nonzero on any violated bound.
+# (10k messages here; the default 50k run is the same binary.)
+EMD_SOAK_N=10000 cargo run --release --example windowed_soak > /dev/null
 
 echo "CI green."

@@ -101,36 +101,43 @@ fn emit_report(slice: &[emd_text::token::Sentence], batch: usize, smoke: bool) {
         })
         .collect();
 
-    // Tracing overhead: identical runs with the event ring off and on
-    // (best of several passes, so one scheduler hiccup doesn't skew the
-    // reported percentage).
+    // Tracing overhead: identical runs with the event ring off and on.
+    // Both arms get one untimed warm-up pass, and the timed passes are
+    // interleaved off/on — measuring all off passes first let the off arm
+    // absorb every one-time cost (allocator growth, lazy init, cache
+    // fill) and reported a nonsensical *negative* overhead. Best-of-N
+    // per arm keeps a single scheduler hiccup from skewing the ratio.
     const PASSES: usize = 5;
-    let g = Globalizer::new(&chunker, None, &accept_all, GlobalizerConfig::default());
-    let run_ns_tracing_off = (0..PASSES)
-        .map(|_| {
-            let t0 = Instant::now();
-            black_box(g.run(slice, batch));
-            t0.elapsed().as_nanos() as u64
-        })
-        .min()
-        .unwrap();
-
-    emd_trace::set_enabled(true);
+    let g_off = Globalizer::new(&chunker, None, &accept_all, GlobalizerConfig::default());
     let sink = emd_trace::TraceSink::with_capacity(1 << 18);
-    let mut g = Globalizer::new(&chunker, None, &accept_all, GlobalizerConfig::default());
-    g.set_trace(sink.clone());
-    let run_ns_tracing_on = (0..PASSES)
-        .map(|_| {
-            let _ = sink.drain();
-            let t0 = Instant::now();
-            black_box(g.run(slice, batch));
-            t0.elapsed().as_nanos() as u64
-        })
-        .min()
-        .unwrap();
-    emd_trace::set_enabled(false);
+    let mut g_on = Globalizer::new(&chunker, None, &accept_all, GlobalizerConfig::default());
+    g_on.set_trace(sink.clone());
 
-    let events = sink.events_total() / PASSES as u64;
+    emd_trace::set_enabled(false);
+    black_box(g_off.run(slice, batch));
+    emd_trace::set_enabled(true);
+    black_box(g_on.run(slice, batch));
+
+    let mut off_ns = Vec::with_capacity(PASSES);
+    let mut on_ns = Vec::with_capacity(PASSES);
+    for _ in 0..PASSES {
+        emd_trace::set_enabled(false);
+        let t0 = Instant::now();
+        black_box(g_off.run(slice, batch));
+        off_ns.push(t0.elapsed().as_nanos() as u64);
+
+        emd_trace::set_enabled(true);
+        let _ = sink.drain();
+        let t0 = Instant::now();
+        black_box(g_on.run(slice, batch));
+        on_ns.push(t0.elapsed().as_nanos() as u64);
+    }
+    emd_trace::set_enabled(false);
+    let run_ns_tracing_off = off_ns.into_iter().min().unwrap();
+    let run_ns_tracing_on = on_ns.into_iter().min().unwrap();
+
+    // The warm-up pass was traced too, hence PASSES + 1.
+    let events = sink.events_total() / (PASSES as u64 + 1);
     let tracing = TracingStat {
         events,
         dropped: sink.dropped_total(),

@@ -38,6 +38,18 @@ pub struct CandidateRecord {
     /// `(sentence, span)` pairs already in `mentions`, for O(1) dedup when
     /// overlapping rescans revisit a sentence.
     seen: HashSet<(SentenceId, Span)>,
+    /// Mentions whose sentences left the sliding window: the refs are
+    /// released but the count is folded into [`CandidateRecord::frequency`]
+    /// so every frequency-based decision stays cumulative.
+    evicted_mentions: usize,
+    /// How many of the evicted mentions were locally detected (keeps the
+    /// trust-local emission ratio cumulative too).
+    evicted_locally_detected: usize,
+    /// Whether [`CandidateRecord::add_embedding`] retains the individual
+    /// per-mention embeddings (needed for max pooling and training
+    /// harvests; released in windowed mean-pooling mode, where only the
+    /// running sum is consulted).
+    store_local: bool,
     /// Running sum of local candidate embeddings.
     emb_sum: Vec<f32>,
     /// Number of pooled embeddings.
@@ -58,13 +70,16 @@ pub struct CandidateRecord {
 }
 
 impl CandidateRecord {
-    fn new(key: String, dim: usize) -> CandidateRecord {
+    fn new(key: String, dim: usize, store_local: bool) -> CandidateRecord {
         let tokens = key.split(' ').map(|s| s.to_string()).collect();
         CandidateRecord {
             key,
             tokens,
             mentions: Vec::new(),
             seen: HashSet::new(),
+            evicted_mentions: 0,
+            evicted_locally_detected: 0,
+            store_local,
             emb_sum: vec![0.0; dim],
             emb_count: 0,
             local_embeddings: Vec::new(),
@@ -94,7 +109,9 @@ impl CandidateRecord {
             *s += v;
         }
         self.emb_count += 1;
-        self.local_embeddings.push(local.to_vec());
+        if self.store_local {
+            self.local_embeddings.push(local.to_vec());
+        }
     }
 
     /// The pooled global candidate embedding (mean), or zeros if no
@@ -131,9 +148,50 @@ impl CandidateRecord {
         self.emb_count
     }
 
-    /// Mention frequency.
+    /// Mention frequency — cumulative over the whole stream, including
+    /// mentions whose sentences have since been evicted from the window.
     pub fn frequency(&self) -> usize {
-        self.mentions.len()
+        self.mentions.len() + self.evicted_mentions
+    }
+
+    /// How many of the candidate's mentions (cumulative, including
+    /// evicted ones) the Local EMD system found itself. Feeds the
+    /// trust-local emission fallback for degraded candidates.
+    pub fn locally_detected_frequency(&self) -> usize {
+        self.mentions.iter().filter(|m| m.locally_detected).count() + self.evicted_locally_detected
+    }
+
+    /// Release the per-mention bookkeeping of every mention whose sentence
+    /// fails `is_live`: drop its [`MentionRef`]s and dedup entries while
+    /// folding the counts into the cumulative totals. The pooled embedding
+    /// sum is untouched — evicted mentions keep contributing to the global
+    /// consensus embedding (§V-C); only their O(mentions) bookkeeping is
+    /// reclaimed. Returns the number of refs released.
+    pub fn release_dead<F: FnMut(SentenceId) -> bool>(&mut self, mut is_live: F) -> usize {
+        let mut dropped = 0usize;
+        let mut dropped_local = 0usize;
+        self.mentions.retain(|m| {
+            if is_live(m.sid) {
+                true
+            } else {
+                dropped += 1;
+                if m.locally_detected {
+                    dropped_local += 1;
+                }
+                false
+            }
+        });
+        if dropped == 0 {
+            return 0;
+        }
+        self.evicted_mentions += dropped;
+        self.evicted_locally_detected += dropped_local;
+        self.seen.retain(|&(sid, _)| is_live(sid));
+        if self.mentions.capacity() > 2 * self.mentions.len() + 4 {
+            self.mentions.shrink_to_fit();
+        }
+        self.seen.shrink_to_fit();
+        dropped
     }
 
     /// Number of tokens in the candidate (the paper's `+1` length feature).
@@ -148,6 +206,7 @@ pub struct CandidateBase {
     records: Vec<CandidateRecord>,
     index: HashMap<String, usize>,
     dim: usize,
+    store_local: bool,
 }
 
 impl CandidateBase {
@@ -157,7 +216,26 @@ impl CandidateBase {
             records: Vec::new(),
             index: HashMap::new(),
             dim,
+            store_local: true,
         }
+    }
+
+    /// Control whether new records retain individual per-mention
+    /// embeddings (on by default). Windowed mean-pooling pipelines turn
+    /// this off: only the running sum is ever consulted there, and the
+    /// per-mention list would grow with stream length, not window size.
+    pub fn set_store_local(&mut self, on: bool) {
+        self.store_local = on;
+    }
+
+    /// Release per-mention bookkeeping for every mention whose sentence
+    /// fails `is_live`, across all records (see
+    /// [`CandidateRecord::release_dead`]). Returns total refs released.
+    pub fn release_dead<F: FnMut(SentenceId) -> bool>(&mut self, mut is_live: F) -> usize {
+        self.records
+            .iter_mut()
+            .map(|r| r.release_dead(&mut is_live))
+            .sum()
     }
 
     /// Embedding dimensionality.
@@ -172,8 +250,11 @@ impl CandidateBase {
             None => {
                 let i = self.records.len();
                 self.index.insert(key.to_string(), i);
-                self.records
-                    .push(CandidateRecord::new(key.to_string(), self.dim));
+                self.records.push(CandidateRecord::new(
+                    key.to_string(),
+                    self.dim,
+                    self.store_local,
+                ));
                 i
             }
         };
@@ -209,6 +290,64 @@ impl CandidateBase {
     /// True when empty.
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
+    }
+
+    /// Drop every record failing `keep`, preserving discovery order of the
+    /// survivors and rebuilding the key index. Returns the pruned records
+    /// (the caller traces them and removes their CTrie paths). A candidate
+    /// pruned here and re-seen later is simply rediscovered as a fresh
+    /// record — the paper's Figure 7 argument: a low-frequency candidate
+    /// whose mentions have all left the window no longer contributes to
+    /// global-embedding quality, so its pool can be rebuilt from scratch.
+    pub fn prune_retain<F: FnMut(&CandidateRecord) -> bool>(
+        &mut self,
+        mut keep: F,
+    ) -> Vec<CandidateRecord> {
+        let mut kept = Vec::with_capacity(self.records.len());
+        let mut pruned = Vec::new();
+        for r in std::mem::take(&mut self.records) {
+            if keep(&r) {
+                kept.push(r);
+            } else {
+                pruned.push(r);
+            }
+        }
+        self.records = kept;
+        if !pruned.is_empty() {
+            self.index.clear();
+            for (i, r) in self.records.iter().enumerate() {
+                self.index.insert(r.key.clone(), i);
+            }
+        }
+        pruned
+    }
+
+    /// Estimated resident heap bytes: keys, mention lists, dedup sets, and
+    /// the pooled + per-mention embeddings (the dominant term for deep
+    /// local systems). An estimate for gauges, not allocator-exact.
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut total = self.records.capacity() * size_of::<CandidateRecord>();
+        for r in &self.records {
+            total += r.key.len();
+            total += r
+                .tokens
+                .iter()
+                .map(|t| t.len() + size_of::<String>())
+                .sum::<usize>();
+            total += r.mentions.capacity() * size_of::<MentionRef>();
+            total += r.seen.len() * size_of::<(SentenceId, Span)>();
+            total += r.emb_sum.capacity() * size_of::<f32>();
+            total += r
+                .local_embeddings
+                .iter()
+                .map(|e| e.capacity() * size_of::<f32>() + size_of::<Vec<f32>>())
+                .sum::<usize>();
+        }
+        for key in self.index.keys() {
+            total += key.len() + size_of::<usize>();
+        }
+        total
     }
 }
 
@@ -302,5 +441,122 @@ mod tests {
     fn wrong_dim_panics() {
         let mut cb = CandidateBase::new(3);
         cb.entry("x").add_embedding(&[1.0]);
+    }
+
+    #[test]
+    fn prune_retain_preserves_order_and_rebuilds_index() {
+        let mut cb = CandidateBase::new(1);
+        for key in ["a", "b", "c", "d"] {
+            cb.entry(key);
+        }
+        let pruned = cb.prune_retain(|r| r.key != "b" && r.key != "d");
+        assert_eq!(
+            pruned.iter().map(|r| r.key.as_str()).collect::<Vec<_>>(),
+            vec!["b", "d"]
+        );
+        assert_eq!(
+            cb.iter().map(|r| r.key.as_str()).collect::<Vec<_>>(),
+            vec!["a", "c"]
+        );
+        assert_eq!(cb.len(), 2);
+        assert!(cb.get("b").is_none());
+        // The rebuilt index must point at the right survivors.
+        cb.get_mut("c").unwrap().mentions.push(MentionRef {
+            sid: SentenceId::new(9, 0),
+            span: Span::new(0, 1),
+            locally_detected: false,
+        });
+        assert_eq!(cb.get("c").unwrap().frequency(), 1);
+        assert_eq!(cb.get("a").unwrap().frequency(), 0);
+        // A pruned key re-enters as a fresh record at the tail.
+        cb.entry("b");
+        assert_eq!(cb.len(), 3);
+        assert_eq!(cb.get("b").unwrap().frequency(), 0);
+    }
+
+    #[test]
+    fn prune_retain_all_kept_is_noop() {
+        let mut cb = CandidateBase::new(1);
+        cb.entry("a");
+        cb.entry("b");
+        let pruned = cb.prune_retain(|_| true);
+        assert!(pruned.is_empty());
+        assert_eq!(cb.len(), 2);
+        assert_eq!(cb.get("a").unwrap().key, "a");
+    }
+
+    #[test]
+    fn release_dead_folds_counts_and_keeps_frequency_cumulative() {
+        let mut cb = CandidateBase::new(1);
+        let r = cb.entry("italy");
+        for i in 0..6u64 {
+            assert!(r.try_add_mention(MentionRef {
+                sid: SentenceId::new(i, 0),
+                span: Span::new(0, 1),
+                locally_detected: i % 2 == 0,
+            }));
+        }
+        assert_eq!(r.frequency(), 6);
+        assert_eq!(r.locally_detected_frequency(), 3);
+        // Sentences 0..4 leave the window.
+        let released = cb.release_dead(|sid| sid.tweet_id >= 4);
+        assert_eq!(released, 4);
+        let r = cb.get("italy").unwrap();
+        assert_eq!(r.mentions.len(), 2, "only live refs remain");
+        assert_eq!(r.frequency(), 6, "frequency stays cumulative");
+        assert_eq!(r.locally_detected_frequency(), 3);
+        // The dedup gate forgets released (sid, span) pairs: a re-used
+        // sentence id would re-count, which is why quarantine permanence
+        // (not this set) guards against id re-delivery.
+        let r = cb.get_mut("italy").unwrap();
+        assert!(r.try_add_mention(MentionRef {
+            sid: SentenceId::new(0, 0),
+            span: Span::new(0, 1),
+            locally_detected: false,
+        }));
+        assert_eq!(r.frequency(), 7);
+    }
+
+    #[test]
+    fn release_dead_with_all_live_is_noop() {
+        let mut cb = CandidateBase::new(1);
+        let r = cb.entry("covid");
+        r.try_add_mention(MentionRef {
+            sid: SentenceId::new(0, 0),
+            span: Span::new(0, 1),
+            locally_detected: true,
+        });
+        assert_eq!(cb.release_dead(|_| true), 0);
+        assert_eq!(cb.get("covid").unwrap().mentions.len(), 1);
+    }
+
+    #[test]
+    fn store_local_off_skips_per_mention_embeddings() {
+        let mut cb = CandidateBase::new(2);
+        cb.set_store_local(false);
+        let r = cb.entry("covid");
+        r.add_embedding(&[1.0, 0.0]);
+        r.add_embedding(&[0.0, 1.0]);
+        // The pooled mean is unaffected; only the per-mention list is
+        // elided.
+        assert_eq!(r.global_embedding(), vec![0.5, 0.5]);
+        assert_eq!(r.n_pooled(), 2);
+        assert!(r.local_embeddings.is_empty());
+    }
+
+    #[test]
+    fn resident_bytes_shrinks_on_prune() {
+        let mut cb = CandidateBase::new(8);
+        for i in 0..16 {
+            let key = format!("candidate number {i}");
+            let r = cb.entry(&key);
+            r.add_embedding(&[0.5; 8]);
+        }
+        let before = cb.resident_bytes();
+        cb.prune_retain(|r| r.key.ends_with('1'));
+        assert!(
+            cb.resident_bytes() < before,
+            "pruning must shrink resident bytes"
+        );
     }
 }

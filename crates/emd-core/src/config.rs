@@ -25,6 +25,57 @@ pub enum Pooling {
     Max,
 }
 
+/// Bounded-memory streaming policy: a sliding window over the sentence
+/// store plus frequency-decay pruning of the candidate pool. Disabled by
+/// default (`max_sentences: 0`), preserving the unbounded semantics every
+/// offline experiment uses; 24/7 deployments set a window so resident
+/// state tracks the live window instead of the whole stream (the paper's
+/// Figure 7 shows old low-frequency candidates stop contributing to
+/// global-embedding quality — the license to forget them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowConfig {
+    /// Maximum live sentences retained; the oldest records beyond this are
+    /// evicted (record, posting-list entries, and token embeddings) after
+    /// every batch. `0` disables windowing entirely.
+    pub max_sentences: usize,
+    /// Frequency-decay candidate pruning: a candidate is dropped — with
+    /// its CTrie path — once *all* of its mentions have been evicted, it
+    /// holds no Entity verdict, and its mention frequency is at most this
+    /// value. `0` disables pruning. Ignored unless `max_sentences > 0`.
+    pub prune_max_frequency: usize,
+    /// Dirty-eviction settling: when true (default), a record still in the
+    /// dirty set is rescanned one last time before eviction so mentions of
+    /// candidates registered after the record's batch still reach the
+    /// pool. Turning this off trades a little recall on evicted sentences
+    /// for less finalize-style work per batch.
+    pub settle_before_evict: bool,
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        WindowConfig {
+            max_sentences: 0,
+            prune_max_frequency: 2,
+            settle_before_evict: true,
+        }
+    }
+}
+
+impl WindowConfig {
+    /// A sliding window of `max_sentences` with the default pruning knobs.
+    pub fn sliding(max_sentences: usize) -> WindowConfig {
+        WindowConfig {
+            max_sentences,
+            ..Default::default()
+        }
+    }
+
+    /// Is windowed eviction enabled?
+    pub fn enabled(&self) -> bool {
+        self.max_sentences > 0
+    }
+}
+
 /// Globalizer hyperparameters (§V-C values as defaults).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GlobalizerConfig {
@@ -59,6 +110,9 @@ pub struct GlobalizerConfig {
     /// the item is quarantined (sentences) or marked degraded
     /// (candidates). Total attempts per item = `poison_retries + 1`.
     pub poison_retries: usize,
+    /// Bounded-memory streaming policy (sliding window + candidate
+    /// pruning). Default: unbounded.
+    pub window: WindowConfig,
 }
 
 impl Default for GlobalizerConfig {
@@ -73,6 +127,7 @@ impl Default for GlobalizerConfig {
             trust_local_fallback: true,
             promotion_support: 3,
             poison_retries: 1,
+            window: WindowConfig::default(),
         }
     }
 }
@@ -90,5 +145,16 @@ mod tests {
         assert_eq!(c.pooling, Pooling::Mean);
         assert!(c.trust_local_fallback);
         assert!(c.beta < c.final_threshold && c.final_threshold < c.alpha);
+        assert!(!c.window.enabled(), "default is the unbounded regime");
+    }
+
+    #[test]
+    fn window_config_knobs() {
+        let w = WindowConfig::sliding(1000);
+        assert!(w.enabled());
+        assert_eq!(w.max_sentences, 1000);
+        assert_eq!(w.prune_max_frequency, 2);
+        assert!(w.settle_before_evict);
+        assert!(!WindowConfig::default().enabled());
     }
 }

@@ -21,10 +21,17 @@ struct Node {
 }
 
 /// Case-insensitive token-level prefix trie forest.
+///
+/// Supports removal: pruning a low-frequency cold candidate unmarks its
+/// terminal and frees any now-childless path nodes onto a free-list that
+/// later insertions reuse, so a long-running stream's trie arena tracks the
+/// *live* candidate set instead of growing monotonically.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CTrie {
     nodes: Vec<Node>,
     n_candidates: usize,
+    /// Arena slots freed by [`CTrie::remove`], reused by later inserts.
+    free: Vec<NodeId>,
 }
 
 impl Default for CTrie {
@@ -42,6 +49,7 @@ impl CTrie {
         CTrie {
             nodes: vec![Node::default()],
             n_candidates: 0,
+            free: Vec::new(),
         }
     }
 
@@ -57,8 +65,16 @@ impl CTrie {
             let next = match self.nodes[node as usize].children.get(&key) {
                 Some(&id) => id,
                 None => {
-                    let id = self.nodes.len() as NodeId;
-                    self.nodes.push(Node::default());
+                    // Reuse a slot freed by `remove` before growing the
+                    // arena (freed nodes are reset to default on removal).
+                    let id = match self.free.pop() {
+                        Some(id) => id,
+                        None => {
+                            let id = self.nodes.len() as NodeId;
+                            self.nodes.push(Node::default());
+                            id
+                        }
+                    };
                     self.nodes[node as usize].children.insert(key, id);
                     id
                 }
@@ -73,6 +89,47 @@ impl CTrie {
             self.n_candidates += 1;
             true
         }
+    }
+
+    /// Remove a registered candidate. Unmarks the terminal and frees every
+    /// now-childless, non-terminal node on the path (bottom-up) onto the
+    /// free-list. Returns `true` when the candidate was present. Paths
+    /// shared with other candidates (prefixes or extensions) are left
+    /// intact.
+    pub fn remove<S: AsRef<str>>(&mut self, tokens: &[S]) -> bool {
+        if tokens.is_empty() {
+            return false;
+        }
+        // Walk down, recording (parent, key, child) per step.
+        let mut path: Vec<(NodeId, String, NodeId)> = Vec::with_capacity(tokens.len());
+        let mut node = Self::ROOT;
+        for t in tokens {
+            let key = t.as_ref().to_lowercase();
+            match self.nodes[node as usize].children.get(&key) {
+                Some(&id) => {
+                    path.push((node, key, id));
+                    node = id;
+                }
+                None => return false,
+            }
+        }
+        if !self.nodes[node as usize].terminal {
+            return false;
+        }
+        self.nodes[node as usize].terminal = false;
+        self.n_candidates -= 1;
+        // Prune childless non-terminal nodes bottom-up; stop at the first
+        // node still needed (terminal, or carrying other candidates below).
+        for (parent, key, child) in path.into_iter().rev() {
+            let n = &self.nodes[child as usize];
+            if n.terminal || !n.children.is_empty() {
+                break;
+            }
+            self.nodes[parent as usize].children.remove(&key);
+            self.nodes[child as usize] = Node::default();
+            self.free.push(child);
+        }
+        true
     }
 
     /// Follow the edge labelled with the lower-cased form of `token`.
@@ -120,9 +177,10 @@ impl CTrie {
         self.n_candidates == 0
     }
 
-    /// Number of trie nodes (diagnostics / memory accounting).
+    /// Number of live trie nodes (diagnostics / memory accounting; freed
+    /// slots awaiting reuse are not counted).
     pub fn n_nodes(&self) -> usize {
-        self.nodes.len()
+        self.nodes.len() - self.free.len()
     }
 
     /// Enumerate all candidates as lower-cased token vectors (test &
@@ -224,6 +282,53 @@ mod tests {
         let mut t = CTrie::new();
         assert!(!t.insert::<&str>(&[]));
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn remove_prunes_exclusive_path() {
+        let mut t = CTrie::new();
+        t.insert(&["world", "health", "organization"]);
+        assert_eq!(t.n_nodes(), 4);
+        assert!(t.remove(&["World", "Health", "Organization"]));
+        assert!(!t.contains(&["world", "health", "organization"]));
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.n_nodes(), 1, "exclusive path fully pruned");
+        // Removing again is a no-op.
+        assert!(!t.remove(&["world", "health", "organization"]));
+    }
+
+    #[test]
+    fn remove_keeps_shared_prefixes_and_extensions() {
+        let mut t = CTrie::new();
+        t.insert(&["andy", "beshear"]);
+        t.insert(&["andy", "murray"]);
+        t.insert(&["andy"]);
+        assert!(t.remove(&["andy", "beshear"]));
+        assert!(t.contains(&["andy", "murray"]));
+        assert!(t.contains(&["andy"]));
+        assert_eq!(t.len(), 2);
+        // Removing a terminal that still has children keeps the node.
+        assert!(t.remove(&["andy"]));
+        assert!(t.contains(&["andy", "murray"]));
+        assert!(!t.contains(&["andy"]));
+        // A prefix that was never inserted cannot be removed.
+        assert!(!t.remove(&["andy"]));
+    }
+
+    #[test]
+    fn freed_nodes_are_reused_by_insert() {
+        let mut t = CTrie::new();
+        t.insert(&["alpha", "beta"]);
+        let peak = t.n_nodes();
+        t.remove(&["alpha", "beta"]);
+        assert_eq!(t.n_nodes(), 1);
+        t.insert(&["gamma", "delta"]);
+        assert_eq!(
+            t.n_nodes(),
+            peak,
+            "arena reuses freed slots instead of growing"
+        );
+        assert!(t.contains(&["gamma", "delta"]));
     }
 
     #[test]

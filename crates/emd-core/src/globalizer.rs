@@ -49,7 +49,7 @@ use emd_text::casing::{syntactic_class, SyntacticClass};
 use emd_text::token::{Sentence, SentenceId, Span};
 use emd_trace::{TraceAblation, TraceEvent, TraceEventKind, TraceLabel, TracePhase, TraceSink};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::time::Instant;
 
 /// Elapsed nanoseconds since `t0`, saturating into a `u64`.
@@ -98,6 +98,24 @@ fn tspan(sp: &Span) -> (u32, u32) {
     (sp.start as u32, sp.end as u32)
 }
 
+/// Adjacent-pair promotion evidence preserved from an evicted record: the
+/// two candidate surfaces (lower-cased) and how many times they occurred
+/// adjacent in sentences that have since been evicted. Folded into
+/// [`Globalizer::finalize`]'s promotion search so bounding memory does not
+/// silently erase multi-token-entity evidence. Kept as a vector (first
+/// frozen first — evictions run oldest-first, so this is stream order of
+/// first adjacency among evicted records) rather than a map, both for
+/// deterministic iteration and because the checkpoint format is JSON.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrozenAdjacency {
+    /// Left candidate key (lower-cased, space-joined).
+    pub first: String,
+    /// Right candidate key.
+    pub second: String,
+    /// Adjacency occurrences in evicted sentences.
+    pub count: u64,
+}
+
 /// Accumulated pipeline state across batches. Serializable: the
 /// `StreamSupervisor` checkpoints it between batches so an interrupted
 /// run can resume from the last completed batch.
@@ -127,6 +145,19 @@ pub struct GlobalizerState {
     /// remain stable, but are excluded from dirtying, scans, promotion
     /// evidence, and emission.
     quarantined_idx: BTreeSet<usize>,
+    /// Every sentence ID ever quarantined. Eviction frees a quarantined
+    /// record's slot, but its ID stays here so a replayed copy of the
+    /// sentence is never silently re-admitted — quarantine decisions are
+    /// permanent for the lifetime of the state.
+    quarantined_ids: HashSet<SentenceId>,
+    /// Promotion evidence frozen out of evicted records (empty while
+    /// windowing is disabled).
+    frozen_adjacency: Vec<FrozenAdjacency>,
+    /// Slot index the next eviction sweep starts from. Evictions walk the
+    /// slot vector oldest-first and never revisit freed slots, so this
+    /// cursor makes each sweep O(batch), not O(history). Rebased by
+    /// [`GlobalizerState::compact`].
+    evict_cursor: usize,
     /// 1-based batch counter, advanced on every `process_batch` call
     /// (unconditionally, so traced and untraced runs stay aligned) and
     /// stamped into `BatchStart` trace events.
@@ -153,6 +184,64 @@ impl GlobalizerState {
     /// so far.
     pub fn timings(&self) -> &PhaseTimings {
         &self.timings
+    }
+
+    /// Records evicted from the sentence store so far (0 unless windowing
+    /// is enabled).
+    pub fn n_evicted(&self) -> u64 {
+        self.tweetbase.evicted_total()
+    }
+
+    /// Estimated resident bytes of the two big stores (sentence records +
+    /// candidate pools). The quantity the `emd_window_resident_bytes`
+    /// gauge reports.
+    pub fn resident_bytes(&self) -> usize {
+        self.tweetbase.resident_bytes() + self.candidates.resident_bytes()
+    }
+
+    /// Squeeze tombstone slots out of the sentence store, rebasing every
+    /// index-keyed side structure (dirty set, post-ingest quarantine set,
+    /// eviction cursor) onto the new dense indexing. Evicted slots in the
+    /// quarantine set are dropped (their IDs remain in the permanent
+    /// ID-level set). Returns the number of slots reclaimed.
+    ///
+    /// Called automatically by window enforcement once tombstones outnumber
+    /// live records, and by the `StreamSupervisor` before checkpoint writes
+    /// so checkpoint size — and restart cost — stays O(window).
+    pub fn compact(&mut self) -> usize {
+        let Some(remap) = self.tweetbase.compact() else {
+            return 0;
+        };
+        let dropped = remap.iter().filter(|m| m.is_none()).count();
+        self.dirty = self
+            .dirty
+            .iter()
+            .filter_map(|&i| remap.get(i).copied().flatten())
+            .collect();
+        self.quarantined_idx = self
+            .quarantined_idx
+            .iter()
+            .filter_map(|&i| remap.get(i).copied().flatten())
+            .collect();
+        // The cursor moves to "number of live slots before the old cursor":
+        // everything before it was either retained (now at a smaller index)
+        // or reclaimed.
+        self.evict_cursor = remap
+            .iter()
+            .take(self.evict_cursor.min(remap.len()))
+            .filter(|m| m.is_some())
+            .count();
+        // Candidate-side sweep: mention refs pointing at sentences no
+        // longer in the window are released (counts folded into the
+        // cumulative frequencies). Piggybacking on compaction keeps the
+        // stray-ref population O(window) at O(1) amortised cost.
+        let live: HashSet<SentenceId> = self
+            .tweetbase
+            .iter_indexed()
+            .map(|(_, rec)| rec.sentence.id)
+            .collect();
+        self.candidates.release_dead(|sid| live.contains(&sid));
+        dropped
     }
 }
 
@@ -351,14 +440,26 @@ impl<'a> Globalizer<'a> {
 
     /// Fresh pipeline state.
     pub fn new_state(&self) -> GlobalizerState {
+        let mut candidates = CandidateBase::new(self.candidate_dim());
+        // Windowed mean pooling never reads the per-mention embedding
+        // list (only the running sum), so skip storing it — it is the one
+        // candidate-side structure that grows with stream length instead
+        // of window size. Max pooling still needs the list and therefore
+        // stays unbounded (documented in DESIGN.md).
+        if self.config.window.enabled() && self.config.pooling == crate::config::Pooling::Mean {
+            candidates.set_store_local(false);
+        }
         GlobalizerState {
             tweetbase: TweetBase::new(),
             ctrie: CTrie::new(),
-            candidates: CandidateBase::new(self.candidate_dim()),
+            candidates,
             dirty: BTreeSet::new(),
             timings: PhaseTimings::default(),
             quarantined: Vec::new(),
             quarantined_idx: BTreeSet::new(),
+            quarantined_ids: HashSet::new(),
+            frozen_adjacency: Vec::new(),
+            evict_cursor: 0,
             batch_seq: 0,
             trace_seq: 0,
         }
@@ -404,6 +505,7 @@ impl<'a> Globalizer<'a> {
         } else {
             None
         };
+        state.quarantined_ids.insert(sid);
         state.quarantined.push(QuarantineEntry {
             sid,
             phase,
@@ -511,11 +613,15 @@ impl<'a> Globalizer<'a> {
         sentence: &Sentence,
         out: crate::local::LocalEmdOutput,
     ) -> Result<crate::local::LocalEmdOutput, String> {
-        let mut slot = Some(out);
+        // The fallible, retried closure only *borrows* the output; the
+        // output itself is moved exactly once, after validation succeeds.
+        // (The previous shape parked it in an `Option` the closure took
+        // out of, with `expect`s guarding the impossible half-consumed
+        // states — a panic there would have defeated the isolation
+        // machinery this path exists to provide.)
         let r = isolate::retry_catch(self.attempts(), || {
             failpoint::fire("ingest");
             validate::validate_sentence(sentence)?;
-            let out = slot.as_ref().expect("ingest slot consumed before success");
             if let Some(te) = &out.token_embeddings {
                 if te.rows != sentence.len() {
                     return Err(format!(
@@ -528,15 +634,13 @@ impl<'a> Globalizer<'a> {
                     return Err("non-finite token embedding values".to_string());
                 }
             }
-            let spans = validate::sanitize_spans(out.spans.clone(), sentence.len());
-            // All fallible work is done; taking the slot is the final,
-            // infallible step, so a retry never sees a half-consumed slot.
-            let mut out = slot.take().expect("ingest slot consumed before success");
-            out.spans = spans;
-            Ok(out)
+            Ok(validate::sanitize_spans(out.spans.clone(), sentence.len()))
         });
         self.note_retries(r.failed_attempts);
-        r.result.and_then(|inner| inner)
+        let spans = r.result.and_then(|inner| inner)?;
+        let mut out = out;
+        out.spans = spans;
+        Ok(out)
     }
 
     /// Register local outputs: store TweetBase records, seed the CTrie,
@@ -581,6 +685,20 @@ impl<'a> Globalizer<'a> {
                     kept.push(None);
                 }
                 Ok(out) => {
+                    // Quarantine is permanent at the ID level: a replayed
+                    // copy of a quarantined sentence must not re-enter the
+                    // pipeline — not even after eviction freed the
+                    // original record's slot.
+                    if state.quarantined_ids.contains(&sentence.id) {
+                        self.quarantine_sentence(
+                            state,
+                            sentence.id,
+                            PipelinePhase::Ingest,
+                            "sentence id was previously quarantined".to_string(),
+                        );
+                        kept.push(None);
+                        continue;
+                    }
                     n_local_spans += out.spans.len() as u64;
                     let idx = state.tweetbase.insert(TweetRecord {
                         sentence: sentence.clone(),
@@ -981,9 +1099,11 @@ impl<'a> Globalizer<'a> {
             rec.score = Some(p);
             rec.label = EntityClassifier::classify(p, &self.config);
             if resolve_ambiguous && rec.label == CandidateLabel::Ambiguous {
-                let locally = rec.mentions.iter().filter(|m| m.locally_detected).count();
+                // Cumulative ratios (evicted mentions included), so the
+                // verdict matches the unbounded run's.
+                let locally = rec.locally_detected_frequency();
                 let trust_local =
-                    self.config.trust_local_fallback && 2 * locally >= rec.mentions.len().max(1);
+                    self.config.trust_local_fallback && 2 * locally >= rec.frequency().max(1);
                 rec.label = if p >= self.config.final_threshold || trust_local {
                     CandidateLabel::Entity
                 } else {
@@ -1018,6 +1138,7 @@ impl<'a> Globalizer<'a> {
         self.start_batch(state, batch);
         self.local_phase(state, batch);
         self.global_stage(state, batch);
+        self.enforce_window(state);
     }
 
     /// Advance the batch counter (always — traced and untraced runs must
@@ -1045,6 +1166,7 @@ impl<'a> Globalizer<'a> {
         self.start_batch(state, batch);
         self.local_phase_parallel(state, batch, n_threads);
         self.global_stage(state, batch);
+        self.enforce_window(state);
     }
 
     fn global_stage(&self, state: &mut GlobalizerState, batch: &[Sentence]) {
@@ -1065,6 +1187,164 @@ impl<'a> Globalizer<'a> {
         }
     }
 
+    /// **Window enforcement** (end of every batch, no-op unless
+    /// [`crate::config::WindowConfig::enabled`]): evict the oldest live
+    /// records beyond the window — settling still-dirty ones with one last
+    /// rescan first, and freezing their adjacency evidence for the
+    /// promotion search — then prune cold candidates whose every mention
+    /// has been evicted (removing their CTrie paths), and compact the slot
+    /// vector once tombstones outnumber live records. Candidate pools are
+    /// never rolled back: an evicted mention's contribution to pooled
+    /// global embeddings, frequencies, and frozen verdicts is exactly the
+    /// "global context" the paper accumulates — only the *text* is freed.
+    fn enforce_window(&self, state: &mut GlobalizerState) {
+        let w = self.config.window;
+        if !w.enabled() {
+            return;
+        }
+        let t0 = Instant::now();
+        let _span = Timer::start(&self.metrics.evict_ns);
+        if state.tweetbase.len() > w.max_sentences {
+            let excess = state.tweetbase.len() - w.max_sentences;
+            // Victims: the oldest live slots, ascending (= stream order).
+            let mut victims = Vec::with_capacity(excess);
+            let mut cursor = state.evict_cursor;
+            while victims.len() < excess {
+                match state.tweetbase.first_live_from(cursor) {
+                    Some(i) => {
+                        victims.push(i);
+                        cursor = i + 1;
+                    }
+                    None => break,
+                }
+            }
+            state.evict_cursor = cursor;
+            // Settle: a victim still in the dirty set may be missing
+            // mentions of candidates registered after its last scan; give
+            // it the rescan finalize would have, while its text is still
+            // here. (Pointless for LocalOnly — no global structures.)
+            if w.settle_before_evict && self.config.ablation != Ablation::LocalOnly {
+                let settle: Vec<usize> = victims
+                    .iter()
+                    .copied()
+                    .filter(|i| state.dirty.contains(i))
+                    .collect();
+                self.scan_records(state, &settle, 1, PipelinePhase::Scan);
+            }
+            let tracing = emd_trace::enabled();
+            for &i in &victims {
+                state.dirty.remove(&i);
+                // `quarantined_idx` keeps the index: the slot is never
+                // reused for a live record, and compaction drops it.
+                if let Some(rec) = state.tweetbase.evict(i) {
+                    self.freeze_adjacency(state, &rec);
+                    self.metrics.evicted_records_total.inc();
+                    if tracing {
+                        self.temit(TraceEvent {
+                            sid: Some(tsid(rec.sentence.id)),
+                            count: Some(rec.global_mentions.len() as u64),
+                            phase: Some(TracePhase::Evict),
+                            ..TraceEvent::of(TraceEventKind::SentenceEvicted)
+                        });
+                    }
+                }
+            }
+            self.prune_candidates(state, w.prune_max_frequency);
+            // Amortized O(1): compacting costs O(live + tombstones) and
+            // only runs once tombstones outnumber live records.
+            if state.tweetbase.n_slots() - state.tweetbase.len() > state.tweetbase.len() {
+                let dropped = state.compact();
+                if dropped > 0 {
+                    self.metrics.compactions_total.inc();
+                    if tracing {
+                        self.temit(TraceEvent {
+                            count: Some(dropped as u64),
+                            phase: Some(TracePhase::Evict),
+                            ..TraceEvent::of(TraceEventKind::StateCompacted)
+                        });
+                    }
+                }
+            }
+        }
+        self.metrics.window_depth.set(state.tweetbase.len() as f64);
+        if emd_obs::enabled() {
+            // The byte estimate walks both stores; skip it entirely for
+            // uninstrumented runs.
+            self.metrics
+                .resident_bytes
+                .set(state.resident_bytes() as f64);
+        }
+        let dt = elapsed_ns(t0);
+        state.timings.evict_ns += dt;
+        self.trace_phase_span(TracePhase::Evict, None, dt);
+    }
+
+    /// Fold an evicted record's adjacent-pair occurrences into the frozen
+    /// ledger (see [`FrozenAdjacency`]). Quarantined records hold no
+    /// `global_mentions`, so they contribute nothing.
+    fn freeze_adjacency(&self, state: &mut GlobalizerState, rec: &TweetRecord) {
+        if self.config.promotion_support == 0 {
+            return;
+        }
+        for w in rec.global_mentions.windows(2) {
+            if w[0].end == w[1].start {
+                let first = w[0].surface_lower(&rec.sentence);
+                let second = w[1].surface_lower(&rec.sentence);
+                match state
+                    .frozen_adjacency
+                    .iter_mut()
+                    .find(|e| e.first == first && e.second == second)
+                {
+                    Some(e) => e.count += 1,
+                    None => state.frozen_adjacency.push(FrozenAdjacency {
+                        first,
+                        second,
+                        count: 1,
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Frequency-decay candidate pruning: drop candidates — and their
+    /// CTrie paths — that can no longer matter. A candidate is prunable
+    /// only when no live record contains its first token (so neither a
+    /// pending rescan nor emission can involve it), it holds no Entity
+    /// verdict, and its mention frequency is at most `max_freq`. At the
+    /// default thresholds (`prune_max_frequency: 2 < promotion_support:
+    /// 3`) a fragment with enough adjacency evidence to promote is never
+    /// pruned.
+    fn prune_candidates(&self, state: &mut GlobalizerState, max_freq: usize) {
+        if max_freq == 0 {
+            return;
+        }
+        let tweetbase = &state.tweetbase;
+        let pruned = state.candidates.prune_retain(|rec| {
+            rec.label == CandidateLabel::Entity
+                || rec.frequency() > max_freq
+                || rec
+                    .tokens
+                    .first()
+                    .is_some_and(|t| !tweetbase.indices_with_token(t).is_empty())
+        });
+        if pruned.is_empty() {
+            return;
+        }
+        let tracing = emd_trace::enabled();
+        for rec in &pruned {
+            state.ctrie.remove(&rec.tokens);
+            self.metrics.pruned_candidates_total.inc();
+            if tracing {
+                self.temit(TraceEvent {
+                    candidate: Some(rec.key.clone()),
+                    count: Some(rec.frequency() as u64),
+                    phase: Some(TracePhase::Evict),
+                    ..TraceEvent::of(TraceEventKind::CandidatePruned)
+                });
+            }
+        }
+    }
+
     /// Adjacent-pair candidate promotion (stream close): two candidates
     /// extracted adjacent to each other often enough are evidence of one
     /// fragmented multi-token entity the local system never detects in
@@ -1081,6 +1361,18 @@ impl<'a> Globalizer<'a> {
         }
         let mut order: Vec<(String, String)> = Vec::new();
         let mut adjacency: HashMap<(String, String), usize> = HashMap::new();
+        // Evidence frozen from evicted records is counted first: evictions
+        // run oldest-first, so the ledger precedes every live record in
+        // stream order and first-adjacency ordering is preserved. Empty
+        // unless windowing is enabled.
+        for e in &state.frozen_adjacency {
+            let pair = (e.first.clone(), e.second.clone());
+            let n = adjacency.entry(pair.clone()).or_insert(0);
+            if *n == 0 {
+                order.push(pair);
+            }
+            *n += e.count as usize;
+        }
         for rec in state.tweetbase.iter() {
             // Extraction emits non-overlapping spans in ascending order, so
             // consecutive entries are the only adjacency candidates.
@@ -1185,7 +1477,7 @@ impl<'a> Globalizer<'a> {
             });
         }
         let mut per_sentence = Vec::with_capacity(state.tweetbase.len());
-        for (idx, rec) in state.tweetbase.iter().enumerate() {
+        for (idx, rec) in state.tweetbase.iter_indexed() {
             if state.quarantined_idx.contains(&idx) {
                 continue;
             }
@@ -1293,7 +1585,10 @@ impl<'a> Globalizer<'a> {
         loop {
             self.metrics.finalize_promotion_rounds_total.inc();
             state.dirty.clear();
-            let all: Vec<usize> = (0..state.tweetbase.len())
+            let all: Vec<usize> = state
+                .tweetbase
+                .iter_indexed()
+                .map(|(i, _)| i)
                 .filter(|i| !state.quarantined_idx.contains(i))
                 .collect();
             n_rescanned += all.len();
@@ -2162,5 +2457,204 @@ mod tests {
         assert_eq!(out.n_degraded, 1);
         assert_eq!(out.per_sentence[0].1, vec![Span::new(0, 1)]);
         assert_eq!(out.per_sentence[1].1, Vec::<Span>::new());
+    }
+
+    #[test]
+    fn windowed_run_evicts_and_stays_bounded() {
+        let local = LexiconEmd::new(["italy"]);
+        let clf = accept_all(7);
+        let cfg = GlobalizerConfig {
+            window: crate::config::WindowConfig::sliding(4),
+            ..Default::default()
+        };
+        let mut g = Globalizer::new(&local, None, &clf, cfg);
+        // Recording is process-global and off by default; flip it on (and
+        // leave it on — the pipeline is bit-identical either way) so the
+        // private registry actually sees the window counters.
+        emd_obs::set_enabled(true);
+        let reg = emd_obs::Registry::new();
+        g.set_metrics(PipelineMetrics::from_registry(&reg));
+        let msgs: Vec<Vec<&str>> = (0..12).map(|_| vec!["Italy", "reports"]).collect();
+        let msgs: Vec<&[&str]> = msgs.iter().map(|v| v.as_slice()).collect();
+        let stream = sents(&msgs);
+        let mut state = g.new_state();
+        for chunk in stream.chunks(2) {
+            g.process_batch(&mut state, chunk);
+            assert!(
+                state.tweetbase.len() <= 4,
+                "window ceiling must hold after every batch"
+            );
+        }
+        assert_eq!(state.n_evicted(), 8);
+        let out = g.finalize(&mut state);
+        // The final output covers the live window; evicted sentences were
+        // already fully scanned (their pool contributions persist).
+        assert_eq!(out.per_sentence.len(), 4);
+        let sids: Vec<u64> = out.per_sentence.iter().map(|(s, _)| s.tweet_id).collect();
+        assert_eq!(sids, vec![8, 9, 10, 11]);
+        for (_, spans) in &out.per_sentence {
+            assert_eq!(spans, &vec![Span::new(0, 1)]);
+        }
+        // Pooled evidence from evicted mentions is retained.
+        assert_eq!(state.candidates.get("italy").unwrap().frequency(), 12);
+        let snap = g.metrics().snapshot();
+        assert_eq!(snap.counter("emd_window_evicted_records_total"), Some(8));
+        assert_eq!(snap.gauge("emd_window_depth"), Some(4.0));
+    }
+
+    #[test]
+    fn oversized_window_matches_unbounded_run() {
+        let local = LexiconEmd::new(["italy", "virus"]);
+        let clf = accept_all(7);
+        let stream = sents(&[
+            &["Italy", "reports", "virus"],
+            &["the", "virus", "spreads"],
+            &["ITALY", "closes"],
+        ]);
+        let unbounded = Globalizer::new(&local, None, &clf, GlobalizerConfig::default());
+        let windowed = Globalizer::new(
+            &local,
+            None,
+            &clf,
+            GlobalizerConfig {
+                window: crate::config::WindowConfig::sliding(1000),
+                ..Default::default()
+            },
+        );
+        let (a, _) = unbounded.run(&stream, 1);
+        let (b, _) = windowed.run(&stream, 1);
+        assert_eq!(a.per_sentence, b.per_sentence);
+        assert_eq!(a.n_candidates, b.n_candidates);
+        assert_eq!(a.n_entities, b.n_entities);
+    }
+
+    #[test]
+    fn frozen_adjacency_preserves_promotion_across_eviction() {
+        // "Moross Lumsa" is only ever detected in fragments. Most of the
+        // supporting sentences are evicted before finalize; the frozen
+        // ledger must keep the adjacency evidence alive so the promotion
+        // still fires.
+        let local = LexiconEmd::new(["moross", "lumsa"]);
+        let clf = accept_all(7);
+        let cfg = GlobalizerConfig {
+            window: crate::config::WindowConfig::sliding(2),
+            ..Default::default()
+        };
+        let g = Globalizer::new(&local, None, &clf, cfg);
+        let msgs: Vec<Vec<&str>> = (0..6).map(|_| vec!["Moross", "Lumsa", "speaks"]).collect();
+        let msgs: Vec<&[&str]> = msgs.iter().map(|v| v.as_slice()).collect();
+        let stream = sents(&msgs);
+        let mut state = g.new_state();
+        for chunk in stream.chunks(2) {
+            g.process_batch(&mut state, chunk);
+        }
+        assert_eq!(state.n_evicted(), 4);
+        assert!(
+            !state.frozen_adjacency.is_empty(),
+            "evicted adjacency evidence must be frozen"
+        );
+        let out = g.finalize(&mut state);
+        assert_eq!(out.n_promoted, 1, "promotion survives eviction");
+        // Live sentences re-emit the merged mention.
+        for (_, spans) in &out.per_sentence {
+            assert_eq!(spans, &vec![Span::new(0, 2)]);
+        }
+    }
+
+    #[test]
+    fn eviction_never_resurrects_a_quarantined_sentence() {
+        let local = LexiconEmd::new(["italy"]);
+        let clf = accept_all(7);
+        let cfg = GlobalizerConfig {
+            window: crate::config::WindowConfig::sliding(2),
+            ..Default::default()
+        };
+        let g = Globalizer::new(&local, None, &clf, cfg);
+        let big = "x".repeat(emd_resilience::validate::MAX_TOKEN_BYTES + 1);
+        let poison = Sentence::from_tokens(SentenceId::new(1, 0), ["Italy", big.as_str()]);
+        let mut stream = vec![
+            Sentence::from_tokens(SentenceId::new(0, 0), ["Italy", "fine"]),
+            poison,
+        ];
+        for i in 2..6u64 {
+            stream.push(Sentence::from_tokens(
+                SentenceId::new(i, 0),
+                ["Italy", "again"],
+            ));
+        }
+        // A clean-looking replay of the quarantined id, long after every
+        // record from its era has been evicted.
+        stream.push(Sentence::from_tokens(
+            SentenceId::new(1, 0),
+            ["Italy", "replayed"],
+        ));
+        let mut state = g.new_state();
+        for chunk in stream.chunks(2) {
+            g.process_batch(&mut state, chunk);
+        }
+        let out = g.finalize(&mut state);
+        assert!(
+            out.per_sentence.iter().all(|(s, _)| s.tweet_id != 1),
+            "a quarantined sentence id must never re-enter the output"
+        );
+        assert_eq!(out.quarantined.len(), 2);
+        assert!(out.quarantined[1].reason.contains("previously quarantined"));
+    }
+
+    #[test]
+    fn long_windowed_run_compacts_and_prunes() {
+        let local = LexiconEmd::new(["italy", "oddity"]);
+        // Reject-all: an Entity verdict pins a candidate forever, so use
+        // the classifier that leaves everything non-entity to expose the
+        // frequency-decay pruning path.
+        let clf = reject_all(7);
+        let cfg = GlobalizerConfig {
+            window: crate::config::WindowConfig::sliding(2),
+            ..Default::default()
+        };
+        let mut g = Globalizer::new(&local, None, &clf, cfg);
+        emd_obs::set_enabled(true);
+        let reg = emd_obs::Registry::new();
+        g.set_metrics(PipelineMetrics::from_registry(&reg));
+        // "Oddity" appears once at the very start (frequency 1); every
+        // later sentence mentions only "Italy". Once the oddity sentence
+        // is evicted the candidate is cold and must be pruned, CTrie path
+        // included.
+        let mut stream = vec![Sentence::from_tokens(
+            SentenceId::new(0, 0),
+            ["Oddity", "here"],
+        )];
+        for i in 1..20u64 {
+            stream.push(Sentence::from_tokens(
+                SentenceId::new(i, 0),
+                ["Italy", "reports"],
+            ));
+        }
+        let mut state = g.new_state();
+        for chunk in stream.chunks(2) {
+            g.process_batch(&mut state, chunk);
+        }
+        assert!(
+            state.candidates.get("oddity").is_none(),
+            "cold candidate pruned"
+        );
+        assert!(
+            state.candidates.get("italy").is_some(),
+            "hot candidate kept"
+        );
+        assert!(!state.ctrie.contains(&["oddity"]), "CTrie path removed");
+        assert!(state.ctrie.contains(&["italy"]));
+        // Tombstones never exceed the live count by more than one batch.
+        assert!(
+            state.tweetbase.n_slots() <= 2 * state.tweetbase.len() + 2,
+            "compaction keeps the slot vector dense (slots={}, live={})",
+            state.tweetbase.n_slots(),
+            state.tweetbase.len()
+        );
+        let snap = g.metrics().snapshot();
+        assert!(snap.counter("emd_window_compactions_total").unwrap() > 0);
+        assert!(snap.counter("emd_window_pruned_candidates_total").unwrap() > 0);
+        let out = g.finalize(&mut state);
+        assert_eq!(out.per_sentence.len(), 2);
     }
 }

@@ -43,6 +43,9 @@ pub struct PhaseTimings {
     pub emit_ns: u64,
     /// Whole finalize call (closing rescan + γ resolution + emit).
     pub finalize_ns: u64,
+    /// Window enforcement: settling rescans, record eviction, candidate
+    /// pruning, and state compaction.
+    pub evict_ns: u64,
 }
 
 impl PhaseTimings {
@@ -64,6 +67,7 @@ impl PhaseTimings {
             ("promotion_ns", self.promotion_ns),
             ("emit_ns", self.emit_ns),
             ("finalize_ns", self.finalize_ns),
+            ("evict_ns", self.evict_ns),
         ]
     }
 }
@@ -134,11 +138,16 @@ pipeline_metrics! {
         item_retries_total => "emd_resilience_item_retries_total",
         trace_events_total => "emd_trace_events_total",
         trace_dropped_events_total => "emd_trace_dropped_events_total",
+        evicted_records_total => "emd_window_evicted_records_total",
+        pruned_candidates_total => "emd_window_pruned_candidates_total",
+        compactions_total => "emd_window_compactions_total",
     }
     gauges {
         dirty_depth => "emd_finalize_dirty_depth",
         rescan_coverage => "emd_finalize_rescan_coverage",
         degraded_candidates => "emd_resilience_degraded_candidates",
+        window_depth => "emd_window_depth",
+        resident_bytes => "emd_window_resident_bytes",
     }
     histograms {
         local_infer_ns => "emd_pipeline_local_infer_ns",
@@ -149,6 +158,7 @@ pipeline_metrics! {
         pool_ns => "emd_pipeline_pool_ns",
         classify_ns => "emd_pipeline_classify_ns",
         finalize_ns => "emd_pipeline_finalize_ns",
+        evict_ns => "emd_pipeline_evict_ns",
         checkpoint_write_ns => "emd_resilience_checkpoint_write_ns",
         checkpoint_restore_ns => "emd_resilience_checkpoint_restore_ns",
     }
@@ -177,10 +187,16 @@ mod tests {
         let reg = Registry::new();
         let m = PipelineMetrics::from_registry(&reg);
         let snap = m.snapshot();
-        assert_eq!(snap.counters.len(), 15);
-        assert_eq!(snap.gauges.len(), 3);
-        assert_eq!(snap.histograms.len(), 10);
+        assert_eq!(snap.counters.len(), 18);
+        assert_eq!(snap.gauges.len(), 5);
+        assert_eq!(snap.histograms.len(), 11);
         assert!(snap.counter("emd_trie_inserts_total").is_some());
+        assert!(snap.counter("emd_window_evicted_records_total").is_some());
+        assert!(snap.counter("emd_window_pruned_candidates_total").is_some());
+        assert!(snap.counter("emd_window_compactions_total").is_some());
+        assert!(snap.gauge("emd_window_depth").is_some());
+        assert!(snap.gauge("emd_window_resident_bytes").is_some());
+        assert!(snap.histogram("emd_pipeline_evict_ns").is_some());
         assert!(snap.counter("emd_trace_events_total").is_some());
         assert!(snap.counter("emd_trace_dropped_events_total").is_some());
         assert!(snap.counter("emd_resilience_quarantined_total").is_some());
@@ -206,11 +222,12 @@ mod tests {
             promotion_ns: 6,
             emit_ns: 7,
             finalize_ns: 8,
+            evict_ns: 9,
         };
         let pairs = t.as_pairs();
-        assert_eq!(pairs.len(), 8);
+        assert_eq!(pairs.len(), 9);
         let sum: u64 = pairs.iter().map(|&(_, v)| v).sum();
-        assert_eq!(sum, 36);
+        assert_eq!(sum, 45);
         assert_eq!(t.batch_total_ns(), 15);
     }
 

@@ -88,6 +88,10 @@ pub struct RunReport {
     /// version, checksum mismatch, undecodable payload) and was discarded
     /// in favour of a fresh start.
     pub discarded_corrupt_checkpoint: bool,
+    /// Why the checkpoint was discarded, when it was — the restore path
+    /// must never silently swallow the error an operator needs to
+    /// distinguish "disk corruption" from "incompatible build".
+    pub checkpoint_discard_reason: Option<String>,
     /// Trace events flushed from the globalizer's sink, in sequence
     /// order, when `emd_trace::enabled()` during the run (empty
     /// otherwise). The sink is drained at every batch boundary —
@@ -117,10 +121,13 @@ impl<'g, 'a> StreamSupervisor<'g, 'a> {
     }
 
     /// Restore state from the configured checkpoint, or start fresh.
-    /// Returns `(state, batches_already_completed, resumed, discarded)`.
-    fn restore_or_fresh(&self) -> (GlobalizerState, usize, bool, bool) {
+    /// Returns `(state, batches_already_completed, resumed, discard
+    /// reason)` — a corrupt checkpoint is discarded in favour of a fresh
+    /// start, but the reason is carried into the [`RunReport`] rather
+    /// than dropped on the floor.
+    fn restore_or_fresh(&self) -> (GlobalizerState, usize, bool, Option<String>) {
         let Some(path) = &self.config.checkpoint_path else {
-            return (self.globalizer.new_state(), 0, false, false);
+            return (self.globalizer.new_state(), 0, false, None);
         };
         let m = self.globalizer.metrics();
         let restored = {
@@ -128,9 +135,9 @@ impl<'g, 'a> StreamSupervisor<'g, 'a> {
             checkpoint::load::<GlobalizerState>(path)
         };
         match restored {
-            Ok((seq, state)) => (state, seq as usize, true, false),
-            Err(CheckpointError::NotFound) => (self.globalizer.new_state(), 0, false, false),
-            Err(_) => (self.globalizer.new_state(), 0, false, true),
+            Ok((seq, state)) => (state, seq as usize, true, None),
+            Err(CheckpointError::NotFound) => (self.globalizer.new_state(), 0, false, None),
+            Err(e) => (self.globalizer.new_state(), 0, false, Some(e.to_string())),
         }
     }
 
@@ -154,7 +161,7 @@ impl<'g, 'a> StreamSupervisor<'g, 'a> {
     }
 
     pub fn run(&self, stream: &[Sentence]) -> RunReport {
-        let (mut state, completed, resumed, discarded) = self.restore_or_fresh();
+        let (mut state, completed, resumed, discard_reason) = self.restore_or_fresh();
         let every = self.config.checkpoint_every.max(1);
         let batches: Vec<&[Sentence]> = stream.chunks(self.config.batch_size.max(1)).collect();
         let start = completed.min(batches.len());
@@ -249,6 +256,21 @@ impl<'g, 'a> StreamSupervisor<'g, 'a> {
             let is_last = i + 1 == batches.len();
             if let Some(path) = &self.config.checkpoint_path {
                 if (i + 1) % every == 0 || is_last {
+                    // Checkpoint compaction: squeeze evicted (tombstone)
+                    // slots out of the state first, so checkpoint size —
+                    // and restart cost — stays O(window) instead of
+                    // O(stream history). A no-op for unbounded runs.
+                    let dropped = state.compact();
+                    if dropped > 0 {
+                        m.compactions_total.inc();
+                        if tracing {
+                            self.temit(TraceEvent {
+                                count: Some(dropped as u64),
+                                phase: Some(TracePhase::Supervisor),
+                                ..TraceEvent::of(TraceEventKind::StateCompacted)
+                            });
+                        }
+                    }
                     let saved = {
                         let _t = Timer::start(&m.checkpoint_write_ns);
                         checkpoint::save(path, (i + 1) as u64, &state)
@@ -285,7 +307,8 @@ impl<'g, 'a> StreamSupervisor<'g, 'a> {
             checkpoints_written,
             checkpoint_write_failures,
             resumed_from_checkpoint: resumed,
-            discarded_corrupt_checkpoint: discarded,
+            discarded_corrupt_checkpoint: discard_reason.is_some(),
+            checkpoint_discard_reason: discard_reason,
             trace_events,
         }
     }
@@ -407,6 +430,10 @@ mod tests {
         let s = stream(4);
         let report = sup.run(&s);
         assert!(report.discarded_corrupt_checkpoint);
+        assert!(
+            report.checkpoint_discard_reason.is_some(),
+            "the discard reason is surfaced, not swallowed"
+        );
         assert!(!report.resumed_from_checkpoint);
         assert_eq!(
             report.batches_processed, 2,
@@ -414,6 +441,49 @@ mod tests {
         );
         let (plain, _) = g.run(&s, 2);
         assert_eq!(report.output.per_sentence, plain.per_sentence);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn windowed_restart_is_bit_identical_and_checkpoints_compact() {
+        let local = LexiconEmd::new(["italy", "covid"]);
+        let clf = accept_all(7);
+        let g = Globalizer::new(
+            &local,
+            None,
+            &clf,
+            GlobalizerConfig {
+                window: crate::config::WindowConfig::sliding(6),
+                ..Default::default()
+            },
+        );
+        let s = stream(40);
+        let path = temp("windowed");
+        let sup = StreamSupervisor::new(
+            &g,
+            SupervisorConfig {
+                checkpoint_path: Some(path.clone()),
+                checkpoint_every: 2,
+                batch_size: 4,
+                ..Default::default()
+            },
+        );
+        // Interrupted run over a prefix long enough to evict plenty.
+        let _ = sup.run(&s[..24]);
+        let (_seq, ckpt): (u64, GlobalizerState) = checkpoint::load(&path).unwrap();
+        assert!(ckpt.n_evicted() > 0, "the window evicted before the crash");
+        assert_eq!(
+            ckpt.tweetbase.n_slots(),
+            ckpt.tweetbase.len(),
+            "checkpoints are compacted: no tombstone slots persisted"
+        );
+        // Restart over the full stream: bit-identical to uninterrupted.
+        let report = sup.run(&s);
+        assert!(report.resumed_from_checkpoint);
+        let (plain, _) = g.run(&s, 4);
+        assert_eq!(report.output.per_sentence, plain.per_sentence);
+        assert_eq!(report.output.n_candidates, plain.n_candidates);
+        assert_eq!(report.output.n_entities, plain.n_entities);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -4,6 +4,19 @@
 //! itself, the token embeddings produced at Local EMD (deep systems only),
 //! the spans the local system detected, and the mention list that Global
 //! EMD updates as the sentences pass through the second phase.
+//!
+//! ## Bounded-memory storage
+//!
+//! For 24/7 streams the store supports *eviction*: a record can be removed
+//! from its slot (the slot becomes a tombstone) while stream-order indices
+//! of the remaining records stay stable — the globalizer's dirty set,
+//! quarantine set, and the token posting lists all hold slot indices, and
+//! none of them need rewriting when a cold record is dropped. Eviction
+//! removes the record's posting-list entries and frees the sentence,
+//! token-embedding matrix, and span storage (the dominant resident bytes).
+//! [`TweetBase::compact`] later squeezes out the tombstones (returning an
+//! old→new index remap for the caller's index-keyed sets) so checkpoints
+//! and restarts stay O(live window), not O(stream).
 
 use emd_nn::matrix::Matrix;
 use emd_text::token::{Sentence, SentenceId, Span};
@@ -33,14 +46,24 @@ pub struct TweetRecord {
 /// only changes a sentence's extraction if the sentence contains the
 /// candidate's first token — so the close-of-stream rescan touches only
 /// those sentences instead of the whole stream.
+///
+/// Posting-list invariant: every list holds strictly ascending indices of
+/// **live** records whose sentence contains the token. Replacement and
+/// eviction both maintain this by removing the outgoing record's postings;
+/// there are no stale or duplicated entries.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TweetBase {
-    records: Vec<TweetRecord>,
+    /// Stream-ordered record slots; `None` marks an evicted record.
+    slots: Vec<Option<TweetRecord>>,
+    /// Sentence id → slot index, live records only.
     index: HashMap<SentenceId, usize>,
-    /// Lower-cased token → ascending record indices of sentences containing
-    /// it. Postings for a replaced record are left in place (a harmless
-    /// superset: rescans re-check the sentence text anyway).
+    /// Lower-cased token → strictly ascending live slot indices.
     token_index: HashMap<String, Vec<usize>>,
+    /// Number of live (non-tombstone) slots.
+    live: usize,
+    /// Cumulative count of evictions over the lifetime of the store
+    /// (survives compaction; drives the evicted-records gauge).
+    evicted_total: u64,
 }
 
 impl TweetBase {
@@ -50,33 +73,73 @@ impl TweetBase {
     }
 
     /// Insert a record at the end of the stream order. Replaces any
-    /// previous record with the same id (streams should not repeat ids).
+    /// previous record with the same id (streams should not repeat ids);
+    /// the replaced record's posting-list entries are removed before the
+    /// new sentence is indexed, so postings never go stale or unsorted.
     pub fn insert(&mut self, record: TweetRecord) -> usize {
         let id = record.sentence.id;
         let i = if let Some(&i) = self.index.get(&id) {
-            self.records[i] = record;
+            // Replacement: drop the old sentence's postings first. Pushing
+            // the new tokens directly would re-append index `i` *after*
+            // any later records' indices (the old tail-only dedup produced
+            // unsorted, duplicated lists like `[0, 1, 0]`).
+            if let Some(old) = self.slots[i].take() {
+                self.remove_postings(i, &old.sentence);
+            }
+            self.slots[i] = Some(record);
             i
         } else {
-            let i = self.records.len();
+            let i = self.slots.len();
             self.index.insert(id, i);
-            self.records.push(record);
+            self.slots.push(Some(record));
+            self.live += 1;
             i
         };
-        for text in self.records[i].sentence.texts() {
-            let postings = self.token_index.entry(text.to_lowercase()).or_default();
-            // Pushes for one record are consecutive, so a last-element check
-            // dedups repeated tokens and keeps the postings sorted.
-            if postings.last() != Some(&i) {
-                postings.push(i);
-            }
-        }
+        self.add_postings(i);
         i
     }
 
-    /// Ascending record indices of sentences containing the (already
-    /// lower-cased) token. May include indices of records that were later
-    /// replaced under the same id; callers re-scan the sentence, so stale
-    /// entries cost a lookup, never correctness.
+    /// Index every distinct lower-cased token of slot `i`'s sentence,
+    /// keeping each posting list strictly ascending.
+    fn add_postings(&mut self, i: usize) {
+        let sentence = &self.slots[i]
+            .as_ref()
+            .expect("add_postings on tombstone")
+            .sentence;
+        // Split the borrow: collect the keys first (a sentence is short).
+        let mut keys: Vec<String> = sentence.texts().map(|t| t.to_lowercase()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        for key in keys {
+            let postings = self.token_index.entry(key).or_default();
+            match postings.binary_search(&i) {
+                Ok(_) => {}
+                Err(pos) => postings.insert(pos, i),
+            }
+        }
+    }
+
+    /// Remove slot `i`'s entries from the posting lists of `sentence`'s
+    /// tokens, dropping lists that become empty.
+    fn remove_postings(&mut self, i: usize, sentence: &Sentence) {
+        let mut keys: Vec<String> = sentence.texts().map(|t| t.to_lowercase()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        for key in keys {
+            if let Some(postings) = self.token_index.get_mut(&key) {
+                if let Ok(pos) = postings.binary_search(&i) {
+                    postings.remove(pos);
+                }
+                if postings.is_empty() {
+                    self.token_index.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Ascending live-record indices of sentences containing the (already
+    /// lower-cased) token. Strictly ascending, deduplicated, and free of
+    /// replaced or evicted records.
     pub fn indices_with_token(&self, token_lower: &str) -> &[usize] {
         self.token_index
             .get(token_lower)
@@ -84,50 +147,159 @@ impl TweetBase {
             .unwrap_or(&[])
     }
 
-    /// Record by stream-order index.
+    /// Record by stream-order index. Panics if the slot was evicted —
+    /// internal callers only reach live indices (via postings, the dirty
+    /// set, or [`TweetBase::iter_indexed`]).
     pub fn get_by_index(&self, i: usize) -> &TweetRecord {
-        &self.records[i]
+        self.slots[i].as_ref().expect("record was evicted")
     }
 
-    /// Mutable record by stream-order index.
+    /// Mutable record by stream-order index (same liveness contract as
+    /// [`TweetBase::get_by_index`]).
     pub fn get_mut_by_index(&mut self, i: usize) -> &mut TweetRecord {
-        &mut self.records[i]
+        self.slots[i].as_mut().expect("record was evicted")
     }
 
-    /// Stream-order index for a sentence id.
+    /// Record by stream-order index, `None` for tombstones.
+    pub fn record_at(&self, i: usize) -> Option<&TweetRecord> {
+        self.slots.get(i).and_then(Option::as_ref)
+    }
+
+    /// True when slot `i` holds a live record.
+    pub fn is_live(&self, i: usize) -> bool {
+        self.slots.get(i).map(Option::is_some).unwrap_or(false)
+    }
+
+    /// Stream-order index for a sentence id (live records only).
     pub fn index_of(&self, id: SentenceId) -> Option<usize> {
         self.index.get(&id).copied()
     }
 
     /// Lookup by sentence id.
     pub fn get(&self, id: SentenceId) -> Option<&TweetRecord> {
-        self.index.get(&id).map(|&i| &self.records[i])
+        self.index.get(&id).and_then(|&i| self.slots[i].as_ref())
     }
 
     /// Mutable lookup by sentence id.
     pub fn get_mut(&mut self, id: SentenceId) -> Option<&mut TweetRecord> {
         let i = *self.index.get(&id)?;
-        Some(&mut self.records[i])
+        self.slots[i].as_mut()
     }
 
-    /// Records in stream order.
+    /// Live records in stream order.
     pub fn iter(&self) -> impl Iterator<Item = &TweetRecord> {
-        self.records.iter()
+        self.slots.iter().flatten()
     }
 
-    /// Mutable iteration in stream order.
+    /// Live `(slot index, record)` pairs in stream order. Use this instead
+    /// of `iter().enumerate()` when positions must align with the dirty /
+    /// quarantine sets (enumeration over live records skips tombstones, so
+    /// its ordinals are *not* slot indices).
+    pub fn iter_indexed(&self) -> impl Iterator<Item = (usize, &TweetRecord)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|r| (i, r)))
+    }
+
+    /// Mutable iteration over live records in stream order.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut TweetRecord> {
-        self.records.iter_mut()
+        self.slots.iter_mut().flatten()
     }
 
-    /// Number of sentences stored.
+    /// Number of live sentences stored.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.live
     }
 
-    /// True when no sentences are stored.
+    /// True when no live sentences are stored.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.live == 0
+    }
+
+    /// Total slot count, including tombstones (the stream-order index
+    /// space; `len() <= n_slots()`).
+    pub fn n_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Cumulative evictions over the lifetime of the store.
+    pub fn evicted_total(&self) -> u64 {
+        self.evicted_total
+    }
+
+    /// First live slot index at or after `from`, scanning in stream order.
+    pub fn first_live_from(&self, from: usize) -> Option<usize> {
+        (from..self.slots.len()).find(|&i| self.slots[i].is_some())
+    }
+
+    /// Evict the record in slot `i`: remove its posting-list entries and
+    /// its id mapping, free the record (sentence, embeddings, spans) and
+    /// leave a tombstone so other slots keep their indices. Returns the
+    /// evicted record, or `None` if the slot was already a tombstone.
+    pub fn evict(&mut self, i: usize) -> Option<TweetRecord> {
+        let record = self.slots.get_mut(i)?.take()?;
+        self.remove_postings(i, &record.sentence);
+        self.index.remove(&record.sentence.id);
+        self.live -= 1;
+        self.evicted_total += 1;
+        Some(record)
+    }
+
+    /// Squeeze out tombstone slots so the stored vector is dense again.
+    /// Returns the old→new slot-index remap (`None` for evicted slots) so
+    /// callers can rebase any index-keyed side structures; returns an
+    /// identity-free `None` when there was nothing to compact.
+    pub fn compact(&mut self) -> Option<Vec<Option<usize>>> {
+        if self.live == self.slots.len() {
+            return None;
+        }
+        let mut remap: Vec<Option<usize>> = Vec::with_capacity(self.slots.len());
+        let mut next = 0usize;
+        for slot in &self.slots {
+            if slot.is_some() {
+                remap.push(Some(next));
+                next += 1;
+            } else {
+                remap.push(None);
+            }
+        }
+        let old = std::mem::take(&mut self.slots);
+        self.slots = old.into_iter().flatten().map(Some).collect();
+        self.index.clear();
+        self.token_index.clear();
+        for i in 0..self.slots.len() {
+            let id = self.slots[i]
+                .as_ref()
+                .map(|r| r.sentence.id)
+                .expect("compacted slots are live");
+            self.index.insert(id, i);
+            self.add_postings(i);
+        }
+        Some(remap)
+    }
+
+    /// Estimated resident heap bytes of the store: sentences, token
+    /// embeddings (the dominant term for deep local systems), span lists,
+    /// and both indexes. An estimate for gauges and eviction budgeting,
+    /// not an allocator-exact measurement.
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut total = self.slots.capacity() * size_of::<Option<TweetRecord>>();
+        for r in self.slots.iter().flatten() {
+            for t in &r.sentence.tokens {
+                total += size_of::<emd_text::token::Token>() + t.text.len();
+            }
+            if let Some(m) = &r.token_embeddings {
+                total += m.data.len() * size_of::<f32>();
+            }
+            total += (r.local_spans.len() + r.global_mentions.len()) * size_of::<Span>();
+        }
+        for (key, postings) in &self.token_index {
+            total += key.len() + postings.capacity() * size_of::<usize>() + 3 * size_of::<usize>();
+        }
+        total += self.index.len() * (size_of::<SentenceId>() + size_of::<usize>());
+        total
     }
 }
 
@@ -141,6 +313,39 @@ mod tests {
             token_embeddings: None,
             local_spans: vec![],
             global_mentions: vec![],
+        }
+    }
+
+    fn rec_with(tweet: u64, tokens: &[&str]) -> TweetRecord {
+        TweetRecord {
+            sentence: Sentence::from_tokens(SentenceId::new(tweet, 0), tokens.iter().copied()),
+            token_embeddings: None,
+            local_spans: vec![],
+            global_mentions: vec![],
+        }
+    }
+
+    /// Every posting list must be strictly ascending, deduplicated, and
+    /// point at a live record actually containing the token.
+    fn assert_postings_consistent(tb: &TweetBase) {
+        for (token, postings) in &tb.token_index {
+            assert!(
+                postings.windows(2).all(|w| w[0] < w[1]),
+                "postings for {token:?} not strictly ascending: {postings:?}"
+            );
+            assert!(
+                !postings.is_empty(),
+                "empty posting list for {token:?} kept"
+            );
+            for &i in postings {
+                let r = tb
+                    .record_at(i)
+                    .unwrap_or_else(|| panic!("posting for {token:?} points at tombstone {i}"));
+                assert!(
+                    r.sentence.texts().any(|t| t.to_lowercase() == *token),
+                    "stale posting: record {i} does not contain {token:?}"
+                );
+            }
         }
     }
 
@@ -178,47 +383,54 @@ mod tests {
     #[test]
     fn token_index_finds_sentences() {
         let mut tb = TweetBase::new();
-        tb.insert(TweetRecord {
-            sentence: Sentence::from_tokens(SentenceId::new(1, 0), ["Italy", "report"]),
-            token_embeddings: None,
-            local_spans: vec![],
-            global_mentions: vec![],
-        });
-        tb.insert(TweetRecord {
-            sentence: Sentence::from_tokens(SentenceId::new(2, 0), ["italy", "italy", "again"]),
-            token_embeddings: None,
-            local_spans: vec![],
-            global_mentions: vec![],
-        });
+        tb.insert(rec_with(1, &["Italy", "report"]));
+        tb.insert(rec_with(2, &["italy", "italy", "again"]));
         // Case-folded, deduped per record, ascending order.
         assert_eq!(tb.indices_with_token("italy"), &[0, 1]);
         assert_eq!(tb.indices_with_token("report"), &[0]);
         assert_eq!(tb.indices_with_token("missing"), &[] as &[usize]);
+        assert_postings_consistent(&tb);
     }
 
     #[test]
     fn token_index_survives_replacement() {
         let mut tb = TweetBase::new();
-        tb.insert(TweetRecord {
-            sentence: Sentence::from_tokens(SentenceId::new(1, 0), ["old", "text"]),
-            token_embeddings: None,
-            local_spans: vec![],
-            global_mentions: vec![],
-        });
-        tb.insert(TweetRecord {
-            sentence: Sentence::from_tokens(SentenceId::new(1, 0), ["new", "text"]),
-            token_embeddings: None,
-            local_spans: vec![],
-            global_mentions: vec![],
-        });
-        // The new token is indexed; the stale posting for "old" may remain
-        // (documented superset behaviour) but must point at the live record.
+        tb.insert(rec_with(1, &["old", "text"]));
+        tb.insert(rec_with(1, &["new", "text"]));
+        // The new tokens are indexed; the replaced sentence's postings are
+        // removed outright — no stale entries remain.
         assert_eq!(tb.indices_with_token("new"), &[0]);
         assert_eq!(tb.indices_with_token("text"), &[0]);
+        assert_eq!(tb.indices_with_token("old"), &[] as &[usize]);
         assert_eq!(tb.len(), 1);
-        for &i in tb.indices_with_token("old") {
-            assert_eq!(tb.get_by_index(i).sentence.id, SentenceId::new(1, 0));
-        }
+        assert_postings_consistent(&tb);
+    }
+
+    /// Regression for the replacement-path posting corruption: replacing a
+    /// *non-final* record whose tokens also appear in later records used to
+    /// re-push its index after theirs (`[0, 1, 0]`) because the tail-only
+    /// dedup never saw the earlier entry. Postings must stay strictly
+    /// ascending, deduplicated, and stale-free.
+    #[test]
+    fn replacing_non_final_record_keeps_postings_sorted() {
+        let mut tb = TweetBase::new();
+        tb.insert(rec_with(1, &["shared", "alpha"]));
+        tb.insert(rec_with(2, &["shared", "beta"]));
+        // Replace record 0 with a sentence still containing "shared".
+        tb.insert(rec_with(1, &["shared", "gamma"]));
+        assert_eq!(
+            tb.indices_with_token("shared"),
+            &[0, 1],
+            "replacement must not duplicate or unsort postings"
+        );
+        assert_eq!(tb.indices_with_token("alpha"), &[] as &[usize]);
+        assert_eq!(tb.indices_with_token("gamma"), &[0]);
+        assert_postings_consistent(&tb);
+        // Replace again with entirely fresh tokens: the shared posting for
+        // record 0 must disappear.
+        tb.insert(rec_with(1, &["delta"]));
+        assert_eq!(tb.indices_with_token("shared"), &[1]);
+        assert_postings_consistent(&tb);
     }
 
     #[test]
@@ -242,6 +454,106 @@ mod tests {
         assert_eq!(
             tb.get(SentenceId::new(1, 0)).unwrap().global_mentions.len(),
             1
+        );
+    }
+
+    #[test]
+    fn evict_frees_record_and_postings() {
+        let mut tb = TweetBase::new();
+        tb.insert(rec_with(1, &["cold", "shared"]));
+        tb.insert(rec_with(2, &["hot", "shared"]));
+        let evicted = tb.evict(0).expect("slot 0 live");
+        assert_eq!(evicted.sentence.id, SentenceId::new(1, 0));
+        assert_eq!(tb.len(), 1);
+        assert_eq!(tb.n_slots(), 2, "indices stay stable after eviction");
+        assert_eq!(tb.evicted_total(), 1);
+        assert!(!tb.is_live(0));
+        assert!(tb.record_at(0).is_none());
+        assert!(tb.get(SentenceId::new(1, 0)).is_none());
+        assert_eq!(tb.indices_with_token("cold"), &[] as &[usize]);
+        assert_eq!(tb.indices_with_token("shared"), &[1]);
+        // Double eviction is a no-op.
+        assert!(tb.evict(0).is_none());
+        assert_eq!(tb.evicted_total(), 1);
+        assert_postings_consistent(&tb);
+    }
+
+    #[test]
+    fn eviction_preserves_live_iteration_and_indices() {
+        let mut tb = TweetBase::new();
+        for t in 0..5u64 {
+            tb.insert(rec_with(t, &["tok"]));
+        }
+        tb.evict(1);
+        tb.evict(3);
+        let live: Vec<(usize, u64)> = tb
+            .iter_indexed()
+            .map(|(i, r)| (i, r.sentence.id.tweet_id))
+            .collect();
+        assert_eq!(live, vec![(0, 0), (2, 2), (4, 4)]);
+        assert_eq!(tb.indices_with_token("tok"), &[0, 2, 4]);
+        assert_eq!(tb.first_live_from(0), Some(0));
+        assert_eq!(tb.first_live_from(1), Some(2));
+        assert_eq!(tb.first_live_from(3), Some(4));
+        assert_eq!(tb.first_live_from(5), None);
+    }
+
+    #[test]
+    fn reinserting_an_evicted_id_appends_fresh() {
+        let mut tb = TweetBase::new();
+        tb.insert(rec_with(1, &["one"]));
+        tb.insert(rec_with(2, &["two"]));
+        tb.evict(0);
+        let i = tb.insert(rec_with(1, &["one", "again"]));
+        assert_eq!(i, 2, "an evicted id re-enters at the stream tail");
+        assert_eq!(tb.indices_with_token("one"), &[2]);
+        assert_postings_consistent(&tb);
+    }
+
+    #[test]
+    fn compact_squeezes_tombstones_with_remap() {
+        let mut tb = TweetBase::new();
+        for t in 0..6u64 {
+            tb.insert(rec_with(t, &["tok", &format!("w{t}")]));
+        }
+        tb.evict(0);
+        tb.evict(2);
+        tb.evict(3);
+        let remap = tb.compact().expect("had tombstones");
+        assert_eq!(remap, vec![None, Some(0), None, None, Some(1), Some(2)]);
+        assert_eq!(tb.n_slots(), 3);
+        assert_eq!(tb.len(), 3);
+        assert_eq!(
+            tb.evicted_total(),
+            3,
+            "cumulative count survives compaction"
+        );
+        let ids: Vec<u64> = tb.iter().map(|r| r.sentence.id.tweet_id).collect();
+        assert_eq!(ids, vec![1, 4, 5]);
+        assert_eq!(tb.indices_with_token("tok"), &[0, 1, 2]);
+        assert_eq!(tb.index_of(SentenceId::new(4, 0)), Some(1));
+        assert_postings_consistent(&tb);
+        // Dense store: nothing to compact.
+        assert!(tb.compact().is_none());
+    }
+
+    #[test]
+    fn resident_bytes_shrinks_on_eviction() {
+        let mut tb = TweetBase::new();
+        for t in 0..8u64 {
+            tb.insert(rec_with(
+                t,
+                &["some", "reasonably", "long", "sentence", "tokens"],
+            ));
+        }
+        let before = tb.resident_bytes();
+        for i in 0..6 {
+            tb.evict(i);
+        }
+        let after = tb.resident_bytes();
+        assert!(
+            after < before,
+            "eviction must shrink resident bytes: {before} -> {after}"
         );
     }
 }

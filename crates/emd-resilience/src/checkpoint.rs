@@ -3,12 +3,15 @@
 //! Format (one header line, then the payload):
 //!
 //! ```text
-//! EMDCKPT v1 seq=<n> crc=<16 hex digits>\n
+//! EMDCKPT v2 seq=<n> crc=<16 hex digits>\n
 //! <payload JSON>\n
 //! ```
 //!
-//! * `v1` — the [`FORMAT_VERSION`]; readers reject other versions rather
-//!   than guessing at field layouts.
+//! * `v2` — the [`FORMAT_VERSION`]; readers reject other versions rather
+//!   than guessing at field layouts. v2 coincides with the bounded-memory
+//!   state schema (tombstoned sentence slots, CTrie free list, frozen
+//!   adjacency ledger); v1 payloads predate it and are rejected rather
+//!   than misread.
 //! * `seq` — an application-meaning-free sequence number; the
 //!   `StreamSupervisor` stores "batches completed" here so recovery knows
 //!   which suffix of the stream to replay.
@@ -30,7 +33,7 @@ use std::path::Path;
 pub const MAGIC: &str = "EMDCKPT";
 
 /// Current checkpoint format version.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Why a checkpoint could not be written or read back.
 #[derive(Debug)]
@@ -83,7 +86,7 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     hash
 }
 
-/// Serialize `payload`, wrap it in a v1 header, and atomically replace
+/// Serialize `payload`, wrap it in a current-version header, and atomically replace
 /// `path` with the result.
 pub fn save<T: Serialize>(path: &Path, seq: u64, payload: &T) -> Result<(), CheckpointError> {
     let json =
@@ -216,6 +219,19 @@ mod tests {
         assert!(matches!(
             load::<Payload>(&path),
             Err(CheckpointError::UnsupportedVersion(99))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stale_v1_checkpoint_rejected() {
+        // The v1 payload schema predates bounded-memory state; reading it
+        // into a v2 build must fail loudly, not misinterpret fields.
+        let path = temp("stale");
+        std::fs::write(&path, "EMDCKPT v1 seq=0 crc=0\n{}\n").unwrap();
+        assert!(matches!(
+            load::<Payload>(&path),
+            Err(CheckpointError::UnsupportedVersion(1))
         ));
         std::fs::remove_file(&path).unwrap();
     }

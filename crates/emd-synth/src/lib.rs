@@ -24,6 +24,7 @@
 
 pub mod datasets;
 pub mod entities;
+pub mod longhorizon;
 pub mod noise;
 pub mod stream;
 pub mod sts;
@@ -33,4 +34,5 @@ pub mod zipf;
 
 pub use datasets::{standard_datasets, training_stream, StandardDatasets};
 pub use entities::{Entity, World, WorldConfig};
+pub use longhorizon::{gen_burst_stream, gen_churn_stream, gen_drift_stream};
 pub use stream::{gen_random_sample, gen_stream, NoiseConfig};

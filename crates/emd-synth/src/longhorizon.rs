@@ -1,0 +1,272 @@
+//! Long-horizon stream scenarios: topic drift, catalog churn, and entity
+//! bursts.
+//!
+//! The standard [`crate::gen_stream`] builder models a *stationary*
+//! targeted stream — one topic set, one entity catalog, forever. That is
+//! the wrong substrate for soak-testing bounded-memory streaming: under a
+//! stationary stream the candidate pool converges after a few thousand
+//! messages and eviction pressure stops exercising anything interesting.
+//! Real targeted streams are non-stationary in (at least) three ways, each
+//! of which this module models as a seeded, deterministic generator:
+//!
+//! * **drift** ([`gen_drift_stream`]) — the conversation moves on: every
+//!   epoch the stream jumps to a fresh topic (rotating domains), so old
+//!   entities stop recurring entirely and the live window's vocabulary
+//!   turns over wholesale. Exercises eviction of whole topic eras and
+//!   frequency-decay pruning of the abandoned catalog.
+//! * **churn** ([`gen_churn_stream`]) — the cast rotates gradually: one
+//!   long-lived topic whose focus catalog has a slice of its entries
+//!   replaced at a fixed cadence. Head entities persist for many windows
+//!   while tail entities come and go — the regime where pruning must
+//!   drop cold candidates *without* touching the recurring head.
+//! * **burst** ([`gen_burst_stream`]) — a background stream periodically
+//!   interrupted by a hot entity that dominates the next stretch of
+//!   messages, then vanishes. Exercises sudden candidate-pool growth,
+//!   rapid frequency skew, and post-burst decay.
+//!
+//! All builders emit sequential tweet IDs from 0 and are bit-for-bit
+//! reproducible from their seed, like every other generator in this crate.
+
+use crate::entities::World;
+use crate::stream::{gen_message, NoiseConfig};
+use crate::templates::Domain;
+use crate::topics::Topic;
+use emd_text::token::{Dataset, DatasetKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Focus-catalog size shared by the scenario topics.
+const N_FOCUS: usize = 40;
+
+/// **Drift**: a stream of `n` messages that abandons its topic every
+/// `epoch_len` messages for a freshly sampled one in the next domain
+/// (rotating through all domains). Entities from a finished epoch
+/// essentially never recur, so a windowed pipeline should see its whole
+/// candidate vocabulary turn over once per epoch.
+pub fn gen_drift_stream(
+    world: &World,
+    n: usize,
+    epoch_len: usize,
+    name: &str,
+    noise_cfg: &NoiseConfig,
+    seed: u64,
+) -> Dataset {
+    let epoch_len = epoch_len.max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let domains = Domain::all();
+    let mut topic = Topic::generate(world, domains[0], N_FOCUS, &mut rng);
+    let mut sentences = Vec::with_capacity(n);
+    for i in 0..n {
+        if i > 0 && i % epoch_len == 0 {
+            let domain = domains[(i / epoch_len) % domains.len()];
+            topic = Topic::generate(world, domain, N_FOCUS, &mut rng);
+        }
+        sentences.push(gen_message(world, &topic, i as u64, noise_cfg, &mut rng));
+    }
+    Dataset {
+        name: name.to_string(),
+        kind: DatasetKind::Streaming,
+        n_topics: n.div_ceil(epoch_len),
+        sentences,
+    }
+}
+
+/// **Churn**: one long-lived topic whose catalog rotates gradually —
+/// every `churn_every` messages, one eighth of the focus slots (at least
+/// one) are re-drawn from the world at large. Because replacement hits
+/// uniformly random *ranks*, head entities eventually rotate too, but
+/// slowly; most turnover happens in the tail.
+pub fn gen_churn_stream(
+    world: &World,
+    n: usize,
+    churn_every: usize,
+    name: &str,
+    noise_cfg: &NoiseConfig,
+    seed: u64,
+) -> Dataset {
+    let churn_every = churn_every.max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut topic = Topic::generate(world, Domain::Health, N_FOCUS, &mut rng);
+    let mut sentences = Vec::with_capacity(n);
+    for i in 0..n {
+        if i > 0 && i % churn_every == 0 {
+            churn_topic(world, &mut topic, &mut rng);
+        }
+        sentences.push(gen_message(world, &topic, i as u64, noise_cfg, &mut rng));
+    }
+    Dataset {
+        name: name.to_string(),
+        kind: DatasetKind::Streaming,
+        n_topics: 1,
+        sentences,
+    }
+}
+
+/// Replace a slice of `topic`'s focus slots with entities not currently in
+/// the catalog. The focus length is preserved, so the topic's Zipf ranks
+/// stay valid — a replaced slot inherits its rank's frequency.
+fn churn_topic(world: &World, topic: &mut Topic, rng: &mut StdRng) {
+    let n_replace = (topic.n_focus() / 8).max(1);
+    for _ in 0..n_replace {
+        let slot = rng.gen_range(0..topic.focus.len());
+        for _ in 0..16 {
+            let e = rng.gen_range(0..world.entities.len());
+            if !topic.focus.contains(&e) {
+                topic.focus[slot] = e;
+                break;
+            }
+        }
+    }
+}
+
+/// **Burst**: a stationary background topic, interrupted on a fixed
+/// schedule — every `burst_every` messages a burst of `burst_len`
+/// messages begins, during which 80% of messages come from a one-entity
+/// topic around a freshly drawn "hot" entity (the other 20% stay
+/// background chatter). The hot entity is re-drawn per burst, so each
+/// burst floods the window with a new high-frequency candidate that goes
+/// cold the moment the burst ends.
+pub fn gen_burst_stream(
+    world: &World,
+    n: usize,
+    burst_every: usize,
+    burst_len: usize,
+    name: &str,
+    noise_cfg: &NoiseConfig,
+    seed: u64,
+) -> Dataset {
+    let burst_every = burst_every.max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base = Topic::generate(world, Domain::Sports, N_FOCUS, &mut rng);
+    let mut hot: Option<Topic> = None;
+    let mut sentences = Vec::with_capacity(n);
+    for i in 0..n {
+        if i % burst_every == 0 {
+            let star = rng.gen_range(0..world.entities.len());
+            hot = Some(Topic::from_focus(base.domain, vec![star]));
+        }
+        let in_burst = i % burst_every < burst_len;
+        let topic = match &hot {
+            Some(h) if in_burst && rng.gen_bool(0.8) => h,
+            _ => &base,
+        };
+        sentences.push(gen_message(world, topic, i as u64, noise_cfg, &mut rng));
+    }
+    Dataset {
+        name: name.to_string(),
+        kind: DatasetKind::Streaming,
+        n_topics: 1 + n.div_ceil(burst_every),
+        sentences,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entities::WorldConfig;
+    use std::collections::HashSet;
+
+    fn world() -> World {
+        World::generate(&WorldConfig {
+            per_category: 60,
+            ..Default::default()
+        })
+    }
+
+    /// Lower-cased gold surfaces of a message slice.
+    fn surfaces(d: &Dataset, range: std::ops::Range<usize>) -> HashSet<String> {
+        d.sentences[range]
+            .iter()
+            .flat_map(|s| s.gold.iter().map(|sp| sp.surface_lower(&s.sentence)))
+            .collect()
+    }
+
+    #[test]
+    fn drift_turns_the_vocabulary_over() {
+        let w = world();
+        let d = gen_drift_stream(&w, 600, 200, "drift", &NoiseConfig::none(), 1);
+        assert_eq!(d.sentences.len(), 600);
+        let a = surfaces(&d, 0..200);
+        let c = surfaces(&d, 400..600);
+        let shared = a.intersection(&c).count();
+        // Distinct epochs in distinct domains: near-disjoint entity sets.
+        assert!(
+            shared * 4 < a.len().min(c.len()),
+            "cross-epoch overlap should be small: shared={shared}, a={}, c={}",
+            a.len(),
+            c.len()
+        );
+    }
+
+    #[test]
+    fn churn_rotates_gradually() {
+        let w = world();
+        let d = gen_churn_stream(&w, 800, 50, "churn", &NoiseConfig::none(), 2);
+        let early = surfaces(&d, 0..200);
+        let late = surfaces(&d, 600..800);
+        let novel = late.difference(&early).count();
+        let shared = late.intersection(&early).count();
+        assert!(
+            novel > 0,
+            "churn must introduce entities the start never saw"
+        );
+        assert!(
+            shared > 0,
+            "churn is gradual: the head cast persists across eras"
+        );
+    }
+
+    #[test]
+    fn bursts_concentrate_recurrence() {
+        let w = world();
+        let d = gen_burst_stream(&w, 400, 200, 40, "burst", &NoiseConfig::none(), 3);
+        // Inside a burst window, one surface dominates the gold mentions.
+        let burst_share = |range: std::ops::Range<usize>| -> f64 {
+            let mut freq: std::collections::HashMap<String, usize> = Default::default();
+            let mut total = 0usize;
+            for s in &d.sentences[range] {
+                for sp in &s.gold {
+                    *freq.entry(sp.surface_lower(&s.sentence)).or_default() += 1;
+                    total += 1;
+                }
+            }
+            *freq.values().max().unwrap_or(&0) as f64 / total.max(1) as f64
+        };
+        let in_burst = burst_share(0..40).max(burst_share(200..240));
+        let steady = burst_share(80..180);
+        assert!(
+            in_burst > steady * 2.0,
+            "burst windows must be far more concentrated: burst={in_burst:.2}, steady={steady:.2}"
+        );
+    }
+
+    #[test]
+    fn long_horizon_builders_are_deterministic() {
+        let w = world();
+        let a = gen_drift_stream(&w, 120, 40, "d", &NoiseConfig::default(), 9);
+        let b = gen_drift_stream(&w, 120, 40, "d", &NoiseConfig::default(), 9);
+        for (x, y) in a.sentences.iter().zip(&b.sentences) {
+            assert_eq!(x.sentence.joined(), y.sentence.joined());
+            assert_eq!(x.gold, y.gold);
+        }
+        let a = gen_churn_stream(&w, 120, 30, "c", &NoiseConfig::default(), 9);
+        let b = gen_churn_stream(&w, 120, 30, "c", &NoiseConfig::default(), 9);
+        for (x, y) in a.sentences.iter().zip(&b.sentences) {
+            assert_eq!(x.sentence.joined(), y.sentence.joined());
+        }
+        let a = gen_burst_stream(&w, 120, 60, 20, "b", &NoiseConfig::default(), 9);
+        let b = gen_burst_stream(&w, 120, 60, 20, "b", &NoiseConfig::default(), 9);
+        for (x, y) in a.sentences.iter().zip(&b.sentences) {
+            assert_eq!(x.sentence.joined(), y.sentence.joined());
+        }
+    }
+
+    #[test]
+    fn sequential_ids_from_zero() {
+        let w = world();
+        let d = gen_drift_stream(&w, 50, 10, "ids", &NoiseConfig::none(), 4);
+        for (i, s) in d.sentences.iter().enumerate() {
+            assert_eq!(s.sentence.id.tweet_id, i as u64);
+        }
+    }
+}

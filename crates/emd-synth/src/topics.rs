@@ -117,6 +117,19 @@ impl Topic {
         }
     }
 
+    /// Build a topic over an explicit focus list (rank order = given
+    /// order: `focus[0]` is the head entity). Used by the long-horizon
+    /// scenario builders to assemble burst and churned topics directly.
+    pub fn from_focus(domain: Domain, focus: Vec<usize>) -> Topic {
+        assert!(!focus.is_empty(), "a topic needs at least one focus entity");
+        let zipf = Zipf::new(focus.len(), 1.15);
+        Topic {
+            domain,
+            focus,
+            zipf,
+        }
+    }
+
     /// Draw a focus entity index (into `World::entities`) by Zipf rank.
     pub fn sample_entity(&self, rng: &mut StdRng) -> usize {
         self.focus[self.zipf.sample(rng)]

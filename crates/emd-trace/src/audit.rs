@@ -11,7 +11,10 @@
 //!
 //! The auditor deliberately consumes *only* the event stream (no pipeline
 //! state), and ignores pure bookkeeping kinds (`ItemRetry`, `ShardRetry`,
-//! `PhaseSpan`, checkpoint markers) that carry no decision.
+//! `PhaseSpan`, checkpoint and compaction markers) that carry no decision.
+//! Windowed runs are covered too: `SentenceEvicted` removes a sentence
+//! from emission (mirroring its departure from the TweetBase) and
+//! `CandidatePruned` retires a candidate until a later rediscovery.
 
 use crate::event::{TraceAblation, TraceEvent, TraceEventKind, TraceLabel, TracePhase};
 use std::collections::{HashMap, HashSet};
@@ -137,13 +140,31 @@ pub fn replay(events: &[TraceEvent]) -> ReplayedOutput {
                     ablation = a;
                 }
             }
+            TraceEventKind::SentenceEvicted => {
+                // The record left the sliding window: its mentions were
+                // already pooled, but the sentence itself is no longer
+                // part of the emitted output.
+                if let Some(sid) = ev.sid {
+                    excluded.insert(sid);
+                }
+            }
+            TraceEventKind::CandidatePruned => {
+                // The candidate (and its CTrie path) was dropped; a later
+                // rediscovery re-registers it via ScanMention events.
+                if let Some(key) = &ev.candidate {
+                    candidates.remove(key.as_str());
+                    labels.remove(key.as_str());
+                    degraded.remove(key.as_str());
+                }
+            }
             TraceEventKind::BatchStart
             | TraceEventKind::TrieInsert
             | TraceEventKind::ItemRetry
             | TraceEventKind::ShardRetry
             | TraceEventKind::PhaseSpan
             | TraceEventKind::CheckpointSaved
-            | TraceEventKind::CheckpointRestored => {}
+            | TraceEventKind::CheckpointRestored
+            | TraceEventKind::StateCompacted => {}
         }
     }
 
@@ -391,5 +412,80 @@ mod tests {
     #[test]
     fn empty_trace_replays_to_empty_output() {
         assert_eq!(replay(&[]), ReplayedOutput::default());
+    }
+
+    #[test]
+    fn eviction_excludes_sentence_and_prune_retires_candidate() {
+        let events = seqed(vec![
+            TraceEvent {
+                sid: Some((1, 0)),
+                ..TraceEvent::of(K::SentenceAdmitted)
+            },
+            TraceEvent {
+                sid: Some((2, 0)),
+                ..TraceEvent::of(K::SentenceAdmitted)
+            },
+            TraceEvent {
+                sid: Some((1, 0)),
+                count: Some(1),
+                phase: Some(TracePhase::Scan),
+                ..TraceEvent::of(K::ScanRecord)
+            },
+            TraceEvent {
+                sid: Some((1, 0)),
+                span: Some((0, 1)),
+                candidate: Some("ghost".into()),
+                ..TraceEvent::of(K::ScanMention)
+            },
+            TraceEvent {
+                sid: Some((2, 0)),
+                count: Some(1),
+                phase: Some(TracePhase::Scan),
+                ..TraceEvent::of(K::ScanRecord)
+            },
+            TraceEvent {
+                sid: Some((2, 0)),
+                span: Some((0, 1)),
+                candidate: Some("rome".into()),
+                local_hit: Some(true),
+                ..TraceEvent::of(K::ScanMention)
+            },
+            TraceEvent {
+                candidate: Some("rome".into()),
+                label: Some(TraceLabel::Entity),
+                ..TraceEvent::of(K::Verdict)
+            },
+            // Sentence 1 slides out of the window; its lone low-frequency
+            // candidate is pruned with it.
+            TraceEvent {
+                sid: Some((1, 0)),
+                count: Some(1),
+                phase: Some(TracePhase::Evict),
+                ..TraceEvent::of(K::SentenceEvicted)
+            },
+            TraceEvent {
+                candidate: Some("ghost".into()),
+                count: Some(1),
+                phase: Some(TracePhase::Evict),
+                ..TraceEvent::of(K::CandidatePruned)
+            },
+            TraceEvent {
+                count: Some(1),
+                phase: Some(TracePhase::Evict),
+                ..TraceEvent::of(K::StateCompacted)
+            },
+            TraceEvent {
+                ablation: Some(TraceAblation::Full),
+                ..TraceEvent::of(K::EmitStart)
+            },
+        ]);
+        let out = replay(&events);
+        assert_eq!(
+            out.per_sentence,
+            vec![((2, 0), vec![(0, 1)])],
+            "evicted sentence must leave the emitted set"
+        );
+        assert_eq!(out.n_candidates, 1, "pruned candidate retired");
+        assert_eq!(out.n_entities, 1);
     }
 }

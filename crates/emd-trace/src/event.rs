@@ -79,6 +79,22 @@ pub enum TraceEventKind {
     /// Supervisor restored from a checkpoint. Fields: `count` (batches
     /// covered).
     CheckpointRestored,
+    /// A sentence record left the sliding window: its stored sentence,
+    /// token embeddings, and posting-list entries were freed. The
+    /// sentence's mentions are no longer emitted (they were already
+    /// pooled). Fields: `sid`, `phase` (evict), `count` (global mentions
+    /// at eviction).
+    SentenceEvicted,
+    /// A low-frequency cold candidate (every mention evicted, no Entity
+    /// verdict) was dropped from the candidate pool together with its
+    /// CTrie path. Fields: `candidate`, `phase` (evict), `count`
+    /// (mention frequency at pruning).
+    CandidatePruned,
+    /// Tombstone slots were squeezed out of the stored state so the next
+    /// checkpoint is O(window). Bookkeeping only — indices are internal,
+    /// so replay semantics are unchanged. Fields: `count` (slots
+    /// dropped), `phase` (evict or supervisor).
+    StateCompacted,
 }
 
 /// Pipeline phase a trace event is attributed to.
@@ -106,6 +122,8 @@ pub enum TracePhase {
     FinalizeRescan,
     /// The batch-driving supervisor loop.
     Supervisor,
+    /// Window enforcement: eviction, candidate pruning, compaction.
+    Evict,
 }
 
 impl TracePhase {
@@ -123,6 +141,7 @@ impl TracePhase {
             TracePhase::Finalize => "finalize",
             TracePhase::FinalizeRescan => "finalize_rescan",
             TracePhase::Supervisor => "supervisor",
+            TracePhase::Evict => "evict",
         }
     }
 }

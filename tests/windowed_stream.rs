@@ -1,0 +1,275 @@
+//! Integration tests for bounded-memory (windowed) streaming:
+//!
+//! * **In-window bit-identity** — a windowed run emits exactly the
+//!   unbounded run's output restricted to the sentences still inside the
+//!   window, for arbitrary streams, batch schedules, window sizes, and
+//!   thread counts (the acceptance bar for "eviction never changes what
+//!   the pipeline says about live data").
+//! * **Traced eviction replay** — a traced windowed run records
+//!   `SentenceEvicted` events and the trace-replay auditor reconstructs
+//!   the emitted mention set exactly from the event log alone.
+//! * **Quarantine permanence** — evicting a quarantined sentence's era
+//!   never re-admits it: a re-sent sentence id is re-quarantined even
+//!   after every trace of the original has been evicted.
+
+use emd_globalizer::core::config::WindowConfig;
+use emd_globalizer::core::local::{LexiconEmd, LocalEmd, LocalEmdOutput};
+use emd_globalizer::core::{EntityClassifier, Globalizer, GlobalizerConfig, GlobalizerOutput};
+use emd_globalizer::nn::param::Net;
+use emd_globalizer::resilience::failpoint;
+use emd_globalizer::text::token::{Sentence, SentenceId};
+use emd_globalizer::trace::audit::{replay, ReplayedOutput};
+use emd_globalizer::trace::{TraceEventKind, TraceSink};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// The tracing switch and panic hook are process-global; serialise the
+/// tests that touch them and restore tracing-off on drop.
+static GLOBAL_FLAG: Mutex<()> = Mutex::new(());
+
+struct FlagGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl Drop for FlagGuard {
+    fn drop(&mut self) {
+        emd_globalizer::trace::set_enabled(false);
+        failpoint::disarm_all();
+    }
+}
+
+fn global_flag(trace_on: bool) -> FlagGuard {
+    let guard = GLOBAL_FLAG.lock().unwrap_or_else(|p| p.into_inner());
+    failpoint::disarm_all();
+    emd_globalizer::trace::set_enabled(trace_on);
+    FlagGuard(guard)
+}
+
+const WORDS: [&str; 12] = [
+    "italy", "covid", "beshear", "moross", "lumsa", "zutav", "report", "cases", "the", "news",
+    "visit", "again",
+];
+
+fn stream_from(msgs: &[Vec<usize>]) -> Vec<Sentence> {
+    msgs.iter()
+        .enumerate()
+        .map(|(i, words)| {
+            let toks = words.iter().enumerate().map(|(j, &w)| {
+                let mut t = WORDS[w].to_string();
+                if (i + j) % 3 == 0 {
+                    t[..1].make_ascii_uppercase();
+                }
+                t
+            });
+            Sentence::from_tokens(SentenceId::new(i as u64, 0), toks)
+        })
+        .collect()
+}
+
+fn lexicon() -> LexiconEmd {
+    LexiconEmd::new(["italy", "covid", "beshear", "moross", "lumsa", "zutav"])
+}
+
+/// A classifier biased hard enough to accept everything.
+fn accept_all() -> EntityClassifier {
+    let mut clf = EntityClassifier::new(7, 0);
+    clf.params_mut().into_iter().last().unwrap().value.data[0] = 100.0;
+    clf
+}
+
+/// Flatten a pipeline output into the trace-replay shape.
+fn flatten(out: &GlobalizerOutput) -> ReplayedOutput {
+    ReplayedOutput {
+        per_sentence: out
+            .per_sentence
+            .iter()
+            .map(|(sid, spans)| {
+                (
+                    (sid.tweet_id, sid.sent_id),
+                    spans
+                        .iter()
+                        .map(|sp| (sp.start as u32, sp.end as u32))
+                        .collect(),
+                )
+            })
+            .collect(),
+        n_candidates: out.n_candidates,
+        n_entities: out.n_entities,
+        n_promoted: out.n_promoted,
+        n_rescanned: out.n_rescanned,
+        n_degraded: out.n_degraded,
+    }
+}
+
+proptest! {
+    /// The windowed run's emitted output is the exact tail of the
+    /// unbounded run's output: the last `min(n, window)` sentences, with
+    /// bit-identical spans — for any stream, batch schedule, window size,
+    /// and finalize thread count. Promotion is disabled so the property
+    /// quantifies over *all* local systems' behaviour, not just streams
+    /// whose adjacency evidence happens to stay in-window.
+    #[test]
+    fn windowed_matches_unbounded_restricted_to_window(
+        msgs in proptest::collection::vec(proptest::collection::vec(0usize..12, 1..8), 1..25),
+        batch in 1usize..6,
+        window in 1usize..8,
+        threads in 1usize..4,
+    ) {
+        let local = lexicon();
+        let clf = accept_all();
+        let stream = stream_from(&msgs);
+        let run = |cfg: GlobalizerConfig| {
+            let g = Globalizer::new(&local, None, &clf, cfg);
+            let mut s = g.new_state();
+            for chunk in stream.chunks(batch) {
+                g.process_batch(&mut s, chunk);
+            }
+            let out = g.finalize_with_threads(&mut s, threads);
+            (out, s)
+        };
+        let (unbounded, _) = run(GlobalizerConfig {
+            promotion_support: 0,
+            ..Default::default()
+        });
+        let (windowed, s_win) = run(GlobalizerConfig {
+            promotion_support: 0,
+            window: WindowConfig::sliding(window),
+            ..Default::default()
+        });
+        prop_assert!(windowed.quarantined.is_empty());
+        let n_live = windowed.per_sentence.len();
+        prop_assert_eq!(n_live, stream.len().min(window));
+        prop_assert_eq!(
+            &windowed.per_sentence[..],
+            &unbounded.per_sentence[unbounded.per_sentence.len() - n_live..],
+            "in-window mentions must be bit-identical to the unbounded run"
+        );
+        prop_assert_eq!(
+            s_win.n_evicted() as usize,
+            stream.len().saturating_sub(window)
+        );
+    }
+}
+
+/// A traced windowed run records `SentenceEvicted` events and the replay
+/// auditor reconstructs the emitted mention set from the log alone — the
+/// event vocabulary stays complete under eviction, pruning, and
+/// compaction.
+#[test]
+fn traced_windowed_run_replays_with_eviction_events() {
+    let _g = global_flag(true);
+    let local = lexicon();
+    let clf = accept_all();
+    let g = Globalizer::new(
+        &local,
+        None,
+        &clf,
+        GlobalizerConfig {
+            window: WindowConfig::sliding(3),
+            ..Default::default()
+        },
+    );
+    let mut g = g;
+    let sink = TraceSink::with_capacity(1 << 16);
+    g.set_trace(sink.clone());
+    let msgs: Vec<Vec<usize>> = (0..12).map(|i| vec![i % 6, 6 + i % 6]).collect();
+    let stream = stream_from(&msgs);
+    let mut s = g.new_state();
+    for chunk in stream.chunks(2) {
+        g.process_batch(&mut s, chunk);
+    }
+    let out = g.finalize_with_threads(&mut s, 1);
+    assert_eq!(sink.dropped_total(), 0, "ring sized for the whole run");
+    let events = sink.drain();
+    let n_evict = events
+        .iter()
+        .filter(|e| e.kind == TraceEventKind::SentenceEvicted)
+        .count();
+    assert_eq!(n_evict, 9, "12 sentences through a window of 3 evict 9");
+    assert_eq!(
+        replay(&events),
+        flatten(&out),
+        "replay must reconstruct the windowed run exactly"
+    );
+}
+
+/// Local system that panics for its first `panics` calls on one tweet,
+/// then behaves: the first delivery exhausts the retry budget and lands
+/// in quarantine, while a later re-delivery of the same id succeeds at
+/// the local phase (so only the permanence guard can reject it).
+struct PoisonOnceEmd {
+    inner: LexiconEmd,
+    poisoned_tweet: u64,
+    panics_left: AtomicUsize,
+}
+
+impl LocalEmd for PoisonOnceEmd {
+    fn name(&self) -> &str {
+        "PoisonOnceEmd"
+    }
+    fn embedding_dim(&self) -> Option<usize> {
+        None
+    }
+    fn process(&self, sentence: &Sentence) -> LocalEmdOutput {
+        if sentence.id.tweet_id == self.poisoned_tweet {
+            let left = self.panics_left.load(Ordering::SeqCst);
+            if left > 0 {
+                self.panics_left.store(left - 1, Ordering::SeqCst);
+                failpoint::panic_injected("poisoned tweet");
+            }
+        }
+        self.inner.process(sentence)
+    }
+}
+
+/// Quarantine survives eviction: once a sentence id is quarantined, a
+/// re-delivery is re-quarantined even after the window has rolled far
+/// past the original incident — eviction never resurrects dead letters.
+#[test]
+fn eviction_never_resurrects_a_quarantined_sentence() {
+    let _g = global_flag(false);
+    failpoint::install_quiet_hook();
+    let local = PoisonOnceEmd {
+        inner: lexicon(),
+        poisoned_tweet: 1,
+        // Default poison_retries = 1 → two attempts on first delivery.
+        panics_left: AtomicUsize::new(2),
+    };
+    let clf = accept_all();
+    let g = Globalizer::new(
+        &local,
+        None,
+        &clf,
+        GlobalizerConfig {
+            window: WindowConfig::sliding(2),
+            ..Default::default()
+        },
+    );
+    let mut s = g.new_state();
+    let msgs: Vec<Vec<usize>> = (0..8).map(|i| vec![i % 6, 8]).collect();
+    let mut stream = stream_from(&msgs);
+    // Re-deliver sentence id 1 at the very end, long after the window has
+    // evicted everything from the original batch.
+    stream.push(Sentence::from_tokens(
+        SentenceId::new(1, 0),
+        ["Italy", "news"],
+    ));
+    for chunk in stream.chunks(3) {
+        g.process_batch(&mut s, chunk);
+    }
+    let out = g.finalize_with_threads(&mut s, 1);
+    assert!(s.n_evicted() > 0, "the window must have rolled");
+    assert_eq!(out.quarantined.len(), 2, "{:?}", out.quarantined);
+    assert!(out
+        .quarantined
+        .iter()
+        .all(|q| q.sid == SentenceId::new(1, 0)));
+    assert!(
+        out.quarantined[1].reason.contains("previously quarantined"),
+        "re-delivery must be rejected by the permanence guard: {:?}",
+        out.quarantined[1].reason
+    );
+    assert!(
+        out.per_sentence.iter().all(|(sid, _)| sid.tweet_id != 1),
+        "a quarantined sentence must never be emitted"
+    );
+}
