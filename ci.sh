@@ -50,11 +50,28 @@ grep -qE '^emd(;[a-z_]+)+ [0-9]+$' results/flame.txt
 
 echo "== bench smoke =="
 # Reduced-size pipeline benchmark; emits the machine-readable report
-# (per-phase throughput, latency quantiles, tracing on/off events/sec).
+# (per-phase throughput, latency quantiles, tracing on/off events/sec)
+# and asserts the tracing overhead stays under the ceiling documented in
+# DESIGN.md. Phases that never ran are omitted from the report.
 BENCH_SMOKE=1 cargo bench -p emd-bench --bench pipeline > /dev/null
 test -s results/BENCH_pipeline.json
 # Keep the committed copy at the repo root in sync with the fresh run.
 cp results/BENCH_pipeline.json BENCH_pipeline.json
+
+echo "== bench history gate =="
+# Append this run (git SHA + timestamp + throughput) to the per-machine
+# results/BENCH_history.jsonl and fail on a >25% throughput regression
+# against the previous comparable entry.
+cargo run --release -p emd-bench --bin bench_gate
+
+echo "== sentinel monitoring smoke =="
+# Health & drift monitoring end to end: stream a long-horizon synthetic
+# scenario with a topic jump injected halfway and assert the sentinel
+# flags the drift within a bounded number of batches, degrades the
+# stream's health, stays silent on a stationary control, replays the
+# health timeline from the trace log, and never perturbs the output
+# (monitored == unmonitored, bit for bit). Exits nonzero on violation.
+cargo run --release --example monitored_stream > /dev/null
 
 echo "== bounded-memory soak smoke =="
 # Stream a long-horizon drifting topic stream through a windowed

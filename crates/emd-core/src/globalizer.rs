@@ -45,11 +45,15 @@ use crate::tweetbase::{TweetBase, TweetRecord};
 use emd_obs::Timer;
 use emd_resilience::quarantine::{PipelinePhase, QuarantineEntry};
 use emd_resilience::{failpoint, isolate, validate};
+use emd_sentinel::{AlertKind, BatchObservation, HealthReport, HealthState, Sentinel};
 use emd_text::casing::{syntactic_class, SyntacticClass};
 use emd_text::token::{Sentence, SentenceId, Span};
-use emd_trace::{TraceAblation, TraceEvent, TraceEventKind, TraceLabel, TracePhase, TraceSink};
+use emd_trace::{
+    TraceAblation, TraceEvent, TraceEventKind, TraceHealth, TraceLabel, TracePhase, TraceSink,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Elapsed nanoseconds since `t0`, saturating into a `u64`.
@@ -77,6 +81,16 @@ fn trace_label(label: CandidateLabel) -> TraceLabel {
         CandidateLabel::Entity => TraceLabel::Entity,
         CandidateLabel::NonEntity => TraceLabel::NonEntity,
         CandidateLabel::Ambiguous => TraceLabel::Ambiguous,
+    }
+}
+
+/// Map a sentinel health state onto the trace vocabulary (the trace
+/// crate is dependency-free, so it cannot name `HealthState` itself).
+fn trace_health(h: HealthState) -> TraceHealth {
+    match h {
+        HealthState::Healthy => TraceHealth::Healthy,
+        HealthState::Degraded => TraceHealth::Degraded,
+        HealthState::Critical => TraceHealth::Critical,
     }
 }
 
@@ -318,6 +332,18 @@ struct StagedScan {
     degraded_keys: Vec<String>,
 }
 
+/// Live monitoring attachment: the quality sentinel plus the raw counts
+/// the current batch has accumulated so far. Behind a `Mutex` because
+/// the count hooks fire from `&self` phase methods; every hook runs in a
+/// sequential apply section, so the lock is uncontended in practice. A
+/// lock poisoned by a panicked batch attempt is recovered (the counts
+/// are reset at the next `start_batch` anyway, so a supervisor retry
+/// discards the failed attempt's partial counts).
+struct MonitorCell {
+    sentinel: Sentinel,
+    counts: BatchObservation,
+}
+
 /// The framework: a Local EMD plug-in, the Global EMD components, and the
 /// configuration.
 pub struct Globalizer<'a> {
@@ -334,6 +360,10 @@ pub struct Globalizer<'a> {
     /// `emd_trace::enabled()`. Defaults to the process-wide ring; see
     /// [`Globalizer::set_trace`].
     trace: TraceSink,
+    /// Attached quality sentinel, if any ([`Globalizer::set_sentinel`]).
+    /// `None` (the default) means no per-batch counting and no clock
+    /// reads on the sentinel's behalf.
+    monitor: Option<Mutex<MonitorCell>>,
 }
 
 impl<'a> Globalizer<'a> {
@@ -361,6 +391,7 @@ impl<'a> Globalizer<'a> {
             config,
             metrics: PipelineMetrics::global(),
             trace: emd_trace::global().clone(),
+            monitor: None,
         }
     }
 
@@ -384,6 +415,118 @@ impl<'a> Globalizer<'a> {
     /// ring (isolated tests, per-run trace capture).
     pub fn set_trace(&mut self, trace: TraceSink) {
         self.trace = trace;
+    }
+
+    /// Attach a quality sentinel: every processed batch (and the closing
+    /// finalize pass) folds one [`BatchObservation`] into it, drift
+    /// detections become `DriftDetected` trace events, health changes
+    /// become `HealthTransition` events, and the `emd_sentinel_*`
+    /// metrics mirror the verdict. Monitoring is strictly passive — the
+    /// sentinel never touches pipeline state, so monitored and
+    /// unmonitored runs produce bit-identical outputs (proptest-enforced
+    /// in `tests/sentinel_monitoring.rs`).
+    pub fn set_sentinel(&mut self, sentinel: Sentinel) {
+        self.monitor = Some(Mutex::new(MonitorCell {
+            sentinel,
+            counts: BatchObservation::default(),
+        }));
+    }
+
+    /// Whether a sentinel is attached.
+    pub fn monitored(&self) -> bool {
+        self.monitor.is_some()
+    }
+
+    /// Current health state from the attached sentinel, if any.
+    pub fn sentinel_health(&self) -> Option<HealthState> {
+        self.monitor
+            .as_ref()
+            .map(|m| Self::mon_lock(m).sentinel.health())
+    }
+
+    /// End-of-run health summary from the attached sentinel, if any.
+    pub fn sentinel_report(&self) -> Option<HealthReport> {
+        self.monitor
+            .as_ref()
+            .map(|m| Self::mon_lock(m).sentinel.report())
+    }
+
+    /// Windowed-series export from the attached sentinel, if any, as an
+    /// `emd-obs` snapshot riding the existing Prometheus/JSON exporters.
+    pub fn sentinel_snapshot(&self) -> Option<emd_obs::Snapshot> {
+        self.monitor
+            .as_ref()
+            .map(|m| Self::mon_lock(m).sentinel.snapshot())
+    }
+
+    /// Lock the monitor cell, recovering from poisoning (a panicked
+    /// batch attempt leaves partial counts; `start_batch` resets them).
+    fn mon_lock(m: &Mutex<MonitorCell>) -> std::sync::MutexGuard<'_, MonitorCell> {
+        m.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Run `f` over the current batch's raw counts iff a sentinel is
+    /// attached. Count hooks live only in sequential apply sections.
+    fn mon_count(&self, f: impl FnOnce(&mut BatchObservation)) {
+        if let Some(m) = &self.monitor {
+            f(&mut Self::mon_lock(m).counts);
+        }
+    }
+
+    /// Fold the batch's accumulated counts into the sentinel, mirror the
+    /// verdict into the `emd_sentinel_*` metrics, and emit
+    /// `DriftDetected` / `HealthTransition` trace events. `closing`
+    /// marks the finalize-time observation, which is normalized by the
+    /// resident window size rather than a batch size. Reads pipeline
+    /// state but never writes it — monitoring stays passive.
+    fn observe_batch(&self, state: &GlobalizerState, t0: Option<Instant>, closing: bool) {
+        let Some(m) = &self.monitor else { return };
+        let observed = {
+            let mut cell = Self::mon_lock(m);
+            let mut counts = std::mem::take(&mut cell.counts);
+            counts.batch = state.batch_seq;
+            if closing {
+                counts.sentences = state.tweetbase.len().max(1) as u64;
+            }
+            if let Some(t0) = t0 {
+                counts.latency_ns = elapsed_ns(t0);
+            }
+            let observed = cell.sentinel.observe(&counts);
+            self.metrics
+                .sentinel_health
+                .set(cell.sentinel.health().level() as f64);
+            observed
+        };
+        self.metrics
+            .sentinel_alerts_total
+            .add(observed.alerts.len() as u64);
+        let tracing = emd_trace::enabled();
+        for a in &observed.alerts {
+            if a.kind != AlertKind::Drift {
+                continue;
+            }
+            self.metrics.sentinel_drift_total.inc();
+            if tracing {
+                self.temit(TraceEvent {
+                    batch: Some(a.batch),
+                    series: Some(a.series.name().to_string()),
+                    score: Some(a.value as f32),
+                    reason: Some(a.detail.clone()),
+                    ..TraceEvent::of(TraceEventKind::DriftDetected)
+                });
+            }
+        }
+        if let Some(t) = &observed.transition {
+            self.metrics.sentinel_transitions_total.inc();
+            if tracing {
+                self.temit(TraceEvent {
+                    batch: Some(t.batch),
+                    health: Some(trace_health(t.to)),
+                    reason: Some(t.reason.clone()),
+                    ..TraceEvent::of(TraceEventKind::HealthTransition)
+                });
+            }
+        }
     }
 
     /// Push one trace event, keeping the `emd_trace_*` meta-counters in
@@ -495,6 +638,7 @@ impl<'a> Globalizer<'a> {
         reason: String,
     ) {
         self.metrics.quarantined_total.inc();
+        self.mon_count(|c| c.quarantined += 1);
         let trace_event = if emd_trace::enabled() {
             self.temit(TraceEvent {
                 sid: Some(tsid(sid)),
@@ -754,6 +898,10 @@ impl<'a> Globalizer<'a> {
         drop(trie_span);
         self.metrics.local_spans_total.add(n_local_spans);
         self.metrics.trie_inserts_total.add(n_inserted);
+        self.mon_count(|c| {
+            c.local_spans += n_local_spans;
+            c.trie_inserts += n_inserted;
+        });
         let dt = elapsed_ns(t0);
         state.timings.ingest_ns += dt;
         self.trace_phase_span(TracePhase::Ingest, None, dt);
@@ -929,10 +1077,12 @@ impl<'a> Globalizer<'a> {
         let _pool_span = Timer::start(&self.metrics.pool_ns);
         let mut n_mentions = 0u64;
         let mut n_pooled = 0u64;
+        let mut n_scan_degraded = 0u64;
         for (idx, outcome) in results {
             match outcome {
                 Ok(st) => {
                     n_mentions += st.mentions.len() as u64;
+                    n_scan_degraded += st.degraded_keys.len() as u64;
                     if tracing {
                         self.temit(TraceEvent {
                             sid: Some(tsid(state.tweetbase.get_by_index(idx).sentence.id)),
@@ -989,6 +1139,11 @@ impl<'a> Globalizer<'a> {
         }
         self.metrics.scan_mentions_total.add(n_mentions);
         self.metrics.pool_embeddings_total.add(n_pooled);
+        self.mon_count(|c| {
+            c.scan_mentions += n_mentions;
+            c.pooled += n_pooled;
+            c.degraded += n_scan_degraded;
+        });
         let dt_pool = elapsed_ns(t_pool);
         state.timings.pool_ns += dt_pool;
         self.trace_phase_span(TracePhase::Pool, tparent, dt_pool);
@@ -1078,12 +1233,18 @@ impl<'a> Globalizer<'a> {
         // Phase 2 (sequential): apply labels in discovery order.
         let tracing = emd_trace::enabled();
         let mut n_scored = 0u64;
+        let mut n_accepted = 0u64;
+        let mut n_rejected = 0u64;
+        let mut n_ambiguous = 0u64;
+        let mut n_cls_degraded = 0u64;
+        let mut score_sum = 0.0f64;
         for (rec, p) in state.candidates.iter_mut().zip(scores) {
             let Some(p) = p else { continue };
             let p = match p {
                 Ok(p) => p,
                 Err(reason) => {
                     rec.degraded = true;
+                    n_cls_degraded += 1;
                     if tracing {
                         self.temit(TraceEvent {
                             candidate: Some(rec.key.clone()),
@@ -1110,6 +1271,12 @@ impl<'a> Globalizer<'a> {
                     CandidateLabel::NonEntity
                 };
             }
+            score_sum += p as f64;
+            match rec.label {
+                CandidateLabel::Entity => n_accepted += 1,
+                CandidateLabel::NonEntity => n_rejected += 1,
+                _ => n_ambiguous += 1,
+            }
             if tracing {
                 self.temit(TraceEvent {
                     candidate: Some(rec.key.clone()),
@@ -1122,6 +1289,14 @@ impl<'a> Globalizer<'a> {
             }
         }
         self.metrics.classify_candidates_total.add(n_scored);
+        self.mon_count(|c| {
+            c.scored += n_scored;
+            c.accepted += n_accepted;
+            c.rejected += n_rejected;
+            c.ambiguous += n_ambiguous;
+            c.score_sum += score_sum;
+            c.degraded += n_cls_degraded;
+        });
         let dt = elapsed_ns(t0);
         state.timings.classify_ns += dt;
         self.trace_phase_span(
@@ -1135,16 +1310,29 @@ impl<'a> Globalizer<'a> {
     /// mention extraction over the batch, pooling, and an interim
     /// classification pass (γ candidates stay pending).
     pub fn process_batch(&self, state: &mut GlobalizerState, batch: &[Sentence]) {
+        // Clock read only on the sentinel's behalf; unmonitored runs pay
+        // nothing here.
+        let t0 = self.monitor.is_some().then(Instant::now);
         self.start_batch(state, batch);
         self.local_phase(state, batch);
         self.global_stage(state, batch);
         self.enforce_window(state);
+        self.observe_batch(state, t0, false);
     }
 
     /// Advance the batch counter (always — traced and untraced runs must
     /// agree on batch IDs) and delimit the batch in the trace.
     fn start_batch(&self, state: &mut GlobalizerState, batch: &[Sentence]) {
         state.batch_seq += 1;
+        // A fresh count frame per batch; this also discards partial
+        // counts left behind by a panicked (supervisor-retried) attempt.
+        self.mon_count(|c| {
+            *c = BatchObservation {
+                batch: state.batch_seq,
+                sentences: batch.len() as u64,
+                ..BatchObservation::default()
+            };
+        });
         if emd_trace::enabled() {
             self.temit(TraceEvent {
                 batch: Some(state.batch_seq),
@@ -1163,10 +1351,12 @@ impl<'a> Globalizer<'a> {
         batch: &[Sentence],
         n_threads: usize,
     ) {
+        let t0 = self.monitor.is_some().then(Instant::now);
         self.start_batch(state, batch);
         self.local_phase_parallel(state, batch, n_threads);
         self.global_stage(state, batch);
         self.enforce_window(state);
+        self.observe_batch(state, t0, false);
     }
 
     fn global_stage(&self, state: &mut GlobalizerState, batch: &[Sentence]) {
@@ -1232,6 +1422,7 @@ impl<'a> Globalizer<'a> {
                 self.scan_records(state, &settle, 1, PipelinePhase::Scan);
             }
             let tracing = emd_trace::enabled();
+            let mut n_evicted = 0u64;
             for &i in &victims {
                 state.dirty.remove(&i);
                 // `quarantined_idx` keeps the index: the slot is never
@@ -1239,6 +1430,7 @@ impl<'a> Globalizer<'a> {
                 if let Some(rec) = state.tweetbase.evict(i) {
                     self.freeze_adjacency(state, &rec);
                     self.metrics.evicted_records_total.inc();
+                    n_evicted += 1;
                     if tracing {
                         self.temit(TraceEvent {
                             sid: Some(tsid(rec.sentence.id)),
@@ -1249,6 +1441,7 @@ impl<'a> Globalizer<'a> {
                     }
                 }
             }
+            self.mon_count(|c| c.evicted += n_evicted);
             self.prune_candidates(state, w.prune_max_frequency);
             // Amortized O(1): compacting costs O(live + tombstones) and
             // only runs once tombstones outnumber live records.
@@ -1330,6 +1523,7 @@ impl<'a> Globalizer<'a> {
         if pruned.is_empty() {
             return;
         }
+        self.mon_count(|c| c.pruned += pruned.len() as u64);
         let tracing = emd_trace::enabled();
         for rec in &pruned {
             state.ctrie.remove(&rec.tokens);
@@ -1460,6 +1654,7 @@ impl<'a> Globalizer<'a> {
         self.metrics
             .rescan_coverage
             .set(n_rescanned as f64 / state.tweetbase.len().max(1) as f64);
+        self.mon_count(|c| c.promoted += n_promoted as u64);
         (n_rescanned, n_promoted)
     }
 
@@ -1551,6 +1746,7 @@ impl<'a> Globalizer<'a> {
         state: &mut GlobalizerState,
         n_threads: usize,
     ) -> GlobalizerOutput {
+        let t0m = self.monitor.is_some().then(Instant::now);
         let t0 = Instant::now();
         let _span = Timer::start(&self.metrics.finalize_ns);
         let (n_rescanned, n_promoted) = self.close_stream(state, n_threads);
@@ -1566,6 +1762,7 @@ impl<'a> Globalizer<'a> {
         state.timings.finalize_ns += dt_total;
         self.trace_phase_span(TracePhase::Finalize, None, dt_total);
         out.phase_timings = state.timings.clone();
+        self.observe_batch(state, t0m, true);
         out
     }
 
@@ -1578,6 +1775,7 @@ impl<'a> Globalizer<'a> {
         if self.config.ablation == Ablation::LocalOnly {
             return self.emit(state, 0, 0);
         }
+        let t0m = self.monitor.is_some().then(Instant::now);
         let t0 = Instant::now();
         let _span = Timer::start(&self.metrics.finalize_ns);
         let mut n_rescanned = 0;
@@ -1621,6 +1819,7 @@ impl<'a> Globalizer<'a> {
             .finalize_promotions_total
             .add(n_promoted as u64);
         self.metrics.rescan_coverage.set(1.0);
+        self.mon_count(|c| c.promoted += n_promoted as u64);
         if self.config.ablation == Ablation::Full {
             self.classify_candidates(state, true, 1);
         }
@@ -1633,6 +1832,7 @@ impl<'a> Globalizer<'a> {
         state.timings.finalize_ns += dt_total;
         self.trace_phase_span(TracePhase::Finalize, None, dt_total);
         out.phase_timings = state.timings.clone();
+        self.observe_batch(state, t0m, true);
         out
     }
 

@@ -141,6 +141,9 @@ pipeline_metrics! {
         evicted_records_total => "emd_window_evicted_records_total",
         pruned_candidates_total => "emd_window_pruned_candidates_total",
         compactions_total => "emd_window_compactions_total",
+        sentinel_alerts_total => "emd_sentinel_alerts_total",
+        sentinel_drift_total => "emd_sentinel_drift_total",
+        sentinel_transitions_total => "emd_sentinel_transitions_total",
     }
     gauges {
         dirty_depth => "emd_finalize_dirty_depth",
@@ -148,6 +151,7 @@ pipeline_metrics! {
         degraded_candidates => "emd_resilience_degraded_candidates",
         window_depth => "emd_window_depth",
         resident_bytes => "emd_window_resident_bytes",
+        sentinel_health => "emd_sentinel_health",
     }
     histograms {
         local_infer_ns => "emd_pipeline_local_infer_ns",
@@ -187,9 +191,13 @@ mod tests {
         let reg = Registry::new();
         let m = PipelineMetrics::from_registry(&reg);
         let snap = m.snapshot();
-        assert_eq!(snap.counters.len(), 18);
-        assert_eq!(snap.gauges.len(), 5);
+        assert_eq!(snap.counters.len(), 21);
+        assert_eq!(snap.gauges.len(), 6);
         assert_eq!(snap.histograms.len(), 11);
+        assert!(snap.counter("emd_sentinel_alerts_total").is_some());
+        assert!(snap.counter("emd_sentinel_drift_total").is_some());
+        assert!(snap.counter("emd_sentinel_transitions_total").is_some());
+        assert!(snap.gauge("emd_sentinel_health").is_some());
         assert!(snap.counter("emd_trie_inserts_total").is_some());
         assert!(snap.counter("emd_window_evicted_records_total").is_some());
         assert!(snap.counter("emd_window_pruned_candidates_total").is_some());

@@ -102,6 +102,11 @@ pub struct RunReport {
     /// mark). Point the globalizer at a private sink
     /// ([`Globalizer::set_trace`]) to keep unrelated events out.
     pub trace_events: Vec<TraceEvent>,
+    /// End-of-run health summary from the globalizer's attached quality
+    /// sentinel ([`Globalizer::set_sentinel`]); `None` when the run was
+    /// unmonitored. Transitions here are reproducible from the trace log
+    /// alone via `emd_trace::audit::replay_health`.
+    pub health: Option<emd_sentinel::HealthReport>,
 }
 
 /// Crash-recoverable batch driver over a [`Globalizer`].
@@ -310,6 +315,7 @@ impl<'g, 'a> StreamSupervisor<'g, 'a> {
             discarded_corrupt_checkpoint: discard_reason.is_some(),
             checkpoint_discard_reason: discard_reason,
             trace_events,
+            health: self.globalizer.sentinel_report(),
         }
     }
 }

@@ -234,6 +234,91 @@ fn timers_feed_registry_histograms() {
 }
 
 #[test]
+fn negative_gauges_round_trip_through_both_exporters() {
+    with_recording(|| {
+        // Gauges go negative in practice (deltas, drains, backlogs); both
+        // exporters must carry the sign and the exact value.
+        let reg = Registry::new();
+        reg.gauge("emd_queue_delta").set(-3.5);
+        let drain = reg.gauge("emd_drain_rate");
+        drain.set(-1.0);
+        drain.add(-0.25);
+        reg.gauge("emd_zero_signed").set(-0.0);
+        let snap = reg.snapshot();
+
+        let back = Snapshot::from_json(&snap.to_json()).expect("negative gauges deserialize");
+        assert_eq!(back, snap, "JSON round-trip keeps negative gauges");
+        assert_eq!(back.gauge("emd_queue_delta"), Some(-3.5));
+        assert_eq!(back.gauge("emd_drain_rate"), Some(-1.25));
+
+        let samples = parse_prometheus(&snap.to_prometheus());
+        let get = |name: &str| samples.iter().find(|(n, _)| n == name).unwrap().1;
+        assert_eq!(get("emd_queue_delta"), -3.5);
+        assert_eq!(get("emd_drain_rate"), -1.25);
+        assert_eq!(get("emd_zero_signed"), 0.0);
+    });
+}
+
+#[test]
+fn histogram_snapshots_stay_coherent_under_a_concurrent_writer() {
+    with_recording(|| {
+        // A writer hammers the histogram while the main thread snapshots
+        // and exports mid-update. Individual fields are relaxed atomics,
+        // so a snapshot may catch a sample between its bucket and count
+        // increments — but every exported view must still be monotone,
+        // internally ordered, and round-trippable.
+        const N: u64 = 200_000;
+        const MAXV: u64 = 1 << 20;
+        let reg = Registry::new();
+        let h = reg.histogram("emd_live_ns");
+        std::thread::scope(|s| {
+            let writer = h.clone();
+            s.spawn(move || {
+                for i in 0..N {
+                    writer.record(i % MAXV + 1);
+                }
+            });
+            let mut last_count = 0u64;
+            let mut last_sum = 0u64;
+            for _ in 0..200 {
+                let snap = reg.snapshot();
+                let hs = snap.histogram("emd_live_ns").unwrap();
+                assert!(hs.count >= last_count, "count is monotone");
+                assert!(hs.sum >= last_sum, "sum is monotone");
+                last_count = hs.count;
+                last_sum = hs.sum;
+                if hs.count > 0 {
+                    assert!((1..=MAXV).contains(&hs.min));
+                    assert!((1..=MAXV).contains(&hs.max));
+                    assert!(hs.min <= hs.max);
+                    for q in [hs.p50, hs.p90, hs.p99] {
+                        assert!(q >= hs.min as f64 && q <= hs.max as f64);
+                    }
+                }
+                let back =
+                    Snapshot::from_json(&snap.to_json()).expect("mid-update snapshot deserializes");
+                assert_eq!(back, snap, "mid-update snapshot round-trips");
+                // The Prometheus view parses, and its cumulative finite
+                // buckets never decrease (the `+Inf` sample reads `count`,
+                // which may trail a just-bumped bucket mid-update).
+                let samples = parse_prometheus(&snap.to_prometheus());
+                let cum: Vec<f64> = samples
+                    .iter()
+                    .filter(|(n, _)| n.starts_with("emd_live_ns_bucket") && !n.contains("+Inf"))
+                    .map(|&(_, v)| v)
+                    .collect();
+                assert!(cum.windows(2).all(|w| w[0] <= w[1]), "cumulative: {cum:?}");
+            }
+        });
+        // Writer joined: the final view balances exactly.
+        let hs = reg.snapshot().histogram("emd_live_ns").cloned().unwrap();
+        assert_eq!(hs.count, N);
+        let bucket_total: u64 = hs.buckets.iter().map(|b| b.count).sum();
+        assert_eq!(bucket_total, N, "every sample lands in a bucket");
+    });
+}
+
+#[test]
 fn disabled_process_wide_flag_makes_recording_free_of_side_effects() {
     let _g = FLAG_LOCK.lock().unwrap_or_else(|p| p.into_inner());
     emd_obs::set_enabled(false);

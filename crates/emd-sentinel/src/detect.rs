@@ -1,0 +1,463 @@
+//! Streaming change detectors: Page–Hinkley and an ADWIN-style
+//! adaptive-window test.
+//!
+//! Both are pure scalar math over one series — no clocks, no allocation
+//! beyond the ADWIN window — and both have a brute-force reference
+//! implementation ([`reference`]) that recomputes every statistic from
+//! the full retained history each step. The streaming structs are
+//! proptest-checked to fire at *bit-identical* steps with bit-identical
+//! statistics, which pins down summation order: every mean here is a
+//! left-to-right fold, in both implementations.
+//!
+//! **Page–Hinkley** tracks the cumulative deviation of samples from their
+//! running mean, `m_t = Σ (x_i − x̄_i − δ)`, and fires when `m_t` climbs
+//! more than `λ` above its historical minimum (an upward level shift);
+//! the downward side is symmetric. `δ` absorbs small wander, `λ` sets
+//! the magnitude×duration of shift that counts as drift, and a warm-up
+//! of `warmup` samples feeds only the running mean so the detector does
+//! not fire on its own cold start.
+//!
+//! **ADWIN** keeps an adaptive window of recent samples and, on every
+//! insert, tests all split points: if some prefix/suffix pair has means
+//! further apart than the Hoeffding-style bound
+//! `ε_cut = √(ln(4n/δ) / 2m)` (with `m` the harmonic mean of the two
+//! halves' sizes), the distribution has changed — the stale prefix is
+//! dropped one sample at a time until no split violates the bound. The
+//! window is capped so memory and per-insert cost stay bounded.
+
+use std::collections::VecDeque;
+
+/// What a detector reports at the step it fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    /// Detector statistic at fire time (Page–Hinkley cumulative
+    /// deviation, ADWIN `|μ_prefix − μ_suffix|`).
+    pub stat: f64,
+    /// The threshold that was exceeded (`λ` / `ε_cut`).
+    pub threshold: f64,
+    /// Mean of the pre-change regime (Page–Hinkley running mean; ADWIN
+    /// mean of the dropped prefix).
+    pub mean_before: f64,
+    /// Post-change level (Page–Hinkley: the triggering sample; ADWIN:
+    /// mean of the retained suffix).
+    pub mean_after: f64,
+}
+
+/// Which direction(s) of level shift Page–Hinkley watches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhDirection {
+    /// Fire only on upward shifts.
+    Up,
+    /// Fire only on downward shifts.
+    Down,
+    /// Fire on either.
+    Both,
+}
+
+/// Page–Hinkley parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhConfig {
+    /// Tolerated wander around the mean; deviations smaller than this
+    /// never accumulate.
+    pub delta: f64,
+    /// Fire when the cumulative deviation exceeds its running minimum by
+    /// this much.
+    pub lambda: f64,
+    /// Samples that feed only the running mean before cumulative stats
+    /// start — prevents cold-start false fires.
+    pub warmup: usize,
+    /// Shift direction(s) to watch.
+    pub direction: PhDirection,
+}
+
+impl Default for PhConfig {
+    fn default() -> Self {
+        PhConfig {
+            delta: 0.005,
+            lambda: 0.5,
+            warmup: 10,
+            direction: PhDirection::Both,
+        }
+    }
+}
+
+/// Streaming Page–Hinkley detector. Fully resets after each detection
+/// (mean and cumulative stats restart from the next sample).
+#[derive(Debug, Clone)]
+pub struct PageHinkley {
+    cfg: PhConfig,
+    n: u64,
+    sum: f64,
+    m_up: f64,
+    min_up: f64,
+    m_dn: f64,
+    min_dn: f64,
+}
+
+impl PageHinkley {
+    /// A fresh detector with the given parameters.
+    pub fn new(cfg: PhConfig) -> Self {
+        PageHinkley {
+            cfg,
+            n: 0,
+            sum: 0.0,
+            m_up: 0.0,
+            min_up: 0.0,
+            m_dn: 0.0,
+            min_dn: 0.0,
+        }
+    }
+
+    /// Restart from an empty state (as after a detection).
+    pub fn reset(&mut self) {
+        self.n = 0;
+        self.sum = 0.0;
+        self.m_up = 0.0;
+        self.min_up = 0.0;
+        self.m_dn = 0.0;
+        self.min_dn = 0.0;
+    }
+
+    /// Feed one sample; `Some` when drift fires (the detector resets
+    /// before returning).
+    pub fn push(&mut self, x: f64) -> Option<Detection> {
+        self.n += 1;
+        self.sum += x;
+        let mean = self.sum / self.n as f64;
+        if self.n <= self.cfg.warmup as u64 {
+            return None;
+        }
+        self.m_up += x - mean - self.cfg.delta;
+        self.min_up = self.min_up.min(self.m_up);
+        self.m_dn += mean - x - self.cfg.delta;
+        self.min_dn = self.min_dn.min(self.m_dn);
+        let ph_up = self.m_up - self.min_up;
+        let ph_dn = self.m_dn - self.min_dn;
+        let up_fired = matches!(self.cfg.direction, PhDirection::Up | PhDirection::Both)
+            && ph_up > self.cfg.lambda;
+        let dn_fired = matches!(self.cfg.direction, PhDirection::Down | PhDirection::Both)
+            && ph_dn > self.cfg.lambda;
+        if !up_fired && !dn_fired {
+            return None;
+        }
+        let stat = match (up_fired, dn_fired) {
+            (true, false) => ph_up,
+            (false, true) => ph_dn,
+            _ => ph_up.max(ph_dn),
+        };
+        let det = Detection {
+            stat,
+            threshold: self.cfg.lambda,
+            mean_before: mean,
+            mean_after: x,
+        };
+        self.reset();
+        Some(det)
+    }
+}
+
+/// ADWIN parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdwinConfig {
+    /// Confidence parameter `δ ∈ (0, 1)`: smaller is more conservative.
+    pub delta: f64,
+    /// Hard cap on retained samples (bounds memory and per-insert cost).
+    pub max_window: usize,
+    /// Minimum window size before any split is tested.
+    pub min_window: usize,
+}
+
+impl Default for AdwinConfig {
+    fn default() -> Self {
+        AdwinConfig {
+            delta: 0.02,
+            max_window: 256,
+            min_window: 16,
+        }
+    }
+}
+
+/// Streaming ADWIN-style detector over a capped adaptive window.
+#[derive(Debug, Clone)]
+pub struct Adwin {
+    cfg: AdwinConfig,
+    window: VecDeque<f64>,
+}
+
+impl Adwin {
+    /// A fresh detector with the given parameters.
+    pub fn new(cfg: AdwinConfig) -> Self {
+        Adwin {
+            cfg,
+            window: VecDeque::new(),
+        }
+    }
+
+    /// Samples currently retained.
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Feed one sample; `Some` when a change point is found. The stale
+    /// prefix is dropped (one sample at a time, retesting) until no
+    /// split violates the bound; the returned stats come from the first
+    /// violating split.
+    pub fn push(&mut self, x: f64) -> Option<Detection> {
+        self.window.push_back(x);
+        if self.window.len() > self.cfg.max_window.max(2) {
+            self.window.pop_front();
+        }
+        let mut first: Option<Detection> = None;
+        while let Some(det) = find_cut(
+            &self.window.iter().copied().collect::<Vec<_>>(),
+            self.cfg.delta,
+            self.cfg.min_window,
+        ) {
+            self.window.pop_front();
+            first = first.or(Some(det));
+        }
+        first
+    }
+}
+
+/// Test every split of `items` against the Hoeffding-style bound; the
+/// first violating split (leftmost) is returned. Means are left-to-right
+/// folds so the streaming and reference implementations agree bitwise.
+fn find_cut(items: &[f64], delta: f64, min_window: usize) -> Option<Detection> {
+    let n = items.len();
+    if n < min_window.max(2) {
+        return None;
+    }
+    for k in 1..n {
+        let nl = k as f64;
+        let nr = (n - k) as f64;
+        let mu_l = items[..k].iter().fold(0.0, |a, &b| a + b) / nl;
+        let mu_r = items[k..].iter().fold(0.0, |a, &b| a + b) / nr;
+        let m = 1.0 / (1.0 / nl + 1.0 / nr);
+        let eps = ((4.0 * n as f64 / delta).ln() / (2.0 * m)).sqrt();
+        let diff = (mu_l - mu_r).abs();
+        if diff > eps {
+            return Some(Detection {
+                stat: diff,
+                threshold: eps,
+                mean_before: mu_l,
+                mean_after: mu_r,
+            });
+        }
+    }
+    None
+}
+
+pub mod reference {
+    //! Brute-force reference implementations: replay the *entire* series
+    //! from scratch at every step, recomputing all statistics naively.
+    //! Obviously correct, quadratic (or worse), and used by proptests to
+    //! pin the streaming detectors' behaviour exactly.
+
+    use super::{AdwinConfig, Detection, PhConfig, PhDirection};
+
+    /// Every (0-based sample index, detection) Page–Hinkley fires at on
+    /// `xs`, restarting after each detection, with all statistics
+    /// recomputed from the segment start each step.
+    pub fn page_hinkley(xs: &[f64], cfg: &PhConfig) -> Vec<(usize, Detection)> {
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        let mut t = 0usize;
+        while t < xs.len() {
+            // Recompute the whole segment's statistics up to t, naively.
+            let seg = &xs[start..=t];
+            let mut sum = 0.0f64;
+            let mut m_up = 0.0f64;
+            let mut min_up = 0.0f64;
+            let mut m_dn = 0.0f64;
+            let mut min_dn = 0.0f64;
+            let mut fired: Option<Detection> = None;
+            for (i, &x) in seg.iter().enumerate() {
+                sum += x;
+                let mean = sum / (i + 1) as f64;
+                if i < cfg.warmup {
+                    continue;
+                }
+                m_up += x - mean - cfg.delta;
+                min_up = min_up.min(m_up);
+                m_dn += mean - x - cfg.delta;
+                min_dn = min_dn.min(m_dn);
+                // Only the final step of the replay can be a *new* fire:
+                // earlier fires would have reset the segment already.
+                if i + 1 == seg.len() {
+                    let ph_up = m_up - min_up;
+                    let ph_dn = m_dn - min_dn;
+                    let up = matches!(cfg.direction, PhDirection::Up | PhDirection::Both)
+                        && ph_up > cfg.lambda;
+                    let dn = matches!(cfg.direction, PhDirection::Down | PhDirection::Both)
+                        && ph_dn > cfg.lambda;
+                    if up || dn {
+                        let stat = match (up, dn) {
+                            (true, false) => ph_up,
+                            (false, true) => ph_dn,
+                            _ => ph_up.max(ph_dn),
+                        };
+                        fired = Some(Detection {
+                            stat,
+                            threshold: cfg.lambda,
+                            mean_before: mean,
+                            mean_after: x,
+                        });
+                    }
+                }
+            }
+            if let Some(d) = fired {
+                out.push((t, d));
+                start = t + 1;
+            }
+            t += 1;
+        }
+        out
+    }
+
+    /// Every (0-based sample index, detection) the ADWIN-style detector
+    /// fires at on `xs`, maintaining the window as a plain `Vec` and
+    /// rescanning every split naively after each insert and each drop.
+    pub fn adwin(xs: &[f64], cfg: &AdwinConfig) -> Vec<(usize, Detection)> {
+        let mut out = Vec::new();
+        let mut window: Vec<f64> = Vec::new();
+        for (t, &x) in xs.iter().enumerate() {
+            window.push(x);
+            if window.len() > cfg.max_window.max(2) {
+                window.remove(0);
+            }
+            let mut first: Option<Detection> = None;
+            while let Some(det) = super::find_cut(&window, cfg.delta, cfg.min_window) {
+                window.remove(0);
+                first = first.or(Some(det));
+            }
+            if let Some(d) = first {
+                out.push((t, d));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_hinkley_fires_on_upward_shift() {
+        let mut ph = PageHinkley::new(PhConfig {
+            delta: 0.01,
+            lambda: 1.0,
+            warmup: 10,
+            direction: PhDirection::Up,
+        });
+        let mut fired_at = None;
+        for t in 0..200 {
+            let x = if t < 100 { 1.0 } else { 2.0 };
+            if ph.push(x).is_some() && fired_at.is_none() {
+                fired_at = Some(t);
+            }
+        }
+        let at = fired_at.expect("a unit level shift must fire");
+        assert!(at >= 100, "fired before the shift: {at}");
+        assert!(at < 120, "fired too late: {at}");
+    }
+
+    #[test]
+    fn page_hinkley_stays_quiet_on_constant_series() {
+        let mut ph = PageHinkley::new(PhConfig::default());
+        for _ in 0..1000 {
+            assert_eq!(ph.push(3.5), None);
+        }
+    }
+
+    #[test]
+    fn page_hinkley_direction_down_ignores_up_shift() {
+        let cfg = PhConfig {
+            delta: 0.01,
+            lambda: 1.0,
+            warmup: 5,
+            direction: PhDirection::Down,
+        };
+        let mut ph = PageHinkley::new(cfg);
+        for t in 0..200 {
+            let x = if t < 100 { 1.0 } else { 3.0 };
+            assert_eq!(ph.push(x), None, "up-shift must not fire a Down detector");
+        }
+        let mut ph = PageHinkley::new(cfg);
+        let mut fired = false;
+        for t in 0..200 {
+            let x = if t < 100 { 3.0 } else { 1.0 };
+            fired |= ph.push(x).is_some();
+        }
+        assert!(fired, "down-shift must fire a Down detector");
+    }
+
+    #[test]
+    fn adwin_fires_and_shrinks_on_shift() {
+        let mut ad = Adwin::new(AdwinConfig {
+            delta: 0.05,
+            max_window: 128,
+            min_window: 8,
+        });
+        let mut fired_at = None;
+        for t in 0..160 {
+            let x = if t < 80 { 0.0 } else { 5.0 };
+            if ad.push(x).is_some() && fired_at.is_none() {
+                fired_at = Some(t);
+            }
+        }
+        let at = fired_at.expect("a large level shift must fire ADWIN");
+        assert!((80..100).contains(&at), "fired at {at}");
+        // After the shift settles the window holds mostly new-regime data.
+        assert!(ad.window_len() < 120, "stale prefix was not dropped");
+    }
+
+    #[test]
+    fn adwin_stays_quiet_on_constant_series() {
+        let mut ad = Adwin::new(AdwinConfig::default());
+        for _ in 0..500 {
+            assert_eq!(ad.push(2.0), None);
+        }
+        assert_eq!(ad.window_len(), 256);
+    }
+
+    #[test]
+    fn streaming_matches_reference_on_a_shifted_series() {
+        // A deterministic wavy series with a level shift in the middle.
+        let xs: Vec<f64> = (0..300)
+            .map(|t| {
+                let base = if t < 150 { 1.0 } else { 1.8 };
+                base + 0.1 * ((t % 7) as f64 - 3.0)
+            })
+            .collect();
+        let ph_cfg = PhConfig {
+            delta: 0.02,
+            lambda: 2.0,
+            warmup: 8,
+            direction: PhDirection::Both,
+        };
+        let mut ph = PageHinkley::new(ph_cfg);
+        let got: Vec<(usize, Detection)> = xs
+            .iter()
+            .enumerate()
+            .filter_map(|(t, &x)| ph.push(x).map(|d| (t, d)))
+            .collect();
+        assert_eq!(got, reference::page_hinkley(&xs, &ph_cfg));
+        assert!(!got.is_empty(), "the shift must be detected");
+
+        let ad_cfg = AdwinConfig {
+            delta: 0.05,
+            max_window: 64,
+            min_window: 8,
+        };
+        let mut ad = Adwin::new(ad_cfg);
+        let got: Vec<(usize, Detection)> = xs
+            .iter()
+            .enumerate()
+            .filter_map(|(t, &x)| ad.push(x).map(|d| (t, d)))
+            .collect();
+        assert_eq!(got, reference::adwin(&xs, &ad_cfg));
+        assert!(!got.is_empty(), "the shift must be detected");
+    }
+}

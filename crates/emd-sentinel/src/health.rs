@@ -1,0 +1,368 @@
+//! Per-stream health: a three-state machine (Healthy → Degraded →
+//! Critical) driven by declarative rules, with hysteresis and flap
+//! suppression.
+//!
+//! Every batch the sentinel evaluates its rules and reduces them to a
+//! *target severity* (the worst violated rule, or none). The machine
+//! then applies:
+//!
+//! * **hysteresis** — escalation requires `trip_after` consecutive
+//!   batches at (or above) the target severity; de-escalation requires
+//!   `clear_after` consecutive batches strictly below the current level,
+//!   and steps down one level at a time (Critical never snaps straight
+//!   to Healthy);
+//! * **flap suppression** — after any transition the state must dwell
+//!   `min_dwell` batches before the next transition, so a series
+//!   oscillating around a threshold cannot thrash the health signal
+//!   (alerts still fire; only the *state* is damped).
+
+use crate::series::SeriesId;
+use serde::{Deserialize, Serialize};
+
+/// The per-stream health level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum HealthState {
+    /// All rules quiet.
+    Healthy,
+    /// A Degraded-severity rule is tripping.
+    Degraded,
+    /// A Critical-severity rule is tripping.
+    Critical,
+}
+
+impl HealthState {
+    /// Stable lowercase name for exports and trace events.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::Critical => "critical",
+        }
+    }
+
+    /// Numeric level for the `emd_sentinel_health` gauge (0/1/2).
+    pub fn level(&self) -> u8 {
+        match self {
+            HealthState::Healthy => 0,
+            HealthState::Degraded => 1,
+            HealthState::Critical => 2,
+        }
+    }
+
+    fn step_down(&self) -> HealthState {
+        match self {
+            HealthState::Critical => HealthState::Degraded,
+            _ => HealthState::Healthy,
+        }
+    }
+}
+
+impl std::fmt::Display for HealthState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How bad a violated rule is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// Drives the machine toward [`HealthState::Degraded`].
+    Degraded,
+    /// Drives the machine toward [`HealthState::Critical`].
+    Critical,
+}
+
+impl Severity {
+    /// The health state this severity escalates toward.
+    pub fn target_state(&self) -> HealthState {
+        match self {
+            Severity::Degraded => HealthState::Degraded,
+            Severity::Critical => HealthState::Critical,
+        }
+    }
+}
+
+/// What a rule tests each batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Condition {
+    /// Windowed mean of the series above this limit.
+    Above(f64),
+    /// Windowed mean of the series below this limit.
+    Below(f64),
+    /// A drift detector attached to the series fired this batch.
+    Drift,
+}
+
+/// One declarative health rule: *if `series` satisfies `condition`,
+/// press toward `severity`*.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rule {
+    /// The series the rule watches.
+    pub series: SeriesId,
+    /// The test applied each batch.
+    pub condition: Condition,
+    /// How hard a violation presses on the health state.
+    pub severity: Severity,
+}
+
+impl Rule {
+    /// `series mean > limit` → severity.
+    pub fn above(series: SeriesId, limit: f64, severity: Severity) -> Self {
+        Rule {
+            series,
+            condition: Condition::Above(limit),
+            severity,
+        }
+    }
+
+    /// `series mean < limit` → severity.
+    pub fn below(series: SeriesId, limit: f64, severity: Severity) -> Self {
+        Rule {
+            series,
+            condition: Condition::Below(limit),
+            severity,
+        }
+    }
+
+    /// `drift detected on series` → severity.
+    pub fn drift(series: SeriesId, severity: Severity) -> Self {
+        Rule {
+            series,
+            condition: Condition::Drift,
+            severity,
+        }
+    }
+}
+
+/// The rule set plus the hysteresis / flap-suppression knobs.
+#[derive(Debug, Clone)]
+pub struct HealthPolicy {
+    /// Declarative rules evaluated every batch.
+    pub rules: Vec<Rule>,
+    /// Consecutive violating batches required to escalate.
+    pub trip_after: u32,
+    /// Consecutive clean batches required to step down one level.
+    pub clear_after: u32,
+    /// Minimum batches between transitions (flap suppression).
+    pub min_dwell: u32,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            rules: Vec::new(),
+            trip_after: 2,
+            clear_after: 8,
+            min_dwell: 4,
+        }
+    }
+}
+
+/// One recorded state change.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transition {
+    /// Batch sequence number the transition happened on.
+    pub batch: u64,
+    /// State before.
+    pub from: HealthState,
+    /// State after.
+    pub to: HealthState,
+    /// Human-readable cause (the rule that tripped, or "cleared").
+    pub reason: String,
+}
+
+/// The state machine itself. Fed one *target severity* per batch (the
+/// reduction of all rule evaluations); emits transitions.
+#[derive(Debug, Clone)]
+pub struct HealthMachine {
+    state: HealthState,
+    trip_after: u32,
+    clear_after: u32,
+    min_dwell: u32,
+    /// Consecutive batches whose target ≥ the candidate escalation level.
+    trip_streak: u32,
+    /// The escalation level the streak is building toward.
+    trip_target: Option<HealthState>,
+    /// Consecutive batches strictly below the current level.
+    clear_streak: u32,
+    /// Batches since the last transition (saturating).
+    dwell: u32,
+}
+
+impl HealthMachine {
+    /// A machine starting Healthy under the given knobs.
+    pub fn new(policy: &HealthPolicy) -> Self {
+        HealthMachine {
+            state: HealthState::Healthy,
+            trip_after: policy.trip_after.max(1),
+            clear_after: policy.clear_after.max(1),
+            min_dwell: policy.min_dwell,
+            trip_streak: 0,
+            trip_target: None,
+            clear_streak: 0,
+            dwell: u32::MAX, // the initial state may transition immediately
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// Advance one batch with the worst violated severity (`None` when
+    /// all rules were quiet). Returns the transition taken, if any;
+    /// `reason` describes the violated rule for escalations.
+    pub fn tick(
+        &mut self,
+        batch: u64,
+        target: Option<Severity>,
+        reason: &str,
+    ) -> Option<Transition> {
+        self.dwell = self.dwell.saturating_add(1);
+        let target_state = target.map(|s| s.target_state());
+
+        // Track the escalation streak: consecutive batches whose target
+        // is at or above some level higher than the current state.
+        match target_state {
+            Some(t) if t > self.state => {
+                match self.trip_target {
+                    // Keep building the streak at the lowest level seen,
+                    // so an oscillating Degraded/Critical target still
+                    // escalates (to the conservative lower level).
+                    Some(prev) => {
+                        self.trip_target = Some(prev.min(t));
+                        self.trip_streak += 1;
+                    }
+                    None => {
+                        self.trip_target = Some(t);
+                        self.trip_streak = 1;
+                    }
+                }
+            }
+            _ => {
+                self.trip_target = None;
+                self.trip_streak = 0;
+            }
+        }
+
+        // Track the clear streak: consecutive batches strictly below the
+        // current state's level.
+        if target_state.is_none_or(|t| t < self.state) && self.state != HealthState::Healthy {
+            self.clear_streak += 1;
+        } else {
+            self.clear_streak = 0;
+        }
+
+        if self.dwell < self.min_dwell {
+            return None;
+        }
+
+        if let Some(t) = self.trip_target {
+            if self.trip_streak >= self.trip_after {
+                return Some(self.transition(batch, t, reason));
+            }
+        }
+        if self.clear_streak >= self.clear_after && self.state != HealthState::Healthy {
+            let down = self.state.step_down();
+            return Some(self.transition(batch, down, "cleared"));
+        }
+        None
+    }
+
+    fn transition(&mut self, batch: u64, to: HealthState, reason: &str) -> Transition {
+        let t = Transition {
+            batch,
+            from: self.state,
+            to,
+            reason: reason.to_string(),
+        };
+        self.state = to;
+        self.trip_streak = 0;
+        self.trip_target = None;
+        self.clear_streak = 0;
+        self.dwell = 0;
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine(trip: u32, clear: u32, dwell: u32) -> HealthMachine {
+        HealthMachine::new(&HealthPolicy {
+            rules: Vec::new(),
+            trip_after: trip,
+            clear_after: clear,
+            min_dwell: dwell,
+        })
+    }
+
+    #[test]
+    fn escalates_after_trip_streak() {
+        let mut m = machine(3, 4, 0);
+        assert_eq!(m.tick(1, Some(Severity::Degraded), "r"), None);
+        assert_eq!(m.tick(2, Some(Severity::Degraded), "r"), None);
+        let t = m
+            .tick(3, Some(Severity::Degraded), "r")
+            .expect("trips on 3rd");
+        assert_eq!(
+            (t.from, t.to),
+            (HealthState::Healthy, HealthState::Degraded)
+        );
+        assert_eq!(m.state(), HealthState::Degraded);
+    }
+
+    #[test]
+    fn single_spike_does_not_trip() {
+        let mut m = machine(2, 4, 0);
+        assert_eq!(m.tick(1, Some(Severity::Critical), "r"), None);
+        assert_eq!(m.tick(2, None, ""), None);
+        assert_eq!(m.tick(3, Some(Severity::Critical), "r"), None);
+        assert_eq!(m.state(), HealthState::Healthy);
+    }
+
+    #[test]
+    fn clears_one_level_at_a_time() {
+        let mut m = machine(1, 2, 0);
+        m.tick(1, Some(Severity::Critical), "r").expect("escalate");
+        assert_eq!(m.state(), HealthState::Critical);
+        assert_eq!(m.tick(2, None, ""), None);
+        let t = m.tick(3, None, "").expect("clears after 2");
+        assert_eq!(t.to, HealthState::Degraded);
+        assert_eq!(m.tick(4, None, ""), None);
+        let t = m.tick(5, None, "").expect("clears again");
+        assert_eq!(t.to, HealthState::Healthy);
+    }
+
+    #[test]
+    fn min_dwell_suppresses_flapping() {
+        let mut m = machine(1, 1, 3);
+        m.tick(1, Some(Severity::Degraded), "r")
+            .expect("first trip is free");
+        // A clear signal arrives immediately, but the state must dwell.
+        assert_eq!(m.tick(2, None, ""), None);
+        assert_eq!(m.tick(3, None, ""), None);
+        assert!(m.tick(4, None, "").is_some(), "dwell served, now clears");
+    }
+
+    #[test]
+    fn oscillating_target_escalates_to_lower_level() {
+        let mut m = machine(3, 4, 0);
+        m.tick(1, Some(Severity::Critical), "r");
+        m.tick(2, Some(Severity::Degraded), "r");
+        let t = m.tick(3, Some(Severity::Critical), "r").expect("trips");
+        assert_eq!(t.to, HealthState::Degraded, "conservative lower level");
+    }
+
+    #[test]
+    fn degraded_target_while_critical_counts_toward_clear() {
+        let mut m = machine(1, 2, 0);
+        m.tick(1, Some(Severity::Critical), "r").expect("escalate");
+        assert_eq!(m.tick(2, Some(Severity::Degraded), "r"), None);
+        let t = m
+            .tick(3, Some(Severity::Degraded), "r")
+            .expect("steps down: target strictly below current");
+        assert_eq!(t.to, HealthState::Degraded);
+    }
+}

@@ -1,0 +1,105 @@
+//! The catalog of decision-quality series the sentinel tracks.
+//!
+//! Each series is one scalar per pipeline batch, derived from the batch's
+//! [`crate::BatchObservation`] counts. Rates are normalized per sentence
+//! so they are batch-size invariant; ratios are normalized by the number
+//! of scored candidates. A series whose denominator is zero for a batch
+//! simply contributes no sample that batch (rather than a misleading 0).
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies one windowed time series. `name()` doubles as the metric /
+/// export / rule-syntax name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SeriesId {
+    /// Wall-clock nanoseconds spent on the batch.
+    BatchLatencyNs,
+    /// Local-EMD spans ingested per sentence.
+    LocalSpanRate,
+    /// Candidate-occurrence mentions found by the scan, per sentence.
+    MentionRate,
+    /// Brand-new candidate phrases registered in the trie, per sentence
+    /// (candidate churn).
+    NewCandidateRate,
+    /// Mean classifier score over the batch's scored candidates.
+    ScoreMean,
+    /// Fraction of scored candidates labelled Entity.
+    AcceptRatio,
+    /// Fraction of scored candidates labelled NonEntity.
+    RejectRatio,
+    /// Sentences quarantined per sentence processed.
+    QuarantineRate,
+    /// Candidates falling back to degraded (local-only) handling, per
+    /// scored candidate.
+    DegradedRate,
+    /// Window evictions per sentence (eviction pressure).
+    EvictionRate,
+    /// Cold candidates pruned per sentence.
+    PruneRate,
+    /// Adjacent-fragment promotions per sentence (nonzero only on the
+    /// closing observation emitted at finalize).
+    PromotionRate,
+}
+
+impl SeriesId {
+    /// Every series, in catalog order.
+    pub const ALL: [SeriesId; 12] = [
+        SeriesId::BatchLatencyNs,
+        SeriesId::LocalSpanRate,
+        SeriesId::MentionRate,
+        SeriesId::NewCandidateRate,
+        SeriesId::ScoreMean,
+        SeriesId::AcceptRatio,
+        SeriesId::RejectRatio,
+        SeriesId::QuarantineRate,
+        SeriesId::DegradedRate,
+        SeriesId::EvictionRate,
+        SeriesId::PruneRate,
+        SeriesId::PromotionRate,
+    ];
+
+    /// Stable snake_case name used in exports, trace events, and docs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SeriesId::BatchLatencyNs => "batch_latency_ns",
+            SeriesId::LocalSpanRate => "local_span_rate",
+            SeriesId::MentionRate => "mention_rate",
+            SeriesId::NewCandidateRate => "new_candidate_rate",
+            SeriesId::ScoreMean => "score_mean",
+            SeriesId::AcceptRatio => "accept_ratio",
+            SeriesId::RejectRatio => "reject_ratio",
+            SeriesId::QuarantineRate => "quarantine_rate",
+            SeriesId::DegradedRate => "degraded_rate",
+            SeriesId::EvictionRate => "eviction_rate",
+            SeriesId::PruneRate => "prune_rate",
+            SeriesId::PromotionRate => "promotion_rate",
+        }
+    }
+}
+
+impl std::fmt::Display for SeriesId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn names_are_unique_and_catalog_is_complete() {
+        let names: HashSet<&str> = SeriesId::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), SeriesId::ALL.len());
+    }
+
+    #[test]
+    fn series_id_serde_round_trips() {
+        for s in SeriesId::ALL {
+            let json = serde_json::to_string(&s).unwrap();
+            let back: SeriesId = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, s);
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Ring-buffered sliding-window aggregators for scalar time series.
+//!
+//! A [`SeriesWindow`] keeps the last `capacity` samples of one series and
+//! answers windowed questions — mean, min/max, arbitrary quantiles — from
+//! exactly those samples, unlike the cumulative histograms in `emd-obs`
+//! which never forget. An [`Ewma`] tracks an exponentially weighted moving
+//! average alongside, for a cheap smoothed "current level" that reacts
+//! faster than the window mean.
+
+/// A fixed-capacity ring buffer over `f64` samples with windowed
+/// aggregate queries. Pushing beyond capacity overwrites the oldest
+/// sample.
+#[derive(Debug, Clone)]
+pub struct SeriesWindow {
+    buf: Vec<f64>,
+    capacity: usize,
+    /// Next write position when the ring is full.
+    head: usize,
+    /// Total samples ever pushed (saturating at `u64::MAX`).
+    pushed: u64,
+}
+
+impl SeriesWindow {
+    /// A window holding the most recent `capacity` samples
+    /// (`capacity >= 1` is enforced).
+    pub fn new(capacity: usize) -> Self {
+        SeriesWindow {
+            buf: Vec::new(),
+            capacity: capacity.max(1),
+            head: 0,
+            pushed: 0,
+        }
+    }
+
+    /// Append one sample, evicting the oldest when full.
+    pub fn push(&mut self, x: f64) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(x);
+        } else {
+            self.buf[self.head] = x;
+            self.head = (self.head + 1) % self.capacity;
+        }
+        self.pushed = self.pushed.saturating_add(1);
+    }
+
+    /// Samples currently in the window.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True before the first push.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// True once the ring has wrapped at least once.
+    pub fn is_full(&self) -> bool {
+        self.buf.len() == self.capacity
+    }
+
+    /// Total samples ever pushed (including evicted ones).
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Most recent sample, if any.
+    pub fn last(&self) -> Option<f64> {
+        if self.buf.is_empty() {
+            None
+        } else if self.buf.len() < self.capacity {
+            self.buf.last().copied()
+        } else {
+            // `head` points at the oldest slot; the newest is just before.
+            Some(self.buf[(self.head + self.capacity - 1) % self.capacity])
+        }
+    }
+
+    /// Windowed arithmetic mean (`None` when empty). Summation is
+    /// insertion-order independent here — only the sample *set* matters.
+    pub fn mean(&self) -> Option<f64> {
+        if self.buf.is_empty() {
+            None
+        } else {
+            Some(self.buf.iter().sum::<f64>() / self.buf.len() as f64)
+        }
+    }
+
+    /// Smallest sample in the window.
+    pub fn min(&self) -> Option<f64> {
+        self.buf.iter().copied().reduce(f64::min)
+    }
+
+    /// Largest sample in the window.
+    pub fn max(&self) -> Option<f64> {
+        self.buf.iter().copied().reduce(f64::max)
+    }
+
+    /// Windowed quantile via nearest-rank on a sorted copy of the window
+    /// (`q` clamped to `[0, 1]`; `None` when empty). Exact for the
+    /// samples held — no bucketing error — at O(n log n) per call, which
+    /// is fine at per-batch cadence over windows of tens of samples.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        let mut sorted = self.buf.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+        Some(sorted[rank.min(sorted.len() - 1)])
+    }
+
+    /// The window contents oldest-first (allocates; used by exports and
+    /// tests, not per-batch hot paths).
+    pub fn iter_ordered(&self) -> Vec<f64> {
+        if self.buf.len() < self.capacity {
+            self.buf.clone()
+        } else {
+            let mut out = Vec::with_capacity(self.capacity);
+            out.extend_from_slice(&self.buf[self.head..]);
+            out.extend_from_slice(&self.buf[..self.head]);
+            out
+        }
+    }
+}
+
+/// Exponentially weighted moving average: `v ← α·x + (1-α)·v`, seeded
+/// with the first sample. Higher `α` reacts faster.
+#[derive(Debug, Clone)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// A new EWMA with smoothing factor `alpha ∈ (0, 1]` (clamped).
+    pub fn new(alpha: f64) -> Self {
+        Ewma {
+            alpha: alpha.clamp(f64::MIN_POSITIVE, 1.0),
+            value: None,
+        }
+    }
+
+    /// Fold one sample in and return the updated average.
+    pub fn push(&mut self, x: f64) -> f64 {
+        let v = match self.value {
+            None => x,
+            Some(v) => self.alpha * x + (1.0 - self.alpha) * v,
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// Current average (`None` before the first push).
+    pub fn get(&self) -> Option<f64> {
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_evicts_oldest() {
+        let mut w = SeriesWindow::new(3);
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            w.push(x);
+        }
+        assert_eq!(w.len(), 3);
+        assert!(w.is_full());
+        assert_eq!(w.pushed(), 5);
+        assert_eq!(w.iter_ordered(), vec![3.0, 4.0, 5.0]);
+        assert_eq!(w.last(), Some(5.0));
+        assert_eq!(w.mean(), Some(4.0));
+        assert_eq!(w.min(), Some(3.0));
+        assert_eq!(w.max(), Some(5.0));
+    }
+
+    #[test]
+    fn partial_window_aggregates() {
+        let mut w = SeriesWindow::new(8);
+        assert!(w.is_empty());
+        assert_eq!(w.mean(), None);
+        assert_eq!(w.quantile(0.5), None);
+        w.push(2.0);
+        w.push(6.0);
+        assert_eq!(w.last(), Some(6.0));
+        assert_eq!(w.mean(), Some(4.0));
+        assert!(!w.is_full());
+    }
+
+    #[test]
+    fn quantiles_are_exact_on_window_contents() {
+        let mut w = SeriesWindow::new(5);
+        for x in [9.0, 1.0, 5.0, 3.0, 7.0] {
+            w.push(x);
+        }
+        assert_eq!(w.quantile(0.0), Some(1.0));
+        assert_eq!(w.quantile(0.5), Some(5.0));
+        assert_eq!(w.quantile(1.0), Some(9.0));
+        // Push two more: window is now [5,3,7,2,8].
+        w.push(2.0);
+        w.push(8.0);
+        assert_eq!(w.quantile(0.0), Some(2.0));
+        assert_eq!(w.quantile(1.0), Some(8.0));
+    }
+
+    #[test]
+    fn ewma_seeds_and_smooths() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.get(), None);
+        assert_eq!(e.push(4.0), 4.0);
+        assert_eq!(e.push(8.0), 6.0);
+        assert_eq!(e.push(6.0), 6.0);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut w = SeriesWindow::new(0);
+        w.push(1.0);
+        w.push(2.0);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.last(), Some(2.0));
+    }
+}

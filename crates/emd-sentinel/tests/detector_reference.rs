@@ -1,0 +1,85 @@
+//! Proptests pinning the streaming change detectors to their brute-force
+//! reference implementations: on random series (noise, and noise with an
+//! injected level shift), the streaming `PageHinkley` / `Adwin` structs
+//! must fire at exactly the same sample indices with bit-identical
+//! statistics as the naive full-replay references.
+
+use emd_sentinel::detect::{
+    reference, Adwin, AdwinConfig, Detection, PageHinkley, PhConfig, PhDirection,
+};
+use proptest::prelude::*;
+
+/// Run the streaming detector over `xs`, collecting (index, detection).
+fn stream_ph(xs: &[f64], cfg: PhConfig) -> Vec<(usize, Detection)> {
+    let mut ph = PageHinkley::new(cfg);
+    xs.iter()
+        .enumerate()
+        .filter_map(|(t, &x)| ph.push(x).map(|d| (t, d)))
+        .collect()
+}
+
+fn stream_adwin(xs: &[f64], cfg: AdwinConfig) -> Vec<(usize, Detection)> {
+    let mut ad = Adwin::new(cfg);
+    xs.iter()
+        .enumerate()
+        .filter_map(|(t, &x)| ad.push(x).map(|d| (t, d)))
+        .collect()
+}
+
+/// Superimpose a level shift of `jump` starting at fraction `at` of the
+/// series, so the generators cover both quiet and firing regimes.
+fn with_shift(mut xs: Vec<f64>, at: f64, jump: f64) -> Vec<f64> {
+    let onset = ((xs.len() as f64) * at) as usize;
+    for x in xs.iter_mut().skip(onset) {
+        *x += jump;
+    }
+    xs
+}
+
+proptest! {
+    #[test]
+    fn page_hinkley_matches_reference(
+        xs in proptest::collection::vec(0.0f64..1.0, 20..250),
+        at in 0.2f64..0.9,
+        jump in -3.0f64..3.0,
+        lambda in 0.2f64..2.0,
+        warmup in 0usize..16,
+    ) {
+        let xs = with_shift(xs, at, jump);
+        for direction in [PhDirection::Up, PhDirection::Down, PhDirection::Both] {
+            let cfg = PhConfig { delta: 0.01, lambda, warmup, direction };
+            prop_assert_eq!(stream_ph(&xs, cfg), reference::page_hinkley(&xs, &cfg));
+        }
+    }
+
+    #[test]
+    fn adwin_matches_reference(
+        xs in proptest::collection::vec(0.0f64..1.0, 20..200),
+        at in 0.2f64..0.9,
+        jump in -4.0f64..4.0,
+        delta in 0.01f64..0.3,
+        max_window in 16usize..96,
+        min_window in 4usize..24,
+    ) {
+        let xs = with_shift(xs, at, jump);
+        let cfg = AdwinConfig { delta, max_window, min_window };
+        prop_assert_eq!(stream_adwin(&xs, cfg), reference::adwin(&xs, &cfg));
+    }
+
+    #[test]
+    fn detectors_fire_on_large_shifts_and_not_on_tiny_noise(
+        seed_noise in proptest::collection::vec(-0.02f64..0.02, 120..180),
+    ) {
+        // Quiet: pure small noise around a constant level.
+        let quiet: Vec<f64> = seed_noise.iter().map(|n| 0.5 + n).collect();
+        let ph_cfg = PhConfig { delta: 0.05, lambda: 1.5, warmup: 10, direction: PhDirection::Both };
+        prop_assert!(stream_ph(&quiet, ph_cfg).is_empty(), "PH fired on tiny noise");
+        let ad_cfg = AdwinConfig { delta: 0.01, max_window: 128, min_window: 16 };
+        prop_assert!(stream_adwin(&quiet, ad_cfg).is_empty(), "ADWIN fired on tiny noise");
+
+        // Loud: the same noise with a big mid-series jump.
+        let loud = with_shift(quiet.clone(), 0.5, 4.0);
+        prop_assert!(!stream_ph(&loud, ph_cfg).is_empty(), "PH missed a 4.0 jump");
+        prop_assert!(!stream_adwin(&loud, ad_cfg).is_empty(), "ADWIN missed a 4.0 jump");
+    }
+}

@@ -16,7 +16,9 @@
 //! from emission (mirroring its departure from the TweetBase) and
 //! `CandidatePruned` retires a candidate until a later rediscovery.
 
-use crate::event::{TraceAblation, TraceEvent, TraceEventKind, TraceLabel, TracePhase};
+use crate::event::{
+    TraceAblation, TraceEvent, TraceEventKind, TraceHealth, TraceLabel, TracePhase,
+};
 use std::collections::{HashMap, HashSet};
 
 /// One reconstructed sentence: `(tweet id, sentence index)` and its
@@ -164,7 +166,11 @@ pub fn replay(events: &[TraceEvent]) -> ReplayedOutput {
             | TraceEventKind::PhaseSpan
             | TraceEventKind::CheckpointSaved
             | TraceEventKind::CheckpointRestored
-            | TraceEventKind::StateCompacted => {}
+            | TraceEventKind::StateCompacted
+            // Monitoring events never alter the mention set (the sentinel
+            // is passive); [`replay_health`] consumes them instead.
+            | TraceEventKind::DriftDetected
+            | TraceEventKind::HealthTransition => {}
         }
     }
 
@@ -207,6 +213,56 @@ pub fn replay(events: &[TraceEvent]) -> ReplayedOutput {
         n_rescanned,
         n_degraded: degraded.len(),
     }
+}
+
+/// The health timeline reconstructable from a trace: every sentinel
+/// state change plus the final state, mirroring the sentinel's own
+/// transition log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayedHealth {
+    /// `(batch, new state, reason)` per transition, in trace order.
+    pub transitions: Vec<(u64, TraceHealth, String)>,
+    /// State after the last transition (`Healthy` when none occurred).
+    pub state: TraceHealth,
+    /// `DriftDetected` events seen, as `(batch, series)` pairs.
+    pub drifts: Vec<(u64, String)>,
+}
+
+/// Reconstruct the per-stream health timeline from trace events alone:
+/// fold [`TraceEventKind::HealthTransition`] events from an initial
+/// `Healthy` state (and collect [`TraceEventKind::DriftDetected`]
+/// markers). The sentinel's `HealthReport` transitions must match this
+/// replay exactly — asserted by `examples/monitored_stream.rs` — which
+/// makes the live health signal auditable after the fact, like the
+/// mention set is via [`replay`].
+pub fn replay_health(events: &[TraceEvent]) -> ReplayedHealth {
+    let mut ordered: Vec<&TraceEvent> = events.iter().collect();
+    ordered.sort_by_key(|e| e.seq);
+    let mut out = ReplayedHealth {
+        transitions: Vec::new(),
+        state: TraceHealth::Healthy,
+        drifts: Vec::new(),
+    };
+    for ev in ordered {
+        match ev.kind {
+            TraceEventKind::HealthTransition => {
+                if let Some(h) = ev.health {
+                    out.transitions.push((
+                        ev.batch.unwrap_or(0),
+                        h,
+                        ev.reason.clone().unwrap_or_default(),
+                    ));
+                    out.state = h;
+                }
+            }
+            TraceEventKind::DriftDetected => {
+                out.drifts
+                    .push((ev.batch.unwrap_or(0), ev.series.clone().unwrap_or_default()));
+            }
+            _ => {}
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -412,6 +468,48 @@ mod tests {
     #[test]
     fn empty_trace_replays_to_empty_output() {
         assert_eq!(replay(&[]), ReplayedOutput::default());
+    }
+
+    #[test]
+    fn health_timeline_folds_from_transitions() {
+        let events = seqed(vec![
+            TraceEvent {
+                batch: Some(1),
+                count: Some(10),
+                ..TraceEvent::of(K::BatchStart)
+            },
+            TraceEvent {
+                batch: Some(4),
+                series: Some("score_mean".into()),
+                score: Some(0.82),
+                reason: Some("stat 0.82 > 0.50".into()),
+                ..TraceEvent::of(K::DriftDetected)
+            },
+            TraceEvent {
+                batch: Some(5),
+                health: Some(TraceHealth::Degraded),
+                reason: Some("drift:score_mean".into()),
+                ..TraceEvent::of(K::HealthTransition)
+            },
+            TraceEvent {
+                batch: Some(20),
+                health: Some(TraceHealth::Healthy),
+                reason: Some("cleared".into()),
+                ..TraceEvent::of(K::HealthTransition)
+            },
+        ]);
+        let h = replay_health(&events);
+        assert_eq!(h.state, TraceHealth::Healthy);
+        assert_eq!(h.drifts, vec![(4, "score_mean".to_string())]);
+        assert_eq!(
+            h.transitions,
+            vec![
+                (5, TraceHealth::Degraded, "drift:score_mean".to_string()),
+                (20, TraceHealth::Healthy, "cleared".to_string()),
+            ]
+        );
+        // Monitoring events are invisible to the mention replay.
+        assert_eq!(replay(&events), ReplayedOutput::default());
     }
 
     #[test]

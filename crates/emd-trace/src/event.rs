@@ -95,6 +95,15 @@ pub enum TraceEventKind {
     /// so replay semantics are unchanged. Fields: `count` (slots
     /// dropped), `phase` (evict or supervisor).
     StateCompacted,
+    /// A sentinel change detector fired on a windowed quality series.
+    /// Fields: `batch` (causal batch seq), `series` (offending series
+    /// name), `score` (detector statistic), `reason` (window stats:
+    /// threshold + before/after means).
+    DriftDetected,
+    /// The per-stream health state machine transitioned. Fields:
+    /// `batch`, `health` (new state), `reason` (tripping rule, or
+    /// "cleared").
+    HealthTransition,
 }
 
 /// Pipeline phase a trace event is attributed to.
@@ -172,6 +181,20 @@ pub enum TraceAblation {
     Full,
 }
 
+/// Stream health state mirrored into the trace (decoupled from
+/// `emd-sentinel` so this crate stays dependency-free). Replaying
+/// [`TraceEventKind::HealthTransition`] events from an initial `Healthy`
+/// reconstructs the health timeline — see [`crate::audit::replay_health`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceHealth {
+    /// All monitoring rules quiet.
+    Healthy,
+    /// A Degraded-severity rule tripped.
+    Degraded,
+    /// A Critical-severity rule tripped.
+    Critical,
+}
+
 /// One traced pipeline decision. See [`TraceEventKind`] for which fields
 /// each kind populates; unpopulated fields are `None`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -212,6 +235,10 @@ pub struct TraceEvent {
     pub ablation: Option<TraceAblation>,
     /// Human-readable failure reason.
     pub reason: Option<String>,
+    /// Sentinel series name (on [`TraceEventKind::DriftDetected`]).
+    pub series: Option<String>,
+    /// New health state (on [`TraceEventKind::HealthTransition`]).
+    pub health: Option<TraceHealth>,
 }
 
 impl TraceEvent {
@@ -238,6 +265,8 @@ impl TraceEvent {
             count: None,
             ablation: None,
             reason: None,
+            series: None,
+            health: None,
         }
     }
 }
@@ -289,6 +318,12 @@ impl fmt::Display for TraceEvent {
         }
         if let Some(a) = self.ablation {
             write!(f, " ablation={a:?}")?;
+        }
+        if let Some(s) = &self.series {
+            write!(f, " series={s}")?;
+        }
+        if let Some(h) = self.health {
+            write!(f, " health={h:?}")?;
         }
         if let Some(r) = &self.reason {
             write!(f, " reason=\"{r}\"")?;

@@ -47,7 +47,7 @@ pub mod flame;
 pub mod jsonl;
 pub mod ring;
 
-pub use event::{TraceAblation, TraceEvent, TraceEventKind, TraceLabel, TracePhase};
+pub use event::{TraceAblation, TraceEvent, TraceEventKind, TraceHealth, TraceLabel, TracePhase};
 pub use explain::Explanation;
 pub use ring::TraceSink;
 

@@ -57,6 +57,7 @@
 //! | [`eval`] | `emd-eval` | metrics, frequency bins, error analysis, paper reference values |
 //! | [`obs`] | `emd-obs` | zero-dependency metrics: counters, gauges, latency histograms, Prometheus/JSON exporters |
 //! | [`trace`] | `emd-trace` | decision-level tracing: lock-free event ring, per-mention provenance, trace-replay auditing, flame output |
+//! | [`sentinel`] | `emd-sentinel` | windowed quality telemetry, streaming drift detectors, per-stream health state machine |
 //! | [`resilience`] | `emd-resilience` | failure model: fail points, panic isolation, quarantine, checkpoint format |
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
@@ -70,6 +71,7 @@ pub use emd_local as local;
 pub use emd_nn as nn;
 pub use emd_obs as obs;
 pub use emd_resilience as resilience;
+pub use emd_sentinel as sentinel;
 pub use emd_synth as synth;
 pub use emd_text as text;
 pub use emd_trace as trace;

@@ -1,0 +1,247 @@
+//! Sentinel transparency and auditability: attaching an `emd-sentinel`
+//! quality monitor to the pipeline must never change what the pipeline
+//! produces (monitored and unmonitored runs are bit-identical on any
+//! stream, any batch schedule, window on or off), and the health
+//! timeline it reports must be reconstructable from the trace log alone.
+
+use emd_globalizer::core::config::WindowConfig;
+use emd_globalizer::core::local::LexiconEmd;
+use emd_globalizer::core::supervisor::{StreamSupervisor, SupervisorConfig};
+use emd_globalizer::core::{EntityClassifier, Globalizer, GlobalizerConfig};
+use emd_globalizer::nn::param::Net;
+use emd_globalizer::sentinel::{
+    HealthPolicy, HealthState, Rule, Sentinel, SentinelConfig, SeriesId, Severity,
+};
+use emd_globalizer::text::token::{Sentence, SentenceId};
+use emd_globalizer::trace::audit::replay_health;
+use emd_globalizer::trace::{TraceHealth, TraceSink};
+use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard};
+
+/// Serialises access to the process-wide trace flag across tests in this
+/// binary, restoring noop mode on drop.
+static TRACE_FLAG: Mutex<()> = Mutex::new(());
+
+struct TraceGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        emd_globalizer::trace::set_enabled(false);
+    }
+}
+
+fn trace_flag(on: bool) -> TraceGuard {
+    let guard = TRACE_FLAG.lock().unwrap_or_else(|p| p.into_inner());
+    emd_globalizer::trace::set_enabled(on);
+    TraceGuard(guard)
+}
+
+/// Same pattern for the process-wide metrics flag.
+static OBS_FLAG: Mutex<()> = Mutex::new(());
+
+struct ObsGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl Drop for ObsGuard {
+    fn drop(&mut self) {
+        emd_globalizer::obs::set_enabled(false);
+    }
+}
+
+fn obs_flag(on: bool) -> ObsGuard {
+    let guard = OBS_FLAG.lock().unwrap_or_else(|p| p.into_inner());
+    emd_globalizer::obs::set_enabled(on);
+    ObsGuard(guard)
+}
+
+const VOCAB: &[&str] = &[
+    "italy", "covid", "cases", "reports", "in", "the", "new", "rise", "milan", "surge",
+];
+
+fn build_stream(word_idx: &[Vec<usize>]) -> Vec<Sentence> {
+    word_idx
+        .iter()
+        .enumerate()
+        .map(|(i, words)| {
+            Sentence::from_tokens(
+                SentenceId::new(i as u64, 0),
+                words.iter().map(|&w| VOCAB[w % VOCAB.len()]),
+            )
+        })
+        .collect()
+}
+
+fn accept_all(dim: usize) -> EntityClassifier {
+    let mut c = EntityClassifier::new(dim, 0);
+    let params = c.params_mut();
+    let last = params.into_iter().last().unwrap();
+    last.value.data[0] = 100.0;
+    c
+}
+
+/// A sentinel with touchy thresholds so tiny test streams actually
+/// exercise detectors, rules, and transitions — a monitor that stays
+/// silent would make transparency trivially true.
+fn touchy_sentinel() -> Sentinel {
+    Sentinel::new(SentinelConfig {
+        window: 4,
+        policy: HealthPolicy {
+            rules: vec![
+                Rule::above(SeriesId::MentionRate, 0.2, Severity::Degraded),
+                Rule::above(SeriesId::QuarantineRate, 0.4, Severity::Critical),
+            ],
+            trip_after: 1,
+            clear_after: 2,
+            min_dwell: 0,
+        },
+        ..SentinelConfig::default()
+    })
+}
+
+proptest! {
+    /// Monitoring on ⇒ bit-identical output vs monitoring off, for any
+    /// stream, any batch size, window enabled or not.
+    #[test]
+    fn monitoring_is_transparent(
+        word_idx in proptest::collection::vec(
+            proptest::collection::vec(0usize..VOCAB.len(), 1..8),
+            1..40,
+        ),
+        batch_size in 1usize..7,
+        win in 0usize..12,
+    ) {
+        let stream = build_stream(&word_idx);
+        let local = LexiconEmd::new(["italy", "covid"]);
+        let clf = accept_all(7);
+        let config = GlobalizerConfig {
+            window: if win == 0 {
+                WindowConfig::default()
+            } else {
+                WindowConfig::sliding(win + 3)
+            },
+            ..Default::default()
+        };
+
+        let plain_g = Globalizer::new(&local, None, &clf, config.clone());
+        let (plain, _) = plain_g.run(&stream, batch_size);
+
+        let mut mon_g = Globalizer::new(&local, None, &clf, config);
+        mon_g.set_sentinel(touchy_sentinel());
+        let (monitored, _) = mon_g.run(&stream, batch_size);
+
+        prop_assert_eq!(&monitored.per_sentence, &plain.per_sentence);
+        prop_assert_eq!(monitored.n_candidates, plain.n_candidates);
+        prop_assert_eq!(monitored.n_entities, plain.n_entities);
+        prop_assert_eq!(monitored.n_promoted, plain.n_promoted);
+        prop_assert_eq!(monitored.n_rescanned, plain.n_rescanned);
+        prop_assert_eq!(monitored.n_degraded, plain.n_degraded);
+        prop_assert_eq!(&monitored.quarantined, &plain.quarantined);
+
+        // The monitor actually watched the run (one observation per
+        // batch plus the closing finalize pass).
+        let report = mon_g.sentinel_report().expect("sentinel attached");
+        let n_batches = stream.len().div_ceil(batch_size) as u64;
+        prop_assert_eq!(report.batches, n_batches + 1);
+    }
+}
+
+#[test]
+fn supervised_run_surfaces_health_and_replays_from_trace() {
+    let _guard = trace_flag(true);
+    let stream: Vec<Sentence> = (0..40)
+        .map(|i| {
+            let words: &[&str] = if i % 2 == 0 {
+                &["italy", "reports", "covid", "cases"]
+            } else {
+                &["covid", "in", "italy"]
+            };
+            Sentence::from_tokens(SentenceId::new(i, 0), words.iter().copied())
+        })
+        .collect();
+    let local = LexiconEmd::new(["italy", "covid"]);
+    let clf = accept_all(7);
+    let mut g = Globalizer::new(&local, None, &clf, GlobalizerConfig::default());
+    g.set_trace(TraceSink::with_capacity(1 << 14));
+    g.set_sentinel(touchy_sentinel());
+    let sup = StreamSupervisor::new(
+        &g,
+        SupervisorConfig {
+            checkpoint_path: None,
+            batch_size: 4,
+            ..Default::default()
+        },
+    );
+    let report = sup.run(&stream);
+
+    // Every sentence mentions >1 candidate, so the touchy MentionRate
+    // rule trips immediately and the run ends Degraded.
+    let health = report.health.expect("monitored run surfaces health");
+    assert_eq!(health.state, HealthState::Degraded);
+    assert!(health.alerts_total >= 1);
+    assert!(!health.transitions.is_empty());
+
+    // The timeline on RunReport::health is reproducible from the trace
+    // log alone.
+    let replayed = replay_health(&report.trace_events);
+    let to_trace = |h: HealthState| match h {
+        HealthState::Healthy => TraceHealth::Healthy,
+        HealthState::Degraded => TraceHealth::Degraded,
+        HealthState::Critical => TraceHealth::Critical,
+    };
+    let expected: Vec<(u64, TraceHealth, String)> = health
+        .transitions
+        .iter()
+        .map(|t| (t.batch, to_trace(t.to), t.reason.clone()))
+        .collect();
+    assert_eq!(replayed.transitions, expected);
+    assert_eq!(replayed.state, to_trace(health.state));
+}
+
+#[test]
+fn unmonitored_run_reports_no_health() {
+    let local = LexiconEmd::new(["italy"]);
+    let clf = accept_all(7);
+    let g = Globalizer::new(&local, None, &clf, GlobalizerConfig::default());
+    let sup = StreamSupervisor::new(&g, SupervisorConfig::default());
+    let stream = vec![Sentence::from_tokens(
+        SentenceId::new(0, 0),
+        ["italy", "reports"],
+    )];
+    let report = sup.run(&stream);
+    assert!(report.health.is_none());
+    assert!(g.sentinel_report().is_none());
+    assert!(g.sentinel_snapshot().is_none());
+    assert!(!g.monitored());
+}
+
+#[test]
+fn sentinel_metrics_reach_the_pipeline_registry() {
+    use emd_globalizer::core::PipelineMetrics;
+    let _guard = obs_flag(true);
+    let local = LexiconEmd::new(["italy", "covid"]);
+    let clf = accept_all(7);
+    let mut g = Globalizer::new(&local, None, &clf, GlobalizerConfig::default());
+    let registry = emd_globalizer::obs::Registry::new();
+    g.set_metrics(PipelineMetrics::from_registry(&registry));
+    g.set_sentinel(touchy_sentinel());
+    let stream: Vec<Sentence> = (0..12)
+        .map(|i| Sentence::from_tokens(SentenceId::new(i, 0), ["italy", "reports", "covid"]))
+        .collect();
+    let (_, _) = g.run(&stream, 3);
+    // The private registry mirrors the sentinel verdict: alert/drift
+    // counters, transition counter, and the health-level gauge.
+    let snap = g.metrics().snapshot();
+    assert!(
+        snap.counter("emd_sentinel_alerts_total").unwrap_or(0) >= 1,
+        "touchy rule must raise at least one alert"
+    );
+    assert!(snap.counter("emd_sentinel_transitions_total").unwrap_or(0) >= 1);
+    assert_eq!(
+        snap.gauge("emd_sentinel_health"),
+        Some(g.sentinel_health().unwrap().level() as f64)
+    );
+    // The windowed-series export rides the shared exporters.
+    let sentinel_snap = g.sentinel_snapshot().unwrap();
+    assert!(sentinel_snap
+        .to_prometheus()
+        .contains("emd_sentinel_mention_rate_mean"));
+}
