@@ -33,6 +33,20 @@ echo "== chaos + crash-recovery smoke =="
 cargo test --test chaos_resilience
 cargo run --example resilient_stream > /dev/null
 
+echo "== overload + self-healing smoke =="
+# The guard runtime under release optimisation: the chaos suites run in
+# release mode with the fail-point harness explicitly enabled (the
+# feature is additive and compiles to nothing when absent, so this is
+# the only way to chaos-test optimised code paths). Covers admission
+# shedding accounting, breaker trip/probe/re-close, sentinel-driven
+# force-opens, backoff/deadline dead-lettering, torn-write checkpoint
+# fallback, and dead-letter JSONL replayability. The fault-storm soak
+# then drives overload → storm → recovery end to end and exits nonzero
+# if any phase's guarantee (including bit-identity of admitted batches)
+# is violated.
+cargo test --release --features emd-resilience/failpoints --test guard_runtime
+cargo run --release --features emd-resilience/failpoints --example fault_storm > /dev/null
+
 echo "== trace smoke =="
 # Decision-level tracing: the trace-audit suite checks noop transparency
 # (tracing on/off ⇒ bit-identical outputs) and that replaying the event

@@ -42,6 +42,7 @@ use crate::mention::extract_mentions;
 use crate::obs::{PhaseTimings, PipelineMetrics};
 use crate::phrase_embedder::PhraseEmbedder;
 use crate::tweetbase::{TweetBase, TweetRecord};
+use emd_guard::{BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker};
 use emd_obs::Timer;
 use emd_resilience::quarantine::{PipelinePhase, QuarantineEntry};
 use emd_resilience::{failpoint, isolate, validate};
@@ -49,7 +50,8 @@ use emd_sentinel::{AlertKind, BatchObservation, HealthReport, HealthState, Senti
 use emd_text::casing::{syntactic_class, SyntacticClass};
 use emd_text::token::{Sentence, SentenceId, Span};
 use emd_trace::{
-    TraceAblation, TraceEvent, TraceEventKind, TraceHealth, TraceLabel, TracePhase, TraceSink,
+    TraceAblation, TraceBreaker, TraceEvent, TraceEventKind, TraceHealth, TraceLabel, TracePhase,
+    TraceSink,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap, HashSet};
@@ -72,6 +74,19 @@ fn trace_phase(phase: PipelinePhase) -> TracePhase {
         PipelinePhase::Classify => TracePhase::Classify,
         PipelinePhase::FinalizeRescan => TracePhase::FinalizeRescan,
         PipelinePhase::Supervisor => TracePhase::Supervisor,
+        // Admission sheds happen before any pipeline phase runs; they are
+        // attributed to the supervisor frame in the trace.
+        PipelinePhase::Admission => TracePhase::Supervisor,
+    }
+}
+
+/// Map a breaker state onto the trace vocabulary (the trace crate is
+/// dependency-free, so it cannot name `BreakerState` itself).
+fn trace_breaker(b: BreakerState) -> TraceBreaker {
+    match b {
+        BreakerState::Closed => TraceBreaker::Closed,
+        BreakerState::Open => TraceBreaker::Open,
+        BreakerState::HalfOpen => TraceBreaker::HalfOpen,
     }
 }
 
@@ -342,7 +357,57 @@ struct StagedScan {
 struct MonitorCell {
     sentinel: Sentinel,
     counts: BatchObservation,
+    /// Sentences shed by the admission gate since the last batch started;
+    /// folded into the next batch's observation (shed batches never run
+    /// `start_batch` themselves).
+    pending_shed: u64,
 }
+
+/// Overload-guard attachment: one circuit breaker per guarded phase, on
+/// the batch-tick clock. Behind a `Mutex` for the same reason as
+/// [`MonitorCell`] — breaker reads/records fire from `&self` phase
+/// methods, each in a sequential section, so the lock is uncontended.
+/// A breaker that is **Open** makes its phase take the degraded path
+/// immediately: exactly the end state a persistent failure would have
+/// produced, with zero retry burn (see DESIGN.md § "Degradation ladder").
+struct GuardCell {
+    /// Guards candidate classification; Open degrades unfrozen candidates
+    /// to the LocalOnly emission fallback.
+    classify: CircuitBreaker,
+    /// Guards phrase embedding inside the scan; Open pools zero vectors
+    /// and marks candidates degraded.
+    pool: CircuitBreaker,
+    /// Guards the closing rescan; Open quarantines the records instead of
+    /// rescanning them.
+    rescan: CircuitBreaker,
+    /// Every transition taken, in order, for `RunReport` surfacing.
+    transitions: Vec<(TracePhase, BreakerTransition)>,
+}
+
+impl GuardCell {
+    fn breaker_mut(&mut self, phase: TracePhase) -> &mut CircuitBreaker {
+        match phase {
+            TracePhase::Classify => &mut self.classify,
+            TracePhase::Pool => &mut self.pool,
+            TracePhase::FinalizeRescan => &mut self.rescan,
+            _ => unreachable!("no breaker guards {}", phase.name()),
+        }
+    }
+
+    fn open_count(&self) -> u64 {
+        [&self.classify, &self.pool, &self.rescan]
+            .iter()
+            .filter(|b| b.state() == BreakerState::Open)
+            .count() as u64
+    }
+}
+
+/// The three guarded phases, in reporting order.
+const GUARDED_PHASES: [TracePhase; 3] = [
+    TracePhase::Classify,
+    TracePhase::Pool,
+    TracePhase::FinalizeRescan,
+];
 
 /// The framework: a Local EMD plug-in, the Global EMD components, and the
 /// configuration.
@@ -364,6 +429,10 @@ pub struct Globalizer<'a> {
     /// `None` (the default) means no per-batch counting and no clock
     /// reads on the sentinel's behalf.
     monitor: Option<Mutex<MonitorCell>>,
+    /// Attached overload guard, if any ([`Globalizer::set_guard`]).
+    /// `None` (the default) means every phase always runs — unguarded
+    /// and guarded no-fault runs are bit-identical.
+    guard: Option<Mutex<GuardCell>>,
 }
 
 impl<'a> Globalizer<'a> {
@@ -392,6 +461,7 @@ impl<'a> Globalizer<'a> {
             metrics: PipelineMetrics::global(),
             trace: emd_trace::global().clone(),
             monitor: None,
+            guard: None,
         }
     }
 
@@ -429,7 +499,182 @@ impl<'a> Globalizer<'a> {
         self.monitor = Some(Mutex::new(MonitorCell {
             sentinel,
             counts: BatchObservation::default(),
+            pending_shed: 0,
         }));
+    }
+
+    /// Attach the overload guard: one circuit breaker per guarded phase
+    /// (classification, embedding pooling, finalize rescan), all under
+    /// the same config, ticking on the batch clock. An Open breaker makes
+    /// its phase take the degraded path immediately — the end state a
+    /// persistent failure would have produced, without burning retry
+    /// budgets — and an attached sentinel going Critical force-opens all
+    /// three. In a fault-free run no breaker ever trips, so guarded and
+    /// unguarded outputs are bit-identical (proptest-enforced in
+    /// `tests/guard_runtime.rs`). Panics on an invalid config; use
+    /// [`BreakerConfig::validate`] to pre-check.
+    pub fn set_guard(&mut self, cfg: BreakerConfig) {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid breaker config: {e}");
+        }
+        self.guard = Some(Mutex::new(GuardCell {
+            classify: CircuitBreaker::new(cfg.clone()),
+            pool: CircuitBreaker::new(cfg.clone()),
+            rescan: CircuitBreaker::new(cfg),
+            transitions: Vec::new(),
+        }));
+    }
+
+    /// Whether an overload guard is attached.
+    pub fn guarded(&self) -> bool {
+        self.guard.is_some()
+    }
+
+    /// Lock the guard cell, recovering from poisoning (breaker state is
+    /// always internally consistent — transitions are atomic under the
+    /// lock).
+    fn guard_lock(g: &Mutex<GuardCell>) -> std::sync::MutexGuard<'_, GuardCell> {
+        g.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// True when the given guarded phase should run its real work; false
+    /// (breaker Open) routes it down the degraded path. Unguarded
+    /// instances always run everything.
+    fn guard_allows(&self, phase: TracePhase) -> bool {
+        match &self.guard {
+            Some(g) => Self::guard_lock(g).breaker_mut(phase).allows(),
+            None => true,
+        }
+    }
+
+    /// Record one guarded pass's outcome against its breaker. `ok` is
+    /// false when the pass saw at least one persistent failure. Emits any
+    /// resulting transition.
+    fn guard_record(&self, phase: TracePhase, ok: bool, reason: &str) {
+        let Some(g) = &self.guard else { return };
+        let t = {
+            let mut cell = Self::guard_lock(g);
+            let t = if ok {
+                cell.breaker_mut(phase).record_success()
+            } else {
+                cell.breaker_mut(phase).record_failure(reason)
+            };
+            if let Some(t) = &t {
+                cell.transitions.push((phase, t.clone()));
+                self.metrics
+                    .guard_breaker_open
+                    .set(cell.open_count() as f64);
+            }
+            t
+        };
+        if let Some(t) = t {
+            self.note_breaker_transition(phase, &t);
+        }
+    }
+
+    /// Advance every breaker's batch clock by one tick, emitting
+    /// Open → HalfOpen transitions whose cooldowns are served.
+    fn guard_tick(&self) {
+        let Some(g) = &self.guard else { return };
+        let fired: Vec<(TracePhase, BreakerTransition)> = {
+            let mut cell = Self::guard_lock(g);
+            let fired: Vec<_> = GUARDED_PHASES
+                .iter()
+                .filter_map(|&p| cell.breaker_mut(p).tick().map(|t| (p, t)))
+                .collect();
+            if !fired.is_empty() {
+                cell.transitions.extend(fired.iter().cloned());
+                self.metrics
+                    .guard_breaker_open
+                    .set(cell.open_count() as f64);
+            }
+            fired
+        };
+        for (p, t) in &fired {
+            self.note_breaker_transition(*p, t);
+        }
+    }
+
+    /// Trip every breaker Open regardless of failure counts — the
+    /// sentinel-Critical escalation hook.
+    fn guard_force_open_all(&self, reason: &str) {
+        let Some(g) = &self.guard else { return };
+        let fired: Vec<(TracePhase, BreakerTransition)> = {
+            let mut cell = Self::guard_lock(g);
+            let fired: Vec<_> = GUARDED_PHASES
+                .iter()
+                .filter_map(|&p| cell.breaker_mut(p).force_open(reason).map(|t| (p, t)))
+                .collect();
+            cell.transitions.extend(fired.iter().cloned());
+            self.metrics
+                .guard_breaker_open
+                .set(cell.open_count() as f64);
+            fired
+        };
+        for (p, t) in &fired {
+            self.note_breaker_transition(*p, t);
+        }
+    }
+
+    /// Count (and trace) one breaker state change.
+    fn note_breaker_transition(&self, phase: TracePhase, t: &BreakerTransition) {
+        self.metrics.guard_breaker_transitions_total.inc();
+        if emd_trace::enabled() {
+            self.temit(TraceEvent {
+                batch: Some(t.tick),
+                phase: Some(phase),
+                breaker: Some(trace_breaker(t.to)),
+                reason: Some(t.reason.clone()),
+                ..TraceEvent::of(TraceEventKind::BreakerTransition)
+            });
+        }
+    }
+
+    /// Every breaker transition taken so far, in order, as
+    /// `(guarded phase, transition)` pairs. Empty when unguarded.
+    pub fn guard_transitions(&self) -> Vec<(TracePhase, BreakerTransition)> {
+        self.guard
+            .as_ref()
+            .map(|g| Self::guard_lock(g).transitions.clone())
+            .unwrap_or_default()
+    }
+
+    /// Current breaker state per guarded phase, or `None` when unguarded.
+    pub fn breaker_states(&self) -> Option<Vec<(TracePhase, BreakerState)>> {
+        self.guard.as_ref().map(|g| {
+            let mut cell = Self::guard_lock(g);
+            GUARDED_PHASES
+                .iter()
+                .map(|&p| (p, cell.breaker_mut(p).state()))
+                .collect()
+        })
+    }
+
+    /// Record `sentences` shed by the admission gate; folded into the
+    /// next batch's sentinel observation (the ShedRate series). No-op
+    /// without a sentinel.
+    pub fn note_shed(&self, sentences: u64) {
+        if let Some(m) = &self.monitor {
+            Self::mon_lock(m).pending_shed += sentences;
+        }
+    }
+
+    /// The degraded LocalOnly answer for a batch that will never enter
+    /// the pipeline (the `ShedToLocalOnly` admission policy): per-sentence
+    /// local spans, panic-isolated exactly like the real local phase, with
+    /// persistent failures yielding empty span lists. Touches no pipeline
+    /// state.
+    pub fn local_only_spans(&self, sentences: &[Sentence]) -> Vec<(SentenceId, Vec<Span>)> {
+        sentences
+            .iter()
+            .map(|s| {
+                let spans = match self.local_attempt(s) {
+                    Ok(out) => out.spans,
+                    Err(_) => Vec::new(),
+                };
+                (s.id, spans)
+            })
+            .collect()
     }
 
     /// Whether a sentinel is attached.
@@ -525,6 +770,12 @@ impl<'a> Globalizer<'a> {
                     reason: Some(t.reason.clone()),
                     ..TraceEvent::of(TraceEventKind::HealthTransition)
                 });
+            }
+            // Sense → act: a Critical stream force-opens every breaker,
+            // so the next batches take the cheap degraded paths while the
+            // storm passes (cooldown + probes decide when to re-engage).
+            if t.to == HealthState::Critical {
+                self.guard_force_open_all(&format!("sentinel critical: {}", t.reason));
             }
         }
     }
@@ -933,6 +1184,7 @@ impl<'a> Globalizer<'a> {
         ctrie: &CTrie,
         idx: usize,
         phase_fp: &str,
+        embed_allowed: bool,
     ) -> StagedScan {
         failpoint::fire(phase_fp);
         let record = tweetbase.get_by_index(idx);
@@ -942,14 +1194,22 @@ impl<'a> Globalizer<'a> {
             .iter()
             .map(|sp| {
                 let key = sp.surface_lower(&record.sentence);
-                let emb = match isolate::catch(|| {
-                    failpoint::fire("phrase_embed");
-                    self.local_embedding(record, sp)
-                }) {
-                    Ok(emb) if validate::all_finite(&emb) => emb,
-                    _ => {
-                        degraded_keys.push(key.clone());
-                        vec![0.0; self.candidate_dim()]
+                // Pool breaker Open: skip the embedder outright; zero
+                // vector + degraded is exactly the persistent-failure end
+                // state, minus the retry burn.
+                let emb = if !embed_allowed {
+                    degraded_keys.push(key.clone());
+                    vec![0.0; self.candidate_dim()]
+                } else {
+                    match isolate::catch(|| {
+                        failpoint::fire("phrase_embed");
+                        self.local_embedding(record, sp)
+                    }) {
+                        Ok(emb) if validate::all_finite(&emb) => emb,
+                        _ => {
+                            degraded_keys.push(key.clone());
+                            vec![0.0; self.candidate_dim()]
+                        }
                     }
                 };
                 let locally_detected = record.local_spans.iter().any(|l| l == sp);
@@ -978,9 +1238,10 @@ impl<'a> Globalizer<'a> {
         ctrie: &CTrie,
         idx: usize,
         phase_fp: &str,
+        embed_allowed: bool,
     ) -> Result<StagedScan, String> {
         let r = isolate::retry_catch(self.attempts(), || {
-            self.stage_scan(tweetbase, ctrie, idx, phase_fp)
+            self.stage_scan(tweetbase, ctrie, idx, phase_fp, embed_allowed)
         });
         self.note_retries(r.failed_attempts);
         r.result
@@ -1013,6 +1274,21 @@ impl<'a> Globalizer<'a> {
         if indices.is_empty() {
             return;
         }
+        // Rescan breaker Open: the records take the persistent-failure
+        // path — quarantined with their stale mentions dropped — without
+        // staging anything.
+        if phase == PipelinePhase::FinalizeRescan && !self.guard_allows(TracePhase::FinalizeRescan)
+        {
+            for &idx in indices {
+                let sid = state.tweetbase.get_by_index(idx).sentence.id;
+                self.quarantine_sentence(state, sid, phase, "rescan breaker open".to_string());
+                state.quarantined_idx.insert(idx);
+                state.dirty.remove(&idx);
+                state.tweetbase.get_mut_by_index(idx).global_mentions = Vec::new();
+            }
+            return;
+        }
+        let embed_allowed = self.guard_allows(TracePhase::Pool);
         let phase_fp = match phase {
             PipelinePhase::FinalizeRescan => "finalize_rescan",
             _ => "scan",
@@ -1032,7 +1308,12 @@ impl<'a> Globalizer<'a> {
                 let _shard = Timer::start(&self.metrics.scan_shard_ns);
                 indices
                     .iter()
-                    .map(|&i| (i, self.scan_attempt(tweetbase, ctrie, i, phase_fp)))
+                    .map(|&i| {
+                        (
+                            i,
+                            self.scan_attempt(tweetbase, ctrie, i, phase_fp, embed_allowed),
+                        )
+                    })
                     .collect()
             } else {
                 let chunk = indices.len().div_ceil(n_threads);
@@ -1045,7 +1326,18 @@ impl<'a> Globalizer<'a> {
                                 let _shard = Timer::start(&self.metrics.scan_shard_ns);
                                 failpoint::fire("scan_shard");
                                 part.iter()
-                                    .map(|&i| (i, self.scan_attempt(tweetbase, ctrie, i, phase_fp)))
+                                    .map(|&i| {
+                                        (
+                                            i,
+                                            self.scan_attempt(
+                                                tweetbase,
+                                                ctrie,
+                                                i,
+                                                phase_fp,
+                                                embed_allowed,
+                                            ),
+                                        )
+                                    })
                                     .collect::<Vec<_>>()
                             })
                         })
@@ -1058,11 +1350,12 @@ impl<'a> Globalizer<'a> {
                         Some(v) => results.extend(v),
                         None => {
                             self.note_shard_retry(tphase);
-                            results.extend(
-                                part.iter().map(|&i| {
-                                    (i, self.scan_attempt(tweetbase, ctrie, i, phase_fp))
-                                }),
-                            );
+                            results.extend(part.iter().map(|&i| {
+                                (
+                                    i,
+                                    self.scan_attempt(tweetbase, ctrie, i, phase_fp, embed_allowed),
+                                )
+                            }));
                         }
                     }
                 }
@@ -1078,6 +1371,7 @@ impl<'a> Globalizer<'a> {
         let mut n_mentions = 0u64;
         let mut n_pooled = 0u64;
         let mut n_scan_degraded = 0u64;
+        let mut n_scan_quarantined = 0u64;
         for (idx, outcome) in results {
             match outcome {
                 Ok(st) => {
@@ -1131,6 +1425,7 @@ impl<'a> Globalizer<'a> {
                     self.quarantine_sentence(state, sid, phase, reason);
                     state.quarantined_idx.insert(idx);
                     state.dirty.remove(&idx);
+                    n_scan_quarantined += 1;
                     // Drop stale evidence: a quarantined record's old
                     // mentions must not feed promotions or emission.
                     state.tweetbase.get_mut_by_index(idx).global_mentions = Vec::new();
@@ -1144,6 +1439,18 @@ impl<'a> Globalizer<'a> {
             c.pooled += n_pooled;
             c.degraded += n_scan_degraded;
         });
+        self.guard_record(
+            TracePhase::Pool,
+            n_scan_degraded == 0,
+            "phrase embedding failed persistently",
+        );
+        if phase == PipelinePhase::FinalizeRescan {
+            self.guard_record(
+                TracePhase::FinalizeRescan,
+                n_scan_quarantined == 0,
+                "record rescan failed persistently",
+            );
+        }
         let dt_pool = elapsed_ns(t_pool);
         state.timings.pool_ns += dt_pool;
         self.trace_phase_span(TracePhase::Pool, tparent, dt_pool);
@@ -1172,6 +1479,41 @@ impl<'a> Globalizer<'a> {
     ) {
         let t0 = Instant::now();
         let _span = Timer::start(&self.metrics.classify_ns);
+        // Breaker Open: skip scoring outright and give every unfrozen
+        // candidate the end state a persistent classifier failure would
+        // have produced — degraded, emission falling back to the local
+        // system's detections — with zero retry burn.
+        if !self.guard_allows(TracePhase::Classify) {
+            let tracing = emd_trace::enabled();
+            let mut n_skipped = 0u64;
+            for rec in state.candidates.iter_mut() {
+                if matches!(
+                    rec.label,
+                    CandidateLabel::Entity | CandidateLabel::NonEntity
+                ) {
+                    continue;
+                }
+                rec.degraded = true;
+                n_skipped += 1;
+                if tracing {
+                    self.temit(TraceEvent {
+                        candidate: Some(rec.key.clone()),
+                        phase: Some(TracePhase::Classify),
+                        reason: Some("classify breaker open".to_string()),
+                        ..TraceEvent::of(TraceEventKind::CandidateDegraded)
+                    });
+                }
+            }
+            self.mon_count(|c| c.degraded += n_skipped);
+            let dt = elapsed_ns(t0);
+            state.timings.classify_ns += dt;
+            self.trace_phase_span(
+                TracePhase::Classify,
+                resolve_ambiguous.then_some(TracePhase::Finalize),
+                dt,
+            );
+            return;
+        }
         // Scoring is pure, so it runs panic-isolated with the retry
         // budget; a candidate whose scoring fails persistently keeps its
         // previous label and is marked degraded (emission then falls back
@@ -1297,6 +1639,11 @@ impl<'a> Globalizer<'a> {
             c.score_sum += score_sum;
             c.degraded += n_cls_degraded;
         });
+        self.guard_record(
+            TracePhase::Classify,
+            n_cls_degraded == 0,
+            "candidate scoring failed persistently",
+        );
         let dt = elapsed_ns(t0);
         state.timings.classify_ns += dt;
         self.trace_phase_span(
@@ -1326,13 +1673,19 @@ impl<'a> Globalizer<'a> {
         state.batch_seq += 1;
         // A fresh count frame per batch; this also discards partial
         // counts left behind by a panicked (supervisor-retried) attempt.
-        self.mon_count(|c| {
-            *c = BatchObservation {
+        // Sheds recorded since the last batch ride along (shed batches
+        // never start a frame of their own).
+        if let Some(m) = &self.monitor {
+            let mut cell = Self::mon_lock(m);
+            let shed = std::mem::take(&mut cell.pending_shed);
+            cell.counts = BatchObservation {
                 batch: state.batch_seq,
                 sentences: batch.len() as u64,
+                shed,
                 ..BatchObservation::default()
             };
-        });
+        }
+        self.guard_tick();
         if emd_trace::enabled() {
             self.temit(TraceEvent {
                 batch: Some(state.batch_seq),
@@ -1749,6 +2102,9 @@ impl<'a> Globalizer<'a> {
         let t0m = self.monitor.is_some().then(Instant::now);
         let t0 = Instant::now();
         let _span = Timer::start(&self.metrics.finalize_ns);
+        // The closing pass counts as one breaker tick: a served cooldown
+        // lets finalize probe a phase that was Open at the last batch.
+        self.guard_tick();
         let (n_rescanned, n_promoted) = self.close_stream(state, n_threads);
         if self.config.ablation == Ablation::Full {
             self.classify_candidates(state, true, n_threads);
@@ -1778,6 +2134,7 @@ impl<'a> Globalizer<'a> {
         let t0m = self.monitor.is_some().then(Instant::now);
         let t0 = Instant::now();
         let _span = Timer::start(&self.metrics.finalize_ns);
+        self.guard_tick();
         let mut n_rescanned = 0;
         let mut n_promoted = 0;
         loop {

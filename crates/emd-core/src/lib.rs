@@ -48,4 +48,4 @@ pub use globalizer::{Globalizer, GlobalizerOutput};
 pub use local::{LocalEmd, LocalEmdOutput};
 pub use obs::{PhaseTimings, PipelineMetrics};
 pub use phrase_embedder::PhraseEmbedder;
-pub use supervisor::{RunReport, StreamSupervisor, SupervisorConfig};
+pub use supervisor::{RunReport, StreamSupervisor, SupervisorConfig, SupervisorConfigError};

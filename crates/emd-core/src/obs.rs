@@ -144,6 +144,13 @@ pipeline_metrics! {
         sentinel_alerts_total => "emd_sentinel_alerts_total",
         sentinel_drift_total => "emd_sentinel_drift_total",
         sentinel_transitions_total => "emd_sentinel_transitions_total",
+        guard_admitted_total => "emd_guard_admitted_batches_total",
+        guard_shed_total => "emd_guard_shed_batches_total",
+        guard_deadline_exceeded_total => "emd_guard_deadline_exceeded_total",
+        guard_breaker_transitions_total => "emd_guard_breaker_transitions_total",
+        guard_backoff_retries_total => "emd_guard_backoff_retries_total",
+        deadletter_records_total => "emd_resilience_deadletter_records_total",
+        checkpoint_fallbacks_total => "emd_resilience_checkpoint_fallbacks_total",
     }
     gauges {
         dirty_depth => "emd_finalize_dirty_depth",
@@ -152,6 +159,9 @@ pipeline_metrics! {
         window_depth => "emd_window_depth",
         resident_bytes => "emd_window_resident_bytes",
         sentinel_health => "emd_sentinel_health",
+        guard_queue_depth => "emd_guard_queue_depth",
+        guard_breaker_open => "emd_guard_breaker_open",
+        guard_backpressure => "emd_guard_backpressure",
     }
     histograms {
         local_infer_ns => "emd_pipeline_local_infer_ns",
@@ -191,9 +201,25 @@ mod tests {
         let reg = Registry::new();
         let m = PipelineMetrics::from_registry(&reg);
         let snap = m.snapshot();
-        assert_eq!(snap.counters.len(), 21);
-        assert_eq!(snap.gauges.len(), 6);
+        assert_eq!(snap.counters.len(), 28);
+        assert_eq!(snap.gauges.len(), 9);
         assert_eq!(snap.histograms.len(), 11);
+        assert!(snap.counter("emd_guard_admitted_batches_total").is_some());
+        assert!(snap.counter("emd_guard_shed_batches_total").is_some());
+        assert!(snap.counter("emd_guard_deadline_exceeded_total").is_some());
+        assert!(snap
+            .counter("emd_guard_breaker_transitions_total")
+            .is_some());
+        assert!(snap.counter("emd_guard_backoff_retries_total").is_some());
+        assert!(snap
+            .counter("emd_resilience_deadletter_records_total")
+            .is_some());
+        assert!(snap
+            .counter("emd_resilience_checkpoint_fallbacks_total")
+            .is_some());
+        assert!(snap.gauge("emd_guard_queue_depth").is_some());
+        assert!(snap.gauge("emd_guard_breaker_open").is_some());
+        assert!(snap.gauge("emd_guard_backpressure").is_some());
         assert!(snap.counter("emd_sentinel_alerts_total").is_some());
         assert!(snap.counter("emd_sentinel_drift_total").is_some());
         assert!(snap.counter("emd_sentinel_transitions_total").is_some());

@@ -1,0 +1,329 @@
+//! Bounded admission queue with configurable overload policies and
+//! watermark-based backpressure.
+//!
+//! The queue sits in front of the stream supervisor: arriving batches
+//! are *offered* with a cost estimate (the supervisor uses sentence
+//! count), and when admitting one would push the queued load past
+//! capacity the configured [`OverloadPolicy`] decides who pays — the
+//! newcomer ([`OverloadPolicy::RejectNew`] /
+//! [`OverloadPolicy::ShedToLocalOnly`]) or the oldest queued work
+//! ([`OverloadPolicy::DropOldest`]). Every decision is a pure function
+//! of the offer sequence, so burst behaviour is exactly reproducible.
+//!
+//! Backpressure is a hysteresis bit over the load fraction: it raises at
+//! `high_watermark` and clears only at `low_watermark`, so a producer
+//! polling [`AdmissionQueue::backpressure`] sees a stable signal instead
+//! of one flapping around a single threshold.
+
+use serde::{Deserialize, Serialize};
+
+/// What to do with work that does not fit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OverloadPolicy {
+    /// Refuse the arriving batch; the supervisor records a quarantine
+    /// entry per rejected sentence so the loss is fully accounted.
+    RejectNew,
+    /// Evict the oldest queued batches until the newcomer fits (freshest
+    /// data wins — the right trade for monitoring streams).
+    DropOldest,
+    /// Refuse the arriving batch for *global* processing but run the
+    /// cheap Local EMD pass over it, so detections the wrapped system
+    /// can make on its own are not lost with the batch.
+    ShedToLocalOnly,
+}
+
+impl OverloadPolicy {
+    /// Stable lowercase name for reports and trace events.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OverloadPolicy::RejectNew => "reject-new",
+            OverloadPolicy::DropOldest => "drop-oldest",
+            OverloadPolicy::ShedToLocalOnly => "shed-to-local-only",
+        }
+    }
+}
+
+/// Admission-control knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionConfig {
+    /// Maximum queued load, in cost units (the supervisor costs a batch
+    /// at its sentence count).
+    pub capacity: u64,
+    /// Who pays when an offer would exceed capacity.
+    pub policy: OverloadPolicy,
+    /// Load fraction at which the backpressure signal raises.
+    pub high_watermark: f64,
+    /// Load fraction at which the raised signal clears (must be ≤ high).
+    pub low_watermark: f64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            capacity: 4096,
+            policy: OverloadPolicy::RejectNew,
+            high_watermark: 0.8,
+            low_watermark: 0.5,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// Reject nonsensical parameter combinations with a readable reason.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.capacity == 0 {
+            return Err("admission capacity must be >= 1".to_string());
+        }
+        if !self.high_watermark.is_finite()
+            || !self.low_watermark.is_finite()
+            || !(0.0..=1.0).contains(&self.high_watermark)
+            || !(0.0..=1.0).contains(&self.low_watermark)
+        {
+            return Err("admission watermarks must be finite fractions in [0, 1]".to_string());
+        }
+        if self.low_watermark > self.high_watermark {
+            return Err(format!(
+                "low watermark ({}) above high watermark ({})",
+                self.low_watermark, self.high_watermark
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One shed decision: the item that was turned away (or evicted) and the
+/// policy that did it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Shed<T> {
+    /// The work unit that lost its seat.
+    pub item: T,
+    /// Its cost estimate at offer time.
+    pub cost: u64,
+    /// The policy that shed it.
+    pub policy: OverloadPolicy,
+}
+
+/// Bounded FIFO of `(item, cost)` pairs with overload shedding and a
+/// hysteresis backpressure bit.
+#[derive(Debug, Clone)]
+pub struct AdmissionQueue<T> {
+    cfg: AdmissionConfig,
+    queue: std::collections::VecDeque<(T, u64)>,
+    load: u64,
+    backpressure: bool,
+    offered: u64,
+    admitted: u64,
+    shed: u64,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// An empty queue under the given (pre-validated) config.
+    pub fn new(cfg: AdmissionConfig) -> Self {
+        AdmissionQueue {
+            cfg,
+            queue: std::collections::VecDeque::new(),
+            load: 0,
+            backpressure: false,
+            offered: 0,
+            admitted: 0,
+            shed: 0,
+        }
+    }
+
+    /// Offer one work unit. Returns the items shed by this offer (empty
+    /// when the newcomer was admitted without evicting anyone). A unit
+    /// whose cost alone exceeds capacity can never fit and is always
+    /// shed, regardless of policy.
+    pub fn offer(&mut self, item: T, cost: u64) -> Vec<Shed<T>> {
+        self.offered += 1;
+        let mut out = Vec::new();
+        if cost > self.cfg.capacity {
+            self.shed += 1;
+            out.push(Shed {
+                item,
+                cost,
+                policy: self.cfg.policy,
+            });
+            self.update_backpressure();
+            return out;
+        }
+        if self.load + cost > self.cfg.capacity {
+            match self.cfg.policy {
+                OverloadPolicy::RejectNew | OverloadPolicy::ShedToLocalOnly => {
+                    self.shed += 1;
+                    out.push(Shed {
+                        item,
+                        cost,
+                        policy: self.cfg.policy,
+                    });
+                    self.update_backpressure();
+                    return out;
+                }
+                OverloadPolicy::DropOldest => {
+                    while self.load + cost > self.cfg.capacity {
+                        let (old, old_cost) = self
+                            .queue
+                            .pop_front()
+                            .expect("load > 0 while over capacity");
+                        self.load -= old_cost;
+                        self.shed += 1;
+                        out.push(Shed {
+                            item: old,
+                            cost: old_cost,
+                            policy: OverloadPolicy::DropOldest,
+                        });
+                    }
+                }
+            }
+        }
+        self.admitted += 1;
+        self.load += cost;
+        self.queue.push_back((item, cost));
+        self.update_backpressure();
+        out
+    }
+
+    /// Take the oldest queued unit for servicing.
+    pub fn pop(&mut self) -> Option<(T, u64)> {
+        let next = self.queue.pop_front();
+        if let Some((_, cost)) = &next {
+            self.load -= cost;
+            self.update_backpressure();
+        }
+        next
+    }
+
+    fn update_backpressure(&mut self) {
+        let cap = self.cfg.capacity as f64;
+        let frac = self.load as f64 / cap;
+        if self.backpressure {
+            if frac <= self.cfg.low_watermark {
+                self.backpressure = false;
+            }
+        } else if frac >= self.cfg.high_watermark {
+            self.backpressure = true;
+        }
+    }
+
+    /// Current queued load, in cost units.
+    pub fn load(&self) -> u64 {
+        self.load
+    }
+
+    /// Number of queued units.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// The hysteresis backpressure signal: raised at the high watermark,
+    /// cleared at the low one.
+    pub fn backpressure(&self) -> bool {
+        self.backpressure
+    }
+
+    /// `(offered, admitted, shed)` lifetime counters.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.offered, self.admitted, self.shed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(capacity: u64, policy: OverloadPolicy) -> AdmissionConfig {
+        AdmissionConfig {
+            capacity,
+            policy,
+            high_watermark: 0.8,
+            low_watermark: 0.5,
+        }
+    }
+
+    #[test]
+    fn admits_until_capacity_then_rejects_new() {
+        let mut q = AdmissionQueue::new(cfg(10, OverloadPolicy::RejectNew));
+        assert!(q.offer("a", 4).is_empty());
+        assert!(q.offer("b", 4).is_empty());
+        let shed = q.offer("c", 4);
+        assert_eq!(shed.len(), 1);
+        assert_eq!(shed[0].item, "c");
+        assert_eq!(shed[0].policy, OverloadPolicy::RejectNew);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.load(), 8);
+        assert_eq!(q.stats(), (3, 2, 1));
+    }
+
+    #[test]
+    fn drop_oldest_evicts_until_newcomer_fits() {
+        let mut q = AdmissionQueue::new(cfg(10, OverloadPolicy::DropOldest));
+        q.offer(1, 4);
+        q.offer(2, 4);
+        let shed = q.offer(3, 8);
+        assert_eq!(shed.len(), 2, "both old batches evicted for one big one");
+        assert_eq!(shed[0].item, 1);
+        assert_eq!(shed[1].item, 2);
+        assert_eq!(q.pop(), Some((3, 8)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn oversized_unit_is_always_shed() {
+        let mut q = AdmissionQueue::new(cfg(10, OverloadPolicy::DropOldest));
+        q.offer(1, 2);
+        let shed = q.offer(2, 11);
+        assert_eq!(shed.len(), 1);
+        assert_eq!(shed[0].item, 2);
+        assert_eq!(q.len(), 1, "queued work untouched by an impossible offer");
+    }
+
+    #[test]
+    fn backpressure_has_hysteresis() {
+        let mut q = AdmissionQueue::new(cfg(10, OverloadPolicy::RejectNew));
+        q.offer("a", 7);
+        assert!(!q.backpressure(), "70% < high watermark");
+        q.offer("b", 2);
+        assert!(q.backpressure(), "90% >= high watermark");
+        q.pop();
+        // 20% <= low watermark: clears.
+        assert!(!q.backpressure());
+        // Raise again, then drain to 60%: between the watermarks the
+        // raised signal must hold.
+        q.offer("c", 6);
+        assert!(q.backpressure());
+        q.pop();
+        assert!(q.backpressure(), "60% is above the low watermark");
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = AdmissionQueue::new(cfg(100, OverloadPolicy::RejectNew));
+        for i in 0..5 {
+            q.offer(i, 10);
+        }
+        let drained: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(i, _)| i)).collect();
+        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        assert!(AdmissionConfig::default().validate().is_ok());
+        assert!(cfg(0, OverloadPolicy::RejectNew).validate().is_err());
+        let bad = AdmissionConfig {
+            low_watermark: 0.9,
+            high_watermark: 0.5,
+            ..AdmissionConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = AdmissionConfig {
+            high_watermark: 1.5,
+            ..AdmissionConfig::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+}

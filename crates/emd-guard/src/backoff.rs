@@ -1,0 +1,201 @@
+//! Exponential backoff with deterministic, seeded jitter.
+//!
+//! The supervisor charges each computed delay against the batch's
+//! deadline budget whether or not it actually sleeps, so retry *cost
+//! accounting* is identical in tests (which never sleep) and production
+//! (which may). Jitter is derived from a splitmix64 hash of
+//! `(seed, salt, attempt)` — no clocks, no global RNG — so two runs with
+//! the same policy and salts produce byte-identical delay sequences.
+
+use serde::{Deserialize, Serialize};
+
+/// Exponential backoff policy: `base · factor^(attempt-1)`, jittered by
+/// `±jitter_frac`, capped at `max_ns`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackoffPolicy {
+    /// Delay before the first retry, in nanoseconds. `0` disables
+    /// backoff entirely (immediate retries, the pre-guard behaviour).
+    pub base_ns: u64,
+    /// Multiplier applied per additional failed attempt (≥ 1.0).
+    pub factor: f64,
+    /// Upper bound on any single delay, in nanoseconds.
+    pub max_ns: u64,
+    /// Jitter amplitude as a fraction of the raw delay, in `[0, 1)`:
+    /// the jittered delay lands in `raw · [1-jitter_frac, 1+jitter_frac]`.
+    pub jitter_frac: f64,
+    /// Seed for the deterministic jitter hash.
+    pub seed: u64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            base_ns: 1_000_000, // 1 ms
+            factor: 2.0,
+            max_ns: 500_000_000, // 0.5 s
+            jitter_frac: 0.1,
+            seed: 42,
+        }
+    }
+}
+
+/// splitmix64: the standard 64-bit finalizer — dependency-free and good
+/// enough to decorrelate per-batch delay sequences.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl BackoffPolicy {
+    /// A policy that never delays (immediate retries).
+    pub fn none() -> Self {
+        BackoffPolicy {
+            base_ns: 0,
+            factor: 1.0,
+            max_ns: 0,
+            jitter_frac: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// True when this policy never produces a delay.
+    pub fn is_none(&self) -> bool {
+        self.base_ns == 0
+    }
+
+    /// The delay to wait before retry number `attempt` (1-based: the
+    /// first retry is attempt 1). `salt` decorrelates independent retry
+    /// sequences (the supervisor passes the batch index) so concurrent
+    /// streams sharing a policy do not thundering-herd in lockstep.
+    pub fn delay_ns(&self, attempt: u32, salt: u64) -> u64 {
+        if self.base_ns == 0 || attempt == 0 {
+            return 0;
+        }
+        let raw = (self.base_ns as f64) * self.factor.max(1.0).powi(attempt as i32 - 1);
+        let raw = raw.min(self.max_ns as f64);
+        let jf = self.jitter_frac.clamp(0.0, 0.999_999);
+        let jittered = if jf == 0.0 {
+            raw
+        } else {
+            let h = splitmix64(self.seed ^ salt.rotate_left(17) ^ (attempt as u64));
+            // Uniform in [0, 1): take the top 53 bits.
+            let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+            raw * (1.0 - jf + 2.0 * jf * u)
+        };
+        (jittered.min(self.max_ns as f64)) as u64
+    }
+
+    /// Reject nonsensical parameter combinations with a readable reason.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.base_ns > 0 && self.max_ns < self.base_ns {
+            return Err(format!(
+                "backoff max_ns ({}) below base_ns ({})",
+                self.max_ns, self.base_ns
+            ));
+        }
+        if !self.factor.is_finite() || self.factor < 1.0 {
+            return Err(format!(
+                "backoff factor {} must be finite and >= 1",
+                self.factor
+            ));
+        }
+        if !self.jitter_frac.is_finite() || !(0.0..1.0).contains(&self.jitter_frac) {
+            return Err(format!(
+                "backoff jitter_frac {} must be in [0, 1)",
+                self.jitter_frac
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_delays() {
+        let p = BackoffPolicy::none();
+        assert!(p.is_none());
+        for a in 0..10 {
+            assert_eq!(p.delay_ns(a, 7), 0);
+        }
+    }
+
+    #[test]
+    fn delays_grow_exponentially_and_cap() {
+        let p = BackoffPolicy {
+            base_ns: 100,
+            factor: 2.0,
+            max_ns: 1000,
+            jitter_frac: 0.0,
+            seed: 0,
+        };
+        assert_eq!(p.delay_ns(1, 0), 100);
+        assert_eq!(p.delay_ns(2, 0), 200);
+        assert_eq!(p.delay_ns(3, 0), 400);
+        assert_eq!(p.delay_ns(4, 0), 800);
+        assert_eq!(p.delay_ns(5, 0), 1000, "capped at max_ns");
+        assert_eq!(p.delay_ns(20, 0), 1000);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let p = BackoffPolicy {
+            base_ns: 1_000_000,
+            factor: 2.0,
+            max_ns: 1_000_000_000,
+            jitter_frac: 0.25,
+            seed: 99,
+        };
+        for salt in [0u64, 1, 12345] {
+            for attempt in 1..8u32 {
+                let d1 = p.delay_ns(attempt, salt);
+                let d2 = p.delay_ns(attempt, salt);
+                assert_eq!(d1, d2, "same inputs, same delay");
+                let raw = 1_000_000.0 * 2f64.powi(attempt as i32 - 1);
+                let raw = raw.min(1e9);
+                assert!(
+                    (d1 as f64) >= raw * 0.75 - 1.0 && (d1 as f64) <= raw * 1.25 + 1.0,
+                    "attempt {attempt} salt {salt}: {d1} outside ±25% of {raw}"
+                );
+            }
+        }
+        // Different salts decorrelate the sequence.
+        let a: Vec<u64> = (1..6).map(|i| p.delay_ns(i, 1)).collect();
+        let b: Vec<u64> = (1..6).map(|i| p.delay_ns(i, 2)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        assert!(BackoffPolicy::default().validate().is_ok());
+        assert!(BackoffPolicy::none().validate().is_ok());
+        let bad = BackoffPolicy {
+            max_ns: 10,
+            base_ns: 100,
+            ..BackoffPolicy::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = BackoffPolicy {
+            factor: 0.5,
+            ..BackoffPolicy::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = BackoffPolicy {
+            jitter_frac: 1.5,
+            ..BackoffPolicy::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = BackoffPolicy::default();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: BackoffPolicy = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

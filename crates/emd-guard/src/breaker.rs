@@ -1,0 +1,334 @@
+//! Closed → Open → HalfOpen circuit breakers on a deterministic
+//! batch-tick clock.
+//!
+//! A breaker guards one pipeline phase. While **Closed** it only counts:
+//! `failure_threshold` *consecutive* failed passes trip it **Open**.
+//! While Open the guarded phase is skipped outright — callers route work
+//! through the cheap degraded path instead of burning retry budgets on a
+//! phase that keeps dying. After `open_ticks` batch ticks the breaker
+//! moves to **HalfOpen** and lets probes through on the normal schedule:
+//! `half_open_probes` consecutive successes close it again; a single
+//! failure re-opens it (with a fresh cooldown).
+//!
+//! Time is the supervisor's batch counter, not a wall clock, so a chaos
+//! run with a fixed fault plan produces the exact same transition
+//! timeline every time. External monitors (the `emd-sentinel` health
+//! machine going Critical) can [`force_open`](CircuitBreaker::force_open)
+//! a breaker regardless of its own failure count — the sense → act loop.
+
+use serde::{Deserialize, Serialize};
+
+/// The three breaker states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BreakerState {
+    /// Normal operation; failures are counted.
+    Closed,
+    /// The guarded phase is skipped; cooldown ticking.
+    Open,
+    /// Cooldown served; probes allowed through.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase name for reports and trace events.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Breaker knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BreakerConfig {
+    /// Consecutive failed passes that trip the breaker Open.
+    pub failure_threshold: u32,
+    /// Batch ticks the breaker stays Open before probing.
+    pub open_ticks: u64,
+    /// Consecutive successful probes that close a HalfOpen breaker.
+    pub half_open_probes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            open_ticks: 8,
+            half_open_probes: 2,
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// Reject nonsensical parameter combinations with a readable reason.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.failure_threshold == 0 {
+            return Err("breaker failure_threshold must be >= 1".to_string());
+        }
+        if self.open_ticks == 0 {
+            return Err("breaker open_ticks must be >= 1".to_string());
+        }
+        if self.half_open_probes == 0 {
+            return Err("breaker half_open_probes must be >= 1".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// One recorded state change, on the batch-tick clock.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BreakerTransition {
+    /// Tick the transition happened on.
+    pub tick: u64,
+    /// State before.
+    pub from: BreakerState,
+    /// State after.
+    pub to: BreakerState,
+    /// What drove it (failure streak, cooldown served, probe outcome,
+    /// or an external force-open).
+    pub reason: String,
+}
+
+/// The breaker itself. Drive it with [`tick`](CircuitBreaker::tick) once
+/// per batch and [`record_success`](CircuitBreaker::record_success) /
+/// [`record_failure`](CircuitBreaker::record_failure) once per guarded
+/// pass; consult [`allows`](CircuitBreaker::allows) before running the
+/// phase.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    tick: u64,
+    consecutive_failures: u32,
+    opened_at: u64,
+    probe_successes: u32,
+}
+
+impl CircuitBreaker {
+    /// A Closed breaker under the given (pre-validated) config.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            state: BreakerState::Closed,
+            tick: 0,
+            consecutive_failures: 0,
+            opened_at: 0,
+            probe_successes: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Current tick.
+    pub fn now(&self) -> u64 {
+        self.tick
+    }
+
+    /// True when the guarded phase should run (Closed, or HalfOpen
+    /// probing); false when it should take the degraded path instead.
+    pub fn allows(&self) -> bool {
+        self.state != BreakerState::Open
+    }
+
+    /// Advance the batch clock; an Open breaker whose cooldown is served
+    /// moves to HalfOpen.
+    pub fn tick(&mut self) -> Option<BreakerTransition> {
+        self.tick += 1;
+        if self.state == BreakerState::Open && self.tick >= self.opened_at + self.cfg.open_ticks {
+            self.probe_successes = 0;
+            return Some(self.transition(BreakerState::HalfOpen, "cooldown served; probing"));
+        }
+        None
+    }
+
+    /// Record one successful guarded pass.
+    pub fn record_success(&mut self) -> Option<BreakerTransition> {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures = 0;
+                None
+            }
+            BreakerState::HalfOpen => {
+                self.probe_successes += 1;
+                if self.probe_successes >= self.cfg.half_open_probes {
+                    self.consecutive_failures = 0;
+                    Some(self.transition(
+                        BreakerState::Closed,
+                        &format!("{} successful probes", self.probe_successes),
+                    ))
+                } else {
+                    None
+                }
+            }
+            BreakerState::Open => None,
+        }
+    }
+
+    /// Record one failed guarded pass (`reason` = the persistent-failure
+    /// message).
+    pub fn record_failure(&mut self, reason: &str) -> Option<BreakerTransition> {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.cfg.failure_threshold {
+                    self.opened_at = self.tick;
+                    Some(self.transition(
+                        BreakerState::Open,
+                        &format!(
+                            "{} consecutive failures: {reason}",
+                            self.consecutive_failures
+                        ),
+                    ))
+                } else {
+                    None
+                }
+            }
+            BreakerState::HalfOpen => {
+                self.opened_at = self.tick;
+                Some(self.transition(BreakerState::Open, &format!("probe failed: {reason}")))
+            }
+            BreakerState::Open => None,
+        }
+    }
+
+    /// Trip the breaker Open regardless of its failure count — the hook
+    /// for external monitors (sentinel Critical). An already-Open breaker
+    /// restarts its cooldown without emitting a transition.
+    pub fn force_open(&mut self, reason: &str) -> Option<BreakerTransition> {
+        self.opened_at = self.tick;
+        if self.state == BreakerState::Open {
+            return None;
+        }
+        Some(self.transition(BreakerState::Open, reason))
+    }
+
+    fn transition(&mut self, to: BreakerState, reason: &str) -> BreakerTransition {
+        let t = BreakerTransition {
+            tick: self.tick,
+            from: self.state,
+            to,
+            reason: reason.to_string(),
+        };
+        self.state = to;
+        if to != BreakerState::Open {
+            self.consecutive_failures = 0;
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, open_ticks: u64, probes: u32) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            open_ticks,
+            half_open_probes: probes,
+        })
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures_only() {
+        let mut b = breaker(3, 4, 1);
+        assert!(b.record_failure("x").is_none());
+        assert!(b.record_failure("x").is_none());
+        assert!(b.record_success().is_none(), "success resets the streak");
+        assert!(b.record_failure("x").is_none());
+        assert!(b.record_failure("x").is_none());
+        let t = b.record_failure("boom").expect("third consecutive trips");
+        assert_eq!((t.from, t.to), (BreakerState::Closed, BreakerState::Open));
+        assert!(t.reason.contains("boom"));
+        assert!(!b.allows());
+    }
+
+    #[test]
+    fn cooldown_then_probe_then_close() {
+        let mut b = breaker(1, 3, 2);
+        b.tick();
+        b.record_failure("x").expect("threshold 1 trips instantly");
+        for _ in 0..2 {
+            assert!(b.tick().is_none(), "cooldown not served yet");
+            assert!(!b.allows());
+        }
+        let t = b.tick().expect("cooldown served");
+        assert_eq!(t.to, BreakerState::HalfOpen);
+        assert!(b.allows(), "probes pass through");
+        assert!(b.record_success().is_none(), "one probe is not enough");
+        let t = b.record_success().expect("second probe closes");
+        assert_eq!(t.to, BreakerState::Closed);
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_fresh_cooldown() {
+        let mut b = breaker(1, 2, 1);
+        b.record_failure("x").unwrap();
+        b.tick();
+        let t = b.tick().expect("half-open");
+        assert_eq!(t.to, BreakerState::HalfOpen);
+        let t = b.record_failure("still broken").expect("reopens");
+        assert_eq!(t.to, BreakerState::Open);
+        assert!(b.tick().is_none(), "cooldown restarted");
+        assert!(b.tick().expect("served again").to == BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn force_open_overrides_and_is_idempotent() {
+        let mut b = breaker(100, 2, 1);
+        let t = b.force_open("sentinel critical").expect("trips");
+        assert_eq!(t.to, BreakerState::Open);
+        assert!(b.tick().is_none());
+        assert!(
+            b.force_open("again").is_none(),
+            "already open: no event, but the cooldown restarts"
+        );
+        assert!(b.tick().is_none(), "one tick into the restarted cooldown");
+        assert_eq!(b.tick().unwrap().to, BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn validation_rejects_zeroes() {
+        assert!(BreakerConfig::default().validate().is_ok());
+        for bad in [
+            BreakerConfig {
+                failure_threshold: 0,
+                ..Default::default()
+            },
+            BreakerConfig {
+                open_ticks: 0,
+                ..Default::default()
+            },
+            BreakerConfig {
+                half_open_probes: 0,
+                ..Default::default()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn transition_serde_round_trip() {
+        let t = BreakerTransition {
+            tick: 7,
+            from: BreakerState::Closed,
+            to: BreakerState::Open,
+            reason: "3 consecutive failures".to_string(),
+        };
+        let json = serde_json::to_string(&t).unwrap();
+        let back: BreakerTransition = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,37 @@
+//! # emd-guard
+//!
+//! The self-healing overload runtime for unattended streams: the
+//! mechanisms that let the pipeline *act* on trouble instead of merely
+//! observing it (`emd-sentinel`) or surviving it one fault at a time
+//! (`emd-resilience`). Three primitives, all deterministic — no wall
+//! clocks, no global RNG — so guarded chaos runs are exactly
+//! reproducible:
+//!
+//! * [`backoff`] — exponential retry backoff with seeded splitmix64
+//!   jitter; delays are *charged* against per-batch deadline budgets
+//!   whether or not the caller actually sleeps.
+//! * [`admission`] — a bounded ingest queue with overload policies
+//!   (reject-new, drop-oldest, shed-to-local-only), per-batch cost
+//!   estimates, and hysteresis watermark backpressure.
+//! * [`breaker`] — Closed → Open → HalfOpen circuit breakers on a
+//!   batch-tick clock, tripped by consecutive persistent failures or
+//!   forced open by external monitors (sentinel Critical transitions).
+//!
+//! The degradation ladder they implement, mildest first: **backoff**
+//! (retry later, bounded by the deadline) → **shed** (refuse new work at
+//! the door, cheapest loss) → **breaker open** (skip a dying phase,
+//! degrade its candidates to the LocalOnly path) → **dead-letter**
+//! (persist the batch for post-fix replay). `emd-core`'s
+//! `StreamSupervisor` and `Globalizer` wire these into the pipeline; see
+//! DESIGN.md § "Failure model".
+//!
+//! The crate sits at the bottom of the graph (serde shim only): policy
+//! mechanics live here, pipeline integration lives above.
+
+pub mod admission;
+pub mod backoff;
+pub mod breaker;
+
+pub use admission::{AdmissionConfig, AdmissionQueue, OverloadPolicy, Shed};
+pub use backoff::BackoffPolicy;
+pub use breaker::{BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker};

@@ -19,15 +19,28 @@
 //!   is detected and reported as [`CheckpointError::ChecksumMismatch`]
 //!   instead of deserializing garbage into live state.
 //!
-//! Writes are atomic: the content goes to a `<path>.tmp` sibling first
-//! and is `rename`d over the target, so a crash mid-write leaves either
-//! the previous checkpoint or a stray temp file — never a half-written
-//! checkpoint at the canonical path.
+//! Writes are atomic: the content goes to a
+//! `<path>.tmp.<pid>.<nonce>` sibling first and is `rename`d over the
+//! target, so a crash mid-write leaves either the previous checkpoint or
+//! a stray temp file — never a half-written checkpoint at the canonical
+//! path. The pid + per-process nonce in the temp name keep two
+//! supervisors checkpointing into the same directory from clobbering
+//! each other's in-flight temp file.
+//!
+//! ## Retained generations
+//!
+//! [`save_generations`] keeps the last K checkpoints as a fallback
+//! ladder: before each save, `<path>` rotates to `<path>.1`, `.1` to
+//! `.2`, and so on. [`load_chain`] walks the ladder newest-first and
+//! restores the first generation that passes every integrity check,
+//! reporting a [`GenerationDiscard`] (path + reason) for each corrupt
+//! generation it stepped over — so one torn or bit-flipped file costs
+//! one checkpoint interval of replay, not all durable state.
 
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 use std::fs;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Magic tag opening every checkpoint file.
 pub const MAGIC: &str = "EMDCKPT";
@@ -95,7 +108,79 @@ pub fn save<T: Serialize>(path: &Path, seq: u64, payload: &T) -> Result<(), Chec
     let content = format!("{MAGIC} v{FORMAT_VERSION} seq={seq} crc={crc:016x}\n{json}\n");
     let tmp = tmp_path(path);
     fs::write(&tmp, content).map_err(|e| CheckpointError::Io(e.to_string()))?;
+    // Torn-write injection site: a crash here leaves a stray temp file
+    // and the previous checkpoint intact (chaos-tested).
+    crate::failpoint::fire("checkpoint_rename");
     fs::rename(&tmp, path).map_err(|e| CheckpointError::Io(e.to_string()))
+}
+
+/// Path of retained generation `k`: the live checkpoint for `k == 0`,
+/// the `<path>.k` sibling otherwise.
+pub fn generation_path(path: &Path, k: usize) -> PathBuf {
+    if k == 0 {
+        return path.to_path_buf();
+    }
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(format!(".{k}"));
+    path.with_file_name(name)
+}
+
+/// Save with a retained-generation ladder: rotate the existing
+/// generations down one slot (dropping the oldest), then atomically
+/// write the new checkpoint at `path`. `keep == 1` degenerates to a
+/// plain [`save`]. Rotation is best-effort — a missing generation is
+/// simply skipped, and a failed rotation never blocks the save itself.
+pub fn save_generations<T: Serialize>(
+    path: &Path,
+    seq: u64,
+    payload: &T,
+    keep: usize,
+) -> Result<(), CheckpointError> {
+    for k in (1..keep.max(1)).rev() {
+        let from = generation_path(path, k - 1);
+        if from.exists() {
+            let _ = fs::rename(&from, generation_path(path, k));
+        }
+    }
+    save(path, seq, payload)
+}
+
+/// One generation the fallback chain stepped over.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerationDiscard {
+    /// Which generation (0 = newest).
+    pub generation: usize,
+    /// The file that failed.
+    pub path: PathBuf,
+    /// Why it was rejected.
+    pub reason: String,
+}
+
+/// Walk the generation ladder newest-first and restore the first
+/// generation that passes every integrity check. Returns
+/// `(seq, payload, generation)` on success plus the discard record for
+/// every corrupt generation stepped over on the way; `(None, discards)`
+/// when no generation could be restored (an empty discard list means a
+/// genuinely fresh start — nothing existed, nothing was corrupt).
+#[allow(clippy::type_complexity)]
+pub fn load_chain<T: DeserializeOwned>(
+    path: &Path,
+    keep: usize,
+) -> (Option<(u64, T, usize)>, Vec<GenerationDiscard>) {
+    let mut discards = Vec::new();
+    for k in 0..keep.max(1) {
+        let gen_path = generation_path(path, k);
+        match load::<T>(&gen_path) {
+            Ok((seq, payload)) => return (Some((seq, payload, k)), discards),
+            Err(CheckpointError::NotFound) => {}
+            Err(e) => discards.push(GenerationDiscard {
+                generation: k,
+                path: gen_path,
+                reason: e.to_string(),
+            }),
+        }
+    }
+    (None, discards)
 }
 
 /// Read a checkpoint back: verify magic, version, and checksum, then
@@ -142,11 +227,20 @@ pub fn load<T: DeserializeOwned>(path: &Path) -> Result<(u64, T), CheckpointErro
     Ok((seq, value))
 }
 
-/// Sibling temp path: `<file name>.tmp` in the same directory, so the
-/// final `rename` never crosses a filesystem boundary.
+/// Sibling temp path: `<file name>.tmp.<pid>.<nonce>` in the same
+/// directory, so the final `rename` never crosses a filesystem boundary.
+/// The pid plus a per-process counter make every in-flight temp file
+/// unique — two supervisors (or two threads) checkpointing to the same
+/// path can no longer clobber each other's half-written temp.
 fn tmp_path(path: &Path) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NONCE: AtomicU64 = AtomicU64::new(0);
     let mut name = path.file_name().unwrap_or_default().to_os_string();
-    name.push(".tmp");
+    name.push(format!(
+        ".tmp.{}.{}",
+        std::process::id(),
+        NONCE.fetch_add(1, Ordering::Relaxed)
+    ));
     path.with_file_name(name)
 }
 
@@ -271,11 +365,110 @@ mod tests {
         save(&path, 2, &p2).unwrap();
         let (seq, back): (u64, Payload) = load(&path).unwrap();
         assert_eq!((seq, back.n), (2, 99));
+        let stem = path.file_name().unwrap().to_string_lossy().to_string();
+        let leftovers: Vec<_> = std::fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().to_string())
+            .filter(|n| n.starts_with(&format!("{stem}.tmp.")))
+            .collect();
         assert!(
-            !tmp_path(&path).exists(),
-            "temp sibling must not survive a successful save"
+            leftovers.is_empty(),
+            "temp siblings must not survive a successful save: {leftovers:?}"
         );
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn tmp_paths_are_unique_per_call() {
+        // Regression: the temp name used to be the deterministic
+        // `<name>.tmp`, so two writers targeting the same checkpoint
+        // could clobber each other's in-flight temp file.
+        let path = temp("nonce");
+        let a = tmp_path(&path);
+        let b = tmp_path(&path);
+        assert_ne!(a, b, "every in-flight temp file is unique");
+        let pid = format!(".tmp.{}.", std::process::id());
+        assert!(a.to_string_lossy().contains(&pid), "{a:?}");
+        assert!(
+            a.parent() == path.parent(),
+            "temp stays a sibling so the rename never crosses filesystems"
+        );
+    }
+
+    #[test]
+    fn generation_ladder_rotates_and_restores_newest() {
+        let path = temp("gens");
+        for seq in 1..=4u64 {
+            let mut p = payload();
+            p.n = seq;
+            save_generations(&path, seq, &p, 3).unwrap();
+        }
+        // Ladder holds seq 4 (live), 3 (.1), 2 (.2); 1 rotated away.
+        let (restored, discards) = load_chain::<Payload>(&path, 3);
+        let (seq, back, generation) = restored.expect("newest restores");
+        assert_eq!((seq, back.n, generation), (4, 4, 0));
+        assert!(discards.is_empty());
+        let (s1, p1): (u64, Payload) = load(&generation_path(&path, 1)).unwrap();
+        assert_eq!((s1, p1.n), (3, 3));
+        let (s2, p2): (u64, Payload) = load(&generation_path(&path, 2)).unwrap();
+        assert_eq!((s2, p2.n), (2, 2));
+        assert!(!generation_path(&path, 3).exists(), "oldest dropped");
+        for k in 0..3 {
+            let _ = std::fs::remove_file(generation_path(&path, k));
+        }
+    }
+
+    #[test]
+    fn load_chain_steps_over_corrupt_generations_with_reasons() {
+        let path = temp("chain");
+        for seq in 1..=3u64 {
+            let mut p = payload();
+            p.n = seq;
+            save_generations(&path, seq, &p, 3).unwrap();
+        }
+        // Corrupt the two newest generations two different ways.
+        std::fs::write(&path, "EMDCKPT v2 seq=3 crc=0000000000000000\n{}\n").unwrap();
+        let g1 = generation_path(&path, 1);
+        let content = std::fs::read_to_string(&g1).unwrap();
+        std::fs::write(&g1, &content[..content.len() / 2]).unwrap();
+        let (restored, discards) = load_chain::<Payload>(&path, 3);
+        let (seq, back, generation) = restored.expect("generation 2 survives");
+        assert_eq!((seq, back.n, generation), (1, 1, 2));
+        assert_eq!(discards.len(), 2);
+        assert_eq!(discards[0].generation, 0);
+        assert!(
+            discards[0].reason.contains("checksum"),
+            "{}",
+            discards[0].reason
+        );
+        assert_eq!(discards[1].generation, 1);
+        for k in 0..3 {
+            let _ = std::fs::remove_file(generation_path(&path, k));
+        }
+    }
+
+    #[test]
+    fn load_chain_all_corrupt_reports_every_generation() {
+        let path = temp("allbad");
+        save_generations(&path, 1, &payload(), 2).unwrap();
+        save_generations(&path, 2, &payload(), 2).unwrap();
+        std::fs::write(&path, "garbage").unwrap();
+        std::fs::write(generation_path(&path, 1), "NOTACKPT v1\n{}\n").unwrap();
+        let (restored, discards) = load_chain::<Payload>(&path, 2);
+        assert!(restored.is_none());
+        assert_eq!(discards.len(), 2, "every generation's reason surfaced");
+        for k in 0..2 {
+            let _ = std::fs::remove_file(generation_path(&path, k));
+        }
+    }
+
+    #[test]
+    fn load_chain_fresh_start_is_clean() {
+        let path = temp("freshchain");
+        let (restored, discards) = load_chain::<Payload>(&path, 3);
+        assert!(restored.is_none());
+        assert!(discards.is_empty(), "nothing existed, nothing was corrupt");
     }
 
     #[test]

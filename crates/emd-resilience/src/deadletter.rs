@@ -1,0 +1,146 @@
+//! Dead-letter persistence: batches the supervisor gave up on, written as
+//! JSONL next to the checkpoint so operators can replay them after fixing
+//! whatever was wrong.
+//!
+//! The in-memory quarantine log ([`crate::quarantine`]) records the
+//! *decision* (which sentence, which phase, why); it dies with the
+//! process. The dead-letter file records the *payload* — the full
+//! sentences of every batch that exhausted its retry/deadline budget or
+//! was shed by an admission policy — one JSON record per line, appended
+//! in stream order. A record is self-contained: re-feeding its
+//! `sentences` through a fresh supervisor is the replay path.
+//!
+//! Appends happen after the failure is already committed to quarantine,
+//! so a crash between the two at worst loses a dead-letter line, never
+//! invents one.
+
+use emd_text::token::Sentence;
+use serde::{Deserialize, Serialize};
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// One dead-lettered batch: its position in the stream, why it was given
+/// up on, and the full sentence payload for replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeadLetterRecord {
+    /// Zero-based index of the batch in supervisor service order.
+    pub batch_seq: u64,
+    /// Why the batch was dead-lettered (persistent-failure message,
+    /// "deadline exceeded", or the shedding policy's name).
+    pub reason: String,
+    /// The sentences the batch carried, in stream order.
+    pub sentences: Vec<Sentence>,
+}
+
+/// The conventional dead-letter sibling of a checkpoint path:
+/// `<checkpoint>.deadletter.jsonl`.
+pub fn deadletter_path(checkpoint: &Path) -> PathBuf {
+    let mut name = checkpoint.file_name().unwrap_or_default().to_os_string();
+    name.push(".deadletter.jsonl");
+    checkpoint.with_file_name(name)
+}
+
+/// Append one record as a single JSON line (creating the file on first
+/// use). Errors are rendered as strings — dead-letter persistence is
+/// best-effort bookkeeping; the caller decides whether to surface or
+/// count the failure.
+pub fn append(path: &Path, record: &DeadLetterRecord) -> Result<(), String> {
+    let line =
+        serde_json::to_string(record).map_err(|e| format!("dead-letter serialize failed: {e}"))?;
+    let mut f = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("dead-letter open failed for {}: {e}", path.display()))?;
+    writeln!(f, "{line}").map_err(|e| format!("dead-letter write failed: {e}"))
+}
+
+/// Read every record back, in append order. A missing file is an empty
+/// log, not an error; a malformed line is an error naming the line.
+pub fn read_all(path: &Path) -> Result<Vec<DeadLetterRecord>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => {
+            return Err(format!(
+                "dead-letter read failed for {}: {e}",
+                path.display()
+            ))
+        }
+    };
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec = serde_json::from_str(line)
+            .map_err(|e| format!("dead-letter line {} malformed: {e}", i + 1))?;
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emd_text::token::SentenceId;
+
+    fn temp(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("emd-deadletter-{tag}-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn record(seq: u64, reason: &str) -> DeadLetterRecord {
+        DeadLetterRecord {
+            batch_seq: seq,
+            reason: reason.to_string(),
+            sentences: vec![
+                Sentence::from_tokens(SentenceId::new(seq * 10, 0), ["obama", "visits", "nyc"]),
+                Sentence::from_tokens(SentenceId::new(seq * 10 + 1, 0), ["rt", "lol"]),
+            ],
+        }
+    }
+
+    #[test]
+    fn append_then_read_round_trips_in_order() {
+        let path = temp("roundtrip");
+        append(&path, &record(0, "persistent: boom")).unwrap();
+        append(&path, &record(3, "deadline exceeded")).unwrap();
+        append(&path, &record(5, "reject-new")).unwrap();
+        let back = read_all(&path).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back[0], record(0, "persistent: boom"));
+        assert_eq!(back[1].batch_seq, 3);
+        assert_eq!(back[2].reason, "reject-new");
+        assert_eq!(back[2].sentences[0].texts().collect::<Vec<_>>().len(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_log() {
+        let path = temp("missing");
+        assert_eq!(read_all(&path).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn malformed_line_is_named() {
+        let path = temp("malformed");
+        append(&path, &record(1, "ok")).unwrap();
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            writeln!(f, "{{not json").unwrap();
+        }
+        let err = read_all(&path).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn deadletter_path_is_a_checkpoint_sibling() {
+        let p = deadletter_path(Path::new("/tmp/run/stream.ckpt"));
+        assert_eq!(p, Path::new("/tmp/run/stream.ckpt.deadletter.jsonl"));
+    }
+}

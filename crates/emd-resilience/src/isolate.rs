@@ -46,11 +46,30 @@ pub struct Retried<T> {
 
 /// Run `f` under [`catch`] up to `attempts` times (at least once),
 /// stopping at the first success.
-pub fn retry_catch<T>(attempts: usize, mut f: impl FnMut() -> T) -> Retried<T> {
+pub fn retry_catch<T>(attempts: usize, f: impl FnMut() -> T) -> Retried<T> {
+    retry_catch_with(attempts, f, |_| true)
+}
+
+/// [`retry_catch`] with a pluggable between-attempts hook.
+///
+/// After a failed attempt (and before the next one), `between` is called
+/// with the number of attempts failed so far (1-based). Returning `false`
+/// aborts the retry loop early — the hook is where callers apply backoff
+/// delays and charge them against a deadline budget; an exhausted budget
+/// stops retrying even when the attempt budget has room left. The hook is
+/// *not* called after the final attempt.
+pub fn retry_catch_with<T>(
+    attempts: usize,
+    mut f: impl FnMut() -> T,
+    mut between: impl FnMut(usize) -> bool,
+) -> Retried<T> {
     let attempts = attempts.max(1);
     let mut failed_attempts = 0;
     let mut last_err = String::new();
-    for _ in 0..attempts {
+    for attempt in 0..attempts {
+        if attempt > 0 && !between(failed_attempts) {
+            break;
+        }
         match catch(&mut f) {
             Ok(v) => {
                 return Retried {
@@ -132,5 +151,42 @@ mod tests {
         let r = retry_catch(0, || 7);
         assert_eq!(r.result, Ok(7));
         assert_eq!(r.failed_attempts, 0);
+    }
+
+    #[test]
+    fn between_hook_sees_failure_counts_and_can_abort() {
+        install_quiet_hook();
+        let mut seen = Vec::new();
+        let mut calls = 0;
+        let r = retry_catch_with(
+            5,
+            || -> () {
+                calls += 1;
+                panic_injected("persistent");
+            },
+            |failed| {
+                seen.push(failed);
+                failed < 2 // deadline exhausted after the second failure
+            },
+        );
+        assert_eq!(calls, 2, "abort stops retries before the attempt budget");
+        assert_eq!(seen, vec![1, 2]);
+        assert_eq!(r.failed_attempts, 2);
+        assert!(r.result.is_err());
+    }
+
+    #[test]
+    fn between_hook_not_called_on_success_path() {
+        let mut hook_calls = 0;
+        let r = retry_catch_with(
+            3,
+            || 11,
+            |_| {
+                hook_calls += 1;
+                true
+            },
+        );
+        assert_eq!(r.result, Ok(11));
+        assert_eq!(hook_calls, 0, "no failure, no backoff");
     }
 }

@@ -17,20 +17,26 @@
 //!   token sanity, span bounds/overlap, finite embeddings.
 //! * [`quarantine`] — the dead-letter record type: which sentence failed,
 //!   in which phase, and why.
+//! * [`deadletter`] — JSONL persistence for whole batches the supervisor
+//!   gave up on, written next to the checkpoint for operator replay.
 //! * [`checkpoint`] — atomic snapshot files with a versioned header and an
 //!   FNV-1a integrity checksum, so `StreamSupervisor` restarts replay only
-//!   the suffix since the last checkpoint.
+//!   the suffix since the last checkpoint. A retained-generation ladder
+//!   (`save_generations` / `load_chain`) survives torn writes by falling
+//!   back to the newest intact generation.
 //!
 //! The crate deliberately depends only on `emd-text` (for sentence ids)
 //! and the serde shims — it sits *below* `emd-core` in the crate graph.
 
 pub mod checkpoint;
+pub mod deadletter;
 pub mod failpoint;
 pub mod isolate;
 pub mod quarantine;
 pub mod validate;
 
-pub use checkpoint::{CheckpointError, FORMAT_VERSION};
+pub use checkpoint::{CheckpointError, GenerationDiscard, FORMAT_VERSION};
+pub use deadletter::{deadletter_path, DeadLetterRecord};
 pub use failpoint::{fire, InjectedFault, Schedule};
-pub use isolate::{catch, retry_catch, Retried};
+pub use isolate::{catch, retry_catch, retry_catch_with, Retried};
 pub use quarantine::{PipelinePhase, QuarantineEntry};

@@ -26,6 +26,9 @@ pub enum PipelinePhase {
     FinalizeRescan,
     /// The batch-driving supervisor loop.
     Supervisor,
+    /// The admission gate in front of the supervisor: the sentence was
+    /// shed by an overload policy before any pipeline phase ran.
+    Admission,
 }
 
 impl std::fmt::Display for PipelinePhase {
@@ -37,6 +40,7 @@ impl std::fmt::Display for PipelinePhase {
             PipelinePhase::Classify => "classify",
             PipelinePhase::FinalizeRescan => "finalize-rescan",
             PipelinePhase::Supervisor => "supervisor",
+            PipelinePhase::Admission => "admission",
         };
         f.write_str(s)
     }

@@ -81,6 +81,9 @@ pub struct BatchObservation {
     pub pruned: u64,
     /// Adjacent-fragment promotions (finalize only).
     pub promoted: u64,
+    /// Sentences shed by the admission gate before this batch ran
+    /// (overload pressure; zero in unguarded runs).
+    pub shed: u64,
     /// Wall-clock nanoseconds spent on the batch.
     pub latency_ns: u64,
 }
@@ -102,6 +105,7 @@ impl BatchObservation {
         out.push((SeriesId::EvictionRate, self.evicted as f64 / n));
         out.push((SeriesId::PruneRate, self.pruned as f64 / n));
         out.push((SeriesId::PromotionRate, self.promoted as f64 / n));
+        out.push((SeriesId::ShedRate, self.shed as f64 / n));
         if self.scored > 0 {
             let s = self.scored as f64;
             out.push((SeriesId::ScoreMean, self.score_sum / s));

@@ -39,11 +39,15 @@ pub enum SeriesId {
     /// Adjacent-fragment promotions per sentence (nonzero only on the
     /// closing observation emitted at finalize).
     PromotionRate,
+    /// Sentences shed by the admission gate per sentence offered
+    /// (overload pressure — feeds back into the guard runtime's
+    /// breakers via Critical health transitions).
+    ShedRate,
 }
 
 impl SeriesId {
     /// Every series, in catalog order.
-    pub const ALL: [SeriesId; 12] = [
+    pub const ALL: [SeriesId; 13] = [
         SeriesId::BatchLatencyNs,
         SeriesId::LocalSpanRate,
         SeriesId::MentionRate,
@@ -56,6 +60,7 @@ impl SeriesId {
         SeriesId::EvictionRate,
         SeriesId::PruneRate,
         SeriesId::PromotionRate,
+        SeriesId::ShedRate,
     ];
 
     /// Stable snake_case name used in exports, trace events, and docs.
@@ -73,6 +78,7 @@ impl SeriesId {
             SeriesId::EvictionRate => "eviction_rate",
             SeriesId::PruneRate => "prune_rate",
             SeriesId::PromotionRate => "promotion_rate",
+            SeriesId::ShedRate => "shed_rate",
         }
     }
 }

@@ -17,7 +17,7 @@
 //! `CandidatePruned` retires a candidate until a later rediscovery.
 
 use crate::event::{
-    TraceAblation, TraceEvent, TraceEventKind, TraceHealth, TraceLabel, TracePhase,
+    TraceAblation, TraceBreaker, TraceEvent, TraceEventKind, TraceHealth, TraceLabel, TracePhase,
 };
 use std::collections::{HashMap, HashSet};
 
@@ -170,7 +170,13 @@ pub fn replay(events: &[TraceEvent]) -> ReplayedOutput {
             // Monitoring events never alter the mention set (the sentinel
             // is passive); [`replay_health`] consumes them instead.
             | TraceEventKind::DriftDetected
-            | TraceEventKind::HealthTransition => {}
+            | TraceEventKind::HealthTransition
+            // Guard-runtime events record work that never *entered* the
+            // pipeline (sheds) or control-plane state changes (breakers,
+            // checkpoint fallbacks); [`replay_guard`] consumes them.
+            | TraceEventKind::BatchShed
+            | TraceEventKind::BreakerTransition
+            | TraceEventKind::CheckpointFallback => {}
         }
     }
 
@@ -258,6 +264,67 @@ pub fn replay_health(events: &[TraceEvent]) -> ReplayedHealth {
             TraceEventKind::DriftDetected => {
                 out.drifts
                     .push((ev.batch.unwrap_or(0), ev.series.clone().unwrap_or_default()));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// The guard-runtime timeline reconstructable from a trace: sheds,
+/// breaker transitions per guarded phase, and checkpoint fallbacks.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ReplayedGuard {
+    /// `(service seq, sentences shed, policy)` per shed, in trace order.
+    pub sheds: Vec<(u64, u64, String)>,
+    /// `(tick, phase, new state, reason)` per breaker transition.
+    pub breaker_transitions: Vec<(u64, Option<TracePhase>, TraceBreaker, String)>,
+    /// Final breaker state per guarded phase (absent = never transitioned,
+    /// i.e. Closed throughout).
+    pub breaker_state: Vec<(TracePhase, TraceBreaker)>,
+    /// `(generation restored from, newest discard reason)` per fallback.
+    pub checkpoint_fallbacks: Vec<(u64, String)>,
+}
+
+/// Reconstruct the guard-runtime timeline from trace events alone: fold
+/// [`TraceEventKind::BatchShed`], [`TraceEventKind::BreakerTransition`]
+/// and [`TraceEventKind::CheckpointFallback`] events in `seq` order. The
+/// supervisor's `RunReport` shed/breaker accounting must match this
+/// replay exactly — the same forcing function [`replay`] applies to the
+/// mention set, extended to the overload control plane.
+pub fn replay_guard(events: &[TraceEvent]) -> ReplayedGuard {
+    let mut ordered: Vec<&TraceEvent> = events.iter().collect();
+    ordered.sort_by_key(|e| e.seq);
+    let mut out = ReplayedGuard::default();
+    for ev in ordered {
+        match ev.kind {
+            TraceEventKind::BatchShed => {
+                out.sheds.push((
+                    ev.batch.unwrap_or(0),
+                    ev.count.unwrap_or(0),
+                    ev.reason.clone().unwrap_or_default(),
+                ));
+            }
+            TraceEventKind::BreakerTransition => {
+                if let Some(b) = ev.breaker {
+                    out.breaker_transitions.push((
+                        ev.batch.unwrap_or(0),
+                        ev.phase,
+                        b,
+                        ev.reason.clone().unwrap_or_default(),
+                    ));
+                    if let Some(p) = ev.phase {
+                        if let Some(slot) = out.breaker_state.iter_mut().find(|(q, _)| *q == p) {
+                            slot.1 = b;
+                        } else {
+                            out.breaker_state.push((p, b));
+                        }
+                    }
+                }
+            }
+            TraceEventKind::CheckpointFallback => {
+                out.checkpoint_fallbacks
+                    .push((ev.count.unwrap_or(0), ev.reason.clone().unwrap_or_default()));
             }
             _ => {}
         }
@@ -509,6 +576,60 @@ mod tests {
             ]
         );
         // Monitoring events are invisible to the mention replay.
+        assert_eq!(replay(&events), ReplayedOutput::default());
+    }
+
+    #[test]
+    fn guard_timeline_folds_sheds_breakers_and_fallbacks() {
+        let events = seqed(vec![
+            TraceEvent {
+                count: Some(1),
+                reason: Some("header checksum mismatch".into()),
+                phase: Some(TracePhase::Supervisor),
+                ..TraceEvent::of(K::CheckpointFallback)
+            },
+            TraceEvent {
+                batch: Some(3),
+                count: Some(8),
+                reason: Some("reject-new".into()),
+                phase: Some(TracePhase::Supervisor),
+                ..TraceEvent::of(K::BatchShed)
+            },
+            TraceEvent {
+                batch: Some(4),
+                phase: Some(TracePhase::Classify),
+                breaker: Some(TraceBreaker::Open),
+                reason: Some("3 consecutive failures".into()),
+                ..TraceEvent::of(K::BreakerTransition)
+            },
+            TraceEvent {
+                batch: Some(12),
+                phase: Some(TracePhase::Classify),
+                breaker: Some(TraceBreaker::HalfOpen),
+                reason: Some("cooldown served; probing".into()),
+                ..TraceEvent::of(K::BreakerTransition)
+            },
+            TraceEvent {
+                batch: Some(13),
+                phase: Some(TracePhase::Classify),
+                breaker: Some(TraceBreaker::Closed),
+                reason: Some("2 successful probes".into()),
+                ..TraceEvent::of(K::BreakerTransition)
+            },
+        ]);
+        let g = replay_guard(&events);
+        assert_eq!(g.sheds, vec![(3, 8, "reject-new".to_string())]);
+        assert_eq!(g.breaker_transitions.len(), 3);
+        assert_eq!(
+            g.breaker_state,
+            vec![(TracePhase::Classify, TraceBreaker::Closed)],
+            "last transition wins"
+        );
+        assert_eq!(
+            g.checkpoint_fallbacks,
+            vec![(1, "header checksum mismatch".to_string())]
+        );
+        // Guard events are invisible to the mention replay.
         assert_eq!(replay(&events), ReplayedOutput::default());
     }
 

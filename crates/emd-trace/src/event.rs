@@ -104,6 +104,19 @@ pub enum TraceEventKind {
     /// `batch`, `health` (new state), `reason` (tripping rule, or
     /// "cleared").
     HealthTransition,
+    /// The admission gate shed a batch instead of servicing it. Fields:
+    /// `batch` (supervisor service seq at the shed), `count` (sentences
+    /// shed), `reason` (overload policy name), `phase` (supervisor).
+    BatchShed,
+    /// A circuit breaker changed state. Fields: `batch` (breaker tick),
+    /// `phase` (the guarded phase), `breaker` (new state), `reason`
+    /// (failure streak, cooldown served, probe outcome, or force-open).
+    BreakerTransition,
+    /// Restore skipped one or more corrupt checkpoint generations and
+    /// fell back down the retained ladder. Fields: `count` (generation
+    /// restored from, 0 = newest), `reason` (newest discard reason),
+    /// `phase` (supervisor).
+    CheckpointFallback,
 }
 
 /// Pipeline phase a trace event is attributed to.
@@ -195,6 +208,20 @@ pub enum TraceHealth {
     Critical,
 }
 
+/// Circuit-breaker state mirrored into the trace (decoupled from
+/// `emd-guard` so this crate stays dependency-free). Replaying
+/// [`TraceEventKind::BreakerTransition`] events reconstructs each guarded
+/// phase's breaker timeline — see [`crate::audit::replay_guard`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceBreaker {
+    /// Normal operation; failures are counted.
+    Closed,
+    /// The guarded phase is skipped; cooldown ticking.
+    Open,
+    /// Cooldown served; probes allowed through.
+    HalfOpen,
+}
+
 /// One traced pipeline decision. See [`TraceEventKind`] for which fields
 /// each kind populates; unpopulated fields are `None`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -239,6 +266,8 @@ pub struct TraceEvent {
     pub series: Option<String>,
     /// New health state (on [`TraceEventKind::HealthTransition`]).
     pub health: Option<TraceHealth>,
+    /// New breaker state (on [`TraceEventKind::BreakerTransition`]).
+    pub breaker: Option<TraceBreaker>,
 }
 
 impl TraceEvent {
@@ -267,6 +296,7 @@ impl TraceEvent {
             reason: None,
             series: None,
             health: None,
+            breaker: None,
         }
     }
 }
@@ -324,6 +354,9 @@ impl fmt::Display for TraceEvent {
         }
         if let Some(h) = self.health {
             write!(f, " health={h:?}")?;
+        }
+        if let Some(b) = self.breaker {
+            write!(f, " breaker={b:?}")?;
         }
         if let Some(r) = &self.reason {
             write!(f, " reason=\"{r}\"")?;

@@ -47,7 +47,9 @@ pub mod flame;
 pub mod jsonl;
 pub mod ring;
 
-pub use event::{TraceAblation, TraceEvent, TraceEventKind, TraceHealth, TraceLabel, TracePhase};
+pub use event::{
+    TraceAblation, TraceBreaker, TraceEvent, TraceEventKind, TraceHealth, TraceLabel, TracePhase,
+};
 pub use explain::Explanation;
 pub use ring::TraceSink;
 

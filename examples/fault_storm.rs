@@ -1,0 +1,256 @@
+//! Fault-storm soak: the self-healing overload runtime surviving
+//! simultaneous overload and fault injection, then recovering.
+//!
+//! Three phases drive one guarded, monitored globalizer:
+//!
+//! 1. **Overload** — batches arrive three per tick against a queue that
+//!    holds four, while transient batch-level faults fire. The admission
+//!    gate sheds the overflow (every shed batch is quarantined and
+//!    written to the dead-letter JSONL), backoff absorbs the faults, and
+//!    the output for every *admitted* batch is **bit-identical** to a
+//!    fault-free run over the same substream.
+//! 2. **Storm** — a persistent local-inference fault quarantines
+//!    everything; the sentinel's quarantine-rate rule goes Critical and
+//!    **force-opens every circuit breaker** (sense → act).
+//! 3. **Recovery** — faults stop. Breakers serve their cooldown, probe
+//!    HalfOpen, and re-close; the health machine walks back to Healthy.
+//!
+//! Exits nonzero if any guarantee is violated, so CI runs it as the
+//! overload + self-healing smoke.
+//!
+//! Run with: `cargo run --example fault_storm`
+
+use emd_globalizer::core::local::LexiconEmd;
+use emd_globalizer::core::supervisor::{StreamSupervisor, SupervisorConfig};
+use emd_globalizer::core::{EntityClassifier, Globalizer, GlobalizerConfig};
+use emd_globalizer::guard::{AdmissionConfig, BreakerConfig, BreakerState, OverloadPolicy};
+use emd_globalizer::resilience::checkpoint;
+use emd_globalizer::resilience::deadletter;
+use emd_globalizer::resilience::failpoint::{self, Schedule};
+use emd_globalizer::resilience::quarantine::PipelinePhase;
+use emd_globalizer::sentinel::{
+    HealthPolicy, HealthState, Rule, Sentinel, SentinelConfig, SeriesId, Severity,
+};
+use emd_globalizer::text::token::{Sentence, SentenceId};
+
+const WORDS: [&str; 12] = [
+    "italy", "covid", "beshear", "moross", "lumsa", "zutav", "report", "cases", "the", "news",
+    "visit", "again",
+];
+
+const BATCH: usize = 25;
+
+fn synthetic_stream(n: usize) -> Vec<Sentence> {
+    (0..n)
+        .map(|i| {
+            let toks = (0..3 + i % 4).map(|j| {
+                let mut t = WORDS[(i * 7 + j * 3) % WORDS.len()].to_string();
+                if (i + j) % 3 == 0 {
+                    t[..1].make_ascii_uppercase();
+                }
+                t
+            });
+            Sentence::from_tokens(SentenceId::new(i as u64, 0), toks)
+        })
+        .collect()
+}
+
+fn main() {
+    let local = LexiconEmd::new(["italy", "covid", "beshear", "moross", "lumsa", "zutav"]);
+    let clf = EntityClassifier::new(7, 2022);
+    emd_globalizer::obs::set_enabled(true);
+
+    let mut g = Globalizer::new(&local, None, &clf, GlobalizerConfig::default());
+    g.set_guard(BreakerConfig {
+        failure_threshold: 3,
+        open_ticks: 3,
+        half_open_probes: 1,
+    });
+    g.set_sentinel(Sentinel::new(SentinelConfig {
+        window: 4,
+        policy: HealthPolicy {
+            rules: vec![
+                // Shedding degrades the stream but must NOT force-open
+                // breakers (that would make overload double-punish the
+                // admitted work)...
+                Rule::above(SeriesId::ShedRate, 0.25, Severity::Degraded),
+                // ...a quarantine storm is Critical and does.
+                Rule::above(SeriesId::QuarantineRate, 0.4, Severity::Critical),
+            ],
+            trip_after: 1,
+            clear_after: 2,
+            min_dwell: 0,
+        },
+        ..SentinelConfig::default()
+    }));
+
+    // ------------------------------------------------------------------
+    println!("[phase 1] overload: 3 batches arrive per tick, 1 is serviced; transient faults fire");
+    let stream = synthetic_stream(600);
+    let ckpt = std::env::temp_dir().join(format!("emd_fault_storm_{}", std::process::id()));
+    for k in 0..2 {
+        std::fs::remove_file(checkpoint::generation_path(&ckpt, k)).ok();
+    }
+    std::fs::remove_file(deadletter::deadletter_path(&ckpt)).ok();
+    let sup = StreamSupervisor::new(
+        &g,
+        SupervisorConfig {
+            checkpoint_path: Some(ckpt.clone()),
+            checkpoint_every: 8,
+            checkpoint_generations: 2,
+            batch_size: BATCH,
+            batch_retries: 2,
+            admission: AdmissionConfig {
+                capacity: (4 * BATCH) as u64,
+                policy: OverloadPolicy::RejectNew,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let report = {
+        // Every 5th batch-level attempt dies; the backoff'd retry lands
+        // on the next attempt and succeeds — no batch is lost to faults.
+        let _fp = failpoint::arm("supervisor_batch", Schedule::EveryK(5));
+        sup.run_queued(&stream, 3)
+    };
+    println!(
+        "  shed={} retried={} dead_lettered={} health={:?}",
+        report.batches_shed,
+        report.batches_retried,
+        report.batches_dead_lettered,
+        report.health.as_ref().map(|h| h.state)
+    );
+    assert!(report.batches_shed > 0, "overload must shed");
+    assert!(report.batches_retried > 0, "transient faults must retry");
+    assert_eq!(report.batches_dead_lettered, 0, "no batch lost to faults");
+    let shed_sents = report
+        .output
+        .quarantined
+        .iter()
+        .filter(|q| q.phase == PipelinePhase::Admission)
+        .count();
+    assert_eq!(shed_sents, report.batches_shed * BATCH);
+    assert_eq!(
+        report.output.per_sentence.len() + shed_sents,
+        stream.len(),
+        "admitted + shed = total"
+    );
+    let records = deadletter::read_all(&deadletter::deadletter_path(&ckpt)).unwrap();
+    assert_eq!(
+        records.len(),
+        report.batches_shed,
+        "one replayable dead-letter record per shed batch"
+    );
+    assert!(
+        report.breaker_transitions.is_empty(),
+        "overload alone must not touch the breakers"
+    );
+
+    // Bit-identity: a plain, unguarded run over exactly the admitted
+    // batches produces the same answer, span for span.
+    let lost: std::collections::HashSet<SentenceId> =
+        report.output.quarantined.iter().map(|q| q.sid).collect();
+    let plain = Globalizer::new(&local, None, &clf, GlobalizerConfig::default());
+    let mut state = plain.new_state();
+    for chunk in stream.chunks(BATCH) {
+        if chunk.iter().any(|s| lost.contains(&s.id)) {
+            continue;
+        }
+        plain.process_batch(&mut state, chunk);
+    }
+    let clean = plain.finalize(&mut state);
+    assert_eq!(
+        report.output.per_sentence, clean.per_sentence,
+        "admitted-batch output must be bit-identical to fault-free"
+    );
+    println!(
+        "  [ok] {} admitted batches bit-identical to fault-free ({} entities)",
+        report.batches_total - report.batches_shed,
+        report.output.n_entities
+    );
+    for k in 0..2 {
+        std::fs::remove_file(checkpoint::generation_path(&ckpt, k)).ok();
+    }
+    std::fs::remove_file(deadletter::deadletter_path(&ckpt)).ok();
+
+    // ------------------------------------------------------------------
+    println!("[phase 2] storm: persistent local fault; sentinel Critical force-opens the breakers");
+    let storm_stream = synthetic_stream(200);
+    let storm_sup = StreamSupervisor::new(
+        &g,
+        SupervisorConfig {
+            batch_size: BATCH,
+            ..Default::default()
+        },
+    );
+    let storm = {
+        let _fp = failpoint::arm("local_inference", Schedule::EveryK(1));
+        storm_sup.run(&storm_stream)
+    };
+    println!(
+        "  quarantined={} health={:?}",
+        storm.output.quarantined.len(),
+        storm.health.as_ref().map(|h| h.state)
+    );
+    assert_eq!(storm.output.quarantined.len(), storm_stream.len());
+    let force_opens: Vec<_> = storm
+        .breaker_transitions
+        .iter()
+        .filter(|(_, t)| t.to == BreakerState::Open && t.reason.contains("sentinel critical"))
+        .collect();
+    assert_eq!(
+        force_opens.len(),
+        3,
+        "Critical health force-opens all three breakers"
+    );
+
+    // ------------------------------------------------------------------
+    println!("[phase 3] recovery: faults stop; breakers probe and re-close, health walks back");
+    let recovery = storm_sup.run(&stream);
+    let health = recovery.health.as_ref().expect("monitored run");
+    println!(
+        "  health={:?} after {} transitions; breakers={:?}",
+        health.state,
+        health.transitions.len(),
+        g.breaker_states()
+            .unwrap()
+            .iter()
+            .map(|(p, s)| format!("{p:?}={s}"))
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(health.state, HealthState::Healthy, "the stream recovered");
+    for (phase, s) in g.breaker_states().unwrap() {
+        assert_eq!(s, BreakerState::Closed, "{phase:?} breaker must re-close");
+    }
+    let reclosed = g
+        .guard_transitions()
+        .iter()
+        .filter(|(_, t)| t.from == BreakerState::HalfOpen && t.to == BreakerState::Closed)
+        .count();
+    assert!(reclosed >= 1, "at least one breaker probed its way closed");
+    assert!(
+        recovery.output.quarantined.is_empty(),
+        "no residual quarantine after the storm passes"
+    );
+
+    println!("\nguard metrics (Prometheus exposition):");
+    let snap = emd_globalizer::obs::global().snapshot();
+    for line in snap.to_prometheus().lines() {
+        if (line.contains("emd_guard_") || line.contains("deadletter")) && !line.contains("_ns") {
+            println!("  {line}");
+        }
+    }
+    assert!(snap.counter("emd_guard_shed_batches_total").unwrap_or(0) > 0);
+    assert!(
+        snap.counter("emd_guard_breaker_transitions_total")
+            .unwrap_or(0)
+            > 0
+    );
+
+    println!(
+        "\n[ok] survived overload (shed {}), a quarantine storm (breakers tripped), \
+         and recovered to Healthy with bit-identical admitted output.",
+        report.batches_shed
+    );
+}

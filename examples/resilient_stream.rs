@@ -68,6 +68,7 @@ fn main() {
             checkpoint_every: 4,
             batch_size: 50,
             batch_retries: 1,
+            ..Default::default()
         },
     );
 

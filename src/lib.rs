@@ -58,7 +58,8 @@
 //! | [`obs`] | `emd-obs` | zero-dependency metrics: counters, gauges, latency histograms, Prometheus/JSON exporters |
 //! | [`trace`] | `emd-trace` | decision-level tracing: lock-free event ring, per-mention provenance, trace-replay auditing, flame output |
 //! | [`sentinel`] | `emd-sentinel` | windowed quality telemetry, streaming drift detectors, per-stream health state machine |
-//! | [`resilience`] | `emd-resilience` | failure model: fail points, panic isolation, quarantine, checkpoint format |
+//! | [`resilience`] | `emd-resilience` | failure model: fail points, panic isolation, quarantine, checkpoint format, dead-letter log |
+//! | [`guard`] | `emd-guard` | overload runtime: backoff policies, admission queues, circuit breakers |
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured comparison of every table and figure.
@@ -67,6 +68,7 @@ pub use emd_baseline as baseline;
 pub use emd_core as core;
 pub use emd_crf as crf;
 pub use emd_eval as eval;
+pub use emd_guard as guard;
 pub use emd_local as local;
 pub use emd_nn as nn;
 pub use emd_obs as obs;

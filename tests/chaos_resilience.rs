@@ -453,6 +453,7 @@ fn supervisor_crash_recovery_with_faults_still_matches_clean_run() {
         checkpoint_every: 1,
         batch_size: 3,
         batch_retries: 2,
+        ..Default::default()
     };
     let sup = StreamSupervisor::new(&g, cfg);
     // "Crash" mid-stream: process a prefix under injected faults, then
