@@ -12,6 +12,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== tier-1 tests =="
 cargo test --workspace --release
 
+echo "== scalar-fallback arm (force-scalar feature) =="
+# The SIMD kernels ship two arms (lane-chunked + scalar) behind the
+# `force-scalar` feature, contractually bit-identical (see DESIGN.md
+# "Data layout & SIMD"). Build the feature matrix and run the full suite
+# once on the scalar arm so a regression in either arm — or a divergence
+# between them — fails CI, not a user on an exotic target.
+cargo build --workspace --features emd-simd/force-scalar
+cargo test --workspace --release --features emd-simd/force-scalar -q
+
 echo "== instrumented smoke pipeline =="
 # The quickstart runs the full pipeline with metric recording on and
 # asserts nonzero sample counts and sane quantiles for every phase
@@ -69,13 +78,19 @@ echo "== bench smoke =="
 # DESIGN.md. Phases that never ran are omitted from the report.
 BENCH_SMOKE=1 cargo bench -p emd-bench --bench pipeline > /dev/null
 test -s results/BENCH_pipeline.json
-# Keep the committed copy at the repo root in sync with the fresh run.
+# Copy whichever mode just ran to the repo root. The report carries an
+# explicit `"smoke": true/false` + `"mode"` marker, so a CI smoke copy is
+# never mistaken for the committed full-mode baseline (recorded by
+# running `cargo bench -p emd-bench --bench pipeline` without
+# BENCH_SMOKE — a million-sentence windowed churn stream).
 cp results/BENCH_pipeline.json BENCH_pipeline.json
 
 echo "== bench history gate =="
-# Append this run (git SHA + timestamp + throughput) to the per-machine
-# results/BENCH_history.jsonl and fail on a >25% throughput regression
-# against the previous comparable entry.
+# Append this run (git SHA + timestamp + mode + throughput) to the
+# per-machine results/BENCH_history.jsonl and fail on a >25% throughput
+# regression against the previous comparable entry. Comparable = same
+# mode and stream length: a smoke run can never trip the gate against a
+# full-mode entry or vice versa.
 cargo run --release -p emd-bench --bin bench_gate
 
 echo "== sentinel monitoring smoke =="

@@ -8,6 +8,7 @@ use emd_core::ctrie::CTrie;
 use emd_core::mention::extract_mentions;
 use emd_core::{EntityClassifier, PhraseEmbedder};
 use emd_nn::matrix::Matrix;
+use emd_text::intern::Interner;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -17,13 +18,14 @@ fn bench_global_components(c: &mut Criterion) {
     let sents = sentences_of(&d2);
 
     // Candidate inventory: gold surfaces of the stream (realistic trie).
+    let mut interner = Interner::new();
     let mut trie = CTrie::new();
     for ann in &d2.sentences {
         for sp in &ann.gold {
             let toks: Vec<String> = (sp.start..sp.end)
                 .map(|i| ann.sentence.tokens[i].text.clone())
                 .collect();
-            trie.insert(&toks);
+            trie.insert(&mut interner, &toks);
         }
     }
 
@@ -34,16 +36,17 @@ fn bench_global_components(c: &mut Criterion) {
             .map(|i| vec![format!("cand{i}"), format!("tail{i}")])
             .collect();
         b.iter(|| {
+            let mut it = Interner::new();
             let mut t = CTrie::new();
             for cd in &cands {
-                t.insert(cd);
+                t.insert(&mut it, cd);
             }
             black_box(t.len())
         })
     });
 
     group.bench_function("ctrie_lookup", |b| {
-        b.iter(|| black_box(trie.contains(&["coronavirus"])))
+        b.iter(|| black_box(trie.contains(&interner, &["coronavirus"])))
     });
 
     group.bench_function("mention_rescan_100_sentences", |b| {
@@ -51,7 +54,7 @@ fn bench_global_components(c: &mut Criterion) {
         b.iter(|| {
             let mut n = 0usize;
             for s in slice {
-                n += extract_mentions(&trie, s, 6).len();
+                n += extract_mentions(&trie, &mut interner, s, 6).len();
             }
             black_box(n)
         })

@@ -11,15 +11,31 @@
 //! Set `BENCH_SMOKE=1` for the CI smoke mode: a reduced stream and tiny
 //! sample counts (skipping the expensive CRF variants), still emitting
 //! the full JSON report.
+//!
+//! The report stream differs by mode: smoke measures a 40-sentence slice
+//! of the D2-analog corpus (fast enough for every CI run), while full
+//! mode measures a **one-million-sentence** `emd-synth` churn stream
+//! under a sliding window — the committed repo-root baseline. The two are
+//! never comparable; the gate (`bench_gate`) matches entries by `mode`
+//! and stream length.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use emd_bench::{bench_stream, chunker_variant, sentences_of, trained_crf_variant};
-use emd_core::config::Ablation;
+use emd_bench::{bench_stream, chunker_variant, sentences_of, trained_crf_variant, SEED};
+use emd_core::config::{Ablation, WindowConfig};
 use emd_core::local::LocalEmd;
 use emd_core::{Globalizer, GlobalizerConfig};
+use emd_synth::longhorizon::gen_churn_stream;
+use emd_synth::noise::NoiseConfig;
 use serde::Serialize;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
+
+/// Full-mode report stream length (one million sentences).
+const FULL_STREAM_LEN: usize = 1_000_000;
+/// Full-mode sliding window (bounded resident state over the long run).
+const FULL_WINDOW: usize = 20_000;
+/// Full-mode batch size.
+const FULL_BATCH: usize = 512;
 
 /// Per-phase cumulative time and derived throughput for one pipeline run.
 #[derive(Serialize)]
@@ -53,8 +69,13 @@ struct TracingStat {
 #[derive(Serialize)]
 struct BenchReport {
     smoke: bool,
+    /// `"smoke"` or `"full"` — the explicit like-for-like marker the
+    /// gate and downstream tooling match on.
+    mode: String,
     n_sentences: usize,
     batch_size: usize,
+    /// Sliding-window size in sentences (0 = unbounded).
+    window_sentences: usize,
     phases: Vec<PhaseStat>,
     latency: Vec<LatencyStat>,
     tracing: TracingStat,
@@ -62,13 +83,21 @@ struct BenchReport {
 
 /// Run the chunker variant instrumented (metrics + trace) and assemble
 /// the JSON report. Uses the cheap deterministic chunker so the report
-/// pass costs the same in smoke and full mode.
-fn emit_report(slice: &[emd_text::token::Sentence], batch: usize, smoke: bool) {
+/// pass costs the same per sentence in smoke and full mode.
+fn emit_report(slice: &[emd_text::token::Sentence], batch: usize, smoke: bool, window: usize) {
     let (chunker, accept_all) = chunker_variant();
+    let config = || GlobalizerConfig {
+        window: if window > 0 {
+            WindowConfig::sliding(window)
+        } else {
+            WindowConfig::default()
+        },
+        ..Default::default()
+    };
 
     // Instrumented pass: per-phase timings + latency quantiles.
     emd_obs::set_enabled(true);
-    let g = Globalizer::new(&chunker, None, &accept_all, GlobalizerConfig::default());
+    let g = Globalizer::new(&chunker, None, &accept_all, config());
     let (out, _) = g.run(slice, batch);
     let snapshot = g.metrics().snapshot();
     emd_obs::set_enabled(false);
@@ -107,10 +136,10 @@ fn emit_report(slice: &[emd_text::token::Sentence], batch: usize, smoke: bool) {
     // absorb every one-time cost (allocator growth, lazy init, cache
     // fill) and reported a nonsensical *negative* overhead. Best-of-N
     // per arm keeps a single scheduler hiccup from skewing the ratio.
-    const PASSES: usize = 5;
-    let g_off = Globalizer::new(&chunker, None, &accept_all, GlobalizerConfig::default());
+    let passes: usize = if smoke { 5 } else { 3 };
+    let g_off = Globalizer::new(&chunker, None, &accept_all, config());
     let sink = emd_trace::TraceSink::with_capacity(1 << 18);
-    let mut g_on = Globalizer::new(&chunker, None, &accept_all, GlobalizerConfig::default());
+    let mut g_on = Globalizer::new(&chunker, None, &accept_all, config());
     g_on.set_trace(sink.clone());
 
     emd_trace::set_enabled(false);
@@ -118,9 +147,9 @@ fn emit_report(slice: &[emd_text::token::Sentence], batch: usize, smoke: bool) {
     emd_trace::set_enabled(true);
     black_box(g_on.run(slice, batch));
 
-    let mut off_ns = Vec::with_capacity(PASSES);
-    let mut on_ns = Vec::with_capacity(PASSES);
-    for _ in 0..PASSES {
+    let mut off_ns = Vec::with_capacity(passes);
+    let mut on_ns = Vec::with_capacity(passes);
+    for _ in 0..passes {
         emd_trace::set_enabled(false);
         let t0 = Instant::now();
         black_box(g_off.run(slice, batch));
@@ -136,8 +165,8 @@ fn emit_report(slice: &[emd_text::token::Sentence], batch: usize, smoke: bool) {
     let run_ns_tracing_off = off_ns.into_iter().min().unwrap();
     let run_ns_tracing_on = on_ns.into_iter().min().unwrap();
 
-    // The warm-up pass was traced too, hence PASSES + 1.
-    let events = sink.events_total() / (PASSES as u64 + 1);
+    // The warm-up pass was traced too, hence passes + 1.
+    let events = sink.events_total() / (passes as u64 + 1);
     let tracing = TracingStat {
         events,
         dropped: sink.dropped_total(),
@@ -157,8 +186,10 @@ fn emit_report(slice: &[emd_text::token::Sentence], batch: usize, smoke: bool) {
 
     let report = BenchReport {
         smoke,
+        mode: if smoke { "smoke" } else { "full" }.to_string(),
         n_sentences: slice.len(),
         batch_size: batch,
+        window_sentences: window,
         phases,
         latency,
         tracing,
@@ -180,7 +211,11 @@ fn emit_report(slice: &[emd_text::token::Sentence], batch: usize, smoke: bool) {
     let path = format!("{dir}/BENCH_pipeline.json");
     std::fs::write(&path, &json).expect("write bench report");
     println!(
-        "report: {} phases, {} histograms, {} trace events ({:.0} events/sec, {:+.1}% wall clock) -> {path}",
+        "report [{}]: {} sentences, {:.0} sentences/sec end-to-end, {} phases, {} histograms, \
+         {} trace events ({:.0} events/sec, {:+.1}% wall clock) -> {path}",
+        report.mode,
+        report.n_sentences,
+        report.n_sentences as f64 * 1e9 / report.tracing.run_ns_tracing_off as f64,
         report.phases.len(),
         report.latency.len(),
         report.tracing.events,
@@ -192,7 +227,7 @@ fn emit_report(slice: &[emd_text::token::Sentence], batch: usize, smoke: bool) {
 
 fn bench_pipeline(c: &mut Criterion) {
     let smoke = std::env::var_os("BENCH_SMOKE").is_some();
-    let (d2, _) = bench_stream();
+    let (d2, world) = bench_stream();
     let sents = sentences_of(&d2);
     let take = if smoke { 40 } else { 100 };
     let slice: Vec<_> = sents.iter().take(take).cloned().collect();
@@ -272,8 +307,24 @@ fn bench_pipeline(c: &mut Criterion) {
         emd_obs::set_enabled(false);
     }
 
-    // Machine-readable report (both modes).
-    emit_report(&slice, 10, smoke);
+    // Machine-readable report. Smoke reuses the tiny slice above; full
+    // mode measures the windowed pipeline end-to-end on a one-million-
+    // sentence churn stream (realistic long-run vocabulary turnover).
+    if smoke {
+        emit_report(&slice, 10, smoke, 0);
+    } else {
+        let churn = gen_churn_stream(
+            &world,
+            FULL_STREAM_LEN,
+            5_000,
+            "churn-1m",
+            &NoiseConfig::default(),
+            SEED,
+        );
+        let stream = sentences_of(&churn);
+        drop(churn);
+        emit_report(&stream, FULL_BATCH, smoke, FULL_WINDOW);
+    }
 }
 
 criterion_group!(benches, bench_pipeline);

@@ -192,19 +192,21 @@ fn bench_rescan(c: &mut Criterion) {
 
     group.finish();
 
-    // CTrie child lookup: the allocation-free fast path for already-
-    // lowercase ASCII tokens vs the to_lowercase fallback.
+    // CTrie child lookup: the interned-symbol fast path (what the scan
+    // walks per token) vs resolving a raw string through the interner.
+    let mut interner = emd_text::intern::Interner::new();
     let mut trie = CTrie::new();
     for surface in &lexicon {
         let toks: Vec<&str> = surface.split(' ').collect();
-        trie.insert(&toks);
+        trie.insert(&mut interner, &toks);
     }
+    let sym17 = interner.intern_folded("entity17");
     let mut micro = c.benchmark_group("ctrie_child");
-    micro.bench_function("lowercase_fast_path", |b| {
-        b.iter(|| black_box(trie.child(CTrie::ROOT, black_box("entity17"))))
+    micro.bench_function("interned_sym_fast_path", |b| {
+        b.iter(|| black_box(trie.child_sym(CTrie::ROOT, black_box(sym17))))
     });
-    micro.bench_function("mixed_case_slow_path", |b| {
-        b.iter(|| black_box(trie.child(CTrie::ROOT, black_box("Entity17"))))
+    micro.bench_function("string_lookup_path", |b| {
+        b.iter(|| black_box(trie.child(&interner, CTrie::ROOT, black_box("Entity17"))))
     });
     micro.finish();
 }

@@ -2,10 +2,14 @@
 //!
 //! Reads the machine-readable report the `pipeline` bench just wrote
 //! (`results/BENCH_pipeline.json`), appends one line — git SHA,
-//! timestamp, throughput, tracing overhead — to
+//! timestamp, mode, throughput, tracing overhead — to
 //! `results/BENCH_history.jsonl`, and fails if end-to-end throughput
-//! regressed more than 25% against the most recent comparable entry
-//! (same smoke flag, same stream length).
+//! regressed more than 25% against the most recent comparable entry.
+//! Comparable means **same `mode`** (`"smoke"` measures a 40-sentence CI
+//! slice, `"full"` a million-sentence windowed churn stream — their
+//! numbers differ by orders of magnitude and must never gate each other)
+//! and same stream length. History lines from before the `mode` tag
+//! don't parse and are ignored as baselines.
 //!
 //! Throughput is derived from `tracing.run_ns_tracing_off` — the
 //! best-of-5 untraced wall clock — rather than the single instrumented
@@ -29,6 +33,7 @@ const MAX_REGRESSION_PCT: f64 = 25.0;
 #[derive(Deserialize)]
 struct GateReport {
     smoke: bool,
+    mode: String,
     n_sentences: usize,
     tracing: GateTracing,
 }
@@ -45,6 +50,7 @@ struct HistoryEntry {
     sha: String,
     unix_time: u64,
     smoke: bool,
+    mode: String,
     n_sentences: usize,
     sentences_per_sec: f64,
     tracing_overhead_pct: f64,
@@ -84,7 +90,7 @@ fn main() {
             .and_then(|text| {
                 text.lines()
                     .filter_map(|l| serde_json::from_str::<HistoryEntry>(l).ok())
-                    .rfind(|e| e.smoke == report.smoke && e.n_sentences == report.n_sentences)
+                    .rfind(|e| e.mode == report.mode && e.n_sentences == report.n_sentences)
             });
 
     let entry = HistoryEntry {
@@ -94,6 +100,7 @@ fn main() {
             .map(|d| d.as_secs())
             .unwrap_or(0),
         smoke: report.smoke,
+        mode: report.mode.clone(),
         n_sentences: report.n_sentences,
         sentences_per_sec,
         tracing_overhead_pct: report.tracing.overhead_pct,
@@ -110,14 +117,14 @@ fn main() {
 
     match baseline {
         None => println!(
-            "bench_gate: seeded history ({:.0} sentences/sec @ {}) -> {history_path}",
-            sentences_per_sec, entry.sha
+            "bench_gate: seeded {} history ({:.0} sentences/sec @ {}) -> {history_path}",
+            report.mode, sentences_per_sec, entry.sha
         ),
         Some(prev) => {
             let change_pct = (sentences_per_sec / prev.sentences_per_sec - 1.0) * 100.0;
             println!(
-                "bench_gate: {:.0} sentences/sec vs {:.0} at {} ({:+.1}%)",
-                sentences_per_sec, prev.sentences_per_sec, prev.sha, change_pct
+                "bench_gate [{}]: {:.0} sentences/sec vs {:.0} at {} ({:+.1}%)",
+                report.mode, sentences_per_sec, prev.sentences_per_sec, prev.sha, change_pct
             );
             if change_pct < -MAX_REGRESSION_PCT {
                 eprintln!(

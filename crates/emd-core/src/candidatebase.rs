@@ -54,10 +54,12 @@ pub struct CandidateRecord {
     emb_sum: Vec<f32>,
     /// Number of pooled embeddings.
     emb_count: usize,
-    /// The individual per-mention local embeddings (kept so training can
-    /// expose the classifier to the single-mention regime, and for pooled
-    /// variants in ablations).
-    pub local_embeddings: Vec<Vec<f32>>,
+    /// The individual per-mention local embeddings, flattened row-major
+    /// (`n × dim`, one contiguous block instead of a heap allocation per
+    /// mention — iterate with [`CandidateRecord::local_rows`]). Kept so
+    /// training can expose the classifier to the single-mention regime,
+    /// and for pooled variants in ablations.
+    local_flat: Vec<f32>,
     /// Classifier outcome (updated as the stream progresses).
     pub label: CandidateLabel,
     /// Last classifier probability, if scored.
@@ -82,7 +84,7 @@ impl CandidateRecord {
             store_local,
             emb_sum: vec![0.0; dim],
             emb_count: 0,
-            local_embeddings: Vec::new(),
+            local_flat: Vec::new(),
             label: CandidateLabel::Pending,
             score: None,
             degraded: false,
@@ -105,40 +107,66 @@ impl CandidateRecord {
     /// Pool one local embedding into the global embedding.
     pub fn add_embedding(&mut self, local: &[f32]) {
         assert_eq!(local.len(), self.emb_sum.len(), "embedding dim mismatch");
-        for (s, &v) in self.emb_sum.iter_mut().zip(local.iter()) {
-            *s += v;
-        }
+        emd_simd::add_assign(&mut self.emb_sum, local);
         self.emb_count += 1;
         if self.store_local {
-            self.local_embeddings.push(local.to_vec());
+            self.local_flat.extend_from_slice(local);
         }
+    }
+
+    /// The retained per-mention local embeddings as `dim`-wide rows, in
+    /// pooling order (empty in windowed mean-pooling mode).
+    pub fn local_rows(&self) -> impl ExactSizeIterator<Item = &[f32]> {
+        self.local_flat.chunks_exact(self.emb_sum.len().max(1))
     }
 
     /// The pooled global candidate embedding (mean), or zeros if no
     /// embeddings were contributed yet.
     pub fn global_embedding(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.emb_sum.len()];
+        self.global_embedding_into(&mut out);
+        out
+    }
+
+    /// [`CandidateRecord::global_embedding`] into a caller-owned buffer
+    /// (resized to `dim`) — the allocation-free classification hot path.
+    pub fn global_embedding_into(&self, out: &mut Vec<f32>) {
+        out.resize(self.emb_sum.len(), 0.0);
         if self.emb_count == 0 {
-            return self.emb_sum.clone();
+            out.copy_from_slice(&self.emb_sum);
+            return;
         }
-        let n = self.emb_count as f32;
-        self.emb_sum.iter().map(|&s| s / n).collect()
+        // Division (not reciprocal-multiply): the historical op sequence
+        // of this path, preserved for bit-identity.
+        emd_simd::div_into(out, &self.emb_sum, self.emb_count as f32);
     }
 
     /// Global embedding under an explicit pooling mode (ablation support).
     pub fn pooled_embedding(&self, pooling: crate::config::Pooling) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.pooled_embedding_into(pooling, &mut out);
+        out
+    }
+
+    /// [`CandidateRecord::pooled_embedding`] into a caller-owned buffer.
+    pub fn pooled_embedding_into(&self, pooling: crate::config::Pooling, out: &mut Vec<f32>) {
         match pooling {
-            crate::config::Pooling::Mean => self.global_embedding(),
+            crate::config::Pooling::Mean => self.global_embedding_into(out),
             crate::config::Pooling::Max => {
-                if self.local_embeddings.is_empty() {
-                    return vec![0.0; self.emb_sum.len()];
-                }
-                let mut out = self.local_embeddings[0].clone();
-                for emb in &self.local_embeddings[1..] {
-                    for (o, &v) in out.iter_mut().zip(emb.iter()) {
-                        *o = o.max(v);
+                let mut rows = self.local_rows();
+                match rows.next() {
+                    None => {
+                        out.clear();
+                        out.resize(self.emb_sum.len(), 0.0);
+                    }
+                    Some(first) => {
+                        out.clear();
+                        out.extend_from_slice(first);
+                        for emb in rows {
+                            emd_simd::max_assign(out, emb);
+                        }
                     }
                 }
-                out
             }
         }
     }
@@ -303,21 +331,29 @@ impl CandidateBase {
         &mut self,
         mut keep: F,
     ) -> Vec<CandidateRecord> {
-        let mut kept = Vec::with_capacity(self.records.len());
+        // Pruning fires every window enforcement, but on most batches
+        // nothing is prunable — scan for the first casualty before
+        // committing to the record sweep, so the common case is one
+        // predicate pass with no moves, no allocation, and no index
+        // rebuild. `keep` runs exactly once per record in discovery
+        // order either way.
+        let first_pruned = match self.records.iter().position(|r| !keep(r)) {
+            None => return Vec::new(),
+            Some(i) => i,
+        };
         let mut pruned = Vec::new();
-        for r in std::mem::take(&mut self.records) {
-            if keep(&r) {
-                kept.push(r);
+        let tail: Vec<CandidateRecord> = self.records.drain(first_pruned..).collect();
+        for (j, r) in tail.into_iter().enumerate() {
+            // `position` already judged the first tail record prunable.
+            if j > 0 && keep(&r) {
+                self.records.push(r);
             } else {
                 pruned.push(r);
             }
         }
-        self.records = kept;
-        if !pruned.is_empty() {
-            self.index.clear();
-            for (i, r) in self.records.iter().enumerate() {
-                self.index.insert(r.key.clone(), i);
-            }
+        self.index.clear();
+        for (i, r) in self.records.iter().enumerate() {
+            self.index.insert(r.key.clone(), i);
         }
         pruned
     }
@@ -338,11 +374,7 @@ impl CandidateBase {
             total += r.mentions.capacity() * size_of::<MentionRef>();
             total += r.seen.len() * size_of::<(SentenceId, Span)>();
             total += r.emb_sum.capacity() * size_of::<f32>();
-            total += r
-                .local_embeddings
-                .iter()
-                .map(|e| e.capacity() * size_of::<f32>() + size_of::<Vec<f32>>())
-                .sum::<usize>();
+            total += r.local_flat.capacity() * size_of::<f32>();
         }
         for key in self.index.keys() {
             total += key.len() + size_of::<usize>();
@@ -541,7 +573,7 @@ mod tests {
         // elided.
         assert_eq!(r.global_embedding(), vec![0.5, 0.5]);
         assert_eq!(r.n_pooled(), 2);
-        assert!(r.local_embeddings.is_empty());
+        assert_eq!(r.local_rows().len(), 0);
     }
 
     #[test]

@@ -114,16 +114,21 @@ impl EntityClassifier {
     }
 
     fn logit_infer(&self, x: &[f32]) -> f32 {
-        let x = Matrix::row_vector(x);
-        let mut h = self.l1.infer(&x);
-        for v in &mut h.data {
-            *v = v.max(0.0);
-        }
-        let mut h = self.l2.infer(&h);
-        for v in &mut h.data {
-            *v = v.max(0.0);
-        }
-        self.l3.infer(&h).data[0]
+        // Hidden widths are fixed by the constructor (in → 32 → 16 → 1),
+        // so the whole forward pass fits in stack buffers: no Matrix
+        // temporaries, no heap traffic per scored candidate. The kernels
+        // replicate `Dense::infer` + in-place ReLU exactly (same ikj
+        // accumulation order, bias added after the full dot product), so
+        // logits are bit-identical to the historical Matrix-based path.
+        let mut h1 = [0.0f32; 32];
+        let mut h2 = [0.0f32; 16];
+        let mut out = [0.0f32; 1];
+        emd_simd::dense_forward(x, &self.l1.w.value.data, &self.l1.b.value.data, &mut h1);
+        emd_simd::relu(&mut h1);
+        emd_simd::dense_forward(&h1, &self.l2.w.value.data, &self.l2.b.value.data, &mut h2);
+        emd_simd::relu(&mut h2);
+        emd_simd::dense_forward(&h2, &self.l3.w.value.data, &self.l3.b.value.data, &mut out);
+        out[0]
     }
 
     /// Probability that the candidate is a true entity.
@@ -297,6 +302,31 @@ mod tests {
             EntityClassifier::classify(0.1, &cfg),
             CandidateLabel::NonEntity
         );
+    }
+
+    #[test]
+    fn stack_forward_bit_identical_to_matrix_forward() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let c = EntityClassifier::new(7, 8);
+        for _ in 0..32 {
+            let x: Vec<f32> = (0..7).map(|_| rng.gen_range(-3.0..3.0f32)).collect();
+            // The historical Matrix-based forward pass, verbatim.
+            let xm = Matrix::row_vector(&x);
+            let mut h = c.l1.infer(&xm);
+            for v in &mut h.data {
+                *v = v.max(0.0);
+            }
+            let mut h = c.l2.infer(&h);
+            for v in &mut h.data {
+                *v = v.max(0.0);
+            }
+            let want = c.l3.infer(&h).data[0];
+            assert_eq!(
+                c.logit_infer(&x).to_bits(),
+                want.to_bits(),
+                "stack-buffer forward must be bit-identical"
+            );
+        }
     }
 
     #[test]

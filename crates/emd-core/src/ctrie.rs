@@ -3,9 +3,19 @@
 //!
 //! Nodes correspond to lower-cased tokens; candidates sharing a prefix live
 //! in the same subtree. The trie supports the incremental traversal the
-//! candidate-mention-extraction scan (§V-A) needs: `child(node, token)` and
-//! `is_terminal(node)`.
+//! candidate-mention-extraction scan (§V-A) needs: `child_sym(node, sym)`
+//! and `is_terminal(node)`.
+//!
+//! Since the SoA-layout PR, edges are labelled with interned
+//! [`Sym`]s from the pipeline's shared [`Interner`] rather than owned
+//! `String`s: the scan walks the trie with integer compares against
+//! symbols the ingest step already produced, so the per-token
+//! `to_lowercase()` allocation the old scan paid is gone entirely. The
+//! string-facing entry points (`insert`/`remove`/`contains`/`child`) take
+//! the interner and fold through it with `str::to_lowercase()` semantics,
+//! exactly as before.
 
+use emd_text::intern::{Interner, Sym};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -14,7 +24,7 @@ pub type NodeId = u32;
 
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 struct Node {
-    children: HashMap<String, NodeId>,
+    children: HashMap<Sym, NodeId>,
     /// True when the path from the root to this node spells a registered
     /// candidate.
     terminal: bool,
@@ -53,33 +63,16 @@ impl CTrie {
         }
     }
 
-    /// Insert a candidate given its tokens (any casing). Returns `true` if
-    /// the candidate was new.
-    pub fn insert<S: AsRef<str>>(&mut self, tokens: &[S]) -> bool {
+    /// Insert a candidate given its tokens (any casing), interning each
+    /// folded token. Returns `true` if the candidate was new.
+    pub fn insert<S: AsRef<str>>(&mut self, interner: &mut Interner, tokens: &[S]) -> bool {
         if tokens.is_empty() {
             return false;
         }
         let mut node = Self::ROOT;
         for t in tokens {
-            let key = t.as_ref().to_lowercase();
-            let next = match self.nodes[node as usize].children.get(&key) {
-                Some(&id) => id,
-                None => {
-                    // Reuse a slot freed by `remove` before growing the
-                    // arena (freed nodes are reset to default on removal).
-                    let id = match self.free.pop() {
-                        Some(id) => id,
-                        None => {
-                            let id = self.nodes.len() as NodeId;
-                            self.nodes.push(Node::default());
-                            id
-                        }
-                    };
-                    self.nodes[node as usize].children.insert(key, id);
-                    id
-                }
-            };
-            node = next;
+            let key = interner.intern_folded(t.as_ref());
+            node = self.child_or_insert(node, key);
         }
         let node = &mut self.nodes[node as usize];
         if node.terminal {
@@ -91,20 +84,77 @@ impl CTrie {
         }
     }
 
+    /// Insert a candidate given its already-folded symbols. Returns `true`
+    /// if the candidate was new.
+    pub fn insert_syms(&mut self, syms: &[Sym]) -> bool {
+        if syms.is_empty() {
+            return false;
+        }
+        let mut node = Self::ROOT;
+        for &key in syms {
+            node = self.child_or_insert(node, key);
+        }
+        let node = &mut self.nodes[node as usize];
+        if node.terminal {
+            false
+        } else {
+            node.terminal = true;
+            self.n_candidates += 1;
+            true
+        }
+    }
+
+    /// Follow the edge `key` from `node`, creating it (reusing a freed
+    /// arena slot when one exists) if absent.
+    fn child_or_insert(&mut self, node: NodeId, key: Sym) -> NodeId {
+        match self.nodes[node as usize].children.get(&key) {
+            Some(&id) => id,
+            None => {
+                // Reuse a slot freed by `remove` before growing the arena
+                // (freed nodes are reset to default on removal).
+                let id = match self.free.pop() {
+                    Some(id) => id,
+                    None => {
+                        let id = self.nodes.len() as NodeId;
+                        self.nodes.push(Node::default());
+                        id
+                    }
+                };
+                self.nodes[node as usize].children.insert(key, id);
+                id
+            }
+        }
+    }
+
     /// Remove a registered candidate. Unmarks the terminal and frees every
     /// now-childless, non-terminal node on the path (bottom-up) onto the
     /// free-list. Returns `true` when the candidate was present. Paths
     /// shared with other candidates (prefixes or extensions) are left
     /// intact.
-    pub fn remove<S: AsRef<str>>(&mut self, tokens: &[S]) -> bool {
+    pub fn remove<S: AsRef<str>>(&mut self, interner: &Interner, tokens: &[S]) -> bool {
         if tokens.is_empty() {
             return false;
         }
-        // Walk down, recording (parent, key, child) per step.
-        let mut path: Vec<(NodeId, String, NodeId)> = Vec::with_capacity(tokens.len());
-        let mut node = Self::ROOT;
+        // A token the interner has never seen cannot label any edge.
+        let mut syms = Vec::with_capacity(tokens.len());
         for t in tokens {
-            let key = t.as_ref().to_lowercase();
+            match interner.lookup_folded(t.as_ref()) {
+                Some(s) => syms.push(s),
+                None => return false,
+            }
+        }
+        self.remove_syms(&syms)
+    }
+
+    /// [`CTrie::remove`] by already-folded symbols.
+    pub fn remove_syms(&mut self, syms: &[Sym]) -> bool {
+        if syms.is_empty() {
+            return false;
+        }
+        // Walk down, recording (parent, key, child) per step.
+        let mut path: Vec<(NodeId, Sym, NodeId)> = Vec::with_capacity(syms.len());
+        let mut node = Self::ROOT;
+        for &key in syms {
             match self.nodes[node as usize].children.get(&key) {
                 Some(&id) => {
                     path.push((node, key, id));
@@ -132,22 +182,23 @@ impl CTrie {
         true
     }
 
+    /// Follow the edge labelled `sym` — the allocation-free hot-path step
+    /// the occurrence scan uses (sentence tokens are interned at ingest).
+    #[inline]
+    pub fn child_sym(&self, node: NodeId, sym: Sym) -> Option<NodeId> {
+        self.nodes[node as usize].children.get(&sym).copied()
+    }
+
     /// Follow the edge labelled with the lower-cased form of `token`.
     ///
-    /// Already-lowercase ASCII tokens — the overwhelmingly common case in
-    /// tweet streams — are looked up without allocating. The predicate must
-    /// be "ASCII with no ASCII uppercase", not `char::is_lowercase`: some
-    /// non-ASCII characters (e.g. titlecase forms) are not uppercase yet
-    /// still change under `to_lowercase`.
-    pub fn child(&self, node: NodeId, token: &str) -> Option<NodeId> {
-        let children = &self.nodes[node as usize].children;
-        if token
-            .bytes()
-            .all(|b| b.is_ascii() && !b.is_ascii_uppercase())
-        {
-            return children.get(token).copied();
-        }
-        children.get(&token.to_lowercase()).copied()
+    /// Folding goes through [`Interner::lookup_folded`], which preserves
+    /// the historical `str::to_lowercase()` key scheme: some non-ASCII
+    /// characters (e.g. "ß") do not fold to the same key as their
+    /// uppercase spelling ("SS" → "ss"), and the interner keeps them
+    /// distinct just as the old String-keyed edges did.
+    pub fn child(&self, interner: &Interner, node: NodeId, token: &str) -> Option<NodeId> {
+        let sym = interner.lookup_folded(token)?;
+        self.child_sym(node, sym)
     }
 
     /// Does the path ending at `node` spell a candidate?
@@ -156,10 +207,10 @@ impl CTrie {
     }
 
     /// Is the full token sequence a registered candidate?
-    pub fn contains<S: AsRef<str>>(&self, tokens: &[S]) -> bool {
+    pub fn contains<S: AsRef<str>>(&self, interner: &Interner, tokens: &[S]) -> bool {
         let mut node = Self::ROOT;
         for t in tokens {
-            match self.child(node, t.as_ref()) {
+            match self.child(interner, node, t.as_ref()) {
                 Some(n) => node = n,
                 None => return false,
             }
@@ -185,7 +236,7 @@ impl CTrie {
 
     /// Enumerate all candidates as lower-cased token vectors (test &
     /// diagnostics helper; not on the hot path).
-    pub fn candidates(&self) -> Vec<Vec<String>> {
+    pub fn candidates(&self, interner: &Interner) -> Vec<Vec<String>> {
         let mut out = Vec::with_capacity(self.n_candidates);
         let mut stack: Vec<(NodeId, Vec<String>)> = vec![(Self::ROOT, Vec::new())];
         while let Some((node, path)) = stack.pop() {
@@ -193,9 +244,9 @@ impl CTrie {
             if n.terminal {
                 out.push(path.clone());
             }
-            for (tok, &child) in &n.children {
+            for (&tok, &child) in &n.children {
                 let mut p = path.clone();
-                p.push(tok.clone());
+                p.push(interner.resolve(tok).to_string());
                 stack.push((child, p));
             }
         }
@@ -209,134 +260,162 @@ mod tests {
 
     #[test]
     fn insert_and_contains_case_insensitive() {
+        let mut it = Interner::new();
         let mut t = CTrie::new();
-        assert!(t.insert(&["Andy", "Beshear"]));
-        assert!(t.contains(&["andy", "beshear"]));
-        assert!(t.contains(&["ANDY", "BESHEAR"]));
-        assert!(!t.contains(&["andy"]));
+        assert!(t.insert(&mut it, &["Andy", "Beshear"]));
+        assert!(t.contains(&it, &["andy", "beshear"]));
+        assert!(t.contains(&it, &["ANDY", "BESHEAR"]));
+        assert!(!t.contains(&it, &["andy"]));
         assert_eq!(t.len(), 1);
     }
 
     #[test]
     fn duplicate_insert_returns_false() {
+        let mut it = Interner::new();
         let mut t = CTrie::new();
-        assert!(t.insert(&["covid"]));
-        assert!(!t.insert(&["COVID"]));
+        assert!(t.insert(&mut it, &["covid"]));
+        assert!(!t.insert(&mut it, &["COVID"]));
         assert_eq!(t.len(), 1);
     }
 
     #[test]
     fn prefix_is_not_candidate_unless_inserted() {
+        let mut it = Interner::new();
         let mut t = CTrie::new();
-        t.insert(&["world", "health", "organization"]);
-        assert!(!t.contains(&["world"]));
-        assert!(!t.contains(&["world", "health"]));
-        t.insert(&["world", "health"]);
-        assert!(t.contains(&["world", "health"]));
+        t.insert(&mut it, &["world", "health", "organization"]);
+        assert!(!t.contains(&it, &["world"]));
+        assert!(!t.contains(&it, &["world", "health"]));
+        t.insert(&mut it, &["world", "health"]);
+        assert!(t.contains(&it, &["world", "health"]));
         assert_eq!(t.len(), 2);
     }
 
     #[test]
     fn shared_prefixes_share_nodes() {
+        let mut it = Interner::new();
         let mut t = CTrie::new();
-        t.insert(&["andy", "beshear"]);
-        t.insert(&["andy", "murray"]);
+        t.insert(&mut it, &["andy", "beshear"]);
+        t.insert(&mut it, &["andy", "murray"]);
         // root + andy + beshear + murray = 4 nodes
         assert_eq!(t.n_nodes(), 4);
     }
 
     #[test]
     fn traversal_api() {
+        let mut it = Interner::new();
         let mut t = CTrie::new();
-        t.insert(&["new", "york", "city"]);
-        let n1 = t.child(CTrie::ROOT, "New").unwrap();
+        t.insert(&mut it, &["new", "york", "city"]);
+        let n1 = t.child(&it, CTrie::ROOT, "New").unwrap();
         assert!(!t.is_terminal(n1));
-        let n2 = t.child(n1, "YORK").unwrap();
-        let n3 = t.child(n2, "city").unwrap();
+        let n2 = t.child(&it, n1, "YORK").unwrap();
+        let n3 = t.child(&it, n2, "city").unwrap();
         assert!(t.is_terminal(n3));
-        assert!(t.child(n1, "jersey").is_none());
+        assert!(t.child(&it, n1, "jersey").is_none());
+        // Symbol-level traversal agrees with the string-level one.
+        let york = it.lookup_folded("york").unwrap();
+        assert_eq!(t.child_sym(n1, york), Some(n2));
     }
 
     #[test]
     fn child_fast_path_matches_slow_path() {
+        let mut it = Interner::new();
         let mut t = CTrie::new();
-        t.insert(&["straße", "café"]);
-        t.insert(&["covid"]);
+        t.insert(&mut it, &["straße", "café"]);
+        t.insert(&mut it, &["covid"]);
         // Lowercase ASCII (fast path), mixed-case ASCII and non-ASCII
         // (slow path) must agree on every edge.
-        assert!(t.child(CTrie::ROOT, "covid").is_some());
-        assert!(t.child(CTrie::ROOT, "COVID").is_some());
-        assert!(t.child(CTrie::ROOT, "CoViD").is_some());
-        let n = t.child(CTrie::ROOT, "STRASSE");
+        assert!(t.child(&it, CTrie::ROOT, "covid").is_some());
+        assert!(t.child(&it, CTrie::ROOT, "COVID").is_some());
+        assert!(t.child(&it, CTrie::ROOT, "CoViD").is_some());
+        let n = t.child(&it, CTrie::ROOT, "STRASSE");
         // "STRASSE".to_lowercase() is "strasse", a different key than
         // "straße" — both paths must agree that it misses.
         assert!(n.is_none());
-        let n = t.child(CTrie::ROOT, "straße").unwrap();
-        assert!(t.child(n, "CAFÉ").is_some());
-        assert!(t.child(n, "café").is_some());
-        assert!(t.child(CTrie::ROOT, "missing").is_none());
+        let n = t.child(&it, CTrie::ROOT, "straße").unwrap();
+        assert!(t.child(&it, n, "CAFÉ").is_some());
+        assert!(t.child(&it, n, "café").is_some());
+        assert!(t.child(&it, CTrie::ROOT, "missing").is_none());
     }
 
     #[test]
     fn empty_insert_rejected() {
+        let mut it = Interner::new();
         let mut t = CTrie::new();
-        assert!(!t.insert::<&str>(&[]));
+        assert!(!t.insert::<&str>(&mut it, &[]));
+        assert!(!t.insert_syms(&[]));
         assert!(t.is_empty());
     }
 
     #[test]
     fn remove_prunes_exclusive_path() {
+        let mut it = Interner::new();
         let mut t = CTrie::new();
-        t.insert(&["world", "health", "organization"]);
+        t.insert(&mut it, &["world", "health", "organization"]);
         assert_eq!(t.n_nodes(), 4);
-        assert!(t.remove(&["World", "Health", "Organization"]));
-        assert!(!t.contains(&["world", "health", "organization"]));
+        assert!(t.remove(&it, &["World", "Health", "Organization"]));
+        assert!(!t.contains(&it, &["world", "health", "organization"]));
         assert_eq!(t.len(), 0);
         assert_eq!(t.n_nodes(), 1, "exclusive path fully pruned");
-        // Removing again is a no-op.
-        assert!(!t.remove(&["world", "health", "organization"]));
+        // Removing again is a no-op, as is removing unknown vocabulary.
+        assert!(!t.remove(&it, &["world", "health", "organization"]));
+        assert!(!t.remove(&it, &["never", "interned"]));
     }
 
     #[test]
     fn remove_keeps_shared_prefixes_and_extensions() {
+        let mut it = Interner::new();
         let mut t = CTrie::new();
-        t.insert(&["andy", "beshear"]);
-        t.insert(&["andy", "murray"]);
-        t.insert(&["andy"]);
-        assert!(t.remove(&["andy", "beshear"]));
-        assert!(t.contains(&["andy", "murray"]));
-        assert!(t.contains(&["andy"]));
+        t.insert(&mut it, &["andy", "beshear"]);
+        t.insert(&mut it, &["andy", "murray"]);
+        t.insert(&mut it, &["andy"]);
+        assert!(t.remove(&it, &["andy", "beshear"]));
+        assert!(t.contains(&it, &["andy", "murray"]));
+        assert!(t.contains(&it, &["andy"]));
         assert_eq!(t.len(), 2);
         // Removing a terminal that still has children keeps the node.
-        assert!(t.remove(&["andy"]));
-        assert!(t.contains(&["andy", "murray"]));
-        assert!(!t.contains(&["andy"]));
+        assert!(t.remove(&it, &["andy"]));
+        assert!(t.contains(&it, &["andy", "murray"]));
+        assert!(!t.contains(&it, &["andy"]));
         // A prefix that was never inserted cannot be removed.
-        assert!(!t.remove(&["andy"]));
+        assert!(!t.remove(&it, &["andy"]));
     }
 
     #[test]
     fn freed_nodes_are_reused_by_insert() {
+        let mut it = Interner::new();
         let mut t = CTrie::new();
-        t.insert(&["alpha", "beta"]);
+        t.insert(&mut it, &["alpha", "beta"]);
         let peak = t.n_nodes();
-        t.remove(&["alpha", "beta"]);
+        t.remove(&it, &["alpha", "beta"]);
         assert_eq!(t.n_nodes(), 1);
-        t.insert(&["gamma", "delta"]);
+        t.insert(&mut it, &["gamma", "delta"]);
         assert_eq!(
             t.n_nodes(),
             peak,
             "arena reuses freed slots instead of growing"
         );
-        assert!(t.contains(&["gamma", "delta"]));
+        assert!(t.contains(&it, &["gamma", "delta"]));
+    }
+
+    #[test]
+    fn sym_level_insert_matches_string_level() {
+        let mut it = Interner::new();
+        let mut t = CTrie::new();
+        let syms = vec![it.intern_folded("New"), it.intern_folded("York")];
+        assert!(t.insert_syms(&syms));
+        assert!(t.contains(&it, &["new", "york"]));
+        assert!(!t.insert(&mut it, &["NEW", "YORK"]), "same candidate");
+        assert!(t.remove_syms(&syms));
+        assert!(t.is_empty());
     }
 
     #[test]
     fn enumerate_candidates() {
+        let mut it = Interner::new();
         let mut t = CTrie::new();
-        t.insert(&["Italy"]);
-        t.insert(&["Andy", "Beshear"]);
-        let mut cands = t.candidates();
+        t.insert(&mut it, &["Italy"]);
+        t.insert(&mut it, &["Andy", "Beshear"]);
+        let mut cands = t.candidates(&it);
         cands.sort();
         assert_eq!(
             cands,

@@ -37,8 +37,9 @@ use crate::candidatebase::{CandidateBase, CandidateRecord, MentionRef};
 use crate::classifier::{CandidateLabel, EntityClassifier};
 use crate::config::{Ablation, GlobalizerConfig};
 use crate::ctrie::CTrie;
+use crate::dirtyset::DirtySet;
 use crate::local::LocalEmd;
-use crate::mention::extract_mentions;
+use crate::mention::extract_mentions_into;
 use crate::obs::{PhaseTimings, PipelineMetrics};
 use crate::phrase_embedder::PhraseEmbedder;
 use crate::tweetbase::{TweetBase, TweetRecord};
@@ -158,10 +159,13 @@ pub struct GlobalizerState {
     pub candidates: CandidateBase,
     /// Stream-order indices of records whose stored `global_mentions` may
     /// be stale: never scanned yet, or a candidate whose first token they
-    /// contain was registered after their last scan. Ordered so rescans
-    /// replay in stream order, keeping outputs bit-identical to a full
-    /// sequential rescan.
-    dirty: BTreeSet<usize>,
+    /// contain was registered after their last scan. Iterated in
+    /// ascending (stream) order so rescans replay in stream order,
+    /// keeping outputs bit-identical to a full sequential rescan. A
+    /// bitset rather than an ordered tree: the mark-dirty fanout inserts
+    /// millions of indices per million sentences, and the bitset insert
+    /// is ~30x cheaper while checkpointing to the same sorted list.
+    dirty: DirtySet,
     /// Cumulative per-phase wall-clock spent on this state, accumulated
     /// unconditionally (one clock read per phase call) and surfaced via
     /// [`GlobalizerOutput::phase_timings`].
@@ -182,6 +186,13 @@ pub struct GlobalizerState {
     /// Promotion evidence frozen out of evicted records (empty while
     /// windowing is disabled).
     frozen_adjacency: Vec<FrozenAdjacency>,
+    /// Transient pair → ledger-position index over `frozen_adjacency`, so
+    /// folding an evicted record is a hash probe instead of a linear scan
+    /// of the whole ledger. Excluded from checkpoints (it is derivable)
+    /// and lazily rebuilt whenever it is out of sync with the ledger,
+    /// e.g. right after a checkpoint restore.
+    #[serde(skip)]
+    frozen_index: HashMap<(String, String), usize>,
     /// Slot index the next eviction sweep starts from. Evictions walk the
     /// slot vector oldest-first and never revisit freed slots, so this
     /// cursor makes each sweep O(batch), not O(history). Rebased by
@@ -245,7 +256,7 @@ impl GlobalizerState {
         self.dirty = self
             .dirty
             .iter()
-            .filter_map(|&i| remap.get(i).copied().flatten())
+            .filter_map(|i| remap.get(i).copied().flatten())
             .collect();
         self.quarantined_idx = self
             .quarantined_idx
@@ -847,12 +858,13 @@ impl<'a> Globalizer<'a> {
             tweetbase: TweetBase::new(),
             ctrie: CTrie::new(),
             candidates,
-            dirty: BTreeSet::new(),
+            dirty: DirtySet::new(),
             timings: PhaseTimings::default(),
             quarantined: Vec::new(),
             quarantined_idx: BTreeSet::new(),
             quarantined_ids: HashSet::new(),
             frozen_adjacency: Vec::new(),
+            frozen_index: HashMap::new(),
             evict_cursor: 0,
             batch_seq: 0,
             trace_seq: 0,
@@ -909,11 +921,17 @@ impl<'a> Globalizer<'a> {
         });
     }
 
-    /// Compute the local candidate embedding for a mention.
-    fn local_embedding(&self, record: &TweetRecord, span: &Span) -> Vec<f32> {
-        match (&record.token_embeddings, self.phrase) {
-            (Some(te), Some(pe)) => pe.embed_span(te, span),
-            _ => syntactic_class(&record.sentence, span).one_hot().to_vec(),
+    /// Compute the local candidate embedding for the mention at `span` of
+    /// the record in slot `idx` — phrase-embedding the token rows straight
+    /// out of the store's flat arena for deep systems, the 6-dim syntactic
+    /// one-hot otherwise.
+    fn local_embedding(&self, tweetbase: &TweetBase, idx: usize, span: &Span) -> Vec<f32> {
+        match (tweetbase.embedding_view(idx), self.phrase) {
+            (Some(te), Some(pe)) => pe.embed_span_view(te, span),
+            _ => {
+                let record = tweetbase.get_by_index(idx);
+                syntactic_class(&record.sentence, span).one_hot().to_vec()
+            }
         }
     }
 
@@ -1095,12 +1113,11 @@ impl<'a> Globalizer<'a> {
                         continue;
                     }
                     n_local_spans += out.spans.len() as u64;
-                    let idx = state.tweetbase.insert(TweetRecord {
-                        sentence: sentence.clone(),
-                        token_embeddings: out.token_embeddings,
-                        local_spans: out.spans.clone(),
-                        global_mentions: Vec::new(),
-                    });
+                    let idx = state.tweetbase.insert(TweetRecord::new(
+                        sentence.clone(),
+                        out.token_embeddings,
+                        out.spans.clone(),
+                    ));
                     state.dirty.insert(idx);
                     if tracing {
                         self.temit(TraceEvent {
@@ -1130,7 +1147,7 @@ impl<'a> Globalizer<'a> {
                     let toks: Vec<&str> = (sp.start..sp.end)
                         .map(|i| sentence.tokens[i].text.as_str())
                         .collect();
-                    if state.ctrie.insert(&toks) {
+                    if state.ctrie.insert(state.tweetbase.interner_mut(), &toks) {
                         n_inserted += 1;
                         if tracing {
                             self.temit(TraceEvent {
@@ -1141,7 +1158,7 @@ impl<'a> Globalizer<'a> {
                                 ..TraceEvent::of(TraceEventKind::TrieInsert)
                             });
                         }
-                        Self::mark_dirty(state, &toks[0].to_lowercase());
+                        Self::mark_dirty(state, toks[0]);
                     }
                 }
             }
@@ -1158,12 +1175,17 @@ impl<'a> Globalizer<'a> {
         self.trace_phase_span(TracePhase::Ingest, None, dt);
     }
 
-    /// Mark every stored sentence containing `first_token_lower` as needing
-    /// a rescan: a candidate insertion can only change a sentence's
-    /// extraction if the sentence contains the candidate's first token.
-    /// Quarantined records are permanently excluded.
-    fn mark_dirty(state: &mut GlobalizerState, first_token_lower: &str) {
-        for &i in state.tweetbase.indices_with_token(first_token_lower) {
+    /// Mark every stored sentence containing the candidate's first token
+    /// as needing a rescan: a candidate insertion can only change a
+    /// sentence's extraction if the sentence contains that token.
+    /// Quarantined records are permanently excluded. Resolves the token
+    /// through the interner (any casing); an unknown token occurs in no
+    /// stored sentence, so there is nothing to dirty.
+    fn mark_dirty(state: &mut GlobalizerState, first_token: &str) {
+        let Some(sym) = state.tweetbase.interner().lookup_folded(first_token) else {
+            return;
+        };
+        for &i in state.tweetbase.indices_with_sym(sym) {
             if !state.quarantined_idx.contains(&i) {
                 state.dirty.insert(i);
             }
@@ -1188,7 +1210,17 @@ impl<'a> Globalizer<'a> {
     ) -> StagedScan {
         failpoint::fire(phase_fp);
         let record = tweetbase.get_by_index(idx);
-        let mentions = extract_mentions(ctrie, &record.sentence, self.config.max_candidate_len);
+        // Symbol-level trie walk over the record's pre-interned folded
+        // tokens: no case folding, no string hashing, no per-token
+        // allocation — the vector below becomes the record's stored
+        // mention list.
+        let mut mentions = Vec::new();
+        extract_mentions_into(
+            ctrie,
+            &record.tok_syms,
+            self.config.max_candidate_len,
+            &mut mentions,
+        );
         let mut degraded_keys = Vec::new();
         let staged = mentions
             .iter()
@@ -1203,7 +1235,7 @@ impl<'a> Globalizer<'a> {
                 } else {
                     match isolate::catch(|| {
                         failpoint::fire("phrase_embed");
-                        self.local_embedding(record, sp)
+                        self.local_embedding(tweetbase, idx, sp)
                     }) {
                         Ok(emb) if validate::all_finite(&emb) => emb,
                         _ => {
@@ -1283,7 +1315,7 @@ impl<'a> Globalizer<'a> {
                 let sid = state.tweetbase.get_by_index(idx).sentence.id;
                 self.quarantine_sentence(state, sid, phase, "rescan breaker open".to_string());
                 state.quarantined_idx.insert(idx);
-                state.dirty.remove(&idx);
+                state.dirty.remove(idx);
                 state.tweetbase.get_mut_by_index(idx).global_mentions = Vec::new();
             }
             return;
@@ -1386,7 +1418,7 @@ impl<'a> Globalizer<'a> {
                         });
                     }
                     state.tweetbase.get_mut_by_index(idx).global_mentions = st.mentions;
-                    state.dirty.remove(&idx);
+                    state.dirty.remove(idx);
                     for (key, mref, emb) in st.staged {
                         let rec = state.candidates.entry(&key);
                         let pooled = rec.try_add_mention(mref);
@@ -1424,7 +1456,7 @@ impl<'a> Globalizer<'a> {
                     let sid = state.tweetbase.get_by_index(idx).sentence.id;
                     self.quarantine_sentence(state, sid, phase, reason);
                     state.quarantined_idx.insert(idx);
-                    state.dirty.remove(&idx);
+                    state.dirty.remove(idx);
                     n_scan_quarantined += 1;
                     // Drop stale evidence: a quarantined record's old
                     // mentions must not feed promotions or emission.
@@ -1770,14 +1802,14 @@ impl<'a> Globalizer<'a> {
                 let settle: Vec<usize> = victims
                     .iter()
                     .copied()
-                    .filter(|i| state.dirty.contains(i))
+                    .filter(|i| state.dirty.contains(*i))
                     .collect();
                 self.scan_records(state, &settle, 1, PipelinePhase::Scan);
             }
             let tracing = emd_trace::enabled();
             let mut n_evicted = 0u64;
             for &i in &victims {
-                state.dirty.remove(&i);
+                state.dirty.remove(i);
                 // `quarantined_idx` keeps the index: the slot is never
                 // reused for a live record, and compaction drops it.
                 if let Some(rec) = state.tweetbase.evict(i) {
@@ -1832,21 +1864,34 @@ impl<'a> Globalizer<'a> {
         if self.config.promotion_support == 0 {
             return;
         }
+        // The index is transient (checkpoints carry only the ledger):
+        // rebuild it whenever it is out of sync, e.g. on the first
+        // eviction after a restore.
+        if state.frozen_index.len() != state.frozen_adjacency.len() {
+            state.frozen_index = state
+                .frozen_adjacency
+                .iter()
+                .enumerate()
+                .map(|(i, e)| ((e.first.clone(), e.second.clone()), i))
+                .collect();
+        }
         for w in rec.global_mentions.windows(2) {
             if w[0].end == w[1].start {
-                let first = w[0].surface_lower(&rec.sentence);
-                let second = w[1].surface_lower(&rec.sentence);
-                match state
-                    .frozen_adjacency
-                    .iter_mut()
-                    .find(|e| e.first == first && e.second == second)
-                {
-                    Some(e) => e.count += 1,
-                    None => state.frozen_adjacency.push(FrozenAdjacency {
-                        first,
-                        second,
+                let key = (
+                    w[0].surface_lower(&rec.sentence),
+                    w[1].surface_lower(&rec.sentence),
+                );
+                if let Some(&i) = state.frozen_index.get(&key) {
+                    state.frozen_adjacency[i].count += 1;
+                } else {
+                    state
+                        .frozen_index
+                        .insert(key.clone(), state.frozen_adjacency.len());
+                    state.frozen_adjacency.push(FrozenAdjacency {
+                        first: key.0,
+                        second: key.1,
                         count: 1,
-                    }),
+                    });
                 }
             }
         }
@@ -1879,7 +1924,7 @@ impl<'a> Globalizer<'a> {
         self.mon_count(|c| c.pruned += pruned.len() as u64);
         let tracing = emd_trace::enabled();
         for rec in &pruned {
-            state.ctrie.remove(&rec.tokens);
+            state.ctrie.remove(state.tweetbase.interner(), &rec.tokens);
             self.metrics.pruned_candidates_total.inc();
             if tracing {
                 self.temit(TraceEvent {
@@ -1954,7 +1999,9 @@ impl<'a> Globalizer<'a> {
             }
             let mut tokens = a.tokens.clone();
             tokens.extend(b.tokens.iter().cloned());
-            if tokens.len() > self.config.max_candidate_len || state.ctrie.contains(&tokens) {
+            if tokens.len() > self.config.max_candidate_len
+                || state.ctrie.contains(state.tweetbase.interner(), &tokens)
+            {
                 continue;
             }
             promotions.push(tokens);
@@ -1973,7 +2020,7 @@ impl<'a> Globalizer<'a> {
         self.metrics.dirty_depth.set(state.dirty.len() as f64);
         loop {
             self.metrics.finalize_promotion_rounds_total.inc();
-            let dirty: Vec<usize> = std::mem::take(&mut state.dirty).into_iter().collect();
+            let dirty: Vec<usize> = state.dirty.take_sorted();
             n_rescanned += dirty.len();
             self.scan_records(state, &dirty, n_threads, PipelinePhase::FinalizeRescan);
             let t_promo = Instant::now();
@@ -1985,7 +2032,7 @@ impl<'a> Globalizer<'a> {
                 break;
             }
             for tokens in promotions {
-                if state.ctrie.insert(&tokens) {
+                if state.ctrie.insert(state.tweetbase.interner_mut(), &tokens) {
                     n_promoted += 1;
                     if emd_trace::enabled() {
                         self.temit(TraceEvent {
@@ -2157,7 +2204,7 @@ impl<'a> Globalizer<'a> {
                 break;
             }
             for tokens in promotions {
-                if state.ctrie.insert(&tokens) {
+                if state.ctrie.insert(state.tweetbase.interner_mut(), &tokens) {
                     n_promoted += 1;
                     if emd_trace::enabled() {
                         self.temit(TraceEvent {
@@ -2685,7 +2732,9 @@ mod tests {
         ]);
         let (out, state) = g.run(&stream, 10);
         assert_eq!(out.n_promoted, 1);
-        assert!(state.ctrie.contains(&["moross", "lumsa"]));
+        assert!(state
+            .ctrie
+            .contains(state.tweetbase.interner(), &["moross", "lumsa"]));
         assert_eq!(out.per_sentence[0].1, vec![Span::new(0, 2)]);
         assert_eq!(out.per_sentence[1].1, vec![Span::new(2, 4)]);
         assert_eq!(out.per_sentence[2].1, vec![Span::new(0, 2)]);
@@ -2709,7 +2758,9 @@ mod tests {
         ]);
         let (out, state) = g.run(&stream, 10);
         assert_eq!(out.n_promoted, 0);
-        assert!(!state.ctrie.contains(&["italy", "canada"]));
+        assert!(!state
+            .ctrie
+            .contains(state.tweetbase.interner(), &["italy", "canada"]));
         assert_eq!(
             out.per_sentence[0].1,
             vec![Span::new(0, 1), Span::new(1, 2)]
@@ -3199,8 +3250,13 @@ mod tests {
             state.candidates.get("italy").is_some(),
             "hot candidate kept"
         );
-        assert!(!state.ctrie.contains(&["oddity"]), "CTrie path removed");
-        assert!(state.ctrie.contains(&["italy"]));
+        assert!(
+            !state
+                .ctrie
+                .contains(state.tweetbase.interner(), &["oddity"]),
+            "CTrie path removed"
+        );
+        assert!(state.ctrie.contains(state.tweetbase.interner(), &["italy"]));
         // Tombstones never exceed the live count by more than one batch.
         assert!(
             state.tweetbase.n_slots() <= 2 * state.tweetbase.len() + 2,

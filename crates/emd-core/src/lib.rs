@@ -32,6 +32,7 @@ pub mod candidatebase;
 pub mod classifier;
 pub mod config;
 pub mod ctrie;
+pub mod dirtyset;
 pub mod globalizer;
 pub mod local;
 pub mod mention;

@@ -11,6 +11,7 @@
 //! similarity score with MSE loss. Because the encoder is frozen, training
 //! operates on precomputed token-embedding matrices.
 
+use crate::tweetbase::EmbView;
 use emd_nn::dense::Dense;
 use emd_nn::matrix::{cosine, dot, Matrix};
 use emd_nn::optim::Adam;
@@ -91,13 +92,39 @@ impl PhraseEmbedder {
         self.dense.out_dim()
     }
 
-    /// Embed a set of token-embedding rows: mean-pool then project.
-    pub fn embed_rows(&self, rows: &Matrix) -> Vec<f32> {
-        if rows.rows == 0 {
+    /// Mean-pool `n_rows` embedding rows (yielded by `rows`) and project
+    /// through the dense head, without materializing an intermediate
+    /// [`Matrix`]. Bit-identical to the historical
+    /// `Matrix::row_mean` + `Dense::infer` path: rows accumulate in yield
+    /// order from a zero vector (matching `col_sums`), the mean is a
+    /// reciprocal multiply (matching `row_mean`), and the projection uses
+    /// the same ikj accumulation order with the bias added last.
+    pub fn embed_rows_iter<'r>(
+        &self,
+        n_rows: usize,
+        rows: impl Iterator<Item = &'r [f32]>,
+    ) -> Vec<f32> {
+        if n_rows == 0 {
             return vec![0.0; self.out_dim()];
         }
-        let pooled = rows.row_mean();
-        self.dense.infer(&pooled).row(0).to_vec()
+        let mut pooled = vec![0.0f32; self.in_dim()];
+        for row in rows {
+            emd_simd::add_assign(&mut pooled, row);
+        }
+        emd_simd::scale(&mut pooled, 1.0 / n_rows as f32);
+        let mut out = vec![0.0f32; self.out_dim()];
+        emd_simd::dense_forward(
+            &pooled,
+            &self.dense.w.value.data,
+            &self.dense.b.value.data,
+            &mut out,
+        );
+        out
+    }
+
+    /// Embed a set of token-embedding rows: mean-pool then project.
+    pub fn embed_rows(&self, rows: &Matrix) -> Vec<f32> {
+        self.embed_rows_iter(rows.rows, (0..rows.rows).map(|r| rows.row(r)))
     }
 
     /// Embed the tokens of `span` within a sentence's `[T, d]` embeddings.
@@ -106,11 +133,20 @@ impl PhraseEmbedder {
         if span.start >= end {
             return vec![0.0; self.out_dim()];
         }
-        let mut rows = Matrix::zeros(end - span.start, token_embeddings.cols);
-        for (i, t) in (span.start..end).enumerate() {
-            rows.row_mut(i).copy_from_slice(token_embeddings.row(t));
+        self.embed_rows_iter(
+            end - span.start,
+            (span.start..end).map(|t| token_embeddings.row(t)),
+        )
+    }
+
+    /// [`PhraseEmbedder::embed_span`] over an arena-backed embedding view
+    /// (the scan hot path — no row copies, no temp matrix).
+    pub fn embed_span_view(&self, te: EmbView<'_>, span: &Span) -> Vec<f32> {
+        let end = span.end.min(te.rows);
+        if span.start >= end {
+            return vec![0.0; self.out_dim()];
         }
-        self.embed_rows(&rows)
+        self.embed_rows_iter(end - span.start, (span.start..end).map(|t| te.row(t)))
     }
 
     /// Cosine similarity the siamese network outputs for a pair.
@@ -267,6 +303,46 @@ mod tests {
         let expect = pe.embed_rows(&mean);
         for (a, b) in full.iter().zip(expect.iter()) {
             assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn iter_path_bit_identical_to_matrix_path() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let pe = PhraseEmbedder::new(8, 4, 13);
+        let te = rand_rows(5, 8, &mut rng);
+        let fast = pe.embed_rows(&te);
+        let slow = pe.dense.infer(&te.row_mean()).row(0).to_vec();
+        assert_eq!(
+            fast.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            slow.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "fused pooling path must be bit-identical to row_mean + infer"
+        );
+    }
+
+    #[test]
+    fn span_view_matches_embed_span() {
+        let mut rng = StdRng::seed_from_u64(78);
+        let pe = PhraseEmbedder::new(6, 3, 14);
+        let te = rand_rows(7, 6, &mut rng);
+        let view = EmbView {
+            data: &te.data,
+            rows: te.rows,
+            cols: te.cols,
+        };
+        for span in [
+            Span::new(0, 7),
+            Span::new(2, 5),
+            Span::new(5, 99),
+            Span::new(9, 12),
+        ] {
+            let a = pe.embed_span(&te, &span);
+            let b = pe.embed_span_view(view, &span);
+            assert_eq!(
+                a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "span {span:?}"
+            );
         }
     }
 

@@ -1275,7 +1275,7 @@ mod tests {
         let sup = StreamSupervisor::new(&g, cfg);
         let _ = sup.run(&s[..16]); // 4 batches; ladder = seq 4, 3, 2
                                    // Corrupt the newest generation (torn-write aftermath).
-        std::fs::write(&path, "EMDCKPT v2 seq=4 crc=0000000000000000\n{}\n").unwrap();
+        std::fs::write(&path, "EMDCKPT v3 seq=4 crc=0000000000000000\n{}\n").unwrap();
         let report = sup.run(&s);
         assert!(report.resumed_from_checkpoint, "generation 1 restores");
         assert_eq!(report.checkpoint_generation, 1);

@@ -46,7 +46,7 @@ pub fn harvest_training_data(
         // Evaluation streams contain many single-mention candidates whose
         // "global" embedding is one local sample; expose the classifier to
         // that regime by also training on up to 3 singleton embeddings.
-        for emb in rec.local_embeddings.iter().take(3) {
+        for emb in rec.local_rows().take(3) {
             out.push((EntityClassifier::features(emb, rec.token_len()), label));
         }
     }

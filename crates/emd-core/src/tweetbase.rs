@@ -5,6 +5,24 @@
 //! the spans the local system detected, and the mention list that Global
 //! EMD updates as the sentences pass through the second phase.
 //!
+//! ## SoA layout
+//!
+//! The store is the owner of the pipeline's shared token [`Interner`]. At
+//! insert every token is case-folded and interned once into
+//! [`TweetRecord::tok_syms`]; the occurrence scan, the inverted index, and
+//! the CTrie walk all operate on those `u32` symbols — the per-scan
+//! `to_lowercase()` string churn of the original layout is gone. The
+//! inverted index itself is a symbol-indexed `Vec<Vec<usize>>` instead of
+//! a `HashMap<String, _>`, and token-embedding matrices live in one flat
+//! `f32` arena (`emb_arena`) with per-record row offsets instead of a heap
+//! allocation per sentence.
+//!
+//! Records *outside* the store are always self-contained: `insert` drains
+//! an incoming record's `token_embeddings` matrix into the arena, and
+//! `evict` copies the rows back out into the returned record — so callers
+//! that hold evicted records (quarantine, replay) never see arena offsets
+//! that a later [`TweetBase::compact`] would invalidate.
+//!
 //! ## Bounded-memory storage
 //!
 //! For 24/7 streams the store supports *eviction*: a record can be removed
@@ -12,16 +30,47 @@
 //! of the remaining records stay stable — the globalizer's dirty set,
 //! quarantine set, and the token posting lists all hold slot indices, and
 //! none of them need rewriting when a cold record is dropped. Eviction
-//! removes the record's posting-list entries and frees the sentence,
-//! token-embedding matrix, and span storage (the dominant resident bytes).
-//! [`TweetBase::compact`] later squeezes out the tombstones (returning an
-//! old→new index remap for the caller's index-keyed sets) so checkpoints
-//! and restarts stay O(live window), not O(stream).
+//! removes the record's posting-list entries and frees the sentence and
+//! span storage; its arena rows become dead bytes that
+//! [`TweetBase::compact`] reclaims when it squeezes out the tombstones
+//! (returning an old→new index remap for the caller's index-keyed sets) so
+//! checkpoints and restarts stay O(live window), not O(stream).
 
 use emd_nn::matrix::Matrix;
+use emd_text::intern::{Interner, Sym};
 use emd_text::token::{Sentence, SentenceId, Span};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+
+/// Where a record's token-embedding rows live inside the store's arena.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct EmbSlot {
+    /// Flat offset of row 0 in `emb_arena`.
+    off: usize,
+    /// Number of rows (= sentence tokens for deep local systems).
+    rows: usize,
+    /// Embedding dimensionality.
+    cols: usize,
+}
+
+/// Borrowed view of one record's token-embedding rows in the arena.
+#[derive(Debug, Clone, Copy)]
+pub struct EmbView<'a> {
+    /// The record's `rows * cols` floats, row-major.
+    pub data: &'a [f32],
+    /// Number of token rows.
+    pub rows: usize,
+    /// Embedding dimensionality.
+    pub cols: usize,
+}
+
+impl<'a> EmbView<'a> {
+    /// Row `r` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &'a [f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+}
 
 /// One sentence's record.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -29,23 +78,50 @@ pub struct TweetRecord {
     /// The sentence.
     pub sentence: Sentence,
     /// Entity-aware token embeddings `[T, d]` from Local EMD (deep only).
+    /// Carried by records *outside* the store; drained into the arena at
+    /// insert (stored records answer through [`TweetBase::embedding_view`])
+    /// and re-materialized by [`TweetBase::evict`].
     pub token_embeddings: Option<Matrix>,
     /// Spans the Local EMD system itself proposed.
     pub local_spans: Vec<Span>,
     /// All candidate mentions found by the global rescan (superset of the
     /// verified `local_spans`, aligned to CTrie candidates).
     pub global_mentions: Vec<Span>,
+    /// Case-folded interned symbol per token, filled at insert. The scan
+    /// walks these against the CTrie's symbol edges allocation-free.
+    pub tok_syms: Vec<Sym>,
+    /// Arena placement of the token embeddings while stored.
+    emb: Option<EmbSlot>,
+}
+
+impl TweetRecord {
+    /// A fresh (not-yet-inserted) record. `tok_syms` is populated by
+    /// [`TweetBase::insert`].
+    pub fn new(
+        sentence: Sentence,
+        token_embeddings: Option<Matrix>,
+        local_spans: Vec<Span>,
+    ) -> TweetRecord {
+        TweetRecord {
+            sentence,
+            token_embeddings,
+            local_spans,
+            global_mentions: Vec::new(),
+            tok_syms: Vec::new(),
+            emb: None,
+        }
+    }
 }
 
 /// The stream-wide sentence store.
 ///
 /// Besides the id → record map, the store maintains an inverted index from
-/// lower-cased token to the (stream-ordered) record indices of sentences
-/// containing that token. Global EMD uses it to find which sentences a
-/// newly discovered candidate could possibly match — a candidate insertion
-/// only changes a sentence's extraction if the sentence contains the
-/// candidate's first token — so the close-of-stream rescan touches only
-/// those sentences instead of the whole stream.
+/// interned token symbol to the (stream-ordered) record indices of
+/// sentences containing that token. Global EMD uses it to find which
+/// sentences a newly discovered candidate could possibly match — a
+/// candidate insertion only changes a sentence's extraction if the
+/// sentence contains the candidate's first token — so the close-of-stream
+/// rescan touches only those sentences instead of the whole stream.
 ///
 /// Posting-list invariant: every list holds strictly ascending indices of
 /// **live** records whose sentence contains the token. Replacement and
@@ -57,13 +133,112 @@ pub struct TweetBase {
     slots: Vec<Option<TweetRecord>>,
     /// Sentence id → slot index, live records only.
     index: HashMap<SentenceId, usize>,
-    /// Lower-cased token → strictly ascending live slot indices.
-    token_index: HashMap<String, Vec<usize>>,
+    /// The pipeline-wide token interner (symbols shared with the CTrie).
+    interner: Interner,
+    /// Symbol → strictly ascending live slot indices. Indexed by `Sym`;
+    /// symbols never seen in a sentence simply have an empty list.
+    postings: Vec<PostingList>,
+    /// Flat row-major token-embedding storage for all live records.
+    emb_arena: Vec<f32>,
+    /// Arena floats belonging to evicted/replaced records (reclaimed by
+    /// [`TweetBase::compact`]).
+    emb_dead: usize,
     /// Number of live (non-tombstone) slots.
     live: usize,
     /// Cumulative count of evictions over the lifetime of the store
     /// (survives compaction; drives the evicted-records gauge).
     evicted_total: u64,
+    /// Reusable scratch for posting-list updates (sorted/deduped symbols
+    /// of one sentence) — keeps add/remove allocation-free in steady
+    /// state.
+    #[serde(skip)]
+    scratch_syms: Vec<Sym>,
+}
+
+/// One symbol's posting list: strictly ascending live slot indices
+/// behind an amortised head offset. Window eviction runs oldest-first,
+/// so removals overwhelmingly hit the logical front — and popping the
+/// front of a plain `Vec` memmoves the whole tail, which at window
+/// scale was the dominant eviction cost. Here a front removal just
+/// advances `head` in O(1); the dead prefix is physically reclaimed
+/// once it outgrows the live part, keeping memory O(live). Serializes
+/// as the logical (head-trimmed) list, so the checkpoint schema is
+/// identical to the plain-`Vec` representation it replaced.
+#[derive(Debug, Clone, Default)]
+struct PostingList {
+    items: Vec<usize>,
+    head: usize,
+}
+
+impl PostingList {
+    /// The live entries, strictly ascending.
+    #[inline]
+    fn as_slice(&self) -> &[usize] {
+        &self.items[self.head..]
+    }
+
+    /// Insert `i`, keeping the list strictly ascending and deduplicated.
+    fn insert(&mut self, i: usize) {
+        match self.as_slice().binary_search(&i) {
+            Ok(_) => {}
+            Err(pos) => self.items.insert(self.head + pos, i),
+        }
+    }
+
+    /// Remove `i` if present. Front removals advance the head; the dead
+    /// prefix is drained once it exceeds the live half.
+    fn remove(&mut self, i: usize) {
+        if let Ok(pos) = self.as_slice().binary_search(&i) {
+            if pos == 0 {
+                self.head += 1;
+                if self.head * 2 > self.items.len() {
+                    self.items.drain(..self.head);
+                    self.head = 0;
+                }
+            } else {
+                self.items.remove(self.head + pos);
+            }
+        }
+    }
+
+    /// No live entries left?
+    fn is_empty(&self) -> bool {
+        self.head == self.items.len()
+    }
+
+    /// Drop all entries, keeping the allocation for reuse.
+    fn clear(&mut self) {
+        self.items.clear();
+        self.head = 0;
+    }
+
+    /// Drop all entries and release the heap block (a token whose last
+    /// sentence left the window should not pin memory).
+    fn release(&mut self) {
+        *self = PostingList::default();
+    }
+
+    /// Physical capacity in entries, for memory accounting.
+    fn capacity(&self) -> usize {
+        self.items.capacity()
+    }
+}
+
+// Checkpoints carry the logical list only — byte-identical to the
+// plain-`Vec` schema; `head` is a transient layout detail.
+impl Serialize for PostingList {
+    fn to_value(&self) -> serde::value::Value {
+        self.as_slice().to_vec().to_value()
+    }
+}
+
+impl Deserialize for PostingList {
+    fn from_value(v: &serde::value::Value) -> Result<PostingList, serde::DeError> {
+        Ok(PostingList {
+            items: Vec::<usize>::from_value(v)?,
+            head: 0,
+        })
+    }
 }
 
 impl TweetBase {
@@ -72,11 +247,36 @@ impl TweetBase {
         TweetBase::default()
     }
 
-    /// Insert a record at the end of the stream order. Replaces any
+    /// The shared token interner.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Mutable access to the shared interner (trie registration interns
+    /// candidate tokens through this).
+    pub fn interner_mut(&mut self) -> &mut Interner {
+        &mut self.interner
+    }
+
+    /// Insert a record at the end of the stream order, interning its
+    /// tokens and moving its embedding matrix into the arena. Replaces any
     /// previous record with the same id (streams should not repeat ids);
     /// the replaced record's posting-list entries are removed before the
     /// new sentence is indexed, so postings never go stale or unsorted.
-    pub fn insert(&mut self, record: TweetRecord) -> usize {
+    pub fn insert(&mut self, mut record: TweetRecord) -> usize {
+        record.tok_syms.clear();
+        for t in &record.sentence.tokens {
+            record.tok_syms.push(self.interner.intern_folded(&t.text));
+        }
+        record.emb = record.token_embeddings.take().map(|m| {
+            let off = self.emb_arena.len();
+            self.emb_arena.extend_from_slice(&m.data);
+            EmbSlot {
+                off,
+                rows: m.rows,
+                cols: m.cols,
+            }
+        });
         let id = record.sentence.id;
         let i = if let Some(&i) = self.index.get(&id) {
             // Replacement: drop the old sentence's postings first. Pushing
@@ -84,7 +284,7 @@ impl TweetBase {
             // any later records' indices (the old tail-only dedup produced
             // unsorted, duplicated lists like `[0, 1, 0]`).
             if let Some(old) = self.slots[i].take() {
-                self.remove_postings(i, &old.sentence);
+                self.remove_record_postings(i, &old);
             }
             self.slots[i] = Some(record);
             i
@@ -99,41 +299,51 @@ impl TweetBase {
         i
     }
 
-    /// Index every distinct lower-cased token of slot `i`'s sentence,
-    /// keeping each posting list strictly ascending.
+    /// Index every distinct symbol of slot `i`'s sentence, keeping each
+    /// posting list strictly ascending. Uses the reusable scratch buffer —
+    /// no per-call allocation once warm.
     fn add_postings(&mut self, i: usize) {
-        let sentence = &self.slots[i]
-            .as_ref()
-            .expect("add_postings on tombstone")
-            .sentence;
-        // Split the borrow: collect the keys first (a sentence is short).
-        let mut keys: Vec<String> = sentence.texts().map(|t| t.to_lowercase()).collect();
+        let mut keys = std::mem::take(&mut self.scratch_syms);
+        keys.clear();
+        keys.extend_from_slice(
+            &self.slots[i]
+                .as_ref()
+                .expect("add_postings on tombstone")
+                .tok_syms,
+        );
         keys.sort_unstable();
         keys.dedup();
-        for key in keys {
-            let postings = self.token_index.entry(key).or_default();
-            match postings.binary_search(&i) {
-                Ok(_) => {}
-                Err(pos) => postings.insert(pos, i),
+        for &sym in &keys {
+            let s = sym as usize;
+            if self.postings.len() <= s {
+                self.postings.resize_with(s + 1, PostingList::default);
             }
+            self.postings[s].insert(i);
         }
+        self.scratch_syms = keys;
     }
 
-    /// Remove slot `i`'s entries from the posting lists of `sentence`'s
-    /// tokens, dropping lists that become empty.
-    fn remove_postings(&mut self, i: usize, sentence: &Sentence) {
-        let mut keys: Vec<String> = sentence.texts().map(|t| t.to_lowercase()).collect();
+    /// Remove slot `i`'s entries from the posting lists of `record`'s
+    /// symbols, releasing the heap block of lists that become empty (a
+    /// token whose last sentence left the window should not pin memory),
+    /// and marking the record's arena rows dead.
+    fn remove_record_postings(&mut self, i: usize, record: &TweetRecord) {
+        let mut keys = std::mem::take(&mut self.scratch_syms);
+        keys.clear();
+        keys.extend_from_slice(&record.tok_syms);
         keys.sort_unstable();
         keys.dedup();
-        for key in keys {
-            if let Some(postings) = self.token_index.get_mut(&key) {
-                if let Ok(pos) = postings.binary_search(&i) {
-                    postings.remove(pos);
-                }
+        for &sym in &keys {
+            if let Some(postings) = self.postings.get_mut(sym as usize) {
+                postings.remove(i);
                 if postings.is_empty() {
-                    self.token_index.remove(&key);
+                    postings.release();
                 }
             }
+        }
+        self.scratch_syms = keys;
+        if let Some(slot) = record.emb {
+            self.emb_dead += slot.rows * slot.cols;
         }
     }
 
@@ -141,10 +351,31 @@ impl TweetBase {
     /// lower-cased) token. Strictly ascending, deduplicated, and free of
     /// replaced or evicted records.
     pub fn indices_with_token(&self, token_lower: &str) -> &[usize] {
-        self.token_index
-            .get(token_lower)
-            .map(Vec::as_slice)
+        self.interner
+            .lookup_folded(token_lower)
+            .map(|sym| self.indices_with_sym(sym))
             .unwrap_or(&[])
+    }
+
+    /// [`TweetBase::indices_with_token`] by interned symbol — the
+    /// allocation-free hot-path form.
+    #[inline]
+    pub fn indices_with_sym(&self, sym: Sym) -> &[usize] {
+        self.postings
+            .get(sym as usize)
+            .map(PostingList::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Token-embedding rows of the record in slot `i`, if it is live and
+    /// its local system produced embeddings.
+    pub fn embedding_view(&self, i: usize) -> Option<EmbView<'_>> {
+        let slot = self.slots.get(i)?.as_ref()?.emb?;
+        Some(EmbView {
+            data: &self.emb_arena[slot.off..slot.off + slot.rows * slot.cols],
+            rows: slot.rows,
+            cols: slot.cols,
+        })
     }
 
     /// Record by stream-order index. Panics if the slot was evicted —
@@ -234,24 +465,35 @@ impl TweetBase {
     }
 
     /// Evict the record in slot `i`: remove its posting-list entries and
-    /// its id mapping, free the record (sentence, embeddings, spans) and
-    /// leave a tombstone so other slots keep their indices. Returns the
-    /// evicted record, or `None` if the slot was already a tombstone.
+    /// its id mapping, free the record's storage and leave a tombstone so
+    /// other slots keep their indices. The returned record is
+    /// self-contained — its embedding rows are copied back out of the
+    /// arena — so holding it across a later [`TweetBase::compact`] is
+    /// safe. Returns `None` if the slot was already a tombstone.
     pub fn evict(&mut self, i: usize) -> Option<TweetRecord> {
-        let record = self.slots.get_mut(i)?.take()?;
-        self.remove_postings(i, &record.sentence);
+        let mut record = self.slots.get_mut(i)?.take()?;
+        self.remove_record_postings(i, &record);
         self.index.remove(&record.sentence.id);
         self.live -= 1;
         self.evicted_total += 1;
+        if let Some(slot) = record.emb.take() {
+            record.token_embeddings = Some(Matrix {
+                rows: slot.rows,
+                cols: slot.cols,
+                data: self.emb_arena[slot.off..slot.off + slot.rows * slot.cols].to_vec(),
+            });
+        }
         Some(record)
     }
 
-    /// Squeeze out tombstone slots so the stored vector is dense again.
-    /// Returns the old→new slot-index remap (`None` for evicted slots) so
-    /// callers can rebase any index-keyed side structures; returns an
-    /// identity-free `None` when there was nothing to compact.
+    /// Squeeze out tombstone slots so the stored vector is dense again,
+    /// rebuilding the embedding arena with only live rows (reclaiming the
+    /// dead floats of evicted and replaced records). Returns the old→new
+    /// slot-index remap (`None` for evicted slots) so callers can rebase
+    /// any index-keyed side structures; returns `None` when there was
+    /// nothing to compact.
     pub fn compact(&mut self) -> Option<Vec<Option<usize>>> {
-        if self.live == self.slots.len() {
+        if self.live == self.slots.len() && self.emb_dead == 0 {
             return None;
         }
         let mut remap: Vec<Option<usize>> = Vec::with_capacity(self.slots.len());
@@ -266,8 +508,23 @@ impl TweetBase {
         }
         let old = std::mem::take(&mut self.slots);
         self.slots = old.into_iter().flatten().map(Some).collect();
+        // Rewrite the arena with live rows only, in slot order. Bit-for-bit
+        // copies: compaction must not perturb any downstream f32 result.
+        let live_floats = self.emb_arena.len().saturating_sub(self.emb_dead);
+        let mut arena = Vec::with_capacity(live_floats);
+        for slot in self.slots.iter_mut().flatten() {
+            if let Some(e) = &mut slot.emb {
+                let off = arena.len();
+                arena.extend_from_slice(&self.emb_arena[e.off..e.off + e.rows * e.cols]);
+                e.off = off;
+            }
+        }
+        self.emb_arena = arena;
+        self.emb_dead = 0;
         self.index.clear();
-        self.token_index.clear();
+        for p in &mut self.postings {
+            p.clear();
+        }
         for i in 0..self.slots.len() {
             let id = self.slots[i]
                 .as_ref()
@@ -279,8 +536,9 @@ impl TweetBase {
         Some(remap)
     }
 
-    /// Estimated resident heap bytes of the store: sentences, token
-    /// embeddings (the dominant term for deep local systems), span lists,
+    /// Estimated resident heap bytes of the store: sentences, the
+    /// token-embedding arena (the dominant term for deep local systems,
+    /// including not-yet-compacted dead rows), span lists, symbol lists,
     /// and both indexes. An estimate for gauges and eviction budgeting,
     /// not an allocator-exact measurement.
     pub fn resident_bytes(&self) -> usize {
@@ -290,14 +548,15 @@ impl TweetBase {
             for t in &r.sentence.tokens {
                 total += size_of::<emd_text::token::Token>() + t.text.len();
             }
-            if let Some(m) = &r.token_embeddings {
-                total += m.data.len() * size_of::<f32>();
-            }
+            total += r.tok_syms.capacity() * size_of::<Sym>();
             total += (r.local_spans.len() + r.global_mentions.len()) * size_of::<Span>();
         }
-        for (key, postings) in &self.token_index {
-            total += key.len() + postings.capacity() * size_of::<usize>() + 3 * size_of::<usize>();
+        total += self.emb_arena.capacity() * size_of::<f32>();
+        total += self.postings.capacity() * size_of::<PostingList>();
+        for postings in &self.postings {
+            total += postings.capacity() * size_of::<usize>();
         }
+        total += self.interner.resident_bytes();
         total += self.index.len() * (size_of::<SentenceId>() + size_of::<usize>());
         total
     }
@@ -308,34 +567,46 @@ mod tests {
     use super::*;
 
     fn rec(tweet: u64) -> TweetRecord {
-        TweetRecord {
-            sentence: Sentence::from_tokens(SentenceId::new(tweet, 0), ["a", "b"]),
-            token_embeddings: None,
-            local_spans: vec![],
-            global_mentions: vec![],
-        }
+        TweetRecord::new(
+            Sentence::from_tokens(SentenceId::new(tweet, 0), ["a", "b"]),
+            None,
+            vec![],
+        )
     }
 
     fn rec_with(tweet: u64, tokens: &[&str]) -> TweetRecord {
-        TweetRecord {
-            sentence: Sentence::from_tokens(SentenceId::new(tweet, 0), tokens.iter().copied()),
-            token_embeddings: None,
-            local_spans: vec![],
-            global_mentions: vec![],
-        }
+        TweetRecord::new(
+            Sentence::from_tokens(SentenceId::new(tweet, 0), tokens.iter().copied()),
+            None,
+            vec![],
+        )
+    }
+
+    fn rec_with_emb(tweet: u64, tokens: &[&str], dim: usize) -> TweetRecord {
+        let rows = tokens.len();
+        let data: Vec<f32> = (0..rows * dim)
+            .map(|i| tweet as f32 * 100.0 + i as f32)
+            .collect();
+        TweetRecord::new(
+            Sentence::from_tokens(SentenceId::new(tweet, 0), tokens.iter().copied()),
+            Some(Matrix {
+                rows,
+                cols: dim,
+                data,
+            }),
+            vec![],
+        )
     }
 
     /// Every posting list must be strictly ascending, deduplicated, and
     /// point at a live record actually containing the token.
     fn assert_postings_consistent(tb: &TweetBase) {
-        for (token, postings) in &tb.token_index {
+        for (sym, postings) in tb.postings.iter().enumerate() {
+            let token = tb.interner.resolve(sym as Sym);
+            let postings = postings.as_slice();
             assert!(
                 postings.windows(2).all(|w| w[0] < w[1]),
                 "postings for {token:?} not strictly ascending: {postings:?}"
-            );
-            assert!(
-                !postings.is_empty(),
-                "empty posting list for {token:?} kept"
             );
             for &i in postings {
                 let r = tb
@@ -357,6 +628,16 @@ mod tests {
         assert_eq!(tb.len(), 2);
         assert!(tb.get(SentenceId::new(1, 0)).is_some());
         assert!(tb.get(SentenceId::new(3, 0)).is_none());
+    }
+
+    #[test]
+    fn insert_interns_folded_token_symbols() {
+        let mut tb = TweetBase::new();
+        let i = tb.insert(rec_with(1, &["Italy", "reports", "ITALY"]));
+        let r = tb.get_by_index(i);
+        assert_eq!(r.tok_syms.len(), 3);
+        assert_eq!(r.tok_syms[0], r.tok_syms[2], "case variants share a sym");
+        assert_eq!(tb.interner().resolve(r.tok_syms[0]), "italy");
     }
 
     #[test]
@@ -389,6 +670,8 @@ mod tests {
         assert_eq!(tb.indices_with_token("italy"), &[0, 1]);
         assert_eq!(tb.indices_with_token("report"), &[0]);
         assert_eq!(tb.indices_with_token("missing"), &[] as &[usize]);
+        let sym = tb.interner().lookup_folded("ITALY").unwrap();
+        assert_eq!(tb.indices_with_sym(sym), &[0, 1]);
         assert_postings_consistent(&tb);
     }
 
@@ -454,6 +737,44 @@ mod tests {
         assert_eq!(
             tb.get(SentenceId::new(1, 0)).unwrap().global_mentions.len(),
             1
+        );
+    }
+
+    #[test]
+    fn embeddings_live_in_arena_and_round_trip_through_evict() {
+        let mut tb = TweetBase::new();
+        let i1 = tb.insert(rec_with_emb(1, &["a", "b"], 3));
+        let i2 = tb.insert(rec_with_emb(2, &["c"], 3));
+        // Stored records hold no inline matrix; the view serves the rows.
+        assert!(tb.get_by_index(i1).token_embeddings.is_none());
+        let v = tb.embedding_view(i1).expect("record has embeddings");
+        assert_eq!((v.rows, v.cols), (2, 3));
+        assert_eq!(v.row(1), &[103.0, 104.0, 105.0]);
+        let v2 = tb.embedding_view(i2).unwrap();
+        assert_eq!(v2.row(0), &[200.0, 201.0, 202.0]);
+        // No-embedding records answer None.
+        let i3 = tb.insert(rec_with(3, &["d"]));
+        assert!(tb.embedding_view(i3).is_none());
+        // Evict re-materializes a self-contained matrix, bit-for-bit.
+        let out = tb.evict(i1).unwrap();
+        let m = out.token_embeddings.expect("copied back out");
+        assert_eq!((m.rows, m.cols), (2, 3));
+        assert_eq!(m.data, vec![100.0, 101.0, 102.0, 103.0, 104.0, 105.0]);
+        assert!(tb.embedding_view(i1).is_none());
+        // Survivor's view is untouched by the eviction...
+        assert_eq!(
+            tb.embedding_view(i2).unwrap().row(0),
+            &[200.0, 201.0, 202.0]
+        );
+        // ...and by compaction, which reclaims the dead rows.
+        let before = tb.emb_arena.len();
+        tb.compact().expect("had tombstones");
+        assert!(tb.emb_arena.len() < before, "dead rows reclaimed");
+        assert_eq!(tb.emb_dead, 0);
+        let i2_new = tb.index_of(SentenceId::new(2, 0)).unwrap();
+        assert_eq!(
+            tb.embedding_view(i2_new).unwrap().row(0),
+            &[200.0, 201.0, 202.0]
         );
     }
 

@@ -1,0 +1,102 @@
+//! Allocation regression test for the occurrence-scan hot path.
+//!
+//! PR 4's scan built two fresh `Vec<String>` of lowercased tokens per
+//! sentence (one for the trie walk, one for the posting-list lookups) —
+//! a heap allocation per token per sentence, dominating the scan profile.
+//! The SoA layout interns folded tokens once at ingest, so the steady
+//! state walk is pure symbol comparisons. This test pins that property
+//! with a counting global allocator: a warmed [`extract_mentions_into`]
+//! call performs **zero** heap allocations.
+
+use emd_core::ctrie::CTrie;
+use emd_core::mention::extract_mentions_into;
+use emd_text::intern::{Interner, Sym};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// System allocator wrapper that counts allocation calls.
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warmed_occurrence_scan_allocates_nothing() {
+    // A realistic small inventory: multi-token candidates sharing
+    // prefixes, so the walk exercises descent, terminal backtracking, and
+    // restarts.
+    let mut interner = Interner::new();
+    let mut trie = CTrie::new();
+    for cand in [
+        &["andy", "beshear"][..],
+        &["andy"][..],
+        &["new", "york"][..],
+        &["new", "york", "city"][..],
+        &["coronavirus"][..],
+        &["world", "health", "organization"][..],
+    ] {
+        trie.insert(&mut interner, cand);
+    }
+
+    // Sentences arrive pre-interned (what `TweetBase::insert` produces).
+    let sentences: Vec<Vec<Sym>> = [
+        &["gov", "andy", "beshear", "spoke", "on", "coronavirus"][..],
+        &["new", "york", "city", "reports", "cases"][..],
+        &[
+            "the",
+            "world",
+            "health",
+            "organization",
+            "and",
+            "new",
+            "york",
+        ][..],
+        &["nothing", "matches", "in", "this", "one"][..],
+    ]
+    .iter()
+    .map(|s| s.iter().map(|t| interner.intern_folded(t)).collect())
+    .collect();
+
+    // Warm the scratch buffer to its high-water capacity.
+    let mut out = Vec::new();
+    for syms in &sentences {
+        extract_mentions_into(&trie, syms, 6, &mut out);
+    }
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let mut total = 0usize;
+    for _ in 0..100 {
+        for syms in &sentences {
+            extract_mentions_into(&trie, syms, 6, &mut out);
+            total += out.len();
+        }
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state occurrence scan must not touch the heap \
+         ({} allocations over 400 scans)",
+        after - before
+    );
+    assert_eq!(total, 100 * 5, "scans still find every mention");
+}

@@ -3,15 +3,18 @@
 //! Format (one header line, then the payload):
 //!
 //! ```text
-//! EMDCKPT v2 seq=<n> crc=<16 hex digits>\n
+//! EMDCKPT v3 seq=<n> crc=<16 hex digits>\n
 //! <payload JSON>\n
 //! ```
 //!
-//! * `v2` — the [`FORMAT_VERSION`]; readers reject other versions rather
-//!   than guessing at field layouts. v2 coincides with the bounded-memory
-//!   state schema (tombstoned sentence slots, CTrie free list, frozen
-//!   adjacency ledger); v1 payloads predate it and are rejected rather
-//!   than misread.
+//! * `v3` — the [`FORMAT_VERSION`]; readers reject other versions rather
+//!   than guessing at field layouts. v3 is the SoA-arena state schema:
+//!   records carry interned token symbols and arena embedding slots, the
+//!   `TweetBase` serializes its token interner and flat embedding arena,
+//!   posting lists are keyed by symbol, and candidate per-mention
+//!   embeddings are one flattened row-major block. v2 (bounded-memory
+//!   schema with per-record embedding matrices) and v1 payloads are
+//!   rejected rather than misread.
 //! * `seq` — an application-meaning-free sequence number; the
 //!   `StreamSupervisor` stores "batches completed" here so recovery knows
 //!   which suffix of the stream to replay.
@@ -46,7 +49,7 @@ use std::path::{Path, PathBuf};
 pub const MAGIC: &str = "EMDCKPT";
 
 /// Current checkpoint format version.
-pub const FORMAT_VERSION: u32 = 2;
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Why a checkpoint could not be written or read back.
 #[derive(Debug)]
@@ -318,16 +321,19 @@ mod tests {
     }
 
     #[test]
-    fn stale_v1_checkpoint_rejected() {
-        // The v1 payload schema predates bounded-memory state; reading it
-        // into a v2 build must fail loudly, not misinterpret fields.
-        let path = temp("stale");
-        std::fs::write(&path, "EMDCKPT v1 seq=0 crc=0\n{}\n").unwrap();
-        assert!(matches!(
-            load::<Payload>(&path),
-            Err(CheckpointError::UnsupportedVersion(1))
-        ));
-        std::fs::remove_file(&path).unwrap();
+    fn stale_older_version_checkpoints_rejected() {
+        // The v1 payload schema predates bounded-memory state, and v2
+        // predates the SoA-arena schema; reading either into a v3 build
+        // must fail loudly, not misinterpret fields.
+        for stale in [1u32, 2] {
+            let path = temp(&format!("stale{stale}"));
+            std::fs::write(&path, format!("EMDCKPT v{stale} seq=0 crc=0\n{{}}\n")).unwrap();
+            match load::<Payload>(&path) {
+                Err(CheckpointError::UnsupportedVersion(v)) => assert_eq!(v, stale),
+                other => panic!("v{stale} must be rejected, got {other:?}"),
+            }
+            std::fs::remove_file(&path).unwrap();
+        }
     }
 
     #[test]
@@ -428,7 +434,7 @@ mod tests {
             save_generations(&path, seq, &p, 3).unwrap();
         }
         // Corrupt the two newest generations two different ways.
-        std::fs::write(&path, "EMDCKPT v2 seq=3 crc=0000000000000000\n{}\n").unwrap();
+        std::fs::write(&path, "EMDCKPT v3 seq=3 crc=0000000000000000\n{}\n").unwrap();
         let g1 = generation_path(&path, 1);
         let content = std::fs::read_to_string(&g1).unwrap();
         std::fs::write(&g1, &content[..content.len() / 2]).unwrap();

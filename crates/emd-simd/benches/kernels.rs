@@ -1,0 +1,65 @@
+//! Microbenchmarks for the pooling / classifier kernels, scalar arm vs
+//! lane-chunked SIMD arm — the numbers behind the "Data layout & SIMD"
+//! section of DESIGN.md.
+//!
+//! Shapes mirror the hot path: 64-dim phrase embeddings for pooling, and
+//! the entity classifier's 7→32 input layer (feature dim = 6 syntactic +
+//! length) plus a wider 64→32 layer for the dense-embedding regime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let dim = 64;
+    let x: Vec<f32> = (0..dim).map(|i| (i as f32).sin()).collect();
+    let mut acc: Vec<f32> = (0..dim).map(|i| (i as f32).cos()).collect();
+    let mut out = vec![0.0f32; dim];
+
+    let mut g = c.benchmark_group("mean_pooling_64d");
+    g.bench_function("accumulate_scalar", |b| {
+        b.iter(|| emd_simd::scalar::add_assign(black_box(&mut acc), black_box(&x)))
+    });
+    g.bench_function("accumulate_simd", |b| {
+        b.iter(|| emd_simd::simd::add_assign(black_box(&mut acc), black_box(&x)))
+    });
+    g.bench_function("divide_scalar", |b| {
+        b.iter(|| emd_simd::scalar::div_into(black_box(&mut out), black_box(&acc), 17.0))
+    });
+    g.bench_function("divide_simd", |b| {
+        b.iter(|| emd_simd::simd::div_into(black_box(&mut out), black_box(&acc), 17.0))
+    });
+    g.finish();
+
+    for (label, in_dim, out_dim) in [("dense_7x32", 7usize, 32usize), ("dense_64x32", 64, 32)] {
+        let x: Vec<f32> = (0..in_dim).map(|i| (i as f32 * 0.7).sin()).collect();
+        let w: Vec<f32> = (0..in_dim * out_dim).map(|i| (i as f32).cos()).collect();
+        let bias: Vec<f32> = (0..out_dim).map(|i| i as f32 * 0.01).collect();
+        let mut y = vec![0.0f32; out_dim];
+
+        let mut g = c.benchmark_group(label);
+        g.bench_function("scalar", |b| {
+            b.iter(|| {
+                emd_simd::scalar::dense_forward(
+                    black_box(&x),
+                    black_box(&w),
+                    black_box(&bias),
+                    black_box(&mut y),
+                )
+            })
+        });
+        g.bench_function("simd", |b| {
+            b.iter(|| {
+                emd_simd::simd::dense_forward(
+                    black_box(&x),
+                    black_box(&w),
+                    black_box(&bias),
+                    black_box(&mut y),
+                )
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,223 @@
+//! Token interning for the occurrence-scan hot path.
+//!
+//! The scan/pool/classify loop used to key posting lists and CTrie edges
+//! by `String` and call `str::to_lowercase()` on every token of every
+//! scanned sentence — one short-lived heap allocation per token per scan.
+//! [`Interner`] replaces those keys with dense `u32` [`Sym`]s: a token is
+//! folded and interned **once at ingest**, and every later lookup — the
+//! trie walk, the posting-list probe, the dirty-set fanout — is an integer
+//! compare against symbols that already exist.
+//!
+//! Folding semantics are pinned to `str::to_lowercase()` (the key scheme
+//! the whole pipeline has used since PR 1): ASCII-only strings take an
+//! allocation-free fast path, and anything else falls back to the real
+//! Unicode lowering so "STRASSE" and "straße" keep their historical
+//! (distinct) identities.
+//!
+//! Symbols are stable for the life of the interner and never garbage
+//! collected: a window eviction can drop the *posting list* for a symbol,
+//! but the symbol itself stays valid so checkpoint replay and late
+//! re-registration of a candidate never re-number anything. At ~20 bytes
+//! per distinct token this is noise next to the embedding arenas.
+
+use serde::value::Value;
+use serde::{DeError, Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A dense interned-token handle. `u32` keeps posting lists and trie edge
+/// maps at half the width of a pointer and a twelfth of an inline
+/// `String`.
+pub type Sym = u32;
+
+/// An append-only string interner with `to_lowercase`-folding lookups.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    strings: Vec<String>,
+    map: HashMap<String, Sym>,
+}
+
+/// Is `s` already in folded form, byte-for-byte? (ASCII with no uppercase
+/// letters — the overwhelmingly common case for microblog tokens.)
+#[inline]
+fn is_folded_ascii(s: &str) -> bool {
+    s.bytes().all(|b| b.is_ascii() && !b.is_ascii_uppercase())
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Intern `s` exactly as given, returning its symbol. Idempotent:
+    /// interning the same string twice returns the same symbol.
+    pub fn intern(&mut self, s: &str) -> Sym {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = self.strings.len() as Sym;
+        self.strings.push(s.to_string());
+        self.map.insert(s.to_string(), sym);
+        sym
+    }
+
+    /// Intern the case-folded form of `s` (exactly `s.to_lowercase()`).
+    /// Allocation-free when `s` is already folded ASCII and known.
+    pub fn intern_folded(&mut self, s: &str) -> Sym {
+        if is_folded_ascii(s) {
+            if let Some(&sym) = self.map.get(s) {
+                return sym;
+            }
+            return self.intern(s);
+        }
+        self.intern(&s.to_lowercase())
+    }
+
+    /// Look up the symbol of the case-folded form of `s`, without
+    /// interning. Allocation-free for ASCII input.
+    pub fn lookup_folded(&self, s: &str) -> Option<Sym> {
+        if is_folded_ascii(s) {
+            return self.map.get(s).copied();
+        }
+        if s.is_ascii() {
+            // ASCII with uppercase: fold into a small stack buffer when it
+            // fits, else fall through to the allocating path.
+            let bytes = s.as_bytes();
+            if bytes.len() <= 64 {
+                let mut buf = [0u8; 64];
+                for (dst, &b) in buf.iter_mut().zip(bytes) {
+                    *dst = b.to_ascii_lowercase();
+                }
+                let folded = std::str::from_utf8(&buf[..bytes.len()]).expect("ascii");
+                return self.map.get(folded).copied();
+            }
+        }
+        self.map.get(s.to_lowercase().as_str()).copied()
+    }
+
+    /// The string a symbol stands for.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.strings[sym as usize]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Is the interner empty?
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Approximate resident heap size, for memory accounting.
+    pub fn resident_bytes(&self) -> usize {
+        self.strings
+            .iter()
+            .map(|s| s.capacity() + std::mem::size_of::<String>())
+            .sum::<usize>()
+            * 2 // map keys duplicate the strings
+            + self.map.len() * std::mem::size_of::<(String, Sym)>()
+    }
+}
+
+// The map is derivable from the string table, so checkpoints carry only
+// the table (in symbol order) and rebuild the map on load. Symbol values
+// therefore survive save/restore bit-for-bit.
+impl Serialize for Interner {
+    fn to_value(&self) -> Value {
+        self.strings.to_value()
+    }
+}
+
+impl Deserialize for Interner {
+    fn from_value(v: &Value) -> Result<Interner, DeError> {
+        let strings = Vec::<String>::from_value(v)?;
+        let mut map = HashMap::with_capacity(strings.len());
+        for (i, s) in strings.iter().enumerate() {
+            if map.insert(s.clone(), i as Sym).is_some() {
+                return Err(DeError::msg(format!("duplicate interned string {s:?}")));
+            }
+        }
+        Ok(Interner { strings, map })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut it = Interner::new();
+        let a = it.intern("apple");
+        let b = it.intern("banana");
+        assert_eq!(it.intern("apple"), a);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(it.resolve(a), "apple");
+        assert_eq!(it.len(), 2);
+    }
+
+    #[test]
+    fn folded_matches_to_lowercase_semantics() {
+        let mut it = Interner::new();
+        let a = it.intern_folded("Italy");
+        assert_eq!(it.resolve(a), "italy");
+        assert_eq!(it.intern_folded("ITALY"), a);
+        assert_eq!(it.intern_folded("italy"), a);
+        // Unicode folding goes through the real to_lowercase: "STRASSE"
+        // folds to "strasse", which is NOT "straße".
+        let sharp = it.intern_folded("straße");
+        let ss = it.intern_folded("STRASSE");
+        assert_ne!(sharp, ss);
+        assert_eq!(it.resolve(ss), "strasse");
+    }
+
+    #[test]
+    fn lookup_folded_never_interns() {
+        let mut it = Interner::new();
+        let a = it.intern_folded("rome");
+        assert_eq!(it.lookup_folded("Rome"), Some(a));
+        assert_eq!(it.lookup_folded("ROME"), Some(a));
+        assert_eq!(it.lookup_folded("paris"), None);
+        assert_eq!(it.len(), 1);
+        // Long ASCII tokens overflow the stack buffer but still fold.
+        let long = "A".repeat(100);
+        let l = it.intern_folded(&long);
+        assert_eq!(it.lookup_folded(&long), Some(l));
+    }
+
+    proptest::proptest! {
+        /// Intern → resolve is lossless for arbitrary printable strings
+        /// (exact interning returns the bytes verbatim; folded interning
+        /// returns exactly `str::to_lowercase()`), and re-interning either
+        /// form maps back to the same symbol.
+        #[test]
+        fn round_trips_are_lossless(tokens in proptest::collection::vec("\\PC{0,12}", 1..16)) {
+            let mut it = Interner::new();
+            for t in &tokens {
+                let exact = it.intern(t);
+                proptest::prop_assert_eq!(it.resolve(exact), t.as_str());
+                proptest::prop_assert_eq!(it.intern(t), exact);
+
+                let folded = it.intern_folded(t);
+                let want = t.to_lowercase();
+                proptest::prop_assert_eq!(it.resolve(folded), want.as_str());
+                proptest::prop_assert_eq!(it.lookup_folded(t), Some(folded));
+                proptest::prop_assert_eq!(it.intern_folded(&want), folded);
+            }
+        }
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_symbols() {
+        let mut it = Interner::new();
+        let a = it.intern("Alpha");
+        let b = it.intern_folded("Beta");
+        let back = Interner::from_value(&it.to_value()).unwrap();
+        assert_eq!(back.resolve(a), "Alpha");
+        assert_eq!(back.resolve(b), "beta");
+        assert_eq!(back.lookup_folded("BETA"), Some(b));
+        assert_eq!(back.len(), it.len());
+    }
+}

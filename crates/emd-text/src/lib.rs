@@ -26,6 +26,7 @@
 pub mod bpe;
 pub mod casing;
 pub mod gazetteer;
+pub mod intern;
 pub mod normalize;
 pub mod pos;
 pub mod token;
@@ -33,6 +34,7 @@ pub mod tokenizer;
 pub mod vocab;
 
 pub use casing::{CapShape, SyntacticClass};
+pub use intern::{Interner, Sym};
 pub use token::{AnnotatedSentence, Bio, Dataset, Sentence, SentenceId, Span, Token};
 pub use tokenizer::tokenize;
 pub use vocab::Vocab;

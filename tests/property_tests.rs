@@ -101,17 +101,18 @@ proptest! {
     #[test]
     fn ctrie_insert_contains(cands in proptest::collection::vec(
         proptest::collection::vec(token_strat(), 1..4), 1..12)) {
+        let mut interner = emd_text::intern::Interner::new();
         let mut trie = CTrie::new();
         let mut set = std::collections::HashSet::new();
         for c in &cands {
-            trie.insert(c);
+            trie.insert(&mut interner, c);
             set.insert(c.join(" "));
         }
         prop_assert_eq!(trie.len(), set.len());
         for c in &cands {
-            prop_assert!(trie.contains(c));
+            prop_assert!(trie.contains(&interner, c));
             let upper: Vec<String> = c.iter().map(|t| t.to_uppercase()).collect();
-            prop_assert!(trie.contains(&upper));
+            prop_assert!(trie.contains(&interner, &upper));
         }
     }
 
@@ -122,12 +123,13 @@ proptest! {
         cands in proptest::collection::vec(proptest::collection::vec(token_strat(), 1..3), 1..8),
         words in sentence_strat(),
     ) {
+        let mut interner = emd_text::intern::Interner::new();
         let mut trie = CTrie::new();
         for c in &cands {
-            trie.insert(c);
+            trie.insert(&mut interner, c);
         }
         let sentence = Sentence::from_tokens(SentenceId::new(0, 0), words);
-        let mentions = extract_mentions(&trie, &sentence, 6);
+        let mentions = extract_mentions(&trie, &mut interner, &sentence, 6);
         for w in mentions.windows(2) {
             prop_assert!(w[0].end <= w[1].start, "overlap");
         }
@@ -136,7 +138,7 @@ proptest! {
             let toks: Vec<&str> = (sp.start..sp.end)
                 .map(|i| sentence.tokens[i].text.as_str())
                 .collect();
-            prop_assert!(trie.contains(&toks), "non-candidate surface emitted");
+            prop_assert!(trie.contains(&interner, &toks), "non-candidate surface emitted");
         }
     }
 
