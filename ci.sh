@@ -102,6 +102,20 @@ echo "== sentinel monitoring smoke =="
 # (monitored == unmonitored, bit for bit). Exits nonzero on violation.
 cargo run --release --example monitored_stream > /dev/null
 
+echo "== multi-stream scoped observability smoke =="
+# Three concurrent streams, each on its own emd-obs Scope, rolled up
+# into one Prometheus page. Asserts: scoped monitoring is transparent
+# (monitored+scoped output bit-identical to unmonitored, per stream),
+# per-stream series stay disjoint while the unlabeled aggregate sums
+# them, histogram exemplars resolve to real trace seqs, an injected
+# latency fault trips the fast-burn SLO within its window on exactly
+# the faulted stream, the cardinality cap drops a 4th scope into the
+# aggregate, and the rolled-up page passes the emd_obs::promcheck
+# text-format validator (family/label/exemplar syntax, duplicate
+# series, bucket monotonicity). Exits nonzero on any violation —
+# including malformed exposition output.
+cargo run --release --example multi_stream > /dev/null
+
 echo "== bounded-memory soak smoke =="
 # Stream a long-horizon drifting topic stream through a windowed
 # pipeline and assert the bounded-memory guarantees via the emd-obs

@@ -95,11 +95,16 @@ fn emit_report(slice: &[emd_text::token::Sentence], batch: usize, smoke: bool, w
         ..Default::default()
     };
 
-    // Instrumented pass: per-phase timings + latency quantiles.
+    // Instrumented pass: per-phase timings + latency quantiles. The run
+    // is routed through an explicit detached scope so the report reads a
+    // private registry — concurrent users of the process-global registry
+    // (other benches, the harness itself) can't leak into the numbers.
     emd_obs::set_enabled(true);
-    let g = Globalizer::new(&chunker, None, &accept_all, config());
+    let scope = emd_obs::Scope::detached(&[]);
+    let mut g = Globalizer::new(&chunker, None, &accept_all, config());
+    g.set_scope(&scope);
     let (out, _) = g.run(slice, batch);
-    let snapshot = g.metrics().snapshot();
+    let snapshot = scope.snapshot();
     emd_obs::set_enabled(false);
 
     let run_total_ns: u64 = out.phase_timings.as_pairs().iter().map(|(_, v)| v).sum();

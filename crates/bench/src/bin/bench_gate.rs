@@ -2,7 +2,7 @@
 //!
 //! Reads the machine-readable report the `pipeline` bench just wrote
 //! (`results/BENCH_pipeline.json`), appends one line — git SHA,
-//! timestamp, mode, throughput, tracing overhead — to
+//! timestamp, mode, throughput, tracing overhead and events/sec — to
 //! `results/BENCH_history.jsonl`, and fails if end-to-end throughput
 //! regressed more than 25% against the most recent comparable entry.
 //! Comparable means **same `mode`** (`"smoke"` measures a 40-sentence CI
@@ -42,9 +42,12 @@ struct GateReport {
 struct GateTracing {
     run_ns_tracing_off: u64,
     overhead_pct: f64,
+    events_per_sec: f64,
 }
 
-/// One appended history line.
+/// One appended history line. Adding a field retires older history
+/// lines as baselines (strict deserialization), same as the `mode` tag
+/// did — the next run re-seeds.
 #[derive(Serialize, Deserialize)]
 struct HistoryEntry {
     sha: String,
@@ -54,6 +57,7 @@ struct HistoryEntry {
     n_sentences: usize,
     sentences_per_sec: f64,
     tracing_overhead_pct: f64,
+    tracing_events_per_sec: f64,
 }
 
 fn git_sha() -> String {
@@ -104,6 +108,7 @@ fn main() {
         n_sentences: report.n_sentences,
         sentences_per_sec,
         tracing_overhead_pct: report.tracing.overhead_pct,
+        tracing_events_per_sec: report.tracing.events_per_sec,
     };
     let line = serde_json::to_string(&entry).expect("entry serializes");
     let mut history = std::fs::read_to_string(&history_path).unwrap_or_default();
@@ -117,8 +122,9 @@ fn main() {
 
     match baseline {
         None => println!(
-            "bench_gate: seeded {} history ({:.0} sentences/sec @ {}) -> {history_path}",
-            report.mode, sentences_per_sec, entry.sha
+            "bench_gate: seeded {} history ({:.0} sentences/sec, {:.0} trace events/sec @ {}) \
+             -> {history_path}",
+            report.mode, sentences_per_sec, entry.tracing_events_per_sec, entry.sha
         ),
         Some(prev) => {
             let change_pct = (sentences_per_sec / prev.sentences_per_sec - 1.0) * 100.0;

@@ -487,6 +487,16 @@ impl<'a> Globalizer<'a> {
         self.metrics = metrics;
     }
 
+    /// Point the instrumentation at a per-stream [`emd_obs::Scope`]: every
+    /// pipeline, guard, and sentinel metric this instance records lands in
+    /// the scope's registry, so an [`emd_obs::ScopeSet`] roll-up renders
+    /// this stream as its own labeled series next to the process
+    /// aggregate. Purely an observability rebinding — pipeline behavior
+    /// and outputs are unchanged.
+    pub fn set_scope(&mut self, scope: &emd_obs::Scope) {
+        self.metrics = PipelineMetrics::from_scope(scope);
+    }
+
     /// The trace sink this instance pushes decision events into.
     pub fn trace(&self) -> &TraceSink {
         &self.trace
@@ -772,6 +782,26 @@ impl<'a> Globalizer<'a> {
                 });
             }
         }
+        // One SloBurn event per firing (slo, batch) pair — the trace
+        // carries the whole burn interval, so `replay_slo` reconstructs
+        // exactly when each objective was on fire and how hard.
+        self.metrics
+            .sentinel_slo_burn_total
+            .add(observed.slo_burns.len() as u64);
+        if tracing {
+            for b in &observed.slo_burns {
+                self.temit(TraceEvent {
+                    batch: Some(b.batch),
+                    series: Some(b.name.clone()),
+                    score: Some(b.burn_fast as f32),
+                    reason: Some(format!(
+                        "burn_slow={:.2} threshold={}",
+                        b.burn_slow, b.threshold
+                    )),
+                    ..TraceEvent::of(TraceEventKind::SloBurn)
+                });
+            }
+        }
         if let Some(t) = &observed.transition {
             self.metrics.sentinel_transitions_total.inc();
             if tracing {
@@ -805,6 +835,16 @@ impl<'a> Globalizer<'a> {
                 None
             }
         }
+    }
+
+    /// An RAII span over a phase histogram, tagged — when tracing is on —
+    /// with the ring's next sequence number as the bucket's exemplar. The
+    /// first event the phase emits gets that seq, so a latency bucket in
+    /// the Prometheus export links straight to the trace events of a run
+    /// that landed in it. Costs one relaxed load when tracing is off and
+    /// nothing at all in noop metrics mode.
+    fn phase_timer(&self, hist: &emd_obs::Histogram) -> Timer {
+        Timer::start_tagged(hist, || emd_trace::enabled().then(|| self.trace.next_seq()))
     }
 
     /// Record a completed phase in the trace, reusing the wall-clock delta
@@ -953,7 +993,7 @@ impl<'a> Globalizer<'a> {
     fn local_phase(&self, state: &mut GlobalizerState, batch: &[Sentence]) {
         let t0 = Instant::now();
         let outputs: Vec<Result<crate::local::LocalEmdOutput, String>> = {
-            let _span = Timer::start(&self.metrics.local_infer_ns);
+            let _span = self.phase_timer(&self.metrics.local_infer_ns);
             batch.iter().map(|s| self.local_attempt(s)).collect()
         };
         let dt = elapsed_ns(t0);
@@ -985,7 +1025,7 @@ impl<'a> Globalizer<'a> {
         let mut outputs: Vec<Result<crate::local::LocalEmdOutput, String>> =
             Vec::with_capacity(batch.len());
         {
-            let _span = Timer::start(&self.metrics.local_infer_ns);
+            let _span = self.phase_timer(&self.metrics.local_infer_ns);
             let chunks: Vec<&[Sentence]> = batch.chunks(chunk).collect();
             let shard_results: Vec<Option<Vec<_>>> = std::thread::scope(|scope| {
                 let handles: Vec<_> = chunks
@@ -1075,7 +1115,7 @@ impl<'a> Globalizer<'a> {
         outputs: Vec<Result<crate::local::LocalEmdOutput, String>>,
     ) {
         let t0 = Instant::now();
-        let _span = Timer::start(&self.metrics.ingest_ns);
+        let _span = self.phase_timer(&self.metrics.ingest_ns);
         // Stage (fallible, isolated, read-only) per sentence.
         let staged: Vec<Result<crate::local::LocalEmdOutput, (PipelinePhase, String)>> = batch
             .iter()
@@ -1138,7 +1178,7 @@ impl<'a> Globalizer<'a> {
                 }
             }
         }
-        let trie_span = Timer::start(&self.metrics.trie_register_ns);
+        let trie_span = self.phase_timer(&self.metrics.trie_register_ns);
         let mut n_inserted = 0u64;
         for (sentence, spans) in batch.iter().zip(&kept) {
             let Some(spans) = spans else { continue };
@@ -1332,7 +1372,7 @@ impl<'a> Globalizer<'a> {
         self.metrics.scan_records_total.add(indices.len() as u64);
         let t_scan = Instant::now();
         let results: Vec<(usize, Result<StagedScan, String>)> = {
-            let _span = Timer::start(&self.metrics.scan_ns);
+            let _span = self.phase_timer(&self.metrics.scan_ns);
             let tweetbase = &state.tweetbase;
             let ctrie = &state.ctrie;
             let n_threads = n_threads.max(1).min(indices.len());
@@ -1399,7 +1439,7 @@ impl<'a> Globalizer<'a> {
         self.trace_phase_span(tphase, tparent, dt_scan);
         let tracing = emd_trace::enabled();
         let t_pool = Instant::now();
-        let _pool_span = Timer::start(&self.metrics.pool_ns);
+        let _pool_span = self.phase_timer(&self.metrics.pool_ns);
         let mut n_mentions = 0u64;
         let mut n_pooled = 0u64;
         let mut n_scan_degraded = 0u64;
@@ -1510,7 +1550,7 @@ impl<'a> Globalizer<'a> {
         n_threads: usize,
     ) {
         let t0 = Instant::now();
-        let _span = Timer::start(&self.metrics.classify_ns);
+        let _span = self.phase_timer(&self.metrics.classify_ns);
         // Breaker Open: skip scoring outright and give every unfrozen
         // candidate the end state a persistent classifier failure would
         // have produced — degraded, emission falling back to the local
@@ -1778,7 +1818,7 @@ impl<'a> Globalizer<'a> {
             return;
         }
         let t0 = Instant::now();
-        let _span = Timer::start(&self.metrics.evict_ns);
+        let _span = self.phase_timer(&self.metrics.evict_ns);
         if state.tweetbase.len() > w.max_sentences {
             let excess = state.tweetbase.len() - w.max_sentences;
             // Victims: the oldest live slots, ascending (= stream order).
@@ -2148,7 +2188,7 @@ impl<'a> Globalizer<'a> {
     ) -> GlobalizerOutput {
         let t0m = self.monitor.is_some().then(Instant::now);
         let t0 = Instant::now();
-        let _span = Timer::start(&self.metrics.finalize_ns);
+        let _span = self.phase_timer(&self.metrics.finalize_ns);
         // The closing pass counts as one breaker tick: a served cooldown
         // lets finalize probe a phase that was Open at the last batch.
         self.guard_tick();
@@ -2180,7 +2220,7 @@ impl<'a> Globalizer<'a> {
         }
         let t0m = self.monitor.is_some().then(Instant::now);
         let t0 = Instant::now();
-        let _span = Timer::start(&self.metrics.finalize_ns);
+        let _span = self.phase_timer(&self.metrics.finalize_ns);
         self.guard_tick();
         let mut n_rescanned = 0;
         let mut n_promoted = 0;

@@ -144,6 +144,7 @@ pipeline_metrics! {
         sentinel_alerts_total => "emd_sentinel_alerts_total",
         sentinel_drift_total => "emd_sentinel_drift_total",
         sentinel_transitions_total => "emd_sentinel_transitions_total",
+        sentinel_slo_burn_total => "emd_sentinel_slo_burn_batches_total",
         guard_admitted_total => "emd_guard_admitted_batches_total",
         guard_shed_total => "emd_guard_shed_batches_total",
         guard_deadline_exceeded_total => "emd_guard_deadline_exceeded_total",
@@ -184,6 +185,14 @@ impl PipelineMetrics {
     pub fn global() -> PipelineMetrics {
         PipelineMetrics::from_registry(emd_obs::global())
     }
+
+    /// Handles into a per-stream [`emd_obs::Scope`]'s registry. Samples
+    /// recorded through the returned handles land only in that scope;
+    /// an [`emd_obs::ScopeSet`] roll-up renders them as labeled series
+    /// next to the process aggregate.
+    pub fn from_scope(scope: &emd_obs::Scope) -> PipelineMetrics {
+        PipelineMetrics::from_registry(scope.registry())
+    }
 }
 
 impl Default for PipelineMetrics {
@@ -201,7 +210,7 @@ mod tests {
         let reg = Registry::new();
         let m = PipelineMetrics::from_registry(&reg);
         let snap = m.snapshot();
-        assert_eq!(snap.counters.len(), 28);
+        assert_eq!(snap.counters.len(), 29);
         assert_eq!(snap.gauges.len(), 9);
         assert_eq!(snap.histograms.len(), 11);
         assert!(snap.counter("emd_guard_admitted_batches_total").is_some());
@@ -223,6 +232,9 @@ mod tests {
         assert!(snap.counter("emd_sentinel_alerts_total").is_some());
         assert!(snap.counter("emd_sentinel_drift_total").is_some());
         assert!(snap.counter("emd_sentinel_transitions_total").is_some());
+        assert!(snap
+            .counter("emd_sentinel_slo_burn_batches_total")
+            .is_some());
         assert!(snap.gauge("emd_sentinel_health").is_some());
         assert!(snap.counter("emd_trie_inserts_total").is_some());
         assert!(snap.counter("emd_window_evicted_records_total").is_some());

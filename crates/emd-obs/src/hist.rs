@@ -7,7 +7,7 @@
 //! cover the full u64 range; recording is a handful of relaxed atomic
 //! operations and never allocates.
 
-use crate::snapshot::{BucketSnapshot, HistogramSnapshot};
+use crate::snapshot::{BucketSnapshot, ExemplarSnapshot, HistogramSnapshot};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -55,6 +55,12 @@ pub(crate) struct HistInner {
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
+    // Per-bucket exemplar slots: the raw value and the trace sequence
+    // number (stored as seq+1 so 0 means "no exemplar yet") of the most
+    // recent tagged observation that landed in the bucket. Last-writer-
+    // wins under races; exemplars are advisory links, not counted data.
+    ex_value: [AtomicU64; N_BUCKETS],
+    ex_seq: [AtomicU64; N_BUCKETS],
 }
 
 impl HistInner {
@@ -65,6 +71,8 @@ impl HistInner {
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
+            ex_value: [const { AtomicU64::new(0) }; N_BUCKETS],
+            ex_seq: [const { AtomicU64::new(0) }; N_BUCKETS],
         }
     }
 }
@@ -113,15 +121,31 @@ impl Histogram {
     /// Record one sample. A no-op while recording is disabled.
     #[inline]
     pub fn record(&self, v: u64) {
+        self.record_with_exemplar(v, None);
+    }
+
+    /// Record one sample, optionally tagging the bucket it lands in with
+    /// an exemplar linking to trace sequence number `seq` (typically
+    /// `emd_trace::TraceSink::next_seq()` captured at span start, so the
+    /// trace events emitted during the measured span carry `seq` or
+    /// higher). The newest tagged observation per bucket wins. A no-op
+    /// while recording is disabled.
+    #[inline]
+    pub fn record_with_exemplar(&self, v: u64, seq: Option<u64>) {
         if !crate::enabled() {
             return;
         }
         let i = &self.inner;
-        i.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        let b = bucket_index(v);
+        i.buckets[b].fetch_add(1, Ordering::Relaxed);
         i.count.fetch_add(1, Ordering::Relaxed);
         i.sum.fetch_add(v, Ordering::Relaxed);
         i.min.fetch_min(v, Ordering::Relaxed);
         i.max.fetch_max(v, Ordering::Relaxed);
+        if let Some(seq) = seq {
+            i.ex_value[b].store(v, Ordering::Relaxed);
+            i.ex_seq[b].store(seq.saturating_add(1), Ordering::Relaxed);
+        }
     }
 
     /// Number of samples recorded so far.
@@ -195,19 +219,32 @@ impl Histogram {
         }
     }
 
-    /// Serializable snapshot: aggregate stats plus the non-empty buckets.
+    /// Serializable snapshot: aggregate stats plus the non-empty buckets
+    /// and any per-bucket exemplars.
     pub fn snapshot(&self, name: &str) -> HistogramSnapshot {
         let stats = self.stats();
-        let buckets = (0..N_BUCKETS)
-            .filter_map(|i| {
-                let c = self.inner.buckets[i].load(Ordering::Relaxed);
-                (c > 0).then(|| BucketSnapshot {
-                    lo: bucket_lo(i),
-                    hi: bucket_hi(i),
-                    count: c,
-                })
-            })
-            .collect();
+        let mut buckets = Vec::new();
+        let mut exemplars = Vec::new();
+        for i in 0..N_BUCKETS {
+            let c = self.inner.buckets[i].load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            let lo = bucket_lo(i);
+            buckets.push(BucketSnapshot {
+                lo,
+                hi: bucket_hi(i),
+                count: c,
+            });
+            let seq = self.inner.ex_seq[i].load(Ordering::Relaxed);
+            if seq != 0 {
+                exemplars.push(ExemplarSnapshot {
+                    lo,
+                    value: self.inner.ex_value[i].load(Ordering::Relaxed),
+                    trace_seq: seq - 1,
+                });
+            }
+        }
         HistogramSnapshot {
             name: name.to_string(),
             count: stats.count,
@@ -218,10 +255,12 @@ impl Histogram {
             p90: stats.p90,
             p99: stats.p99,
             buckets,
+            exemplars,
         }
     }
 
-    /// Zero every bucket and aggregate (used by [`crate::Registry::reset`]).
+    /// Zero every bucket, aggregate, and exemplar slot (used by
+    /// [`crate::Registry::reset`]).
     pub fn reset(&self) {
         for b in &self.inner.buckets {
             b.store(0, Ordering::Relaxed);
@@ -230,6 +269,10 @@ impl Histogram {
         self.inner.sum.store(0, Ordering::Relaxed);
         self.inner.min.store(u64::MAX, Ordering::Relaxed);
         self.inner.max.store(0, Ordering::Relaxed);
+        for (v, s) in self.inner.ex_value.iter().zip(self.inner.ex_seq.iter()) {
+            v.store(0, Ordering::Relaxed);
+            s.store(0, Ordering::Relaxed);
+        }
     }
 }
 

@@ -4,16 +4,24 @@
 //! (the only dependencies are the in-repo `serde`/`serde_json` shims, per
 //! the offline `shims/` policy).
 //!
-//! Three layers:
+//! Four layers:
 //!
 //! * a [`Registry`] of named metrics — atomic [`Counter`]s, float
 //!   [`Gauge`]s, and log-bucketed latency [`Histogram`]s with quantile
-//!   estimation — safe to record into from any number of threads;
+//!   estimation and per-bucket trace **exemplars** — safe to record into
+//!   from any number of threads;
 //! * lightweight RAII [`Timer`] spans that measure a scope and record the
-//!   elapsed nanoseconds into a histogram on drop;
+//!   elapsed nanoseconds into a histogram on drop (optionally tagged with
+//!   a trace sequence exemplar via [`Timer::start_tagged`]);
+//! * per-stream [`Scope`]s managed by a cardinality-capped [`ScopeSet`]
+//!   whose roll-up snapshot renders every stream as labeled series plus a
+//!   process-level aggregate on one Prometheus page ([`promcheck`] is
+//!   the CI validator for those pages);
 //! * two exporters over a point-in-time [`Snapshot`]: Prometheus text
 //!   exposition format ([`Snapshot::to_prometheus`]) and a JSON document
-//!   ([`Snapshot::to_json`]) that round-trips through the serde shim.
+//!   ([`Snapshot::to_json`]) that round-trips through the serde shim —
+//!   each available cumulative ([`Registry::snapshot`]) or reset-on-scrape
+//!   ([`Registry::snapshot_delta`]).
 //!
 //! ## The global noop mode
 //!
@@ -51,18 +59,23 @@
 
 mod hist;
 mod metrics;
+pub mod promcheck;
 mod registry;
+mod scope;
 mod snapshot;
 mod timer;
 
 pub use hist::{HistStats, Histogram};
 pub use metrics::{Counter, Gauge};
 pub use registry::Registry;
-pub use snapshot::{BucketSnapshot, CounterSnapshot, GaugeSnapshot, HistogramSnapshot, Snapshot};
+pub use scope::{LabelPair, RollupSnapshot, Scope, ScopeSet, ScopeSnapshot, SCOPES_DROPPED_TOTAL};
+pub use snapshot::{
+    BucketSnapshot, CounterSnapshot, ExemplarSnapshot, GaugeSnapshot, HistogramSnapshot, Snapshot,
+};
 pub use timer::Timer;
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// Process-wide recording switch. Off by default (noop mode).
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -80,11 +93,19 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
+static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+
 /// The process-wide default registry. Pipeline instrumentation records
-/// here unless pointed at a private [`Registry`].
+/// here unless pointed at a private [`Registry`] or a [`Scope`]; it is
+/// also the registry behind the default scope ([`Scope::process`]).
 pub fn global() -> &'static Registry {
-    static GLOBAL: OnceLock<Registry> = OnceLock::new();
-    GLOBAL.get_or_init(Registry::new)
+    GLOBAL.get_or_init(|| Arc::new(Registry::new())).as_ref()
+}
+
+/// Shared handle to the process-wide default registry (the same registry
+/// [`global`] borrows).
+pub fn global_arc() -> Arc<Registry> {
+    GLOBAL.get_or_init(|| Arc::new(Registry::new())).clone()
 }
 
 #[cfg(test)]

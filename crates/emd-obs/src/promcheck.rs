@@ -1,0 +1,389 @@
+//! A small Prometheus text-exposition-format validator.
+//!
+//! CI runs every export the repo produces through [`validate`] so a
+//! malformed family header, label set, exemplar, or duplicate series
+//! fails the build instead of failing the scraper at 3am. The checks
+//! are strict about what our exporters promise:
+//!
+//! * `# TYPE name kind` headers with a valid metric name and a known
+//!   kind, at most one per family, and samples grouped under their
+//!   family header (counter/gauge samples use the family name exactly;
+//!   histogram samples use `name_bucket` / `name_sum` / `name_count`);
+//! * sample lines `name[{labels}] value [# {labels} value]` with valid
+//!   label keys, properly escaped values, no duplicate keys, and
+//!   exemplars only on `_bucket` lines;
+//! * no duplicate series (same name + canonical label set) anywhere on
+//!   the page;
+//! * per histogram series: cumulative bucket counts non-decreasing in
+//!   `le`, a closing `le="+Inf"` bucket, and matching `_sum`/`_count`.
+
+/// Counts of what a valid page contained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PromStats {
+    /// `# TYPE` families seen.
+    pub families: usize,
+    /// Distinct series (sample lines).
+    pub series: usize,
+    /// Exemplars attached to bucket lines.
+    pub exemplars: usize,
+}
+
+fn valid_metric_name(n: &str) -> bool {
+    let mut chars = n.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_key(k: &str) -> bool {
+    let mut chars = k.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn valid_value(v: &str) -> bool {
+    matches!(v, "NaN" | "+Inf" | "-Inf" | "Inf") || v.parse::<f64>().is_ok()
+}
+
+/// Parse `key="value",...` (no surrounding braces) into pairs,
+/// honouring `\\`, `\"`, and `\n` escapes. Returns the pairs and the
+/// rest of the input after the closing brace consumed by the caller.
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut pairs = Vec::new();
+    let mut rest = body;
+    loop {
+        rest = rest.trim_start_matches(',');
+        if rest.is_empty() {
+            return Ok(pairs);
+        }
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without '=' in {body:?}"))?;
+        let key = &rest[..eq];
+        if !valid_label_key(key) {
+            return Err(format!("invalid label key {key:?}"));
+        }
+        rest = &rest[eq + 1..];
+        if !rest.starts_with('"') {
+            return Err(format!("unquoted label value after {key:?}"));
+        }
+        rest = &rest[1..];
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    other => return Err(format!("bad escape \\{other:?} in label {key:?}")),
+                },
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let end = end.ok_or_else(|| format!("unterminated label value for {key:?}"))?;
+        if pairs.iter().any(|(k, _)| k == key) {
+            return Err(format!("duplicate label key {key:?}"));
+        }
+        pairs.push((key.to_string(), value));
+        rest = &rest[end + 1..];
+        if !rest.is_empty() && !rest.starts_with(',') {
+            return Err(format!("junk {rest:?} after label {key:?}"));
+        }
+    }
+}
+
+/// Split a sample line into (name, label pairs, value, exemplar).
+#[allow(clippy::type_complexity)]
+fn parse_sample(
+    line: &str,
+) -> Result<(String, Vec<(String, String)>, String, Option<String>), String> {
+    // Exemplar tail: " # {labels} value".
+    let (sample, exemplar) = match line.find(" # ") {
+        Some(i) => (&line[..i], Some(line[i + 3..].to_string())),
+        None => (line, None),
+    };
+    let (name, labels, value) = match sample.find('{') {
+        Some(open) => {
+            let close = sample
+                .rfind('}')
+                .ok_or_else(|| "unclosed label brace".to_string())?;
+            (
+                &sample[..open],
+                parse_labels(&sample[open + 1..close])?,
+                sample[close + 1..].trim(),
+            )
+        }
+        None => {
+            let sp = sample
+                .find(' ')
+                .ok_or_else(|| "sample line without value".to_string())?;
+            (&sample[..sp], Vec::new(), sample[sp + 1..].trim())
+        }
+    };
+    if !valid_metric_name(name) {
+        return Err(format!("invalid metric name {name:?}"));
+    }
+    if value.is_empty() || !valid_value(value) {
+        return Err(format!("invalid sample value {value:?} for {name:?}"));
+    }
+    Ok((name.to_string(), labels, value.to_string(), exemplar))
+}
+
+fn canonical_series(name: &str, labels: &[(String, String)]) -> String {
+    let mut l: Vec<String> = labels.iter().map(|(k, v)| format!("{k}={v:?}")).collect();
+    l.sort();
+    format!("{name}{{{}}}", l.join(","))
+}
+
+/// Validate a Prometheus text page. Returns page statistics, or every
+/// violation found (never just the first: CI output should show the
+/// whole damage).
+pub fn validate(page: &str) -> Result<PromStats, Vec<String>> {
+    let mut errors: Vec<String> = Vec::new();
+    let mut stats = PromStats::default();
+    let mut families_seen: Vec<String> = Vec::new();
+    let mut current: Option<(String, String)> = None; // (family, kind)
+    let mut seen_series: Vec<String> = Vec::new();
+    // Per histogram series key (family + non-le labels): bucket counts in
+    // order, +Inf count, _sum seen, _count value.
+    struct HistSeries {
+        last_cum: u64,
+        inf: Option<u64>,
+        sum_seen: bool,
+        count: Option<u64>,
+    }
+    let mut hist_series: std::collections::BTreeMap<String, HistSeries> =
+        std::collections::BTreeMap::new();
+
+    for (no, raw) in page.lines().enumerate() {
+        let lineno = no + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            match (it.next(), it.next(), it.next()) {
+                (Some(name), Some(kind), None) => {
+                    if !valid_metric_name(name) {
+                        errors.push(format!("line {lineno}: invalid family name {name:?}"));
+                    }
+                    if !matches!(
+                        kind,
+                        "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                    ) {
+                        errors.push(format!("line {lineno}: unknown metric kind {kind:?}"));
+                    }
+                    if families_seen.iter().any(|f| f == name) {
+                        errors.push(format!("line {lineno}: duplicate # TYPE for {name:?}"));
+                    } else {
+                        families_seen.push(name.to_string());
+                        stats.families += 1;
+                    }
+                    current = Some((name.to_string(), kind.to_string()));
+                }
+                _ => errors.push(format!("line {lineno}: malformed TYPE header {line:?}")),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or free comment
+        }
+        let (name, labels, _value, exemplar) = match parse_sample(line) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                errors.push(format!("line {lineno}: {e}"));
+                continue;
+            }
+        };
+        let series = canonical_series(&name, &labels);
+        if seen_series.contains(&series) {
+            errors.push(format!("line {lineno}: duplicate series {series}"));
+        } else {
+            seen_series.push(series);
+            stats.series += 1;
+        }
+        let Some((family, kind)) = current.as_ref() else {
+            errors.push(format!(
+                "line {lineno}: sample {name:?} before any # TYPE header"
+            ));
+            continue;
+        };
+        let member = if kind == "histogram" {
+            name == format!("{family}_bucket")
+                || name == format!("{family}_sum")
+                || name == format!("{family}_count")
+        } else {
+            &name == family
+        };
+        if !member {
+            errors.push(format!(
+                "line {lineno}: sample {name:?} not grouped under its family ({family}, {kind})"
+            ));
+            continue;
+        }
+        if let Some(ex) = &exemplar {
+            if kind != "histogram" || !name.ends_with("_bucket") {
+                errors.push(format!(
+                    "line {lineno}: exemplar on a non-bucket line ({name})"
+                ));
+            } else {
+                // Exemplar grammar: {labels} value.
+                let ok = ex.strip_prefix('{').and_then(|r| {
+                    let close = r.find('}')?;
+                    parse_labels(&r[..close]).ok()?;
+                    let v = r[close + 1..].trim();
+                    valid_value(v).then_some(())
+                });
+                if ok.is_none() {
+                    errors.push(format!("line {lineno}: malformed exemplar {ex:?}"));
+                } else {
+                    stats.exemplars += 1;
+                }
+            }
+        }
+        if kind == "histogram" {
+            let non_le: Vec<(String, String)> =
+                labels.iter().filter(|(k, _)| k != "le").cloned().collect();
+            let hkey = canonical_series(family, &non_le);
+            let entry = hist_series.entry(hkey.clone()).or_insert(HistSeries {
+                last_cum: 0,
+                inf: None,
+                sum_seen: false,
+                count: None,
+            });
+            let value_u64 = _value.parse::<f64>().ok().map(|v| v as u64);
+            if name.ends_with("_bucket") {
+                let le = labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .map(|(_, v)| v.as_str());
+                match le {
+                    None => errors.push(format!("line {lineno}: bucket without le label")),
+                    Some("+Inf") => entry.inf = value_u64,
+                    Some(_) => {
+                        let v = value_u64.unwrap_or(0);
+                        if v < entry.last_cum {
+                            errors.push(format!(
+                                "line {lineno}: bucket counts not cumulative for {hkey}"
+                            ));
+                        }
+                        entry.last_cum = v;
+                    }
+                }
+            } else if name.ends_with("_sum") {
+                entry.sum_seen = true;
+            } else {
+                entry.count = value_u64;
+            }
+        }
+    }
+    for (hkey, h) in &hist_series {
+        match (h.inf, h.count, h.sum_seen) {
+            (Some(inf), Some(count), true) => {
+                if inf != count {
+                    errors.push(format!(
+                        "histogram {hkey}: le=\"+Inf\" bucket ({inf}) != _count ({count})"
+                    ));
+                }
+                if inf < h.last_cum {
+                    errors.push(format!(
+                        "histogram {hkey}: +Inf bucket below the last finite bucket"
+                    ));
+                }
+            }
+            _ => errors.push(format!(
+                "histogram {hkey}: missing +Inf bucket, _sum, or _count"
+            )),
+        }
+    }
+    if errors.is_empty() {
+        Ok(stats)
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    #[test]
+    fn real_exports_validate() {
+        let _g = test_lock::enable();
+        let set = crate::ScopeSet::new(4);
+        set.default_scope().counter("proc_total").add(7);
+        for name in ["a", "b"] {
+            let s = set.scope(&[("stream", name)]);
+            s.counter("batches_total").add(3);
+            s.gauge("depth").set(1.5);
+            let h = s.histogram("lat_ns");
+            h.record_with_exemplar(1_000, Some(17));
+            h.record(2_000_000);
+        }
+        let page = set.snapshot().to_prometheus();
+        let stats = validate(&page).unwrap_or_else(|e| panic!("invalid page: {e:?}\n{page}"));
+        assert!(stats.families >= 4, "{stats:?}");
+        assert!(stats.exemplars >= 2, "{stats:?}");
+    }
+
+    #[test]
+    fn catches_duplicate_series() {
+        let page = "# TYPE x counter\nx{a=\"1\"} 1\nx{a=\"1\"} 2\n";
+        let errs = validate(page).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("duplicate series")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn catches_ungrouped_samples_and_bad_labels() {
+        let errs = validate("stray 1\n").unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("before any # TYPE")),
+            "{errs:?}"
+        );
+        let errs = validate("# TYPE x counter\nx{0bad=\"v\"} 1\n").unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("invalid label key")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn catches_exemplar_misuse() {
+        let page = "# TYPE x counter\nx 1 # {trace_seq=\"4\"} 9\n";
+        let errs = validate(page).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("non-bucket")), "{errs:?}");
+    }
+
+    #[test]
+    fn catches_non_cumulative_buckets_and_missing_inf() {
+        let page = "# TYPE h histogram\n\
+                    h_bucket{le=\"10\"} 5\n\
+                    h_bucket{le=\"20\"} 3\n\
+                    h_bucket{le=\"+Inf\"} 5\n\
+                    h_sum 50\nh_count 5\n";
+        let errs = validate(page).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("not cumulative")),
+            "{errs:?}"
+        );
+        let page = "# TYPE h histogram\nh_bucket{le=\"10\"} 5\nh_sum 50\nh_count 5\n";
+        let errs = validate(page).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("missing +Inf")), "{errs:?}");
+    }
+}

@@ -3,7 +3,7 @@
 use crate::snapshot::{CounterSnapshot, GaugeSnapshot, Snapshot};
 use crate::{Counter, Gauge, Histogram};
 use std::collections::BTreeMap;
-use std::sync::RwLock;
+use std::sync::{Mutex, RwLock};
 
 #[derive(Debug, Clone)]
 enum Metric {
@@ -20,6 +20,9 @@ enum Metric {
 #[derive(Debug, Default)]
 pub struct Registry {
     metrics: RwLock<BTreeMap<String, Metric>>,
+    // Cumulative snapshot taken by the previous `snapshot_delta` call;
+    // the next call subtracts against it (reset-on-scrape semantics).
+    delta_baseline: Mutex<Option<Snapshot>>,
 }
 
 impl Registry {
@@ -113,9 +116,30 @@ impl Registry {
         snap
     }
 
+    /// A **delta** [`Snapshot`]: what happened since the previous
+    /// `snapshot_delta` call (or since registry creation / the last
+    /// [`Registry::reset`] for the first call). Counters and histogram
+    /// buckets subtract against the last scrape; gauges are
+    /// instantaneous and pass through unchanged. See the module docs of
+    /// [`crate::Snapshot`] for the full cumulative-vs-delta contract.
+    /// Concurrent `snapshot_delta` callers partition the stream between
+    /// them: each increment is reported by exactly one scrape.
+    pub fn snapshot_delta(&self) -> Snapshot {
+        let mut baseline = self.delta_baseline.lock().unwrap();
+        let cur = self.snapshot();
+        let delta = match baseline.as_ref() {
+            Some(base) => cur.delta_since(base),
+            None => cur.clone(),
+        };
+        *baseline = Some(cur);
+        delta
+    }
+
     /// Zero every registered metric (names stay registered and handed-out
-    /// handles stay live).
+    /// handles stay live). Also clears the [`Registry::snapshot_delta`]
+    /// baseline so the next delta starts from the zeroed state.
     pub fn reset(&self) {
+        let mut baseline = self.delta_baseline.lock().unwrap();
         let map = self.metrics.read().unwrap();
         for metric in map.values() {
             match metric {
@@ -124,6 +148,7 @@ impl Registry {
                 Metric::Histogram(h) => h.reset(),
             }
         }
+        *baseline = None;
     }
 }
 
@@ -162,6 +187,52 @@ mod tests {
         assert_eq!(names, ["a_total", "z_total"]);
         assert_eq!(snap.gauge("depth"), Some(7.0));
         assert_eq!(snap.histogram("lat_ns").unwrap().count, 1);
+    }
+
+    #[test]
+    fn delta_snapshots_partition_the_stream() {
+        let _g = test_lock::enable();
+        let reg = Registry::new();
+        let c = reg.counter("c_total");
+        let h = reg.histogram("h_ns");
+        let ga = reg.gauge("depth");
+        c.add(5);
+        h.record(100);
+        ga.set(3.0);
+        let d1 = reg.snapshot_delta();
+        assert_eq!(d1.counter("c_total"), Some(5));
+        assert_eq!(d1.histogram("h_ns").unwrap().count, 1);
+        assert_eq!(d1.gauge("depth"), Some(3.0));
+        c.add(2);
+        ga.set(9.0);
+        let d2 = reg.snapshot_delta();
+        assert_eq!(d2.counter("c_total"), Some(2), "only the new increments");
+        assert_eq!(d2.histogram("h_ns").unwrap().count, 0, "no new samples");
+        assert_eq!(d2.gauge("depth"), Some(9.0), "gauges are instantaneous");
+        // The cumulative view is untouched by delta scrapes.
+        assert_eq!(reg.snapshot().counter("c_total"), Some(7));
+    }
+
+    #[test]
+    fn delta_histogram_restats_the_interval() {
+        let _g = test_lock::enable();
+        let reg = Registry::new();
+        let h = reg.histogram("h_ns");
+        for _ in 0..100 {
+            h.record(10);
+        }
+        reg.snapshot_delta();
+        for _ in 0..50 {
+            h.record(1_000_000);
+        }
+        let d = reg.snapshot_delta();
+        let hs = d.histogram("h_ns").unwrap();
+        assert_eq!(hs.count, 50);
+        assert_eq!(hs.sum, 50 * 1_000_000);
+        // All interval samples are ~1ms; the old 10ns mass must not
+        // drag the delta median down.
+        assert!(hs.p50 > 500_000.0, "delta p50 {} reflects interval", hs.p50);
+        assert!(hs.min >= 500_000, "delta min {} is re-estimated", hs.min);
     }
 
     #[test]

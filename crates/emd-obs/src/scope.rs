@@ -1,0 +1,607 @@
+//! Scoped registries: per-stream metric isolation with a bounded-
+//! cardinality roll-up.
+//!
+//! A [`Scope`] is a label set (e.g. `stream="topic-42"`) bound to its own
+//! [`Registry`]; metrics registered through a scope are invisible to
+//! every other scope. A [`ScopeSet`] manages the scopes of one process:
+//! it hands out scopes get-or-create style (like registries hand out
+//! metrics), enforces a **hard cardinality cap**, and renders all of
+//! them into one Prometheus page — per-scope labeled series plus an
+//! unlabeled process-level aggregate — via [`ScopeSet::snapshot`].
+//!
+//! The process-global registry ([`crate::global`]) doubles as the
+//! **default scope** (empty label set): existing unscoped call sites
+//! keep recording there, and a [`ScopeSet::process`] set folds it into
+//! the aggregate, so the single-stream API is the degenerate case of the
+//! scoped one rather than a parallel system.
+//!
+//! ## Cardinality cap
+//!
+//! Prometheus label cardinality is a production hazard: one label value
+//! per user or per tweet melts the time-series database. `ScopeSet`
+//! therefore refuses to create scopes past its cap. The refused call
+//! still gets a usable scope — the default scope, so its samples land in
+//! the aggregate instead of vanishing — and the refusal is counted in
+//! `emd_obs_scopes_dropped_total` (registered in the default scope).
+//! [`ScopeSet::drop_scope`] retires a scope (its series leave the
+//! export; live handles keep recording harmlessly into the detached
+//! registry) and frees its cap slot.
+
+use crate::snapshot::{
+    render_histogram_series, render_plain_series, CounterSnapshot, GaugeSnapshot,
+    HistogramSnapshot, Snapshot,
+};
+use crate::{Counter, Gauge, Histogram, Registry};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+/// One `key="value"` label. Keys must match
+/// `[a-zA-Z_][a-zA-Z0-9_]*` and must not be `le` (reserved for histogram
+/// buckets); values may be any UTF-8 and are escaped on export.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LabelPair {
+    /// Label name.
+    pub key: String,
+    /// Label value (unescaped).
+    pub value: String,
+}
+
+fn valid_label_key(k: &str) -> bool {
+    if k.is_empty() || k == "le" {
+        return false;
+    }
+    let mut chars = k.chars();
+    let first = chars.next().unwrap();
+    (first.is_ascii_alphabetic() || first == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Escape a label value per the Prometheus text format: backslash,
+/// double quote, and newline.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a sorted label set as `k1="v1",k2="v2"` (no braces). Empty for
+/// an empty set.
+fn render_labels(labels: &[LabelPair]) -> String {
+    labels
+        .iter()
+        .map(|l| format!("{}=\"{}\"", l.key, escape_label_value(&l.value)))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn canonical_key(labels: &[LabelPair]) -> String {
+    render_labels(labels)
+}
+
+fn sorted_labels(labels: &[(&str, &str)]) -> Vec<LabelPair> {
+    let mut out: Vec<LabelPair> = labels
+        .iter()
+        .map(|(k, v)| {
+            assert!(
+                valid_label_key(k),
+                "invalid scope label key {k:?} (must match [a-zA-Z_][a-zA-Z0-9_]* and not be \"le\")"
+            );
+            LabelPair {
+                key: k.to_string(),
+                value: v.to_string(),
+            }
+        })
+        .collect();
+    out.sort();
+    out.dedup();
+    let unique_keys = out
+        .iter()
+        .map(|l| l.key.as_str())
+        .collect::<std::collections::BTreeSet<_>>();
+    assert!(
+        unique_keys.len() == out.len(),
+        "duplicate scope label key with conflicting values in {out:?}"
+    );
+    out
+}
+
+/// A label set bound to a [`Registry`]. Cheap to clone; clones share the
+/// registry. Metric accessors delegate to the underlying registry, so a
+/// `Scope` drops into any code that takes one get-or-create handle
+/// factory.
+#[derive(Debug, Clone)]
+pub struct Scope {
+    labels: Arc<[LabelPair]>,
+    registry: Arc<Registry>,
+}
+
+impl Scope {
+    /// The process default scope: the [`crate::global`] registry under an
+    /// empty label set. This is where unscoped instrumentation records.
+    pub fn process() -> Scope {
+        Scope {
+            labels: Arc::from(Vec::new().into_boxed_slice()),
+            registry: crate::global_arc(),
+        }
+    }
+
+    /// A standalone scope over a fresh private registry, not managed by
+    /// any [`ScopeSet`] (tests, ad-hoc isolation).
+    pub fn detached(labels: &[(&str, &str)]) -> Scope {
+        Scope {
+            labels: Arc::from(sorted_labels(labels).into_boxed_slice()),
+            registry: Arc::new(Registry::new()),
+        }
+    }
+
+    /// This scope's labels, sorted by key.
+    pub fn labels(&self) -> &[LabelPair] {
+        &self.labels
+    }
+
+    /// The scope's underlying registry.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Get or create the counter named `name` in this scope.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.registry.counter(name)
+    }
+
+    /// Get or create the gauge named `name` in this scope.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.registry.gauge(name)
+    }
+
+    /// Get or create the histogram named `name` in this scope.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.registry.histogram(name)
+    }
+
+    /// Cumulative snapshot of this scope's registry.
+    pub fn snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+}
+
+/// One scope's snapshot inside a [`RollupSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScopeSnapshot {
+    /// The scope's labels (empty for the default scope).
+    pub labels: Vec<LabelPair>,
+    /// The scope's registry snapshot.
+    pub snapshot: Snapshot,
+}
+
+/// Point-in-time view of every scope in a [`ScopeSet`]: the default
+/// scope first (empty labels), then the labeled scopes sorted by label
+/// set. Renders to one Prometheus page or one JSON document.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RollupSnapshot {
+    /// Per-scope snapshots, default scope first.
+    pub scopes: Vec<ScopeSnapshot>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum FamilyKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl RollupSnapshot {
+    /// The snapshot of the scope with exactly `labels` (order-insensitive).
+    pub fn scope(&self, labels: &[(&str, &str)]) -> Option<&Snapshot> {
+        let want = sorted_labels(labels);
+        self.scopes
+            .iter()
+            .find(|s| s.labels == want)
+            .map(|s| &s.snapshot)
+    }
+
+    /// Merge every scope (default included) into one unlabeled
+    /// [`Snapshot`]: counters and gauges sum, histogram buckets merge
+    /// bucket-wise with quantiles re-estimated, min/max taken across
+    /// scopes. Exemplars are per-scope and not aggregated.
+    pub fn aggregate(&self) -> Snapshot {
+        let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+        let mut gauges: BTreeMap<String, f64> = BTreeMap::new();
+        let mut hists: BTreeMap<String, HistogramSnapshot> = BTreeMap::new();
+        for s in &self.scopes {
+            for c in &s.snapshot.counters {
+                *counters.entry(c.name.clone()).or_insert(0) += c.value;
+            }
+            for g in &s.snapshot.gauges {
+                *gauges.entry(g.name.clone()).or_insert(0.0) += g.value;
+            }
+            for h in &s.snapshot.histograms {
+                let agg = hists
+                    .entry(h.name.clone())
+                    .or_insert_with(|| HistogramSnapshot::empty(&h.name));
+                for b in &h.buckets {
+                    match agg.buckets.iter_mut().find(|ab| ab.lo == b.lo) {
+                        Some(ab) => ab.count += b.count,
+                        None => agg.buckets.push(*b),
+                    }
+                }
+                agg.sum = agg.sum.saturating_add(h.sum);
+            }
+        }
+        let mut histograms: Vec<HistogramSnapshot> = hists
+            .into_values()
+            .map(|mut h| {
+                let sum = h.sum;
+                h.buckets.sort_by_key(|b| b.lo);
+                h.restat_from_buckets();
+                h.sum = sum;
+                // Tighten min/max to the actually observed extremes when
+                // any contributing scope recorded them.
+                let mins: Vec<u64> = self
+                    .scopes
+                    .iter()
+                    .filter_map(|s| s.snapshot.histogram(&h.name))
+                    .filter(|sh| sh.count > 0)
+                    .map(|sh| sh.min)
+                    .collect();
+                if let Some(&m) = mins.iter().min() {
+                    h.min = m;
+                }
+                if let Some(m) = self
+                    .scopes
+                    .iter()
+                    .filter_map(|s| s.snapshot.histogram(&h.name))
+                    .map(|sh| sh.max)
+                    .max()
+                {
+                    h.max = m;
+                }
+                h
+            })
+            .collect();
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        Snapshot {
+            counters: counters
+                .into_iter()
+                .map(|(name, value)| CounterSnapshot { name, value })
+                .collect(),
+            gauges: gauges
+                .into_iter()
+                .map(|(name, value)| GaugeSnapshot { name, value })
+                .collect(),
+            histograms,
+        }
+    }
+
+    /// Render all scopes as one Prometheus text page. Each metric family
+    /// gets a single `# TYPE` header, one labeled series per scope that
+    /// registered it, and one unlabeled series carrying the cross-scope
+    /// aggregate (which includes the default scope's unlabeled
+    /// contribution). A name registered with conflicting kinds across
+    /// scopes keeps the kind of the first scope that has it; conflicting
+    /// entries are skipped so the page stays well-formed.
+    pub fn to_prometheus(&self) -> String {
+        // name -> kind, first-scope-wins.
+        let mut kinds: BTreeMap<&str, FamilyKind> = BTreeMap::new();
+        for s in &self.scopes {
+            for c in &s.snapshot.counters {
+                kinds.entry(&c.name).or_insert(FamilyKind::Counter);
+            }
+            for g in &s.snapshot.gauges {
+                kinds.entry(&g.name).or_insert(FamilyKind::Gauge);
+            }
+            for h in &s.snapshot.histograms {
+                kinds.entry(&h.name).or_insert(FamilyKind::Histogram);
+            }
+        }
+        let agg = self.aggregate();
+        let mut out = String::new();
+        for (name, kind) in &kinds {
+            let labeled: Vec<(&ScopeSnapshot, String)> = self
+                .scopes
+                .iter()
+                .filter(|s| !s.labels.is_empty())
+                .map(|s| (s, render_labels(&s.labels)))
+                .collect();
+            match kind {
+                FamilyKind::Counter => {
+                    out.push_str(&format!("# TYPE {name} counter\n"));
+                    for (s, labels) in &labeled {
+                        if let Some(v) = s.snapshot.counter(name) {
+                            render_plain_series(&mut out, name, labels, format_args!("{v}"));
+                        }
+                    }
+                    if let Some(v) = agg.counter(name) {
+                        render_plain_series(&mut out, name, "", format_args!("{v}"));
+                    }
+                }
+                FamilyKind::Gauge => {
+                    out.push_str(&format!("# TYPE {name} gauge\n"));
+                    for (s, labels) in &labeled {
+                        if let Some(v) = s.snapshot.gauge(name) {
+                            render_plain_series(&mut out, name, labels, format_args!("{v}"));
+                        }
+                    }
+                    if let Some(v) = agg.gauge(name) {
+                        render_plain_series(&mut out, name, "", format_args!("{v}"));
+                    }
+                }
+                FamilyKind::Histogram => {
+                    out.push_str(&format!("# TYPE {name} histogram\n"));
+                    for (s, labels) in &labeled {
+                        if let Some(h) = s.snapshot.histogram(name) {
+                            render_histogram_series(&mut out, h, labels);
+                        }
+                    }
+                    if let Some(h) = agg.histogram(name) {
+                        render_histogram_series(&mut out, h, "");
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Serialize to JSON (round-trips through [`RollupSnapshot::from_json`]).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("rollup serialization cannot fail")
+    }
+
+    /// Parse a rollup back out of its JSON form.
+    pub fn from_json(s: &str) -> Result<RollupSnapshot, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+struct ScopeSetInner {
+    cap: usize,
+    default_scope: Scope,
+    scopes: RwLock<BTreeMap<String, Scope>>,
+    dropped: Counter,
+}
+
+/// The scopes of one process: get-or-create by label set, capped
+/// cardinality, one roll-up export. Cheap to clone (all clones share
+/// state).
+#[derive(Clone)]
+pub struct ScopeSet {
+    inner: Arc<ScopeSetInner>,
+}
+
+/// Name of the overflow counter bumped when the cardinality cap refuses
+/// a new scope. Registered in the default scope.
+pub const SCOPES_DROPPED_TOTAL: &str = "emd_obs_scopes_dropped_total";
+
+impl ScopeSet {
+    /// A scope set over a fresh private default registry, admitting at
+    /// most `cap` labeled scopes.
+    pub fn new(cap: usize) -> ScopeSet {
+        ScopeSet::with_default(
+            Scope {
+                labels: Arc::from(Vec::new().into_boxed_slice()),
+                registry: Arc::new(Registry::new()),
+            },
+            cap,
+        )
+    }
+
+    /// A scope set whose default scope is the process-global registry
+    /// ([`Scope::process`]): unscoped instrumentation shows up unlabeled
+    /// in the roll-up alongside the labeled streams.
+    pub fn process(cap: usize) -> ScopeSet {
+        ScopeSet::with_default(Scope::process(), cap)
+    }
+
+    /// A scope set around an explicit default scope. The default scope's
+    /// labels are ignored for export purposes (it renders unlabeled).
+    pub fn with_default(default_scope: Scope, cap: usize) -> ScopeSet {
+        let dropped = default_scope.counter(SCOPES_DROPPED_TOTAL);
+        ScopeSet {
+            inner: Arc::new(ScopeSetInner {
+                cap,
+                default_scope,
+                scopes: RwLock::new(BTreeMap::new()),
+                dropped,
+            }),
+        }
+    }
+
+    /// The default (unlabeled) scope.
+    pub fn default_scope(&self) -> Scope {
+        self.inner.default_scope.clone()
+    }
+
+    /// Get or create the scope with `labels`. Label order is
+    /// insensitive; the empty label set returns the default scope.
+    ///
+    /// When the set already holds `cap` labeled scopes and `labels` is
+    /// new, the call is **refused**: `emd_obs_scopes_dropped_total` is
+    /// bumped (when recording is enabled) and the default scope is
+    /// returned, so the caller's samples still land in the aggregate
+    /// instead of silently growing label cardinality.
+    ///
+    /// # Panics
+    /// On malformed label keys (see [`LabelPair`]).
+    pub fn scope(&self, labels: &[(&str, &str)]) -> Scope {
+        let sorted = sorted_labels(labels);
+        if sorted.is_empty() {
+            return self.default_scope();
+        }
+        let key = canonical_key(&sorted);
+        if let Some(s) = self.inner.scopes.read().unwrap().get(&key) {
+            return s.clone();
+        }
+        let mut map = self.inner.scopes.write().unwrap();
+        if let Some(s) = map.get(&key) {
+            return s.clone();
+        }
+        if map.len() >= self.inner.cap {
+            self.inner.dropped.inc();
+            return self.default_scope();
+        }
+        let scope = Scope {
+            labels: Arc::from(sorted.into_boxed_slice()),
+            registry: Arc::new(Registry::new()),
+        };
+        map.insert(key, scope.clone());
+        scope
+    }
+
+    /// Retire the scope with `labels`, freeing its cap slot and removing
+    /// its series from future roll-ups. Handles already handed out stay
+    /// live (they keep recording into the now-detached registry).
+    /// Returns whether a scope was removed.
+    pub fn drop_scope(&self, labels: &[(&str, &str)]) -> bool {
+        let key = canonical_key(&sorted_labels(labels));
+        self.inner.scopes.write().unwrap().remove(&key).is_some()
+    }
+
+    /// Number of labeled scopes currently managed.
+    pub fn len(&self) -> usize {
+        self.inner.scopes.read().unwrap().len()
+    }
+
+    /// Whether the set has no labeled scopes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Times the cardinality cap refused a scope since creation.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.get()
+    }
+
+    fn rollup_with(&self, snap: impl Fn(&Registry) -> Snapshot) -> RollupSnapshot {
+        let mut scopes = vec![ScopeSnapshot {
+            labels: Vec::new(),
+            snapshot: snap(self.inner.default_scope.registry()),
+        }];
+        for s in self.inner.scopes.read().unwrap().values() {
+            scopes.push(ScopeSnapshot {
+                labels: s.labels.to_vec(),
+                snapshot: snap(s.registry()),
+            });
+        }
+        RollupSnapshot { scopes }
+    }
+
+    /// Cumulative roll-up snapshot of every scope (default scope first).
+    pub fn snapshot(&self) -> RollupSnapshot {
+        self.rollup_with(Registry::snapshot)
+    }
+
+    /// Delta roll-up: [`Registry::snapshot_delta`] on every scope.
+    pub fn snapshot_delta(&self) -> RollupSnapshot {
+        self.rollup_with(Registry::snapshot_delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    #[test]
+    fn scopes_are_isolated_and_get_or_create() {
+        let _g = test_lock::enable();
+        let set = ScopeSet::new(8);
+        let a = set.scope(&[("stream", "a")]);
+        let b = set.scope(&[("stream", "b")]);
+        a.counter("x_total").add(3);
+        b.counter("x_total").add(5);
+        assert_eq!(set.scope(&[("stream", "a")]).counter("x_total").get(), 3);
+        assert_eq!(b.counter("x_total").get(), 5);
+        let roll = set.snapshot();
+        assert_eq!(
+            roll.scope(&[("stream", "a")]).unwrap().counter("x_total"),
+            Some(3)
+        );
+        assert_eq!(
+            roll.scope(&[("stream", "b")]).unwrap().counter("x_total"),
+            Some(5)
+        );
+        assert_eq!(roll.aggregate().counter("x_total"), Some(8));
+    }
+
+    #[test]
+    fn cap_overflow_falls_back_to_default_and_counts() {
+        let _g = test_lock::enable();
+        let set = ScopeSet::new(2);
+        set.scope(&[("stream", "a")]);
+        set.scope(&[("stream", "b")]);
+        let c = set.scope(&[("stream", "c")]);
+        assert!(
+            c.labels().is_empty(),
+            "overflow hands back the default scope"
+        );
+        assert_eq!(set.dropped(), 1);
+        assert_eq!(set.len(), 2);
+        // Existing scopes are still retrievable past the cap.
+        assert_eq!(set.scope(&[("stream", "a")]).labels().len(), 1);
+        assert_eq!(set.dropped(), 1);
+        // Dropping one frees a slot.
+        assert!(set.drop_scope(&[("stream", "a")]));
+        let d = set.scope(&[("stream", "d")]);
+        assert_eq!(d.labels().len(), 1);
+        assert_eq!(
+            set.default_scope().counter(SCOPES_DROPPED_TOTAL).get(),
+            1,
+            "overflow counter is a real default-scope metric"
+        );
+    }
+
+    #[test]
+    fn rollup_prometheus_emits_labeled_and_aggregate_series() {
+        let _g = test_lock::enable();
+        let set = ScopeSet::new(8);
+        set.default_scope().counter("hits_total").add(1);
+        set.scope(&[("stream", "a")]).counter("hits_total").add(2);
+        set.scope(&[("stream", "b")]).counter("hits_total").add(4);
+        let page = set.snapshot().to_prometheus();
+        assert_eq!(page.matches("# TYPE hits_total counter").count(), 1);
+        assert!(page.contains("hits_total{stream=\"a\"} 2\n"));
+        assert!(page.contains("hits_total{stream=\"b\"} 4\n"));
+        assert!(
+            page.contains("\nhits_total 7\n"),
+            "aggregate includes default:\n{page}"
+        );
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let _g = test_lock::enable();
+        let set = ScopeSet::new(4);
+        set.scope(&[("stream", "a\"b\\c\nd")])
+            .counter("x_total")
+            .inc();
+        let page = set.snapshot().to_prometheus();
+        assert!(
+            page.contains("x_total{stream=\"a\\\"b\\\\c\\nd\"} 1\n"),
+            "{page}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid scope label key")]
+    fn le_is_a_reserved_label_key() {
+        ScopeSet::new(4).scope(&[("le", "oops")]);
+    }
+
+    #[test]
+    fn rollup_json_round_trips() {
+        let _g = test_lock::enable();
+        let set = ScopeSet::new(4);
+        set.scope(&[("stream", "a")]).histogram("h_ns").record(100);
+        let roll = set.snapshot();
+        let back = RollupSnapshot::from_json(&roll.to_json()).unwrap();
+        assert_eq!(roll, back);
+    }
+}

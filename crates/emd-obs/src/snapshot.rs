@@ -1,5 +1,21 @@
 //! Point-in-time snapshots of a registry and the two exporters:
 //! Prometheus text exposition format and JSON (via the serde shim).
+//!
+//! ## Cumulative vs delta
+//!
+//! [`crate::Registry::snapshot`] is **cumulative**: counters and
+//! histograms accumulate from process start (or the last explicit
+//! `reset`), which is the Prometheus-native contract — the scraper
+//! computes rates with `rate()`. [`crate::Registry::snapshot_delta`] is
+//! **reset-on-scrape**: each call returns only what happened since the
+//! previous `snapshot_delta` call on the same registry, so
+//! scrape-interval rates are direct reads with no client-side
+//! subtraction. Delta quantiles and min/max are re-estimated from the
+//! delta buckets, so they describe the interval (with the usual ≤ 25%
+//! bucket-width error, min/max widened to bucket bounds); gauges are
+//! instantaneous and always pass through unchanged. Exemplars are
+//! last-writer-wins per bucket and a delta keeps only exemplars whose
+//! bucket saw traffic in the interval.
 
 use serde::{Deserialize, Serialize};
 
@@ -32,6 +48,20 @@ pub struct BucketSnapshot {
     pub count: u64,
 }
 
+/// An exemplar: one concrete observation from a histogram bucket, tagged
+/// with the trace sequence number current when it was recorded, so a
+/// latency bucket links back to the `emd-trace` events of the span that
+/// produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExemplarSnapshot {
+    /// Inclusive lower bound of the bucket this exemplar belongs to.
+    pub lo: u64,
+    /// The observed value.
+    pub value: u64,
+    /// Trace sequence number captured at observation time.
+    pub trace_seq: u64,
+}
+
 /// One histogram's state at snapshot time.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HistogramSnapshot {
@@ -53,6 +83,82 @@ pub struct HistogramSnapshot {
     pub p99: f64,
     /// Non-empty buckets in ascending order.
     pub buckets: Vec<BucketSnapshot>,
+    /// Per-bucket exemplars (at most one per bucket), ascending by `lo`.
+    pub exemplars: Vec<ExemplarSnapshot>,
+}
+
+/// Estimate the `q`-quantile from a list of non-empty buckets totalling
+/// `count` samples, with the same rank-interpolation rule as
+/// [`crate::Histogram::quantile`], clamped to `[min, max]`.
+pub(crate) fn quantile_from_buckets(
+    buckets: &[BucketSnapshot],
+    count: u64,
+    min: u64,
+    max: u64,
+    q: f64,
+) -> f64 {
+    if count == 0 {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut cum = 0u64;
+    let mut est = max as f64;
+    for b in buckets {
+        if cum + b.count >= target {
+            let lo = b.lo as f64;
+            let hi = b.hi as f64;
+            let within = (target - cum) as f64 - 0.5;
+            est = lo + (hi - lo) * (within / b.count as f64);
+            break;
+        }
+        cum += b.count;
+    }
+    est.clamp(min as f64, max as f64)
+}
+
+impl HistogramSnapshot {
+    /// An empty histogram snapshot under `name`.
+    pub(crate) fn empty(name: &str) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: name.to_string(),
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            p50: 0.0,
+            p90: 0.0,
+            p99: 0.0,
+            buckets: Vec::new(),
+            exemplars: Vec::new(),
+        }
+    }
+
+    /// Rebuild aggregate stats (count, sum handled by caller) after the
+    /// bucket list changed: min/max are widened to the bounds of the
+    /// first/last non-empty bucket and quantiles re-estimated.
+    pub(crate) fn restat_from_buckets(&mut self) {
+        self.count = self.buckets.iter().map(|b| b.count).sum();
+        if self.count == 0 {
+            self.min = 0;
+            self.max = 0;
+            self.sum = 0;
+            self.p50 = 0.0;
+            self.p90 = 0.0;
+            self.p99 = 0.0;
+            self.exemplars.clear();
+            return;
+        }
+        self.min = self.buckets.first().map(|b| b.lo).unwrap_or(0);
+        self.max = self
+            .buckets
+            .last()
+            .map(|b| if b.hi == u64::MAX { b.hi } else { b.hi - 1 })
+            .unwrap_or(0);
+        self.p50 = quantile_from_buckets(&self.buckets, self.count, self.min, self.max, 0.50);
+        self.p90 = quantile_from_buckets(&self.buckets, self.count, self.min, self.max, 0.90);
+        self.p99 = quantile_from_buckets(&self.buckets, self.count, self.min, self.max, 0.99);
+    }
 }
 
 /// A consistent-enough point-in-time view of a whole [`crate::Registry`]
@@ -66,6 +172,53 @@ pub struct Snapshot {
     pub gauges: Vec<GaugeSnapshot>,
     /// All histograms, sorted by name.
     pub histograms: Vec<HistogramSnapshot>,
+}
+
+/// Append one histogram series (cumulative `_bucket` lines with
+/// exemplars, `_sum`, `_count`) to `out`. `labels` is a pre-rendered
+/// `key="value"[,...]` string, or empty for an unlabeled series.
+pub(crate) fn render_histogram_series(out: &mut String, h: &HistogramSnapshot, labels: &str) {
+    let sep = if labels.is_empty() { "" } else { "," };
+    let mut cum = 0u64;
+    for b in &h.buckets {
+        cum += b.count;
+        out.push_str(&format!(
+            "{}_bucket{{{labels}{sep}le=\"{}\"}} {}",
+            h.name, b.hi, cum
+        ));
+        if let Some(ex) = h.exemplars.iter().find(|e| e.lo == b.lo) {
+            out.push_str(&format!(
+                " # {{trace_seq=\"{}\"}} {}",
+                ex.trace_seq, ex.value
+            ));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{}_bucket{{{labels}{sep}le=\"+Inf\"}} {}\n",
+        h.name, h.count
+    ));
+    if labels.is_empty() {
+        out.push_str(&format!("{}_sum {}\n", h.name, h.sum));
+        out.push_str(&format!("{}_count {}\n", h.name, h.count));
+    } else {
+        out.push_str(&format!("{}_sum{{{labels}}} {}\n", h.name, h.sum));
+        out.push_str(&format!("{}_count{{{labels}}} {}\n", h.name, h.count));
+    }
+}
+
+/// Append one plain (counter/gauge) sample line to `out`.
+pub(crate) fn render_plain_series(
+    out: &mut String,
+    name: &str,
+    labels: &str,
+    value: std::fmt::Arguments<'_>,
+) {
+    if labels.is_empty() {
+        out.push_str(&format!("{name} {value}\n"));
+    } else {
+        out.push_str(&format!("{name}{{{labels}}} {value}\n"));
+    }
 }
 
 impl Snapshot {
@@ -90,27 +243,22 @@ impl Snapshot {
     /// Render in Prometheus text exposition format. Histograms emit
     /// cumulative `_bucket{le="…"}` series (one per non-empty bucket,
     /// keyed by its exclusive upper bound, plus `+Inf`), `_sum`, and
-    /// `_count`; counters and gauges emit plain samples.
+    /// `_count`, with OpenMetrics-style `# {trace_seq="…"} value`
+    /// exemplars on buckets that have one; counters and gauges emit
+    /// plain samples.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
         for c in &self.counters {
             out.push_str(&format!("# TYPE {} counter\n", c.name));
-            out.push_str(&format!("{} {}\n", c.name, c.value));
+            render_plain_series(&mut out, &c.name, "", format_args!("{}", c.value));
         }
         for g in &self.gauges {
             out.push_str(&format!("# TYPE {} gauge\n", g.name));
-            out.push_str(&format!("{} {}\n", g.name, g.value));
+            render_plain_series(&mut out, &g.name, "", format_args!("{}", g.value));
         }
         for h in &self.histograms {
             out.push_str(&format!("# TYPE {} histogram\n", h.name));
-            let mut cum = 0u64;
-            for b in &h.buckets {
-                cum += b.count;
-                out.push_str(&format!("{}_bucket{{le=\"{}\"}} {}\n", h.name, b.hi, cum));
-            }
-            out.push_str(&format!("{}_bucket{{le=\"+Inf\"}} {}\n", h.name, h.count));
-            out.push_str(&format!("{}_sum {}\n", h.name, h.sum));
-            out.push_str(&format!("{}_count {}\n", h.name, h.count));
+            render_histogram_series(&mut out, h, "");
         }
         out
     }
@@ -124,5 +272,57 @@ impl Snapshot {
     /// Parse a snapshot back out of its JSON form.
     pub fn from_json(s: &str) -> Result<Snapshot, serde_json::Error> {
         serde_json::from_str(s)
+    }
+
+    /// The change since `base`: counters and histogram buckets subtract
+    /// (saturating, so a reset between snapshots degrades to "everything
+    /// since the reset" rather than wrapping); gauges pass through as
+    /// instantaneous values. Delta histogram quantiles and min/max are
+    /// re-estimated from the delta buckets, and only exemplars whose
+    /// bucket saw traffic in the interval are kept. Metrics absent from
+    /// `base` are treated as starting at zero.
+    pub fn delta_since(&self, base: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|c| CounterSnapshot {
+                name: c.name.clone(),
+                value: c.value.saturating_sub(base.counter(&c.name).unwrap_or(0)),
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|h| {
+                let prev = base.histogram(&h.name);
+                let mut d = HistogramSnapshot::empty(&h.name);
+                d.buckets = h
+                    .buckets
+                    .iter()
+                    .filter_map(|b| {
+                        let before = prev
+                            .and_then(|p| p.buckets.iter().find(|pb| pb.lo == b.lo))
+                            .map(|pb| pb.count)
+                            .unwrap_or(0);
+                        let count = b.count.saturating_sub(before);
+                        (count > 0).then_some(BucketSnapshot { count, ..*b })
+                    })
+                    .collect();
+                d.restat_from_buckets();
+                d.sum = h.sum.saturating_sub(prev.map(|p| p.sum).unwrap_or(0));
+                d.exemplars = h
+                    .exemplars
+                    .iter()
+                    .filter(|e| d.buckets.iter().any(|b| b.lo == e.lo))
+                    .copied()
+                    .collect();
+                d
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms,
+        }
     }
 }

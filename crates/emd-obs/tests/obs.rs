@@ -6,7 +6,7 @@
 //! This binary runs as its own process, so it owns the process-wide
 //! enabled flag; tests that need recording serialize on a local lock.
 
-use emd_obs::{Histogram, Registry, Snapshot, Timer};
+use emd_obs::{promcheck, Histogram, Registry, ScopeSet, Snapshot, Timer};
 use rand::{Rng, SeedableRng};
 use std::sync::Mutex;
 
@@ -315,6 +315,143 @@ fn histogram_snapshots_stay_coherent_under_a_concurrent_writer() {
         assert_eq!(hs.count, N);
         let bucket_total: u64 = hs.buckets.iter().map(|b| b.count).sum();
         assert_eq!(bucket_total, N, "every sample lands in a bucket");
+    });
+}
+
+#[test]
+fn exemplars_round_trip_through_both_exporters() {
+    with_recording(|| {
+        let reg = Registry::new();
+        let h = reg.histogram("emd_phase_ns");
+        // Three samples in three different buckets, two carrying trace
+        // seqs; the untagged bucket must stay exemplar-free.
+        h.record_with_exemplar(100, Some(7));
+        h.record_with_exemplar(100_000, Some(42));
+        h.record(10_000_000);
+        let snap = reg.snapshot();
+        let hs = snap.histogram("emd_phase_ns").unwrap();
+        let seqs: Vec<u64> = hs.exemplars.iter().map(|x| x.trace_seq).collect();
+        assert_eq!(seqs, vec![7, 42], "one exemplar per tagged bucket");
+        assert!(hs
+            .exemplars
+            .iter()
+            .all(|x| x.value == 100 || x.value == 100_000));
+
+        // JSON keeps them losslessly.
+        let back = Snapshot::from_json(&snap.to_json()).expect("exemplars deserialize");
+        assert_eq!(back, snap);
+        assert_eq!(back.histogram("emd_phase_ns").unwrap().exemplars.len(), 2);
+
+        // The Prometheus view carries OpenMetrics exemplar tails on
+        // exactly the tagged bucket lines, and validates.
+        let text = snap.to_prometheus();
+        assert!(text.contains("# {trace_seq=\"7\"} 100"), "page:\n{text}");
+        assert!(text.contains("# {trace_seq=\"42\"} 100000"));
+        let stats = promcheck::validate(&text).expect("exemplar page validates");
+        assert_eq!(stats.exemplars, 2);
+
+        // Delta scrape: only buckets with interval traffic keep theirs.
+        let _ = reg.snapshot_delta();
+        h.record_with_exemplar(120, Some(99));
+        let delta = reg.snapshot_delta();
+        let dh = delta.histogram("emd_phase_ns").unwrap();
+        assert_eq!(dh.count, 1, "delta covers only the interval");
+        let dseqs: Vec<u64> = dh.exemplars.iter().map(|x| x.trace_seq).collect();
+        assert_eq!(dseqs, vec![99], "stale exemplars drop out of the delta");
+    });
+}
+
+#[test]
+fn scope_create_drop_observe_race_stays_coherent() {
+    with_recording(|| {
+        // Writers create scopes, hammer them, and periodically retire
+        // them while the main thread concurrently renders + validates
+        // roll-up pages — the shape of N supervised streams churning
+        // under a live scrape endpoint.
+        const THREADS: usize = 6;
+        const ITERS: usize = 400;
+        let set = ScopeSet::new(8);
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let set = set.clone();
+                s.spawn(move || {
+                    let name = format!("s{}", t % 4);
+                    for i in 0..ITERS {
+                        let scope = set.scope(&[("stream", &name)]);
+                        scope.counter("emd_stress_ops_total").inc();
+                        scope
+                            .histogram("emd_stress_ns")
+                            .record_with_exemplar((i as u64 + 1) * 17, Some(i as u64));
+                        scope.gauge("emd_stress_depth").set(i as f64);
+                        if i % 97 == 96 {
+                            set.drop_scope(&[("stream", &name)]);
+                        }
+                    }
+                });
+            }
+            for _ in 0..50 {
+                let roll = set.snapshot();
+                let page = roll.to_prometheus();
+                if let Err(violations) = promcheck::validate(&page) {
+                    panic!("mid-churn page invalid: {violations:?}\n{page}");
+                }
+                // The aggregate never sees more ops than were recorded.
+                let total = roll
+                    .aggregate()
+                    .counter("emd_stress_ops_total")
+                    .unwrap_or(0);
+                assert!(total <= (THREADS * ITERS) as u64);
+            }
+        });
+        // Quiesced: structural invariants hold and the page validates.
+        assert!(set.len() <= 4, "at most one live scope per label value");
+        let page = set.snapshot().to_prometheus();
+        promcheck::validate(&page).expect("final page validates");
+    });
+}
+
+#[test]
+fn cardinality_cap_overflow_lands_in_the_aggregate() {
+    with_recording(|| {
+        let set = ScopeSet::new(2);
+        set.scope(&[("stream", "a")])
+            .counter("emd_cap_ops_total")
+            .add(3);
+        set.scope(&[("stream", "b")])
+            .counter("emd_cap_ops_total")
+            .add(4);
+        // Third distinct label set: refused, counted, and routed to the
+        // default scope so its samples still reach the aggregate.
+        let spill = set.scope(&[("stream", "c")]);
+        assert!(
+            spill.labels().is_empty(),
+            "overflow returns the default scope"
+        );
+        spill.counter("emd_cap_ops_total").add(10);
+        let _ = set.scope(&[("stream", "d")]); // second refusal
+        assert_eq!(set.dropped(), 2);
+        assert_eq!(set.len(), 2);
+
+        let roll = set.snapshot();
+        assert_eq!(
+            roll.scope(&[("stream", "c")]).map(|_| ()),
+            None,
+            "no labeled series for the refused scope"
+        );
+        assert_eq!(roll.aggregate().counter("emd_cap_ops_total"), Some(17));
+        let page = roll.to_prometheus();
+        assert!(page.contains(&format!("{} 2", emd_obs::SCOPES_DROPPED_TOTAL)));
+        let stats = promcheck::validate(&page).expect("overflow page validates");
+        assert!(stats.series >= 4);
+
+        // Retiring a scope frees its cap slot for a new stream.
+        assert!(set.drop_scope(&[("stream", "a")]));
+        let fresh = set.scope(&[("stream", "c")]);
+        assert_eq!(
+            fresh.labels().len(),
+            1,
+            "freed slot admits the previously refused labels"
+        );
     });
 }
 

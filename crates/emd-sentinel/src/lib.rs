@@ -22,6 +22,11 @@
 //!   drift rules reduce to a per-batch severity that drives a
 //!   Healthy → Degraded → Critical machine with hysteresis and flap
 //!   suppression.
+//! * **SLO burn-rate engine** ([`slo`]) — declarative objectives ("p99
+//!   batch latency < X", "quarantine ratio < Y") evaluated as
+//!   multi-window burn rates (fast 5-batch confirmation / slow 60-batch
+//!   significance) that press the health machine and surface as
+//!   [`SloBurn`] events the pipeline mirrors into the trace.
 //!
 //! The [`Sentinel`] owns all three. It is deliberately *passive*: it
 //! never touches pipeline state, so monitored and unmonitored runs are
@@ -34,12 +39,16 @@
 pub mod detect;
 pub mod health;
 pub mod series;
+pub mod slo;
 pub mod window;
 
 pub use detect::{Adwin, AdwinConfig, Detection, PageHinkley, PhConfig, PhDirection};
 pub use health::{Condition, HealthMachine, HealthPolicy, HealthState, Rule, Severity, Transition};
 pub use series::SeriesId;
+pub use slo::{SloObjective, SloSpec, SloStatus};
 pub use window::{Ewma, SeriesWindow};
+
+use slo::SloTracker;
 
 use serde::{Deserialize, Serialize};
 
@@ -151,6 +160,10 @@ pub struct SentinelConfig {
     pub detectors: Vec<DetectorSpec>,
     /// Health rules + hysteresis knobs.
     pub policy: HealthPolicy,
+    /// Declarative SLOs evaluated as multi-window burn rates (see
+    /// [`slo`]). Firing SLOs press their severity into the health
+    /// machine alongside the rules.
+    pub slos: Vec<SloSpec>,
 }
 
 impl Default for SentinelConfig {
@@ -182,6 +195,7 @@ impl Default for SentinelConfig {
                 ],
                 ..HealthPolicy::default()
             },
+            slos: Vec::new(),
         }
     }
 }
@@ -195,6 +209,8 @@ pub enum AlertKind {
     Above,
     /// A threshold rule's windowed mean fell below its limit.
     Below,
+    /// An SLO's fast and slow burn rates both crossed the threshold.
+    SloBurn,
 }
 
 /// One alert raised by the sentinel. Drift alerts fire on every
@@ -218,13 +234,34 @@ pub struct Alert {
     pub detail: String,
 }
 
+/// One batch of a firing SLO: both burn rates are at or above the
+/// spec's threshold. Emitted for *every* firing batch (not just the
+/// rising edge) so the trace mirror reconstructs the full burn interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloBurn {
+    /// Batch sequence number.
+    pub batch: u64,
+    /// The SLO's name.
+    pub name: String,
+    /// Burn rate over the fast window.
+    pub burn_fast: f64,
+    /// Burn rate over the slow window.
+    pub burn_slow: f64,
+    /// The threshold both rates crossed.
+    pub threshold: f64,
+    /// Severity pressed into the health machine.
+    pub severity: Severity,
+}
+
 /// What one [`Sentinel::observe`] call produced.
 #[derive(Debug, Clone, Default)]
 pub struct Observed {
-    /// Alerts raised this batch (drift + threshold rising edges).
+    /// Alerts raised this batch (drift + threshold/SLO rising edges).
     pub alerts: Vec<Alert>,
     /// Health transition taken this batch, if any.
     pub transition: Option<Transition>,
+    /// SLOs firing this batch (one entry per firing SLO, every batch).
+    pub slo_burns: Vec<SloBurn>,
 }
 
 /// End-of-run health summary (surfaced on `RunReport::health`).
@@ -238,6 +275,8 @@ pub struct HealthReport {
     pub alerts_total: u64,
     /// Total drift detections.
     pub drift_total: u64,
+    /// Total firing SLO batch-events (see [`SloBurn`]).
+    pub slo_burn_total: u64,
     /// Every state change, in order.
     pub transitions: Vec<Transition>,
 }
@@ -273,9 +312,12 @@ pub struct Sentinel {
     /// Remaining "pressed" batches per series after a drift detection.
     drift_pressed: Vec<u32>,
     machine: HealthMachine,
+    slo_trackers: Vec<SloTracker>,
+    slo_burned: Vec<bool>,
     batches: u64,
     alerts_total: u64,
     drift_total: u64,
+    slo_burn_total: u64,
     transitions: Vec<Transition>,
 }
 
@@ -310,9 +352,12 @@ impl Sentinel {
             rule_violated: vec![false; cfg.policy.rules.len()],
             machine: HealthMachine::new(&cfg.policy),
             rules: cfg.policy.rules.clone(),
+            slo_burned: vec![false; cfg.slos.len()],
+            slo_trackers: cfg.slos.into_iter().map(SloTracker::new).collect(),
             batches: 0,
             alerts_total: 0,
             drift_total: 0,
+            slo_burn_total: 0,
             transitions: Vec::new(),
         }
     }
@@ -409,6 +454,51 @@ impl Sentinel {
             }
         }
 
+        // SLO burn rates: a firing SLO presses its severity exactly like
+        // a violated rule, reports one SloBurn per firing batch, and
+        // raises a rising-edge alert.
+        let mut slo_burns: Vec<SloBurn> = Vec::new();
+        for (si, tracker) in self.slo_trackers.iter_mut().enumerate() {
+            let status = tracker.observe(obs, &samples);
+            if status.firing {
+                let spec = &tracker.spec;
+                if target.is_none_or(|t| spec.severity > t) {
+                    target = Some(spec.severity);
+                    reason = format!("slo:{}", spec.name);
+                }
+                slo_burns.push(SloBurn {
+                    batch: obs.batch,
+                    name: spec.name.clone(),
+                    burn_fast: status.burn_fast,
+                    burn_slow: status.burn_slow,
+                    threshold: spec.burn_threshold,
+                    severity: spec.severity,
+                });
+                if !self.slo_burned[si] {
+                    alerts.push(Alert {
+                        batch: obs.batch,
+                        series: spec.series(),
+                        severity: spec.severity,
+                        kind: AlertKind::SloBurn,
+                        value: status.burn_fast,
+                        threshold: spec.burn_threshold,
+                        detail: format!(
+                            "slo {}: fast burn {:.1}x / slow burn {:.1}x >= {:.1}x of budget {:.4}",
+                            spec.name,
+                            status.burn_fast,
+                            status.burn_slow,
+                            spec.burn_threshold,
+                            spec.budget
+                        ),
+                    });
+                }
+                self.slo_burned[si] = true;
+            } else {
+                self.slo_burned[si] = false;
+            }
+        }
+        self.slo_burn_total += slo_burns.len() as u64;
+
         // Every drift detection is an alert, whether or not a rule
         // routes it into the health machine.
         for (series, d) in &detections {
@@ -441,7 +531,11 @@ impl Sentinel {
         if let Some(t) = &transition {
             self.transitions.push(t.clone());
         }
-        Observed { alerts, transition }
+        Observed {
+            alerts,
+            transition,
+            slo_burns,
+        }
     }
 
     /// Current health state.
@@ -456,8 +550,14 @@ impl Sentinel {
             batches: self.batches,
             alerts_total: self.alerts_total,
             drift_total: self.drift_total,
+            slo_burn_total: self.slo_burn_total,
             transitions: self.transitions.clone(),
         }
+    }
+
+    /// Live burn-rate status of every configured SLO, in config order.
+    pub fn slo_status(&self) -> Vec<SloStatus> {
+        self.slo_trackers.iter().map(|t| t.status()).collect()
     }
 
     /// The sliding window behind one series (for tests and dashboards).
@@ -498,10 +598,28 @@ impl Sentinel {
             name: "emd_sentinel_transitions_total".into(),
             value: self.transitions.len() as u64,
         });
+        snap.counters.push(emd_obs::CounterSnapshot {
+            name: "emd_sentinel_slo_burn_total".into(),
+            value: self.slo_burn_total,
+        });
         snap.gauges.push(emd_obs::GaugeSnapshot {
             name: "emd_sentinel_health".into(),
             value: self.machine.state().level() as f64,
         });
+        for t in &self.slo_trackers {
+            let s = t.status();
+            let base = format!("emd_sentinel_slo_{}", s.name);
+            for (suffix, value) in [
+                ("burn_fast", s.burn_fast),
+                ("burn_slow", s.burn_slow),
+                ("firing", if s.firing { 1.0 } else { 0.0 }),
+            ] {
+                snap.gauges.push(emd_obs::GaugeSnapshot {
+                    name: format!("{base}_{suffix}"),
+                    value,
+                });
+            }
+        }
         for (i, series) in SeriesId::ALL.iter().enumerate() {
             let w = &self.windows[i];
             if w.is_empty() {
@@ -533,6 +651,7 @@ fn kind_name(kind: AlertKind) -> &'static str {
         AlertKind::Drift => "drift",
         AlertKind::Above => "above",
         AlertKind::Below => "below",
+        AlertKind::SloBurn => "slo_burn",
     }
 }
 
@@ -658,6 +777,57 @@ mod tests {
         let mut sorted = names.clone();
         sorted.sort();
         assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn slo_burn_presses_health_and_reports_every_firing_batch() {
+        let mut s = Sentinel::new(SentinelConfig {
+            detectors: Vec::new(),
+            slos: vec![slo::SloSpec::p99_latency_below("batch_latency", 1_000_000)],
+            policy: HealthPolicy {
+                rules: Vec::new(),
+                trip_after: 2,
+                clear_after: 8,
+                min_dwell: 0,
+            },
+            ..SentinelConfig::default()
+        });
+        let mut o = obs(0, 50, 20, 10.0);
+        for b in 1..=30 {
+            o.batch = b;
+            o.latency_ns = 100_000;
+            let got = s.observe(&o);
+            assert!(got.slo_burns.is_empty(), "batch {b}");
+        }
+        let mut slo_alerts = 0;
+        let mut burn_batches = 0;
+        for b in 31..=60 {
+            o.batch = b;
+            o.latency_ns = 50_000_000;
+            let got = s.observe(&o);
+            burn_batches += got.slo_burns.len();
+            slo_alerts += got
+                .alerts
+                .iter()
+                .filter(|a| a.kind == AlertKind::SloBurn)
+                .count();
+        }
+        assert_eq!(slo_alerts, 1, "sustained burn is one rising-edge alert");
+        assert!(
+            burn_batches >= 20,
+            "every firing batch reports: {burn_batches}"
+        );
+        assert_eq!(s.health(), HealthState::Critical, "slo pressed the machine");
+        assert_eq!(s.report().slo_burn_total, burn_batches as u64);
+        let snap = s.snapshot();
+        assert_eq!(
+            snap.counter("emd_sentinel_slo_burn_total"),
+            Some(burn_batches as u64)
+        );
+        assert_eq!(
+            snap.gauge("emd_sentinel_slo_batch_latency_firing"),
+            Some(1.0)
+        );
     }
 
     #[test]

@@ -1,0 +1,340 @@
+//! Declarative SLOs evaluated as multi-window burn rates.
+//!
+//! An [`SloSpec`] states an objective over a stream — "p99 batch latency
+//! stays under X" or "the quarantine ratio stays under Y" — as a
+//! per-batch **bad fraction** in `[0, 1]` and an **error budget**: the
+//! objective holds over a window iff `mean(bad) ≤ budget`. The **burn
+//! rate** of a window is `mean(bad) / budget` — 1.0 means the stream is
+//! spending its budget exactly as fast as the objective allows, 14 means
+//! the budget for a month evaporates in two days.
+//!
+//! Following the SRE multi-window pattern, each SLO watches two windows
+//! at once: a **slow** window (default 60 batches) that gives the signal
+//! statistical weight, and a **fast** window (default 5 batches) that
+//! confirms the problem is *still happening* so an alert never fires on
+//! a long-resolved spike. The SLO **fires** on a batch iff *both* burn
+//! rates are at or above [`SloSpec::burn_threshold`]. While firing, the
+//! sentinel presses the spec's severity into the health machine
+//! (alongside the threshold/drift rules) and reports an
+//! [`SloBurn`](crate::SloBurn) that the pipeline mirrors as a
+//! `TraceEventKind::SloBurn` event — so the full burn interval is
+//! replayable from the trace alone.
+//!
+//! Windows that are not yet full evaluate over the samples they have:
+//! a fresh stream with 10 batches of history can already burn — it
+//! cannot hide behind an empty denominator.
+
+use crate::health::Severity;
+use crate::series::SeriesId;
+use crate::BatchObservation;
+use std::collections::VecDeque;
+
+/// What an SLO measures per batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SloObjective {
+    /// Bad fraction is the indicator `batch latency > max_ns`; with
+    /// budget `1 - q` this encodes "the q-quantile of batch latency
+    /// stays under `max_ns`" (e.g. budget 0.01 ⇒ p99).
+    LatencyBelow {
+        /// Latency objective in nanoseconds.
+        max_ns: u64,
+    },
+    /// Bad fraction is the batch's value of a ratio-valued series (e.g.
+    /// [`SeriesId::QuarantineRate`]); the budget is the ratio limit
+    /// itself, so burn 1.0 sits exactly at the objective.
+    RatioBelow {
+        /// The ratio series consumed as budget spend.
+        series: SeriesId,
+    },
+}
+
+/// One declarative objective plus its burn-rate alerting knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// Stable lowercase identifier (`[a-z0-9_]+`), used in metric names
+    /// and trace events.
+    pub name: String,
+    /// What to measure.
+    pub objective: SloObjective,
+    /// Error budget: the bad fraction the objective tolerates.
+    pub budget: f64,
+    /// Fast confirmation window, in batches.
+    pub fast_window: usize,
+    /// Slow significance window, in batches.
+    pub slow_window: usize,
+    /// Both windows must burn at ≥ this multiple of budget to fire.
+    pub burn_threshold: f64,
+    /// Severity pressed into the health machine while firing.
+    pub severity: Severity,
+}
+
+impl SloSpec {
+    /// "p99 batch latency < `max_ns`": budget 1%, page-style burn
+    /// threshold 14 (the classic 5m/1h fast-burn pairing scaled to
+    /// batches: 5-batch fast / 60-batch slow).
+    pub fn p99_latency_below(name: &str, max_ns: u64) -> SloSpec {
+        SloSpec {
+            name: name.to_string(),
+            objective: SloObjective::LatencyBelow { max_ns },
+            budget: 0.01,
+            fast_window: 5,
+            slow_window: 60,
+            burn_threshold: 14.0,
+            severity: Severity::Critical,
+        }
+    }
+
+    /// "`series` stays under `limit`" (e.g. quarantine ratio < 5%):
+    /// budget is the limit itself, burn threshold 2 — sustained
+    /// operation at twice the objective fires, hovering just under the
+    /// limit does not.
+    pub fn ratio_below(name: &str, series: SeriesId, limit: f64) -> SloSpec {
+        SloSpec {
+            name: name.to_string(),
+            objective: SloObjective::RatioBelow { series },
+            budget: limit,
+            fast_window: 5,
+            slow_window: 60,
+            burn_threshold: 2.0,
+            severity: Severity::Degraded,
+        }
+    }
+
+    /// Override the fast/slow windows.
+    pub fn windows(mut self, fast: usize, slow: usize) -> SloSpec {
+        self.fast_window = fast.max(1);
+        self.slow_window = slow.max(self.fast_window);
+        self
+    }
+
+    /// Override the burn threshold.
+    pub fn burn_threshold(mut self, t: f64) -> SloSpec {
+        self.burn_threshold = t;
+        self
+    }
+
+    /// Override the severity pressed while firing.
+    pub fn severity(mut self, s: Severity) -> SloSpec {
+        self.severity = s;
+        self
+    }
+
+    /// The series this SLO is about (for alert routing).
+    pub fn series(&self) -> SeriesId {
+        match self.objective {
+            SloObjective::LatencyBelow { .. } => SeriesId::BatchLatencyNs,
+            SloObjective::RatioBelow { series } => series,
+        }
+    }
+
+    fn assert_valid(&self) {
+        assert!(
+            !self.name.is_empty()
+                && self
+                    .name
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+            "SLO name {:?} must be a lowercase [a-z0-9_]+ identifier",
+            self.name
+        );
+        assert!(
+            self.budget > 0.0 && self.budget.is_finite(),
+            "SLO {:?}: budget must be a positive finite fraction",
+            self.name
+        );
+        assert!(
+            self.burn_threshold > 0.0,
+            "SLO {:?}: burn threshold must be positive",
+            self.name
+        );
+    }
+}
+
+/// Live burn-rate state of one SLO (see [`crate::Sentinel::slo_status`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloStatus {
+    /// The spec's name.
+    pub name: String,
+    /// Burn rate over the fast window (0 before any sample).
+    pub burn_fast: f64,
+    /// Burn rate over the slow window (0 before any sample).
+    pub burn_slow: f64,
+    /// Whether both windows currently burn at ≥ the threshold.
+    pub firing: bool,
+}
+
+/// Per-spec rolling windows of bad fractions.
+#[derive(Debug, Clone)]
+pub(crate) struct SloTracker {
+    pub(crate) spec: SloSpec,
+    window: VecDeque<f64>,
+    burn_fast: f64,
+    burn_slow: f64,
+    firing: bool,
+}
+
+impl SloTracker {
+    pub(crate) fn new(spec: SloSpec) -> SloTracker {
+        spec.assert_valid();
+        SloTracker {
+            window: VecDeque::with_capacity(spec.slow_window),
+            spec,
+            burn_fast: 0.0,
+            burn_slow: 0.0,
+            firing: false,
+        }
+    }
+
+    /// The bad fraction this batch contributes, or `None` when the
+    /// objective's input is absent (no sentences ⇒ no ratio samples).
+    fn bad(&self, obs: &BatchObservation, samples: &[(SeriesId, f64)]) -> Option<f64> {
+        match self.spec.objective {
+            SloObjective::LatencyBelow { max_ns } => {
+                (obs.sentences > 0).then_some(if obs.latency_ns > max_ns { 1.0 } else { 0.0 })
+            }
+            SloObjective::RatioBelow { series } => samples
+                .iter()
+                .find(|(s, _)| *s == series)
+                .map(|&(_, v)| v.clamp(0.0, 1.0)),
+        }
+    }
+
+    /// Fold one batch in; returns the updated status.
+    pub(crate) fn observe(
+        &mut self,
+        obs: &BatchObservation,
+        samples: &[(SeriesId, f64)],
+    ) -> SloStatus {
+        if let Some(bad) = self.bad(obs, samples) {
+            if self.window.len() == self.spec.slow_window {
+                self.window.pop_front();
+            }
+            self.window.push_back(bad);
+            let slow_n = self.window.len();
+            let slow_mean = self.window.iter().sum::<f64>() / slow_n as f64;
+            let fast_n = slow_n.min(self.spec.fast_window);
+            let fast_mean = self.window.iter().rev().take(fast_n).sum::<f64>() / fast_n as f64;
+            self.burn_fast = fast_mean / self.spec.budget;
+            self.burn_slow = slow_mean / self.spec.budget;
+            self.firing = self.burn_fast >= self.spec.burn_threshold
+                && self.burn_slow >= self.spec.burn_threshold;
+        }
+        self.status()
+    }
+
+    pub(crate) fn status(&self) -> SloStatus {
+        SloStatus {
+            name: self.spec.name.clone(),
+            burn_fast: self.burn_fast,
+            burn_slow: self.burn_slow,
+            firing: self.firing,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn latency_obs(batch: u64, latency_ns: u64) -> BatchObservation {
+        BatchObservation {
+            batch,
+            sentences: 10,
+            latency_ns,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn healthy_stream_never_fires() {
+        let mut t = SloTracker::new(SloSpec::p99_latency_below("lat", 1_000_000));
+        for b in 1..=200 {
+            let s = t.observe(&latency_obs(b, 100_000), &[]);
+            assert!(!s.firing, "batch {b}: {s:?}");
+        }
+        assert_eq!(t.status().burn_slow, 0.0);
+    }
+
+    #[test]
+    fn sustained_regression_fires_within_the_fast_window() {
+        let mut t = SloTracker::new(SloSpec::p99_latency_below("lat", 1_000_000));
+        for b in 1..=30 {
+            t.observe(&latency_obs(b, 100_000), &[]);
+        }
+        let mut fired_after = None;
+        for k in 1..=20u64 {
+            let s = t.observe(&latency_obs(30 + k, 5_000_000), &[]);
+            if s.firing {
+                fired_after = Some(k);
+                break;
+            }
+        }
+        let k = fired_after.expect("sustained 5x-over-objective latency must fire");
+        assert!(
+            k <= 5,
+            "fired after {k} bad batches; must fire within the 5-batch fast window"
+        );
+    }
+
+    #[test]
+    fn a_single_spike_does_not_fire() {
+        let mut t = SloTracker::new(SloSpec::p99_latency_below("lat", 1_000_000));
+        for b in 1..=60 {
+            t.observe(&latency_obs(b, 100_000), &[]);
+        }
+        t.observe(&latency_obs(61, 5_000_000), &[]);
+        // The spike leaves the fast window; later batches are clean.
+        let mut fired = false;
+        for b in 62..=80 {
+            fired |= t.observe(&latency_obs(b, 100_000), &[]).firing;
+        }
+        assert!(!fired, "an isolated spike must not page");
+    }
+
+    #[test]
+    fn ratio_objective_burns_against_its_limit() {
+        let spec = SloSpec::ratio_below("quarantine", SeriesId::QuarantineRate, 0.05);
+        let mut t = SloTracker::new(spec);
+        // Sustained 20% quarantine = 4x budget ≥ threshold 2.
+        let mut fired = false;
+        for b in 1..=30 {
+            let samples = vec![(SeriesId::QuarantineRate, 0.20)];
+            let o = BatchObservation {
+                batch: b,
+                sentences: 10,
+                quarantined: 2,
+                ..Default::default()
+            };
+            fired |= t.observe(&o, &samples).firing;
+        }
+        assert!(fired);
+        // Hovering at 80% of the limit never fires.
+        let mut t = SloTracker::new(SloSpec::ratio_below(
+            "quarantine",
+            SeriesId::QuarantineRate,
+            0.05,
+        ));
+        for b in 1..=100 {
+            let samples = vec![(SeriesId::QuarantineRate, 0.04)];
+            let o = BatchObservation {
+                batch: b,
+                sentences: 10,
+                ..Default::default()
+            };
+            assert!(!t.observe(&o, &samples).firing, "batch {b}");
+        }
+    }
+
+    #[test]
+    fn empty_batches_are_skipped() {
+        let mut t = SloTracker::new(SloSpec::p99_latency_below("lat", 1_000));
+        let s = t.observe(&BatchObservation::default(), &[]);
+        assert_eq!((s.burn_fast, s.burn_slow), (0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "lowercase")]
+    fn bad_names_are_rejected() {
+        SloTracker::new(SloSpec::p99_latency_below("Bad Name", 1));
+    }
+}

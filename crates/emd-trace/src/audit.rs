@@ -176,7 +176,10 @@ pub fn replay(events: &[TraceEvent]) -> ReplayedOutput {
             // checkpoint fallbacks); [`replay_guard`] consumes them.
             | TraceEventKind::BatchShed
             | TraceEventKind::BreakerTransition
-            | TraceEventKind::CheckpointFallback => {}
+            | TraceEventKind::CheckpointFallback
+            // SLO burn alerts are observability-plane only; [`replay_slo`]
+            // consumes them.
+            | TraceEventKind::SloBurn => {}
         }
     }
 
@@ -327,6 +330,51 @@ pub fn replay_guard(events: &[TraceEvent]) -> ReplayedGuard {
                     .push((ev.count.unwrap_or(0), ev.reason.clone().unwrap_or_default()));
             }
             _ => {}
+        }
+    }
+    out
+}
+
+/// One reconstructed SLO burn timeline (see [`replay_slo`]).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ReplayedSlo {
+    /// The SLO's name (the event's `series` field).
+    pub name: String,
+    /// Batches on which the SLO fired, in trace order.
+    pub firing_batches: Vec<u64>,
+    /// Peak fast-window burn rate seen across the firing batches.
+    pub peak_burn_fast: f32,
+}
+
+/// Reconstruct the per-SLO burn timeline from trace events alone: fold
+/// [`TraceEventKind::SloBurn`] events (one per firing batch) in `seq`
+/// order, grouped by SLO name. The sentinel's live `slo_burn_total`
+/// must equal the total firing-batch count across the replayed
+/// timelines — the same forcing function [`replay`] applies to the
+/// mention set and [`replay_health`] to the health signal, extended to
+/// SLO alerting.
+pub fn replay_slo(events: &[TraceEvent]) -> Vec<ReplayedSlo> {
+    let mut ordered: Vec<&TraceEvent> = events.iter().collect();
+    ordered.sort_by_key(|e| e.seq);
+    let mut out: Vec<ReplayedSlo> = Vec::new();
+    for ev in ordered {
+        if ev.kind != TraceEventKind::SloBurn {
+            continue;
+        }
+        let name = ev.series.clone().unwrap_or_default();
+        let slot = match out.iter_mut().find(|s| s.name == name) {
+            Some(s) => s,
+            None => {
+                out.push(ReplayedSlo {
+                    name,
+                    ..ReplayedSlo::default()
+                });
+                out.last_mut().unwrap()
+            }
+        };
+        slot.firing_batches.push(ev.batch.unwrap_or(0));
+        if let Some(b) = ev.score {
+            slot.peak_burn_fast = slot.peak_burn_fast.max(b);
         }
     }
     out
@@ -630,6 +678,42 @@ mod tests {
             vec![(1, "header checksum mismatch".to_string())]
         );
         // Guard events are invisible to the mention replay.
+        assert_eq!(replay(&events), ReplayedOutput::default());
+    }
+
+    #[test]
+    fn slo_timeline_groups_firing_batches_by_name() {
+        let events = seqed(vec![
+            TraceEvent {
+                batch: Some(31),
+                series: Some("batch_latency_p99".into()),
+                score: Some(20.0),
+                reason: Some("burn_slow=1.67 threshold=14".into()),
+                ..TraceEvent::of(K::SloBurn)
+            },
+            TraceEvent {
+                batch: Some(32),
+                series: Some("batch_latency_p99".into()),
+                score: Some(40.0),
+                reason: Some("burn_slow=3.23 threshold=14".into()),
+                ..TraceEvent::of(K::SloBurn)
+            },
+            TraceEvent {
+                batch: Some(32),
+                series: Some("quarantine_ratio".into()),
+                score: Some(4.0),
+                reason: Some("burn_slow=2.10 threshold=2".into()),
+                ..TraceEvent::of(K::SloBurn)
+            },
+        ]);
+        let slos = replay_slo(&events);
+        assert_eq!(slos.len(), 2);
+        assert_eq!(slos[0].name, "batch_latency_p99");
+        assert_eq!(slos[0].firing_batches, vec![31, 32]);
+        assert_eq!(slos[0].peak_burn_fast, 40.0);
+        assert_eq!(slos[1].name, "quarantine_ratio");
+        assert_eq!(slos[1].firing_batches, vec![32]);
+        // SLO burn events are invisible to the mention replay.
         assert_eq!(replay(&events), ReplayedOutput::default());
     }
 

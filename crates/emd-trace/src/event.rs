@@ -117,6 +117,12 @@ pub enum TraceEventKind {
     /// restored from, 0 = newest), `reason` (newest discard reason),
     /// `phase` (supervisor).
     CheckpointFallback,
+    /// An SLO's fast *and* slow burn rates both crossed its alert
+    /// threshold on this batch — emitted every firing batch so the full
+    /// burn interval is replayable (see `replay_slo`). Fields: `batch`
+    /// (causal batch seq), `series` (SLO name), `score` (fast-window
+    /// burn rate), `reason` (slow burn + threshold detail).
+    SloBurn,
 }
 
 /// Pipeline phase a trace event is attributed to.

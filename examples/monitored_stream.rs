@@ -86,6 +86,10 @@ fn run_supervised(
             ..Default::default()
         },
     );
+    // Explicit default scope: a detached, unlabeled registry. Each
+    // supervised run gets its own metric space instead of accumulating
+    // into the process-global registry across the three runs below.
+    g.set_scope(&emd_obs::Scope::detached(&[]));
     // Private sink: the supervisor drains it at every batch boundary, so
     // capacity only needs to cover one batch (plus finalize) of events.
     g.set_trace(TraceSink::with_capacity(1 << 18));

@@ -9,8 +9,9 @@ use emd_globalizer::core::local::LexiconEmd;
 use emd_globalizer::core::supervisor::{StreamSupervisor, SupervisorConfig};
 use emd_globalizer::core::{EntityClassifier, Globalizer, GlobalizerConfig};
 use emd_globalizer::nn::param::Net;
+use emd_globalizer::obs::ScopeSet;
 use emd_globalizer::sentinel::{
-    HealthPolicy, HealthState, Rule, Sentinel, SentinelConfig, SeriesId, Severity,
+    HealthPolicy, HealthState, Rule, Sentinel, SentinelConfig, SeriesId, Severity, SloSpec,
 };
 use emd_globalizer::text::token::{Sentence, SentenceId};
 use emd_globalizer::trace::audit::replay_health;
@@ -141,6 +142,96 @@ proptest! {
         let report = mon_g.sentinel_report().expect("sentinel attached");
         let n_batches = stream.len().div_ceil(batch_size) as u64;
         prop_assert_eq!(report.batches, n_batches + 1);
+    }
+
+    /// Two concurrently monitored, scoped streams are bit-identical to
+    /// two unmonitored, unscoped ones — and neither scope's numbers leak
+    /// into the other: each per-stream registry holds exactly its own
+    /// stream's counts, and the roll-up aggregate is their sum.
+    #[test]
+    fn two_scoped_streams_are_transparent_and_isolated(
+        word_a in proptest::collection::vec(
+            proptest::collection::vec(0usize..VOCAB.len(), 1..8),
+            1..25,
+        ),
+        word_b in proptest::collection::vec(
+            proptest::collection::vec(0usize..VOCAB.len(), 1..8),
+            1..25,
+        ),
+        batch_size in 1usize..7,
+    ) {
+        let _obs = obs_flag(true);
+        let streams = [build_stream(&word_a), build_stream(&word_b)];
+        let local = LexiconEmd::new(["italy", "covid"]);
+        let clf = accept_all(7);
+
+        // Reference: unmonitored, unscoped (private throwaway registries
+        // so nothing pollutes the scope set under test).
+        let plain: Vec<_> = streams
+            .iter()
+            .map(|stream| {
+                let mut g = Globalizer::new(&local, None, &clf, GlobalizerConfig::default());
+                g.set_metrics(emd_globalizer::core::PipelineMetrics::from_registry(
+                    &emd_globalizer::obs::Registry::new(),
+                ));
+                g.run(stream, batch_size).0
+            })
+            .collect();
+
+        // Monitored + scoped, running concurrently. The sentinel carries
+        // a constantly-burning SLO so the SLO path is exercised too.
+        let set = ScopeSet::new(4);
+        let names = ["a", "b"];
+        let monitored: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = names
+                .iter()
+                .zip(&streams)
+                .map(|(&name, stream)| {
+                    let scope = set.scope(&[("stream", name)]);
+                    let (local, clf) = (&local, &clf);
+                    s.spawn(move || {
+                        let mut g =
+                            Globalizer::new(local, None, clf, GlobalizerConfig::default());
+                        g.set_scope(&scope);
+                        let mut cfg = SentinelConfig {
+                            window: 4,
+                            slos: vec![SloSpec::ratio_below(
+                                "mention_rate",
+                                SeriesId::MentionRate,
+                                0.05,
+                            )],
+                            ..SentinelConfig::default()
+                        };
+                        cfg.policy.trip_after = 1;
+                        cfg.policy.min_dwell = 0;
+                        g.set_sentinel(Sentinel::new(cfg));
+                        g.run(stream, batch_size).0
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        for (p, m) in plain.iter().zip(&monitored) {
+            prop_assert_eq!(&m.per_sentence, &p.per_sentence);
+            prop_assert_eq!(m.n_candidates, p.n_candidates);
+            prop_assert_eq!(m.n_entities, p.n_entities);
+            prop_assert_eq!(&m.quarantined, &p.quarantined);
+        }
+
+        // Isolation: each scope saw exactly its own stream, no more.
+        let roll = set.snapshot();
+        for (name, stream) in names.iter().zip(&streams) {
+            let snap = roll.scope(&[("stream", name)]).expect("scope exists");
+            prop_assert_eq!(
+                snap.counter("emd_pipeline_sentences_total"),
+                Some(stream.len() as u64)
+            );
+        }
+        prop_assert_eq!(
+            roll.aggregate().counter("emd_pipeline_sentences_total"),
+            Some((streams[0].len() + streams[1].len()) as u64)
+        );
     }
 }
 
